@@ -1,0 +1,226 @@
+package vmmk
+
+// One benchmark per experiment table (see DESIGN.md's experiment index),
+// plus primitive micro-benchmarks. Each BenchmarkE* regenerates its table's
+// underlying measurement; `go test -bench=. -benchmem` is the paper's whole
+// evaluation section.
+
+import (
+	"io"
+	"testing"
+
+	"vmmk/internal/core"
+	"vmmk/internal/hw"
+	"vmmk/internal/mk"
+	"vmmk/internal/vmm"
+)
+
+// BenchmarkE1Dom0Overhead regenerates the Cherkasova-Gardner sweep.
+func BenchmarkE1Dom0Overhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := core.RunE1(core.E1Config{Sizes: []int{64, 1500, 4096}, Packets: 50})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkE2IPCCount regenerates the IPC-equivalence comparison.
+func BenchmarkE2IPCCount(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RunE2(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE3SyscallPath regenerates the syscall-path table.
+func BenchmarkE3SyscallPath(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RunE3(100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE4BlastRadius regenerates the fault-isolation table.
+func BenchmarkE4BlastRadius(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RunE4(3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE5Census regenerates the primitive census.
+func BenchmarkE5Census(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RunE5(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE6Portability regenerates the nine-architecture table.
+func BenchmarkE6Portability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RunE6(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE7Micro regenerates the primitive microbenchmarks.
+func BenchmarkE7Micro(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RunE7(100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE8Macro regenerates the web-serving macro comparison.
+func BenchmarkE8Macro(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RunE8(20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE9Ablation regenerates the ablation table.
+func BenchmarkE9Ablation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RunE9(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE10Extension regenerates the minimal-extension complexity table.
+func BenchmarkE10Extension(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RunE10(50); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAllExperiments runs the entire evaluation once per iteration —
+// the end-to-end "reproduce the paper" cost.
+func BenchmarkAllExperiments(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := core.RunAll(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- primitive micro-benchmarks (real-time cost of the simulators
+// themselves, complementing the simulated-cycle numbers in E7) ---
+
+// BenchmarkMKIPCCall measures the wall-clock cost of one simulated IPC
+// round trip.
+func BenchmarkMKIPCCall(b *testing.B) {
+	m := hw.NewMachine(hw.X86(), &hw.MachineConfig{Frames: 256})
+	k := mk.New(m)
+	cs, err := k.NewSpace("c", mk.NilThread)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ss, err := k.NewSpace("s", mk.NilThread)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cl := k.NewThread(cs, "c", 1, nil)
+	srv := k.NewThread(ss, "s", 2, func(k *mk.Kernel, from mk.ThreadID, msg mk.Msg) (mk.Msg, error) {
+		return msg, nil
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := k.Call(cl.ID, srv.ID, mk.Msg{Words: []uint64{1}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVMMHypercall measures the wall-clock cost of one simulated
+// hypercall.
+func BenchmarkVMMHypercall(b *testing.B) {
+	m := hw.NewMachine(hw.X86(), &hw.MachineConfig{Frames: 512})
+	h, _, err := vmm.New(m, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dU, err := h.CreateDomain("u", 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := h.Hypercall(dU.ID, "nop", 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVMMPageFlip measures the wall-clock cost of one simulated grant
+// + flip pair, ping-ponging a single frame between two domains so the
+// benchmark is balanced at any iteration count.
+func BenchmarkVMMPageFlip(b *testing.B) {
+	m := hw.NewMachine(hw.X86(), &hw.MachineConfig{Frames: 512})
+	h, d0, err := vmm.New(m, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dU, err := h.CreateDomain("u", 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := d0.FrameAt(0)
+	owner, peer := d0, dU
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ref, err := h.GrantAccess(owner.ID, f, peer.ID, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := h.GrantTransfer(peer.ID, owner.ID, ref); err != nil {
+			b.Fatal(err)
+		}
+		owner, peer = peer, owner
+	}
+}
+
+// BenchmarkXenStackRxPacket measures the full end-to-end receive path.
+func BenchmarkXenStackRxPacket(b *testing.B) {
+	s, err := core.NewXenStack(core.Config{Frames: 16384})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.InjectPackets(1, 512, 0)
+		if s.DrainRx(0) != 1 {
+			b.Fatal("packet lost")
+		}
+	}
+}
+
+// BenchmarkMKStackRxPacket measures the microkernel's receive path.
+func BenchmarkMKStackRxPacket(b *testing.B) {
+	s, err := core.NewMKStack(core.Config{Frames: 16384})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.InjectPackets(1, 512, 0)
+		if s.DrainRx(0) != 1 {
+			b.Fatal("packet lost")
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = w
+	runErr := fn()
+	os.Stdout = old
+	w.Close()
+	buf := make([]byte, 1<<20)
+	n, _ := r.Read(buf)
+	r.Close()
+	return string(buf[:n]), runErr
+}
+
+func TestDumpVMM(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-platform", "vmm", "-packets", "2", "-syscalls", "1", "-last", "20"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"platform: vmm", "events:", "cycles:", "event log", "vmm.pageflip"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestDumpMK(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-platform", "mk", "-packets", "1", "-syscalls", "1"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "ipc.call") {
+		t.Errorf("mk dump missing IPC events:\n%s", out[:200])
+	}
+}
+
+func TestBadPlatform(t *testing.T) {
+	if err := run([]string{"-platform", "hurd"}); err == nil {
+		t.Fatal("unknown platform accepted")
+	}
+}

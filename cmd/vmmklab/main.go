@@ -1,0 +1,173 @@
+// Command vmmklab runs the paper-reproduction experiments and prints their
+// result tables.
+//
+// Usage:
+//
+//	vmmklab [flags] <experiment>...
+//	vmmklab all
+//	vmmklab list
+//
+// Experiments are e1 through e9 (see DESIGN.md for the index). Flags:
+//
+//	-packets n   packet count for E1 sweeps (default 100)
+//	-syscalls n  iteration count for E3/E7 (default 200)
+//	-guests n    guest count for E4 (default 3)
+//	-requests n  request count for E8 (default 50)
+//	-csv         emit CSV instead of aligned tables
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vmmk/internal/core"
+	"vmmk/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "vmmklab:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("vmmklab", flag.ContinueOnError)
+	packets := fs.Int("packets", 100, "packet count for E1 sweeps")
+	syscalls := fs.Int("syscalls", 200, "iteration count for E3/E7")
+	guests := fs.Int("guests", 3, "guest count for E4")
+	requests := fs.Int("requests", 50, "request count for E8")
+	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		fs.Usage()
+		return fmt.Errorf("no experiment given; try 'vmmklab list'")
+	}
+
+	emit := func(t *trace.Table) {
+		if *csv {
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Println(t)
+		}
+	}
+
+	runners := map[string]func() error{
+		"e1": func() error {
+			cfg := core.E1Defaults()
+			cfg.Packets = *packets
+			rows, err := core.RunE1(cfg)
+			if err != nil {
+				return err
+			}
+			emit(core.E1Table(rows))
+			return nil
+		},
+		"e2": func() error {
+			rows, err := core.RunE2()
+			if err != nil {
+				return err
+			}
+			emit(core.E2Table(rows))
+			return nil
+		},
+		"e3": func() error {
+			rows, err := core.RunE3(*syscalls)
+			if err != nil {
+				return err
+			}
+			emit(core.E3Table(rows))
+			return nil
+		},
+		"e4": func() error {
+			rows, err := core.RunE4(*guests)
+			if err != nil {
+				return err
+			}
+			emit(core.E4Table(rows))
+			return nil
+		},
+		"e5": func() error {
+			rows, err := core.RunE5()
+			if err != nil {
+				return err
+			}
+			emit(core.E5Table(rows))
+			return nil
+		},
+		"e6": func() error {
+			rows, err := core.RunE6()
+			if err != nil {
+				return err
+			}
+			emit(core.E6Table(rows))
+			return nil
+		},
+		"e7": func() error {
+			rows, err := core.RunE7(*syscalls)
+			if err != nil {
+				return err
+			}
+			emit(core.E7Table(rows))
+			return nil
+		},
+		"e8": func() error {
+			rows, err := core.RunE8(*requests)
+			if err != nil {
+				return err
+			}
+			emit(core.E8Table(rows))
+			return nil
+		},
+		"e9": func() error {
+			rows, err := core.RunE9()
+			if err != nil {
+				return err
+			}
+			emit(core.E9Table(rows))
+			return nil
+		},
+		"e10": func() error {
+			rows, err := core.RunE10(*syscalls)
+			if err != nil {
+				return err
+			}
+			emit(core.E10Table(rows))
+			return nil
+		},
+	}
+
+	var ids []string
+	for _, a := range fs.Args() {
+		switch a {
+		case "all":
+			for _, e := range core.Experiments() {
+				ids = append(ids, e.ID)
+			}
+		case "list":
+			for _, e := range core.Experiments() {
+				fmt.Printf("%-4s %s\n", e.ID, e.Title)
+			}
+			return nil
+		default:
+			if _, ok := runners[a]; !ok {
+				return fmt.Errorf("unknown experiment %q (try 'list')", a)
+			}
+			ids = append(ids, a)
+		}
+	}
+	for _, id := range ids {
+		for _, e := range core.Experiments() {
+			if e.ID == id {
+				fmt.Printf("== %s: %s ==\n", e.ID, e.Title)
+			}
+		}
+		if err := runners[id](); err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// capture runs fn with stdout redirected and returns what it printed.
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = w
+	runErr := fn()
+	os.Stdout = old
+	w.Close()
+	buf := make([]byte, 1<<20)
+	n, _ := r.Read(buf)
+	r.Close()
+	return string(buf[:n]), runErr
+}
+
+func TestListCommand(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"list"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"e1", "e5", "e9"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("list output missing %s", id)
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if err := run([]string{"e99"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestNoArgs(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("empty invocation accepted")
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-syscalls", "50", "e3"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "glibc TLS") || !strings.Contains(out, "== e3:") {
+		t.Fatalf("e3 output malformed:\n%s", out)
+	}
+}
+
+func TestRunMultipleExperiments(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-guests", "2", "e4", "e5"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "== e4:") || !strings.Contains(out, "== e5:") {
+		t.Fatalf("missing experiment headers:\n%s", out)
+	}
+}
+
+func TestAllCheapExperimentsThroughCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs several experiments")
+	}
+	out, err := capture(t, func() error {
+		return run([]string{"-syscalls", "40", "-requests", "10", "-packets", "20", "e1", "e2", "e6", "e7", "e8", "e9", "e10"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"e1", "e2", "e6", "e7", "e8", "e9", "e10"} {
+		if !strings.Contains(out, "== "+id+":") {
+			t.Errorf("missing %s output", id)
+		}
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-csv", "e5"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "platform,count,security mechanisms,primitives") {
+		t.Fatalf("no CSV header in:\n%s", out)
+	}
+}

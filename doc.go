@@ -1,0 +1,12 @@
+// Package vmmk is a comparative systems laboratory reproducing the HotOS
+// 2005 debate "Are Virtual-Machine Monitors Microkernels Done Right?": an
+// L4-style microkernel and a Xen-style VMM built over one simulated,
+// cycle-accounted hardware substrate, plus the experiment harness that
+// turns each of the debate's empirical claims into a measurable result.
+//
+// The library lives under internal/; the public surfaces are the example
+// programs (examples/), the experiment CLI (cmd/vmmklab), the trace
+// inspector (cmd/tracedump) and the benchmark suite in this package, one
+// benchmark per experiment table. See README.md, DESIGN.md and
+// EXPERIMENTS.md.
+package vmmk

@@ -1,0 +1,60 @@
+// ioserver reproduces the Cherkasova-Gardner study as a library consumer: a
+// network-receive sweep over packet sizes and delivery modes, reporting the
+// driver-domain CPU burden — the measurement §3.2 of the paper uses to
+// refute "IPC performance is irrelevant for VMMs".
+//
+//	go run ./examples/ioserver
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vmmk/internal/core"
+	"vmmk/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	const packets = 200
+
+	fmt.Println("ioserver — driver-domain CPU under receive load (CG05 reproduction)")
+	fmt.Println()
+
+	table := trace.NewTable("", "mode", "pkt size", "flips", "evtchn", "driver cyc/pkt", "driver CPU share")
+	for _, copyMode := range []bool{false, true} {
+		for _, size := range []int{64, 512, 1500, 4096} {
+			s, err := core.NewXenStack(core.Config{CopyMode: copyMode})
+			if err != nil {
+				log.Fatal(err)
+			}
+			rec := s.M().Rec
+			snap := rec.Snapshot()
+			d0 := s.DriverSideCycles()
+			t0 := rec.TotalCycles()
+
+			s.InjectPackets(packets, size, 0)
+			if got := s.DrainRx(0); got != packets {
+				log.Fatalf("lost packets: %d/%d", got, packets)
+			}
+
+			driver := s.DriverSideCycles() - d0
+			total := rec.TotalCycles() - t0
+			mode := "flip"
+			if copyMode {
+				mode = "copy"
+			}
+			table.AddRow(mode, size,
+				rec.CountsSince(snap, trace.KPageFlip),
+				rec.CountsSince(snap, trace.KEvtchnSend),
+				driver/packets,
+				fmt.Sprintf("%.0f%%", 100*float64(driver)/float64(total)))
+		}
+	}
+	fmt.Println(table)
+	fmt.Println("Shape to notice: in flip mode the per-packet driver cost does not move")
+	fmt.Println("with packet size — it tracks the number of page flips, exactly the")
+	fmt.Println("proportionality Cherkasova & Gardner measured on real Xen. In copy mode")
+	fmt.Println("the cost grows with bytes, and the small-packet crossover explains why")
+	fmt.Println("later Xen switched network RX from flipping to copying.")
+}

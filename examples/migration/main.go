@@ -1,0 +1,95 @@
+// migration demonstrates the management story that made "treat the OS as a
+// component" (§3.3) compelling on the VMM side: pause a running guest,
+// serialise it, move it to a different physical machine, resume it — with
+// its memory and page tables intact — and pair it with a Parallax
+// copy-on-write snapshot of its storage, the Warfield et al. combination
+// the rebuttal's §3.1 discusses.
+//
+//	go run ./examples/migration
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vmmk/internal/core"
+	"vmmk/internal/vmm"
+	"vmmk/internal/vmmos"
+)
+
+func main() {
+	log.SetFlags(0)
+	fmt.Println("migration — a guest and its storage move between machines")
+	fmt.Println()
+
+	// Machine A: full stack with one guest.
+	src, err := core.NewXenStack(core.Config{Guests: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	guest := src.Guests[0]
+
+	// The guest does some work and writes state it will need later.
+	if _, err := guest.Syscall(src.Procs[0], vmmos.SysGetPID); err != nil {
+		log.Fatal(err)
+	}
+	if err := guest.Blk.Write(3, []byte("pre-migration state")); err != nil {
+		log.Fatal(err)
+	}
+	// Snapshot the virtual disk before moving (crash-consistent point).
+	captured, err := src.PX.Snapshot(guest.Dom.ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("machine A: guest %q ran, wrote block 3, snapshot captured %d block(s)\n",
+		guest.Dom.Name, captured)
+
+	// Distinctive memory pattern to verify the move end to end.
+	copy(src.M().Mem.Data(guest.Dom.FrameAt(9)), []byte("memory travels whole"))
+
+	// Machine B: an empty destination hypervisor.
+	dst, err := core.NewXenStack(core.Config{Guests: 0})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	moved, err := vmm.Migrate(src.H, guest.Dom.ID, dst.H)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("migrated: source alive=%v, destination domain %q paused=%v\n",
+		src.H.Alive(guest.Dom.ID), moved.Name, dst.H.Paused(moved.ID))
+
+	if got := string(dst.M().Mem.Data(moved.FrameAt(9))[:20]); got != "memory travels whole" {
+		log.Fatalf("memory corrupted in flight: %q", got)
+	}
+	fmt.Println("memory verified at destination: \"memory travels whole\"")
+
+	// Resume and reconnect devices (frontends always reconnect after a
+	// migration; connection state deliberately does not travel).
+	if err := dst.H.Unpause(moved.ID); err != nil {
+		log.Fatal(err)
+	}
+	gk2 := vmmos.NewGuestKernel(dst.H, moved)
+	if _, err := vmmos.ConnectNet(dst.DD, gk2); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := dst.PX.AttachClient(gk2, 256); err != nil {
+		log.Fatal(err)
+	}
+	p := gk2.Spawn("app")
+	if _, err := gk2.Syscall(p.PID, vmmos.SysGetPID); err != nil {
+		log.Fatal(err)
+	}
+	if err := gk2.Blk.Write(4, []byte("post-migration write")); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("destination: guest resumed, syscalls and storage work")
+	fmt.Println()
+	fmt.Println("The snapshot on machine A still holds the pre-migration data:")
+	snap := src.PX.SnapshotRead(guest.Dom.ID, 3)
+	fmt.Printf("  snapshot(block 3) = %q\n", snap[:19])
+	fmt.Println()
+	fmt.Println("This is the workload the paper's debate is really about: whole-OS")
+	fmt.Println("mobility and storage management as ordinary operations over components.")
+}

@@ -1,0 +1,61 @@
+// portability demonstrates §2.2's nine-platform claim: the identical OS
+// personality (OS server, drivers, storage) boots and runs on every
+// architecture descriptor through the microkernel's abstractions, while a
+// VMM guest faces a different raw interface on each — quantified as the
+// list of porting work items.
+//
+//	go run ./examples/portability
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"vmmk/internal/core"
+	"vmmk/internal/hw"
+	"vmmk/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	fmt.Println("portability — one component, nine architectures")
+	fmt.Println()
+
+	rows, err := core.RunE6()
+	if err != nil {
+		log.Fatal(err)
+	}
+	table := trace.NewTable("", "architecture", "mk personality", "VMM guest port items")
+	for _, r := range rows {
+		status := "runs unchanged"
+		if !r.MKRuns {
+			status = "FAILED"
+		}
+		items := "(baseline)"
+		if len(r.VMMDeltaNames) > 0 {
+			items = strings.Join(r.VMMDeltaNames, "; ")
+		}
+		table.AddRow(r.Arch, status, items)
+	}
+	fmt.Println(table)
+
+	// Show it concretely: the same IPC echo on the two extremes of the
+	// span, an embedded ARM and a big-iron PPC64.
+	fmt.Println("cycle cost of the same IPC round trip across the span:")
+	for _, arch := range hw.AllArchs() {
+		s, err := core.NewMKStack(core.Config{Arch: arch})
+		if err != nil {
+			log.Fatal(err)
+		}
+		t0 := s.M().Now()
+		if err := s.DoSyscall(0, 1, 0); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-8s %6d cycles\n", arch.Name, s.M().Now()-t0)
+	}
+	fmt.Println()
+	fmt.Println("\"software that is written for an L4 microkernel naturally runs on nine")
+	fmt.Println("different processor platforms\" — the costs differ, the code does not.")
+}

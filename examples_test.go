@@ -1,0 +1,39 @@
+package vmmk
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun builds and runs every example program, checking each
+// completes successfully and prints its expected marker line. This keeps
+// the documentation-facing code from rotting.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs six example binaries")
+	}
+	cases := []struct {
+		dir    string
+		marker string
+	}{
+		{"quickstart", "IPC-equivalent ops"},
+		{"ioserver", "driver-domain CPU"},
+		{"faultlab", "blast radius"},
+		{"portability", "nine architectures"},
+		{"migration", "memory travels whole"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.dir, func(t *testing.T) {
+			cmd := exec.Command("go", "run", "./examples/"+c.dir)
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("example failed: %v\n%s", err, out)
+			}
+			if !strings.Contains(string(out), c.marker) {
+				t.Fatalf("output missing marker %q:\n%s", c.marker, out)
+			}
+		})
+	}
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"fmt"
+
+	"vmmk/internal/hw"
+	"vmmk/internal/mk"
+	"vmmk/internal/mkos"
+	"vmmk/internal/trace"
+	"vmmk/internal/vmm"
+	"vmmk/internal/vmmos"
+)
+
+// E10 reproduces the extension-complexity claim of §2.2: "For extensions
+// that are not an existing operating system, the VMM's interfaces
+// significantly increase the complexity of software design." The same
+// minimal service — a key-value cache with identical logic and identical
+// per-request service cost — is built both ways (mkos.KVServer,
+// vmmos.KVAppliance); the experiment counts the kernel interface surface
+// each must program against to boot and to serve, plus per-request cost.
+
+// E10Row is one platform's measurement.
+type E10Row struct {
+	Platform        string
+	BootPrimitives  int      // distinct privileged interfaces used to set up
+	BootNames       []string //  which ones
+	ServePrimitives int      // distinct interfaces per steady-state request
+	CyclesPerGet    uint64
+}
+
+// RunE10 boots the extension on both systems and serves n get requests.
+func RunE10(n int) ([]E10Row, error) {
+	if n <= 0 {
+		n = 100
+	}
+	var rows []E10Row
+
+	// --- Microkernel: one thread, one handler, IPC only.
+	{
+		m := hw.NewMachine(hw.X86(), &hw.MachineConfig{Frames: 512})
+		k := mk.New(m)
+		snap := m.Rec.Snapshot()
+		kv, err := mkos.NewKVServer(k)
+		if err != nil {
+			return nil, err
+		}
+		cs, err := k.NewSpace("client", mk.NilThread)
+		if err != nil {
+			return nil, err
+		}
+		client := k.NewThread(cs, "client", 1, nil)
+		if err := kv.Put(client.ID, "k", []byte("v")); err != nil {
+			return nil, err
+		}
+		boot := distinctSince(m.Rec, snap)
+
+		snap2 := m.Rec.Snapshot()
+		t0 := m.Now()
+		for i := 0; i < n; i++ {
+			if _, ok, err := kv.Get(client.ID, "k"); err != nil || !ok {
+				return nil, fmt.Errorf("E10 mk get: ok=%v err=%v", ok, err)
+			}
+		}
+		serve := distinctSince(m.Rec, snap2)
+		rows = append(rows, E10Row{
+			Platform:        "mk",
+			BootPrimitives:  len(boot),
+			BootNames:       kindNames(boot),
+			ServePrimitives: len(serve),
+			CyclesPerGet:    uint64(m.Now()-t0) / uint64(n),
+		})
+	}
+
+	// --- VMM: a domain with hooks, channels and grants.
+	{
+		m := hw.NewMachine(hw.X86(), &hw.MachineConfig{Frames: 1024})
+		h, _, err := vmm.New(m, 64)
+		if err != nil {
+			return nil, err
+		}
+		snap := m.Rec.Snapshot()
+		appDom, err := h.CreateDomain("kv", 64)
+		if err != nil {
+			return nil, err
+		}
+		app := vmmos.NewKVAppliance(h, appDom)
+		clDom, err := h.CreateDomain("client", 64)
+		if err != nil {
+			return nil, err
+		}
+		cgk := vmmos.NewGuestKernel(h, clDom)
+		cl, err := app.Connect(cgk)
+		if err != nil {
+			return nil, err
+		}
+		if err := cl.Put("k", []byte("v")); err != nil {
+			return nil, err
+		}
+		boot := distinctSince(m.Rec, snap)
+
+		snap2 := m.Rec.Snapshot()
+		t0 := m.Now()
+		for i := 0; i < n; i++ {
+			if _, ok, err := cl.Get("k"); err != nil || !ok {
+				return nil, fmt.Errorf("E10 vmm get: ok=%v err=%v", ok, err)
+			}
+		}
+		serve := distinctSince(m.Rec, snap2)
+		rows = append(rows, E10Row{
+			Platform:        "vmm",
+			BootPrimitives:  len(boot),
+			BootNames:       kindNames(boot),
+			ServePrimitives: len(serve),
+			CyclesPerGet:    uint64(m.Now()-t0) / uint64(n),
+		})
+	}
+	return rows, nil
+}
+
+// distinctSince returns the primitive kinds whose counters moved since the
+// snapshot.
+func distinctSince(rec *trace.Recorder, snap trace.Snapshot) []trace.Kind {
+	var out []trace.Kind
+	for k := trace.Kind(0); int(k) < trace.NKinds; k++ {
+		if !k.IsMKPrimitive() && !k.IsVMMPrimitive() {
+			continue
+		}
+		if rec.CountsSince(snap, k) > 0 {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// E10Table renders the comparison.
+func E10Table(rows []E10Row) *trace.Table {
+	t := trace.NewTable(
+		"E10 — minimal extension (KV cache): interface surface and cost (paper §2.2)",
+		"platform", "boot primitives", "serve primitives", "cyc/get",
+	)
+	for _, r := range rows {
+		t.AddRow(r.Platform, r.BootPrimitives, r.ServePrimitives, r.CyclesPerGet)
+	}
+	return t
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"fmt"
+
+	"vmmk/internal/hw"
+	"vmmk/internal/trace"
+	"vmmk/internal/vmm"
+	"vmmk/internal/workload"
+)
+
+// E1 reproduces the shape of Cherkasova & Gardner's measurement that the
+// paper's §3.2 leans on: under network receive load, the driver domain
+// (Dom0 plus the monitor) accounts for most of the system's CPU time, and
+// its per-packet cost tracks the number of page flips, not the number of
+// payload bytes.
+
+// E1Row is one point of the sweep.
+type E1Row struct {
+	Mode        string // flip or copy
+	PktSize     int
+	Packets     int
+	Flips       uint64
+	DriverCyc   uint64 // Dom0 + monitor cycles in the window
+	GuestCyc    uint64
+	DriverShare float64 // driver-side fraction of total window cycles
+	PerPktCyc   uint64  // driver-side cycles per packet
+	PerFlipCyc  uint64  // driver-side cycles per flip (0 in copy mode)
+}
+
+// E1Config parameterises the sweep.
+type E1Config struct {
+	Sizes   []int
+	Packets int
+}
+
+// E1Defaults is the published sweep: small to MTU-and-beyond messages.
+func E1Defaults() E1Config {
+	return E1Config{Sizes: []int{64, 256, 1024, 1500, 4096}, Packets: 100}
+}
+
+// RunE1 sweeps packet sizes in both delivery modes on a fresh Xen stack per
+// point and returns the rows.
+func RunE1(cfg E1Config) ([]E1Row, error) {
+	var rows []E1Row
+	for _, copyMode := range []bool{false, true} {
+		for _, size := range cfg.Sizes {
+			s, err := NewXenStack(Config{CopyMode: copyMode})
+			if err != nil {
+				return nil, err
+			}
+			rec := s.M().Rec
+			snap := rec.Snapshot()
+			driver0 := s.DriverSideCycles()
+			guest0 := rec.CyclesPrefix("vmm.domU")
+			total0 := rec.TotalCycles()
+
+			s.InjectPackets(cfg.Packets, size, 0)
+			s.DrainRx(0)
+
+			flips := rec.CountsSince(snap, trace.KPageFlip)
+			driver := s.DriverSideCycles() - driver0
+			guest := rec.CyclesPrefix("vmm.domU") - guest0
+			total := rec.TotalCycles() - total0
+			row := E1Row{
+				Mode:      map[bool]string{false: "flip", true: "copy"}[copyMode],
+				PktSize:   size,
+				Packets:   cfg.Packets,
+				Flips:     flips,
+				DriverCyc: driver,
+				GuestCyc:  guest,
+				PerPktCyc: driver / uint64(cfg.Packets),
+			}
+			if total > 0 {
+				row.DriverShare = float64(driver) / float64(total)
+			}
+			if flips > 0 {
+				row.PerFlipCyc = driver / flips
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// E1RateRow is one point of the offered-load sweep: packets arrive on a
+// schedule (not back to back), so idle time exists and the driver side's
+// share of *machine time* rises with load — the x-axis of the CG05 figure.
+type E1RateRow struct {
+	RatePktPerSec int
+	Packets       int
+	DriverCyc     uint64
+	WindowCyc     uint64  // total virtual time the run spanned
+	DriverLoad    float64 // driver cycles / window cycles ("CPU utilisation")
+	Delivered     int
+}
+
+// RunE1Rates sweeps offered load at a fixed packet size in flip mode.
+func RunE1Rates(rates []int, packets, size int) ([]E1RateRow, error) {
+	if len(rates) == 0 {
+		rates = []int{1000, 5000, 20000, 50000, 100000}
+	}
+	var rows []E1RateRow
+	for _, rate := range rates {
+		s, err := NewXenStack(Config{})
+		if err != nil {
+			return nil, err
+		}
+		gap := hw.Cycles(workload.RateSchedule(rate))
+		start := s.M().Now()
+		driver0 := s.DriverSideCycles()
+		for i := 0; i < packets; i++ {
+			pkt := make([]byte, size)
+			at := start + hw.Cycles(i+1)*gap
+			s.NIC.InjectAt(at, pkt)
+		}
+		// Drive the machine through the whole arrival schedule, fielding
+		// each interrupt as it lands (one event per dispatch round).
+		for s.M().Events.Pending() > 0 {
+			s.M().Events.RunUntilIdle(1)
+			s.M().IRQ.DispatchPending(vmm.HypervisorComponent)
+		}
+		s.M().IRQ.DispatchPending(vmm.HypervisorComponent)
+		s.Pump()
+		delivered := s.DrainRx(0)
+		window := uint64(s.M().Now() - start)
+		driver := s.DriverSideCycles() - driver0
+		row := E1RateRow{
+			RatePktPerSec: rate,
+			Packets:       packets,
+			DriverCyc:     driver,
+			WindowCyc:     window,
+			Delivered:     delivered,
+		}
+		if window > 0 {
+			row.DriverLoad = float64(driver) / float64(window)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// E1RateTable renders the offered-load sweep.
+func E1RateTable(rows []E1RateRow) *trace.Table {
+	t := trace.NewTable(
+		"E1b — driver-side CPU utilisation vs offered load (flip mode, 1500B)",
+		"rate pkt/s", "pkts", "delivered", "driver cyc", "window cyc", "driver load",
+	)
+	for _, r := range rows {
+		t.AddRow(r.RatePktPerSec, r.Packets, r.Delivered, r.DriverCyc, r.WindowCyc,
+			fmt.Sprintf("%.1f%%", 100*r.DriverLoad))
+	}
+	return t
+}
+
+// E1Table renders the rows as the experiment's result table.
+func E1Table(rows []E1Row) *trace.Table {
+	t := trace.NewTable(
+		"E1 — Dom0/driver-domain CPU under network RX load (Cherkasova-Gardner shape)",
+		"mode", "pkt B", "pkts", "flips", "driver cyc", "driver/pkt", "driver share", "cyc/flip",
+	)
+	for _, r := range rows {
+		t.AddRow(r.Mode, r.PktSize, r.Packets, r.Flips, r.DriverCyc, r.PerPktCyc,
+			fmt.Sprintf("%.0f%%", 100*r.DriverShare), r.PerFlipCyc)
+	}
+	return t
+}

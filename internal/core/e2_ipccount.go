@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+
+	"vmmk/internal/trace"
+	"vmmk/internal/workload"
+)
+
+// E2 tests the rebuttal's central quantitative claim (§3.2): "A Xen-based
+// system performs essentially the same number of IPC operations as a
+// comparable microkernel-based system." Identical workloads run on both
+// stacks; the recorder counts every IPC-equivalent boundary crossing
+// (defined in trace.Kind.IsIPCEquivalent) on each.
+
+// E2Row is one workload's comparison.
+type E2Row struct {
+	Workload string
+	MKOps    uint64
+	VMMOps   uint64
+	Ratio    float64 // VMM / MK
+}
+
+// E2Workload names a canned workload.
+type E2Workload struct {
+	Name string
+	Run  func(p Platform) error
+}
+
+// E2Workloads returns the canonical set: network echo, syscall mix, storage
+// I/O, and the composite web serve.
+func E2Workloads() []E2Workload {
+	return []E2Workload{
+		{"net-echo-64B", func(p Platform) error {
+			p.InjectPackets(50, 64, 0)
+			p.DrainRx(0)
+			return p.SendPackets(50, 64, 0)
+		}},
+		{"net-echo-1500B", func(p Platform) error {
+			p.InjectPackets(50, 1500, 0)
+			p.DrainRx(0)
+			return p.SendPackets(50, 1500, 0)
+		}},
+		{"syscall-mix", func(p Platform) error {
+			for _, op := range workload.DefaultMix.Sequence(200, 42) {
+				var no uint32
+				switch op.Kind {
+				case workload.OpGetPID:
+					no = 1
+				case workload.OpWrite:
+					no = 2
+				default:
+					no = 3
+				}
+				if err := p.DoSyscall(0, no, op.Arg); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+		{"storage-io", func(p Platform) error {
+			for _, op := range (workload.BlockPattern{N: 30, WSBlocks: 16, WriteFrac: 0.5, Seed: 7}).Ops() {
+				var err error
+				if op.Kind == workload.OpBlockWrite {
+					err = p.StorageWrite(0, op.Arg, []byte("e2"))
+				} else {
+					_, err = p.StorageRead(0, op.Arg)
+				}
+				if err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+		{"web-serve", func(p Platform) error {
+			for _, req := range (workload.WebStream{N: 20, WSBlocks: 16, Seed: 3}).Requests() {
+				p.InjectPackets(1, req.ReqSize, 0)
+				p.DrainRx(0)
+				if _, err := p.StorageRead(0, req.Block); err != nil {
+					return err
+				}
+				if err := p.SendPackets(1, req.RespSize, 0); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+	}
+}
+
+// RunE2 runs every workload on fresh stacks of both kinds and counts
+// IPC-equivalent operations.
+func RunE2() ([]E2Row, error) {
+	var rows []E2Row
+	for _, w := range E2Workloads() {
+		counts := map[string]uint64{}
+		for _, build := range []func() (Platform, error){
+			func() (Platform, error) { return NewMKStack(Config{}) },
+			func() (Platform, error) { return NewXenStack(Config{}) },
+		} {
+			p, err := build()
+			if err != nil {
+				return nil, err
+			}
+			snap := p.M().Rec.Snapshot()
+			if err := w.Run(p); err != nil {
+				return nil, fmt.Errorf("E2 %s on %s: %w", w.Name, p.Name(), err)
+			}
+			counts[p.Name()] = p.M().Rec.IPCEquivalentSince(snap)
+		}
+		row := E2Row{Workload: w.Name, MKOps: counts["mk"], VMMOps: counts["vmm"]}
+		if row.MKOps > 0 {
+			row.Ratio = float64(row.VMMOps) / float64(row.MKOps)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// E2Table renders the comparison.
+func E2Table(rows []E2Row) *trace.Table {
+	t := trace.NewTable(
+		"E2 — IPC-equivalent operations per workload (paper §3.2: counts should be essentially equal)",
+		"workload", "mk ops", "vmm ops", "vmm/mk",
+	)
+	for _, r := range rows {
+		t.AddRow(r.Workload, r.MKOps, r.VMMOps, fmt.Sprintf("%.2fx", r.Ratio))
+	}
+	return t
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"vmmk/internal/hw"
+	"vmmk/internal/trace"
+	"vmmk/internal/vmm"
+	"vmmk/internal/vmmos"
+)
+
+// E3 reproduces the trap-gate story of §3.2: Xen's int-0x80 shortcut makes
+// guest syscalls near-native, but only while every guest data segment
+// excludes the monitor; one glibc-style flat TLS segment and every syscall
+// takes the bounced path. The microkernel syscall (one IPC to the OS
+// server) and the native trap are measured on the same hardware model for
+// comparison.
+
+// E3Row is one configuration's per-syscall cost.
+type E3Row struct {
+	Config       string
+	CyclesPerOp  uint64
+	MonitorCyc   uint64 // monitor/kernel share per op (0 = untouched)
+	FastPathLive bool
+}
+
+// RunE3 measures the four configurations with n syscalls each.
+func RunE3(n int) ([]E3Row, error) {
+	if n <= 0 {
+		n = 200
+	}
+	var rows []E3Row
+
+	// Native baseline.
+	{
+		s, err := NewNativeStack(Config{})
+		if err != nil {
+			return nil, err
+		}
+		t0 := s.M().Now()
+		for i := 0; i < n; i++ {
+			if err := s.DoSyscall(0, 1, 0); err != nil {
+				return nil, err
+			}
+		}
+		rows = append(rows, E3Row{
+			Config:      "native trap",
+			CyclesPerOp: uint64(s.M().Now()-t0) / uint64(n),
+		})
+	}
+
+	// Xen fast path: fresh stack, pristine segments.
+	{
+		s, err := NewXenStack(Config{FastPath: true})
+		if err != nil {
+			return nil, err
+		}
+		mon0 := s.M().Rec.Cycles(vmm.HypervisorComponent)
+		t0 := s.M().Now()
+		for i := 0; i < n; i++ {
+			if err := s.DoSyscall(0, vmmos.SysGetPID, 0); err != nil {
+				return nil, err
+			}
+		}
+		rows = append(rows, E3Row{
+			Config:       "xen trap-gate fast path",
+			CyclesPerOp:  uint64(s.M().Now()-t0) / uint64(n),
+			MonitorCyc:   (s.M().Rec.Cycles(vmm.HypervisorComponent) - mon0) / uint64(n),
+			FastPathLive: s.H.FastPathActive(s.Guests[0].Dom.ID),
+		})
+	}
+
+	// Xen after glibc TLS: load a flat GS segment, fast path dies.
+	{
+		s, err := NewXenStack(Config{FastPath: true})
+		if err != nil {
+			return nil, err
+		}
+		dom := s.Guests[0].Dom.ID
+		if err := s.H.LoadGuestSegment(dom, hw.SegGS, hw.Segment{Base: 0, Limit: ^uint64(0), DPL: hw.Ring3}); err != nil {
+			return nil, err
+		}
+		mon0 := s.M().Rec.Cycles(vmm.HypervisorComponent)
+		t0 := s.M().Now()
+		for i := 0; i < n; i++ {
+			if err := s.DoSyscall(0, vmmos.SysGetPID, 0); err != nil {
+				return nil, err
+			}
+		}
+		rows = append(rows, E3Row{
+			Config:       "xen after glibc TLS (bounced)",
+			CyclesPerOp:  uint64(s.M().Now()-t0) / uint64(n),
+			MonitorCyc:   (s.M().Rec.Cycles(vmm.HypervisorComponent) - mon0) / uint64(n),
+			FastPathLive: s.H.FastPathActive(dom),
+		})
+	}
+
+	// Microkernel: syscall as one IPC call to the OS server.
+	{
+		s, err := NewMKStack(Config{})
+		if err != nil {
+			return nil, err
+		}
+		kc0 := s.M().Rec.Cycles("mk.kernel")
+		t0 := s.M().Now()
+		for i := 0; i < n; i++ {
+			if err := s.DoSyscall(0, 1, 0); err != nil {
+				return nil, err
+			}
+		}
+		rows = append(rows, E3Row{
+			Config:      "mk IPC syscall (L4Linux)",
+			CyclesPerOp: uint64(s.M().Now()-t0) / uint64(n),
+			MonitorCyc:  (s.M().Rec.Cycles("mk.kernel") - kc0) / uint64(n),
+		})
+	}
+	return rows, nil
+}
+
+// E3Table renders the rows.
+func E3Table(rows []E3Row) *trace.Table {
+	t := trace.NewTable(
+		"E3 — guest system-call paths (paper §3.2: the shortcut is fragile)",
+		"configuration", "cycles/syscall", "monitor cyc/op", "fast path",
+	)
+	for _, r := range rows {
+		live := "-"
+		if r.FastPathLive {
+			live = "live"
+		}
+		t.AddRow(r.Config, r.CyclesPerOp, r.MonitorCyc, live)
+	}
+	return t
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+
+	"vmmk/internal/trace"
+	"vmmk/internal/workload"
+)
+
+// E8 is the macro-benchmark of §3.3: a composite web-serving workload
+// (receive request, consult storage, send response) run on the native
+// baseline and on both paravirtualised stacks. HHL+97 reported L4Linux
+// within a few percent of native for macro loads; the experiment reports
+// each system's relative slowdown so the "OS as component works on both"
+// claim is checkable.
+
+// E8Row is one platform's macro result.
+type E8Row struct {
+	Platform     string
+	Requests     int
+	TotalCycles  uint64
+	CyclesPerReq uint64
+	RelativeCost float64 // vs native (1.0 = native speed)
+}
+
+// thinkCycles is the per-request application work (page rendering, string
+// handling). Macro benchmarks are compute-diluted — this is what lets
+// HHL+97 report few-percent overheads despite multi-x syscall
+// microbenchmark costs; without it the experiment would measure only
+// crossing overhead, which is E7's job.
+const thinkCycles = 100_000
+
+// RunE8 serves n web requests on each platform.
+func RunE8(n int) ([]E8Row, error) {
+	if n <= 0 {
+		n = 50
+	}
+	reqs := (workload.WebStream{N: n, WSBlocks: 32, Seed: 11}).Requests()
+	serve := func(p Platform) (uint64, error) {
+		// Preload the working set so reads hit.
+		for b := uint64(0); b < 32; b++ {
+			if err := p.StorageWrite(0, b, []byte("content")); err != nil {
+				return 0, err
+			}
+		}
+		t0 := p.M().Now()
+		for _, r := range reqs {
+			p.InjectPackets(1, r.ReqSize, 0)
+			if p.DrainRx(0) != 1 {
+				return 0, fmt.Errorf("E8: request packet lost on %s", p.Name())
+			}
+			if _, err := p.StorageRead(0, r.Block); err != nil {
+				return 0, err
+			}
+			p.M().CPU.Work("app."+p.Name(), thinkCycles)
+			if err := p.SendPackets(1, r.RespSize, 0); err != nil {
+				return 0, err
+			}
+		}
+		return uint64(p.M().Now() - t0), nil
+	}
+
+	var rows []E8Row
+	var nativeCyc uint64
+	builders := []func() (Platform, error){
+		func() (Platform, error) { return NewNativeStack(Config{}) },
+		func() (Platform, error) { return NewMKStack(Config{}) },
+		func() (Platform, error) { return NewXenStack(Config{}) },
+	}
+	for _, build := range builders {
+		p, err := build()
+		if err != nil {
+			return nil, err
+		}
+		cyc, err := serve(p)
+		if err != nil {
+			return nil, err
+		}
+		row := E8Row{Platform: p.Name(), Requests: n, TotalCycles: cyc, CyclesPerReq: cyc / uint64(n)}
+		if p.Name() == "native" {
+			nativeCyc = cyc
+			row.RelativeCost = 1.0
+		} else if nativeCyc > 0 {
+			row.RelativeCost = float64(cyc) / float64(nativeCyc)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// E8Table renders the rows.
+func E8Table(rows []E8Row) *trace.Table {
+	t := trace.NewTable(
+		"E8 — web-serving macro workload (paper §3.3: paravirt OS works on both)",
+		"platform", "requests", "cycles/request", "relative cost",
+	)
+	for _, r := range rows {
+		t.AddRow(r.Platform, r.Requests, r.CyclesPerReq, fmt.Sprintf("%.2fx", r.RelativeCost))
+	}
+	return t
+}

@@ -1,0 +1,281 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"vmmk/internal/fslite"
+	"vmmk/internal/hw"
+	"vmmk/internal/simrand"
+)
+
+// platformDev adapts any Platform's storage interface to fslite.BlockDev,
+// so the same filesystem code can be mounted over every stack.
+type platformDev struct {
+	p     Platform
+	guest int
+}
+
+func (d platformDev) Read(block uint64) ([]byte, error) { return d.p.StorageRead(d.guest, block) }
+func (d platformDev) Write(block uint64, data []byte) error {
+	return d.p.StorageWrite(d.guest, block, data)
+}
+
+// TestFsliteOverEveryStorageStack is the §2.2 reuse claim as an integration
+// test: one filesystem implementation, unchanged, over (a) the
+// microkernel's storage server, (b) a Parallax virtual disk on the VMM, and
+// (c) the native in-kernel path. Same bytes in, same bytes out, everywhere.
+func TestFsliteOverEveryStorageStack(t *testing.T) {
+	builders := []func() (Platform, error){
+		func() (Platform, error) { return NewMKStack(Config{}) },
+		func() (Platform, error) { return NewXenStack(Config{}) },
+		func() (Platform, error) { return NewNativeStack(Config{}) },
+	}
+	for _, build := range builders {
+		p, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(p.Name(), func(t *testing.T) {
+			dev := platformDev{p: p, guest: 0}
+			fs, err := fslite.Mkfs(dev, p.M().Mem.PageSize(), 128)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := bytes.Repeat([]byte("component reuse! "), 500) // ~8.5KB, multi-block
+			if err := fs.WriteFile("motd", want); err != nil {
+				t.Fatal(err)
+			}
+			if err := fs.WriteFile("config", []byte("small")); err != nil {
+				t.Fatal(err)
+			}
+			got, err := fs.ReadFile("motd")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatal("content corrupted through the storage stack")
+			}
+			// Remount from the same device: metadata survived the stack.
+			fs2, err := fslite.Mount(dev, p.M().Mem.PageSize())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(fs2.List()) != 2 {
+				t.Fatalf("remount lost files: %v", fs2.List())
+			}
+			got2, err := fs2.ReadFile("motd")
+			if err != nil || !bytes.Equal(got2, want) {
+				t.Fatal("remounted content mismatch")
+			}
+		})
+	}
+}
+
+// TestFsliteSurvivesStorageServerCrashOnlyBeforehand pins the E4 story at
+// the filesystem level: data written before the storage service dies is
+// unrecoverable through that service afterwards, but the client can still
+// compute (its kernel survives).
+func TestFsliteStorageCrashSemantics(t *testing.T) {
+	for _, build := range []func() (Platform, error){
+		func() (Platform, error) { return NewMKStack(Config{}) },
+		func() (Platform, error) { return NewXenStack(Config{}) },
+	} {
+		p, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		dev := platformDev{p: p, guest: 0}
+		fs, err := fslite.Mkfs(dev, p.M().Mem.PageSize(), 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.WriteFile("doomed", []byte("data")); err != nil {
+			t.Fatal(err)
+		}
+		p.KillStorage()
+		if err := fs.WriteFile("after", []byte("x")); err == nil {
+			t.Fatalf("%s: write through dead storage service succeeded", p.Name())
+		}
+		// The guest still computes.
+		if err := p.DoSyscall(0, 1, 0); err != nil {
+			t.Fatalf("%s: guest dead after storage crash: %v", p.Name(), err)
+		}
+	}
+}
+
+// diffOp is one step of the differential workload.
+type diffOp struct {
+	kind int // 0 syscall, 1 inject+drain, 2 storage write, 3 storage read, 4 net send
+	arg  uint64
+}
+
+func genOps(seed uint64, n int) []diffOp {
+	r := simrand.New(seed)
+	ops := make([]diffOp, n)
+	for i := range ops {
+		ops[i] = diffOp{kind: r.Intn(5), arg: r.Uint64n(16)}
+	}
+	return ops
+}
+
+// TestDifferentialSemantics replays identical randomized operation
+// sequences on both stacks and demands identical observable semantics:
+// same packets delivered, same storage contents read back, same success/
+// failure pattern. The paper says the two structures are the same animal;
+// this is the behavioural half of that claim (the performance half is E1-E9).
+func TestDifferentialSemantics(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			ops := genOps(seed, 60)
+			type result struct {
+				recvs int
+				errs  int
+				reads map[uint64]string
+			}
+			runOn := func(p Platform) result {
+				res := result{reads: make(map[uint64]string)}
+				for _, op := range ops {
+					switch op.kind {
+					case 0:
+						if err := p.DoSyscall(0, 1, op.arg); err != nil {
+							res.errs++
+						}
+					case 1:
+						p.InjectPackets(1, 64+int(op.arg)*32, 0)
+						res.recvs += p.DrainRx(0)
+					case 2:
+						data := []byte(fmt.Sprintf("blk-%d-%d", op.arg, seed))
+						if err := p.StorageWrite(0, op.arg, data); err != nil {
+							res.errs++
+						}
+					case 3:
+						data, err := p.StorageRead(0, op.arg)
+						if err != nil {
+							res.errs++
+						} else {
+							res.reads[op.arg] = string(bytes.TrimRight(data, "\x00"))
+						}
+					case 4:
+						if err := p.SendPackets(1, 64+int(op.arg)*8, 0); err != nil {
+							res.errs++
+						}
+					}
+				}
+				return res
+			}
+			mkStack, err := NewMKStack(Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			xen, err := NewXenStack(Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, b := runOn(mkStack), runOn(xen)
+			if a.recvs != b.recvs {
+				t.Errorf("packet deliveries differ: mk=%d vmm=%d", a.recvs, b.recvs)
+			}
+			if a.errs != b.errs {
+				t.Errorf("error patterns differ: mk=%d vmm=%d", a.errs, b.errs)
+			}
+			for blk, v := range a.reads {
+				if b.reads[blk] != v {
+					t.Errorf("block %d reads differ: mk=%q vmm=%q", blk, v, b.reads[blk])
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialSemanticsOnARM repeats the differential replay on a
+// different architecture: behavioural equivalence of the two structures is
+// not an x86 artifact.
+func TestDifferentialSemanticsOnARM(t *testing.T) {
+	ops := genOps(42, 40)
+	type result struct{ recvs, errs int }
+	runOn := func(p Platform) result {
+		var res result
+		for _, op := range ops {
+			switch op.kind {
+			case 0:
+				if err := p.DoSyscall(0, 1, op.arg); err != nil {
+					res.errs++
+				}
+			case 1:
+				p.InjectPackets(1, 64+int(op.arg)*32, 0)
+				res.recvs += p.DrainRx(0)
+			case 2:
+				if err := p.StorageWrite(0, op.arg, []byte("arm")); err != nil {
+					res.errs++
+				}
+			case 3:
+				if _, err := p.StorageRead(0, op.arg); err != nil {
+					res.errs++
+				}
+			case 4:
+				if err := p.SendPackets(1, 64, 0); err != nil {
+					res.errs++
+				}
+			}
+		}
+		return res
+	}
+	arm := hw.ARM()
+	mkStack, err := NewMKStack(Config{Arch: arm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xen, err := NewXenStack(Config{Arch: hw.ARM()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := runOn(mkStack), runOn(xen)
+	if a != b {
+		t.Fatalf("ARM differential mismatch: mk=%+v vmm=%+v", a, b)
+	}
+}
+
+// TestQuickDifferentialStorage is a property-based version over the storage
+// path alone: any write/read interleaving yields identical contents on both
+// stacks.
+func TestQuickDifferentialStorage(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := simrand.New(seed)
+		mkStack, err := NewMKStack(Config{})
+		if err != nil {
+			return false
+		}
+		xen, err := NewXenStack(Config{})
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 12; i++ {
+			blk := r.Uint64n(8)
+			if r.Bool(0.5) {
+				data := []byte(fmt.Sprintf("v%d", r.Intn(100)))
+				e1 := mkStack.StorageWrite(0, blk, data)
+				e2 := xen.StorageWrite(0, blk, data)
+				if (e1 == nil) != (e2 == nil) {
+					return false
+				}
+			} else {
+				d1, e1 := mkStack.StorageRead(0, blk)
+				d2, e2 := xen.StorageRead(0, blk)
+				if (e1 == nil) != (e2 == nil) {
+					return false
+				}
+				if e1 == nil && !bytes.Equal(d1, d2) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,678 @@
+// Package core is the comparison framework — the reproduction's actual
+// contribution, standing in for the "systematic and objective examination
+// of the similarities and differences of microkernels and VMMs" the paper
+// calls for. It boots the two complete stacks (and a monolithic native
+// baseline) on identical simulated hardware, replays identical workloads,
+// and reduces the traces to the quantities the debate argues about:
+// boundary-crossing counts, per-component CPU attribution, failure blast
+// radii, primitive censuses and portability deltas.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"vmmk/internal/hw"
+	"vmmk/internal/hw/dev"
+	"vmmk/internal/mk"
+	"vmmk/internal/mkos"
+	"vmmk/internal/trace"
+	"vmmk/internal/vmm"
+	"vmmk/internal/vmmos"
+)
+
+// Config sizes and parameterises a platform boot.
+type Config struct {
+	Arch        *hw.Arch
+	Frames      int  // physical memory in pages
+	Guests      int  // guest OS instances (>= 1)
+	CopyMode    bool // I/O delivery by copy instead of flip/grant
+	FastPath    bool // enable the VMM trap-gate shortcut where legal
+	DiskLatency hw.Cycles
+	StoreBlocks uint64 // per-guest virtual disk size
+	LogCap      int    // trace event-log capacity (0 = counters only)
+	// Consolidated colocates the storage service with the driver domain
+	// (Parallax inside Dom0; store server inside the disk driver's space)
+	// — the "super-VM" structure §2.2 warns about. Default is decomposed.
+	Consolidated bool
+}
+
+// Defaults fills zero fields.
+func (c *Config) defaults() {
+	if c.Arch == nil {
+		c.Arch = hw.X86()
+	}
+	if c.Frames == 0 {
+		c.Frames = 4096
+	}
+	if c.Guests == 0 {
+		c.Guests = 1
+	}
+	if c.DiskLatency == 0 {
+		c.DiskLatency = 5000
+	}
+	if c.StoreBlocks == 0 {
+		c.StoreBlocks = 256
+	}
+}
+
+// ErrGuestIndex is returned for out-of-range guest references.
+var ErrGuestIndex = errors.New("core: guest index out of range")
+
+// Platform is one booted system under test.
+type Platform interface {
+	// Name identifies the platform ("vmm", "mk", "native").
+	Name() string
+	// M returns the underlying machine (clock, recorder, memory).
+	M() *hw.Machine
+	// Pump drives device events and interrupts to quiescence.
+	Pump()
+	// InjectPackets delivers n packets of the given size addressed to
+	// guest dest into the NIC and processes them.
+	InjectPackets(n, size, dest int)
+	// DrainRx issues receive syscalls on guest dest until empty,
+	// returning the number of packets the application consumed.
+	DrainRx(dest int) int
+	// SendPackets transmits n packets of the given size from guest from.
+	SendPackets(n, size, from int) error
+	// DoSyscall issues one system call on guest from.
+	DoSyscall(from int, no uint32, arg uint64) error
+	// StorageWrite / StorageRead exercise the guest's storage service.
+	StorageWrite(from int, block uint64, data []byte) error
+	StorageRead(from int, block uint64) ([]byte, error)
+	// KillStorage crashes the shared storage service (Parallax / store
+	// server); KillDriver crashes the driver domain / driver servers.
+	KillStorage()
+	KillDriver()
+	// Alive reports component liveness for the blast-radius survey.
+	Alive() []ComponentStatus
+	// DriverSideCycles returns CPU attributed to the privileged I/O
+	// machinery (Dom0 + monitor, or driver servers + kernel).
+	DriverSideCycles() uint64
+}
+
+// ComponentStatus is one row of a liveness survey.
+type ComponentStatus struct {
+	Name  string
+	Alive bool
+}
+
+// ---------------------------------------------------------------------------
+// VMM platform
+
+// XenStack is the booted Xen-like system: hypervisor, Dom0 with physical
+// drivers, N guests with net frontends, and a Parallax appliance backing
+// every guest's storage.
+type XenStack struct {
+	Cfg  Config
+	Mach *hw.Machine
+	H    *vmm.Hypervisor
+	DD   *vmmos.DriverDomain
+	NIC  *dev.NIC
+	Disk *dev.Disk
+	PX   *vmmos.Parallax
+	ST   *vmm.Store // control plane: domain and device registry
+
+	Guests []*vmmos.GuestKernel
+	Procs  []vmmos.PID
+}
+
+// NewXenStack boots the full VMM-side system.
+func NewXenStack(cfg Config) (*XenStack, error) {
+	cfg.defaults()
+	m := hw.NewMachine(cfg.Arch, &hw.MachineConfig{Frames: cfg.Frames, IRQLines: 16, LogCap: cfg.LogCap})
+	h, d0, err := vmm.New(m, 256)
+	if err != nil {
+		return nil, err
+	}
+	h.FastPathPolicy = cfg.FastPath
+	nic := dev.NewNIC(m, dev.NICConfig{RxIRQ: 1, TxIRQ: 2, RingSize: 128})
+	disk := dev.NewDisk(m, dev.DiskConfig{IRQ: 3, Latency: cfg.DiskLatency})
+	dd, err := vmmos.NewDriverDomain(h, d0, nic, disk)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.CopyMode {
+		dd.Mode = vmmos.RxCopy
+	}
+	var px *vmmos.Parallax
+	if cfg.Consolidated {
+		px, err = vmmos.NewParallaxOn(dd.GK, dd, cfg.StoreBlocks*uint64(cfg.Guests)+64)
+	} else {
+		var pxDom *vmm.Domain
+		pxDom, err = h.CreateDomain("parallax", 128)
+		if err != nil {
+			return nil, err
+		}
+		px, err = vmmos.NewParallax(h, pxDom, dd, cfg.StoreBlocks*uint64(cfg.Guests)+64)
+	}
+	if err != nil {
+		return nil, err
+	}
+	st := vmm.NewStore(h)
+	s := &XenStack{Cfg: cfg, Mach: m, H: h, DD: dd, NIC: nic, Disk: disk, PX: px, ST: st}
+	if err := st.Write(vmm.Dom0, "/vm/dom0/name", "driver domain"); err != nil {
+		return nil, err
+	}
+	for i := 0; i < cfg.Guests; i++ {
+		dU, err := h.CreateDomain(fmt.Sprintf("domU%d", i+1), 128)
+		if err != nil {
+			return nil, err
+		}
+		gk := vmmos.NewGuestKernel(h, dU)
+		if err := st.Write(vmm.Dom0, fmt.Sprintf("/vm/%s/name", dU.Name), dU.Name); err != nil {
+			return nil, err
+		}
+		if _, err := vmmos.ConnectNet(dd, gk); err != nil {
+			return nil, err
+		}
+		if _, err := px.AttachClient(gk, cfg.StoreBlocks); err != nil {
+			return nil, err
+		}
+		// The guest advertises its connected frontends, XenStore style.
+		home := fmt.Sprintf("/local/domain/%d/", dU.ID)
+		if err := st.Write(dU.ID, home+"device/vif/0/state", "connected"); err != nil {
+			return nil, err
+		}
+		if err := st.Write(dU.ID, home+"device/vbd/0/state", "connected"); err != nil {
+			return nil, err
+		}
+		// XenoLinux boot: truncated segments, fast path if the policy
+		// allows.
+		if cfg.Arch.HasSegmentation {
+			for reg := hw.SegDS; reg <= hw.SegGS; reg++ {
+				if err := h.LoadGuestSegment(dU.ID, reg, hw.Segment{Base: 0, Limit: vmm.VMMBase - 1, DPL: hw.Ring3}); err != nil {
+					return nil, err
+				}
+			}
+			if _, err := h.EnableFastPath(dU.ID); err != nil {
+				return nil, err
+			}
+		}
+		p := gk.Spawn("app")
+		s.Guests = append(s.Guests, gk)
+		s.Procs = append(s.Procs, p.PID)
+	}
+	return s, nil
+}
+
+// Name implements Platform.
+func (s *XenStack) Name() string { return "vmm" }
+
+// M implements Platform.
+func (s *XenStack) M() *hw.Machine { return s.Mach }
+
+// Pump implements Platform.
+func (s *XenStack) Pump() { s.H.PumpIO(256) }
+
+// InjectPackets implements Platform.
+func (s *XenStack) InjectPackets(n, size, dest int) {
+	for i := 0; i < n; i++ {
+		pkt := make([]byte, size)
+		if size > 0 {
+			pkt[0] = byte(dest)
+		}
+		s.NIC.Inject(pkt)
+		s.Mach.IRQ.DispatchPending(vmm.HypervisorComponent)
+		s.Pump()
+	}
+}
+
+// DrainRx implements Platform.
+func (s *XenStack) DrainRx(dest int) int {
+	if dest >= len(s.Guests) {
+		return 0
+	}
+	gk := s.Guests[dest]
+	n := 0
+	for {
+		ret, err := gk.Syscall(s.Procs[dest], vmmos.SysNetRecv)
+		if err != nil || len(ret) == 0 || ret[0] == 0 || ret[0] == ^uint64(0) {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// SendPackets implements Platform.
+func (s *XenStack) SendPackets(n, size, from int) error {
+	if from >= len(s.Guests) {
+		return ErrGuestIndex
+	}
+	gk := s.Guests[from]
+	for i := 0; i < n; i++ {
+		ret, err := gk.Syscall(s.Procs[from], vmmos.SysNetSend, uint64(size))
+		if err != nil {
+			return err
+		}
+		if ret[0] == ^uint64(0) {
+			return vmmos.ErrBackendDead
+		}
+		s.Pump()
+	}
+	return nil
+}
+
+// DoSyscall implements Platform.
+func (s *XenStack) DoSyscall(from int, no uint32, arg uint64) error {
+	if from >= len(s.Guests) {
+		return ErrGuestIndex
+	}
+	_, err := s.Guests[from].Syscall(s.Procs[from], no, arg)
+	return err
+}
+
+// StorageWrite implements Platform.
+func (s *XenStack) StorageWrite(from int, block uint64, data []byte) error {
+	if from >= len(s.Guests) {
+		return ErrGuestIndex
+	}
+	return s.Guests[from].Blk.Write(block, data)
+}
+
+// StorageRead implements Platform.
+func (s *XenStack) StorageRead(from int, block uint64) ([]byte, error) {
+	if from >= len(s.Guests) {
+		return nil, ErrGuestIndex
+	}
+	return s.Guests[from].Blk.Read(block)
+}
+
+// KillStorage implements Platform: crash the Parallax appliance.
+func (s *XenStack) KillStorage() { s.H.DestroyDomain(s.PX.GK.Dom.ID) }
+
+// KillDriver implements Platform: crash Dom0.
+func (s *XenStack) KillDriver() { s.H.DestroyDomain(vmm.Dom0) }
+
+// Alive implements Platform.
+func (s *XenStack) Alive() []ComponentStatus {
+	out := []ComponentStatus{
+		{"monitor", true}, // the monitor itself cannot die in this model
+		{"driver(dom0)", s.H.Alive(vmm.Dom0)},
+		{"storage(parallax)", s.H.Alive(s.PX.GK.Dom.ID)},
+	}
+	for i, gk := range s.Guests {
+		out = append(out, ComponentStatus{fmt.Sprintf("guest%d", i+1), s.H.Alive(gk.Dom.ID)})
+	}
+	return out
+}
+
+// DriverSideCycles implements Platform: Dom0 plus the monitor, the
+// "driver-domain burden" Cherkasova & Gardner measured.
+func (s *XenStack) DriverSideCycles() uint64 {
+	return s.Mach.Rec.Cycles("vmm.dom0") + s.Mach.Rec.Cycles(vmm.HypervisorComponent)
+}
+
+// ---------------------------------------------------------------------------
+// Microkernel platform
+
+// MKStack is the booted L4-like system: microkernel, user-level NIC and
+// disk driver servers, a storage server, and N OS server instances.
+type MKStack struct {
+	Cfg   Config
+	Mach  *hw.Machine
+	K     *mk.Kernel
+	NIC   *dev.NIC
+	Disk  *dev.Disk
+	Net   *mkos.NetDriver
+	Blk   *mkos.BlkDriver
+	Store *mkos.StoreServer
+
+	OSes  []*mkos.OSServer
+	Procs []mkos.PID
+}
+
+// NewMKStack boots the full microkernel-side system.
+func NewMKStack(cfg Config) (*MKStack, error) {
+	cfg.defaults()
+	m := hw.NewMachine(cfg.Arch, &hw.MachineConfig{Frames: cfg.Frames, IRQLines: 16, LogCap: cfg.LogCap})
+	k := mk.New(m)
+	nic := dev.NewNIC(m, dev.NICConfig{RxIRQ: 1, TxIRQ: 2, RingSize: 128})
+	disk := dev.NewDisk(m, dev.DiskConfig{IRQ: 3, Latency: cfg.DiskLatency})
+	nd, err := mkos.NewNetDriver(k, nic)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.CopyMode {
+		nd.Mode = mkos.RxStringCopy
+	}
+	bd, err := mkos.NewBlkDriver(k, disk)
+	if err != nil {
+		return nil, err
+	}
+	var store *mkos.StoreServer
+	if cfg.Consolidated {
+		store, err = mkos.NewStoreServerIn(k, bd.Space, "srv.blk.store", nil)
+	} else {
+		store, err = mkos.NewStoreServer(k, nil)
+	}
+	if err != nil {
+		return nil, err
+	}
+	store.SetPersistence(bd.NewBlkClient(store.Thread.ID, cfg.StoreBlocks*uint64(cfg.Guests)+64))
+	s := &MKStack{Cfg: cfg, Mach: m, K: k, NIC: nic, Disk: disk, Net: nd, Blk: bd, Store: store}
+	for i := 0; i < cfg.Guests; i++ {
+		osrv, err := mkos.NewOSServer(k, fmt.Sprintf("linux%d", i+1))
+		if err != nil {
+			return nil, err
+		}
+		nd.Attach(osrv)
+		store.Attach(osrv, cfg.StoreBlocks)
+		p, err := osrv.Spawn("app")
+		if err != nil {
+			return nil, err
+		}
+		s.OSes = append(s.OSes, osrv)
+		s.Procs = append(s.Procs, p.PID)
+	}
+	return s, nil
+}
+
+// Name implements Platform.
+func (s *MKStack) Name() string { return "mk" }
+
+// M implements Platform.
+func (s *MKStack) M() *hw.Machine { return s.Mach }
+
+// Pump implements Platform.
+func (s *MKStack) Pump() { s.K.PumpIO(256) }
+
+// InjectPackets implements Platform.
+func (s *MKStack) InjectPackets(n, size, dest int) {
+	for i := 0; i < n; i++ {
+		pkt := make([]byte, size)
+		if size > 0 {
+			pkt[0] = byte(dest)
+		}
+		s.NIC.Inject(pkt)
+		s.Mach.IRQ.DispatchPending(mk.KernelComponent)
+		s.Pump()
+	}
+}
+
+// DrainRx implements Platform.
+func (s *MKStack) DrainRx(dest int) int {
+	if dest >= len(s.OSes) {
+		return 0
+	}
+	osrv := s.OSes[dest]
+	n := 0
+	for {
+		ret, err := osrv.Syscall(s.Procs[dest], mkos.SysNetRecv)
+		if err != nil || len(ret) == 0 || ret[0] == 0 || ret[0] == ^uint64(0) {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// SendPackets implements Platform.
+func (s *MKStack) SendPackets(n, size, from int) error {
+	if from >= len(s.OSes) {
+		return ErrGuestIndex
+	}
+	for i := 0; i < n; i++ {
+		ret, err := s.OSes[from].Syscall(s.Procs[from], mkos.SysNetSend, uint64(size))
+		if err != nil {
+			return err
+		}
+		if ret[0] == ^uint64(0) {
+			return mk.ErrDeadPartner
+		}
+		s.Pump()
+	}
+	return nil
+}
+
+// DoSyscall implements Platform.
+func (s *MKStack) DoSyscall(from int, no uint32, arg uint64) error {
+	if from >= len(s.OSes) {
+		return ErrGuestIndex
+	}
+	_, err := s.OSes[from].Syscall(s.Procs[from], no, arg)
+	return err
+}
+
+// StorageWrite implements Platform.
+func (s *MKStack) StorageWrite(from int, block uint64, data []byte) error {
+	if from >= len(s.OSes) {
+		return ErrGuestIndex
+	}
+	return s.OSes[from].Blk.Write(block, data)
+}
+
+// StorageRead implements Platform.
+func (s *MKStack) StorageRead(from int, block uint64) ([]byte, error) {
+	if from >= len(s.OSes) {
+		return nil, ErrGuestIndex
+	}
+	return s.OSes[from].Blk.Read(block)
+}
+
+// KillStorage implements Platform: crash the storage server.
+func (s *MKStack) KillStorage() { s.K.KillSpace(s.Store.Space) }
+
+// KillDriver implements Platform: crash both driver servers (the moral
+// equivalent of losing Dom0's driver payload).
+func (s *MKStack) KillDriver() {
+	s.K.KillSpace(s.Net.Space)
+	s.K.KillSpace(s.Blk.Space)
+}
+
+// Alive implements Platform.
+func (s *MKStack) Alive() []ComponentStatus {
+	out := []ComponentStatus{
+		{"monitor", true}, // the kernel, likewise, cannot die here
+		{"driver(net)", s.K.Alive(s.Net.Thread.ID)},
+		{"driver(blk)", s.K.Alive(s.Blk.Thread.ID)},
+		{"storage(store)", s.K.Alive(s.Store.Thread.ID)},
+	}
+	for i, osrv := range s.OSes {
+		out = append(out, ComponentStatus{fmt.Sprintf("guest%d", i+1), s.K.Alive(osrv.Thread.ID)})
+	}
+	return out
+}
+
+// DriverSideCycles implements Platform: the driver servers plus kernel-mode
+// IPC machinery — the mk analogue of the Dom0+monitor burden.
+func (s *MKStack) DriverSideCycles() uint64 {
+	return s.Mach.Rec.Cycles("mk.srv.net") + s.Mach.Rec.Cycles("mk.srv.blk") + s.Mach.Rec.Cycles(mk.KernelComponent)
+}
+
+// ---------------------------------------------------------------------------
+// Native baseline
+
+// NativeStack is a monolithic-kernel baseline: syscalls are one trap, the
+// driver runs in the kernel, storage is a kernel subsystem. It exists so
+// the macro experiment (E8) can report both systems' overhead relative to
+// an unvirtualised OS, as HHL+97 did for L4Linux.
+type NativeStack struct {
+	Cfg  Config
+	Mach *hw.Machine
+	NIC  *dev.NIC
+	Disk *dev.Disk
+
+	rxQueue int
+	store   map[uint64][]byte
+	dead    bool
+}
+
+// NativeComponent is the baseline's attribution name.
+const NativeComponent = "native.kernel"
+
+// NewNativeStack boots the baseline.
+func NewNativeStack(cfg Config) (*NativeStack, error) {
+	cfg.defaults()
+	m := hw.NewMachine(cfg.Arch, &hw.MachineConfig{Frames: cfg.Frames, IRQLines: 16})
+	s := &NativeStack{Cfg: cfg, Mach: m, store: make(map[uint64][]byte)}
+	s.NIC = dev.NewNIC(m, dev.NICConfig{RxIRQ: 1, TxIRQ: 2, RingSize: 128})
+	s.Disk = dev.NewDisk(m, dev.DiskConfig{IRQ: 3, Latency: cfg.DiskLatency})
+	m.IRQ.SetHandler(1, func(hw.IRQLine) {
+		// In-kernel driver: reap and queue, no domain crossings.
+		m.CPU.Charge(NativeComponent, trace.KIRQ, 0)
+		for range s.NIC.ReapRx() {
+			m.CPU.Work(NativeComponent, 400)
+			s.rxQueue++
+		}
+		for s.NIC.PostedBuffers() < 32 {
+			f, err := m.Mem.Alloc(NativeComponent)
+			if err != nil {
+				break
+			}
+			if !s.NIC.PostRxBuffer(f) {
+				m.Mem.Free(f)
+				break
+			}
+		}
+	})
+	m.IRQ.SetHandler(2, func(hw.IRQLine) { m.CPU.Work(NativeComponent, 150) })
+	m.IRQ.SetHandler(3, func(hw.IRQLine) { m.CPU.Work(NativeComponent, 200) })
+	for i := 0; i < 32; i++ {
+		f, err := m.Mem.Alloc(NativeComponent)
+		if err != nil {
+			break
+		}
+		s.NIC.PostRxBuffer(f)
+	}
+	return s, nil
+}
+
+// Name implements Platform.
+func (s *NativeStack) Name() string { return "native" }
+
+// M implements Platform.
+func (s *NativeStack) M() *hw.Machine { return s.Mach }
+
+// Pump implements Platform.
+func (s *NativeStack) Pump() {
+	for i := 0; i < 256; i++ {
+		n := s.Mach.Events.RunUntilIdle(1024)
+		n += s.Mach.IRQ.DispatchPending(NativeComponent)
+		if n == 0 {
+			break
+		}
+	}
+}
+
+// syscall charges the native syscall path: one trap, kernel work, return.
+func (s *NativeStack) syscall(work hw.Cycles) {
+	s.Mach.CPU.SetRing(hw.Ring3)
+	s.Mach.CPU.Trap(NativeComponent, s.Mach.Arch.HasFastSyscall)
+	s.Mach.CPU.Work(NativeComponent, 150+work)
+	s.Mach.CPU.ReturnTo(NativeComponent, hw.Ring3)
+}
+
+// InjectPackets implements Platform.
+func (s *NativeStack) InjectPackets(n, size, dest int) {
+	for i := 0; i < n; i++ {
+		pkt := make([]byte, size)
+		if size > 0 {
+			pkt[0] = byte(dest)
+		}
+		s.NIC.Inject(pkt)
+		s.Mach.IRQ.DispatchPending(NativeComponent)
+		s.Pump()
+	}
+}
+
+// DrainRx implements Platform.
+func (s *NativeStack) DrainRx(int) int {
+	n := 0
+	for s.rxQueue > 0 {
+		s.syscall(100)
+		s.rxQueue--
+		n++
+	}
+	return n
+}
+
+// SendPackets implements Platform.
+func (s *NativeStack) SendPackets(n, size, from int) error {
+	if s.dead {
+		return errors.New("core: native kernel dead")
+	}
+	for i := 0; i < n; i++ {
+		s.syscall(300 + s.Mach.CPU.CopyCost(uint64(size)))
+		f, err := s.Mach.Mem.Alloc(NativeComponent)
+		if err != nil {
+			return err
+		}
+		s.NIC.Transmit(f, size)
+		s.Mach.Mem.Free(f)
+		s.Pump()
+	}
+	return nil
+}
+
+// DoSyscall implements Platform.
+func (s *NativeStack) DoSyscall(from int, no uint32, arg uint64) error {
+	if s.dead {
+		return errors.New("core: native kernel dead")
+	}
+	s.syscall(150)
+	return nil
+}
+
+// StorageWrite implements Platform: an in-kernel filesystem write.
+func (s *NativeStack) StorageWrite(from int, block uint64, data []byte) error {
+	if s.dead {
+		return errors.New("core: native kernel dead")
+	}
+	s.syscall(500 + s.Mach.CPU.CopyCost(s.Mach.Mem.PageSize()))
+	f, err := s.Mach.Mem.Alloc(NativeComponent)
+	if err != nil {
+		return err
+	}
+	defer s.Mach.Mem.Free(f)
+	buf := s.Mach.Mem.Data(f)
+	copy(buf, data)
+	s.Disk.Submit(dev.DiskReq{Op: dev.DiskWrite, Block: block, Frame: f})
+	s.Pump()
+	s.store[block] = append([]byte(nil), data...)
+	return nil
+}
+
+// StorageRead implements Platform.
+func (s *NativeStack) StorageRead(from int, block uint64) ([]byte, error) {
+	if s.dead {
+		return nil, errors.New("core: native kernel dead")
+	}
+	s.syscall(500 + s.Mach.CPU.CopyCost(s.Mach.Mem.PageSize()))
+	f, err := s.Mach.Mem.Alloc(NativeComponent)
+	if err != nil {
+		return nil, err
+	}
+	defer s.Mach.Mem.Free(f)
+	s.Disk.Submit(dev.DiskReq{Op: dev.DiskRead, Block: block, Frame: f})
+	s.Pump()
+	out := make([]byte, s.Mach.Mem.PageSize())
+	copy(out, s.store[block])
+	return out, nil
+}
+
+// KillStorage implements Platform: in a monolithic kernel the filesystem IS
+// the kernel — its failure takes everything, the paper's structural point.
+func (s *NativeStack) KillStorage() { s.dead = true }
+
+// KillDriver implements Platform: likewise fatal.
+func (s *NativeStack) KillDriver() { s.dead = true }
+
+// Alive implements Platform.
+func (s *NativeStack) Alive() []ComponentStatus {
+	a := !s.dead
+	return []ComponentStatus{
+		{"monitor", a}, {"driver(in-kernel)", a}, {"storage(in-kernel)", a}, {"guest1", a},
+	}
+}
+
+// DriverSideCycles implements Platform.
+func (s *NativeStack) DriverSideCycles() uint64 { return s.Mach.Rec.Cycles(NativeComponent) }
+
+// Interface conformance.
+var (
+	_ Platform = (*XenStack)(nil)
+	_ Platform = (*MKStack)(nil)
+	_ Platform = (*NativeStack)(nil)
+)

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+	"io"
+)
+
+// Experiment is one runnable experiment with its identifier and
+// description, the unit the CLI and the bench harness iterate over.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(w io.Writer) error
+}
+
+// Experiments returns all nine experiments in order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"e1", "Dom0 CPU overhead under I/O load (CG05 shape)", func(w io.Writer) error {
+			rows, err := RunE1(E1Defaults())
+			if err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintln(w, E1Table(rows)); err != nil {
+				return err
+			}
+			rateRows, err := RunE1Rates(nil, 100, 1500)
+			if err != nil {
+				return err
+			}
+			_, err = fmt.Fprintln(w, E1RateTable(rateRows))
+			return err
+		}},
+		{"e2", "IPC-equivalent operation counts", func(w io.Writer) error {
+			rows, err := RunE2()
+			if err != nil {
+				return err
+			}
+			_, err = fmt.Fprintln(w, E2Table(rows))
+			return err
+		}},
+		{"e3", "guest system-call paths", func(w io.Writer) error {
+			rows, err := RunE3(200)
+			if err != nil {
+				return err
+			}
+			_, err = fmt.Fprintln(w, E3Table(rows))
+			return err
+		}},
+		{"e4", "failure blast radius", func(w io.Writer) error {
+			rows, err := RunE4(3)
+			if err != nil {
+				return err
+			}
+			_, err = fmt.Fprintln(w, E4Table(rows))
+			return err
+		}},
+		{"e5", "privileged-primitive census", func(w io.Writer) error {
+			rows, err := RunE5()
+			if err != nil {
+				return err
+			}
+			_, err = fmt.Fprintln(w, E5Table(rows))
+			return err
+		}},
+		{"e6", "nine-architecture portability", func(w io.Writer) error {
+			rows, err := RunE6()
+			if err != nil {
+				return err
+			}
+			_, err = fmt.Fprintln(w, E6Table(rows))
+			return err
+		}},
+		{"e7", "primitive microbenchmarks", func(w io.Writer) error {
+			rows, err := RunE7(100)
+			if err != nil {
+				return err
+			}
+			_, err = fmt.Fprintln(w, E7Table(rows))
+			return err
+		}},
+		{"e8", "web-serving macro benchmark", func(w io.Writer) error {
+			rows, err := RunE8(50)
+			if err != nil {
+				return err
+			}
+			_, err = fmt.Fprintln(w, E8Table(rows))
+			return err
+		}},
+		{"e9", "design-decision ablations", func(w io.Writer) error {
+			rows, err := RunE9()
+			if err != nil {
+				return err
+			}
+			_, err = fmt.Fprintln(w, E9Table(rows))
+			return err
+		}},
+		{"e10", "minimal-extension interface complexity", func(w io.Writer) error {
+			rows, err := RunE10(100)
+			if err != nil {
+				return err
+			}
+			_, err = fmt.Fprintln(w, E10Table(rows))
+			return err
+		}},
+	}
+}
+
+// RunAll executes every experiment, writing each table to w.
+func RunAll(w io.Writer) error {
+	for _, e := range Experiments() {
+		if _, err := fmt.Fprintf(w, "== %s: %s ==\n", e.ID, e.Title); err != nil {
+			return err
+		}
+		if err := e.Run(w); err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+	}
+	return nil
+}

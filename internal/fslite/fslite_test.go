@@ -1,0 +1,312 @@
+package fslite
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// memDev is an in-memory block device for unit tests (the cross-stack
+// integration tests in internal/core mount fslite over the real simulated
+// storage paths).
+type memDev struct {
+	blocks    map[uint64][]byte
+	blockSize uint64
+	failAfter int // inject a failure after this many ops (0 = never)
+	ops       int
+}
+
+func newMemDev(blockSize uint64) *memDev {
+	return &memDev{blocks: make(map[uint64][]byte), blockSize: blockSize}
+}
+
+func (d *memDev) Read(block uint64) ([]byte, error) {
+	d.ops++
+	if d.failAfter > 0 && d.ops > d.failAfter {
+		return nil, errors.New("memdev: injected failure")
+	}
+	if b, ok := d.blocks[block]; ok {
+		out := make([]byte, d.blockSize)
+		copy(out, b)
+		return out, nil
+	}
+	return make([]byte, d.blockSize), nil
+}
+
+func (d *memDev) Write(block uint64, data []byte) error {
+	d.ops++
+	if d.failAfter > 0 && d.ops > d.failAfter {
+		return errors.New("memdev: injected failure")
+	}
+	b := make([]byte, d.blockSize)
+	copy(b, data)
+	d.blocks[block] = b
+	return nil
+}
+
+func newFS(t testing.TB) (*FS, *memDev) {
+	t.Helper()
+	dev := newMemDev(4096)
+	fs, err := Mkfs(dev, 4096, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs, dev
+}
+
+func TestMkfsGeometryValidation(t *testing.T) {
+	dev := newMemDev(4096)
+	if _, err := Mkfs(dev, 100, 256); err == nil {
+		t.Fatal("tiny block size accepted")
+	}
+	if _, err := Mkfs(dev, 4096, 3); err == nil {
+		t.Fatal("too few blocks accepted")
+	}
+}
+
+func TestCreateWriteRead(t *testing.T) {
+	fs, _ := newFS(t)
+	want := []byte("hello filesystem")
+	if err := fs.WriteFile("greeting.txt", want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile("greeting.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("read %q, want %q", got, want)
+	}
+	size, err := fs.Stat("greeting.txt")
+	if err != nil || size != uint64(len(want)) {
+		t.Fatalf("stat = %d, %v", size, err)
+	}
+}
+
+func TestMultiBlockFile(t *testing.T) {
+	fs, _ := newFS(t)
+	want := bytes.Repeat([]byte("0123456789abcdef"), 1024) // 16 KB = 4 blocks
+	if err := fs.WriteFile("big", want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile("big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("multi-block content mismatch")
+	}
+}
+
+func TestFileTooBig(t *testing.T) {
+	fs, _ := newFS(t)
+	if err := fs.WriteFile("huge", make([]byte, fs.MaxFileSize()+1)); !errors.Is(err, ErrFileTooBig) {
+		t.Fatalf("err = %v, want ErrFileTooBig", err)
+	}
+	// Exactly the max works.
+	if err := fs.WriteFile("max", make([]byte, fs.MaxFileSize())); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOverwriteFreesOldBlocks(t *testing.T) {
+	fs, _ := newFS(t)
+	free0 := fs.FreeBlocks()
+	if err := fs.WriteFile("f", make([]byte, 5*4096)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("f", []byte("tiny")); err != nil {
+		t.Fatal(err)
+	}
+	if got := fs.FreeBlocks(); got != free0-1 {
+		t.Fatalf("free blocks = %d, want %d (shrinking rewrite must free)", got, free0-1)
+	}
+}
+
+func TestRemoveFreesBlocks(t *testing.T) {
+	fs, _ := newFS(t)
+	free0 := fs.FreeBlocks()
+	fs.WriteFile("f", make([]byte, 3*4096))
+	if err := fs.Remove("f"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.FreeBlocks() != free0 {
+		t.Fatal("remove leaked blocks")
+	}
+	if _, err := fs.ReadFile("f"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+	if err := fs.Remove("f"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("double remove should fail")
+	}
+}
+
+func TestCreateDuplicate(t *testing.T) {
+	fs, _ := newFS(t)
+	if err := fs.Create("x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Create("x"); !errors.Is(err, ErrExists) {
+		t.Fatalf("err = %v, want ErrExists", err)
+	}
+}
+
+func TestNameValidation(t *testing.T) {
+	fs, _ := newFS(t)
+	if err := fs.Create(""); !errors.Is(err, ErrNameTooLong) {
+		t.Fatal("empty name accepted")
+	}
+	if err := fs.Create(strings.Repeat("n", maxName+1)); !errors.Is(err, ErrNameTooLong) {
+		t.Fatal("overlong name accepted")
+	}
+	if err := fs.Create(strings.Repeat("n", maxName)); err != nil {
+		t.Fatal("max-length name rejected")
+	}
+}
+
+func TestListSorted(t *testing.T) {
+	fs, _ := newFS(t)
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		if err := fs.Create(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := fs.List()
+	want := []string{"alpha", "mid", "zeta"}
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Fatalf("list = %v", got)
+	}
+}
+
+func TestReadAt(t *testing.T) {
+	fs, _ := newFS(t)
+	fs.WriteFile("f", []byte("abcdefghij"))
+	got, err := fs.ReadAt("f", 3, 4)
+	if err != nil || string(got) != "defg" {
+		t.Fatalf("ReadAt = %q, %v", got, err)
+	}
+	// Short read at the tail.
+	got, err = fs.ReadAt("f", 8, 10)
+	if err != nil || string(got) != "ij" {
+		t.Fatalf("tail ReadAt = %q, %v", got, err)
+	}
+	if _, err := fs.ReadAt("f", 11, 1); !errors.Is(err, ErrBadOffset) {
+		t.Fatal("offset past EOF accepted")
+	}
+}
+
+func TestMountRoundTrip(t *testing.T) {
+	fs, dev := newFS(t)
+	fs.WriteFile("persist", []byte("across mounts"))
+	fs.WriteFile("other", bytes.Repeat([]byte("x"), 8000))
+
+	fs2, err := Mount(dev, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs2.ReadFile("persist")
+	if err != nil || string(got) != "across mounts" {
+		t.Fatalf("after remount: %q, %v", got, err)
+	}
+	if len(fs2.List()) != 2 {
+		t.Fatalf("list after remount = %v", fs2.List())
+	}
+	if fs2.FreeBlocks() != fs.FreeBlocks() {
+		t.Fatal("bitmap not persisted")
+	}
+}
+
+func TestMountUnformatted(t *testing.T) {
+	dev := newMemDev(4096)
+	if _, err := Mount(dev, 4096); !errors.Is(err, ErrNotFormatted) {
+		t.Fatalf("err = %v, want ErrNotFormatted", err)
+	}
+}
+
+func TestMountWrongBlockSize(t *testing.T) {
+	_, dev := newFS(t)
+	if _, err := Mount(dev, 4096); err != nil {
+		t.Fatal(err)
+	}
+	dev.blockSize = 8192
+	if _, err := Mount(dev, 8192); err == nil {
+		t.Fatal("mismatched block size accepted")
+	}
+}
+
+func TestDeviceFailurePropagates(t *testing.T) {
+	fs, dev := newFS(t)
+	dev.failAfter = dev.ops + 1
+	if err := fs.WriteFile("f", make([]byte, 8192)); err == nil {
+		t.Fatal("device failure swallowed")
+	}
+}
+
+func TestExhaustion(t *testing.T) {
+	dev := newMemDev(4096)
+	fs, err := Mkfs(dev, 4096, firstDataBlk+4) // only 4 data blocks
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("a", make([]byte, 4*4096)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("b", []byte("x")); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("err = %v, want ErrNoSpace", err)
+	}
+}
+
+func TestQuickWriteReadIdentity(t *testing.T) {
+	fs, _ := newFS(t)
+	i := 0
+	f := func(data []byte) bool {
+		if uint64(len(data)) > fs.MaxFileSize() {
+			data = data[:fs.MaxFileSize()]
+		}
+		name := fmt.Sprintf("q%d", i%8)
+		i++
+		if err := fs.WriteFile(name, data); err != nil {
+			return false
+		}
+		got, err := fs.ReadFile(name)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickBlockConservation(t *testing.T) {
+	// Alternating writes and removes never leak or double-free blocks.
+	fs, _ := newFS(t)
+	free0 := fs.FreeBlocks()
+	f := func(sizes []uint16) bool {
+		for i, sz := range sizes {
+			name := fmt.Sprintf("c%d", i%4)
+			data := make([]byte, uint64(sz)%fs.MaxFileSize())
+			if err := fs.WriteFile(name, data); err != nil {
+				return false
+			}
+			if i%3 == 0 {
+				if err := fs.Remove(name); err != nil {
+					return false
+				}
+			}
+		}
+		for _, n := range fs.List() {
+			if err := fs.Remove(n); err != nil {
+				return false
+			}
+		}
+		return fs.FreeBlocks() == free0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,164 @@
+package hw
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Clock is the single virtual time source. All costs in the simulation
+// advance it; nothing reads wall-clock time.
+type Clock struct {
+	now Cycles
+}
+
+// Now returns the current virtual time.
+func (c *Clock) Now() Cycles { return c.now }
+
+// Advance moves time forward by d cycles.
+func (c *Clock) Advance(d Cycles) { c.now += d }
+
+// AdvanceTo moves time forward to t. It panics if t is in the past, which
+// would indicate a broken event ordering.
+func (c *Clock) AdvanceTo(t Cycles) {
+	if t < c.now {
+		panic(fmt.Sprintf("hw: clock moving backwards: now=%d target=%d", c.now, t))
+	}
+	c.now = t
+}
+
+// Event is a scheduled callback in the discrete-event queue.
+type Event struct {
+	At   Cycles
+	Name string
+	Fn   func()
+	seq  uint64 // tie-breaker for deterministic ordering
+	idx  int
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx, h[j].idx = i, j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*h = old[:n-1]
+	return e
+}
+
+// EventQueue is a deterministic discrete-event scheduler. Events at the same
+// cycle fire in scheduling order.
+type EventQueue struct {
+	clock *Clock
+	heap  eventHeap
+	seq   uint64
+}
+
+// NewEventQueue returns an empty queue bound to clock.
+func NewEventQueue(clock *Clock) *EventQueue {
+	return &EventQueue{clock: clock}
+}
+
+// Schedule arranges for fn to run at absolute cycle time at. Scheduling in
+// the past clamps to now. It returns the event so callers may cancel it.
+func (q *EventQueue) Schedule(at Cycles, name string, fn func()) *Event {
+	if at < q.clock.Now() {
+		at = q.clock.Now()
+	}
+	e := &Event{At: at, Name: name, Fn: fn, seq: q.seq}
+	q.seq++
+	heap.Push(&q.heap, e)
+	return e
+}
+
+// ScheduleAfter arranges for fn to run d cycles from now.
+func (q *EventQueue) ScheduleAfter(d Cycles, name string, fn func()) *Event {
+	return q.Schedule(q.clock.Now()+d, name, fn)
+}
+
+// Cancel removes a scheduled event. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (q *EventQueue) Cancel(e *Event) {
+	if e == nil || e.idx < 0 || e.idx >= len(q.heap) || q.heap[e.idx] != e {
+		return
+	}
+	heap.Remove(&q.heap, e.idx)
+}
+
+// Pending returns the number of queued events.
+func (q *EventQueue) Pending() int { return len(q.heap) }
+
+// NextAt returns the time of the earliest pending event, or false if none.
+func (q *EventQueue) NextAt() (Cycles, bool) {
+	if len(q.heap) == 0 {
+		return 0, false
+	}
+	return q.heap[0].At, true
+}
+
+// RunDue fires, in order, every event whose time is <= the current clock.
+// Handlers may schedule further events; those are honoured if also due. It
+// returns the number of events fired.
+func (q *EventQueue) RunDue() int {
+	n := 0
+	for len(q.heap) > 0 && q.heap[0].At <= q.clock.Now() {
+		e := heap.Pop(&q.heap).(*Event)
+		e.Fn()
+		n++
+	}
+	return n
+}
+
+// RunUntilIdle advances the clock to each pending event in turn and fires
+// it, until the queue is empty or maxEvents have fired (0 = unlimited).
+// It returns the number of events fired.
+func (q *EventQueue) RunUntilIdle(maxEvents int) int {
+	n := 0
+	for len(q.heap) > 0 {
+		if maxEvents > 0 && n >= maxEvents {
+			break
+		}
+		e := heap.Pop(&q.heap).(*Event)
+		if e.At > q.clock.Now() {
+			q.clock.AdvanceTo(e.At)
+		}
+		e.Fn()
+		n++
+	}
+	return n
+}
+
+// RunUntil advances through events until the clock would pass t; events
+// strictly after t remain queued and the clock is left at t.
+func (q *EventQueue) RunUntil(t Cycles) int {
+	n := 0
+	for len(q.heap) > 0 && q.heap[0].At <= t {
+		e := heap.Pop(&q.heap).(*Event)
+		if e.At > q.clock.Now() {
+			q.clock.AdvanceTo(e.At)
+		}
+		e.Fn()
+		n++
+	}
+	if q.clock.Now() < t {
+		q.clock.AdvanceTo(t)
+	}
+	return n
+}

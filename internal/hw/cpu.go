@@ -1,0 +1,272 @@
+package hw
+
+import (
+	"fmt"
+
+	"vmmk/internal/trace"
+)
+
+// Priv is a privilege ring. Ring0 is most privileged (the kernel or
+// monitor); Ring1 hosts paravirtualised guest kernels under the VMM; Ring3
+// is user code.
+type Priv uint8
+
+// Privilege rings.
+const (
+	Ring0 Priv = iota
+	Ring1
+	Ring2
+	Ring3
+)
+
+func (p Priv) String() string { return fmt.Sprintf("ring%d", uint8(p)) }
+
+// SegReg indexes the six x86 segment registers.
+type SegReg int
+
+// x86 segment registers. Traps reload only CS and SS — the property the
+// paper's §3.2 fast-path argument hinges on.
+const (
+	SegCS SegReg = iota
+	SegSS
+	SegDS
+	SegES
+	SegFS
+	SegGS
+	NumSegRegs
+)
+
+var segNames = [NumSegRegs]string{"cs", "ss", "ds", "es", "fs", "gs"}
+
+func (s SegReg) String() string {
+	if s >= 0 && s < NumSegRegs {
+		return segNames[s]
+	}
+	return fmt.Sprintf("seg(%d)", int(s))
+}
+
+// Segment is one segment descriptor: a base/limit window with a privilege
+// level. On architectures without segmentation the selectors stay zeroed
+// and are ignored.
+type Segment struct {
+	Base  uint64
+	Limit uint64 // highest valid offset; a flat segment has Limit = ^0
+	DPL   Priv
+}
+
+// Covers reports whether the linear address range of the segment reaches
+// addr (i.e. addr is accessible through it).
+func (s Segment) Covers(addr uint64) bool {
+	return addr >= s.Base && addr-s.Base <= s.Limit
+}
+
+// CPU is the simulated processor: privilege state, segment state, the
+// current address-space root, and the charging helpers every kernel path
+// uses to account cycles. There is one CPU per Machine; multiprocessor
+// effects are out of scope (as they are in the paper's arguments).
+type CPU struct {
+	Arch  *Arch
+	Clock *Clock
+	TLB   *TLB
+	Mem   *PhysMem
+	Rec   *trace.Recorder
+
+	ring Priv
+	pt   *PageTable
+	segs [NumSegRegs]Segment
+
+	traps      uint64
+	walkCharge bool   // charge page-walk cost on TLB miss
+	cache      *Cache // optional cache-footprint model (AttachCache)
+}
+
+// NewCPU wires a CPU to its substrate.
+func NewCPU(arch *Arch, clock *Clock, mem *PhysMem, rec *trace.Recorder) *CPU {
+	return &CPU{
+		Arch:       arch,
+		Clock:      clock,
+		TLB:        NewTLB(arch.TLBEntries, arch.HasASID),
+		Mem:        mem,
+		Rec:        rec,
+		ring:       Ring0,
+		walkCharge: true,
+	}
+}
+
+// Ring returns the current privilege level.
+func (c *CPU) Ring() Priv { return c.ring }
+
+// SetRing changes privilege directly; kernels use Trap/ReturnTo for the
+// accounted transitions and this only for initial setup.
+func (c *CPU) SetRing(p Priv) { c.ring = p }
+
+// PageTable returns the active address-space root (nil before the first
+// SwitchSpace).
+func (c *CPU) PageTable() *PageTable { return c.pt }
+
+// Seg returns the current value of a segment register.
+func (c *CPU) Seg(r SegReg) Segment { return c.segs[r] }
+
+// Charge advances the clock by cost, attributes it to component and counts
+// kind. It is the single point through which all accounted events flow.
+func (c *CPU) Charge(component string, kind trace.Kind, cost Cycles) {
+	c.Clock.Advance(cost)
+	c.Rec.Charge(uint64(c.Clock.Now()), kind, component, uint64(cost))
+}
+
+// Work advances the clock by cost and attributes it to component without
+// counting a kernel event — ordinary computation.
+func (c *CPU) Work(component string, cost Cycles) {
+	c.Clock.Advance(cost)
+	c.Rec.ChargeCycles(component, uint64(cost))
+}
+
+// Trap enters ring 0 from the current ring, charging kernel-entry cost to
+// component. fast selects the sysenter-style entry when the architecture
+// has one.
+func (c *CPU) Trap(component string, fast bool) {
+	cost := c.Arch.Costs.KernelEntry
+	if fast && c.Arch.HasFastSyscall {
+		cost = c.Arch.Costs.FastSyscall
+	}
+	c.traps++
+	c.ring = Ring0
+	c.Charge(component, trace.KTrap, cost)
+}
+
+// ReturnTo leaves ring 0 for the given ring, charging kernel-exit cost.
+func (c *CPU) ReturnTo(component string, p Priv) {
+	c.ring = p
+	c.Charge(component, trace.KKernelExit, c.Arch.Costs.KernelExit)
+}
+
+// LoadSegment loads a segment register, charging descriptor-check cost. On
+// a non-segmented architecture it charges nothing and stores nothing.
+func (c *CPU) LoadSegment(component string, r SegReg, s Segment) {
+	if !c.Arch.HasSegmentation {
+		return
+	}
+	c.segs[r] = s
+	c.Work(component, c.Arch.Costs.SegmentReload)
+}
+
+// SegmentsExclude reports whether every currently-loaded data segment
+// (those a trap does NOT reload) keeps the region [base, ~0] unreachable.
+// This is the protection precondition for Xen's trap-gate syscall shortcut:
+// since x86 traps reload only CS and SS, the remaining four selectors must
+// already exclude the monitor's address range or guest code could touch it
+// while running with the gate's privileges.
+func (c *CPU) SegmentsExclude(base uint64) bool {
+	if !c.Arch.HasSegmentation {
+		return false // no segment limits -> no way to carve out the range
+	}
+	for r := SegDS; r <= SegGS; r++ {
+		s := c.segs[r]
+		if s.Limit == 0 && s.Base == 0 {
+			continue // null selector, inaccessible
+		}
+		if s.Covers(base) {
+			return false
+		}
+	}
+	return true
+}
+
+// SwitchSpace makes pt the active address space. On an untagged TLB this
+// costs a full flush; with ASIDs only the root write. Component is charged.
+func (c *CPU) SwitchSpace(component string, pt *PageTable) {
+	if pt == c.pt {
+		return
+	}
+	c.pt = pt
+	c.Clock.Advance(c.Arch.Costs.ASSwitch)
+	c.Rec.ChargeCycles(component, uint64(c.Arch.Costs.ASSwitch))
+	if !c.Arch.HasASID {
+		c.TLB.FlushAll()
+		c.Charge(component, trace.KTLBFlush, c.Arch.Costs.TLBFlushAll)
+	}
+	c.CacheRun(component, pt.ASID())
+}
+
+// FlushTLB performs and charges a full TLB flush (shootdown after unmap,
+// page flip, etc.).
+func (c *CPU) FlushTLB(component string) {
+	c.TLB.FlushAll()
+	c.Charge(component, trace.KTLBFlush, c.Arch.Costs.TLBFlushAll)
+}
+
+// FlushTLBEntry invalidates one entry and charges the single-entry cost.
+func (c *CPU) FlushTLBEntry(component string, asid uint16, vpn VPN) {
+	c.TLB.FlushEntry(asid, vpn)
+	c.Work(component, c.Arch.Costs.TLBFlushEntry)
+}
+
+// TranslateResult describes the outcome of an address translation.
+type TranslateResult int
+
+// Translation outcomes.
+const (
+	XlateOK TranslateResult = iota
+	XlateNoMapping
+	XlateProtection
+	XlatePrivilege
+)
+
+func (r TranslateResult) String() string {
+	switch r {
+	case XlateOK:
+		return "ok"
+	case XlateNoMapping:
+		return "no-mapping"
+	case XlateProtection:
+		return "protection"
+	case XlatePrivilege:
+		return "privilege"
+	}
+	return "invalid"
+}
+
+// Translate resolves vpn in the active space with the wanted access,
+// charging TLB-miss/page-walk costs to component. A failed translation is
+// the hardware half of a page fault; the caller (kernel) decides what
+// happens next.
+func (c *CPU) Translate(component string, vpn VPN, want Perm) (PTE, TranslateResult) {
+	if c.pt == nil {
+		return PTE{}, XlateNoMapping
+	}
+	asid := c.pt.ASID()
+	if e, ok := c.TLB.Lookup(asid, vpn); ok {
+		if !e.Perms.Allows(want) {
+			return e, XlateProtection
+		}
+		if c.ring == Ring3 && !e.User {
+			return e, XlatePrivilege
+		}
+		return e, XlateOK
+	}
+	// TLB miss: walk the page table (or take the software refill trap).
+	walk := c.Arch.Costs.TLBMiss + Cycles(c.Arch.PTLevels)*c.Arch.Costs.PTEUpdate/4
+	c.Charge(component, trace.KTLBMiss, walk)
+	e, ok := c.pt.Lookup(vpn)
+	if !ok {
+		return PTE{}, XlateNoMapping
+	}
+	c.TLB.Insert(asid, vpn, e)
+	if !e.Perms.Allows(want) {
+		return e, XlateProtection
+	}
+	if c.ring == Ring3 && !e.User {
+		return e, XlatePrivilege
+	}
+	return e, XlateOK
+}
+
+// CopyCost returns the cycle cost of copying n bytes, per the arch's
+// per-word copy cost.
+func (c *CPU) CopyCost(n uint64) Cycles {
+	words := (n + uint64(c.Arch.WordBytes()) - 1) / uint64(c.Arch.WordBytes())
+	return Cycles(words) * c.Arch.Costs.MemCopyWord
+}
+
+// Traps returns the number of kernel entries taken so far.
+func (c *CPU) Traps() uint64 { return c.traps }

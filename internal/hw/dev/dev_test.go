@@ -1,0 +1,244 @@
+package dev
+
+import (
+	"bytes"
+	"testing"
+
+	"vmmk/internal/hw"
+)
+
+func devMachine(t testing.TB) *hw.Machine {
+	t.Helper()
+	return hw.NewMachine(hw.X86(), &hw.MachineConfig{Frames: 64, IRQLines: 8})
+}
+
+func TestNICRxPath(t *testing.T) {
+	m := devMachine(t)
+	nic := NewNIC(m, NICConfig{RxIRQ: 1, TxIRQ: 2, RingSize: 4})
+	f, _ := m.Mem.Alloc("drv")
+	if !nic.PostRxBuffer(f) {
+		t.Fatal("post failed")
+	}
+	if !nic.Inject([]byte("ping")) {
+		t.Fatal("inject with posted buffer failed")
+	}
+	if !m.IRQ.Pending(1) {
+		t.Fatal("rx IRQ not raised")
+	}
+	comps := nic.ReapRx()
+	if len(comps) != 1 || comps[0].Len != 4 || comps[0].Frame != f {
+		t.Fatalf("bad completion %+v", comps)
+	}
+	if string(m.Mem.Data(f)[:4]) != "ping" {
+		t.Fatal("DMA did not write packet data")
+	}
+	if len(nic.ReapRx()) != 0 {
+		t.Fatal("reap did not clear completions")
+	}
+}
+
+func TestNICDropWithoutBuffers(t *testing.T) {
+	m := devMachine(t)
+	nic := NewNIC(m, NICConfig{RxIRQ: 1, TxIRQ: 2})
+	if nic.Inject([]byte("x")) {
+		t.Fatal("packet accepted with no posted buffer")
+	}
+	drops, _ := nic.Stats()
+	if drops != 1 {
+		t.Fatalf("drops = %d, want 1", drops)
+	}
+}
+
+func TestNICRingFull(t *testing.T) {
+	m := devMachine(t)
+	nic := NewNIC(m, NICConfig{RxIRQ: 1, TxIRQ: 2, RingSize: 2})
+	f1, _ := m.Mem.Alloc("d")
+	f2, _ := m.Mem.Alloc("d")
+	f3, _ := m.Mem.Alloc("d")
+	if !nic.PostRxBuffer(f1) || !nic.PostRxBuffer(f2) {
+		t.Fatal("posts failed")
+	}
+	if nic.PostRxBuffer(f3) {
+		t.Fatal("post succeeded on full ring")
+	}
+}
+
+func TestNICTxCompletes(t *testing.T) {
+	m := devMachine(t)
+	nic := NewNIC(m, NICConfig{RxIRQ: 1, TxIRQ: 2, WireLatency: 500})
+	f, _ := m.Mem.Alloc("drv")
+	copy(m.Mem.Data(f), []byte("pong"))
+	nic.Transmit(f, 4)
+	if len(nic.Transmitted()) != 0 {
+		t.Fatal("tx completed before wire latency")
+	}
+	m.Events.RunUntilIdle(0)
+	pkts := nic.Transmitted()
+	if len(pkts) != 1 || !bytes.Equal(pkts[0].Data, []byte("pong")) {
+		t.Fatalf("bad tx %+v", pkts)
+	}
+	if !m.IRQ.Pending(2) {
+		t.Fatal("tx IRQ not raised")
+	}
+}
+
+func TestNICInjectAt(t *testing.T) {
+	m := devMachine(t)
+	nic := NewNIC(m, NICConfig{RxIRQ: 1, TxIRQ: 2})
+	f, _ := m.Mem.Alloc("drv")
+	nic.PostRxBuffer(f)
+	nic.InjectAt(1000, []byte("later"))
+	m.Events.RunUntilIdle(0)
+	if m.Clock.Now() != 1000 {
+		t.Fatalf("clock = %d, want 1000", m.Clock.Now())
+	}
+	if len(nic.ReapRx()) != 1 {
+		t.Fatal("scheduled packet not delivered")
+	}
+}
+
+func TestNICCoalescing(t *testing.T) {
+	m := devMachine(t)
+	nic := NewNIC(m, NICConfig{RxIRQ: 1, TxIRQ: 2, RingSize: 16, CoalesceRx: 4})
+	for i := 0; i < 16; i++ {
+		f, _ := m.Mem.Alloc("drv")
+		nic.PostRxBuffer(f)
+	}
+	for i := 0; i < 6; i++ {
+		nic.Inject([]byte{byte(i)})
+	}
+	// 6 packets at batch 4: one IRQ at packet 4, two completions waiting.
+	if got := nic.RxIRQsRaised(); got != 1 {
+		t.Fatalf("irqs = %d, want 1", got)
+	}
+	nic.FlushRxIRQ()
+	if got := nic.RxIRQsRaised(); got != 2 {
+		t.Fatalf("irqs after flush = %d, want 2", got)
+	}
+	nic.FlushRxIRQ() // nothing pending: no-op
+	if got := nic.RxIRQsRaised(); got != 2 {
+		t.Fatal("idle flush raised an interrupt")
+	}
+	if len(nic.ReapRx()) != 6 {
+		t.Fatal("completions lost under coalescing")
+	}
+}
+
+func TestDiskWriteReadRoundTrip(t *testing.T) {
+	m := devMachine(t)
+	d := NewDisk(m, DiskConfig{IRQ: 3, Latency: 100})
+	fw, _ := m.Mem.Alloc("drv")
+	fr, _ := m.Mem.Alloc("drv")
+	copy(m.Mem.Data(fw), []byte("block-7-data"))
+	d.Submit(DiskReq{Op: DiskWrite, Block: 7, Frame: fw, Tag: 1})
+	m.Events.RunUntilIdle(0)
+	d.Submit(DiskReq{Op: DiskRead, Block: 7, Frame: fr, Tag: 2})
+	m.Events.RunUntilIdle(0)
+	comps := d.Reap()
+	if len(comps) != 2 || !comps[0].OK || !comps[1].OK {
+		t.Fatalf("completions %+v", comps)
+	}
+	if string(m.Mem.Data(fr)[:12]) != "block-7-data" {
+		t.Fatal("read did not return written data")
+	}
+	if d.Served() != 2 {
+		t.Fatalf("served = %d, want 2", d.Served())
+	}
+}
+
+func TestDiskReadUnwrittenIsZero(t *testing.T) {
+	m := devMachine(t)
+	d := NewDisk(m, DiskConfig{IRQ: 3})
+	f, _ := m.Mem.Alloc("drv")
+	m.Mem.Data(f)[0] = 0xFF
+	d.Submit(DiskReq{Op: DiskRead, Block: 1, Frame: f})
+	m.Events.RunUntilIdle(0)
+	if m.Mem.Data(f)[0] != 0 {
+		t.Fatal("unwritten block must read as zeros")
+	}
+}
+
+func TestDiskOutOfRange(t *testing.T) {
+	m := devMachine(t)
+	d := NewDisk(m, DiskConfig{IRQ: 3, Blocks: 8})
+	f, _ := m.Mem.Alloc("drv")
+	d.Submit(DiskReq{Op: DiskRead, Block: 8, Frame: f})
+	m.Events.RunUntilIdle(0)
+	comps := d.Reap()
+	if len(comps) != 1 || comps[0].OK {
+		t.Fatal("out-of-range request must complete with OK=false")
+	}
+	if !m.IRQ.Pending(3) {
+		t.Fatal("failed request must still interrupt")
+	}
+}
+
+func TestDiskLatencyOrdering(t *testing.T) {
+	m := devMachine(t)
+	d := NewDisk(m, DiskConfig{IRQ: 3, Latency: 100})
+	f, _ := m.Mem.Alloc("drv")
+	d.Submit(DiskReq{Op: DiskWrite, Block: 1, Frame: f, Tag: 1})
+	m.Clock.Advance(50)
+	d.Submit(DiskReq{Op: DiskWrite, Block: 2, Frame: f, Tag: 2})
+	if d.InFlight() != 2 {
+		t.Fatalf("in flight = %d, want 2", d.InFlight())
+	}
+	m.Events.RunUntilIdle(0)
+	comps := d.Reap()
+	if comps[0].Req.Tag != 1 || comps[1].Req.Tag != 2 {
+		t.Fatal("completions out of order")
+	}
+	if d.InFlight() != 0 {
+		t.Fatal("in-flight not drained")
+	}
+}
+
+func TestDiskPeekBlock(t *testing.T) {
+	m := devMachine(t)
+	d := NewDisk(m, DiskConfig{IRQ: 3})
+	if d.PeekBlock(5) != nil {
+		t.Fatal("unwritten block should peek nil")
+	}
+	f, _ := m.Mem.Alloc("drv")
+	copy(m.Mem.Data(f), []byte("abc"))
+	d.Submit(DiskReq{Op: DiskWrite, Block: 5, Frame: f})
+	m.Events.RunUntilIdle(0)
+	got := d.PeekBlock(5)
+	if string(got[:3]) != "abc" {
+		t.Fatal("peek returned wrong data")
+	}
+	got[0] = 'z' // must be a copy
+	if string(d.PeekBlock(5)[:3]) != "abc" {
+		t.Fatal("PeekBlock leaked internal storage")
+	}
+}
+
+func TestTimerTicks(t *testing.T) {
+	m := devMachine(t)
+	tm := NewTimer(m, 0, 1000)
+	tm.Start()
+	tm.Start() // idempotent
+	m.Events.RunUntil(3500)
+	if tm.Ticks() != 3 {
+		t.Fatalf("ticks = %d, want 3", tm.Ticks())
+	}
+	tm.Stop()
+	m.Events.RunUntil(10000)
+	if tm.Ticks() != 3 {
+		t.Fatal("timer ticked after Stop")
+	}
+}
+
+func TestConsole(t *testing.T) {
+	m := devMachine(t)
+	c := NewConsole(m)
+	before := m.Clock.Now()
+	c.Write("os", []byte("hello "))
+	c.Write("os", []byte("world"))
+	if c.Contents() != "hello world" {
+		t.Fatalf("contents = %q", c.Contents())
+	}
+	if m.Clock.Now() == before {
+		t.Fatal("console writes must cost cycles")
+	}
+}

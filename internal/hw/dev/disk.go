@@ -1,0 +1,201 @@
+package dev
+
+import (
+	"fmt"
+
+	"vmmk/internal/hw"
+	"vmmk/internal/trace"
+)
+
+// DiskOp is a block-device operation direction.
+type DiskOp int
+
+// Disk operations.
+const (
+	DiskRead DiskOp = iota
+	DiskWrite
+)
+
+func (op DiskOp) String() string {
+	if op == DiskRead {
+		return "read"
+	}
+	return "write"
+}
+
+// DiskReq is one block request: move one block between the platter and a
+// physical frame.
+type DiskReq struct {
+	Op    DiskOp
+	Block uint64
+	Frame hw.FrameID
+	Tag   uint64 // caller-chosen identifier returned on completion
+}
+
+// DiskCompletion reports a finished request.
+type DiskCompletion struct {
+	Req DiskReq
+	OK  bool
+}
+
+// Disk is a fixed-latency block device with a completion interrupt. Blocks
+// are page-sized; contents persist in the device for the lifetime of the
+// simulation, which lets storage servers (Parallax-like) be checked for
+// end-to-end data integrity.
+type Disk struct {
+	m         *hw.Machine
+	irq       hw.IRQLine
+	latency   hw.Cycles
+	blocks    uint64
+	store     map[uint64][]byte
+	completed []DiskCompletion
+	inFlight  int
+	served    uint64
+}
+
+// DiskConfig sizes a Disk.
+type DiskConfig struct {
+	IRQ     hw.IRQLine
+	Blocks  uint64    // capacity in blocks (default 65536)
+	Latency hw.Cycles // per-request service time (default 50000, i.e. "fast disk")
+}
+
+// NewDisk attaches a disk to machine m.
+func NewDisk(m *hw.Machine, cfg DiskConfig) *Disk {
+	blocks := cfg.Blocks
+	if blocks == 0 {
+		blocks = 65536
+	}
+	lat := cfg.Latency
+	if lat == 0 {
+		lat = 50000
+	}
+	return &Disk{m: m, irq: cfg.IRQ, latency: lat, blocks: blocks, store: make(map[uint64][]byte)}
+}
+
+// IRQ returns the completion interrupt line.
+func (d *Disk) IRQ() hw.IRQLine { return d.irq }
+
+// Blocks returns the device capacity in blocks.
+func (d *Disk) Blocks() uint64 { return d.blocks }
+
+// Submit queues a request; it completes after the device latency and raises
+// the completion IRQ. Out-of-range blocks complete with OK=false.
+func (d *Disk) Submit(req DiskReq) {
+	d.inFlight++
+	d.m.Events.ScheduleAfter(d.latency, fmt.Sprintf("disk.%v", req.Op), func() {
+		d.inFlight--
+		ok := req.Block < d.blocks
+		if ok {
+			ps := d.m.Mem.PageSize()
+			switch req.Op {
+			case DiskRead:
+				dst := d.m.Mem.Data(req.Frame)
+				if blk, exists := d.store[req.Block]; exists {
+					copy(dst, blk)
+				} else {
+					for i := range dst {
+						dst[i] = 0
+					}
+				}
+			case DiskWrite:
+				blk := make([]byte, ps)
+				copy(blk, d.m.Mem.Data(req.Frame))
+				d.store[req.Block] = blk
+			}
+			d.m.CPU.Rec.Charge(uint64(d.m.Clock.Now()), trace.KDMATransfer, "hw.disk", uint64(ps/8))
+			d.served++
+		}
+		d.completed = append(d.completed, DiskCompletion{Req: req, OK: ok})
+		d.m.IRQ.Raise(d.irq)
+	})
+}
+
+// Reap returns and clears completed requests.
+func (d *Disk) Reap() []DiskCompletion {
+	out := d.completed
+	d.completed = nil
+	return out
+}
+
+// InFlight returns the number of submitted, un-completed requests.
+func (d *Disk) InFlight() int { return d.inFlight }
+
+// Served returns the number of successfully completed requests.
+func (d *Disk) Served() uint64 { return d.served }
+
+// PeekBlock returns a copy of a block's stored contents (nil if never
+// written) — test/verification hook, not a device register.
+func (d *Disk) PeekBlock(block uint64) []byte {
+	blk, ok := d.store[block]
+	if !ok {
+		return nil
+	}
+	out := make([]byte, len(blk))
+	copy(out, blk)
+	return out
+}
+
+// Timer raises a periodic interrupt, driving preemptive scheduling in both
+// kernels.
+type Timer struct {
+	m      *hw.Machine
+	irq    hw.IRQLine
+	period hw.Cycles
+	on     bool
+	ticks  uint64
+}
+
+// NewTimer attaches a periodic timer to machine m.
+func NewTimer(m *hw.Machine, irq hw.IRQLine, period hw.Cycles) *Timer {
+	if period == 0 {
+		period = 1_000_000
+	}
+	return &Timer{m: m, irq: irq, period: period}
+}
+
+// Start begins ticking from now.
+func (t *Timer) Start() {
+	if t.on {
+		return
+	}
+	t.on = true
+	t.arm()
+}
+
+// Stop ceases future ticks (the currently armed tick still fires but is
+// ignored).
+func (t *Timer) Stop() { t.on = false }
+
+// Ticks returns the number of delivered ticks.
+func (t *Timer) Ticks() uint64 { return t.ticks }
+
+func (t *Timer) arm() {
+	t.m.Events.ScheduleAfter(t.period, "timer.tick", func() {
+		if !t.on {
+			return
+		}
+		t.ticks++
+		t.m.IRQ.Raise(t.irq)
+		t.arm()
+	})
+}
+
+// Console is a byte sink with a cycle cost per write, standing in for the
+// serial console both systems log to.
+type Console struct {
+	m   *hw.Machine
+	buf []byte
+}
+
+// NewConsole attaches a console to machine m.
+func NewConsole(m *hw.Machine) *Console { return &Console{m: m} }
+
+// Write appends p to the console transcript, charging MMIO cost per chunk.
+func (c *Console) Write(component string, p []byte) {
+	c.m.CPU.Work(component, c.m.Arch.Costs.DeviceMMIO)
+	c.buf = append(c.buf, p...)
+}
+
+// Contents returns the transcript so far.
+func (c *Console) Contents() string { return string(c.buf) }

@@ -1,0 +1,196 @@
+// Package dev provides the simulated devices both driver stacks program:
+// a DMA-capable NIC, a block disk, a periodic timer and a console. Devices
+// interact with the rest of the machine only through the event queue, DMA
+// into physical frames, and interrupt lines — the same contract real
+// devices have with a real kernel.
+package dev
+
+import (
+	"fmt"
+
+	"vmmk/internal/hw"
+	"vmmk/internal/trace"
+)
+
+// Packet is a network frame in flight.
+type Packet struct {
+	Data []byte
+	Seq  uint64
+}
+
+// NIC is a simple DMA ring network interface. The driver posts receive
+// buffers (physical frames); arriving packets are DMA'd into the next
+// buffer and the RX interrupt is raised. Transmits complete after a fixed
+// wire latency and raise the TX interrupt.
+type NIC struct {
+	m       *hw.Machine
+	rxIRQ   hw.IRQLine
+	txIRQ   hw.IRQLine
+	wire    hw.Cycles // serialisation latency per packet
+	dmaWord hw.Cycles // DMA cost per word moved
+
+	rxRing    []hw.FrameID
+	rxHead    int // next buffer to fill
+	rxTail    int // next buffer for the driver to reap
+	rxCount   int
+	completed []RxCompletion
+
+	txInFlight int
+	txDone     uint64
+
+	rxDrops uint64
+	rxSeq   uint64
+
+	coalesce     int
+	sinceIRQ     int
+	rxIRQsRaised uint64
+
+	transmitted []Packet
+}
+
+// RxCompletion describes one received packet: which posted frame holds it
+// and how many bytes were written.
+type RxCompletion struct {
+	Frame hw.FrameID
+	Len   int
+	Seq   uint64
+}
+
+// NICConfig sizes a NIC.
+type NICConfig struct {
+	RxIRQ, TxIRQ hw.IRQLine
+	RingSize     int       // rx descriptor ring entries (default 64)
+	WireLatency  hw.Cycles // per-packet latency (default 2000)
+	// CoalesceRx batches receive interrupts: the RX line is raised only
+	// every n completions (default 1 = interrupt per packet). Drivers
+	// must call FlushRxIRQ when going idle to claim the remainder —
+	// the classic mitigation/latency trade-off, ablated in E9f.
+	CoalesceRx int
+}
+
+// NewNIC attaches a NIC to machine m.
+func NewNIC(m *hw.Machine, cfg NICConfig) *NIC {
+	ring := cfg.RingSize
+	if ring <= 0 {
+		ring = 64
+	}
+	wire := cfg.WireLatency
+	if wire == 0 {
+		wire = 2000
+	}
+	co := cfg.CoalesceRx
+	if co <= 0 {
+		co = 1
+	}
+	return &NIC{
+		m:        m,
+		rxIRQ:    cfg.RxIRQ,
+		txIRQ:    cfg.TxIRQ,
+		wire:     wire,
+		dmaWord:  1,
+		rxRing:   make([]hw.FrameID, ring),
+		coalesce: co,
+	}
+}
+
+// RxIRQ returns the receive interrupt line.
+func (n *NIC) RxIRQ() hw.IRQLine { return n.rxIRQ }
+
+// TxIRQ returns the transmit-complete interrupt line.
+func (n *NIC) TxIRQ() hw.IRQLine { return n.txIRQ }
+
+// PostRxBuffer gives the NIC a frame to DMA a future packet into. It
+// returns false if the descriptor ring is full.
+func (n *NIC) PostRxBuffer(f hw.FrameID) bool {
+	if n.rxCount == len(n.rxRing) {
+		return false
+	}
+	n.rxRing[n.rxHead] = f
+	n.rxHead = (n.rxHead + 1) % len(n.rxRing)
+	n.rxCount++
+	return true
+}
+
+// PostedBuffers returns how many RX buffers are currently posted.
+func (n *NIC) PostedBuffers() int { return n.rxCount }
+
+// Inject delivers a packet from "the wire" at the current instant: DMA into
+// the next posted buffer and raise the RX IRQ. Without a posted buffer the
+// packet is dropped, as on real hardware. Returns whether it was accepted.
+func (n *NIC) Inject(data []byte) bool {
+	if n.rxCount == 0 {
+		n.rxDrops++
+		return false
+	}
+	f := n.rxRing[n.rxTail]
+	n.rxTail = (n.rxTail + 1) % len(n.rxRing)
+	n.rxCount--
+	buf := n.m.Mem.Data(f)
+	nn := copy(buf, data)
+	n.rxSeq++
+	n.completed = append(n.completed, RxCompletion{Frame: f, Len: nn, Seq: n.rxSeq})
+	words := hw.Cycles((nn + 7) / 8)
+	n.m.CPU.Rec.Charge(uint64(n.m.Clock.Now()), trace.KDMATransfer, "hw.nic", uint64(words*n.dmaWord))
+	n.sinceIRQ++
+	if n.sinceIRQ >= n.coalesce {
+		n.sinceIRQ = 0
+		n.rxIRQsRaised++
+		n.m.IRQ.Raise(n.rxIRQ)
+	}
+	return true
+}
+
+// FlushRxIRQ raises the RX interrupt if coalesced completions are waiting —
+// the driver's going-idle poll.
+func (n *NIC) FlushRxIRQ() {
+	if n.sinceIRQ > 0 {
+		n.sinceIRQ = 0
+		n.rxIRQsRaised++
+		n.m.IRQ.Raise(n.rxIRQ)
+	}
+}
+
+// RxIRQsRaised returns how many receive interrupts the device has asserted.
+func (n *NIC) RxIRQsRaised() uint64 { return n.rxIRQsRaised }
+
+// InjectAt schedules a packet arrival at absolute time at.
+func (n *NIC) InjectAt(at hw.Cycles, data []byte) {
+	n.m.Events.Schedule(at, "nic.rx", func() { n.Inject(data) })
+}
+
+// ReapRx returns and clears the completed receive descriptors.
+func (n *NIC) ReapRx() []RxCompletion {
+	out := n.completed
+	n.completed = nil
+	return out
+}
+
+// Transmit queues a packet for transmission; completion raises the TX IRQ
+// after the wire latency. The packet payload is read from frame f.
+func (n *NIC) Transmit(f hw.FrameID, length int) {
+	if length < 0 {
+		panic(fmt.Sprintf("dev: negative tx length %d", length))
+	}
+	data := make([]byte, length)
+	copy(data, n.m.Mem.Data(f))
+	words := hw.Cycles((length + 7) / 8)
+	n.m.CPU.Rec.Charge(uint64(n.m.Clock.Now()), trace.KDMATransfer, "hw.nic", uint64(words*n.dmaWord))
+	n.txInFlight++
+	n.m.Events.ScheduleAfter(n.wire, "nic.tx-done", func() {
+		n.txInFlight--
+		n.txDone++
+		n.transmitted = append(n.transmitted, Packet{Data: data, Seq: n.txDone})
+		n.m.IRQ.Raise(n.txIRQ)
+	})
+}
+
+// Transmitted returns and clears the packets that completed transmission —
+// the experiment harness's view of "the wire".
+func (n *NIC) Transmitted() []Packet {
+	out := n.transmitted
+	n.transmitted = nil
+	return out
+}
+
+// Stats returns drops and completed transmit count.
+func (n *NIC) Stats() (rxDrops, txDone uint64) { return n.rxDrops, n.txDone }

@@ -1,0 +1,120 @@
+package hw
+
+import (
+	"fmt"
+
+	"vmmk/internal/trace"
+)
+
+// IRQLine is a physical interrupt line number.
+type IRQLine int
+
+// Handler receives a dispatched interrupt.
+type Handler func(line IRQLine)
+
+// IRQController models a simple PIC/APIC: lines can be raised by devices,
+// masked by the kernel, and are dispatched in ascending line order (fixed
+// priority) when the kernel asks. Dispatch is explicit rather than
+// preemptive: the kernels poll at their scheduling points, which matches
+// how the simulation serialises work and keeps traces deterministic.
+type IRQController struct {
+	cpu      *CPU
+	lines    int
+	pending  []bool
+	masked   []bool
+	handlers []Handler
+	raised   uint64
+	spurious uint64
+}
+
+// NewIRQController returns a controller with n lines, all unmasked and
+// without handlers.
+func NewIRQController(cpu *CPU, n int) *IRQController {
+	if n <= 0 {
+		panic("hw: controller needs at least one line")
+	}
+	return &IRQController{
+		cpu:      cpu,
+		lines:    n,
+		pending:  make([]bool, n),
+		masked:   make([]bool, n),
+		handlers: make([]Handler, n),
+	}
+}
+
+// Lines returns the number of interrupt lines.
+func (ic *IRQController) Lines() int { return ic.lines }
+
+// SetHandler installs the kernel's handler for a line.
+func (ic *IRQController) SetHandler(line IRQLine, h Handler) {
+	ic.check(line)
+	ic.handlers[line] = h
+}
+
+// Mask disables delivery for a line; pending state is retained.
+func (ic *IRQController) Mask(line IRQLine) {
+	ic.check(line)
+	ic.masked[line] = true
+}
+
+// Unmask re-enables delivery for a line.
+func (ic *IRQController) Unmask(line IRQLine) {
+	ic.check(line)
+	ic.masked[line] = false
+}
+
+// Raise asserts a line (typically from a device completion event). The
+// event is recorded; delivery happens at the next DispatchPending.
+func (ic *IRQController) Raise(line IRQLine) {
+	ic.check(line)
+	ic.raised++
+	ic.pending[line] = true
+	ic.cpu.Rec.Charge(uint64(ic.cpu.Clock.Now()), trace.KIRQ, "hw.irq", 0)
+}
+
+// Pending reports whether a line is asserted.
+func (ic *IRQController) Pending(line IRQLine) bool {
+	ic.check(line)
+	return ic.pending[line]
+}
+
+// AnyPending reports whether any unmasked line is asserted.
+func (ic *IRQController) AnyPending() bool {
+	for i, p := range ic.pending {
+		if p && !ic.masked[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// DispatchPending delivers every unmasked pending line in ascending order,
+// charging dispatch cost to component per delivery. Lines without handlers
+// are counted as spurious and dropped. It returns the number delivered.
+func (ic *IRQController) DispatchPending(component string) int {
+	n := 0
+	for i := 0; i < ic.lines; i++ {
+		if !ic.pending[i] || ic.masked[i] {
+			continue
+		}
+		ic.pending[i] = false
+		h := ic.handlers[i]
+		if h == nil {
+			ic.spurious++
+			continue
+		}
+		ic.cpu.Charge(component, trace.KIRQ, ic.cpu.Arch.Costs.IRQDispatch)
+		h(IRQLine(i))
+		n++
+	}
+	return n
+}
+
+// Stats returns cumulative raised and spurious counts.
+func (ic *IRQController) Stats() (raised, spurious uint64) { return ic.raised, ic.spurious }
+
+func (ic *IRQController) check(line IRQLine) {
+	if line < 0 || int(line) >= ic.lines {
+		panic(fmt.Sprintf("hw: IRQ line %d out of range (%d lines)", line, ic.lines))
+	}
+}

@@ -1,0 +1,54 @@
+package hw
+
+import "vmmk/internal/trace"
+
+// Machine bundles one complete simulated computer: architecture, clock,
+// event queue, CPU, physical memory and interrupt controller. Both kernels
+// boot on a Machine; the experiments instantiate one per platform under
+// test.
+type Machine struct {
+	Arch   *Arch
+	Clock  *Clock
+	Events *EventQueue
+	CPU    *CPU
+	Mem    *PhysMem
+	IRQ    *IRQController
+	Rec    *trace.Recorder
+}
+
+// MachineConfig sizes a Machine.
+type MachineConfig struct {
+	Frames   int // physical memory size in pages (default 4096)
+	IRQLines int // interrupt lines (default 16)
+	LogCap   int // trace event log capacity (default 0 = counters only)
+}
+
+// NewMachine builds a machine for arch. A nil cfg uses defaults.
+func NewMachine(arch *Arch, cfg *MachineConfig) *Machine {
+	c := MachineConfig{Frames: 4096, IRQLines: 16}
+	if cfg != nil {
+		if cfg.Frames > 0 {
+			c.Frames = cfg.Frames
+		}
+		if cfg.IRQLines > 0 {
+			c.IRQLines = cfg.IRQLines
+		}
+		c.LogCap = cfg.LogCap
+	}
+	clock := &Clock{}
+	rec := trace.NewRecorder(c.LogCap)
+	mem := NewPhysMem(c.Frames, arch.PageSize())
+	cpu := NewCPU(arch, clock, mem, rec)
+	return &Machine{
+		Arch:   arch,
+		Clock:  clock,
+		Events: NewEventQueue(clock),
+		CPU:    cpu,
+		Mem:    mem,
+		IRQ:    NewIRQController(cpu, c.IRQLines),
+		Rec:    rec,
+	}
+}
+
+// Now returns the machine's virtual time.
+func (m *Machine) Now() Cycles { return m.Clock.Now() }

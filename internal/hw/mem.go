@@ -1,0 +1,154 @@
+package hw
+
+import (
+	"errors"
+	"fmt"
+)
+
+// FrameID names one physical page frame. Frame 0 is valid.
+type FrameID uint32
+
+// NoFrame is the sentinel for "no frame".
+const NoFrame FrameID = ^FrameID(0)
+
+// ErrOutOfMemory is returned when the frame allocator is exhausted.
+var ErrOutOfMemory = errors.New("hw: out of physical frames")
+
+// PhysMem is the machine's physical memory: a frame allocator plus frame
+// contents and ownership. Ownership is bookkeeping for the experiments
+// (page flipping literally transfers ownership between domains; the E1
+// analysis attributes flips to owners); the kernels enforce their own
+// policy on top.
+type PhysMem struct {
+	pageSize uint64
+	frames   int
+	data     [][]byte // lazily allocated frame contents
+	owner    []string
+	free     []FrameID
+	allocs   uint64
+	flips    uint64
+}
+
+// NewPhysMem returns a memory of frames pages of pageSize bytes each.
+func NewPhysMem(frames int, pageSize uint64) *PhysMem {
+	if frames <= 0 || pageSize == 0 {
+		panic("hw: invalid physical memory geometry")
+	}
+	m := &PhysMem{
+		pageSize: pageSize,
+		frames:   frames,
+		data:     make([][]byte, frames),
+		owner:    make([]string, frames),
+		free:     make([]FrameID, 0, frames),
+	}
+	// Stack of free frames; popping from the end yields ascending IDs
+	// first, which keeps traces readable.
+	for i := frames - 1; i >= 0; i-- {
+		m.free = append(m.free, FrameID(i))
+	}
+	return m
+}
+
+// PageSize returns the frame size in bytes.
+func (m *PhysMem) PageSize() uint64 { return m.pageSize }
+
+// TotalFrames returns the number of frames in the machine.
+func (m *PhysMem) TotalFrames() int { return m.frames }
+
+// FreeFrames returns the number of unallocated frames.
+func (m *PhysMem) FreeFrames() int { return len(m.free) }
+
+// Alloc takes a frame for owner. It returns ErrOutOfMemory when exhausted.
+func (m *PhysMem) Alloc(owner string) (FrameID, error) {
+	if len(m.free) == 0 {
+		return NoFrame, ErrOutOfMemory
+	}
+	f := m.free[len(m.free)-1]
+	m.free = m.free[:len(m.free)-1]
+	m.owner[f] = owner
+	m.allocs++
+	return f, nil
+}
+
+// AllocN allocates n frames for owner, or fails atomically.
+func (m *PhysMem) AllocN(owner string, n int) ([]FrameID, error) {
+	if n > len(m.free) {
+		return nil, ErrOutOfMemory
+	}
+	out := make([]FrameID, n)
+	for i := range out {
+		f, err := m.Alloc(owner)
+		if err != nil { // cannot happen after the length check
+			return nil, err
+		}
+		out[i] = f
+	}
+	return out, nil
+}
+
+// Free returns a frame to the allocator and clears its contents and owner.
+func (m *PhysMem) Free(f FrameID) {
+	m.checkFrame(f)
+	if m.owner[f] == "" {
+		panic(fmt.Sprintf("hw: double free of frame %d", f))
+	}
+	m.owner[f] = ""
+	m.data[f] = nil
+	m.free = append(m.free, f)
+}
+
+// Owner returns the bookkeeping owner of f ("" if free).
+func (m *PhysMem) Owner(f FrameID) string {
+	m.checkFrame(f)
+	return m.owner[f]
+}
+
+// Transfer reassigns ownership of f to newOwner, modelling a page flip. It
+// panics if the frame is free: flipping an unowned page is a kernel bug.
+func (m *PhysMem) Transfer(f FrameID, newOwner string) {
+	m.checkFrame(f)
+	if m.owner[f] == "" {
+		panic(fmt.Sprintf("hw: transferring free frame %d", f))
+	}
+	m.owner[f] = newOwner
+	m.flips++
+}
+
+// Data returns the writable contents of f, allocating them on first touch.
+func (m *PhysMem) Data(f FrameID) []byte {
+	m.checkFrame(f)
+	if m.data[f] == nil {
+		m.data[f] = make([]byte, m.pageSize)
+	}
+	return m.data[f]
+}
+
+// Copy copies min(len, pageSize) bytes between two frames and returns the
+// number of bytes copied.
+func (m *PhysMem) Copy(dst, src FrameID, n uint64) uint64 {
+	if n > m.pageSize {
+		n = m.pageSize
+	}
+	copy(m.Data(dst)[:n], m.Data(src)[:n])
+	return n
+}
+
+// Stats returns cumulative allocation and ownership-transfer counts.
+func (m *PhysMem) Stats() (allocs, transfers uint64) { return m.allocs, m.flips }
+
+// OwnedBy returns the number of frames currently owned by owner.
+func (m *PhysMem) OwnedBy(owner string) int {
+	n := 0
+	for _, o := range m.owner {
+		if o == owner {
+			n++
+		}
+	}
+	return n
+}
+
+func (m *PhysMem) checkFrame(f FrameID) {
+	if int(f) >= m.frames {
+		panic(fmt.Sprintf("hw: frame %d out of range (%d frames)", f, m.frames))
+	}
+}

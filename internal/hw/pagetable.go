@@ -1,0 +1,129 @@
+package hw
+
+import "fmt"
+
+// Perm is a page permission bitmask.
+type Perm uint8
+
+// Permission bits.
+const (
+	PermR Perm = 1 << iota
+	PermW
+	PermX
+	PermRW  = PermR | PermW
+	PermRX  = PermR | PermX
+	PermRWX = PermR | PermW | PermX
+)
+
+// String renders the permission set as "rwx" with dashes for absent bits.
+func (p Perm) String() string {
+	b := []byte("---")
+	if p&PermR != 0 {
+		b[0] = 'r'
+	}
+	if p&PermW != 0 {
+		b[1] = 'w'
+	}
+	if p&PermX != 0 {
+		b[2] = 'x'
+	}
+	return string(b)
+}
+
+// Allows reports whether p grants every bit in want.
+func (p Perm) Allows(want Perm) bool { return p&want == want }
+
+// PTE is one page-table entry: a VPN -> frame mapping with permissions and
+// a user/supervisor bit.
+type PTE struct {
+	Frame FrameID
+	Perms Perm
+	User  bool // accessible from user privilege
+}
+
+// VPN is a virtual page number (virtual address >> PageShift).
+type VPN uint64
+
+// PageTable is a sparse single-space page table. The simulated depth
+// (Arch.PTLevels) affects only walk cost, not the data structure.
+type PageTable struct {
+	entries map[VPN]PTE
+	asid    uint16
+	epoch   uint64 // bumped on any mutation; lets shadow tables detect drift
+}
+
+// NewPageTable returns an empty page table tagged with asid.
+func NewPageTable(asid uint16) *PageTable {
+	return &PageTable{entries: make(map[VPN]PTE), asid: asid}
+}
+
+// ASID returns the table's address-space identifier.
+func (pt *PageTable) ASID() uint16 { return pt.asid }
+
+// Epoch returns the mutation counter.
+func (pt *PageTable) Epoch() uint64 { return pt.epoch }
+
+// Map installs or replaces the entry for vpn.
+func (pt *PageTable) Map(vpn VPN, e PTE) {
+	pt.entries[vpn] = e
+	pt.epoch++
+}
+
+// Unmap removes the entry for vpn; removing a missing entry is a no-op.
+func (pt *PageTable) Unmap(vpn VPN) {
+	if _, ok := pt.entries[vpn]; ok {
+		delete(pt.entries, vpn)
+		pt.epoch++
+	}
+}
+
+// Lookup returns the entry for vpn.
+func (pt *PageTable) Lookup(vpn VPN) (PTE, bool) {
+	e, ok := pt.entries[vpn]
+	return e, ok
+}
+
+// Len returns the number of mapped pages.
+func (pt *PageTable) Len() int { return len(pt.entries) }
+
+// Each calls fn for every mapping. Iteration order is unspecified; callers
+// needing determinism must sort.
+func (pt *PageTable) Each(fn func(VPN, PTE)) {
+	for v, e := range pt.entries {
+		fn(v, e)
+	}
+}
+
+// FramesMapped returns how many entries reference frame f (used to verify
+// revocation: after an unmap-all, the count must be zero).
+func (pt *PageTable) FramesMapped(f FrameID) int {
+	n := 0
+	for _, e := range pt.entries {
+		if e.Frame == f {
+			n++
+		}
+	}
+	return n
+}
+
+// UnmapFrame removes every mapping of frame f and returns how many were
+// removed. Page flipping and grant revocation use this.
+func (pt *PageTable) UnmapFrame(f FrameID) int {
+	var victims []VPN
+	for v, e := range pt.entries {
+		if e.Frame == f {
+			victims = append(victims, v)
+		}
+	}
+	for _, v := range victims {
+		delete(pt.entries, v)
+	}
+	if len(victims) > 0 {
+		pt.epoch++
+	}
+	return len(victims)
+}
+
+func (pt *PageTable) String() string {
+	return fmt.Sprintf("pt(asid=%d, %d entries)", pt.asid, len(pt.entries))
+}

@@ -1,0 +1,112 @@
+package hw
+
+// tlbKey tags an entry with the address space that installed it. On
+// architectures without ASIDs every entry carries tag 0 and a space switch
+// must flush.
+type tlbKey struct {
+	asid uint16
+	vpn  VPN
+}
+
+// TLB is a deterministic FIFO-replacement translation cache. Real TLBs are
+// set-associative with pseudo-random replacement; FIFO preserves the only
+// property the experiments need — bounded capacity with misses charged per
+// refill — while keeping runs reproducible.
+type TLB struct {
+	capacity int
+	tagged   bool
+	entries  map[tlbKey]PTE
+	fifo     []tlbKey
+	hits     uint64
+	misses   uint64
+	flushes  uint64
+}
+
+// NewTLB returns a TLB of the given capacity. tagged selects ASID tagging.
+func NewTLB(capacity int, tagged bool) *TLB {
+	if capacity <= 0 {
+		panic("hw: TLB capacity must be positive")
+	}
+	return &TLB{
+		capacity: capacity,
+		tagged:   tagged,
+		entries:  make(map[tlbKey]PTE, capacity),
+	}
+}
+
+// Tagged reports whether the TLB distinguishes address spaces.
+func (t *TLB) Tagged() bool { return t.tagged }
+
+// Capacity returns the entry capacity.
+func (t *TLB) Capacity() int { return t.capacity }
+
+func (t *TLB) key(asid uint16, vpn VPN) tlbKey {
+	if !t.tagged {
+		asid = 0
+	}
+	return tlbKey{asid, vpn}
+}
+
+// Lookup probes the TLB and updates hit/miss statistics.
+func (t *TLB) Lookup(asid uint16, vpn VPN) (PTE, bool) {
+	e, ok := t.entries[t.key(asid, vpn)]
+	if ok {
+		t.hits++
+	} else {
+		t.misses++
+	}
+	return e, ok
+}
+
+// Insert installs a translation, evicting the oldest entry when full.
+func (t *TLB) Insert(asid uint16, vpn VPN, e PTE) {
+	k := t.key(asid, vpn)
+	if _, exists := t.entries[k]; !exists {
+		for len(t.entries) >= t.capacity {
+			victim := t.fifo[0]
+			t.fifo = t.fifo[1:]
+			// The victim may already have been removed by a flush;
+			// deleting again is harmless.
+			delete(t.entries, victim)
+		}
+		t.fifo = append(t.fifo, k)
+	}
+	t.entries[k] = e
+}
+
+// FlushAll empties the TLB (untagged space switch, or global shootdown).
+func (t *TLB) FlushAll() {
+	t.entries = make(map[tlbKey]PTE, t.capacity)
+	t.fifo = t.fifo[:0]
+	t.flushes++
+}
+
+// FlushASID removes all entries for one address space. On an untagged TLB
+// this degrades to FlushAll, exactly as on real hardware.
+func (t *TLB) FlushASID(asid uint16) {
+	if !t.tagged {
+		t.FlushAll()
+		return
+	}
+	kept := t.fifo[:0]
+	for _, k := range t.fifo {
+		if k.asid == asid {
+			delete(t.entries, k)
+		} else {
+			kept = append(kept, k)
+		}
+	}
+	t.fifo = kept
+	t.flushes++
+}
+
+// FlushEntry removes one translation if present.
+func (t *TLB) FlushEntry(asid uint16, vpn VPN) {
+	delete(t.entries, t.key(asid, vpn))
+}
+
+// Len returns the number of live entries.
+func (t *TLB) Len() int { return len(t.entries) }
+
+// Stats returns cumulative hits, misses and flushes.
+func (t *TLB) Stats() (hits, misses, flushes uint64) { return t.hits, t.misses, t.flushes }

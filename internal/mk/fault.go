@@ -1,0 +1,211 @@
+package mk
+
+import (
+	"vmmk/internal/hw"
+	"vmmk/internal/trace"
+)
+
+// Page-fault protocol labels. The kernel converts a hardware fault into an
+// IPC to the faulting space's pager; the pager replies with a map item that
+// resolves it. This is the external-pager mechanism at the centre of the
+// paper's §3.1 liability-inversion argument.
+const (
+	LabelPageFault uint32 = 0xFFF0 + iota
+	LabelPageFaultReply
+	LabelIRQ
+	LabelException
+)
+
+// Touch simulates thread t accessing virtual page vpn with the given
+// rights: translate, and on failure run the pager protocol and retry. It
+// returns the resolved PTE.
+func (k *Kernel) Touch(tid ThreadID, vpn hw.VPN, want hw.Perm) (hw.PTE, error) {
+	t := k.threads[tid]
+	if t == nil {
+		return hw.PTE{}, ErrNoSuchThread
+	}
+	k.M.CPU.SwitchSpace(t.Component(), t.Space.PT)
+	e, res := k.M.CPU.Translate(t.Component(), vpn, want)
+	if res == hw.XlateOK {
+		return e, nil
+	}
+	if err := k.handleFault(t, vpn, want); err != nil {
+		return hw.PTE{}, err
+	}
+	e, res = k.M.CPU.Translate(t.Component(), vpn, want)
+	if res != hw.XlateOK {
+		return hw.PTE{}, ErrPagerFailed
+	}
+	return e, nil
+}
+
+// handleFault runs the kernel fault path: enter the kernel, synthesise a
+// fault IPC to the pager, apply the pager's reply mapping.
+func (k *Kernel) handleFault(t *Thread, vpn hw.VPN, want hw.Perm) error {
+	k.M.CPU.Trap(KernelComponent, false) // faults always take the slow gate
+	k.M.CPU.Charge(KernelComponent, trace.KPageFault, k.M.Arch.Costs.PrivCheck)
+
+	pagerID := t.Space.Pager
+	if pagerID == NilThread {
+		k.M.CPU.ReturnTo(KernelComponent, hw.Ring3)
+		return ErrNoPager
+	}
+	pager := k.threads[pagerID]
+	if pager == nil || pager.State == StateDead || pager.Space.Dead || pager.Handler == nil {
+		// Pager gone: the fault cannot be resolved. The faulting thread
+		// is the casualty; the kernel and everyone else survive.
+		k.M.CPU.ReturnTo(KernelComponent, hw.Ring3)
+		return ErrNoPager
+	}
+
+	// Fault IPC: kernel-synthesised message on behalf of the faulter.
+	k.faultsIPCd++
+	k.M.CPU.Charge(KernelComponent, trace.KPagerFault, 30)
+	k.M.CPU.SwitchSpace(KernelComponent, pager.Space.PT)
+	k.M.CPU.ReturnTo(KernelComponent, hw.Ring3)
+
+	k.callDepth++
+	reply, herr := pager.Handler(k, t.ID, Msg{
+		Label: LabelPageFault,
+		Words: []uint64{uint64(vpn), uint64(want)},
+	})
+	k.callDepth--
+
+	k.M.CPU.Trap(KernelComponent, false)
+	if herr == nil && len(reply.Map) > 0 {
+		if merr := k.applyMapItems(pager.Space, t.Space, reply.Map); merr != nil {
+			herr = merr
+		}
+	} else if herr == nil {
+		herr = ErrPagerFailed
+	}
+	k.M.CPU.SwitchSpace(KernelComponent, t.Space.PT)
+	k.M.CPU.ReturnTo(KernelComponent, hw.Ring3)
+	return herr
+}
+
+// SetExceptionHandler nominates the thread that receives a space's non-
+// page-fault exceptions (divide error, illegal instruction, …) as IPC —
+// the L4 exception protocol, the exact structural twin of the VMM's
+// exception virtualisation (primitive 7). A space without a handler kills
+// the faulting thread.
+func (k *Kernel) SetExceptionHandler(s *Space, handler ThreadID) error {
+	if handler != NilThread && k.threads[handler] == nil {
+		return ErrNoSuchThread
+	}
+	s.ExcHandler = handler
+	k.M.CPU.Work(KernelComponent, 100)
+	return nil
+}
+
+// RaiseException simulates thread tid taking a synchronous exception with
+// the given vector. The kernel converts it into an IPC to the space's
+// exception handler; the handler's reply resumes the thread (true) or the
+// kernel kills it (false, or no handler).
+func (k *Kernel) RaiseException(tid ThreadID, vector int) (resumed bool, err error) {
+	t := k.threads[tid]
+	if t == nil {
+		return false, ErrNoSuchThread
+	}
+	k.M.CPU.Trap(KernelComponent, false)
+	k.M.CPU.Work(KernelComponent, k.M.Arch.Costs.PrivCheck)
+
+	hid := t.Space.ExcHandler
+	handler := k.threads[hid]
+	if handler == nil || handler.State == StateDead || handler.Space.Dead || handler.Handler == nil {
+		// Unhandled: the faulter dies; nobody else is touched.
+		k.M.CPU.ReturnTo(KernelComponent, hw.Ring3)
+		k.KillThread(tid)
+		return false, nil
+	}
+	// Exception IPC, kernel-synthesised on behalf of the faulter.
+	k.M.CPU.Charge(KernelComponent, trace.KIPCSend, 30)
+	k.M.CPU.SwitchSpace(KernelComponent, handler.Space.PT)
+	k.M.CPU.ReturnTo(KernelComponent, hw.Ring3)
+	k.callDepth++
+	reply, herr := handler.Handler(k, tid, Msg{
+		Label: LabelException,
+		Words: []uint64{uint64(vector)},
+	})
+	k.callDepth--
+	k.M.CPU.Trap(KernelComponent, false)
+	k.M.CPU.SwitchSpace(KernelComponent, t.Space.PT)
+	k.M.CPU.ReturnTo(KernelComponent, hw.Ring3)
+	if herr != nil || len(reply.Words) == 0 || reply.Words[0] == 0 {
+		k.KillThread(tid)
+		return false, nil
+	}
+	return true, nil
+}
+
+// RegisterIRQ routes a hardware interrupt line to a driver thread: the
+// kernel's interrupt handler becomes a synthesised IPC send, which is how
+// L4 delivers device interrupts to user-level drivers.
+func (k *Kernel) RegisterIRQ(line hw.IRQLine, tid ThreadID) error {
+	if k.threads[tid] == nil {
+		return ErrNoSuchThread
+	}
+	k.irqOwner[line] = tid
+	k.M.IRQ.SetHandler(line, func(l hw.IRQLine) {
+		owner := k.irqOwner[l]
+		t := k.threads[owner]
+		if t == nil || t.State == StateDead || t.Space.Dead {
+			return // driver died; interrupt is dropped, kernel unharmed
+		}
+		// Interrupt IPC: conceptually from the "hardware thread".
+		k.M.CPU.Charge(KernelComponent, trace.KIPCSend, 20)
+		if t.Handler != nil {
+			prev := k.M.CPU.PageTable()
+			k.M.CPU.SwitchSpace(KernelComponent, t.Space.PT)
+			k.callDepth++
+			_, _ = t.Handler(k, NilThread, Msg{Label: LabelIRQ, Words: []uint64{uint64(l)}})
+			k.callDepth--
+			if prev != nil {
+				k.M.CPU.SwitchSpace(KernelComponent, prev)
+			}
+		} else {
+			t.Inbox = append(t.Inbox, Envelope{From: NilThread, Msg: Msg{Label: LabelIRQ, Words: []uint64{uint64(l)}}})
+		}
+		t.ipcIn++
+		k.ipcSends++
+	})
+	k.M.CPU.Work(KernelComponent, 100)
+	return nil
+}
+
+// KillThread marks a thread dead (fault injection / crash). Its queued
+// messages are discarded; future IPC to it fails with ErrDeadPartner.
+func (k *Kernel) KillThread(tid ThreadID) {
+	t := k.threads[tid]
+	if t == nil || t.State == StateDead {
+		return
+	}
+	t.State = StateDead
+	t.Inbox = nil
+	t.Handler = nil
+	k.sched.remove(t)
+	k.M.Rec.Charge(uint64(k.M.Clock.Now()), trace.KFault, t.Component(), 0)
+}
+
+// KillSpace kills a whole protection domain: every thread in it dies and
+// its mappings are torn down. Other spaces' mappings of shared frames are
+// untouched — exactly the isolation property E4 measures.
+func (k *Kernel) KillSpace(s *Space) {
+	if s.Dead {
+		return
+	}
+	s.Dead = true
+	for _, t := range k.threads {
+		if t.Space == s {
+			k.KillThread(t.ID)
+		}
+	}
+	s.PT.Each(func(v hw.VPN, _ hw.PTE) {})
+	k.M.Rec.Charge(uint64(k.M.Clock.Now()), trace.KFault, s.Component(), 0)
+}
+
+// Alive reports whether the thread exists and is not dead.
+func (k *Kernel) Alive(tid ThreadID) bool {
+	t := k.threads[tid]
+	return t != nil && t.State != StateDead && !t.Space.Dead
+}

@@ -1,0 +1,265 @@
+package mk
+
+import (
+	"fmt"
+
+	"vmmk/internal/hw"
+	"vmmk/internal/trace"
+)
+
+// Msg is an IPC message. A message no larger than the architecture's
+// register file travels as a "short IPC" without touching memory; Data adds
+// a string (copy) transfer; Map adds flexpage delegation. The three
+// transfer classes are the paper's three orthogonal purposes of IPC fused
+// into one primitive.
+type Msg struct {
+	Label uint32   // protocol selector, by convention
+	Words []uint64 // untyped register words
+	Data  []byte   // string item (copied into the receiver)
+	Map   []MapItem
+}
+
+// MapItem delegates pages from the sender's space into the receiver's:
+// resource delegation requiring mutual agreement (the sender constructs the
+// item; the receiver accepts it by performing the receive).
+type MapItem struct {
+	SrcVPN hw.VPN // first page in the sender's space
+	DstVPN hw.VPN // first page in the receiver's space
+	Count  int
+	Perms  hw.Perm
+	Grant  bool // grant removes the sender's own mapping (ownership moves)
+}
+
+// Size returns the message's memory-transfer size in bytes (the string
+// part; register words are free beyond the base IPC cost).
+func (m Msg) Size() int { return len(m.Data) }
+
+// clone deep-copies the message so sender and receiver cannot alias.
+func (m Msg) clone() Msg {
+	out := Msg{Label: m.Label}
+	if len(m.Words) > 0 {
+		out.Words = append([]uint64(nil), m.Words...)
+	}
+	if len(m.Data) > 0 {
+		out.Data = append([]byte(nil), m.Data...)
+	}
+	if len(m.Map) > 0 {
+		out.Map = append([]MapItem(nil), m.Map...)
+	}
+	return out
+}
+
+// maxStringTransfer bounds one string item, mirroring L4's transfer limits.
+const maxStringTransfer = 1 << 20
+
+// ipcTransferCost charges the kernel for moving the message body and
+// returns an error for oversized messages.
+func (k *Kernel) ipcTransferCost(msg Msg) error {
+	arch := k.M.Arch
+	words := len(msg.Words)
+	if words <= arch.RegisterIPCWords {
+		// Short IPC: words ride in registers, no memory traffic.
+		k.M.CPU.Work(KernelComponent, 20)
+	} else {
+		extra := uint64(words-arch.RegisterIPCWords) * uint64(arch.WordBytes())
+		k.M.CPU.Work(KernelComponent, k.M.CPU.CopyCost(extra))
+	}
+	if len(msg.Data) > 0 {
+		if len(msg.Data) > maxStringTransfer {
+			return ErrMsgTooLarge
+		}
+		k.M.CPU.Charge(KernelComponent, trace.KIPCStringTransfer, k.M.CPU.CopyCost(uint64(len(msg.Data))))
+	}
+	return nil
+}
+
+// applyMapItems installs the message's map items from src into dst,
+// validating that the sender actually holds the pages with sufficient
+// rights. Delegated rights can only be narrowed, never amplified.
+func (k *Kernel) applyMapItems(src, dst *Space, items []MapItem) error {
+	for _, it := range items {
+		if it.Count <= 0 {
+			return fmt.Errorf("%w: non-positive count", ErrBadMapping)
+		}
+		for i := 0; i < it.Count; i++ {
+			e, ok := src.PT.Lookup(it.SrcVPN + hw.VPN(i))
+			if !ok {
+				return ErrBadMapping
+			}
+			if !e.Perms.Allows(it.Perms) {
+				return ErrPermDenied
+			}
+			dst.PT.Map(it.DstVPN+hw.VPN(i), hw.PTE{Frame: e.Frame, Perms: it.Perms, User: true})
+			k.M.CPU.Work(KernelComponent, k.M.Arch.Costs.PTEUpdate)
+			srcNode := mapNode{space: src.ID, vpn: it.SrcVPN + hw.VPN(i)}
+			dstNode := mapNode{space: dst.ID, vpn: it.DstVPN + hw.VPN(i)}
+			if it.Grant {
+				src.PT.Unmap(it.SrcVPN + hw.VPN(i))
+				k.M.CPU.Work(KernelComponent, k.M.Arch.Costs.PTEUpdate)
+				k.M.CPU.FlushTLBEntry(KernelComponent, uint16(src.ID), it.SrcVPN+hw.VPN(i))
+				// Frame accounting follows the grant, and the sender's
+				// node leaves the derivation tree: a gift carries no
+				// revocation authority.
+				k.M.Mem.Transfer(e.Frame, dst.Component())
+				k.mapdb.drop(srcNode)
+			} else {
+				// A map is a loan: record the derivation so the sender
+				// (or its ancestors) can revoke recursively.
+				k.mapdb.record(srcNode, dstNode)
+			}
+		}
+		k.M.CPU.Charge(KernelComponent, trace.KIPCMapTransfer, 0)
+	}
+	return nil
+}
+
+// ipcPreamble validates the partner and charges kernel entry. It returns
+// the destination thread.
+func (k *Kernel) ipcPreamble(from, to ThreadID) (*Thread, *Thread, error) {
+	src := k.threads[from]
+	dst := k.threads[to]
+	if src == nil || dst == nil {
+		return nil, nil, ErrNoSuchThread
+	}
+	// Kernel entry from the sender's context.
+	k.M.CPU.Trap(KernelComponent, k.M.Arch.HasFastSyscall)
+	k.M.CPU.Work(KernelComponent, k.M.Arch.Costs.PrivCheck) // validate partner ID / rights
+	if !k.ipcAllowed(from, to) {
+		k.M.CPU.ReturnTo(KernelComponent, hw.Ring3)
+		return nil, nil, ErrIPCDenied
+	}
+	if dst.State == StateDead || dst.Space.Dead {
+		// The kernel stays correct; the failure is confined to the
+		// caller, which receives an error exactly as the paper's §3.1
+		// describes for a failed user-level server.
+		k.M.CPU.ReturnTo(KernelComponent, hw.Ring3)
+		return nil, nil, ErrDeadPartner
+	}
+	return src, dst, nil
+}
+
+// Call performs a synchronous call IPC: transfer to the server, run it,
+// transfer the reply back. Cycle charges: kernel entry/exit, message
+// transfer, two address-space switches, and whatever the handler itself
+// charges. This is the microkernel's only extensibility primitive.
+func (k *Kernel) Call(from, to ThreadID, msg Msg) (Msg, error) {
+	src, dst, err := k.ipcPreamble(from, to)
+	if err != nil {
+		return Msg{}, err
+	}
+	if dst.Handler == nil {
+		k.M.CPU.ReturnTo(KernelComponent, hw.Ring3)
+		return Msg{}, ErrNotResponding
+	}
+	if k.callDepth >= maxCallDepth {
+		k.M.CPU.ReturnTo(KernelComponent, hw.Ring3)
+		return Msg{}, ErrCallDepth
+	}
+
+	if err := k.ipcTransferCost(msg); err != nil {
+		k.M.CPU.ReturnTo(KernelComponent, hw.Ring3)
+		return Msg{}, err
+	}
+	if len(msg.Map) > 0 {
+		if err := k.applyMapItems(src.Space, dst.Space, msg.Map); err != nil {
+			k.M.CPU.ReturnTo(KernelComponent, hw.Ring3)
+			return Msg{}, err
+		}
+	}
+
+	// Control transfer: switch to the server's space and drop to user.
+	k.M.CPU.SwitchSpace(KernelComponent, dst.Space.PT)
+	k.M.CPU.Charge(KernelComponent, trace.KIPCCall, k.M.Arch.Costs.CtxSave)
+	k.M.CPU.ReturnTo(KernelComponent, hw.Ring3)
+
+	src.ipcOut++
+	dst.ipcIn++
+	k.ipcCalls++
+
+	k.callDepth++
+	reply, herr := dst.Handler(k, from, msg.clone())
+	k.callDepth--
+
+	// Reply path: kernel entry from the server, transfer, switch back.
+	k.M.CPU.Trap(KernelComponent, k.M.Arch.HasFastSyscall)
+	if herr == nil {
+		if terr := k.ipcTransferCost(reply); terr != nil {
+			herr = terr
+		} else if len(reply.Map) > 0 {
+			if merr := k.applyMapItems(dst.Space, src.Space, reply.Map); merr != nil {
+				herr = merr
+			}
+		}
+	}
+	k.M.CPU.SwitchSpace(KernelComponent, src.Space.PT)
+	k.M.CPU.Work(KernelComponent, k.M.Arch.Costs.CtxSave)
+	k.M.CPU.ReturnTo(KernelComponent, hw.Ring3)
+
+	if herr != nil {
+		return Msg{}, herr
+	}
+	return reply.clone(), nil
+}
+
+// Send performs a one-way send. If the destination has a handler it is
+// delivered immediately (the handler's reply is discarded); otherwise it is
+// queued in the destination's inbox for its next activation. Either way the
+// sender does not wait for a reply.
+func (k *Kernel) Send(from, to ThreadID, msg Msg) error {
+	src, dst, err := k.ipcPreamble(from, to)
+	if err != nil {
+		return err
+	}
+	if err := k.ipcTransferCost(msg); err != nil {
+		k.M.CPU.ReturnTo(KernelComponent, hw.Ring3)
+		return err
+	}
+	if len(msg.Map) > 0 {
+		if err := k.applyMapItems(src.Space, dst.Space, msg.Map); err != nil {
+			k.M.CPU.ReturnTo(KernelComponent, hw.Ring3)
+			return err
+		}
+	}
+	src.ipcOut++
+	dst.ipcIn++
+	k.ipcSends++
+	k.M.CPU.Charge(KernelComponent, trace.KIPCSend, 10)
+
+	if dst.Handler != nil {
+		k.M.CPU.SwitchSpace(KernelComponent, dst.Space.PT)
+		k.M.CPU.ReturnTo(KernelComponent, hw.Ring3)
+		if k.callDepth >= maxCallDepth {
+			return ErrCallDepth
+		}
+		k.callDepth++
+		_, herr := dst.Handler(k, from, msg.clone())
+		k.callDepth--
+		// One-way: handler errors do not propagate to the sender, but a
+		// crash of the handler is a real event.
+		_ = herr
+		k.M.CPU.Trap(KernelComponent, k.M.Arch.HasFastSyscall)
+		k.M.CPU.SwitchSpace(KernelComponent, src.Space.PT)
+		k.M.CPU.ReturnTo(KernelComponent, hw.Ring3)
+		return nil
+	}
+	dst.Inbox = append(dst.Inbox, Envelope{From: from, Msg: msg.clone()})
+	k.M.CPU.ReturnTo(KernelComponent, hw.Ring3)
+	return nil
+}
+
+// Receive drains one queued envelope from the thread's inbox, charging the
+// receive half of the IPC path. ok is false when the inbox is empty
+// (modelled as a polling receive; blocking is a scheduler concern the
+// simulation resolves synchronously).
+func (k *Kernel) Receive(tid ThreadID) (Envelope, bool) {
+	t := k.threads[tid]
+	if t == nil || len(t.Inbox) == 0 {
+		return Envelope{}, false
+	}
+	k.M.CPU.Trap(KernelComponent, k.M.Arch.HasFastSyscall)
+	env := t.Inbox[0]
+	t.Inbox = t.Inbox[1:]
+	k.M.CPU.Charge(KernelComponent, trace.KIPCReceive, 10)
+	k.M.CPU.ReturnTo(KernelComponent, hw.Ring3)
+	return env, true
+}

@@ -1,0 +1,273 @@
+// Package mk implements an L4-style microkernel over the hw substrate:
+// threads, address spaces, synchronous IPC with register/string/map
+// transfer, interrupt delivery as IPC, external pagers, and a priority
+// round-robin scheduler.
+//
+// Following Liedtke's dictum quoted in the paper ("minimize the kernel and
+// implement whatever possible outside of the kernel"), the kernel knows
+// nothing about devices, files, networks or guest operating systems; all of
+// that lives in user-level servers (package mkos). IPC is the single
+// extensibility primitive and serves the paper's three purposes: control
+// transfer, data transfer, and resource delegation by mutual agreement.
+//
+// Execution model: the simulation is synchronous and deterministic. A
+// server thread is a reactive handler; Call runs the complete IPC path —
+// kernel entry, transfer, address-space switch, the handler itself, and the
+// reply — charging every step to the right component. This collapses
+// scheduling interleavings that the paper's arguments do not depend on
+// while preserving exactly what they do depend on: who crosses which
+// protection boundary, how often, and at what cost.
+package mk
+
+import (
+	"errors"
+
+	"vmmk/internal/hw"
+)
+
+// ThreadID names a thread. The kernel component itself uses thread ID 0,
+// which is never allocated.
+type ThreadID uint32
+
+// NilThread is the absent thread.
+const NilThread ThreadID = 0
+
+// SpaceID names an address space.
+type SpaceID uint16
+
+// Errors returned by kernel operations.
+var (
+	ErrNoSuchThread   = errors.New("mk: no such thread")
+	ErrDeadPartner    = errors.New("mk: IPC partner is dead")
+	ErrNotResponding  = errors.New("mk: partner not accepting IPC")
+	ErrMsgTooLarge    = errors.New("mk: message exceeds transfer limit")
+	ErrBadMapping     = errors.New("mk: map item references unmapped page")
+	ErrPermDenied     = errors.New("mk: insufficient rights for transfer")
+	ErrNoPager        = errors.New("mk: fault with no pager registered")
+	ErrPagerFailed    = errors.New("mk: pager could not resolve fault")
+	ErrSpaceExhausted = errors.New("mk: out of address-space IDs")
+	ErrCallDepth      = errors.New("mk: IPC call chain too deep")
+)
+
+// KernelComponent is the trace attribution name of kernel-mode work.
+const KernelComponent = "mk.kernel"
+
+// maxCallDepth bounds nested server-calls-server chains; a cycle in the
+// server graph is a deadlock in a real synchronous-IPC system and a bug in
+// the simulation.
+const maxCallDepth = 16
+
+// Kernel is the microkernel proper.
+type Kernel struct {
+	M *hw.Machine
+
+	threads map[ThreadID]*Thread
+	spaces  map[SpaceID]*Space
+
+	nextTID  ThreadID
+	nextASID SpaceID
+
+	irqOwner map[hw.IRQLine]ThreadID
+
+	sched  *scheduler
+	mapdb  *mapDB
+	rights *rightsTable
+
+	callDepth int
+
+	// stats
+	ipcCalls   uint64
+	ipcSends   uint64
+	faultsIPCd uint64
+}
+
+// New boots a microkernel on machine m. The kernel reserves ASID 0 for
+// itself; user spaces start at 1.
+func New(m *hw.Machine) *Kernel {
+	k := &Kernel{
+		M:        m,
+		threads:  make(map[ThreadID]*Thread),
+		spaces:   make(map[SpaceID]*Space),
+		nextTID:  1,
+		nextASID: 1,
+		irqOwner: make(map[hw.IRQLine]ThreadID),
+	}
+	k.sched = newScheduler(k)
+	k.mapdb = newMapDB()
+	k.rights = newRightsTable()
+	// Boot cost: set up kernel space, IDT-equivalent, etc.
+	m.CPU.Work(KernelComponent, 5000)
+	return k
+}
+
+// Space is one protection domain: a page table plus the pager thread that
+// handles its faults (the external-pager mechanism of §3.1).
+type Space struct {
+	ID    SpaceID
+	Name  string
+	PT    *hw.PageTable
+	Pager ThreadID
+	// ExcHandler receives the space's non-page-fault exceptions as IPC
+	// (the L4 exception protocol); NilThread means faults are fatal to
+	// the faulting thread.
+	ExcHandler ThreadID
+	Dead       bool
+}
+
+// Component returns the trace attribution name for work done in the space.
+func (s *Space) Component() string { return "mk." + s.Name }
+
+// NewSpace creates an empty address space. Pager may be NilThread for
+// spaces that must never fault (drivers with pinned memory).
+func (k *Kernel) NewSpace(name string, pager ThreadID) (*Space, error) {
+	if k.nextASID == 0 { // wrapped
+		return nil, ErrSpaceExhausted
+	}
+	s := &Space{
+		ID:    k.nextASID,
+		Name:  name,
+		PT:    hw.NewPageTable(uint16(k.nextASID)),
+		Pager: pager,
+	}
+	k.nextASID++
+	k.spaces[s.ID] = s
+	k.M.CPU.Work(KernelComponent, 300) // space construction
+	return s, nil
+}
+
+// Handler is the body of a server thread: it receives a message from a
+// client and produces a reply. Handlers run "in" the server's space; the
+// kernel has already switched to it and charged the switch.
+type Handler func(k *Kernel, from ThreadID, msg Msg) (Msg, error)
+
+// ThreadState is a thread's scheduling state.
+type ThreadState uint8
+
+// Thread states.
+const (
+	StateReady ThreadState = iota
+	StateBlocked
+	StateDead
+)
+
+func (s ThreadState) String() string {
+	switch s {
+	case StateReady:
+		return "ready"
+	case StateBlocked:
+		return "blocked"
+	case StateDead:
+		return "dead"
+	}
+	return "invalid"
+}
+
+// Thread is a kernel-scheduled activity bound to one space.
+type Thread struct {
+	ID      ThreadID
+	Name    string
+	Space   *Space
+	Prio    int // higher runs first
+	State   ThreadState
+	Handler Handler
+
+	// Inbox holds one-way sends awaiting the thread's next activation.
+	Inbox []Envelope
+
+	ipcIn  uint64
+	ipcOut uint64
+}
+
+// Envelope is a queued one-way message.
+type Envelope struct {
+	From ThreadID
+	Msg  Msg
+}
+
+// Component returns the thread's trace attribution name.
+func (t *Thread) Component() string { return "mk." + t.Name }
+
+// NewThread creates a thread in space with the given priority and handler
+// (nil for pure client threads that only originate IPC).
+func (k *Kernel) NewThread(space *Space, name string, prio int, h Handler) *Thread {
+	t := &Thread{
+		ID:      k.nextTID,
+		Name:    name,
+		Space:   space,
+		Prio:    prio,
+		State:   StateReady,
+		Handler: h,
+	}
+	k.nextTID++
+	k.threads[t.ID] = t
+	k.sched.add(t)
+	k.M.CPU.Work(KernelComponent, 400) // TCB allocation and setup
+	return t
+}
+
+// Thread returns the thread for id, or nil.
+func (k *Kernel) Thread(id ThreadID) *Thread { return k.threads[id] }
+
+// Threads returns the number of live threads.
+func (k *Kernel) Threads() int {
+	n := 0
+	for _, t := range k.threads {
+		if t.State != StateDead {
+			n++
+		}
+	}
+	return n
+}
+
+// MapPage installs a mapping in a space with root (sigma0) authority,
+// charging PTE update cost. It is how initial memory is handed out; all
+// later delegation goes through IPC map items. Overwriting a slot detaches
+// any derivation recorded for it.
+func (k *Kernel) MapPage(s *Space, vpn hw.VPN, f hw.FrameID, perms hw.Perm) {
+	s.PT.Map(vpn, hw.PTE{Frame: f, Perms: perms, User: true})
+	k.M.CPU.Work(KernelComponent, k.M.Arch.Costs.PTEUpdate)
+	k.mapdb.drop(mapNode{space: s.ID, vpn: vpn})
+}
+
+// UnmapPage removes a single mapping and invalidates the TLB entry. Derived
+// mappings in other spaces survive (use UnmapRecursive to revoke them).
+func (k *Kernel) UnmapPage(s *Space, vpn hw.VPN) {
+	s.PT.Unmap(vpn)
+	k.M.CPU.Work(KernelComponent, k.M.Arch.Costs.PTEUpdate)
+	k.M.CPU.FlushTLBEntry(KernelComponent, uint16(s.ID), vpn)
+	k.mapdb.drop(mapNode{space: s.ID, vpn: vpn})
+}
+
+// AllocAndMap allocates n frames to the space's name and maps them starting
+// at base. It returns the frames.
+func (k *Kernel) AllocAndMap(s *Space, base hw.VPN, n int, perms hw.Perm) ([]hw.FrameID, error) {
+	frames, err := k.M.Mem.AllocN(s.Component(), n)
+	if err != nil {
+		return nil, err
+	}
+	for i, f := range frames {
+		k.MapPage(s, base+hw.VPN(i), f, perms)
+	}
+	return frames, nil
+}
+
+// PumpIO drives the machine until quiescent or maxRounds: fire every due
+// scheduled event, then dispatch pending interrupts (which become IPCs to
+// driver threads). Returns the number of events plus interrupts processed.
+func (k *Kernel) PumpIO(maxRounds int) int {
+	total := 0
+	for round := 0; round < maxRounds; round++ {
+		n := k.M.Events.RunUntilIdle(1024)
+		n += k.M.IRQ.DispatchPending(KernelComponent)
+		total += n
+		if n == 0 {
+			break
+		}
+	}
+	return total
+}
+
+// Stats returns cumulative IPC operation counts.
+func (k *Kernel) Stats() (calls, sends, faultIPCs uint64) {
+	return k.ipcCalls, k.ipcSends, k.faultsIPCd
+}

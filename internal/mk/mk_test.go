@@ -1,0 +1,568 @@
+package mk
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"vmmk/internal/hw"
+	"vmmk/internal/trace"
+)
+
+// rig is a booted microkernel with a client thread and an echo server in
+// separate spaces.
+type rig struct {
+	m      *hw.Machine
+	k      *Kernel
+	client *Thread
+	server *Thread
+}
+
+func newRig(t testing.TB, arch *hw.Arch) *rig {
+	t.Helper()
+	m := hw.NewMachine(arch, &hw.MachineConfig{Frames: 256})
+	k := New(m)
+	cs, err := k.NewSpace("client", NilThread)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := k.NewSpace("server", NilThread)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := k.NewThread(cs, "client", 1, nil)
+	server := k.NewThread(ss, "server", 2, func(k *Kernel, from ThreadID, msg Msg) (Msg, error) {
+		k.M.CPU.Work("mk.server", 100) // pretend to do something
+		return Msg{Label: msg.Label + 1, Words: msg.Words, Data: msg.Data}, nil
+	})
+	return &rig{m: m, k: k, client: client, server: server}
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	r := newRig(t, hw.X86())
+	reply, err := r.k.Call(r.client.ID, r.server.ID, Msg{Label: 10, Words: []uint64{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Label != 11 || len(reply.Words) != 2 || reply.Words[1] != 2 {
+		t.Fatalf("bad reply %+v", reply)
+	}
+	if r.m.Rec.Counts(trace.KIPCCall) != 1 {
+		t.Fatalf("KIPCCall = %d, want 1", r.m.Rec.Counts(trace.KIPCCall))
+	}
+	calls, _, _ := r.k.Stats()
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1", calls)
+	}
+}
+
+func TestCallChargesKernelAndServer(t *testing.T) {
+	r := newRig(t, hw.X86())
+	k0 := r.m.Rec.Cycles(KernelComponent)
+	_, err := r.k.Call(r.client.ID, r.server.ID, Msg{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.m.Rec.Cycles(KernelComponent) <= k0 {
+		t.Fatal("kernel cycles not charged")
+	}
+	if r.m.Rec.Cycles("mk.server") != 100 {
+		t.Fatalf("server cycles = %d, want 100", r.m.Rec.Cycles("mk.server"))
+	}
+	// Round trip must include at least two traps and two kernel exits.
+	if r.m.Rec.Counts(trace.KTrap) < 2 {
+		t.Fatalf("traps = %d, want >= 2", r.m.Rec.Counts(trace.KTrap))
+	}
+}
+
+func TestCallToDeadServer(t *testing.T) {
+	r := newRig(t, hw.X86())
+	r.k.KillThread(r.server.ID)
+	_, err := r.k.Call(r.client.ID, r.server.ID, Msg{})
+	if !errors.Is(err, ErrDeadPartner) {
+		t.Fatalf("err = %v, want ErrDeadPartner", err)
+	}
+	// The failure is the client's problem only: kernel still functional.
+	if !r.k.Alive(r.client.ID) {
+		t.Fatal("client died with the server — isolation broken")
+	}
+	if r.m.Rec.Counts(trace.KFault) != 1 {
+		t.Fatal("kill not recorded as fault event")
+	}
+}
+
+func TestCallToHandlerlessThread(t *testing.T) {
+	r := newRig(t, hw.X86())
+	_, err := r.k.Call(r.server.ID, r.client.ID, Msg{})
+	if !errors.Is(err, ErrNotResponding) {
+		t.Fatalf("err = %v, want ErrNotResponding", err)
+	}
+}
+
+func TestCallNoSuchThread(t *testing.T) {
+	r := newRig(t, hw.X86())
+	if _, err := r.k.Call(r.client.ID, 999, Msg{}); !errors.Is(err, ErrNoSuchThread) {
+		t.Fatalf("err = %v, want ErrNoSuchThread", err)
+	}
+}
+
+func TestShortIPCCheaperThanString(t *testing.T) {
+	r := newRig(t, hw.X86())
+	t0 := r.m.Now()
+	r.k.Call(r.client.ID, r.server.ID, Msg{Words: []uint64{1, 2, 3}})
+	short := r.m.Now() - t0
+	t1 := r.m.Now()
+	r.k.Call(r.client.ID, r.server.ID, Msg{Data: make([]byte, 8192)})
+	long := r.m.Now() - t1
+	if long <= short {
+		t.Fatalf("string IPC (%d) should cost more than short IPC (%d)", long, short)
+	}
+	if r.m.Rec.Counts(trace.KIPCStringTransfer) != 2 { // request + echoed reply
+		t.Fatalf("string transfers = %d, want 2", r.m.Rec.Counts(trace.KIPCStringTransfer))
+	}
+}
+
+func TestOversizeMessageRejected(t *testing.T) {
+	r := newRig(t, hw.X86())
+	_, err := r.k.Call(r.client.ID, r.server.ID, Msg{Data: make([]byte, maxStringTransfer+1)})
+	if !errors.Is(err, ErrMsgTooLarge) {
+		t.Fatalf("err = %v, want ErrMsgTooLarge", err)
+	}
+}
+
+func TestMapTransferSharesFrame(t *testing.T) {
+	r := newRig(t, hw.X86())
+	frames, err := r.k.AllocAndMap(r.client.Space, 0x100, 1, hw.PermRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(r.m.Mem.Data(frames[0]), []byte("shared"))
+	_, err = r.k.Call(r.client.ID, r.server.ID, Msg{
+		Map: []MapItem{{SrcVPN: 0x100, DstVPN: 0x200, Count: 1, Perms: hw.PermR}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, ok := r.server.Space.PT.Lookup(0x200)
+	if !ok || e.Frame != frames[0] {
+		t.Fatal("map transfer did not install the frame")
+	}
+	if e.Perms != hw.PermR {
+		t.Fatalf("receiver perms = %v, want r--", e.Perms)
+	}
+	// Sender keeps its mapping on map (not grant).
+	if _, ok := r.client.Space.PT.Lookup(0x100); !ok {
+		t.Fatal("map (non-grant) removed the sender's mapping")
+	}
+	if r.m.Rec.Counts(trace.KIPCMapTransfer) != 1 {
+		t.Fatal("map transfer not recorded")
+	}
+}
+
+func TestGrantMovesOwnership(t *testing.T) {
+	r := newRig(t, hw.X86())
+	frames, _ := r.k.AllocAndMap(r.client.Space, 0x100, 1, hw.PermRW)
+	_, err := r.k.Call(r.client.ID, r.server.ID, Msg{
+		Map: []MapItem{{SrcVPN: 0x100, DstVPN: 0x300, Count: 1, Perms: hw.PermRW, Grant: true}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.client.Space.PT.Lookup(0x100); ok {
+		t.Fatal("grant left the sender's mapping")
+	}
+	if r.m.Mem.Owner(frames[0]) != "mk.server" {
+		t.Fatalf("frame owner = %q, want mk.server", r.m.Mem.Owner(frames[0]))
+	}
+}
+
+func TestMapItemRightsNotAmplified(t *testing.T) {
+	r := newRig(t, hw.X86())
+	if _, err := r.k.AllocAndMap(r.client.Space, 0x100, 1, hw.PermR); err != nil {
+		t.Fatal(err)
+	}
+	_, err := r.k.Call(r.client.ID, r.server.ID, Msg{
+		Map: []MapItem{{SrcVPN: 0x100, DstVPN: 0x200, Count: 1, Perms: hw.PermRW}},
+	})
+	if !errors.Is(err, ErrPermDenied) {
+		t.Fatalf("err = %v, want ErrPermDenied (delegation must not amplify rights)", err)
+	}
+}
+
+func TestMapItemUnmappedSource(t *testing.T) {
+	r := newRig(t, hw.X86())
+	_, err := r.k.Call(r.client.ID, r.server.ID, Msg{
+		Map: []MapItem{{SrcVPN: 0x999, DstVPN: 0x200, Count: 1, Perms: hw.PermR}},
+	})
+	if !errors.Is(err, ErrBadMapping) {
+		t.Fatalf("err = %v, want ErrBadMapping", err)
+	}
+}
+
+func TestSendQueuesToHandlerless(t *testing.T) {
+	r := newRig(t, hw.X86())
+	if err := r.k.Send(r.server.ID, r.client.ID, Msg{Label: 7}); err != nil {
+		t.Fatal(err)
+	}
+	env, ok := r.k.Receive(r.client.ID)
+	if !ok || env.Msg.Label != 7 || env.From != r.server.ID {
+		t.Fatalf("bad envelope %+v ok=%v", env, ok)
+	}
+	if _, ok := r.k.Receive(r.client.ID); ok {
+		t.Fatal("inbox should be empty")
+	}
+}
+
+func TestSendDeliversToHandler(t *testing.T) {
+	r := newRig(t, hw.X86())
+	got := 0
+	ss, _ := r.k.NewSpace("sink", NilThread)
+	sink := r.k.NewThread(ss, "sink", 1, func(k *Kernel, from ThreadID, msg Msg) (Msg, error) {
+		got++
+		return Msg{}, nil
+	})
+	if err := r.k.Send(r.client.ID, sink.ID, Msg{}); err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Fatal("handler not invoked on send")
+	}
+	_, sends, _ := r.k.Stats()
+	if sends != 1 {
+		t.Fatalf("sends = %d, want 1", sends)
+	}
+}
+
+func TestNestedCallsServerToServer(t *testing.T) {
+	m := hw.NewMachine(hw.X86(), nil)
+	k := New(m)
+	cs, _ := k.NewSpace("c", NilThread)
+	bs, _ := k.NewSpace("b", NilThread)
+	as, _ := k.NewSpace("a", NilThread)
+	var backendID ThreadID
+	backend := k.NewThread(bs, "backend", 2, func(k *Kernel, from ThreadID, msg Msg) (Msg, error) {
+		return Msg{Words: []uint64{msg.Words[0] * 2}}, nil
+	})
+	backendID = backend.ID
+	frontSelf := ThreadID(0)
+	front := k.NewThread(as, "front", 2, func(k *Kernel, from ThreadID, msg Msg) (Msg, error) {
+		return k.Call(frontSelf, backendID, msg)
+	})
+	frontSelf = front.ID
+	client := k.NewThread(cs, "cl", 1, nil)
+	reply, err := k.Call(client.ID, front.ID, Msg{Words: []uint64{21}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Words[0] != 42 {
+		t.Fatalf("nested call reply = %d, want 42", reply.Words[0])
+	}
+	calls, _, _ := k.Stats()
+	if calls != 2 {
+		t.Fatalf("calls = %d, want 2", calls)
+	}
+}
+
+func TestCallDepthBounded(t *testing.T) {
+	m := hw.NewMachine(hw.X86(), nil)
+	k := New(m)
+	s, _ := k.NewSpace("loop", NilThread)
+	var selfID ThreadID
+	self := k.NewThread(s, "loop", 1, func(k *Kernel, from ThreadID, msg Msg) (Msg, error) {
+		return k.Call(selfID, selfID, msg) // infinite recursion
+	})
+	selfID = self.ID
+	_, err := k.Call(selfID, selfID, Msg{})
+	if !errors.Is(err, ErrCallDepth) {
+		t.Fatalf("err = %v, want ErrCallDepth", err)
+	}
+}
+
+func TestPagerResolvesFault(t *testing.T) {
+	m := hw.NewMachine(hw.X86(), nil)
+	k := New(m)
+	ps, _ := k.NewSpace("pager", NilThread)
+	var pagerSpace = ps
+	pager := k.NewThread(ps, "pager", 3, func(k *Kernel, from ThreadID, msg Msg) (Msg, error) {
+		if msg.Label != LabelPageFault {
+			return Msg{}, nil
+		}
+		vpn := hw.VPN(msg.Words[0])
+		// Allocate backing, map it into the pager's own window, then
+		// delegate to the faulter.
+		f, err := k.M.Mem.Alloc("mk.pager")
+		if err != nil {
+			return Msg{}, err
+		}
+		window := hw.VPN(0x8000) + vpn
+		pagerSpace.PT.Map(window, hw.PTE{Frame: f, Perms: hw.PermRW, User: true})
+		return Msg{
+			Label: LabelPageFaultReply,
+			Map:   []MapItem{{SrcVPN: window, DstVPN: vpn, Count: 1, Perms: hw.PermRW}},
+		}, nil
+	})
+	us, _ := k.NewSpace("user", pager.ID)
+	u := k.NewThread(us, "user", 1, nil)
+
+	if _, err := k.Touch(u.ID, 0x42, hw.PermW); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := us.PT.Lookup(0x42); !ok {
+		t.Fatal("pager reply did not install mapping")
+	}
+	if m.Rec.Counts(trace.KPagerFault) != 1 {
+		t.Fatal("pager fault IPC not recorded")
+	}
+	// Second touch: no new fault.
+	if _, err := k.Touch(u.ID, 0x42, hw.PermW); err != nil {
+		t.Fatal(err)
+	}
+	if m.Rec.Counts(trace.KPagerFault) != 1 {
+		t.Fatal("resolved page faulted again")
+	}
+}
+
+func TestFaultWithDeadPagerKillsOnlyFaulter(t *testing.T) {
+	m := hw.NewMachine(hw.X86(), nil)
+	k := New(m)
+	ps, _ := k.NewSpace("pager", NilThread)
+	pager := k.NewThread(ps, "pager", 3, func(k *Kernel, from ThreadID, msg Msg) (Msg, error) {
+		return Msg{}, nil
+	})
+	us, _ := k.NewSpace("user", pager.ID)
+	u := k.NewThread(us, "user", 1, nil)
+	other, _ := k.NewSpace("other", NilThread)
+	o := k.NewThread(other, "other", 1, nil)
+
+	k.KillThread(pager.ID)
+	_, err := k.Touch(u.ID, 0x10, hw.PermR)
+	if !errors.Is(err, ErrNoPager) {
+		t.Fatalf("err = %v, want ErrNoPager", err)
+	}
+	// Blast radius: only the client of the dead pager is affected.
+	if !k.Alive(o.ID) {
+		t.Fatal("unrelated thread harmed by pager death")
+	}
+}
+
+func TestFaultNoPagerRegistered(t *testing.T) {
+	m := hw.NewMachine(hw.X86(), nil)
+	k := New(m)
+	us, _ := k.NewSpace("user", NilThread)
+	u := k.NewThread(us, "user", 1, nil)
+	if _, err := k.Touch(u.ID, 0x10, hw.PermR); !errors.Is(err, ErrNoPager) {
+		t.Fatalf("err = %v, want ErrNoPager", err)
+	}
+}
+
+func TestIRQDeliveredAsIPC(t *testing.T) {
+	m := hw.NewMachine(hw.X86(), nil)
+	k := New(m)
+	ds, _ := k.NewSpace("drv", NilThread)
+	gotLine := hw.IRQLine(-1)
+	drv := k.NewThread(ds, "drv", 4, func(k *Kernel, from ThreadID, msg Msg) (Msg, error) {
+		if msg.Label == LabelIRQ {
+			gotLine = hw.IRQLine(msg.Words[0])
+		}
+		return Msg{}, nil
+	})
+	if err := k.RegisterIRQ(5, drv.ID); err != nil {
+		t.Fatal(err)
+	}
+	m.IRQ.Raise(5)
+	m.IRQ.DispatchPending(KernelComponent)
+	if gotLine != 5 {
+		t.Fatalf("driver saw line %d, want 5", gotLine)
+	}
+	_, sends, _ := k.Stats()
+	if sends != 1 {
+		t.Fatalf("IRQ should count as one IPC send, got %d", sends)
+	}
+}
+
+func TestIRQToDeadDriverDropped(t *testing.T) {
+	m := hw.NewMachine(hw.X86(), nil)
+	k := New(m)
+	ds, _ := k.NewSpace("drv", NilThread)
+	drv := k.NewThread(ds, "drv", 4, func(k *Kernel, from ThreadID, msg Msg) (Msg, error) {
+		t.Fatal("dead driver's handler ran")
+		return Msg{}, nil
+	})
+	k.RegisterIRQ(5, drv.ID)
+	k.KillThread(drv.ID)
+	m.IRQ.Raise(5)
+	m.IRQ.DispatchPending(KernelComponent) // must not panic or invoke
+}
+
+func TestKillSpaceKillsAllItsThreads(t *testing.T) {
+	m := hw.NewMachine(hw.X86(), nil)
+	k := New(m)
+	s, _ := k.NewSpace("victim", NilThread)
+	t1 := k.NewThread(s, "v1", 1, nil)
+	t2 := k.NewThread(s, "v2", 1, nil)
+	other, _ := k.NewSpace("other", NilThread)
+	t3 := k.NewThread(other, "o", 1, nil)
+	k.KillSpace(s)
+	if k.Alive(t1.ID) || k.Alive(t2.ID) {
+		t.Fatal("threads survived space kill")
+	}
+	if !k.Alive(t3.ID) {
+		t.Fatal("kill leaked into another space")
+	}
+	if k.Threads() != 1 {
+		t.Fatalf("live threads = %d, want 1", k.Threads())
+	}
+}
+
+func TestSchedulerPriorityAndRoundRobin(t *testing.T) {
+	m := hw.NewMachine(hw.X86(), nil)
+	k := New(m)
+	s, _ := k.NewSpace("s", NilThread)
+	lo := k.NewThread(s, "lo", 1, nil)
+	hi1 := k.NewThread(s, "hi1", 5, nil)
+	hi2 := k.NewThread(s, "hi2", 5, nil)
+
+	first := k.Schedule()
+	second := k.Schedule()
+	third := k.Schedule()
+	if first.Prio != 5 || second.Prio != 5 {
+		t.Fatal("high priority threads must run first")
+	}
+	if first == second {
+		t.Fatal("round robin did not rotate within priority class")
+	}
+	if third != first {
+		t.Fatal("rotation should come back around")
+	}
+	_ = lo
+	_, _ = hi1, hi2
+	// Kill the high-priority threads; low must finally run.
+	k.KillThread(hi1.ID)
+	k.KillThread(hi2.ID)
+	if got := k.Schedule(); got == nil || got.Prio != 1 {
+		t.Fatal("low priority thread never scheduled after highs died")
+	}
+}
+
+func TestScheduleChargesSwitch(t *testing.T) {
+	m := hw.NewMachine(hw.X86(), nil)
+	k := New(m)
+	s1, _ := k.NewSpace("s1", NilThread)
+	s2, _ := k.NewSpace("s2", NilThread)
+	k.NewThread(s1, "a", 1, nil)
+	k.NewThread(s2, "b", 1, nil)
+	k.Schedule()
+	k.Schedule()
+	if k.Switches() != 2 {
+		t.Fatalf("switches = %d, want 2", k.Switches())
+	}
+	if m.Rec.Counts(trace.KContextSwitch) != 2 {
+		t.Fatal("context switches not recorded")
+	}
+	// Switching spaces on untagged x86 must have flushed the TLB.
+	if m.Rec.Counts(trace.KTLBFlush) == 0 {
+		t.Fatal("no TLB flush recorded on address-space switch")
+	}
+}
+
+func TestMsgCloneIsolation(t *testing.T) {
+	r := newRig(t, hw.X86())
+	var captured Msg
+	ss, _ := r.k.NewSpace("cap", NilThread)
+	capture := r.k.NewThread(ss, "cap", 1, func(k *Kernel, from ThreadID, msg Msg) (Msg, error) {
+		captured = msg
+		return Msg{}, nil
+	})
+	data := []byte("original")
+	if _, err := r.k.Call(r.client.ID, capture.ID, Msg{Data: data}); err != nil {
+		t.Fatal(err)
+	}
+	data[0] = 'X'
+	if string(captured.Data) != "original" {
+		t.Fatal("receiver aliases sender memory — IPC must copy")
+	}
+}
+
+func TestIPCEquivalentCountsOnMK(t *testing.T) {
+	r := newRig(t, hw.X86())
+	snap := r.m.Rec.Snapshot()
+	for i := 0; i < 10; i++ {
+		if _, err := r.k.Call(r.client.ID, r.server.ID, Msg{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := r.m.Rec.IPCEquivalentSince(snap); got != 10 {
+		t.Fatalf("IPC-equivalent ops = %d, want 10", got)
+	}
+}
+
+func TestQuickMapTransferPreservesFrameOwnership(t *testing.T) {
+	f := func(grant bool, count uint8) bool {
+		n := int(count%4) + 1
+		m := hw.NewMachine(hw.X86(), &hw.MachineConfig{Frames: 64})
+		k := New(m)
+		cs, _ := k.NewSpace("c", NilThread)
+		ss, _ := k.NewSpace("s", NilThread)
+		c := k.NewThread(cs, "c", 1, nil)
+		srv := k.NewThread(ss, "s", 1, func(k *Kernel, from ThreadID, msg Msg) (Msg, error) {
+			return Msg{}, nil
+		})
+		frames, err := k.AllocAndMap(cs, 0, n, hw.PermRW)
+		if err != nil {
+			return false
+		}
+		_, err = k.Call(c.ID, srv.ID, Msg{Map: []MapItem{{SrcVPN: 0, DstVPN: 0x100, Count: n, Perms: hw.PermR, Grant: grant}}})
+		if err != nil {
+			return false
+		}
+		for i, fr := range frames {
+			if _, ok := ss.PT.Lookup(0x100 + hw.VPN(i)); !ok {
+				return false
+			}
+			wantOwner := "mk.c"
+			if grant {
+				wantOwner = "mk.s"
+			}
+			if m.Mem.Owner(fr) != wantOwner {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrossArchIPCWorksUnchanged(t *testing.T) {
+	// The same client/server component code must run on all nine
+	// platforms with zero changes — the portability claim in microcosm.
+	for _, arch := range hw.AllArchs() {
+		arch := arch
+		t.Run(arch.Name, func(t *testing.T) {
+			r := newRig(t, arch)
+			reply, err := r.k.Call(r.client.ID, r.server.ID, Msg{Label: 1, Data: []byte("portable")})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(reply.Data) != "portable" {
+				t.Fatal("payload corrupted")
+			}
+		})
+	}
+}
+
+func TestIPCCostVariesByArch(t *testing.T) {
+	cost := func(arch *hw.Arch) hw.Cycles {
+		r := newRig(t, arch)
+		t0 := r.m.Now()
+		r.k.Call(r.client.ID, r.server.ID, Msg{})
+		return r.m.Now() - t0
+	}
+	x86 := cost(hw.X86())
+	arm := cost(hw.ARM())
+	// ARM has a tagged TLB and cheap traps; its IPC must beat x86's.
+	if arm >= x86 {
+		t.Fatalf("ARM IPC (%d) should be cheaper than x86 (%d)", arm, x86)
+	}
+}

@@ -1,0 +1,72 @@
+package mk
+
+import "errors"
+
+// IPC rights: a minimal capability-flavoured control over who may IPC whom.
+// L4's lineage went from clans & chiefs (V2) to redirectors (X.2) to full
+// capability spaces (seL4); the experiments need only the enforcement
+// point, which is the same in all three: the kernel checks the sender's
+// authority on every IPC before any transfer happens. The default is
+// allow-all (classic L4); once a thread is restricted, only whitelisted
+// partners are reachable.
+
+// ErrIPCDenied is returned when an IPC is blocked by rights.
+var ErrIPCDenied = errors.New("mk: IPC denied by rights restriction")
+
+// rightsTable holds per-sender whitelists; absence means unrestricted.
+type rightsTable struct {
+	allowed map[ThreadID]map[ThreadID]bool
+}
+
+func newRightsTable() *rightsTable {
+	return &rightsTable{allowed: make(map[ThreadID]map[ThreadID]bool)}
+}
+
+// RestrictIPC puts sender under a whitelist regime (initially empty: it can
+// reach nobody until AllowIPC is called).
+func (k *Kernel) RestrictIPC(sender ThreadID) error {
+	if k.threads[sender] == nil {
+		return ErrNoSuchThread
+	}
+	if k.rights.allowed[sender] == nil {
+		k.rights.allowed[sender] = make(map[ThreadID]bool)
+	}
+	k.M.CPU.Work(KernelComponent, 100)
+	return nil
+}
+
+// AllowIPC whitelists receiver for a restricted sender (and restricts the
+// sender if it was not yet).
+func (k *Kernel) AllowIPC(sender, receiver ThreadID) error {
+	if k.threads[sender] == nil || k.threads[receiver] == nil {
+		return ErrNoSuchThread
+	}
+	if k.rights.allowed[sender] == nil {
+		k.rights.allowed[sender] = make(map[ThreadID]bool)
+	}
+	k.rights.allowed[sender][receiver] = true
+	k.M.CPU.Work(KernelComponent, 100)
+	return nil
+}
+
+// RevokeIPC removes receiver from a restricted sender's whitelist.
+func (k *Kernel) RevokeIPC(sender, receiver ThreadID) {
+	if wl := k.rights.allowed[sender]; wl != nil {
+		delete(wl, receiver)
+		k.M.CPU.Work(KernelComponent, 80)
+	}
+}
+
+// UnrestrictIPC returns the sender to the default allow-all regime.
+func (k *Kernel) UnrestrictIPC(sender ThreadID) {
+	delete(k.rights.allowed, sender)
+}
+
+// ipcAllowed is the enforcement point, consulted in the IPC preamble.
+func (k *Kernel) ipcAllowed(sender, receiver ThreadID) bool {
+	wl, restricted := k.rights.allowed[sender]
+	if !restricted {
+		return true
+	}
+	return wl[receiver]
+}

@@ -1,0 +1,87 @@
+package mk
+
+import (
+	"sort"
+
+	"vmmk/internal/hw"
+	"vmmk/internal/trace"
+)
+
+// scheduler is a priority round-robin run queue. The synchronous IPC model
+// resolves most control transfer directly, so the scheduler's observable
+// job is (a) picking whom a timer tick preempts to, and (b) charging
+// context-switch costs when the running thread changes — both of which the
+// macro experiments (E8) need for honest totals.
+type scheduler struct {
+	k        *Kernel
+	queues   map[int][]*Thread // priority -> FIFO
+	prios    []int             // sorted descending
+	current  *Thread
+	switches uint64
+}
+
+func newScheduler(k *Kernel) *scheduler {
+	return &scheduler{k: k, queues: make(map[int][]*Thread)}
+}
+
+func (s *scheduler) add(t *Thread) {
+	q, ok := s.queues[t.Prio]
+	if !ok {
+		s.prios = append(s.prios, t.Prio)
+		sort.Sort(sort.Reverse(sort.IntSlice(s.prios)))
+	}
+	s.queues[t.Prio] = append(q, t)
+}
+
+func (s *scheduler) remove(t *Thread) {
+	q := s.queues[t.Prio]
+	for i, x := range q {
+		if x == t {
+			s.queues[t.Prio] = append(q[:i], q[i+1:]...)
+			break
+		}
+	}
+	if s.current == t {
+		s.current = nil
+	}
+}
+
+// pick returns the next ready thread in priority order, rotating the
+// winner's queue for round-robin fairness.
+func (s *scheduler) pick() *Thread {
+	for _, p := range s.prios {
+		q := s.queues[p]
+		for i, t := range q {
+			if t.State == StateReady {
+				// Rotate: move to the back of its priority class.
+				s.queues[p] = append(append(append([]*Thread{}, q[:i]...), q[i+1:]...), t)
+				return t
+			}
+		}
+	}
+	return nil
+}
+
+// Schedule runs one scheduling decision: dispatch pending interrupts, then
+// switch to the next ready thread, charging the switch. It returns the
+// chosen thread (nil if none ready).
+func (k *Kernel) Schedule() *Thread {
+	k.M.CPU.Trap(KernelComponent, false)
+	k.M.IRQ.DispatchPending(KernelComponent)
+	next := k.sched.pick()
+	if next != nil && next != k.sched.current {
+		k.sched.switches++
+		k.M.CPU.Charge(KernelComponent, trace.KContextSwitch, k.M.Arch.Costs.CtxSave)
+		k.M.CPU.SwitchSpace(KernelComponent, next.Space.PT)
+		k.sched.current = next
+	}
+	k.M.CPU.Charge(KernelComponent, trace.KSchedule, 50)
+	k.M.CPU.ReturnTo(KernelComponent, hw.Ring3)
+	return next
+}
+
+// Current returns the thread last chosen by Schedule.
+func (k *Kernel) Current() *Thread { return k.sched.current }
+
+// Switches returns the number of thread switches performed.
+func (k *Kernel) Switches() uint64 { return k.sched.switches }

@@ -1,0 +1,165 @@
+package mkos
+
+import (
+	"vmmk/internal/hw/dev"
+	"vmmk/internal/mk"
+)
+
+// BlkDriver is the user-level disk driver server: one thread owning the
+// physical disk, receiving its completion interrupts as IPC and serving
+// partition-relative reads and writes to clients via IPC calls.
+type BlkDriver struct {
+	K      *mk.Kernel
+	Disk   *dev.Disk
+	Space  *mk.Space
+	Thread *mk.Thread
+
+	parts    map[mk.ThreadID]*partition
+	nextBase uint64
+	nextTag  uint64
+	inflight map[uint64]*blkPending
+
+	served uint64
+}
+
+type partition struct {
+	base, size uint64
+}
+
+type blkPending struct {
+	done bool
+	ok   bool
+}
+
+// NewBlkDriver boots the disk driver server and claims the disk interrupt.
+func NewBlkDriver(k *mk.Kernel, disk *dev.Disk) (*BlkDriver, error) {
+	sp, err := k.NewSpace("srv.blk", mk.NilThread)
+	if err != nil {
+		return nil, err
+	}
+	d := &BlkDriver{
+		K:        k,
+		Disk:     disk,
+		Space:    sp,
+		parts:    make(map[mk.ThreadID]*partition),
+		inflight: make(map[uint64]*blkPending),
+	}
+	d.Thread = k.NewThread(sp, "srv.blk", 8, d.handle)
+	if err := k.RegisterIRQ(disk.IRQ(), d.Thread.ID); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// Component returns the driver's trace attribution name.
+func (d *BlkDriver) Component() string { return d.Thread.Component() }
+
+// GrantPartition assigns a fresh partition of size blocks to a client
+// thread (an OS server or the storage server).
+func (d *BlkDriver) GrantPartition(client mk.ThreadID, size uint64) {
+	d.parts[client] = &partition{base: d.nextBase, size: size}
+	d.nextBase += size
+	d.K.M.CPU.Work(d.Component(), 200)
+}
+
+// handle serves IRQ IPCs and client read/write calls.
+func (d *BlkDriver) handle(k *mk.Kernel, from mk.ThreadID, msg mk.Msg) (mk.Msg, error) {
+	comp := d.Component()
+	switch msg.Label {
+	case mk.LabelIRQ:
+		for _, c := range d.Disk.Reap() {
+			k.M.CPU.Work(comp, 200)
+			if p, ok := d.inflight[c.Req.Tag]; ok {
+				p.done, p.ok = true, c.OK
+				delete(d.inflight, c.Req.Tag)
+			}
+		}
+		return mk.Msg{}, nil
+	case LabelBlkRead, LabelBlkWrite:
+		if len(msg.Words) < 1 {
+			return mk.Msg{}, ErrBadRequest
+		}
+		part := d.parts[from]
+		if part == nil {
+			return mk.Msg{}, ErrNoBlock
+		}
+		block := msg.Words[0]
+		if block >= part.size {
+			return mk.Msg{}, ErrBadRequest
+		}
+		k.M.CPU.Work(comp, 300) // request validation, translation
+		f, err := k.M.Mem.Alloc(comp)
+		if err != nil {
+			return mk.Msg{}, err
+		}
+		defer k.M.Mem.Free(f)
+		op := dev.DiskRead
+		if msg.Label == LabelBlkWrite {
+			op = dev.DiskWrite
+			buf := k.M.Mem.Data(f)
+			for i := range buf {
+				buf[i] = 0
+			}
+			copy(buf, msg.Data)
+			k.M.CPU.Work(comp, k.M.CPU.CopyCost(uint64(len(msg.Data))))
+		}
+		d.nextTag++
+		tag := d.nextTag
+		pend := &blkPending{}
+		d.inflight[tag] = pend
+		d.Disk.Submit(dev.DiskReq{Op: op, Block: part.base + block, Frame: f, Tag: tag})
+		// "Block" until the completion interrupt lands (delivered to this
+		// same thread as an IRQ IPC by the pump).
+		for i := 0; i < 64 && !pend.done; i++ {
+			if k.PumpIO(8) == 0 {
+				break
+			}
+		}
+		if !pend.done || !pend.ok {
+			return mk.Msg{}, ErrBadRequest
+		}
+		d.served++
+		if op == dev.DiskRead {
+			ps := k.M.Mem.PageSize()
+			out := make([]byte, ps)
+			copy(out, k.M.Mem.Data(f))
+			k.M.CPU.Work(comp, k.M.CPU.CopyCost(ps))
+			return mk.Msg{Data: out}, nil
+		}
+		return mk.Msg{Words: []uint64{0}}, nil
+	}
+	return mk.Msg{}, ErrBadRequest
+}
+
+// Served returns the number of completed client requests.
+func (d *BlkDriver) Served() uint64 { return d.served }
+
+// BlkClient adapts the driver to the BlockService interface for one client
+// thread.
+type BlkClient struct {
+	drv    *BlkDriver
+	client mk.ThreadID
+}
+
+// NewBlkClient grants the client a partition and returns its handle.
+func (d *BlkDriver) NewBlkClient(client mk.ThreadID, size uint64) *BlkClient {
+	d.GrantPartition(client, size)
+	return &BlkClient{drv: d, client: client}
+}
+
+// Read fetches one block via IPC to the driver.
+func (c *BlkClient) Read(block uint64) ([]byte, error) {
+	reply, err := c.drv.K.Call(c.client, c.drv.Thread.ID, mk.Msg{Label: LabelBlkRead, Words: []uint64{block}})
+	if err != nil {
+		return nil, err
+	}
+	return reply.Data, nil
+}
+
+// Write stores one block via IPC to the driver.
+func (c *BlkClient) Write(block uint64, data []byte) error {
+	_, err := c.drv.K.Call(c.client, c.drv.Thread.ID, mk.Msg{Label: LabelBlkWrite, Words: []uint64{block}, Data: data})
+	return err
+}
+
+var _ BlockService = (*BlkClient)(nil)

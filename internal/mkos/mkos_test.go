@@ -1,0 +1,472 @@
+package mkos
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"vmmk/internal/hw"
+	"vmmk/internal/hw/dev"
+	"vmmk/internal/mk"
+	"vmmk/internal/trace"
+)
+
+// mstack is a complete microkernel software stack: kernel, drivers, OS
+// server with one process, and the storage server.
+type mstack struct {
+	m     *hw.Machine
+	k     *mk.Kernel
+	nic   *dev.NIC
+	disk  *dev.Disk
+	net   *NetDriver
+	blk   *BlkDriver
+	store *StoreServer
+	os    *OSServer
+	proc  *Proc
+}
+
+func newMStack(t testing.TB, mode RxMode) *mstack {
+	t.Helper()
+	m := hw.NewMachine(hw.X86(), &hw.MachineConfig{Frames: 2048, IRQLines: 16})
+	k := mk.New(m)
+	nic := dev.NewNIC(m, dev.NICConfig{RxIRQ: 1, TxIRQ: 2, RingSize: 64})
+	disk := dev.NewDisk(m, dev.DiskConfig{IRQ: 3, Latency: 5000})
+	nd, err := NewNetDriver(k, nic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd.Mode = mode
+	bd, err := NewBlkDriver(k, disk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	osrv, err := NewOSServer(k, "linux")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd.Attach(osrv)
+	store, err := NewStoreServer(k, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.SetPersistence(bd.NewBlkClient(store.Thread.ID, 1024))
+	store.Attach(osrv, 256)
+	proc, err := osrv.Spawn("app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &mstack{m: m, k: k, nic: nic, disk: disk, net: nd, blk: bd, store: store, os: osrv, proc: proc}
+}
+
+func (s *mstack) pump() { s.k.PumpIO(64) }
+
+func (s *mstack) inject(size int) {
+	s.nic.Inject(make([]byte, size))
+	s.m.IRQ.DispatchPending(mk.KernelComponent)
+}
+
+func TestSyscallGetPID(t *testing.T) {
+	s := newMStack(t, RxGrant)
+	ret, err := s.os.Syscall(s.proc.PID, SysGetPID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if PID(ret[0]) != s.proc.PID {
+		t.Fatalf("getpid = %d, want %d", ret[0], s.proc.PID)
+	}
+	// The syscall was exactly one IPC call.
+	calls, _, _ := s.k.Stats()
+	if calls == 0 {
+		t.Fatal("syscall did not go through IPC")
+	}
+}
+
+func TestSyscallUnknownIsENOSYS(t *testing.T) {
+	s := newMStack(t, RxGrant)
+	ret, err := s.os.Syscall(s.proc.PID, 999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ret[0] != ^uint64(0) {
+		t.Fatal("unknown syscall should return ENOSYS marker")
+	}
+}
+
+func TestSyscallBadProcess(t *testing.T) {
+	s := newMStack(t, RxGrant)
+	if _, err := s.os.Syscall(999, SysGetPID); !errors.Is(err, ErrNoSuchProcess) {
+		t.Fatalf("err = %v, want ErrNoSuchProcess", err)
+	}
+}
+
+func TestConsoleWrite(t *testing.T) {
+	s := newMStack(t, RxGrant)
+	for _, b := range []byte("ok") {
+		if _, err := s.os.Syscall(s.proc.PID, SysWrite, uint64(b)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if string(s.os.Console()) != "ok" {
+		t.Fatalf("console = %q", s.os.Console())
+	}
+}
+
+func TestProcessPageFaultPagedByOS(t *testing.T) {
+	s := newMStack(t, RxGrant)
+	// Touch an unmapped page in the process: the OS server is its pager.
+	if _, err := s.k.Touch(s.proc.Thread.ID, 0x77, hw.PermW); err != nil {
+		t.Fatal(err)
+	}
+	if s.m.Rec.Counts(trace.KPagerFault) != 1 {
+		t.Fatal("fault did not go through the pager protocol")
+	}
+	if _, ok := s.proc.Space.PT.Lookup(0x77); !ok {
+		t.Fatal("mapping not installed")
+	}
+}
+
+func TestNetRxGrantEndToEnd(t *testing.T) {
+	s := newMStack(t, RxGrant)
+	s.inject(1500)
+	s.pump()
+	if s.os.PendingRx() != 1 {
+		t.Fatalf("pending = %d, want 1", s.os.PendingRx())
+	}
+	ret, err := s.os.Syscall(s.proc.PID, SysNetRecv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ret[0] != 1500 {
+		t.Fatalf("recv len = %d, want 1500", ret[0])
+	}
+	if s.m.Rec.Counts(trace.KIPCMapTransfer) == 0 {
+		t.Fatal("grant mode must use map transfer")
+	}
+	if s.proc.RxDelivered() != 1 {
+		t.Fatal("delivery count wrong")
+	}
+}
+
+func TestNetRxCopyEndToEnd(t *testing.T) {
+	s := newMStack(t, RxStringCopy)
+	maps0 := s.m.Rec.Counts(trace.KIPCMapTransfer)
+	s.inject(800)
+	s.pump()
+	if s.os.PendingRx() != 1 {
+		t.Fatalf("pending = %d, want 1", s.os.PendingRx())
+	}
+	if s.m.Rec.Counts(trace.KIPCMapTransfer) != maps0 {
+		t.Fatal("copy mode must not map-transfer")
+	}
+	if s.m.Rec.Counts(trace.KIPCStringTransfer) == 0 {
+		t.Fatal("copy mode must string-transfer")
+	}
+}
+
+func TestNetRxBurstConservesMemory(t *testing.T) {
+	s := newMStack(t, RxGrant)
+	free0 := s.m.Mem.FreeFrames()
+	for i := 0; i < 50; i++ {
+		s.inject(100)
+		s.pump()
+	}
+	for s.os.PendingRx() > 0 {
+		if _, err := s.os.Syscall(s.proc.PID, SysNetRecv); err != nil {
+			t.Fatal(err)
+		}
+	}
+	free1 := s.m.Mem.FreeFrames()
+	if free0-free1 > 40 {
+		t.Fatalf("frame leak: free %d -> %d", free0, free1)
+	}
+}
+
+func TestNetTxEndToEnd(t *testing.T) {
+	s := newMStack(t, RxGrant)
+	ret, err := s.os.Syscall(s.proc.PID, SysNetSend, 900)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ret[0] != 900 {
+		t.Fatalf("send returned %d", ret[0])
+	}
+	s.pump()
+	pkts := s.nic.Transmitted()
+	if len(pkts) != 1 || len(pkts[0].Data) != 900 {
+		t.Fatalf("wire saw %v packets", len(pkts))
+	}
+	_, tx := s.net.Stats()
+	if tx != 1 {
+		t.Fatalf("driver tx = %d, want 1", tx)
+	}
+}
+
+func TestNetSendToDeadDriverFails(t *testing.T) {
+	s := newMStack(t, RxGrant)
+	s.k.KillThread(s.net.Thread.ID)
+	if err := s.os.Net.Send([]byte("x")); !errors.Is(err, mk.ErrDeadPartner) {
+		t.Fatalf("err = %v, want ErrDeadPartner", err)
+	}
+	// OS server survives; only the network service is gone.
+	if !s.k.Alive(s.os.Thread.ID) {
+		t.Fatal("OS server died with the driver")
+	}
+}
+
+func TestBlkDriverDirectReadWrite(t *testing.T) {
+	s := newMStack(t, RxGrant)
+	osClient := s.blk.NewBlkClient(s.os.Thread.ID, 128)
+	want := []byte("mk-block-data")
+	if err := osClient.Write(3, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := osClient.Read(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:len(want)], want) {
+		t.Fatalf("read %q, want %q", got[:len(want)], want)
+	}
+	if s.blk.Served() < 2 {
+		t.Fatalf("driver served %d", s.blk.Served())
+	}
+}
+
+func TestBlkPartitionIsolation(t *testing.T) {
+	s := newMStack(t, RxGrant)
+	os2, err := NewOSServer(s.k, "linux2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1 := s.blk.NewBlkClient(s.os.Thread.ID, 64)
+	c2 := s.blk.NewBlkClient(os2.Thread.ID, 64)
+	if err := c1.Write(0, []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Write(0, []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	g1, _ := c1.Read(0)
+	g2, _ := c2.Read(0)
+	if string(g1[:3]) != "one" || string(g2[:3]) != "two" {
+		t.Fatal("partition isolation broken")
+	}
+}
+
+func TestBlkOutOfRange(t *testing.T) {
+	s := newMStack(t, RxGrant)
+	c := s.blk.NewBlkClient(s.os.Thread.ID, 16)
+	if _, err := c.Read(16); err == nil {
+		t.Fatal("out-of-partition read must fail")
+	}
+}
+
+func TestStoreServesViaSyscall(t *testing.T) {
+	s := newMStack(t, RxGrant)
+	ret, err := s.os.Syscall(s.proc.PID, SysBlockWrite, 5)
+	if err != nil || ret[0] != 0 {
+		t.Fatalf("block write failed: %v %v", ret, err)
+	}
+	ret, err = s.os.Syscall(s.proc.PID, SysBlockRead, 5)
+	if err != nil || ret[0] != 0 {
+		t.Fatalf("block read failed: %v %v", ret, err)
+	}
+	if s.store.Requests() != 2 {
+		t.Fatalf("store served %d, want 2", s.store.Requests())
+	}
+}
+
+func TestStoreCopyOnWriteSnapshot(t *testing.T) {
+	s := newMStack(t, RxGrant)
+	client := s.os.Blk.(*StoreClient)
+	if err := client.Write(1, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	n, err := client.Snapshot()
+	if err != nil || n != 1 {
+		t.Fatalf("snapshot captured %d, err %v", n, err)
+	}
+	if err := client.Write(1, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := client.Read(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got[:2]) != "v2" {
+		t.Fatal("live view missing post-snapshot write")
+	}
+	if snap := s.store.SnapshotRead(s.os.Thread.ID, 1); string(snap[:2]) != "v1" {
+		t.Fatal("snapshot lost pre-snapshot data")
+	}
+}
+
+func TestStoreReadThroughPersistence(t *testing.T) {
+	s := newMStack(t, RxGrant)
+	client := s.os.Blk.(*StoreClient)
+	if err := client.Write(9, []byte("durable")); err != nil {
+		t.Fatal(err)
+	}
+	// Clear the in-memory cache to force read-through from the disk
+	// driver (simulating a store restart with warm persistence).
+	s.store.vdisks[s.os.Thread.ID].blocks = make(map[uint64][]byte)
+	got, err := client.Read(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got[:7]) != "durable" {
+		t.Fatalf("read-through returned %q", got[:7])
+	}
+}
+
+func TestStoreDeathBlastRadius(t *testing.T) {
+	// E4's microkernel half: kill the storage server; its clients lose
+	// storage, the kernel and other servers are unaffected. Identical in
+	// structure to Parallax's failure on the VMM side.
+	s := newMStack(t, RxGrant)
+	client := s.os.Blk.(*StoreClient)
+	if err := client.Write(1, []byte("pre")); err != nil {
+		t.Fatal(err)
+	}
+	s.k.KillThread(s.store.Thread.ID)
+
+	if err := client.Write(2, []byte("post")); !errors.Is(err, mk.ErrDeadPartner) {
+		t.Fatalf("err = %v, want ErrDeadPartner", err)
+	}
+	if !s.k.Alive(s.os.Thread.ID) || !s.k.Alive(s.proc.Thread.ID) {
+		t.Fatal("client killed by server death")
+	}
+	// Unrelated services still work.
+	if _, err := s.os.Syscall(s.proc.PID, SysGetPID); err != nil {
+		t.Fatalf("kernel/OS path broken: %v", err)
+	}
+	direct := s.blk.NewBlkClient(s.os.Thread.ID, 32)
+	if err := direct.Write(0, []byte("ok")); err != nil {
+		t.Fatalf("disk driver broken by store death: %v", err)
+	}
+}
+
+func TestStoreInDriverSpaceConsolidated(t *testing.T) {
+	// The mk-side super-server: storage colocated with the disk driver.
+	// It works — and dies with the driver, unlike the decomposed layout.
+	s := newMStack(t, RxGrant)
+	colo, err := NewStoreServerIn(s.k, s.blk.Space, "srv.blk.store", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os2, _ := NewOSServer(s.k, "linux2")
+	client := colo.Attach(os2, 64)
+	if err := client.Write(1, []byte("colo")); err != nil {
+		t.Fatal(err)
+	}
+	s.k.KillSpace(s.blk.Space)
+	if err := client.Write(2, []byte("x")); err == nil {
+		t.Fatal("colocated store survived its host space's death")
+	}
+	// The decomposed store (in its own space) is untouched.
+	if !s.k.Alive(s.store.Thread.ID) {
+		t.Fatal("separate store harmed by driver-space death")
+	}
+}
+
+func TestStoreUnattachedClientRejected(t *testing.T) {
+	s := newMStack(t, RxGrant)
+	os2, _ := NewOSServer(s.k, "intruder")
+	_, err := s.k.Call(os2.Thread.ID, s.store.Thread.ID, mk.Msg{Label: LabelStoreRead, Words: []uint64{0}})
+	if !errors.Is(err, ErrNoVDisk) {
+		t.Fatalf("err = %v, want ErrNoVDisk", err)
+	}
+}
+
+func TestRxDemuxToMultipleOSServers(t *testing.T) {
+	s := newMStack(t, RxGrant)
+	os2, _ := NewOSServer(s.k, "linux2")
+	s.net.Attach(os2)
+	s.nic.Inject([]byte{0, 0})
+	s.nic.Inject([]byte{1, 0})
+	s.nic.Inject([]byte{1, 0})
+	s.m.IRQ.DispatchPending(mk.KernelComponent)
+	s.pump()
+	if s.os.PendingRx() != 1 {
+		t.Fatalf("os1 pending = %d, want 1", s.os.PendingRx())
+	}
+	if os2.PendingRx() != 2 {
+		t.Fatalf("os2 pending = %d, want 2", os2.PendingRx())
+	}
+}
+
+func TestRxToDeadOSServerDropped(t *testing.T) {
+	s := newMStack(t, RxGrant)
+	s.k.KillThread(s.os.Thread.ID)
+	s.inject(64)
+	s.pump()
+	rx, _ := s.net.Stats()
+	if rx != 1 {
+		t.Fatalf("driver handled %d, want 1 (dropped)", rx)
+	}
+	if !s.k.Alive(s.net.Thread.ID) {
+		t.Fatal("driver harmed by dead client")
+	}
+}
+
+func TestGrantVsCopyCPUProportionality(t *testing.T) {
+	// Mini-E1, microkernel side: grant-mode per-packet cost is nearly
+	// flat in packet size; string-copy mode grows with size.
+	perPacket := func(mode RxMode, size int) uint64 {
+		s := newMStack(t, mode)
+		total := func() uint64 { return s.m.Rec.TotalCycles() }
+		before := total()
+		for i := 0; i < 20; i++ {
+			s.inject(size)
+			s.pump()
+		}
+		return (total() - before) / 20
+	}
+	grantSmall := perPacket(RxGrant, 64)
+	grantBig := perPacket(RxGrant, 4096)
+	copySmall := perPacket(RxStringCopy, 64)
+	copyBig := perPacket(RxStringCopy, 4096)
+	// Note: the driver itself copies payload for the descriptor in both
+	// modes, so "flat" here is looser than on the VMM side; the claim is
+	// only that copy mode grows strictly faster.
+	growGrant := float64(grantBig) / float64(grantSmall)
+	growCopy := float64(copyBig) / float64(copySmall)
+	if growCopy <= growGrant {
+		t.Fatalf("copy growth (%.2f) should exceed grant growth (%.2f)", growCopy, growGrant)
+	}
+}
+
+func TestCrossArchStackBoots(t *testing.T) {
+	// The whole personality stack is arch-independent: boot it on all
+	// nine platforms unchanged and run a syscall + a packet through it.
+	for _, arch := range hw.AllArchs() {
+		arch := arch
+		t.Run(arch.Name, func(t *testing.T) {
+			m := hw.NewMachine(arch, &hw.MachineConfig{Frames: 1024, IRQLines: 16})
+			k := mk.New(m)
+			nic := dev.NewNIC(m, dev.NICConfig{RxIRQ: 1, TxIRQ: 2})
+			nd, err := NewNetDriver(k, nic)
+			if err != nil {
+				t.Fatal(err)
+			}
+			osrv, err := NewOSServer(k, "linux")
+			if err != nil {
+				t.Fatal(err)
+			}
+			nd.Attach(osrv)
+			p, err := osrv.Spawn("app")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := osrv.Syscall(p.PID, SysGetPID); err != nil {
+				t.Fatal(err)
+			}
+			nic.Inject(make([]byte, 256))
+			m.IRQ.DispatchPending(mk.KernelComponent)
+			k.PumpIO(16)
+			if osrv.PendingRx() != 1 {
+				t.Fatal("packet lost")
+			}
+		})
+	}
+}

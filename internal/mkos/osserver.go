@@ -1,0 +1,289 @@
+// Package mkos provides the operating-system personality that runs on the
+// mk microkernel: a paravirtualised OS server (L4Linux-like) whose
+// processes make system calls by IPC, user-level NIC and disk driver
+// servers that receive interrupts as IPC, and a storage server with
+// copy-on-write snapshots — the microkernel-side twin of the Parallax
+// appliance, used by the liability-inversion experiment E4.
+//
+// Together with package mk this is "system A" of the paper's comparison.
+// Structurally it is the DROPS/L4Linux arrangement §3.3 cites: the OS is
+// one server among several, drivers are ordinary user-level threads, and
+// every interaction is the one IPC primitive.
+package mkos
+
+import (
+	"errors"
+
+	"vmmk/internal/fslite"
+	"vmmk/internal/hw"
+	"vmmk/internal/mk"
+)
+
+// PID identifies a process of the OS server.
+type PID uint32
+
+// Syscall numbers, deliberately identical to package vmmos so the same
+// workloads run on both systems.
+const (
+	SysGetPID uint32 = iota + 1
+	SysWrite
+	SysYield
+	SysNetSend
+	SysNetRecv
+	SysBlockRead
+	SysBlockWrite
+)
+
+// IPC protocol labels used between the servers.
+const (
+	LabelSyscall uint32 = 0x100 + iota
+	LabelNetTx
+	LabelNetRxDeliver
+	LabelBlkRead
+	LabelBlkWrite
+	LabelStoreRead
+	LabelStoreWrite
+	LabelStoreSnapshot
+)
+
+// Errors surfaced by the OS personality.
+var (
+	ErrNoSuchProcess = errors.New("mkos: no such process")
+	ErrNoNetwork     = errors.New("mkos: no network driver attached")
+	ErrNoBlock       = errors.New("mkos: no block service attached")
+	ErrBadRequest    = errors.New("mkos: malformed request")
+)
+
+// Proc is one user process: its own address space (paged by the OS server)
+// and a client thread.
+type Proc struct {
+	PID    PID
+	Name   string
+	Thread *mk.Thread
+	Space  *mk.Space
+
+	rxDelivered uint64
+}
+
+// RxDelivered returns how many packets the process has consumed.
+func (p *Proc) RxDelivered() uint64 { return p.rxDelivered }
+
+// OSServer is the paravirtualised guest OS: one server thread that
+// implements the syscall interface for its processes, holding a network
+// connection to the driver server and a block service (driver or store).
+type OSServer struct {
+	K      *mk.Kernel
+	Space  *mk.Space
+	Thread *mk.Thread
+
+	procs   map[PID]*Proc
+	byTID   map[mk.ThreadID]*Proc
+	nextPID PID
+
+	Net *NetClient
+	Blk BlockService
+
+	console     []byte
+	rxQueue     [][]byte
+	syscallWork hw.Cycles
+
+	pagerWindow hw.VPN // next free window page for fault service
+}
+
+// BlockService is the OS server's view of block storage: direct to the
+// disk driver or through the storage server.
+type BlockService interface {
+	Read(block uint64) ([]byte, error)
+	Write(block uint64, data []byte) error
+}
+
+// NewOSServer boots an OS server named name on kernel k.
+func NewOSServer(k *mk.Kernel, name string) (*OSServer, error) {
+	sp, err := k.NewSpace(name, mk.NilThread)
+	if err != nil {
+		return nil, err
+	}
+	os := &OSServer{
+		K:           k,
+		Space:       sp,
+		procs:       make(map[PID]*Proc),
+		byTID:       make(map[mk.ThreadID]*Proc),
+		nextPID:     1,
+		syscallWork: 150,
+		pagerWindow: 0x9000,
+	}
+	os.Thread = k.NewThread(sp, name, 5, os.handle)
+	return os, nil
+}
+
+// Component returns the server's trace attribution name.
+func (os *OSServer) Component() string { return os.Thread.Component() }
+
+// SetSyscallWork tunes the modelled per-syscall in-server work.
+func (os *OSServer) SetSyscallWork(c hw.Cycles) { os.syscallWork = c }
+
+// Spawn creates a process: a fresh space paged by the OS server, plus its
+// thread.
+func (os *OSServer) Spawn(name string) (*Proc, error) {
+	sp, err := os.K.NewSpace(os.Space.Name+"."+name, os.Thread.ID)
+	if err != nil {
+		return nil, err
+	}
+	t := os.K.NewThread(sp, sp.Name, 1, nil)
+	p := &Proc{PID: os.nextPID, Name: name, Thread: t, Space: sp}
+	os.nextPID++
+	os.procs[p.PID] = p
+	os.byTID[t.ID] = p
+	os.K.M.CPU.Work(os.Component(), 500)
+	return p, nil
+}
+
+// Proc returns the process for pid, or nil.
+func (os *OSServer) Proc(pid PID) *Proc { return os.procs[pid] }
+
+// Syscall issues a system call from process pid: one IPC call to the OS
+// server — the L4Linux structure the paper's §3.2 equates with Xen's
+// bounced syscalls.
+func (os *OSServer) Syscall(pid PID, no uint32, args ...uint64) ([]uint64, error) {
+	p := os.procs[pid]
+	if p == nil {
+		return nil, ErrNoSuchProcess
+	}
+	words := append([]uint64{uint64(no)}, args...)
+	reply, err := os.K.Call(p.Thread.ID, os.Thread.ID, mk.Msg{Label: LabelSyscall, Words: words})
+	if err != nil {
+		return nil, err
+	}
+	return reply.Words, nil
+}
+
+// handle is the OS server's IPC entry point: syscalls from its processes,
+// packet deliveries from the net driver, and page faults from its
+// processes (the server is their external pager).
+func (os *OSServer) handle(k *mk.Kernel, from mk.ThreadID, msg mk.Msg) (mk.Msg, error) {
+	comp := os.Component()
+	switch msg.Label {
+	case mk.LabelPageFault:
+		return os.handleFault(k, from, msg)
+	case LabelNetRxDeliver:
+		// One packet from the driver; payload already in msg.Data
+		// (string transfer) or granted via map items + Words[0]=len.
+		k.M.CPU.Work(comp, 250)
+		payload := append([]byte(nil), msg.Data...)
+		os.rxQueue = append(os.rxQueue, payload)
+		return mk.Msg{}, nil
+	case LabelSyscall:
+		return os.handleSyscall(k, from, msg)
+	}
+	return mk.Msg{}, ErrBadRequest
+}
+
+// handleFault services a page fault of one of this server's processes:
+// allocate backing, map it into the server's window, delegate to the
+// faulter. This is the external-pager protocol of §3.1.
+func (os *OSServer) handleFault(k *mk.Kernel, from mk.ThreadID, msg mk.Msg) (mk.Msg, error) {
+	comp := os.Component()
+	k.M.CPU.Work(comp, 400) // vm_area lookup, policy
+	if len(msg.Words) < 2 {
+		return mk.Msg{}, ErrBadRequest
+	}
+	vpn := hw.VPN(msg.Words[0])
+	f, err := k.M.Mem.Alloc(comp)
+	if err != nil {
+		return mk.Msg{}, err
+	}
+	window := os.pagerWindow
+	os.pagerWindow++
+	os.Space.PT.Map(window, hw.PTE{Frame: f, Perms: hw.PermRW, User: true})
+	return mk.Msg{
+		Label: mk.LabelPageFaultReply,
+		Map:   []mk.MapItem{{SrcVPN: window, DstVPN: vpn, Count: 1, Perms: hw.PermRW}},
+	}, nil
+}
+
+func errno(v uint64) mk.Msg { return mk.Msg{Words: []uint64{v}} }
+
+// handleSyscall dispatches one system call inside the OS server.
+func (os *OSServer) handleSyscall(k *mk.Kernel, from mk.ThreadID, msg mk.Msg) (mk.Msg, error) {
+	comp := os.Component()
+	k.M.CPU.Work(comp, os.syscallWork)
+	if len(msg.Words) == 0 {
+		return mk.Msg{}, ErrBadRequest
+	}
+	no := uint32(msg.Words[0])
+	args := msg.Words[1:]
+	p := os.byTID[from]
+	switch no {
+	case SysGetPID:
+		if p == nil {
+			return errno(^uint64(0)), nil
+		}
+		return errno(uint64(p.PID)), nil
+	case SysWrite:
+		if len(args) < 1 {
+			return mk.Msg{}, ErrBadRequest
+		}
+		os.console = append(os.console, byte(args[0]))
+		return errno(1), nil
+	case SysYield:
+		return mk.Msg{}, nil
+	case SysNetSend:
+		if os.Net == nil {
+			return errno(^uint64(0)), nil
+		}
+		n := int(args[0])
+		if err := os.Net.Send(make([]byte, n)); err != nil {
+			return errno(^uint64(0)), nil
+		}
+		return errno(uint64(n)), nil
+	case SysNetRecv:
+		if len(os.rxQueue) == 0 {
+			return errno(0), nil
+		}
+		pkt := os.rxQueue[0]
+		os.rxQueue = os.rxQueue[1:]
+		if p != nil {
+			p.rxDelivered++
+		}
+		return errno(uint64(len(pkt))), nil
+	case SysBlockRead:
+		if os.Blk == nil {
+			return errno(^uint64(0)), nil
+		}
+		if _, err := os.Blk.Read(args[0]); err != nil {
+			return errno(^uint64(0)), nil
+		}
+		return errno(0), nil
+	case SysBlockWrite:
+		if os.Blk == nil {
+			return errno(^uint64(0)), nil
+		}
+		if err := os.Blk.Write(args[0], []byte("block-data")); err != nil {
+			return errno(^uint64(0)), nil
+		}
+		return errno(0), nil
+	}
+	return errno(^uint64(0)), nil // ENOSYS
+}
+
+// MountFS formats and mounts an fslite filesystem over the server's block
+// service — the same filesystem code the VMM personality mounts, which is
+// the §2.2 component-reuse claim in action.
+func (os *OSServer) MountFS(blocks uint64) (*fslite.FS, error) {
+	if os.Blk == nil {
+		return nil, ErrNoBlock
+	}
+	return fslite.Mkfs(os.Blk, os.K.M.Mem.PageSize(), blocks)
+}
+
+// Console returns bytes written with SysWrite.
+func (os *OSServer) Console() []byte { return os.console }
+
+// PendingRx returns the number of queued received packets.
+func (os *OSServer) PendingRx() int { return len(os.rxQueue) }
+
+// DeliverPacket is the driver-facing entry: it is invoked via IPC (the
+// driver calls k.Send to our thread), but exposed for tests.
+func (os *OSServer) DeliverPacket(payload []byte) {
+	os.rxQueue = append(os.rxQueue, append([]byte(nil), payload...))
+}

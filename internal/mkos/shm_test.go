@@ -1,0 +1,142 @@
+package mkos
+
+import (
+	"errors"
+	"testing"
+
+	"vmmk/internal/hw"
+	"vmmk/internal/mk"
+	"vmmk/internal/trace"
+)
+
+type shmRig struct {
+	m       *hw.Machine
+	k       *mk.Kernel
+	a, b, c *mk.Space
+	at, bt  *mk.Thread
+	ct      *mk.Thread
+}
+
+func newShmRig(t *testing.T) *shmRig {
+	t.Helper()
+	m := hw.NewMachine(hw.X86(), &hw.MachineConfig{Frames: 128})
+	k := mk.New(m)
+	accept := func(k *mk.Kernel, from mk.ThreadID, msg mk.Msg) (mk.Msg, error) { return mk.Msg{}, nil }
+	a, _ := k.NewSpace("a", mk.NilThread)
+	b, _ := k.NewSpace("b", mk.NilThread)
+	c, _ := k.NewSpace("c", mk.NilThread)
+	return &shmRig{
+		m: m, k: k, a: a, b: b, c: c,
+		at: k.NewThread(a, "a", 1, accept),
+		bt: k.NewThread(b, "b", 1, accept),
+		ct: k.NewThread(c, "c", 1, accept),
+	}
+}
+
+func TestShmSetupOnceThenKernelFreeTransfer(t *testing.T) {
+	r := newShmRig(t)
+	region, err := NewShmRegion(r.k, r.a, 0x100, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, err := region.Share(r.at.ID, r.bt.ID, r.b, 0x200, hw.PermR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Setup used IPC; the transfers below must not.
+	snap := r.m.Rec.Snapshot()
+	if err := region.Write(0, []byte("zero-kernel-cost data")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := view.Read(0, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "zero-kernel-cost data" {
+		t.Fatalf("read %q", got)
+	}
+	if r.m.Rec.IPCEquivalentSince(snap) != 0 {
+		t.Fatal("post-setup transfer used kernel-mediated operations")
+	}
+	if r.m.Rec.CountsSince(snap, trace.KTrap) != 0 {
+		t.Fatal("post-setup transfer entered the kernel")
+	}
+}
+
+func TestShmSecondPage(t *testing.T) {
+	r := newShmRig(t)
+	region, _ := NewShmRegion(r.k, r.a, 0x100, 2)
+	view, err := region.Share(r.at.ID, r.bt.ID, r.b, 0x200, hw.PermRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	region.Write(1, []byte("page-two"))
+	got, _ := view.Read(1, 8)
+	if string(got) != "page-two" {
+		t.Fatalf("read %q", got)
+	}
+	if err := region.Write(5, nil); !errors.Is(err, mk.ErrBadMapping) {
+		t.Fatal("out-of-region write accepted")
+	}
+}
+
+func TestShmRevokeCutsAllViews(t *testing.T) {
+	r := newShmRig(t)
+	region, _ := NewShmRegion(r.k, r.a, 0x100, 1)
+	viewB, err := region.Share(r.at.ID, r.bt.ID, r.b, 0x200, hw.PermRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// B re-delegates to C — the owner doesn't even know.
+	_, err = r.k.Call(r.bt.ID, r.ct.ID, mk.Msg{
+		Map: []mk.MapItem{{SrcVPN: 0x200, DstVPN: 0x300, Count: 1, Perms: hw.PermR}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.c.PT.Lookup(0x300); !ok {
+		t.Fatal("re-delegation failed")
+	}
+
+	// Revocation reaches both B and C through the mapping database.
+	if n := region.Revoke(); n != 2 {
+		t.Fatalf("revoked %d mappings, want 2", n)
+	}
+	if viewB.Alive() {
+		t.Fatal("B's view survived revocation")
+	}
+	if _, ok := r.c.PT.Lookup(0x300); ok {
+		t.Fatal("C's re-delegated view survived revocation")
+	}
+	if _, err := viewB.Read(0, 1); !errors.Is(err, ErrShmRevoked) {
+		t.Fatalf("read after revoke: %v", err)
+	}
+	// The owner still has it.
+	if err := region.Write(0, []byte("mine")); err != nil {
+		t.Fatal("owner lost its own region")
+	}
+}
+
+func TestShmDestroyFreesFrames(t *testing.T) {
+	r := newShmRig(t)
+	free0 := r.m.Mem.FreeFrames()
+	region, _ := NewShmRegion(r.k, r.a, 0x100, 3)
+	region.Share(r.at.ID, r.bt.ID, r.b, 0x200, hw.PermR)
+	region.Destroy()
+	if r.m.Mem.FreeFrames() != free0 {
+		t.Fatalf("destroy leaked frames: %d -> %d", free0, r.m.Mem.FreeFrames())
+	}
+	if err := region.Write(0, nil); !errors.Is(err, ErrShmRevoked) {
+		t.Fatal("write to destroyed region accepted")
+	}
+	region.Destroy() // idempotent
+}
+
+func TestShmShareAfterRevokeFails(t *testing.T) {
+	r := newShmRig(t)
+	region, _ := NewShmRegion(r.k, r.a, 0x100, 1)
+	region.Destroy()
+	if _, err := region.Share(r.at.ID, r.bt.ID, r.b, 0x200, hw.PermR); !errors.Is(err, ErrShmRevoked) {
+		t.Fatalf("share after destroy: %v", err)
+	}
+}

@@ -1,0 +1,193 @@
+package mkos
+
+import (
+	"errors"
+
+	"vmmk/internal/mk"
+)
+
+// StoreServer is the microkernel twin of the Parallax appliance: a
+// user-level server providing virtual block devices with copy-on-write
+// snapshots to client OS servers, persisting through the disk driver
+// server. §3.1's point is precisely that this server and Parallax are the
+// same design — "exactly what a user-level server does in a
+// microkernel-based system" — so the two implementations mirror each other
+// and E4 kills each to compare the wreckage.
+type StoreServer struct {
+	K      *mk.Kernel
+	Space  *mk.Space
+	Thread *mk.Thread
+
+	vdisks map[mk.ThreadID]*StoreDisk
+	blk    BlockService // write-through persistence; may be nil
+
+	requests uint64
+}
+
+// ErrNoVDisk is returned for requests from unattached clients.
+var ErrNoVDisk = errors.New("mkos: no virtual disk for this client")
+
+// StoreDisk is one client's virtual disk.
+type StoreDisk struct {
+	blocks   map[uint64][]byte
+	snapshot map[uint64][]byte
+	persist  uint64
+	size     uint64
+}
+
+// NewStoreServer boots the storage server in its own protection domain;
+// blk (if non-nil) is its persistence path, typically a BlkClient on the
+// disk driver.
+func NewStoreServer(k *mk.Kernel, blk BlockService) (*StoreServer, error) {
+	sp, err := k.NewSpace("srv.store", mk.NilThread)
+	if err != nil {
+		return nil, err
+	}
+	return NewStoreServerIn(k, sp, "srv.store", blk)
+}
+
+// NewStoreServerIn boots the storage server as a thread named name inside
+// an existing space — the consolidated arrangement (storage colocated with
+// a driver) whose widened blast radius the E9d ablation measures.
+// Decomposed callers should use NewStoreServer.
+func NewStoreServerIn(k *mk.Kernel, sp *mk.Space, name string, blk BlockService) (*StoreServer, error) {
+	s := &StoreServer{K: k, Space: sp, vdisks: make(map[mk.ThreadID]*StoreDisk), blk: blk}
+	s.Thread = k.NewThread(sp, name, 6, s.handle)
+	return s, nil
+}
+
+// Component returns the server's trace attribution name.
+func (s *StoreServer) Component() string { return s.Thread.Component() }
+
+// SetPersistence installs (or replaces) the server's write-through path.
+// Pass a BlkClient bound to this server's thread ID.
+func (s *StoreServer) SetPersistence(blk BlockService) { s.blk = blk }
+
+// Attach creates a virtual disk of size blocks for a client OS server and
+// installs the store as the client's block service.
+func (s *StoreServer) Attach(os *OSServer, size uint64) *StoreClient {
+	s.vdisks[os.Thread.ID] = &StoreDisk{
+		blocks:  make(map[uint64][]byte),
+		persist: uint64(len(s.vdisks)) * size,
+		size:    size,
+	}
+	c := &StoreClient{store: s, client: os.Thread.ID}
+	os.Blk = c
+	return c
+}
+
+// handle serves read/write/snapshot requests from clients.
+func (s *StoreServer) handle(k *mk.Kernel, from mk.ThreadID, msg mk.Msg) (mk.Msg, error) {
+	comp := s.Component()
+	vd := s.vdisks[from]
+	if vd == nil {
+		return mk.Msg{}, ErrNoVDisk
+	}
+	switch msg.Label {
+	case LabelStoreRead:
+		if len(msg.Words) < 1 || msg.Words[0] >= vd.size {
+			return mk.Msg{}, ErrBadRequest
+		}
+		s.requests++
+		k.M.CPU.Work(comp, 500) // block-map lookup
+		block := msg.Words[0]
+		data := vd.read(block)
+		if data == nil && s.blk != nil {
+			// Fall through to the persistent copy.
+			var err error
+			data, err = s.blk.Read(vd.persist + block)
+			if err != nil {
+				return mk.Msg{}, err
+			}
+		}
+		out := make([]byte, k.M.Mem.PageSize())
+		copy(out, data)
+		k.M.CPU.Work(comp, k.M.CPU.CopyCost(uint64(len(out))))
+		return mk.Msg{Data: out}, nil
+	case LabelStoreWrite:
+		if len(msg.Words) < 1 || msg.Words[0] >= vd.size {
+			return mk.Msg{}, ErrBadRequest
+		}
+		s.requests++
+		k.M.CPU.Work(comp, 500)
+		block := msg.Words[0]
+		data := append([]byte(nil), msg.Data...)
+		vd.blocks[block] = data
+		k.M.CPU.Work(comp, k.M.CPU.CopyCost(uint64(len(data))))
+		if s.blk != nil {
+			if err := s.blk.Write(vd.persist+block, data); err != nil {
+				return mk.Msg{}, err
+			}
+		}
+		return mk.Msg{Words: []uint64{0}}, nil
+	case LabelStoreSnapshot:
+		k.M.CPU.Work(comp, 800)
+		if vd.snapshot == nil {
+			vd.snapshot = make(map[uint64][]byte)
+		}
+		n := uint64(len(vd.blocks))
+		for b, d := range vd.blocks {
+			vd.snapshot[b] = d
+		}
+		vd.blocks = make(map[uint64][]byte)
+		return mk.Msg{Words: []uint64{n}}, nil
+	}
+	return mk.Msg{}, ErrBadRequest
+}
+
+func (vd *StoreDisk) read(block uint64) []byte {
+	if b, ok := vd.blocks[block]; ok {
+		return b
+	}
+	if vd.snapshot != nil {
+		if b, ok := vd.snapshot[block]; ok {
+			return b
+		}
+	}
+	return nil
+}
+
+// SnapshotRead returns the frozen view of a client's block (test hook,
+// symmetric with Parallax.SnapshotRead).
+func (s *StoreServer) SnapshotRead(client mk.ThreadID, block uint64) []byte {
+	vd := s.vdisks[client]
+	if vd == nil || vd.snapshot == nil {
+		return nil
+	}
+	return vd.snapshot[block]
+}
+
+// Requests returns the number of served client requests.
+func (s *StoreServer) Requests() uint64 { return s.requests }
+
+// StoreClient adapts the store to BlockService for one client.
+type StoreClient struct {
+	store  *StoreServer
+	client mk.ThreadID
+}
+
+// Read fetches a virtual block via IPC.
+func (c *StoreClient) Read(block uint64) ([]byte, error) {
+	reply, err := c.store.K.Call(c.client, c.store.Thread.ID, mk.Msg{Label: LabelStoreRead, Words: []uint64{block}})
+	if err != nil {
+		return nil, err
+	}
+	return reply.Data, nil
+}
+
+// Write stores a virtual block via IPC.
+func (c *StoreClient) Write(block uint64, data []byte) error {
+	_, err := c.store.K.Call(c.client, c.store.Thread.ID, mk.Msg{Label: LabelStoreWrite, Words: []uint64{block}, Data: data})
+	return err
+}
+
+// Snapshot freezes the client's disk, returning captured block count.
+func (c *StoreClient) Snapshot() (uint64, error) {
+	reply, err := c.store.K.Call(c.client, c.store.Thread.ID, mk.Msg{Label: LabelStoreSnapshot})
+	if err != nil {
+		return 0, err
+	}
+	return reply.Words[0], nil
+}
+
+var _ BlockService = (*StoreClient)(nil)

@@ -1,0 +1,151 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a minimal fixed-column text table used by the experiment harness
+// to print paper-style result tables. It right-aligns numeric-looking cells
+// and left-aligns everything else.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row. Cells are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		case float32:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func looksNumeric(s string) bool {
+	if s == "" {
+		return false
+	}
+	dot := false
+	digits := 0
+	for i, r := range s {
+		switch {
+		case r >= '0' && r <= '9':
+			digits++
+		case r == '-' && i == 0:
+		case r == '.' && !dot:
+			dot = true
+		case r == '%' && i == len(s)-1:
+		case r == 'x' && i == len(s)-1: // ratio suffix like "1.03x"
+		default:
+			return false
+		}
+	}
+	return digits > 0
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	ncol := len(t.Headers)
+	for _, r := range t.Rows {
+		if len(r) > ncol {
+			ncol = len(r)
+		}
+	}
+	widths := make([]int, ncol)
+	for i, h := range t.Headers {
+		if len(h) > widths[i] {
+			widths[i] = len(h)
+		}
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i := 0; i < ncol; i++ {
+			var c string
+			if i < len(cells) {
+				c = cells[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if looksNumeric(c) {
+				fmt.Fprintf(&b, "%*s", widths[i], c)
+			} else {
+				fmt.Fprintf(&b, "%-*s", widths[i], c)
+			}
+		}
+		// Trim trailing spaces for clean golden-file comparisons.
+		s := b.String()
+		trimmed := strings.TrimRight(s, " ")
+		b.Reset()
+		b.WriteString(trimmed)
+		b.WriteByte('\n')
+	}
+	if len(t.Headers) > 0 {
+		writeRow(t.Headers)
+		total := 0
+		for _, w := range widths {
+			total += w
+		}
+		b.WriteString(strings.Repeat("-", total+2*(ncol-1)))
+		b.WriteByte('\n')
+	}
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (headers first).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	if len(t.Headers) > 0 {
+		for i, h := range t.Headers {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(esc(h))
+		}
+		b.WriteByte('\n')
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(esc(c))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

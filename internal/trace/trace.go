@@ -1,0 +1,341 @@
+// Package trace records what the simulated kernels do: how many times each
+// privileged primitive fires and how many CPU cycles each component consumes.
+// Every experiment in the paper reduces to questions over these two ledgers
+// ("how many boundary crossings?", "whose CPU time is it?"), so the recorder
+// is deliberately dumb and exact: monotone counters, no sampling.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind identifies a class of kernel-level event. The set is the union of the
+// primitives the paper enumerates for microkernels (§2.2, one IPC primitive)
+// and for VMMs (§2.2, ten primitives), plus substrate events needed for cycle
+// accounting.
+type Kind uint8
+
+// Event kinds. Microkernel side uses KIPC* and KMap*; the VMM side uses the
+// KHyper*/KEvtchn/KPageFlip/KGrant* family. Shared hardware events are at the
+// end.
+const (
+	// Microkernel primitives.
+	KIPCSend Kind = iota
+	KIPCReceive
+	KIPCCall // send+receive rendezvous counted once per round trip
+	KIPCMapTransfer
+	KIPCStringTransfer
+	KPagerFault // page fault forwarded to a user-level pager via IPC
+
+	// VMM primitives (paper §2.2 items 1-10).
+	KGuestUserToKernel // 1: sync switch guest-user -> guest-kernel
+	KGuestKernelToUser // 2: sync switch guest-kernel -> guest-user
+	KEvtchnSend        // 3: async cross-domain channel notification
+	KHypercall         // 4: resource allocation / control via hypercall
+	KShadowPTUpdate    // 5: in-VM resource allocation via PT virtualisation
+	KPageFlip          // 6: resource re-allocation via page flipping
+	KExceptionBounce   // 7: exception/page-fault virtualisation bounce
+	KVirtIRQ           // 8: async event via virtual-interrupt signalling
+	KHardIRQInject     // 9: hardware interrupt via virtualised controller
+	KVirtDeviceOp      // 10: common virtual device (NIC/disk) operation
+	KGrantMap
+	KGrantCopy
+	KSyscallFastPath // trap-gate shortcut, VMM not invoked
+
+	// Shared substrate events.
+	KTrap // entry to the privileged kernel/monitor from any source
+	KKernelExit
+	KContextSwitch // same-privilege thread/vCPU switch
+	KWorldSwitch   // cross-domain (address-space or VM) switch
+	KTLBFlush
+	KTLBMiss
+	KPageFault
+	KIRQ // physical interrupt raised
+	KDMATransfer
+	KSchedule
+	KFault // injected component failure
+
+	kindCount
+)
+
+var kindNames = [...]string{
+	KIPCSend:           "ipc.send",
+	KIPCReceive:        "ipc.receive",
+	KIPCCall:           "ipc.call",
+	KIPCMapTransfer:    "ipc.map",
+	KIPCStringTransfer: "ipc.string",
+	KPagerFault:        "ipc.pagerfault",
+	KGuestUserToKernel: "vmm.guest-u2k",
+	KGuestKernelToUser: "vmm.guest-k2u",
+	KEvtchnSend:        "vmm.evtchn",
+	KHypercall:         "vmm.hypercall",
+	KShadowPTUpdate:    "vmm.shadowpt",
+	KPageFlip:          "vmm.pageflip",
+	KExceptionBounce:   "vmm.exc-bounce",
+	KVirtIRQ:           "vmm.virq",
+	KHardIRQInject:     "vmm.hirq-inject",
+	KVirtDeviceOp:      "vmm.vdev",
+	KGrantMap:          "vmm.grantmap",
+	KGrantCopy:         "vmm.grantcopy",
+	KSyscallFastPath:   "vmm.fastpath",
+	KTrap:              "hw.trap",
+	KKernelExit:        "hw.kexit",
+	KContextSwitch:     "hw.ctxsw",
+	KWorldSwitch:       "hw.worldsw",
+	KTLBFlush:          "hw.tlbflush",
+	KTLBMiss:           "hw.tlbmiss",
+	KPageFault:         "hw.pagefault",
+	KIRQ:               "hw.irq",
+	KDMATransfer:       "hw.dma",
+	KSchedule:          "hw.sched",
+	KFault:             "sim.fault",
+}
+
+// String returns the stable dotted name of the kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) && kindNames[k] != "" {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// NKinds is the number of defined event kinds.
+const NKinds = int(kindCount)
+
+// IsIPCEquivalent reports whether the kind counts as an "IPC-equivalent
+// operation" for experiment E2: a kernel-mediated protection-domain crossing
+// that transfers control or data between two parties. This is the paper's
+// §3.2 notion ("a Xen-based system performs essentially the same number of
+// IPC operations as a comparable microkernel-based system").
+//
+// Counting is per logical transfer, matching how KIPCCall counts one round
+// trip: a bounced guest syscall counts once (KExceptionBounce), so its
+// constituent guest-u2k/k2u ring transitions do not count again.
+func (k Kind) IsIPCEquivalent() bool {
+	switch k {
+	case KIPCSend, KIPCReceive, KIPCCall, KIPCStringTransfer, KIPCMapTransfer, KPagerFault,
+		KEvtchnSend, KPageFlip, KExceptionBounce, KVirtIRQ, KGrantCopy, KGrantMap:
+		return true
+	}
+	return false
+}
+
+// IsVMMPrimitive reports whether the kind is one of the ten VMM primitives
+// enumerated in §2.2 of the paper, for the primitive census (E5).
+func (k Kind) IsVMMPrimitive() bool {
+	return k >= KGuestUserToKernel && k <= KVirtDeviceOp
+}
+
+// IsMKPrimitive reports whether the kind is a microkernel primitive (all are
+// facets of the single IPC mechanism), for the primitive census (E5).
+func (k Kind) IsMKPrimitive() bool {
+	return k <= KPagerFault
+}
+
+// Recorder accumulates event counts and per-component cycle attribution.
+// The zero value is not ready to use; call NewRecorder.
+type Recorder struct {
+	counts [kindCount]uint64
+	cycles map[string]uint64 // component -> cycles charged
+	order  []string          // components in first-charge order
+	log    []Record          // optional bounded event log
+	logCap int
+}
+
+// Record is one logged event, kept only when logging is enabled.
+type Record struct {
+	At        uint64 // cycle timestamp
+	Kind      Kind
+	Component string
+	Cycles    uint64
+	Note      string
+}
+
+// NewRecorder returns an empty recorder. logCap > 0 enables the bounded
+// event log (oldest entries are dropped beyond the cap).
+func NewRecorder(logCap int) *Recorder {
+	return &Recorder{cycles: make(map[string]uint64), logCap: logCap}
+}
+
+// Count increments the counter for kind.
+func (r *Recorder) Count(kind Kind) { r.counts[kind]++ }
+
+// CountN increments the counter for kind by n.
+func (r *Recorder) CountN(kind Kind, n uint64) { r.counts[kind] += n }
+
+// Charge attributes cycles to the named component and increments the kind
+// counter. Component names are free-form but conventionally dotted paths
+// ("vmm.dom0", "mk.kernel", "mk.srv.net").
+func (r *Recorder) Charge(at uint64, kind Kind, component string, cycles uint64) {
+	r.counts[kind]++
+	r.chargeCycles(component, cycles)
+	if r.logCap > 0 {
+		if len(r.log) >= r.logCap {
+			copy(r.log, r.log[1:])
+			r.log = r.log[:len(r.log)-1]
+		}
+		r.log = append(r.log, Record{At: at, Kind: kind, Component: component, Cycles: cycles})
+	}
+}
+
+// ChargeCycles attributes cycles to a component without counting an event;
+// used for plain execution time (the workload "doing its job").
+func (r *Recorder) ChargeCycles(component string, cycles uint64) {
+	r.chargeCycles(component, cycles)
+}
+
+func (r *Recorder) chargeCycles(component string, cycles uint64) {
+	if _, ok := r.cycles[component]; !ok {
+		r.order = append(r.order, component)
+	}
+	r.cycles[component] += cycles
+}
+
+// Counts returns the count for kind.
+func (r *Recorder) Counts(kind Kind) uint64 { return r.counts[kind] }
+
+// Cycles returns the cycles charged to component.
+func (r *Recorder) Cycles(component string) uint64 { return r.cycles[component] }
+
+// CyclesPrefix sums cycles over all components whose name starts with prefix.
+func (r *Recorder) CyclesPrefix(prefix string) uint64 {
+	var sum uint64
+	for name, c := range r.cycles {
+		if strings.HasPrefix(name, prefix) {
+			sum += c
+		}
+	}
+	return sum
+}
+
+// TotalCycles sums cycles over all components.
+func (r *Recorder) TotalCycles() uint64 {
+	var sum uint64
+	for _, c := range r.cycles {
+		sum += c
+	}
+	return sum
+}
+
+// Components returns component names in first-charge order.
+func (r *Recorder) Components() []string {
+	out := make([]string, len(r.order))
+	copy(out, r.order)
+	return out
+}
+
+// IPCEquivalentOps sums the counters of every IPC-equivalent kind (E2).
+func (r *Recorder) IPCEquivalentOps() uint64 {
+	var sum uint64
+	for k := Kind(0); k < kindCount; k++ {
+		if k.IsIPCEquivalent() {
+			sum += r.counts[k]
+		}
+	}
+	return sum
+}
+
+// DistinctPrimitives returns the distinct primitive kinds with non-zero
+// counts, filtered by class ("mk", "vmm" or "" for both) — the raw material
+// of the E5 census.
+func (r *Recorder) DistinctPrimitives(class string) []Kind {
+	var out []Kind
+	for k := Kind(0); k < kindCount; k++ {
+		if r.counts[k] == 0 {
+			continue
+		}
+		switch class {
+		case "mk":
+			if k.IsMKPrimitive() {
+				out = append(out, k)
+			}
+		case "vmm":
+			if k.IsVMMPrimitive() {
+				out = append(out, k)
+			}
+		default:
+			if k.IsMKPrimitive() || k.IsVMMPrimitive() {
+				out = append(out, k)
+			}
+		}
+	}
+	return out
+}
+
+// Log returns a copy of the bounded event log.
+func (r *Recorder) Log() []Record {
+	out := make([]Record, len(r.log))
+	copy(out, r.log)
+	return out
+}
+
+// Reset clears all counters, attributions and the log.
+func (r *Recorder) Reset() {
+	r.counts = [kindCount]uint64{}
+	r.cycles = make(map[string]uint64)
+	r.order = nil
+	r.log = r.log[:0]
+}
+
+// Snapshot captures the current counter values so a caller can later compute
+// a delta over a measurement window.
+func (r *Recorder) Snapshot() Snapshot {
+	s := Snapshot{cycles: make(map[string]uint64, len(r.cycles))}
+	s.counts = r.counts
+	for k, v := range r.cycles {
+		s.cycles[k] = v
+	}
+	return s
+}
+
+// Snapshot is a point-in-time copy of a Recorder's ledgers.
+type Snapshot struct {
+	counts [kindCount]uint64
+	cycles map[string]uint64
+}
+
+// CountsSince returns the count delta for kind between s and the recorder's
+// current state.
+func (r *Recorder) CountsSince(s Snapshot, kind Kind) uint64 {
+	return r.counts[kind] - s.counts[kind]
+}
+
+// CyclesSince returns the cycle delta for component between s and now.
+func (r *Recorder) CyclesSince(s Snapshot, component string) uint64 {
+	return r.cycles[component] - s.cycles[component]
+}
+
+// IPCEquivalentSince returns the IPC-equivalent op delta since s.
+func (r *Recorder) IPCEquivalentSince(s Snapshot) uint64 {
+	var sum uint64
+	for k := Kind(0); k < kindCount; k++ {
+		if k.IsIPCEquivalent() {
+			sum += r.counts[k] - s.counts[k]
+		}
+	}
+	return sum
+}
+
+// Summary renders a deterministic human-readable summary of all non-zero
+// counters and all component cycle attributions.
+func (r *Recorder) Summary() string {
+	var b strings.Builder
+	b.WriteString("events:\n")
+	for k := Kind(0); k < kindCount; k++ {
+		if r.counts[k] > 0 {
+			fmt.Fprintf(&b, "  %-18s %12d\n", k.String(), r.counts[k])
+		}
+	}
+	b.WriteString("cycles:\n")
+	names := make([]string, 0, len(r.cycles))
+	for n := range r.cycles {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "  %-18s %12d\n", n, r.cycles[n])
+	}
+	return b.String()
+}

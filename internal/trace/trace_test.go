@@ -1,0 +1,232 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindNamesComplete(t *testing.T) {
+	for k := Kind(0); k < kindCount; k++ {
+		if strings.HasPrefix(k.String(), "kind(") {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+}
+
+func TestKindClassesDisjoint(t *testing.T) {
+	for k := Kind(0); k < kindCount; k++ {
+		if k.IsMKPrimitive() && k.IsVMMPrimitive() {
+			t.Errorf("%v is in both primitive classes", k)
+		}
+	}
+}
+
+func TestVMMPrimitiveCountIsTen(t *testing.T) {
+	// The paper (§2.2) enumerates exactly ten common VMM primitives; the
+	// census experiment depends on that cardinality.
+	n := 0
+	for k := Kind(0); k < kindCount; k++ {
+		if k >= KGuestUserToKernel && k <= KVirtDeviceOp {
+			n++
+		}
+	}
+	if n != 10 {
+		t.Fatalf("paper-enumerated VMM primitives = %d, want 10", n)
+	}
+}
+
+func TestChargeAccumulates(t *testing.T) {
+	r := NewRecorder(0)
+	r.Charge(0, KHypercall, "vmm.dom0", 100)
+	r.Charge(5, KHypercall, "vmm.dom0", 50)
+	r.Charge(9, KIPCSend, "mk.kernel", 25)
+	if got := r.Counts(KHypercall); got != 2 {
+		t.Errorf("hypercall count = %d, want 2", got)
+	}
+	if got := r.Cycles("vmm.dom0"); got != 150 {
+		t.Errorf("dom0 cycles = %d, want 150", got)
+	}
+	if got := r.TotalCycles(); got != 175 {
+		t.Errorf("total cycles = %d, want 175", got)
+	}
+}
+
+func TestChargeCyclesNoEvent(t *testing.T) {
+	r := NewRecorder(0)
+	r.ChargeCycles("app", 42)
+	for k := Kind(0); k < kindCount; k++ {
+		if r.Counts(k) != 0 {
+			t.Fatalf("ChargeCycles incremented event counter %v", k)
+		}
+	}
+	if r.Cycles("app") != 42 {
+		t.Fatal("cycles not charged")
+	}
+}
+
+func TestCyclesPrefix(t *testing.T) {
+	r := NewRecorder(0)
+	r.ChargeCycles("vmm.dom0", 10)
+	r.ChargeCycles("vmm.domU1", 20)
+	r.ChargeCycles("mk.kernel", 5)
+	if got := r.CyclesPrefix("vmm."); got != 30 {
+		t.Errorf("prefix sum = %d, want 30", got)
+	}
+}
+
+func TestComponentsOrder(t *testing.T) {
+	r := NewRecorder(0)
+	r.ChargeCycles("b", 1)
+	r.ChargeCycles("a", 1)
+	r.ChargeCycles("b", 1)
+	got := r.Components()
+	if len(got) != 2 || got[0] != "b" || got[1] != "a" {
+		t.Errorf("components = %v, want [b a]", got)
+	}
+}
+
+func TestIPCEquivalentOps(t *testing.T) {
+	r := NewRecorder(0)
+	r.Count(KIPCCall)
+	r.Count(KPageFlip)
+	r.Count(KTLBFlush) // not IPC-equivalent
+	r.Count(KHypercall)
+	// KHypercall is resource allocation, not a domain-crossing data/control
+	// transfer in the E2 sense.
+	if KHypercall.IsIPCEquivalent() {
+		t.Fatal("hypercall should not count as IPC-equivalent")
+	}
+	if got := r.IPCEquivalentOps(); got != 2 {
+		t.Errorf("IPC-equivalent ops = %d, want 2", got)
+	}
+}
+
+func TestDistinctPrimitives(t *testing.T) {
+	r := NewRecorder(0)
+	r.Count(KIPCCall)
+	r.Count(KIPCSend)
+	r.Count(KHypercall)
+	r.Count(KPageFlip)
+	if got := len(r.DistinctPrimitives("mk")); got != 2 {
+		t.Errorf("mk primitives = %d, want 2", got)
+	}
+	if got := len(r.DistinctPrimitives("vmm")); got != 2 {
+		t.Errorf("vmm primitives = %d, want 2", got)
+	}
+	if got := len(r.DistinctPrimitives("")); got != 4 {
+		t.Errorf("all primitives = %d, want 4", got)
+	}
+}
+
+func TestLogBounded(t *testing.T) {
+	r := NewRecorder(3)
+	for i := uint64(0); i < 10; i++ {
+		r.Charge(i, KTrap, "x", 1)
+	}
+	log := r.Log()
+	if len(log) != 3 {
+		t.Fatalf("log length = %d, want 3", len(log))
+	}
+	if log[0].At != 7 || log[2].At != 9 {
+		t.Errorf("log kept wrong window: %+v", log)
+	}
+}
+
+func TestSnapshotDelta(t *testing.T) {
+	r := NewRecorder(0)
+	r.Charge(0, KIPCCall, "mk.kernel", 10)
+	s := r.Snapshot()
+	r.Charge(1, KIPCCall, "mk.kernel", 10)
+	r.Charge(2, KIPCCall, "mk.kernel", 10)
+	if got := r.CountsSince(s, KIPCCall); got != 2 {
+		t.Errorf("delta counts = %d, want 2", got)
+	}
+	if got := r.CyclesSince(s, "mk.kernel"); got != 20 {
+		t.Errorf("delta cycles = %d, want 20", got)
+	}
+	if got := r.IPCEquivalentSince(s); got != 2 {
+		t.Errorf("delta ipc-equiv = %d, want 2", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	r := NewRecorder(2)
+	r.Charge(0, KTrap, "x", 5)
+	r.Reset()
+	if r.Counts(KTrap) != 0 || r.TotalCycles() != 0 || len(r.Log()) != 0 {
+		t.Fatal("reset did not clear state")
+	}
+}
+
+func TestSummaryDeterministic(t *testing.T) {
+	build := func() string {
+		r := NewRecorder(0)
+		r.Charge(0, KHypercall, "b", 1)
+		r.Charge(0, KIPCSend, "a", 2)
+		return r.Summary()
+	}
+	if build() != build() {
+		t.Fatal("summary not deterministic")
+	}
+	if !strings.Contains(build(), "vmm.hypercall") {
+		t.Fatal("summary missing event name")
+	}
+}
+
+func TestQuickChargeTotal(t *testing.T) {
+	f := func(charges []uint32) bool {
+		r := NewRecorder(0)
+		var want uint64
+		for i, c := range charges {
+			comp := "c" + string(rune('a'+i%5))
+			r.ChargeCycles(comp, uint64(c))
+			want += uint64(c)
+		}
+		return r.TotalCycles() == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("T1", "workload", "ops", "ratio")
+	tb.AddRow("netrx", 1000, 1.03)
+	tb.AddRow("syscall", 5, "0.99x")
+	s := tb.String()
+	if !strings.Contains(s, "T1") || !strings.Contains(s, "netrx") {
+		t.Fatalf("bad table:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("table has %d lines, want 5:\n%s", len(lines), s)
+	}
+	for _, l := range lines {
+		if strings.TrimRight(l, " ") != l {
+			t.Fatalf("line has trailing spaces: %q", l)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow(`x,y`, `he said "hi"`)
+	csv := tb.CSV()
+	want := "a,b\n\"x,y\",\"he said \"\"hi\"\"\"\n"
+	if csv != want {
+		t.Fatalf("csv = %q, want %q", csv, want)
+	}
+}
+
+func TestLooksNumeric(t *testing.T) {
+	cases := map[string]bool{
+		"123": true, "-4.5": true, "87%": true, "1.03x": true,
+		"abc": false, "": false, "1.2.3": false, "x": false,
+	}
+	for s, want := range cases {
+		if got := looksNumeric(s); got != want {
+			t.Errorf("looksNumeric(%q) = %v, want %v", s, got, want)
+		}
+	}
+}

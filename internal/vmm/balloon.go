@@ -1,0 +1,103 @@
+package vmm
+
+import (
+	"errors"
+
+	"vmmk/internal/hw"
+)
+
+// Ballooning: the memory-elasticity hypercalls that let a domain return
+// pages to the machine pool and reclaim them later. This is the mechanism
+// behind the flip path's steady state (the guest balloons out consumed
+// packet pages, Dom0 balloons replacements into its NIC pool) and the
+// standard way VM memory is resized — another entry in the VMM's primitive
+// inventory (it rides hypercall + P2M machinery, primitives 4 and 5).
+
+// ErrBalloonEmpty is returned when inflating from an empty machine pool.
+var ErrBalloonEmpty = errors.New("vmm: no free machine memory to balloon in")
+
+// BalloonOut releases n owned pages (highest guest page numbers first) to
+// the machine pool. It returns how many were actually released — holes and
+// flipped-away slots are skipped.
+func (h *Hypervisor) BalloonOut(dom DomID, n int) (int, error) {
+	d := h.domains[dom]
+	if d == nil {
+		return 0, ErrNoSuchDomain
+	}
+	if d.Dead {
+		return 0, ErrDomainDead
+	}
+	h.hypercallEntry(d)
+	defer h.hypercallExit(d)
+	released := 0
+	for gpn := len(d.frames) - 1; gpn >= 0 && released < n; gpn-- {
+		f := d.frames[gpn]
+		if f == hw.NoFrame || !d.OwnsFrame(f) {
+			continue
+		}
+		d.PT.UnmapFrame(f)
+		d.frames[gpn] = hw.NoFrame
+		d.holes = append(d.holes, gpn)
+		h.M.Mem.Free(f)
+		h.M.CPU.Work(HypervisorComponent, hw.Cycles(60)+h.M.Arch.Costs.PTEUpdate)
+		released++
+	}
+	if released > 0 {
+		h.M.CPU.FlushTLB(HypervisorComponent)
+	}
+	return released, nil
+}
+
+// BalloonIn allocates n fresh pages to the domain, filling P2M holes first
+// and appending beyond them. It returns how many pages were obtained.
+func (h *Hypervisor) BalloonIn(dom DomID, n int) (int, error) {
+	d := h.domains[dom]
+	if d == nil {
+		return 0, ErrNoSuchDomain
+	}
+	if d.Dead {
+		return 0, ErrDomainDead
+	}
+	h.hypercallEntry(d)
+	defer h.hypercallExit(d)
+	got := 0
+	fill := func(gpn int) bool {
+		f, err := h.M.Mem.Alloc(d.Component())
+		if err != nil {
+			return false
+		}
+		if gpn < len(d.frames) {
+			d.frames[gpn] = f
+		} else {
+			d.frames = append(d.frames, f)
+		}
+		h.M.CPU.Work(HypervisorComponent, 80)
+		got++
+		return true
+	}
+	for gpn := 0; gpn < len(d.frames) && got < n; gpn++ {
+		if d.frames[gpn] == hw.NoFrame {
+			if !fill(gpn) {
+				return got, ErrBalloonEmpty
+			}
+		}
+	}
+	for got < n {
+		if !fill(len(d.frames)) {
+			return got, ErrBalloonEmpty
+		}
+	}
+	return got, nil
+}
+
+// OwnedPages returns the number of machine pages the domain currently owns
+// (holes excluded).
+func (d *Domain) OwnedPages() int {
+	n := 0
+	for _, f := range d.frames {
+		if f != hw.NoFrame && d.OwnsFrame(f) {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,158 @@
+package vmm
+
+import (
+	"vmmk/internal/hw"
+	"vmmk/internal/trace"
+)
+
+// GuestHooks are the paravirtualised guest kernel's registered entry
+// points, the moral equivalent of the vectors a guest registers with Xen at
+// boot. Package vmmos provides real implementations.
+type GuestHooks struct {
+	// OnSyscall handles a guest-user system call in the guest kernel.
+	// Work it performs must be charged to the domain's component.
+	OnSyscall func(no uint32, args []uint64) []uint64
+	// OnEvent handles an event-channel upcall for a local port.
+	OnEvent func(port Port)
+	// OnVIRQ handles a virtual interrupt (timer, etc.).
+	OnVIRQ func(virq int)
+}
+
+// Domain is one virtual machine: pseudo-physical memory, a validated page
+// table, a grant table, event-channel state and the guest kernel's hooks.
+type Domain struct {
+	ID         DomID
+	Name       string
+	PT         *hw.PageTable
+	Privileged bool // Dom0: may touch real devices and other domains
+	Dead       bool
+	paused     bool // off the run queue, state intact (save/migrate)
+
+	Hooks GuestHooks
+
+	frames []hw.FrameID
+	holes  []int // free P2M slots (frames[i] == NoFrame), reused on fill
+	grants *grantTable
+	hyp    *Hypervisor
+
+	// fastPathOK tracks whether the trap-gate syscall shortcut is
+	// currently safe for this domain (see LoadGuestSegment).
+	fastPathOK bool
+
+	// masked, when true, defers event upcalls (guest cli on events).
+	masked  bool
+	pending []Port
+
+	syscalls     uint64
+	fastSyscalls uint64
+}
+
+// Component returns the domain's trace attribution name.
+func (d *Domain) Component() string { return "vmm." + d.Name }
+
+// Frames returns the domain's pseudo-physical frame list (index = guest
+// pseudo-physical page number).
+func (d *Domain) Frames() []hw.FrameID { return d.frames }
+
+// FrameAt returns the machine frame backing guest page gpn, or NoFrame.
+func (d *Domain) FrameAt(gpn int) hw.FrameID {
+	if gpn < 0 || gpn >= len(d.frames) {
+		return hw.NoFrame
+	}
+	return d.frames[gpn]
+}
+
+// OwnsFrame reports whether the machine frame currently belongs to d
+// according to the physical-memory ledger.
+func (d *Domain) OwnsFrame(f hw.FrameID) bool {
+	if f == hw.NoFrame {
+		return false
+	}
+	return d.hyp.M.Mem.Owner(f) == d.Component()
+}
+
+// ReleaseFrame returns an owned frame to the machine pool (balloon-out),
+// punching a hole in the pseudo-physical map. Guests use this to return
+// pages received by flipping once consumed.
+func (d *Domain) ReleaseFrame(f hw.FrameID) error {
+	if !d.OwnsFrame(f) {
+		return ErrFrameNotOwned
+	}
+	d.removeFrame(f)
+	d.PT.UnmapFrame(f)
+	d.hyp.M.Mem.Free(f)
+	d.hyp.M.CPU.Work(d.Component(), 60)
+	return nil
+}
+
+// Syscalls returns total and fast-path guest syscall counts.
+func (d *Domain) Syscalls() (total, fast uint64) { return d.syscalls, d.fastSyscalls }
+
+// MMUUpdate is the validated page-table-update hypercall (paper primitive
+// 5: "resource allocation within the VM via hardware page-table
+// virtualisation"). The monitor checks that the domain owns the frame it is
+// mapping before installing the entry — the essence of shadow/direct
+// paravirtual paging.
+func (h *Hypervisor) MMUUpdate(dom DomID, vpn hw.VPN, gpn int, perms hw.Perm, user bool) error {
+	d := h.domains[dom]
+	if d == nil {
+		return ErrNoSuchDomain
+	}
+	if d.Dead {
+		return ErrDomainDead
+	}
+	h.hypercallEntry(d)
+	defer h.hypercallExit(d)
+
+	f := d.FrameAt(gpn)
+	if f == hw.NoFrame || !d.OwnsFrame(f) {
+		h.M.CPU.Charge(HypervisorComponent, trace.KShadowPTUpdate, h.M.Arch.Costs.PrivCheck)
+		return ErrBadPTE
+	}
+	d.PT.Map(vpn, hw.PTE{Frame: f, Perms: perms, User: user})
+	h.M.CPU.Charge(HypervisorComponent, trace.KShadowPTUpdate, h.M.Arch.Costs.PTEUpdate)
+	return nil
+}
+
+// MMUUnmap removes a guest mapping with the required TLB invalidation.
+func (h *Hypervisor) MMUUnmap(dom DomID, vpn hw.VPN) error {
+	d := h.domains[dom]
+	if d == nil {
+		return ErrNoSuchDomain
+	}
+	if d.Dead {
+		return ErrDomainDead
+	}
+	h.hypercallEntry(d)
+	defer h.hypercallExit(d)
+	d.PT.Unmap(vpn)
+	h.M.CPU.Charge(HypervisorComponent, trace.KShadowPTUpdate, h.M.Arch.Costs.PTEUpdate)
+	h.M.CPU.FlushTLBEntry(HypervisorComponent, d.PT.ASID(), vpn)
+	return nil
+}
+
+// SetHooks registers the guest kernel's entry points (done once at guest
+// boot by vmmos).
+func (d *Domain) SetHooks(hooks GuestHooks) { d.Hooks = hooks }
+
+// MaskEvents defers upcall delivery (guest critical section).
+func (h *Hypervisor) MaskEvents(dom DomID) {
+	if d := h.domains[dom]; d != nil {
+		d.masked = true
+	}
+}
+
+// UnmaskEvents re-enables upcalls and delivers anything pending, in port
+// order of arrival.
+func (h *Hypervisor) UnmaskEvents(dom DomID) {
+	d := h.domains[dom]
+	if d == nil || !d.masked {
+		return
+	}
+	d.masked = false
+	pend := d.pending
+	d.pending = nil
+	for _, p := range pend {
+		h.deliverEvent(d, p)
+	}
+}

@@ -1,0 +1,177 @@
+package vmm
+
+import (
+	"vmmk/internal/hw"
+	"vmmk/internal/trace"
+)
+
+// Port is a domain-local event-channel port number.
+type Port int
+
+// endpoint is one side of a channel.
+type endpoint struct {
+	dom  DomID
+	port Port
+}
+
+// channel is an interdomain event channel: the paper's primitive 3
+// ("asynchronous communication channels across domains"). Signalling a
+// channel sets the remote side's pending bit and, if the remote has events
+// unmasked, delivers an upcall — which requires scheduling (a world switch)
+// when the remote is not the current domain. This is precisely the
+// "simple asynchronous unidirectional event mechanism" the original paper
+// described and the rebuttal identifies as asynchronous IPC.
+type channel struct {
+	a, b   endpoint
+	closed bool
+	sends  uint64
+}
+
+// BindChannel creates a channel between two domains and returns the local
+// port each side uses. Both domains must be alive.
+func (h *Hypervisor) BindChannel(x, y DomID) (Port, Port, error) {
+	dx, dy := h.domains[x], h.domains[y]
+	if dx == nil || dy == nil {
+		return 0, 0, ErrNoSuchDomain
+	}
+	if dx.Dead || dy.Dead {
+		return 0, 0, ErrDomainDead
+	}
+	// A bind is a hypercall from the allocating side.
+	h.hypercallEntry(dx)
+	px := Port(len(h.ports)*2 + 1)
+	py := Port(len(h.ports)*2 + 2)
+	h.ports = append(h.ports, &channel{a: endpoint{x, px}, b: endpoint{y, py}})
+	h.hypercallExit(dx)
+	return px, py, nil
+}
+
+// findChannel locates the channel and the remote endpoint for (dom, port).
+func (h *Hypervisor) findChannel(dom DomID, port Port) (*channel, endpoint, bool) {
+	for _, ch := range h.ports {
+		if ch == nil {
+			continue
+		}
+		if ch.a.dom == dom && ch.a.port == port {
+			return ch, ch.b, true
+		}
+		if ch.b.dom == dom && ch.b.port == port {
+			return ch, ch.a, true
+		}
+	}
+	return nil, endpoint{}, false
+}
+
+// NotifyChannel signals the channel bound to (from, port). The sending side
+// pays the hypercall; delivery to the remote costs an upcall and, if the
+// remote is not current, a world switch — the cycle structure behind the
+// paper's observation that Xen's event mechanism is IPC by another name.
+func (h *Hypervisor) NotifyChannel(from DomID, port Port) error {
+	d := h.domains[from]
+	if d == nil {
+		return ErrNoSuchDomain
+	}
+	if d.Dead {
+		return ErrDomainDead
+	}
+	ch, remote, ok := h.findChannel(from, port)
+	if !ok {
+		return ErrBadPort
+	}
+	if ch.closed {
+		return ErrPortUnbound
+	}
+	rd := h.domains[remote.dom]
+	if rd == nil || rd.Dead {
+		return ErrDomainDead
+	}
+
+	h.hypercallEntry(d)
+	ch.sends++
+	h.M.CPU.Charge(HypervisorComponent, trace.KEvtchnSend, 80)
+	h.hypercallExit(d)
+
+	if rd.masked {
+		rd.pending = append(rd.pending, remote.port)
+		return nil
+	}
+	h.deliverEvent(rd, remote.port)
+	return nil
+}
+
+// deliverEvent runs the remote domain's upcall for port, switching worlds
+// if needed and switching back afterwards (the sender continues).
+func (h *Hypervisor) deliverEvent(rd *Domain, port Port) {
+	prev := h.current
+	h.switchTo(rd)
+	h.M.CPU.Charge(HypervisorComponent, trace.KVirtIRQ, h.M.Arch.Costs.IRQDispatch/2)
+	if rd.Hooks.OnEvent != nil {
+		rd.Hooks.OnEvent(port)
+	}
+	if prev != nil && prev != rd && !prev.Dead {
+		h.switchTo(prev)
+	}
+}
+
+// SendVIRQ injects a virtual interrupt (timer, debug, …) into a domain:
+// paper primitive 8.
+func (h *Hypervisor) SendVIRQ(dom DomID, virq int) error {
+	d := h.domains[dom]
+	if d == nil {
+		return ErrNoSuchDomain
+	}
+	if d.Dead {
+		return ErrDomainDead
+	}
+	prev := h.current
+	h.switchTo(d)
+	h.M.CPU.Charge(HypervisorComponent, trace.KVirtIRQ, h.M.Arch.Costs.IRQDispatch/2)
+	if d.Hooks.OnVIRQ != nil {
+		d.Hooks.OnVIRQ(virq)
+	}
+	if prev != nil && prev != d && !prev.Dead {
+		h.switchTo(prev)
+	}
+	return nil
+}
+
+// RouteIRQ gives a domain (in practice Dom0) ownership of a physical
+// interrupt line: paper primitive 9 ("hardware interrupt notification via
+// virtualised interrupt controller"). The monitor fields the interrupt and
+// injects it into the owner.
+func (h *Hypervisor) RouteIRQ(line hw.IRQLine, dom DomID) error {
+	d := h.domains[dom]
+	if d == nil {
+		return ErrNoSuchDomain
+	}
+	if !d.Privileged {
+		return ErrNotPrivileged
+	}
+	h.M.IRQ.SetHandler(line, func(l hw.IRQLine) {
+		owner := h.domains[dom]
+		if owner == nil || owner.Dead {
+			return // driver domain died; interrupt dropped, monitor fine
+		}
+		h.M.CPU.Charge(HypervisorComponent, trace.KHardIRQInject, h.M.Arch.Costs.IRQDispatch)
+		prev := h.current
+		h.switchTo(owner)
+		if owner.Hooks.OnVIRQ != nil {
+			owner.Hooks.OnVIRQ(int(l))
+		}
+		if prev != nil && prev != owner && !prev.Dead {
+			h.switchTo(prev)
+		}
+	})
+	h.M.CPU.Work(HypervisorComponent, 100)
+	return nil
+}
+
+// ChannelSends returns how many notifications have crossed the channel
+// owning (dom, port).
+func (h *Hypervisor) ChannelSends(dom DomID, port Port) uint64 {
+	ch, _, ok := h.findChannel(dom, port)
+	if !ok {
+		return 0
+	}
+	return ch.sends
+}

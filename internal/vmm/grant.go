@@ -1,0 +1,234 @@
+package vmm
+
+import (
+	"vmmk/internal/hw"
+	"vmmk/internal/trace"
+)
+
+// GrantRef names an entry in a domain's grant table.
+type GrantRef int
+
+// grantEntry is one granted page.
+type grantEntry struct {
+	frame    hw.FrameID
+	to       DomID
+	readOnly bool
+	revoked  bool
+	mapped   int // active foreign mappings
+}
+
+// grantTable is a domain's table of pages it has offered to other domains.
+// Grants are the mutual-agreement half of Xen I/O: the frontend grants, the
+// backend maps/copies/flips.
+type grantTable struct {
+	entries []*grantEntry
+}
+
+func newGrantTable() *grantTable { return &grantTable{} }
+
+func (g *grantTable) revokeAll() {
+	for _, e := range g.entries {
+		e.revoked = true
+	}
+}
+
+// GrantAccess creates a grant of the owner's frame to domain to. The owner
+// must actually own the frame; this is the monitor's validation burden.
+func (h *Hypervisor) GrantAccess(owner DomID, frame hw.FrameID, to DomID, readOnly bool) (GrantRef, error) {
+	d := h.domains[owner]
+	if d == nil {
+		return 0, ErrNoSuchDomain
+	}
+	if d.Dead {
+		return 0, ErrDomainDead
+	}
+	if !d.OwnsFrame(frame) {
+		return 0, ErrFrameNotOwned
+	}
+	h.hypercallEntry(d)
+	defer h.hypercallExit(d)
+	e := &grantEntry{frame: frame, to: to, readOnly: readOnly}
+	d.grants.entries = append(d.grants.entries, e)
+	h.M.CPU.Work(HypervisorComponent, 60)
+	return GrantRef(len(d.grants.entries) - 1), nil
+}
+
+// lookupGrant validates a (owner, ref) pair for use by domain user.
+func (h *Hypervisor) lookupGrant(owner DomID, ref GrantRef, user DomID) (*Domain, *grantEntry, error) {
+	d := h.domains[owner]
+	if d == nil || d.Dead {
+		return nil, nil, ErrDomainDead
+	}
+	if ref < 0 || int(ref) >= len(d.grants.entries) {
+		return nil, nil, ErrBadGrant
+	}
+	e := d.grants.entries[ref]
+	if e.revoked {
+		return nil, nil, ErrGrantRevoked
+	}
+	if e.to != user {
+		return nil, nil, ErrBadGrant
+	}
+	return d, e, nil
+}
+
+// GrantMap maps a granted page into the user domain at vpn (netback-style
+// zero-copy RX examination). Costs: hypercall + PTE install.
+func (h *Hypervisor) GrantMap(user DomID, owner DomID, ref GrantRef, vpn hw.VPN) error {
+	ud := h.domains[user]
+	if ud == nil {
+		return ErrNoSuchDomain
+	}
+	if ud.Dead {
+		return ErrDomainDead
+	}
+	_, e, err := h.lookupGrant(owner, ref, user)
+	if err != nil {
+		return err
+	}
+	h.hypercallEntry(ud)
+	defer h.hypercallExit(ud)
+	perms := hw.PermRW
+	if e.readOnly {
+		perms = hw.PermR
+	}
+	ud.PT.Map(vpn, hw.PTE{Frame: e.frame, Perms: perms, User: false})
+	e.mapped++
+	h.M.CPU.Charge(HypervisorComponent, trace.KGrantMap, h.M.Arch.Costs.PTEUpdate+40)
+	return nil
+}
+
+// GrantUnmap removes a previously mapped grant from the user domain.
+func (h *Hypervisor) GrantUnmap(user DomID, owner DomID, ref GrantRef, vpn hw.VPN) error {
+	ud := h.domains[user]
+	if ud == nil {
+		return ErrNoSuchDomain
+	}
+	d := h.domains[owner]
+	if d == nil {
+		return ErrNoSuchDomain
+	}
+	if ref < 0 || int(ref) >= len(d.grants.entries) {
+		return ErrBadGrant
+	}
+	e := d.grants.entries[ref]
+	h.hypercallEntry(ud)
+	defer h.hypercallExit(ud)
+	ud.PT.Unmap(vpn)
+	if e.mapped > 0 {
+		e.mapped--
+	}
+	h.M.CPU.Work(HypervisorComponent, h.M.Arch.Costs.PTEUpdate)
+	h.M.CPU.FlushTLBEntry(HypervisorComponent, ud.PT.ASID(), vpn)
+	return nil
+}
+
+// GrantCopy copies n bytes from a granted source page into the user's
+// buffer frame, mediated and validated by the monitor. This is the
+// copy-mode alternative to page flipping whose trade-off E9 ablates (and
+// which Xen itself later adopted for network RX).
+func (h *Hypervisor) GrantCopy(user DomID, owner DomID, ref GrantRef, dst hw.FrameID, n uint64) error {
+	ud := h.domains[user]
+	if ud == nil {
+		return ErrNoSuchDomain
+	}
+	if ud.Dead {
+		return ErrDomainDead
+	}
+	if !ud.OwnsFrame(dst) {
+		return ErrFrameNotOwned
+	}
+	_, e, err := h.lookupGrant(owner, ref, user)
+	if err != nil {
+		return err
+	}
+	h.hypercallEntry(ud)
+	defer h.hypercallExit(ud)
+	copied := h.M.Mem.Copy(dst, e.frame, n)
+	h.M.CPU.Charge(HypervisorComponent, trace.KGrantCopy, 120+h.M.CPU.CopyCost(copied))
+	return nil
+}
+
+// GrantTransfer performs a page flip: ownership of the granted frame moves
+// from owner to user, the owner's mappings of it are torn down, and the TLB
+// is shot down. Paper primitive 6 ("resource re-allocation via page
+// flipping"). Note the cost structure: per *page*, independent of how many
+// bytes of the page carry payload — the exact property Cherkasova &
+// Gardner measured and E1 reproduces.
+func (h *Hypervisor) GrantTransfer(user DomID, owner DomID, ref GrantRef) (hw.FrameID, error) {
+	ud := h.domains[user]
+	if ud == nil {
+		return hw.NoFrame, ErrNoSuchDomain
+	}
+	if ud.Dead {
+		return hw.NoFrame, ErrDomainDead
+	}
+	od, e, err := h.lookupGrant(owner, ref, user)
+	if err != nil {
+		return hw.NoFrame, err
+	}
+	if e.readOnly {
+		return hw.NoFrame, ErrGrantReadOnly
+	}
+	h.hypercallEntry(ud)
+	defer h.hypercallExit(ud)
+
+	// Tear down the previous owner's mappings of the frame.
+	removed := od.PT.UnmapFrame(e.frame)
+	h.M.CPU.Work(HypervisorComponent, hw.Cycles(removed)*h.M.Arch.Costs.PTEUpdate)
+	// Ownership moves in the physical ledger and in both frame lists.
+	h.M.Mem.Transfer(e.frame, ud.Component())
+	od.removeFrame(e.frame)
+	ud.addFrame(e.frame)
+	e.revoked = true
+	// TLB shootdown: the flip invalidates translations machine-wide.
+	h.M.CPU.FlushTLB(HypervisorComponent)
+	h.M.CPU.Charge(HypervisorComponent, trace.KPageFlip,
+		2*h.M.Arch.Costs.PTEUpdate+h.M.Arch.Costs.TLBFlushAll+200)
+	return e.frame, nil
+}
+
+// removeFrame punches a hole in the pseudo-physical map: after a flip the
+// donor's guest page number maps to nothing until a replacement page is
+// ballooned in, exactly like Xen's physical-to-machine table. The slot is
+// remembered for reuse.
+func (d *Domain) removeFrame(f hw.FrameID) {
+	for i, x := range d.frames {
+		if x == f {
+			d.frames[i] = hw.NoFrame
+			d.holes = append(d.holes, i)
+			return
+		}
+	}
+}
+
+// addFrame installs an incoming frame, reusing a P2M hole when one exists.
+// It returns the guest page number.
+func (d *Domain) addFrame(f hw.FrameID) int {
+	for len(d.holes) > 0 {
+		i := d.holes[len(d.holes)-1]
+		d.holes = d.holes[:len(d.holes)-1]
+		if d.frames[i] == hw.NoFrame { // stale entries possible after BalloonIn
+			d.frames[i] = f
+			return i
+		}
+	}
+	d.frames = append(d.frames, f)
+	return len(d.frames) - 1
+}
+
+// GrantRevoke withdraws a grant the owner previously issued.
+func (h *Hypervisor) GrantRevoke(owner DomID, ref GrantRef) error {
+	d := h.domains[owner]
+	if d == nil {
+		return ErrNoSuchDomain
+	}
+	if ref < 0 || int(ref) >= len(d.grants.entries) {
+		return ErrBadGrant
+	}
+	h.hypercallEntry(d)
+	defer h.hypercallExit(d)
+	d.grants.entries[ref].revoked = true
+	h.M.CPU.Work(HypervisorComponent, 40)
+	return nil
+}

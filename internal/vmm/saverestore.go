@@ -1,0 +1,187 @@
+package vmm
+
+import (
+	"errors"
+	"fmt"
+
+	"vmmk/internal/hw"
+)
+
+// Domain save/restore: the checkpointing half of the VM-migration story
+// that made VMMs attractive for management ("treat the OS as a component"
+// taken to its logical end — the component becomes a file). A DomainImage
+// captures a domain's pseudo-physical memory and page-table skeleton; it
+// can be restored on the same hypervisor or a different one (migration).
+//
+// Event channels and grant entries are deliberately NOT captured: like real
+// migration, device connections are torn down and the frontends reconnect
+// after restore. What travels is memory and mappings.
+
+// ErrDomainLive is returned when saving a domain that was not paused.
+var ErrDomainLive = errors.New("vmm: domain must be paused for save")
+
+// savedPTE is one page-table entry in guest terms (gpn, not machine frame).
+type savedPTE struct {
+	VPN   hw.VPN
+	GPN   int
+	Perms hw.Perm
+	User  bool
+}
+
+// DomainImage is a serialised domain.
+type DomainImage struct {
+	Name       string
+	Privileged bool
+	Memory     [][]byte // index = guest pseudo-physical page number; nil = hole
+	PT         []savedPTE
+}
+
+// Pause takes the domain off the scheduler; a paused domain's vCPU never
+// runs, but its state remains intact.
+func (h *Hypervisor) Pause(dom DomID) error {
+	d := h.domains[dom]
+	if d == nil {
+		return ErrNoSuchDomain
+	}
+	if d.Dead {
+		return ErrDomainDead
+	}
+	d.paused = true
+	h.sched.remove(d)
+	if h.current == d {
+		h.current = nil
+	}
+	h.M.CPU.Work(HypervisorComponent, 200)
+	return nil
+}
+
+// Unpause puts the domain back on the run queue.
+func (h *Hypervisor) Unpause(dom DomID) error {
+	d := h.domains[dom]
+	if d == nil {
+		return ErrNoSuchDomain
+	}
+	if d.Dead {
+		return ErrDomainDead
+	}
+	if !d.paused {
+		return nil
+	}
+	d.paused = false
+	h.sched.add(d)
+	h.M.CPU.Work(HypervisorComponent, 200)
+	return nil
+}
+
+// Paused reports whether the domain is paused.
+func (h *Hypervisor) Paused(dom DomID) bool {
+	d := h.domains[dom]
+	return d != nil && d.paused
+}
+
+// SaveDomain captures a paused domain's memory and page table. The copy is
+// charged per page — the dominant cost of real checkpointing.
+func (h *Hypervisor) SaveDomain(dom DomID) (*DomainImage, error) {
+	d := h.domains[dom]
+	if d == nil {
+		return nil, ErrNoSuchDomain
+	}
+	if d.Dead {
+		return nil, ErrDomainDead
+	}
+	if !d.paused {
+		return nil, ErrDomainLive
+	}
+	img := &DomainImage{Name: d.Name, Privileged: d.Privileged}
+	ps := h.M.Mem.PageSize()
+	gpnOf := make(map[hw.FrameID]int, len(d.frames))
+	for gpn, f := range d.frames {
+		if f == hw.NoFrame {
+			img.Memory = append(img.Memory, nil)
+			continue
+		}
+		gpnOf[f] = gpn
+		page := make([]byte, ps)
+		copy(page, h.M.Mem.Data(f))
+		img.Memory = append(img.Memory, page)
+		h.M.CPU.Work(HypervisorComponent, h.M.CPU.CopyCost(ps))
+	}
+	d.PT.Each(func(v hw.VPN, e hw.PTE) {
+		if gpn, ok := gpnOf[e.Frame]; ok {
+			img.PT = append(img.PT, savedPTE{VPN: v, GPN: gpn, Perms: e.Perms, User: e.User})
+		}
+		// Entries referencing foreign frames (grant maps) are dropped,
+		// like real migration drops grant mappings.
+	})
+	return img, nil
+}
+
+// RestoreDomain materialises an image as a new (paused) domain on this
+// hypervisor — which may be a different machine than the one that saved it.
+// The caller unpauses after reconnecting devices.
+func (h *Hypervisor) RestoreDomain(img *DomainImage) (*Domain, error) {
+	if img == nil || img.Name == "" {
+		return nil, fmt.Errorf("vmm: empty domain image")
+	}
+	frames := 0
+	for _, p := range img.Memory {
+		if p != nil {
+			frames++
+		}
+	}
+	if frames == 0 {
+		return nil, fmt.Errorf("vmm: image has no memory")
+	}
+	d, err := h.CreateDomain(img.Name, frames)
+	if err != nil {
+		return nil, err
+	}
+	d.Privileged = img.Privileged
+	ps := h.M.Mem.PageSize()
+	// Lay pages back down, preserving gpn numbering (holes stay holes).
+	rebuilt := make([]hw.FrameID, len(img.Memory))
+	next := 0
+	for gpn, page := range img.Memory {
+		if page == nil {
+			rebuilt[gpn] = hw.NoFrame
+			continue
+		}
+		f := d.frames[next]
+		next++
+		rebuilt[gpn] = f
+		copy(h.M.Mem.Data(f), page)
+		h.M.CPU.Work(HypervisorComponent, h.M.CPU.CopyCost(ps))
+	}
+	d.frames = rebuilt
+	// Rebuild the page table through the validated path.
+	d.PT = hw.NewPageTable(d.PT.ASID())
+	for _, e := range img.PT {
+		f := d.FrameAt(e.GPN)
+		if f == hw.NoFrame {
+			continue
+		}
+		d.PT.Map(e.VPN, hw.PTE{Frame: f, Perms: e.Perms, User: e.User})
+		h.M.CPU.Work(HypervisorComponent, h.M.Arch.Costs.PTEUpdate)
+	}
+	// Restored domains start paused, like migrated VMs pre-resume.
+	d.paused = true
+	h.sched.remove(d)
+	return d, nil
+}
+
+// Migrate is save + destroy + restore onto a destination hypervisor: the
+// whole-OS mobility that §3.3's "treat the OS as a component" enables. It
+// returns the new domain on dst.
+func Migrate(src *Hypervisor, dom DomID, dst *Hypervisor) (*Domain, error) {
+	if err := src.Pause(dom); err != nil {
+		return nil, err
+	}
+	img, err := src.SaveDomain(dom)
+	if err != nil {
+		return nil, err
+	}
+	if err := src.DestroyDomain(dom); err != nil {
+		return nil, err
+	}
+	return dst.RestoreDomain(img)
+}

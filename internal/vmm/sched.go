@@ -1,0 +1,96 @@
+package vmm
+
+import (
+	"vmmk/internal/hw"
+	"vmmk/internal/trace"
+)
+
+// scheduler is a weighted round-robin domain scheduler, a simplification of
+// Xen's BVT/credit schedulers that preserves what the experiments observe:
+// which domain gets the CPU next and what a domain switch costs. Weights
+// give Dom0 the boost driver domains get in practice.
+type scheduler struct {
+	h         *Hypervisor
+	run       []*Domain
+	weights   map[DomID]int
+	credits   map[DomID]int
+	decisions uint64
+}
+
+func newScheduler(h *Hypervisor) *scheduler {
+	return &scheduler{h: h, weights: make(map[DomID]int), credits: make(map[DomID]int)}
+}
+
+func (s *scheduler) add(d *Domain) {
+	s.run = append(s.run, d)
+	if _, ok := s.weights[d.ID]; !ok {
+		s.weights[d.ID] = 1
+	}
+	s.credits[d.ID] = s.weights[d.ID]
+}
+
+func (s *scheduler) remove(d *Domain) {
+	for i, x := range s.run {
+		if x == d {
+			s.run = append(s.run[:i], s.run[i+1:]...)
+			return
+		}
+	}
+}
+
+// SetWeight adjusts a domain's scheduling weight (credits per refill).
+func (h *Hypervisor) SetWeight(dom DomID, w int) error {
+	if h.domains[dom] == nil {
+		return ErrNoSuchDomain
+	}
+	if w < 1 {
+		w = 1
+	}
+	h.sched.weights[dom] = w
+	return nil
+}
+
+// ScheduleNext picks the next runnable domain by weighted round-robin and
+// switches to it, charging the world switch. It returns nil when no domain
+// is runnable.
+func (h *Hypervisor) ScheduleNext() *Domain {
+	s := h.sched
+	if len(s.run) == 0 {
+		return nil
+	}
+	h.M.CPU.Trap(HypervisorComponent, false)
+	h.M.IRQ.DispatchPending(HypervisorComponent)
+	s.decisions++
+
+	// Find the first domain (in queue order) with credits; refill all
+	// when everyone is exhausted.
+	var pick *Domain
+	for tries := 0; tries < 2 && pick == nil; tries++ {
+		for i, d := range s.run {
+			if d.Dead {
+				continue
+			}
+			if s.credits[d.ID] > 0 {
+				s.credits[d.ID]--
+				pick = d
+				// Rotate the queue past the pick for round-robin.
+				s.run = append(append(append([]*Domain{}, s.run[i+1:]...), s.run[:i]...), d)
+				break
+			}
+		}
+		if pick == nil {
+			for id, w := range s.weights {
+				s.credits[id] = w
+			}
+		}
+	}
+	h.M.CPU.Charge(HypervisorComponent, trace.KSchedule, 60)
+	if pick != nil {
+		h.switchTo(pick)
+	}
+	h.M.CPU.ReturnTo(HypervisorComponent, hw.Ring1)
+	return pick
+}
+
+// Decisions returns how many scheduling decisions have been made.
+func (h *Hypervisor) Decisions() uint64 { return h.sched.decisions }

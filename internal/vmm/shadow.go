@@ -1,0 +1,96 @@
+package vmm
+
+import (
+	"vmmk/internal/hw"
+	"vmmk/internal/trace"
+)
+
+// Shadow paging: the pure-virtualisation MMU path. An unmodified guest
+// writes page-table entries in its own memory as if it owned the hardware;
+// the monitor write-protects those pages, takes a fault per update,
+// emulates the write, and keeps a shadow table the real MMU walks. Per
+// update that costs a trap + decode + validation instead of paravirt's
+// batched, explicit hypercall — this gap is precisely why, as the paper
+// puts it, VMMs diverged "from pure virtualisation (faithful representation
+// of the underlying hardware) to paravirtualisation" (§2.2). Ablation E9g
+// measures it.
+
+// ShadowMMU tracks one domain's guest-visible page table and its shadow.
+type ShadowMMU struct {
+	h   *Hypervisor
+	d   *Domain
+	gpt map[hw.VPN]shadowGPTE // what the guest thinks it wrote
+	// The shadow itself is the domain's real PT (d.PT), rebuilt from gpt
+	// entries the monitor has validated.
+	emulated uint64
+	rejected uint64
+}
+
+type shadowGPTE struct {
+	gpn   int
+	perms hw.Perm
+	user  bool
+}
+
+// EnableShadowMMU switches a domain to trap-and-emulate paging. The guest
+// must stop using MMUUpdate (which is the paravirtual interface) and issue
+// GuestPTWrite instead, which models an ordinary store into a
+// write-protected page-table page.
+func (h *Hypervisor) EnableShadowMMU(dom DomID) (*ShadowMMU, error) {
+	d := h.domains[dom]
+	if d == nil {
+		return nil, ErrNoSuchDomain
+	}
+	if d.Dead {
+		return nil, ErrDomainDead
+	}
+	// Write-protecting the PT pages is itself monitor work.
+	h.M.CPU.Work(HypervisorComponent, 800)
+	return &ShadowMMU{h: h, d: d, gpt: make(map[hw.VPN]shadowGPTE)}, nil
+}
+
+// GuestPTWrite emulates one guest PTE store: the store faults (the page is
+// write-protected), the monitor decodes the instruction, validates the new
+// entry exactly as MMUUpdate would, updates the guest view and the shadow,
+// and resumes the guest. Invalid entries are dropped from the shadow (the
+// guest sees its write "succeed" — real hardware would fault on use).
+func (s *ShadowMMU) GuestPTWrite(vpn hw.VPN, gpn int, perms hw.Perm, user bool) error {
+	h, d := s.h, s.d
+	if d.Dead {
+		return ErrDomainDead
+	}
+	h.switchTo(d)
+	// The write-protect fault: full trap into the monitor.
+	h.M.CPU.Trap(HypervisorComponent, false)
+	h.M.CPU.Charge(HypervisorComponent, trace.KExceptionBounce, h.M.Arch.Costs.CtxSave)
+	// Instruction decode + emulation of the store.
+	h.M.CPU.Work(HypervisorComponent, 180)
+	s.gpt[vpn] = shadowGPTE{gpn: gpn, perms: perms, user: user}
+	// Validation identical to the paravirtual path's.
+	f := d.FrameAt(gpn)
+	if f == hw.NoFrame || !d.OwnsFrame(f) {
+		s.rejected++
+		d.PT.Unmap(vpn) // shadow must not map what the guest may not have
+		h.M.CPU.Charge(HypervisorComponent, trace.KShadowPTUpdate, h.M.Arch.Costs.PrivCheck)
+		h.M.CPU.ReturnTo(HypervisorComponent, hw.Ring1)
+		return nil // the *guest* write succeeded; the shadow just ignores it
+	}
+	d.PT.Map(vpn, hw.PTE{Frame: f, Perms: perms, User: user})
+	s.emulated++
+	h.M.CPU.Charge(HypervisorComponent, trace.KShadowPTUpdate, h.M.Arch.Costs.PTEUpdate)
+	h.M.CPU.FlushTLBEntry(HypervisorComponent, d.PT.ASID(), vpn)
+	h.M.CPU.ReturnTo(HypervisorComponent, hw.Ring1)
+	return nil
+}
+
+// GuestPTEntry returns what the guest believes it wrote at vpn.
+func (s *ShadowMMU) GuestPTEntry(vpn hw.VPN) (gpn int, perms hw.Perm, ok bool) {
+	e, found := s.gpt[vpn]
+	if !found {
+		return 0, 0, false
+	}
+	return e.gpn, e.perms, true
+}
+
+// Stats returns emulated and rejected update counts.
+func (s *ShadowMMU) Stats() (emulated, rejected uint64) { return s.emulated, s.rejected }

@@ -1,0 +1,590 @@
+package vmm
+
+import (
+	"errors"
+	"testing"
+
+	"vmmk/internal/hw"
+	"vmmk/internal/trace"
+)
+
+// vrig is a booted hypervisor with dom0 and one guest domain.
+type vrig struct {
+	m    *hw.Machine
+	h    *Hypervisor
+	dom0 *Domain
+	domU *Domain
+}
+
+func newVrig(t testing.TB, arch *hw.Arch) *vrig {
+	t.Helper()
+	m := hw.NewMachine(arch, &hw.MachineConfig{Frames: 512})
+	h, d0, err := New(m, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dU, err := h.CreateDomain("domU1", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &vrig{m: m, h: h, dom0: d0, domU: dU}
+}
+
+func TestBootCreatesDom0Privileged(t *testing.T) {
+	r := newVrig(t, hw.X86())
+	if r.dom0.ID != Dom0 || !r.dom0.Privileged {
+		t.Fatal("dom0 must be domain 0 and privileged")
+	}
+	if r.domU.Privileged {
+		t.Fatal("guest must be unprivileged")
+	}
+	if len(r.h.Domains()) != 2 {
+		t.Fatalf("domains = %d, want 2", len(r.h.Domains()))
+	}
+	if r.m.Mem.OwnedBy("vmm.dom0") != 64 {
+		t.Fatalf("dom0 owns %d frames, want 64", r.m.Mem.OwnedBy("vmm.dom0"))
+	}
+}
+
+func TestHypercallCharges(t *testing.T) {
+	r := newVrig(t, hw.X86())
+	hc0, _ := r.h.Stats()
+	c0 := r.m.Rec.Cycles(HypervisorComponent)
+	if err := r.h.Hypercall(r.domU.ID, "test", 100); err != nil {
+		t.Fatal(err)
+	}
+	hc1, _ := r.h.Stats()
+	if hc1 != hc0+1 {
+		t.Fatalf("hypercalls = %d, want %d", hc1, hc0+1)
+	}
+	if r.m.Rec.Cycles(HypervisorComponent) <= c0 {
+		t.Fatal("monitor cycles not charged")
+	}
+}
+
+func TestHypercallFromDeadDomain(t *testing.T) {
+	r := newVrig(t, hw.X86())
+	r.h.DestroyDomain(r.domU.ID)
+	if err := r.h.Hypercall(r.domU.ID, "x", 10); !errors.Is(err, ErrDomainDead) {
+		t.Fatalf("err = %v, want ErrDomainDead", err)
+	}
+}
+
+func TestMMUUpdateValidatesOwnership(t *testing.T) {
+	r := newVrig(t, hw.X86())
+	if err := r.h.MMUUpdate(r.domU.ID, 0x100, 5, hw.PermRW, true); err != nil {
+		t.Fatal(err)
+	}
+	e, ok := r.domU.PT.Lookup(0x100)
+	if !ok || e.Frame != r.domU.FrameAt(5) {
+		t.Fatal("mapping not installed")
+	}
+	// Out-of-range guest page: rejected.
+	if err := r.h.MMUUpdate(r.domU.ID, 0x101, 9999, hw.PermRW, true); !errors.Is(err, ErrBadPTE) {
+		t.Fatalf("err = %v, want ErrBadPTE", err)
+	}
+	if r.m.Rec.Counts(trace.KShadowPTUpdate) < 2 {
+		t.Fatal("shadow PT updates not recorded")
+	}
+}
+
+func TestMMUUpdateRejectsFlippedAwayFrame(t *testing.T) {
+	r := newVrig(t, hw.X86())
+	// Grant a dom0 frame to domU and flip it; dom0 must then be unable to
+	// remap the frame it no longer owns.
+	f := r.dom0.FrameAt(3)
+	ref, err := r.h.GrantAccess(r.dom0.ID, f, r.domU.ID, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.h.GrantTransfer(r.domU.ID, r.dom0.ID, ref); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.h.MMUUpdate(r.dom0.ID, 0x200, 3, hw.PermRW, true); !errors.Is(err, ErrBadPTE) {
+		t.Fatalf("err = %v, want ErrBadPTE (frame was flipped away)", err)
+	}
+}
+
+func TestEventChannelRoundTrip(t *testing.T) {
+	r := newVrig(t, hw.X86())
+	var got []Port
+	r.domU.SetHooks(GuestHooks{OnEvent: func(p Port) { got = append(got, p) }})
+	p0, pU, err := r.h.BindChannel(r.dom0.ID, r.domU.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.h.NotifyChannel(r.dom0.ID, p0); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != pU {
+		t.Fatalf("upcalls = %v, want [%d]", got, pU)
+	}
+	if r.m.Rec.Counts(trace.KEvtchnSend) != 1 {
+		t.Fatal("event send not recorded")
+	}
+	if r.h.ChannelSends(r.dom0.ID, p0) != 1 {
+		t.Fatal("channel send counter wrong")
+	}
+}
+
+func TestEventMaskingDefersDelivery(t *testing.T) {
+	r := newVrig(t, hw.X86())
+	n := 0
+	r.domU.SetHooks(GuestHooks{OnEvent: func(p Port) { n++ }})
+	p0, _, _ := r.h.BindChannel(r.dom0.ID, r.domU.ID)
+	r.h.MaskEvents(r.domU.ID)
+	r.h.NotifyChannel(r.dom0.ID, p0)
+	r.h.NotifyChannel(r.dom0.ID, p0)
+	if n != 0 {
+		t.Fatal("masked events delivered")
+	}
+	r.h.UnmaskEvents(r.domU.ID)
+	if n != 2 {
+		t.Fatalf("deferred deliveries = %d, want 2", n)
+	}
+}
+
+func TestNotifyDeadRemote(t *testing.T) {
+	r := newVrig(t, hw.X86())
+	p0, _, _ := r.h.BindChannel(r.dom0.ID, r.domU.ID)
+	r.h.DestroyDomain(r.domU.ID)
+	err := r.h.NotifyChannel(r.dom0.ID, p0)
+	if err == nil {
+		t.Fatal("notify to destroyed domain should fail")
+	}
+	// Dom0 itself is unharmed: the failure is confined to the user of the
+	// dead service, as in §3.1.
+	if !r.h.Alive(r.dom0.ID) {
+		t.Fatal("dom0 harmed by guest death")
+	}
+}
+
+func TestNotifyBadPort(t *testing.T) {
+	r := newVrig(t, hw.X86())
+	if err := r.h.NotifyChannel(r.dom0.ID, 999); !errors.Is(err, ErrBadPort) {
+		t.Fatalf("err = %v, want ErrBadPort", err)
+	}
+}
+
+func TestGrantMapAndCopy(t *testing.T) {
+	r := newVrig(t, hw.X86())
+	src := r.dom0.FrameAt(1)
+	copy(r.m.Mem.Data(src), []byte("grant-payload"))
+	ref, err := r.h.GrantAccess(r.dom0.ID, src, r.domU.ID, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Map path.
+	if err := r.h.GrantMap(r.domU.ID, r.dom0.ID, ref, 0x300); err != nil {
+		t.Fatal(err)
+	}
+	e, ok := r.domU.PT.Lookup(0x300)
+	if !ok || e.Frame != src || e.Perms != hw.PermR {
+		t.Fatalf("grant map wrong: %+v ok=%v", e, ok)
+	}
+	if err := r.h.GrantUnmap(r.domU.ID, r.dom0.ID, ref, 0x300); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.domU.PT.Lookup(0x300); ok {
+		t.Fatal("grant unmap left mapping")
+	}
+	// Copy path.
+	dst := r.domU.FrameAt(0)
+	if err := r.h.GrantCopy(r.domU.ID, r.dom0.ID, ref, dst, 13); err != nil {
+		t.Fatal(err)
+	}
+	if string(r.m.Mem.Data(dst)[:13]) != "grant-payload" {
+		t.Fatal("grant copy corrupted data")
+	}
+	if r.m.Rec.Counts(trace.KGrantCopy) != 1 || r.m.Rec.Counts(trace.KGrantMap) != 1 {
+		t.Fatal("grant events not recorded")
+	}
+}
+
+func TestGrantValidation(t *testing.T) {
+	r := newVrig(t, hw.X86())
+	// Granting a frame you don't own is rejected.
+	foreign := r.domU.FrameAt(0)
+	if _, err := r.h.GrantAccess(r.dom0.ID, foreign, r.domU.ID, false); !errors.Is(err, ErrFrameNotOwned) {
+		t.Fatalf("err = %v, want ErrFrameNotOwned", err)
+	}
+	// Using a grant addressed to someone else is rejected.
+	f := r.dom0.FrameAt(0)
+	other, _ := r.h.CreateDomain("domU2", 8)
+	ref, _ := r.h.GrantAccess(r.dom0.ID, f, other.ID, false)
+	if err := r.h.GrantMap(r.domU.ID, r.dom0.ID, ref, 0x300); !errors.Is(err, ErrBadGrant) {
+		t.Fatalf("err = %v, want ErrBadGrant", err)
+	}
+	// Revoked grants fail.
+	r.h.GrantRevoke(r.dom0.ID, ref)
+	if err := r.h.GrantMap(other.ID, r.dom0.ID, ref, 0x300); !errors.Is(err, ErrGrantRevoked) {
+		t.Fatalf("err = %v, want ErrGrantRevoked", err)
+	}
+}
+
+func TestGrantTransferFlipsOwnership(t *testing.T) {
+	r := newVrig(t, hw.X86())
+	f := r.dom0.FrameAt(2)
+	copy(r.m.Mem.Data(f), []byte("flipped"))
+	nU := len(r.domU.Frames())
+	ref, _ := r.h.GrantAccess(r.dom0.ID, f, r.domU.ID, false)
+	got, err := r.h.GrantTransfer(r.domU.ID, r.dom0.ID, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != f {
+		t.Fatal("wrong frame returned")
+	}
+	if !r.domU.OwnsFrame(f) {
+		t.Fatal("ownership did not move")
+	}
+	if len(r.domU.Frames()) != nU+1 {
+		t.Fatal("receiver frame list not extended")
+	}
+	if r.dom0.FrameAt(2) != hw.NoFrame {
+		t.Fatal("donor pseudo-physical map must have a hole after the flip")
+	}
+	if string(r.m.Mem.Data(f)[:7]) != "flipped" {
+		t.Fatal("flip must not disturb contents")
+	}
+	if r.m.Rec.Counts(trace.KPageFlip) != 1 {
+		t.Fatal("page flip not recorded")
+	}
+	if r.m.Rec.Counts(trace.KTLBFlush) == 0 {
+		t.Fatal("page flip must shoot down the TLB")
+	}
+	// A flip consumes the grant.
+	if _, err := r.h.GrantTransfer(r.domU.ID, r.dom0.ID, ref); !errors.Is(err, ErrGrantRevoked) {
+		t.Fatalf("second flip err = %v, want ErrGrantRevoked", err)
+	}
+}
+
+func TestGrantTransferReadOnlyRefused(t *testing.T) {
+	r := newVrig(t, hw.X86())
+	f := r.dom0.FrameAt(2)
+	ref, _ := r.h.GrantAccess(r.dom0.ID, f, r.domU.ID, true)
+	if _, err := r.h.GrantTransfer(r.domU.ID, r.dom0.ID, ref); !errors.Is(err, ErrGrantReadOnly) {
+		t.Fatalf("err = %v, want ErrGrantReadOnly", err)
+	}
+}
+
+func TestPageFlipCostIndependentOfPayload(t *testing.T) {
+	// The heart of E1: a flip costs the same whether the page carries 64
+	// bytes or 4096.
+	r := newVrig(t, hw.X86())
+	gpn := 0
+	cost := func(fill int) hw.Cycles {
+		f := r.dom0.FrameAt(gpn)
+		gpn++
+		for i := 0; i < fill; i++ {
+			r.m.Mem.Data(f)[i] = byte(i)
+		}
+		ref, err := r.h.GrantAccess(r.dom0.ID, f, r.domU.ID, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t0 := r.m.Now()
+		if _, err := r.h.GrantTransfer(r.domU.ID, r.dom0.ID, ref); err != nil {
+			t.Fatal(err)
+		}
+		return r.m.Now() - t0
+	}
+	small := cost(64)
+	large := cost(4096)
+	if small != large {
+		t.Fatalf("flip cost varies with payload: 64B=%d 4096B=%d", small, large)
+	}
+}
+
+func TestGrantCopyCostScalesWithPayload(t *testing.T) {
+	r := newVrig(t, hw.X86())
+	cost := func(n uint64) hw.Cycles {
+		f := r.dom0.FrameAt(1)
+		ref, _ := r.h.GrantAccess(r.dom0.ID, f, r.domU.ID, true)
+		dst := r.domU.FrameAt(0)
+		t0 := r.m.Now()
+		if err := r.h.GrantCopy(r.domU.ID, r.dom0.ID, ref, dst, n); err != nil {
+			t.Fatal(err)
+		}
+		return r.m.Now() - t0
+	}
+	if !(cost(4096) > cost(64)) {
+		t.Fatal("copy cost must scale with bytes")
+	}
+}
+
+func TestFastPathLifecycle(t *testing.T) {
+	r := newVrig(t, hw.X86())
+	r.domU.SetHooks(GuestHooks{OnSyscall: func(no uint32, args []uint64) []uint64 {
+		r.m.CPU.Work(r.domU.Component(), 200)
+		return []uint64{uint64(no)}
+	}})
+	// Guest boots with truncated segments (XenoLinux layout).
+	for reg := hw.SegDS; reg <= hw.SegGS; reg++ {
+		if err := r.h.LoadGuestSegment(r.domU.ID, reg, hw.Segment{Base: 0, Limit: VMMBase - 1, DPL: hw.Ring3}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	on, err := r.h.EnableFastPath(r.domU.ID)
+	if err != nil || !on {
+		t.Fatalf("fast path should enable: on=%v err=%v", on, err)
+	}
+
+	// Fast syscall: monitor not involved.
+	mon0 := r.m.Rec.Cycles(HypervisorComponent)
+	ret, err := r.h.GuestSyscall(r.domU.ID, 20, nil)
+	if err != nil || ret[0] != 20 {
+		t.Fatalf("syscall failed: %v %v", ret, err)
+	}
+	if r.m.Rec.Cycles(HypervisorComponent) != mon0 {
+		t.Fatal("fast path must not charge the monitor")
+	}
+	if r.m.Rec.Counts(trace.KSyscallFastPath) != 1 {
+		t.Fatal("fast path not recorded")
+	}
+	total, fast := r.domU.Syscalls()
+	if total != 1 || fast != 1 {
+		t.Fatalf("syscall counts = %d/%d, want 1/1", total, fast)
+	}
+
+	// glibc TLS: a flat GS segment. The monitor must kill the shortcut.
+	if err := r.h.LoadGuestSegment(r.domU.ID, hw.SegGS, hw.Segment{Base: 0, Limit: ^uint64(0), DPL: hw.Ring3}); err != nil {
+		t.Fatal(err)
+	}
+	if r.h.FastPathActive(r.domU.ID) {
+		t.Fatal("flat segment must disable the fast path")
+	}
+	mon1 := r.m.Rec.Cycles(HypervisorComponent)
+	if _, err := r.h.GuestSyscall(r.domU.ID, 21, nil); err != nil {
+		t.Fatal(err)
+	}
+	if r.m.Rec.Cycles(HypervisorComponent) <= mon1 {
+		t.Fatal("bounced syscall must charge the monitor")
+	}
+	if r.m.Rec.Counts(trace.KExceptionBounce) == 0 {
+		t.Fatal("bounce not recorded")
+	}
+}
+
+func TestFastPathPolicyAblation(t *testing.T) {
+	r := newVrig(t, hw.X86())
+	for reg := hw.SegDS; reg <= hw.SegGS; reg++ {
+		r.h.LoadGuestSegment(r.domU.ID, reg, hw.Segment{Base: 0, Limit: VMMBase - 1, DPL: hw.Ring3})
+	}
+	r.h.FastPathPolicy = false
+	on, _ := r.h.EnableFastPath(r.domU.ID)
+	if on {
+		t.Fatal("policy off must refuse the fast path")
+	}
+}
+
+func TestFastPathUnavailableWithoutSegmentation(t *testing.T) {
+	r := newVrig(t, hw.AMD64())
+	on, err := r.h.EnableFastPath(r.domU.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on {
+		t.Fatal("amd64 (no segment limits) cannot support the trap-gate shortcut")
+	}
+}
+
+func TestSyscallCostOrdering(t *testing.T) {
+	// fast path < bounced path, on the same machine state.
+	r := newVrig(t, hw.X86())
+	r.domU.SetHooks(GuestHooks{OnSyscall: func(no uint32, args []uint64) []uint64 { return nil }})
+	for reg := hw.SegDS; reg <= hw.SegGS; reg++ {
+		r.h.LoadGuestSegment(r.domU.ID, reg, hw.Segment{Base: 0, Limit: VMMBase - 1, DPL: hw.Ring3})
+	}
+	r.h.EnableFastPath(r.domU.ID)
+	t0 := r.m.Now()
+	r.h.GuestSyscall(r.domU.ID, 1, nil)
+	fastCost := r.m.Now() - t0
+
+	r.h.LoadGuestSegment(r.domU.ID, hw.SegGS, hw.Segment{Base: 0, Limit: ^uint64(0), DPL: hw.Ring3})
+	t1 := r.m.Now()
+	r.h.GuestSyscall(r.domU.ID, 1, nil)
+	slowCost := r.m.Now() - t1
+	if fastCost >= slowCost {
+		t.Fatalf("fast (%d) must beat bounced (%d)", fastCost, slowCost)
+	}
+}
+
+func TestGuestException(t *testing.T) {
+	r := newVrig(t, hw.X86())
+	handled := false
+	ok, err := r.h.GuestException(r.domU.ID, 14, func() {
+		handled = true
+		r.m.CPU.Work(r.domU.Component(), 50)
+	})
+	if err != nil || !ok || !handled {
+		t.Fatalf("exception not handled: ok=%v err=%v", ok, err)
+	}
+	if r.m.Rec.Counts(trace.KExceptionBounce) != 1 {
+		t.Fatal("bounce not recorded")
+	}
+	// Unhandled exception.
+	ok, err = r.h.GuestException(r.domU.ID, 6, nil)
+	if err != nil || ok {
+		t.Fatal("nil handler must report unhandled")
+	}
+}
+
+func TestRouteIRQRequiresPrivilege(t *testing.T) {
+	r := newVrig(t, hw.X86())
+	if err := r.h.RouteIRQ(3, r.domU.ID); !errors.Is(err, ErrNotPrivileged) {
+		t.Fatalf("err = %v, want ErrNotPrivileged", err)
+	}
+	hits := 0
+	r.dom0.SetHooks(GuestHooks{OnVIRQ: func(v int) { hits++ }})
+	if err := r.h.RouteIRQ(3, r.dom0.ID); err != nil {
+		t.Fatal(err)
+	}
+	r.m.IRQ.Raise(3)
+	r.m.IRQ.DispatchPending(HypervisorComponent)
+	if hits != 1 {
+		t.Fatalf("dom0 saw %d injections, want 1", hits)
+	}
+	if r.m.Rec.Counts(trace.KHardIRQInject) != 1 {
+		t.Fatal("injection not recorded")
+	}
+}
+
+func TestIRQToDeadDom0Dropped(t *testing.T) {
+	r := newVrig(t, hw.X86())
+	r.dom0.SetHooks(GuestHooks{OnVIRQ: func(v int) { t.Fatal("dead dom0 handler ran") }})
+	r.h.RouteIRQ(3, r.dom0.ID)
+	r.h.DestroyDomain(r.dom0.ID)
+	r.m.IRQ.Raise(3)
+	r.m.IRQ.DispatchPending(HypervisorComponent) // must not panic
+}
+
+func TestSendVIRQ(t *testing.T) {
+	r := newVrig(t, hw.X86())
+	var got []int
+	r.domU.SetHooks(GuestHooks{OnVIRQ: func(v int) { got = append(got, v) }})
+	if err := r.h.SendVIRQ(r.domU.ID, 7); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != 7 {
+		t.Fatalf("virqs = %v, want [7]", got)
+	}
+}
+
+func TestDestroyDomainReleasesResources(t *testing.T) {
+	r := newVrig(t, hw.X86())
+	free0 := r.m.Mem.FreeFrames()
+	if err := r.h.DestroyDomain(r.domU.ID); err != nil {
+		t.Fatal(err)
+	}
+	if r.m.Mem.FreeFrames() != free0+64 {
+		t.Fatalf("freed %d frames, want 64", r.m.Mem.FreeFrames()-free0)
+	}
+	if r.h.Alive(r.domU.ID) {
+		t.Fatal("domain still alive")
+	}
+	if r.m.Rec.Counts(trace.KFault) != 1 {
+		t.Fatal("destruction not recorded as fault")
+	}
+	// Idempotent.
+	if err := r.h.DestroyDomain(r.domU.ID); err != nil {
+		t.Fatal("second destroy should be a no-op")
+	}
+}
+
+func TestDestroyDomainDoesNotFreeFlippedFrames(t *testing.T) {
+	r := newVrig(t, hw.X86())
+	f := r.dom0.FrameAt(0)
+	ref, _ := r.h.GrantAccess(r.dom0.ID, f, r.domU.ID, false)
+	r.h.GrantTransfer(r.domU.ID, r.dom0.ID, ref)
+	// Destroy the *previous* owner; the flipped frame now belongs to domU
+	// and must survive.
+	r.h.DestroyDomain(r.dom0.ID)
+	if r.m.Mem.Owner(f) != "vmm.domU1" {
+		t.Fatalf("flipped frame owner = %q after donor death", r.m.Mem.Owner(f))
+	}
+}
+
+func TestSchedulerWeightedRoundRobin(t *testing.T) {
+	r := newVrig(t, hw.X86())
+	r.h.SetWeight(r.dom0.ID, 2)
+	counts := map[DomID]int{}
+	for i := 0; i < 9; i++ {
+		d := r.h.ScheduleNext()
+		if d == nil {
+			t.Fatal("no runnable domain")
+		}
+		counts[d.ID]++
+	}
+	if counts[r.dom0.ID] <= counts[r.domU.ID] {
+		t.Fatalf("weighting ignored: %v", counts)
+	}
+	if counts[r.domU.ID] == 0 {
+		t.Fatal("starvation: domU never ran")
+	}
+	if r.h.Decisions() != 9 {
+		t.Fatalf("decisions = %d, want 9", r.h.Decisions())
+	}
+}
+
+func TestSchedulerSkipsDeadDomains(t *testing.T) {
+	r := newVrig(t, hw.X86())
+	r.h.DestroyDomain(r.domU.ID)
+	for i := 0; i < 5; i++ {
+		d := r.h.ScheduleNext()
+		if d == nil || d.ID != r.dom0.ID {
+			t.Fatalf("scheduled %v, want dom0 only", d)
+		}
+	}
+}
+
+func TestWorldSwitchChargedOnDomainChange(t *testing.T) {
+	r := newVrig(t, hw.X86())
+	ws0 := r.m.Rec.Counts(trace.KWorldSwitch)
+	r.h.Hypercall(r.dom0.ID, "a", 0)
+	r.h.Hypercall(r.domU.ID, "b", 0)
+	r.h.Hypercall(r.domU.ID, "c", 0) // same domain: no switch
+	ws1 := r.m.Rec.Counts(trace.KWorldSwitch)
+	if ws1-ws0 != 2 {
+		t.Fatalf("world switches = %d, want 2", ws1-ws0)
+	}
+}
+
+func TestTenPrimitivesAllObservable(t *testing.T) {
+	// Exercise each of the paper's ten primitives once and verify each
+	// leaves its distinct trace — the raw material of the E5 census.
+	r := newVrig(t, hw.X86())
+	r.domU.SetHooks(GuestHooks{
+		OnSyscall: func(no uint32, args []uint64) []uint64 { return nil },
+		OnEvent:   func(p Port) {},
+		OnVIRQ:    func(v int) {},
+	})
+	r.dom0.SetHooks(GuestHooks{OnVIRQ: func(v int) {}})
+
+	r.h.GuestSyscall(r.domU.ID, 1, nil)                       // 1+2 (u2k, k2u) via 7 (bounce)
+	p0, _, _ := r.h.BindChannel(r.dom0.ID, r.domU.ID)         //
+	r.h.NotifyChannel(r.dom0.ID, p0)                          // 3 (+8 virq upcall)
+	r.h.Hypercall(r.domU.ID, "balloon", 50)                   // 4
+	r.h.MMUUpdate(r.domU.ID, 0x400, 1, hw.PermRW, true)       // 5
+	f := r.dom0.FrameAt(4)                                    //
+	ref, _ := r.h.GrantAccess(r.dom0.ID, f, r.domU.ID, false) //
+	r.h.GrantTransfer(r.domU.ID, r.dom0.ID, ref)              // 6
+	r.h.RouteIRQ(2, r.dom0.ID)                                // 9 setup
+	r.m.IRQ.Raise(2)                                          //
+	r.m.IRQ.DispatchPending(HypervisorComponent)              // 9
+	r.h.VirtDeviceOp(r.domU.ID, "console", 10)                // 10
+
+	want := []trace.Kind{
+		trace.KGuestUserToKernel, trace.KGuestKernelToUser, trace.KEvtchnSend,
+		trace.KHypercall, trace.KShadowPTUpdate, trace.KPageFlip,
+		trace.KExceptionBounce, trace.KVirtIRQ, trace.KHardIRQInject, trace.KVirtDeviceOp,
+	}
+	for _, k := range want {
+		if r.m.Rec.Counts(k) == 0 {
+			t.Errorf("primitive %v never observed", k)
+		}
+	}
+	if got := len(r.m.Rec.DistinctPrimitives("vmm")); got != 10 {
+		t.Fatalf("census sees %d distinct VMM primitives, want 10", got)
+	}
+}

@@ -1,0 +1,223 @@
+package vmm
+
+import (
+	"errors"
+	"sort"
+	"strings"
+)
+
+// Store is the hypervisor's shared configuration tree — the XenStore role:
+// a hierarchical key-value space domains use to advertise backends, find
+// frontends and watch for changes. Every access is a hypercall-priced
+// operation with per-path ownership: a domain may write only under its own
+// prefix unless privileged.
+//
+// In the real system XenStore lives in Dom0; hosting it in the monitor here
+// trades a little fidelity for not entangling the control plane with the
+// driver domain's liveness (the experiments kill Dom0 a lot). The paper's
+// census cares that the mechanism exists and is a *separate* privileged
+// facility — which it is either way.
+type Store struct {
+	h       *Hypervisor
+	entries map[string]string
+	owners  map[string]DomID
+	watches map[string][]watch
+}
+
+type watch struct {
+	dom DomID
+	fn  func(path, value string)
+}
+
+// Store errors.
+var (
+	ErrStorePerm    = errors.New("vmm: store permission denied")
+	ErrStoreNoEntry = errors.New("vmm: store entry not found")
+	ErrStoreBadPath = errors.New("vmm: malformed store path")
+)
+
+// NewStore attaches a store to the hypervisor.
+func NewStore(h *Hypervisor) *Store {
+	return &Store{
+		h:       h,
+		entries: make(map[string]string),
+		owners:  make(map[string]DomID),
+		watches: make(map[string][]watch),
+	}
+}
+
+func validPath(path string) bool {
+	return strings.HasPrefix(path, "/") && !strings.Contains(path, "//") && len(path) > 1
+}
+
+// homePrefix is the subtree a domain owns by default.
+func homePrefix(dom DomID) string {
+	return "/local/domain/" + itoa(int(dom)) + "/"
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// mayWrite reports whether dom can write path.
+func (s *Store) mayWrite(dom DomID, path string) bool {
+	d := s.h.domains[dom]
+	if d == nil || d.Dead {
+		return false
+	}
+	if d.Privileged {
+		return true
+	}
+	if owner, ok := s.owners[path]; ok {
+		return owner == dom
+	}
+	return strings.HasPrefix(path, homePrefix(dom))
+}
+
+// Write sets path to value. Unprivileged domains write only under their
+// home prefix or paths granted to them. Watches on the path and its
+// ancestors fire synchronously.
+func (s *Store) Write(dom DomID, path, value string) error {
+	if !validPath(path) {
+		return ErrStoreBadPath
+	}
+	d := s.h.domains[dom]
+	if d == nil {
+		return ErrNoSuchDomain
+	}
+	if d.Dead {
+		return ErrDomainDead
+	}
+	s.h.hypercallEntry(d)
+	defer s.h.hypercallExit(d)
+	if !s.mayWrite(dom, path) {
+		return ErrStorePerm
+	}
+	s.entries[path] = value
+	if _, ok := s.owners[path]; !ok {
+		s.owners[path] = dom
+	}
+	s.h.M.CPU.Work(HypervisorComponent, 150)
+	s.fire(path, value)
+	return nil
+}
+
+// Read returns the value at path. Reads are unrestricted, as in XenStore's
+// common configuration.
+func (s *Store) Read(dom DomID, path string) (string, error) {
+	d := s.h.domains[dom]
+	if d == nil {
+		return "", ErrNoSuchDomain
+	}
+	if d.Dead {
+		return "", ErrDomainDead
+	}
+	s.h.hypercallEntry(d)
+	defer s.h.hypercallExit(d)
+	v, ok := s.entries[path]
+	if !ok {
+		return "", ErrStoreNoEntry
+	}
+	s.h.M.CPU.Work(HypervisorComponent, 100)
+	return v, nil
+}
+
+// GrantWrite lets a privileged domain hand write access on one path to
+// another domain (how Dom0 sets up frontend directories for new guests).
+func (s *Store) GrantWrite(granter, to DomID, path string) error {
+	d := s.h.domains[granter]
+	if d == nil || !d.Privileged {
+		return ErrNotPrivileged
+	}
+	if !validPath(path) {
+		return ErrStoreBadPath
+	}
+	s.owners[path] = to
+	s.h.M.CPU.Work(HypervisorComponent, 120)
+	return nil
+}
+
+// List returns the direct children of prefix, sorted.
+func (s *Store) List(dom DomID, prefix string) ([]string, error) {
+	d := s.h.domains[dom]
+	if d == nil {
+		return nil, ErrNoSuchDomain
+	}
+	if d.Dead {
+		return nil, ErrDomainDead
+	}
+	s.h.hypercallEntry(d)
+	defer s.h.hypercallExit(d)
+	s.h.M.CPU.Work(HypervisorComponent, 150)
+	if !strings.HasSuffix(prefix, "/") {
+		prefix += "/"
+	}
+	seen := map[string]bool{}
+	for p := range s.entries {
+		if !strings.HasPrefix(p, prefix) {
+			continue
+		}
+		rest := strings.TrimPrefix(p, prefix)
+		if i := strings.IndexByte(rest, '/'); i >= 0 {
+			rest = rest[:i]
+		}
+		seen[rest] = true
+	}
+	out := make([]string, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Watch registers fn to run when path (or anything under it) changes. The
+// callback runs in the watcher's context: delivery world-switches to the
+// watcher like an event upcall.
+func (s *Store) Watch(dom DomID, path string, fn func(path, value string)) error {
+	d := s.h.domains[dom]
+	if d == nil {
+		return ErrNoSuchDomain
+	}
+	if d.Dead {
+		return ErrDomainDead
+	}
+	if !validPath(path) {
+		return ErrStoreBadPath
+	}
+	s.watches[path] = append(s.watches[path], watch{dom: dom, fn: fn})
+	s.h.M.CPU.Work(HypervisorComponent, 120)
+	return nil
+}
+
+// fire delivers watch callbacks for path and every ancestor prefix.
+func (s *Store) fire(path, value string) {
+	for watched, ws := range s.watches {
+		if path != watched && !strings.HasPrefix(path, watched+"/") {
+			continue
+		}
+		for _, w := range ws {
+			wd := s.h.domains[w.dom]
+			if wd == nil || wd.Dead {
+				continue
+			}
+			prev := s.h.current
+			s.h.switchTo(wd)
+			s.h.M.CPU.Work(HypervisorComponent, 80)
+			w.fn(path, value)
+			if prev != nil && prev != wd && !prev.Dead {
+				s.h.switchTo(prev)
+			}
+		}
+	}
+}

@@ -1,0 +1,253 @@
+package vmmos
+
+import (
+	"vmmk/internal/hw"
+	"vmmk/internal/hw/dev"
+	"vmmk/internal/vmm"
+)
+
+// RxMode selects how netback moves received packets into a guest.
+type RxMode int
+
+// Receive modes: page flipping (Xen 2.x default, what Cherkasova & Gardner
+// measured) or hypervisor-mediated grant copy (the later Xen design; the E9
+// ablation compares them).
+const (
+	RxFlip RxMode = iota
+	RxCopy
+)
+
+func (m RxMode) String() string {
+	if m == RxFlip {
+		return "flip"
+	}
+	return "copy"
+}
+
+// rxSlot is one packet the backend has published to a frontend: a grant on
+// the page holding it, the page itself (so copy mode can recycle it into
+// the NIC pool), and the payload length.
+type rxSlot struct {
+	ref   vmm.GrantRef
+	frame hw.FrameID
+	len   int
+}
+
+// txSlot is one packet a frontend has published for transmission.
+type txSlot struct {
+	ref vmm.GrantRef
+	len int
+}
+
+// netConn is the shared state of one netback/netfront pair (the moral
+// equivalent of the shared ring page plus its two event-channel ports).
+type netConn struct {
+	guest     vmm.DomID
+	backPort  vmm.Port // dom0's port
+	frontPort vmm.Port // guest's port
+	rxRing    []rxSlot
+	txRing    []txSlot
+	front     *NetFront
+}
+
+// blkReq is one outstanding block request.
+type blkReq struct {
+	op    dev.DiskOp
+	block uint64
+	ref   vmm.GrantRef
+	frame hw.FrameID // guest's buffer frame (granted)
+	tag   uint64
+	done  bool
+	ok    bool
+}
+
+// blkConn is the shared state of one blkback/blkfront pair.
+type blkConn struct {
+	guest     vmm.DomID
+	backPort  vmm.Port
+	frontPort vmm.Port
+	reqs      []*blkReq
+	inflight  map[uint64]*blkReq
+	front     *BlkFront
+	base      uint64 // partition offset on the physical disk
+	size      uint64 // partition length in blocks
+}
+
+// DriverDomain is Dom0: the privileged domain that encapsulates the legacy
+// device drivers, exactly the structure §3.2 discusses ("Xen uses a
+// separate virtual machine (called Dom0) to encapsulate legacy device
+// drivers. Hence, any I/O operation implies at least one round-trip
+// communication between the guest VM and Dom0.").
+type DriverDomain struct {
+	H  *vmm.Hypervisor
+	GK *GuestKernel
+
+	NIC  *dev.NIC
+	Disk *dev.Disk
+
+	Mode RxMode
+
+	netConns []*netConn
+	blkConns map[vmm.DomID]*blkConn
+
+	rxPoolTarget int
+	nextBlkBase  uint64
+	nextTag      uint64
+
+	rxHandled uint64
+	txHandled uint64
+}
+
+// NewDriverDomain boots Dom0's kernel and its physical drivers, routing the
+// device interrupts to the domain.
+func NewDriverDomain(h *vmm.Hypervisor, d0 *vmm.Domain, nic *dev.NIC, disk *dev.Disk) (*DriverDomain, error) {
+	dd := &DriverDomain{
+		H:            h,
+		GK:           NewGuestKernel(h, d0),
+		NIC:          nic,
+		Disk:         disk,
+		blkConns:     make(map[vmm.DomID]*blkConn),
+		rxPoolTarget: 32,
+	}
+	dd.GK.ExtraVIRQ = dd.handleIRQ
+	if nic != nil {
+		if err := h.RouteIRQ(nic.RxIRQ(), d0.ID); err != nil {
+			return nil, err
+		}
+		if err := h.RouteIRQ(nic.TxIRQ(), d0.ID); err != nil {
+			return nil, err
+		}
+		dd.replenishRxPool()
+	}
+	if disk != nil {
+		if err := h.RouteIRQ(disk.IRQ(), d0.ID); err != nil {
+			return nil, err
+		}
+	}
+	return dd, nil
+}
+
+// Component returns Dom0's trace attribution name.
+func (dd *DriverDomain) Component() string { return dd.GK.Component() }
+
+// replenishRxPool posts fresh dom0-owned frames to the NIC until the target
+// depth is reached. Pool management is real driver work and is charged.
+func (dd *DriverDomain) replenishRxPool() {
+	for dd.NIC.PostedBuffers() < dd.rxPoolTarget {
+		f, err := dd.H.M.Mem.Alloc(dd.Component())
+		if err != nil {
+			return // memory pressure: run with a shallower pool
+		}
+		dd.H.M.CPU.Work(dd.Component(), 120) // buffer alloc + descriptor write
+		if !dd.NIC.PostRxBuffer(f) {
+			dd.H.M.Mem.Free(f)
+			return
+		}
+	}
+}
+
+// handleIRQ is Dom0's physical interrupt handler (injected by the monitor).
+func (dd *DriverDomain) handleIRQ(virq int) {
+	switch {
+	case dd.NIC != nil && virq == int(dd.NIC.RxIRQ()):
+		dd.netbackRx()
+	case dd.NIC != nil && virq == int(dd.NIC.TxIRQ()):
+		dd.H.M.CPU.Work(dd.Component(), 150) // reap TX descriptors
+	case dd.Disk != nil && virq == int(dd.Disk.IRQ()):
+		dd.blkbackComplete()
+	}
+}
+
+// netbackRx drains the NIC and pushes each packet to the owning guest:
+// demux by destination byte, publish a grant, kick the event channel.
+func (dd *DriverDomain) netbackRx() {
+	comp := dd.Component()
+	for _, c := range dd.NIC.ReapRx() {
+		dd.rxHandled++
+		dd.H.M.CPU.Work(comp, 400) // driver RX path: demux, checksum, skb
+		if len(dd.netConns) == 0 {
+			dd.H.M.Mem.Free(c.Frame) // nobody to deliver to
+			continue
+		}
+		dst := int(dd.H.M.Mem.Data(c.Frame)[0]) % len(dd.netConns)
+		conn := dd.netConns[dst]
+		if !dd.H.Alive(conn.guest) {
+			dd.H.M.Mem.Free(c.Frame)
+			continue
+		}
+		readOnly := dd.Mode == RxCopy
+		ref, err := dd.H.GrantAccess(dd.GK.Dom.ID, c.Frame, conn.guest, readOnly)
+		if err != nil {
+			dd.H.M.Mem.Free(c.Frame)
+			continue
+		}
+		conn.rxRing = append(conn.rxRing, rxSlot{ref: ref, frame: c.Frame, len: c.Len})
+		// The notification: asynchronous IPC in all but name.
+		if err := dd.H.NotifyChannel(dd.GK.Dom.ID, conn.backPort); err != nil {
+			continue
+		}
+	}
+	dd.replenishRxPool()
+}
+
+// netbackTx is dom0's event handler for a guest's TX kick: map each granted
+// packet page, hand it to the NIC, unmap.
+func (dd *DriverDomain) netbackTx(conn *netConn) {
+	comp := dd.Component()
+	ring := conn.txRing
+	conn.txRing = nil
+	const txWindow = hw.VPN(0xD000)
+	for _, slot := range ring {
+		dd.txHandled++
+		dd.H.M.CPU.Work(comp, 350) // driver TX path
+		if err := dd.H.GrantMap(dd.GK.Dom.ID, conn.guest, slot.ref, txWindow); err != nil {
+			continue
+		}
+		e, ok := dd.GK.Dom.PT.Lookup(txWindow)
+		if ok {
+			dd.NIC.Transmit(e.Frame, slot.len)
+		}
+		dd.H.GrantUnmap(dd.GK.Dom.ID, conn.guest, slot.ref, txWindow)
+	}
+}
+
+// blkbackSubmit is dom0's event handler for a guest's block kick: validate,
+// translate partition-relative blocks, submit to the physical disk with the
+// guest's granted frame as the DMA target.
+func (dd *DriverDomain) blkbackSubmit(conn *blkConn) {
+	comp := dd.Component()
+	reqs := conn.reqs
+	conn.reqs = nil
+	for _, r := range reqs {
+		dd.H.M.CPU.Work(comp, 300) // request validation and translation
+		if r.block >= conn.size {
+			r.done, r.ok = true, false
+			dd.H.NotifyChannel(dd.GK.Dom.ID, conn.backPort)
+			continue
+		}
+		dd.nextTag++
+		r.tag = dd.nextTag
+		conn.inflight[r.tag] = r
+		dd.Disk.Submit(dev.DiskReq{Op: r.op, Block: conn.base + r.block, Frame: r.frame, Tag: r.tag})
+	}
+}
+
+// blkbackComplete handles the physical disk's completion interrupt: match
+// tags, notify the owning guests.
+func (dd *DriverDomain) blkbackComplete() {
+	comp := dd.Component()
+	for _, c := range dd.Disk.Reap() {
+		dd.H.M.CPU.Work(comp, 200)
+		for _, conn := range dd.blkConns {
+			if r, ok := conn.inflight[c.Req.Tag]; ok {
+				r.done, r.ok = true, c.OK
+				delete(conn.inflight, c.Req.Tag)
+				dd.H.NotifyChannel(dd.GK.Dom.ID, conn.backPort)
+				break
+			}
+		}
+	}
+}
+
+// Stats returns packets handled by netback.
+func (dd *DriverDomain) Stats() (rx, tx uint64) { return dd.rxHandled, dd.txHandled }

@@ -1,0 +1,234 @@
+// Package vmmos provides the operating-system personalities that run on the
+// vmm hypervisor: a paravirtualised guest kernel (XenoLinux-like) with a
+// small process and syscall model, the Dom0 driver domain with netback and
+// blkback backends, the matching netfront/blkfront frontends, and a
+// Parallax-like storage appliance domain that serves virtual disks to other
+// guests.
+//
+// Together with package vmm this is "system B" of the paper's comparison.
+// The I/O paths are modelled on Xen 2.x as measured by Cherkasova & Gardner:
+// network receive moves pages from the driver domain to the guest by page
+// flipping (one flip per packet, whatever the packet size), with a grant-copy
+// mode available as the ablation E9 studies.
+package vmmos
+
+import (
+	"errors"
+	"fmt"
+
+	"vmmk/internal/fslite"
+	"vmmk/internal/hw"
+	"vmmk/internal/vmm"
+)
+
+// PID identifies a guest process.
+type PID uint32
+
+// Syscall numbers implemented by the guest kernel.
+const (
+	SysGetPID uint32 = iota + 1
+	SysWrite
+	SysYield
+	SysNetSend
+	SysNetRecv
+	SysBlockRead
+	SysBlockWrite
+)
+
+// Errors surfaced by the guest kernel and drivers.
+var (
+	ErrNoSuchProcess = errors.New("vmmos: no such process")
+	ErrNoNetwork     = errors.New("vmmos: no network frontend configured")
+	ErrNoBlock       = errors.New("vmmos: no block frontend configured")
+	ErrBackendDead   = errors.New("vmmos: backend domain is dead")
+	ErrIOTimeout     = errors.New("vmmos: I/O did not complete")
+)
+
+// Process is one guest user process.
+type Process struct {
+	PID  PID
+	Name string
+
+	rxDelivered uint64
+}
+
+// GuestKernel is a paravirtualised kernel running in a domain at ring 1.
+// It registers the domain's hypervisor hooks at construction.
+type GuestKernel struct {
+	H   *vmm.Hypervisor
+	Dom *vmm.Domain
+
+	procs   map[PID]*Process
+	nextPID PID
+
+	Net *NetFront
+	Blk BlockDevice
+
+	// ExtraEvent lets backends (netback, blkback, Parallax) claim ports
+	// on this kernel's domain; ExtraVIRQ chains physical-interrupt
+	// handling (Dom0's device IRQs).
+	ExtraEvent map[vmm.Port]func()
+	ExtraVIRQ  func(virq int)
+
+	console []byte
+
+	syscallWork hw.Cycles // per-syscall in-kernel work, tunable per workload
+}
+
+// NewGuestKernel boots a guest kernel into dom, installing its hooks.
+func NewGuestKernel(h *vmm.Hypervisor, dom *vmm.Domain) *GuestKernel {
+	gk := &GuestKernel{
+		H:           h,
+		Dom:         dom,
+		procs:       make(map[PID]*Process),
+		nextPID:     1,
+		syscallWork: 150,
+		ExtraEvent:  make(map[vmm.Port]func()),
+	}
+	dom.SetHooks(vmm.GuestHooks{
+		OnSyscall: gk.handleSyscall,
+		OnEvent:   gk.handleEvent,
+		OnVIRQ:    gk.handleVIRQ,
+	})
+	// Guest kernel boot: set up its virtual memory via validated updates,
+	// which is visible monitor work (primitive 5).
+	for vpn := 0; vpn < 8; vpn++ {
+		_ = h.MMUUpdate(dom.ID, hw.VPN(0x1000+vpn), vpn, hw.PermRW, false)
+	}
+	return gk
+}
+
+// Component returns the domain's trace attribution name.
+func (gk *GuestKernel) Component() string { return gk.Dom.Component() }
+
+// SetSyscallWork tunes the modelled in-kernel work per syscall.
+func (gk *GuestKernel) SetSyscallWork(c hw.Cycles) { gk.syscallWork = c }
+
+// Spawn creates a guest process.
+func (gk *GuestKernel) Spawn(name string) *Process {
+	p := &Process{PID: gk.nextPID, Name: name}
+	gk.nextPID++
+	gk.procs[p.PID] = p
+	gk.H.M.CPU.Work(gk.Component(), 500) // fork+exec stand-in
+	return p
+}
+
+// Process returns the process for pid, or nil.
+func (gk *GuestKernel) Process(pid PID) *Process { return gk.procs[pid] }
+
+// Syscall issues a system call from process pid through the hypervisor's
+// guest-syscall path (fast or bounced, whichever is live).
+func (gk *GuestKernel) Syscall(pid PID, no uint32, args ...uint64) ([]uint64, error) {
+	if gk.procs[pid] == nil {
+		return nil, ErrNoSuchProcess
+	}
+	return gk.H.GuestSyscall(gk.Dom.ID, no, append([]uint64{uint64(pid)}, args...))
+}
+
+// handleSyscall is the guest kernel's trap entry (registered as the
+// domain's OnSyscall hook). args[0] is the calling PID by convention.
+func (gk *GuestKernel) handleSyscall(no uint32, args []uint64) []uint64 {
+	comp := gk.Component()
+	gk.H.M.CPU.Work(comp, gk.syscallWork)
+	var pid PID
+	if len(args) > 0 {
+		pid = PID(args[0])
+	}
+	switch no {
+	case SysGetPID:
+		return []uint64{uint64(pid)}
+	case SysWrite:
+		gk.console = append(gk.console, byte(args[1]))
+		return []uint64{1}
+	case SysYield:
+		return nil
+	case SysNetSend:
+		if gk.Net == nil {
+			return []uint64{^uint64(0)}
+		}
+		n := int(args[1])
+		if err := gk.Net.Send(make([]byte, n)); err != nil {
+			return []uint64{^uint64(0)}
+		}
+		return []uint64{uint64(n)}
+	case SysNetRecv:
+		if gk.Net == nil {
+			return []uint64{^uint64(0)}
+		}
+		pkt, ok := gk.Net.Recv()
+		if !ok {
+			return []uint64{0}
+		}
+		if p := gk.procs[pid]; p != nil {
+			p.rxDelivered++
+		}
+		return []uint64{uint64(len(pkt))}
+	case SysBlockRead, SysBlockWrite:
+		if gk.Blk == nil {
+			return []uint64{^uint64(0)}
+		}
+		var err error
+		if no == SysBlockRead {
+			_, err = gk.Blk.Read(args[1])
+		} else {
+			err = gk.Blk.Write(args[1], []byte(fmt.Sprintf("pid%d-block%d", pid, args[1])))
+		}
+		if err != nil {
+			return []uint64{^uint64(0)}
+		}
+		return []uint64{0}
+	}
+	return []uint64{^uint64(0)} // ENOSYS
+}
+
+// handleEvent demultiplexes event-channel upcalls to the frontends and any
+// registered backends.
+func (gk *GuestKernel) handleEvent(port vmm.Port) {
+	gk.H.M.CPU.Work(gk.Component(), 80) // upcall demux
+	if gk.Net != nil && port == gk.Net.localPort {
+		gk.Net.onEvent()
+		return
+	}
+	if gk.Blk != nil && port == gk.Blk.port() {
+		gk.Blk.onEvent()
+		return
+	}
+	if h, ok := gk.ExtraEvent[port]; ok {
+		h()
+	}
+}
+
+// handleVIRQ handles timer and other virtual interrupts, chaining to the
+// driver domain's hook when one is registered.
+func (gk *GuestKernel) handleVIRQ(virq int) {
+	gk.H.M.CPU.Work(gk.Component(), 60)
+	if gk.ExtraVIRQ != nil {
+		gk.ExtraVIRQ(virq)
+	}
+}
+
+// BlockDevice is the guest-side view of a block service: the real blkfront
+// talking to Dom0, or a Parallax-backed virtual disk. Read returns the
+// block's contents; Write stores them.
+type BlockDevice interface {
+	Read(block uint64) ([]byte, error)
+	Write(block uint64, data []byte) error
+	port() vmm.Port
+	onEvent()
+}
+
+// MountFS formats and mounts an fslite filesystem over the guest's block
+// device (blkfront or a Parallax virtual disk) — the identical filesystem
+// code package mkos mounts over its storage server.
+func (gk *GuestKernel) MountFS(blocks uint64) (*fslite.FS, error) {
+	if gk.Blk == nil {
+		return nil, ErrNoBlock
+	}
+	return fslite.Mkfs(gk.Blk, gk.H.M.Mem.PageSize(), blocks)
+}
+
+// Console returns what guest processes wrote with SysWrite.
+func (gk *GuestKernel) Console() []byte { return gk.console }
+
+// RxDelivered returns how many packets pid has consumed.
+func (p *Process) RxDelivered() uint64 { return p.rxDelivered }

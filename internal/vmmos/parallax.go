@@ -1,0 +1,292 @@
+package vmmos
+
+import (
+	"errors"
+
+	"vmmk/internal/hw"
+	"vmmk/internal/vmm"
+)
+
+// Parallax is the storage appliance domain from Warfield et al.'s HotOS'05
+// paper, which the rebuttal's §3.1 leans on: a dedicated VM that provides
+// virtual block devices (with copy-on-write snapshots) to a set of client
+// VMs. It is "providing a critical system service" — structurally a
+// user-level server, which is why its failure semantics are the heart of
+// the liability-inversion experiment E4: when Parallax dies, its clients'
+// storage fails, while the monitor, Dom0 and unrelated domains are
+// untouched.
+//
+// Blocks live in Parallax's own memory and are written through to a
+// partition it holds on the physical disk via its own blkfront — Parallax
+// is itself a client of Dom0, mirroring the real system's structure.
+type Parallax struct {
+	H   *vmm.Hypervisor
+	GK  *GuestKernel
+	dd  *DriverDomain
+	blk *BlkFront // write-through persistence, may be nil
+
+	vdisks map[vmm.DomID]*VDisk
+
+	requests uint64
+	faults   uint64
+}
+
+// ErrVDiskUnknown is returned for requests on an unattached client.
+var ErrVDiskUnknown = errors.New("vmmos: no virtual disk for this domain")
+
+// VDisk is one client's virtual disk: a block map supporting copy-on-write
+// snapshots. Unwritten blocks read as zeros.
+type VDisk struct {
+	owner    vmm.DomID
+	blocks   map[uint64][]byte
+	snapshot map[uint64][]byte // frozen view; nil when no snapshot taken
+	persist  uint64            // physical partition offset for write-through
+	size     uint64
+}
+
+// pxConn is the ring between a client guest and Parallax.
+type pxConn struct {
+	client    vmm.DomID
+	pxPort    vmm.Port
+	frontPort vmm.Port
+	reqs      []*pxReq
+	front     *PxFront
+}
+
+type pxReq struct {
+	write bool
+	block uint64
+	ref   vmm.GrantRef
+	frame hw.FrameID
+	done  bool
+	ok    bool
+}
+
+// NewParallax boots the appliance in its own domain — the decomposed
+// structure the real Parallax paper advocates. When dd is non-nil the
+// appliance connects a blkfront for write-through persistence.
+func NewParallax(h *vmm.Hypervisor, dom *vmm.Domain, dd *DriverDomain, persistBlocks uint64) (*Parallax, error) {
+	return NewParallaxOn(NewGuestKernel(h, dom), dd, persistBlocks)
+}
+
+// NewParallaxOn boots the appliance on an existing guest kernel. Passing
+// Dom0's kernel builds the consolidated "super-VM" §2.2 warns about —
+// storage and drivers sharing one failure domain — which the E9d ablation
+// measures against the decomposed arrangement.
+func NewParallaxOn(gk *GuestKernel, dd *DriverDomain, persistBlocks uint64) (*Parallax, error) {
+	px := &Parallax{
+		H:      gk.H,
+		GK:     gk,
+		dd:     dd,
+		vdisks: make(map[vmm.DomID]*VDisk),
+	}
+	if dd != nil && dd.Disk != nil && persistBlocks > 0 {
+		// Works for the consolidated case too: the blkfront/blkback pair
+		// simply loops back within Dom0 over a self-channel.
+		bf, err := ConnectBlk(dd, px.GK, persistBlocks)
+		if err != nil {
+			return nil, err
+		}
+		px.blk = bf
+	}
+	return px, nil
+}
+
+// Component returns the appliance's trace attribution name.
+func (px *Parallax) Component() string { return px.GK.Component() }
+
+// AttachClient creates a virtual disk for a client guest and wires its
+// event channel; the returned PxFront plugs into the client kernel as its
+// BlockDevice.
+func (px *Parallax) AttachClient(gk *GuestKernel, size uint64) (*PxFront, error) {
+	pxPort, frontPort, err := px.H.BindChannel(px.GK.Dom.ID, gk.Dom.ID)
+	if err != nil {
+		return nil, err
+	}
+	buf, err := px.H.M.Mem.Alloc(gk.Component())
+	if err != nil {
+		return nil, err
+	}
+	vd := &VDisk{owner: gk.Dom.ID, blocks: make(map[uint64][]byte), size: size, persist: uint64(len(px.vdisks)) * size}
+	px.vdisks[gk.Dom.ID] = vd
+	pf := &PxFront{gk: gk, px: px, localPort: frontPort, buf: buf}
+	conn := &pxConn{client: gk.Dom.ID, pxPort: pxPort, frontPort: frontPort, front: pf}
+	pf.conn = conn
+	px.GK.ExtraEvent[pxPort] = func() { px.serve(conn) }
+	gk.Blk = pf
+	return pf, nil
+}
+
+// serve handles a client kick: pop requests, run the block map, move data
+// through the granted page, notify completion.
+func (px *Parallax) serve(conn *pxConn) {
+	comp := px.Component()
+	h := px.H
+	reqs := conn.reqs
+	conn.reqs = nil
+	const window = hw.VPN(0xE000)
+	for _, r := range reqs {
+		px.requests++
+		h.M.CPU.Work(comp, 500) // block-map lookup, CoW bookkeeping
+		vd := px.vdisks[conn.client]
+		if vd == nil || r.block >= vd.size {
+			r.done, r.ok = true, false
+			h.NotifyChannel(px.GK.Dom.ID, conn.pxPort)
+			continue
+		}
+		if err := h.GrantMap(px.GK.Dom.ID, conn.client, r.ref, window); err != nil {
+			r.done, r.ok = true, false
+			continue
+		}
+		e, _ := px.GK.Dom.PT.Lookup(window)
+		ps := h.M.Mem.PageSize()
+		if r.write {
+			data := make([]byte, ps)
+			copy(data, h.M.Mem.Data(e.Frame))
+			vd.write(r.block, data)
+			h.M.CPU.Work(comp, h.M.CPU.CopyCost(ps))
+			if px.blk != nil {
+				// Write-through to the physical partition via Dom0.
+				if err := px.blk.Write(vd.persist+r.block, data); err != nil {
+					r.done, r.ok = true, false
+					h.GrantUnmap(px.GK.Dom.ID, conn.client, r.ref, window)
+					h.NotifyChannel(px.GK.Dom.ID, conn.pxPort)
+					continue
+				}
+			}
+		} else {
+			data := vd.read(r.block)
+			buf := h.M.Mem.Data(e.Frame)
+			for i := range buf {
+				buf[i] = 0
+			}
+			copy(buf, data)
+			h.M.CPU.Work(comp, h.M.CPU.CopyCost(ps))
+		}
+		h.GrantUnmap(px.GK.Dom.ID, conn.client, r.ref, window)
+		r.done, r.ok = true, true
+		h.NotifyChannel(px.GK.Dom.ID, conn.pxPort)
+	}
+}
+
+func (vd *VDisk) read(block uint64) []byte {
+	if b, ok := vd.blocks[block]; ok {
+		return b
+	}
+	if vd.snapshot != nil {
+		if b, ok := vd.snapshot[block]; ok {
+			return b
+		}
+	}
+	return nil
+}
+
+func (vd *VDisk) write(block uint64, data []byte) {
+	vd.blocks[block] = data
+}
+
+// Snapshot freezes the current state of a client's disk; later writes go to
+// fresh blocks (copy-on-write), earlier data remains readable. Returns the
+// number of blocks captured.
+func (px *Parallax) Snapshot(client vmm.DomID) (int, error) {
+	vd := px.vdisks[client]
+	if vd == nil {
+		return 0, ErrVDiskUnknown
+	}
+	px.H.M.CPU.Work(px.Component(), 800)
+	if vd.snapshot == nil {
+		vd.snapshot = make(map[uint64][]byte)
+	}
+	for b, data := range vd.blocks {
+		vd.snapshot[b] = data
+	}
+	n := len(vd.blocks)
+	vd.blocks = make(map[uint64][]byte)
+	return n, nil
+}
+
+// SnapshotRead reads from the frozen view (nil if block unwritten at
+// snapshot time or no snapshot exists).
+func (px *Parallax) SnapshotRead(client vmm.DomID, block uint64) []byte {
+	vd := px.vdisks[client]
+	if vd == nil || vd.snapshot == nil {
+		return nil
+	}
+	return vd.snapshot[block]
+}
+
+// Requests returns the number of client requests served.
+func (px *Parallax) Requests() uint64 { return px.requests }
+
+// PxFront is the client-side stub for a Parallax virtual disk; it satisfies
+// BlockDevice so guests use it exactly like a blkfront.
+type PxFront struct {
+	gk        *GuestKernel
+	px        *Parallax
+	conn      *pxConn
+	localPort vmm.Port
+	buf       hw.FrameID
+
+	reads  uint64
+	writes uint64
+}
+
+func (pf *PxFront) port() vmm.Port { return pf.localPort }
+
+func (pf *PxFront) onEvent() {
+	pf.gk.H.M.CPU.Work(pf.gk.Component(), 150)
+}
+
+func (pf *PxFront) submit(write bool, block uint64) (*pxReq, error) {
+	h := pf.gk.H
+	if !h.Alive(pf.px.GK.Dom.ID) {
+		return nil, ErrBackendDead
+	}
+	h.M.CPU.Work(pf.gk.Component(), 250)
+	ref, err := h.GrantAccess(pf.gk.Dom.ID, pf.buf, pf.px.GK.Dom.ID, false)
+	if err != nil {
+		return nil, err
+	}
+	req := &pxReq{write: write, block: block, ref: ref, frame: pf.buf}
+	pf.conn.reqs = append(pf.conn.reqs, req)
+	if err := h.NotifyChannel(pf.gk.Dom.ID, pf.conn.frontPort); err != nil {
+		return nil, err
+	}
+	for i := 0; i < 64 && !req.done; i++ {
+		if h.PumpIO(8) == 0 {
+			break
+		}
+	}
+	if !req.done || !req.ok {
+		return nil, ErrIOTimeout
+	}
+	return req, nil
+}
+
+// Read returns the contents of a virtual block.
+func (pf *PxFront) Read(block uint64) ([]byte, error) {
+	if _, err := pf.submit(false, block); err != nil {
+		return nil, err
+	}
+	pf.reads++
+	out := make([]byte, pf.gk.H.M.Mem.PageSize())
+	copy(out, pf.gk.H.M.Mem.Data(pf.buf))
+	return out, nil
+}
+
+// Write stores data into a virtual block.
+func (pf *PxFront) Write(block uint64, data []byte) error {
+	buf := pf.gk.H.M.Mem.Data(pf.buf)
+	for i := range buf {
+		buf[i] = 0
+	}
+	copy(buf, data)
+	if _, err := pf.submit(true, block); err != nil {
+		return err
+	}
+	pf.writes++
+	return nil
+}
+
+// Stats returns completed read/write counts.
+func (pf *PxFront) Stats() (reads, writes uint64) { return pf.reads, pf.writes }

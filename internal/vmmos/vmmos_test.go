@@ -1,0 +1,507 @@
+package vmmos
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"vmmk/internal/hw"
+	"vmmk/internal/hw/dev"
+	"vmmk/internal/trace"
+	"vmmk/internal/vmm"
+)
+
+// stack is a complete Xen-like software stack: hypervisor, Dom0 with NIC
+// and disk, and one guest with net+block frontends.
+type stack struct {
+	m     *hw.Machine
+	h     *vmm.Hypervisor
+	dd    *DriverDomain
+	nic   *dev.NIC
+	disk  *dev.Disk
+	guest *GuestKernel
+	proc  *Process
+}
+
+func newStack(t testing.TB, mode RxMode) *stack {
+	t.Helper()
+	m := hw.NewMachine(hw.X86(), &hw.MachineConfig{Frames: 2048, IRQLines: 16})
+	h, d0, err := vmm.New(m, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nic := dev.NewNIC(m, dev.NICConfig{RxIRQ: 1, TxIRQ: 2, RingSize: 64})
+	disk := dev.NewDisk(m, dev.DiskConfig{IRQ: 3, Latency: 5000})
+	dd, err := NewDriverDomain(h, d0, nic, disk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dd.Mode = mode
+	dU, err := h.CreateDomain("domU1", 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gk := NewGuestKernel(h, dU)
+	if _, err := ConnectNet(dd, gk); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ConnectBlk(dd, gk, 256); err != nil {
+		t.Fatal(err)
+	}
+	proc := gk.Spawn("app")
+	return &stack{m: m, h: h, dd: dd, nic: nic, disk: disk, guest: gk, proc: proc}
+}
+
+// pump delivers in-flight device work.
+func (s *stack) pump() { s.h.PumpIO(64) }
+
+func TestSyscallGetPID(t *testing.T) {
+	s := newStack(t, RxFlip)
+	ret, err := s.guest.Syscall(s.proc.PID, SysGetPID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if PID(ret[0]) != s.proc.PID {
+		t.Fatalf("getpid = %d, want %d", ret[0], s.proc.PID)
+	}
+	total, _ := s.guest.Dom.Syscalls()
+	if total != 1 {
+		t.Fatalf("syscalls = %d, want 1", total)
+	}
+}
+
+func TestSyscallUnknownIsENOSYS(t *testing.T) {
+	s := newStack(t, RxFlip)
+	ret, err := s.guest.Syscall(s.proc.PID, 999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ret[0] != ^uint64(0) {
+		t.Fatal("unknown syscall should return ENOSYS marker")
+	}
+}
+
+func TestSyscallBadProcess(t *testing.T) {
+	s := newStack(t, RxFlip)
+	if _, err := s.guest.Syscall(999, SysGetPID); !errors.Is(err, ErrNoSuchProcess) {
+		t.Fatalf("err = %v, want ErrNoSuchProcess", err)
+	}
+}
+
+func TestConsoleWrite(t *testing.T) {
+	s := newStack(t, RxFlip)
+	for _, b := range []byte("hi") {
+		if _, err := s.guest.Syscall(s.proc.PID, SysWrite, uint64(b)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if string(s.guest.Console()) != "hi" {
+		t.Fatalf("console = %q", s.guest.Console())
+	}
+}
+
+func injectPacket(s *stack, size int) {
+	pkt := make([]byte, size)
+	// First byte selects the destination guest (index 0).
+	s.nic.Inject(pkt)
+	s.m.IRQ.DispatchPending(vmm.HypervisorComponent)
+}
+
+func TestNetRxFlipEndToEnd(t *testing.T) {
+	s := newStack(t, RxFlip)
+	injectPacket(s, 1500)
+	s.pump()
+	if s.guest.Net.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", s.guest.Net.Pending())
+	}
+	ret, err := s.guest.Syscall(s.proc.PID, SysNetRecv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ret[0] != 1500 {
+		t.Fatalf("recv len = %d, want 1500", ret[0])
+	}
+	flips, copies, _ := s.guest.Net.Stats()
+	if flips != 1 || copies != 0 {
+		t.Fatalf("flips/copies = %d/%d, want 1/0", flips, copies)
+	}
+	if s.m.Rec.Counts(trace.KPageFlip) != 1 {
+		t.Fatal("page flip not recorded")
+	}
+	if s.proc.RxDelivered() != 1 {
+		t.Fatal("process delivery count wrong")
+	}
+}
+
+func TestNetRxCopyEndToEnd(t *testing.T) {
+	s := newStack(t, RxCopy)
+	injectPacket(s, 800)
+	s.pump()
+	if s.guest.Net.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", s.guest.Net.Pending())
+	}
+	flips, copies, _ := s.guest.Net.Stats()
+	if flips != 0 || copies != 1 {
+		t.Fatalf("flips/copies = %d/%d, want 0/1", flips, copies)
+	}
+	if s.m.Rec.Counts(trace.KGrantCopy) != 1 {
+		t.Fatal("grant copy not recorded")
+	}
+	if s.m.Rec.Counts(trace.KPageFlip) != 0 {
+		t.Fatal("copy mode must not flip")
+	}
+}
+
+func TestNetRxBurstConservesMemory(t *testing.T) {
+	s := newStack(t, RxFlip)
+	free0 := s.m.Mem.FreeFrames()
+	for i := 0; i < 50; i++ {
+		injectPacket(s, 100)
+		s.pump()
+	}
+	for {
+		ret, err := s.guest.Syscall(s.proc.PID, SysNetRecv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ret[0] == 0 {
+			break
+		}
+	}
+	// The flip path frees consumed pages and dom0 re-allocates its pool:
+	// steady state must not leak frames (tolerate pool-depth variation).
+	free1 := s.m.Mem.FreeFrames()
+	if free0-free1 > 40 {
+		t.Fatalf("frame leak: free %d -> %d", free0, free1)
+	}
+	if s.guest.Dom.Dead {
+		t.Fatal("guest died during burst")
+	}
+}
+
+func TestNetRxEvtchnPerPacket(t *testing.T) {
+	s := newStack(t, RxFlip)
+	ev0 := s.m.Rec.Counts(trace.KEvtchnSend)
+	for i := 0; i < 10; i++ {
+		injectPacket(s, 64)
+		s.pump()
+	}
+	ev1 := s.m.Rec.Counts(trace.KEvtchnSend)
+	if ev1-ev0 != 10 {
+		t.Fatalf("evtchn sends = %d, want 10 (one per packet)", ev1-ev0)
+	}
+}
+
+func TestNetTxEndToEnd(t *testing.T) {
+	s := newStack(t, RxFlip)
+	ret, err := s.guest.Syscall(s.proc.PID, SysNetSend, 900)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ret[0] != 900 {
+		t.Fatalf("send returned %d", ret[0])
+	}
+	s.pump()
+	pkts := s.nic.Transmitted()
+	if len(pkts) != 1 || len(pkts[0].Data) != 900 {
+		t.Fatalf("wire saw %d packets", len(pkts))
+	}
+	_, tx := s.dd.Stats()
+	if tx != 1 {
+		t.Fatalf("netback tx = %d, want 1", tx)
+	}
+}
+
+func TestNetSendToDeadDom0Fails(t *testing.T) {
+	s := newStack(t, RxFlip)
+	s.h.DestroyDomain(vmm.Dom0)
+	err := s.guest.Net.Send([]byte("x"))
+	if !errors.Is(err, ErrBackendDead) {
+		t.Fatalf("err = %v, want ErrBackendDead", err)
+	}
+	// Guest itself survives — the blast radius is the service dependency.
+	if !s.h.Alive(s.guest.Dom.ID) {
+		t.Fatal("guest killed by dom0 death")
+	}
+}
+
+func TestBlockWriteReadRoundTrip(t *testing.T) {
+	s := newStack(t, RxFlip)
+	want := []byte("persistent-data-123")
+	if err := s.guest.Blk.Write(7, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.guest.Blk.Read(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:len(want)], want) {
+		t.Fatalf("read back %q, want %q", got[:len(want)], want)
+	}
+	bf := s.guest.Blk.(*BlkFront)
+	r, w := bf.Stats()
+	if r != 1 || w != 1 {
+		t.Fatalf("stats = %d/%d, want 1/1", r, w)
+	}
+}
+
+func TestBlockPartitionIsolation(t *testing.T) {
+	s := newStack(t, RxFlip)
+	// Second guest with its own partition.
+	d2, err := s.h.CreateDomain("domU2", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gk2 := NewGuestKernel(s.h, d2)
+	if _, err := ConnectBlk(s.dd, gk2, 256); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.guest.Blk.Write(0, []byte("guest1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := gk2.Blk.Write(0, []byte("guest2")); err != nil {
+		t.Fatal(err)
+	}
+	g1, _ := s.guest.Blk.Read(0)
+	g2, _ := gk2.Blk.Read(0)
+	if string(g1[:6]) != "guest1" || string(g2[:6]) != "guest2" {
+		t.Fatal("partitions overlap — block isolation broken")
+	}
+}
+
+func TestBlockOutOfRange(t *testing.T) {
+	s := newStack(t, RxFlip)
+	if _, err := s.guest.Blk.Read(9999); err == nil {
+		t.Fatal("out-of-partition read must fail")
+	}
+}
+
+func TestBlockViaSyscall(t *testing.T) {
+	s := newStack(t, RxFlip)
+	ret, err := s.guest.Syscall(s.proc.PID, SysBlockWrite, 3)
+	if err != nil || ret[0] != 0 {
+		t.Fatalf("block write syscall failed: %v %v", ret, err)
+	}
+	ret, err = s.guest.Syscall(s.proc.PID, SysBlockRead, 3)
+	if err != nil || ret[0] != 0 {
+		t.Fatalf("block read syscall failed: %v %v", ret, err)
+	}
+}
+
+func TestParallaxServesClients(t *testing.T) {
+	s := newStack(t, RxFlip)
+	pxDom, err := s.h.CreateDomain("parallax", 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	px, err := NewParallax(s.h, pxDom, s.dd, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Client guest whose block device is Parallax-backed.
+	cd, _ := s.h.CreateDomain("client", 64)
+	cgk := NewGuestKernel(s.h, cd)
+	if _, err := px.AttachClient(cgk, 128); err != nil {
+		t.Fatal(err)
+	}
+	if err := cgk.Blk.Write(5, []byte("via-parallax")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cgk.Blk.Read(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got[:12]) != "via-parallax" {
+		t.Fatalf("read %q", got[:12])
+	}
+	if px.Requests() != 2 {
+		t.Fatalf("parallax served %d requests, want 2", px.Requests())
+	}
+	// Unwritten blocks read as zeros.
+	z, err := cgk.Blk.Read(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range z {
+		if b != 0 {
+			t.Fatal("unwritten block not zero")
+		}
+	}
+}
+
+func TestParallaxCopyOnWriteSnapshot(t *testing.T) {
+	s := newStack(t, RxFlip)
+	pxDom, _ := s.h.CreateDomain("parallax", 128)
+	px, err := NewParallax(s.h, pxDom, nil, 0) // in-memory only
+	if err != nil {
+		t.Fatal(err)
+	}
+	cd, _ := s.h.CreateDomain("client", 64)
+	cgk := NewGuestKernel(s.h, cd)
+	px.AttachClient(cgk, 128)
+
+	cgk.Blk.Write(1, []byte("v1"))
+	n, err := px.Snapshot(cd.ID)
+	if err != nil || n != 1 {
+		t.Fatalf("snapshot captured %d blocks, err %v", n, err)
+	}
+	cgk.Blk.Write(1, []byte("v2"))
+	got, _ := cgk.Blk.Read(1)
+	if string(got[:2]) != "v2" {
+		t.Fatal("live view must see post-snapshot write")
+	}
+	if snap := px.SnapshotRead(cd.ID, 1); string(snap[:2]) != "v1" {
+		t.Fatal("snapshot must preserve pre-snapshot data")
+	}
+	// Reading an untouched block falls through to the snapshot.
+	cgk.Blk.Write(2, []byte("x"))
+	px.Snapshot(cd.ID)
+	got, _ = cgk.Blk.Read(2)
+	if string(got[:1]) != "x" {
+		t.Fatal("read-through to snapshot failed")
+	}
+}
+
+func TestParallaxDeathBlastRadius(t *testing.T) {
+	// The E4 scenario from §3.1: Parallax fails; its clients lose
+	// storage; the monitor, Dom0 and non-client domains are unaffected.
+	s := newStack(t, RxFlip)
+	pxDom, _ := s.h.CreateDomain("parallax", 128)
+	px, err := NewParallax(s.h, pxDom, s.dd, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cd, _ := s.h.CreateDomain("client", 64)
+	cgk := NewGuestKernel(s.h, cd)
+	px.AttachClient(cgk, 128)
+	if err := cgk.Blk.Write(1, []byte("pre-crash")); err != nil {
+		t.Fatal(err)
+	}
+
+	s.h.DestroyDomain(pxDom.ID)
+
+	if err := cgk.Blk.Write(2, []byte("post-crash")); !errors.Is(err, ErrBackendDead) {
+		t.Fatalf("client write err = %v, want ErrBackendDead", err)
+	}
+	// Client domain itself is alive; only its storage service is gone.
+	if !s.h.Alive(cd.ID) {
+		t.Fatal("client domain died")
+	}
+	// Dom0's own storage path is unaffected.
+	if err := s.guest.Blk.Write(9, []byte("still-works")); err != nil {
+		t.Fatalf("unrelated guest's storage broken: %v", err)
+	}
+	if !s.h.Alive(vmm.Dom0) {
+		t.Fatal("dom0 harmed")
+	}
+}
+
+func TestParallaxOnDom0Consolidated(t *testing.T) {
+	// The super-VM arrangement: Parallax hosted by Dom0 itself, with
+	// persistence looping back through Dom0's own blkback.
+	s := newStack(t, RxFlip)
+	px, err := NewParallaxOn(s.dd.GK, s.dd, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cd, _ := s.h.CreateDomain("client", 64)
+	cgk := NewGuestKernel(s.h, cd)
+	if _, err := px.AttachClient(cgk, 64); err != nil {
+		t.Fatal(err)
+	}
+	if err := cgk.Blk.Write(3, []byte("consolidated-write")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cgk.Blk.Read(3)
+	if err != nil || string(got[:18]) != "consolidated-write" {
+		t.Fatalf("read %q, %v", got[:18], err)
+	}
+	// The single point of failure: killing Dom0 takes the storage
+	// service AND the network with it.
+	s.h.DestroyDomain(vmm.Dom0)
+	if err := cgk.Blk.Write(4, []byte("x")); err == nil {
+		t.Fatal("storage survived its consolidated host's death")
+	}
+	if err := s.guest.Net.Send([]byte("x")); err == nil {
+		t.Fatal("network survived dom0 death")
+	}
+}
+
+func TestParallaxSnapshotUnknownClient(t *testing.T) {
+	s := newStack(t, RxFlip)
+	pxDom, _ := s.h.CreateDomain("parallax", 64)
+	px, _ := NewParallax(s.h, pxDom, nil, 0)
+	if _, err := px.Snapshot(999); !errors.Is(err, ErrVDiskUnknown) {
+		t.Fatalf("err = %v, want ErrVDiskUnknown", err)
+	}
+}
+
+func TestRxDemuxToMultipleGuests(t *testing.T) {
+	s := newStack(t, RxFlip)
+	d2, _ := s.h.CreateDomain("domU2", 128)
+	gk2 := NewGuestKernel(s.h, d2)
+	if _, err := ConnectNet(s.dd, gk2); err != nil {
+		t.Fatal(err)
+	}
+	// Destination byte 0 -> guest 1, byte 1 -> guest 2.
+	s.nic.Inject([]byte{0, 0, 0})
+	s.nic.Inject([]byte{1, 0, 0})
+	s.nic.Inject([]byte{1, 0, 0})
+	s.m.IRQ.DispatchPending(vmm.HypervisorComponent)
+	s.pump()
+	if s.guest.Net.Pending() != 1 {
+		t.Fatalf("guest1 pending = %d, want 1", s.guest.Net.Pending())
+	}
+	if gk2.Net.Pending() != 2 {
+		t.Fatalf("guest2 pending = %d, want 2", gk2.Net.Pending())
+	}
+}
+
+func TestRxToDeadGuestDropped(t *testing.T) {
+	s := newStack(t, RxFlip)
+	s.h.DestroyDomain(s.guest.Dom.ID)
+	injectPacket(s, 100)
+	s.pump()
+	// Dom0 must survive and not leak into a dead domain.
+	if !s.h.Alive(vmm.Dom0) {
+		t.Fatal("dom0 harmed by dead guest")
+	}
+	rx, _ := s.dd.Stats()
+	if rx != 1 {
+		t.Fatalf("netback handled %d packets, want 1 (dropped)", rx)
+	}
+}
+
+func TestFlipVsCopyCPUProportionality(t *testing.T) {
+	// Mini-E1: under flip, dom0+monitor cost per packet is flat in packet
+	// size; under copy it grows.
+	perPacketCost := func(mode RxMode, size int) uint64 {
+		s := newStack(t, mode)
+		driver := func() uint64 {
+			return s.m.Rec.Cycles("vmm.dom0") + s.m.Rec.Cycles(vmm.HypervisorComponent) + s.m.Rec.Cycles("vmm.domU1")
+		}
+		before := driver()
+		for i := 0; i < 20; i++ {
+			injectPacket(s, size)
+			s.pump()
+		}
+		return (driver() - before) / 20
+	}
+	flipSmall := perPacketCost(RxFlip, 64)
+	flipBig := perPacketCost(RxFlip, 4096)
+	copySmall := perPacketCost(RxCopy, 64)
+	copyBig := perPacketCost(RxCopy, 4096)
+
+	// Flip: size-independent within 2% (pool bookkeeping noise).
+	diff := float64(flipBig) - float64(flipSmall)
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff/float64(flipSmall) > 0.02 {
+		t.Fatalf("flip cost not flat: 64B=%d 4096B=%d", flipSmall, flipBig)
+	}
+	// Copy: big packets must cost visibly more than small ones.
+	if copyBig <= copySmall {
+		t.Fatalf("copy cost not size-dependent: 64B=%d 4096B=%d", copySmall, copyBig)
+	}
+}
