@@ -4,6 +4,14 @@ package vmmk
 // plus primitive micro-benchmarks. Each BenchmarkE* regenerates its table's
 // underlying measurement; `go test -bench=. -benchmem` is the paper's whole
 // evaluation section.
+//
+// The serial benchmarks pin the engine to one worker so they measure the
+// experiments themselves; the *Parallel variants run the same tables on a
+// GOMAXPROCS-wide pool, so comparing the two is the engine's speedup:
+//
+//	go test -bench='E7Micro|E8Macro' -run=^$
+//
+// Both variants produce identical tables (see core's determinism tests).
 
 import (
 	"io"
@@ -15,10 +23,29 @@ import (
 	"vmmk/internal/vmm"
 )
 
+var (
+	serialEng   = core.SerialRunner()
+	parallelEng = core.DefaultRunner() // GOMAXPROCS workers
+)
+
 // BenchmarkE1Dom0Overhead regenerates the Cherkasova-Gardner sweep.
 func BenchmarkE1Dom0Overhead(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := core.RunE1(core.E1Config{Sizes: []int{64, 1500, 4096}, Packets: 50})
+		rows, err := serialEng.E1(core.E1Config{Sizes: []int{64, 1500, 4096}, Packets: 50})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkE1Dom0OverheadParallel fans the sweep's six cells across the
+// worker pool.
+func BenchmarkE1Dom0OverheadParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := parallelEng.E1(core.E1Config{Sizes: []int{64, 1500, 4096}, Packets: 50})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -31,7 +58,7 @@ func BenchmarkE1Dom0Overhead(b *testing.B) {
 // BenchmarkE2IPCCount regenerates the IPC-equivalence comparison.
 func BenchmarkE2IPCCount(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := core.RunE2(); err != nil {
+		if _, err := serialEng.E2(); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -40,7 +67,7 @@ func BenchmarkE2IPCCount(b *testing.B) {
 // BenchmarkE3SyscallPath regenerates the syscall-path table.
 func BenchmarkE3SyscallPath(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := core.RunE3(100); err != nil {
+		if _, err := serialEng.E3(100); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -49,7 +76,7 @@ func BenchmarkE3SyscallPath(b *testing.B) {
 // BenchmarkE4BlastRadius regenerates the fault-isolation table.
 func BenchmarkE4BlastRadius(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := core.RunE4(3); err != nil {
+		if _, err := serialEng.E4(3); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -58,7 +85,7 @@ func BenchmarkE4BlastRadius(b *testing.B) {
 // BenchmarkE5Census regenerates the primitive census.
 func BenchmarkE5Census(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := core.RunE5(); err != nil {
+		if _, err := serialEng.E5(); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -67,7 +94,7 @@ func BenchmarkE5Census(b *testing.B) {
 // BenchmarkE6Portability regenerates the nine-architecture table.
 func BenchmarkE6Portability(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := core.RunE6(); err != nil {
+		if _, err := serialEng.E6(); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -76,7 +103,16 @@ func BenchmarkE6Portability(b *testing.B) {
 // BenchmarkE7Micro regenerates the primitive microbenchmarks.
 func BenchmarkE7Micro(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := core.RunE7(100); err != nil {
+		if _, err := serialEng.E7(100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE7MicroParallel runs the three measurement blocks concurrently.
+func BenchmarkE7MicroParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := parallelEng.E7(100); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -85,7 +121,17 @@ func BenchmarkE7Micro(b *testing.B) {
 // BenchmarkE8Macro regenerates the web-serving macro comparison.
 func BenchmarkE8Macro(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := core.RunE8(20); err != nil {
+		if _, err := serialEng.E8(20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE8MacroParallel serves the three platforms' request streams
+// concurrently.
+func BenchmarkE8MacroParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := parallelEng.E8(20); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -94,7 +140,16 @@ func BenchmarkE8Macro(b *testing.B) {
 // BenchmarkE9Ablation regenerates the ablation table.
 func BenchmarkE9Ablation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := core.RunE9(); err != nil {
+		if _, err := serialEng.E9(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE9AblationParallel fans all eighteen ablation cells out at once.
+func BenchmarkE9AblationParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := parallelEng.E9(); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -103,7 +158,7 @@ func BenchmarkE9Ablation(b *testing.B) {
 // BenchmarkE10Extension regenerates the minimal-extension complexity table.
 func BenchmarkE10Extension(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := core.RunE10(50); err != nil {
+		if _, err := serialEng.E10(50); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -113,7 +168,18 @@ func BenchmarkE10Extension(b *testing.B) {
 // the end-to-end "reproduce the paper" cost.
 func BenchmarkAllExperiments(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if err := core.RunAll(io.Discard); err != nil {
+		if err := serialEng.RunAll(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAllExperimentsParallel is the same evaluation with every
+// experiment's cells fanned across the worker pool — the wall-clock win the
+// engine exists for.
+func BenchmarkAllExperimentsParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := parallelEng.RunAll(io.Discard); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -7,19 +7,26 @@
 //	vmmklab all
 //	vmmklab list
 //
-// Experiments are e1 through e9 (see DESIGN.md for the index). Flags:
+// Experiments are e1 through e10 (see EXPERIMENTS.md for the index). Flags:
 //
 //	-packets n   packet count for E1 sweeps (default 100)
 //	-syscalls n  iteration count for E3/E7 (default 200)
 //	-guests n    guest count for E4 (default 3)
 //	-requests n  request count for E8 (default 50)
+//	-parallel n  max experiment cells in flight (default GOMAXPROCS)
 //	-csv         emit CSV instead of aligned tables
+//
+// Every experiment decomposes into independent cells — one simulated
+// machine per (platform, parameter-point) pair — which fan out across
+// -parallel workers. Results are deterministic: any -parallel value
+// produces byte-identical tables.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"vmmk/internal/core"
 	"vmmk/internal/trace"
@@ -38,6 +45,7 @@ func run(args []string) error {
 	syscalls := fs.Int("syscalls", 200, "iteration count for E3/E7")
 	guests := fs.Int("guests", 3, "guest count for E4")
 	requests := fs.Int("requests", 50, "request count for E8")
+	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "max experiment cells in flight")
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -46,6 +54,8 @@ func run(args []string) error {
 		fs.Usage()
 		return fmt.Errorf("no experiment given; try 'vmmklab list'")
 	}
+
+	eng := core.NewRunner(*parallel)
 
 	emit := func(t *trace.Table) {
 		if *csv {
@@ -59,7 +69,7 @@ func run(args []string) error {
 		"e1": func() error {
 			cfg := core.E1Defaults()
 			cfg.Packets = *packets
-			rows, err := core.RunE1(cfg)
+			rows, err := eng.E1(cfg)
 			if err != nil {
 				return err
 			}
@@ -67,7 +77,7 @@ func run(args []string) error {
 			return nil
 		},
 		"e2": func() error {
-			rows, err := core.RunE2()
+			rows, err := eng.E2()
 			if err != nil {
 				return err
 			}
@@ -75,7 +85,7 @@ func run(args []string) error {
 			return nil
 		},
 		"e3": func() error {
-			rows, err := core.RunE3(*syscalls)
+			rows, err := eng.E3(*syscalls)
 			if err != nil {
 				return err
 			}
@@ -83,7 +93,7 @@ func run(args []string) error {
 			return nil
 		},
 		"e4": func() error {
-			rows, err := core.RunE4(*guests)
+			rows, err := eng.E4(*guests)
 			if err != nil {
 				return err
 			}
@@ -91,7 +101,7 @@ func run(args []string) error {
 			return nil
 		},
 		"e5": func() error {
-			rows, err := core.RunE5()
+			rows, err := eng.E5()
 			if err != nil {
 				return err
 			}
@@ -99,7 +109,7 @@ func run(args []string) error {
 			return nil
 		},
 		"e6": func() error {
-			rows, err := core.RunE6()
+			rows, err := eng.E6()
 			if err != nil {
 				return err
 			}
@@ -107,7 +117,7 @@ func run(args []string) error {
 			return nil
 		},
 		"e7": func() error {
-			rows, err := core.RunE7(*syscalls)
+			rows, err := eng.E7(*syscalls)
 			if err != nil {
 				return err
 			}
@@ -115,7 +125,7 @@ func run(args []string) error {
 			return nil
 		},
 		"e8": func() error {
-			rows, err := core.RunE8(*requests)
+			rows, err := eng.E8(*requests)
 			if err != nil {
 				return err
 			}
@@ -123,7 +133,7 @@ func run(args []string) error {
 			return nil
 		},
 		"e9": func() error {
-			rows, err := core.RunE9()
+			rows, err := eng.E9()
 			if err != nil {
 				return err
 			}
@@ -131,7 +141,7 @@ func run(args []string) error {
 			return nil
 		},
 		"e10": func() error {
-			rows, err := core.RunE10(*syscalls)
+			rows, err := eng.E10(*syscalls)
 			if err != nil {
 				return err
 			}

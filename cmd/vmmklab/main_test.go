@@ -89,6 +89,27 @@ func TestAllCheapExperimentsThroughCLI(t *testing.T) {
 	}
 }
 
+// TestParallelFlagDeterministic runs the same experiment serially and on a
+// four-worker pool through the CLI and requires identical output — the
+// user-visible face of the engine's determinism guarantee.
+func TestParallelFlagDeterministic(t *testing.T) {
+	serial, err := capture(t, func() error {
+		return run([]string{"-parallel", "1", "-syscalls", "50", "e3", "e7"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := capture(t, func() error {
+		return run([]string{"-parallel", "4", "-syscalls", "50", "e3", "e7"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial != parallel {
+		t.Fatalf("-parallel changed the tables:\nserial:\n%s\nparallel:\n%s", serial, parallel)
+	}
+}
+
 func TestCSVOutput(t *testing.T) {
 	out, err := capture(t, func() error {
 		return run([]string{"-csv", "e5"})

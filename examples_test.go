@@ -6,6 +6,28 @@ import (
 	"testing"
 )
 
+// TestExamplesCompile type-checks and compiles every example main without
+// running it. Unlike TestExamplesRun it is cheap enough to keep in -short
+// mode, so a broken example can never slip through a quick test cycle.
+func TestExamplesCompile(t *testing.T) {
+	out, err := exec.Command("go", "build", "./examples/...").CombinedOutput()
+	if err != nil {
+		t.Fatalf("examples no longer compile: %v\n%s", err, out)
+	}
+}
+
+// TestQuickstartRuns runs the quickstart example end-to-end — it terminates
+// in well under a second, so it stays enabled even in -short mode.
+func TestQuickstartRuns(t *testing.T) {
+	out, err := exec.Command("go", "run", "./examples/quickstart").CombinedOutput()
+	if err != nil {
+		t.Fatalf("quickstart failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "IPC-equivalent ops") {
+		t.Fatalf("quickstart output missing marker:\n%s", out)
+	}
+}
+
 // TestExamplesRun builds and runs every example program, checking each
 // completes successfully and prints its expected marker line. This keeps
 // the documentation-facing code from rotting.

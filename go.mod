@@ -1,0 +1,3 @@
+module vmmk
+
+go 1.24

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"vmmk/internal/hw"
@@ -29,92 +30,94 @@ type E10Row struct {
 }
 
 // RunE10 boots the extension on both systems and serves n get requests.
-func RunE10(n int) ([]E10Row, error) {
+func RunE10(n int) ([]E10Row, error) { return DefaultRunner().E10(n) }
+
+// E10 boots each platform's extension in its own cell.
+func (r *Runner) E10(n int) ([]E10Row, error) {
 	if n <= 0 {
 		n = 100
 	}
-	var rows []E10Row
-
-	// --- Microkernel: one thread, one handler, IPC only.
-	{
-		m := hw.NewMachine(hw.X86(), &hw.MachineConfig{Frames: 512})
-		k := mk.New(m)
-		snap := m.Rec.Snapshot()
-		kv, err := mkos.NewKVServer(k)
-		if err != nil {
-			return nil, err
-		}
-		cs, err := k.NewSpace("client", mk.NilThread)
-		if err != nil {
-			return nil, err
-		}
-		client := k.NewThread(cs, "client", 1, nil)
-		if err := kv.Put(client.ID, "k", []byte("v")); err != nil {
-			return nil, err
-		}
-		boot := distinctSince(m.Rec, snap)
-
-		snap2 := m.Rec.Snapshot()
-		t0 := m.Now()
-		for i := 0; i < n; i++ {
-			if _, ok, err := kv.Get(client.ID, "k"); err != nil || !ok {
-				return nil, fmt.Errorf("E10 mk get: ok=%v err=%v", ok, err)
+	cells := []func(context.Context) ([]E10Row, error){
+		// --- Microkernel: one thread, one handler, IPC only.
+		func(context.Context) ([]E10Row, error) {
+			m := hw.NewMachine(hw.X86(), &hw.MachineConfig{Frames: 512})
+			k := mk.New(m)
+			snap := m.Rec.Snapshot()
+			kv, err := mkos.NewKVServer(k)
+			if err != nil {
+				return nil, err
 			}
-		}
-		serve := distinctSince(m.Rec, snap2)
-		rows = append(rows, E10Row{
-			Platform:        "mk",
-			BootPrimitives:  len(boot),
-			BootNames:       kindNames(boot),
-			ServePrimitives: len(serve),
-			CyclesPerGet:    uint64(m.Now()-t0) / uint64(n),
-		})
-	}
-
-	// --- VMM: a domain with hooks, channels and grants.
-	{
-		m := hw.NewMachine(hw.X86(), &hw.MachineConfig{Frames: 1024})
-		h, _, err := vmm.New(m, 64)
-		if err != nil {
-			return nil, err
-		}
-		snap := m.Rec.Snapshot()
-		appDom, err := h.CreateDomain("kv", 64)
-		if err != nil {
-			return nil, err
-		}
-		app := vmmos.NewKVAppliance(h, appDom)
-		clDom, err := h.CreateDomain("client", 64)
-		if err != nil {
-			return nil, err
-		}
-		cgk := vmmos.NewGuestKernel(h, clDom)
-		cl, err := app.Connect(cgk)
-		if err != nil {
-			return nil, err
-		}
-		if err := cl.Put("k", []byte("v")); err != nil {
-			return nil, err
-		}
-		boot := distinctSince(m.Rec, snap)
-
-		snap2 := m.Rec.Snapshot()
-		t0 := m.Now()
-		for i := 0; i < n; i++ {
-			if _, ok, err := cl.Get("k"); err != nil || !ok {
-				return nil, fmt.Errorf("E10 vmm get: ok=%v err=%v", ok, err)
+			cs, err := k.NewSpace("client", mk.NilThread)
+			if err != nil {
+				return nil, err
 			}
-		}
-		serve := distinctSince(m.Rec, snap2)
-		rows = append(rows, E10Row{
-			Platform:        "vmm",
-			BootPrimitives:  len(boot),
-			BootNames:       kindNames(boot),
-			ServePrimitives: len(serve),
-			CyclesPerGet:    uint64(m.Now()-t0) / uint64(n),
-		})
+			client := k.NewThread(cs, "client", 1, nil)
+			if err := kv.Put(client.ID, "k", []byte("v")); err != nil {
+				return nil, err
+			}
+			boot := distinctSince(m.Rec, snap)
+
+			snap2 := m.Rec.Snapshot()
+			t0 := m.Now()
+			for i := 0; i < n; i++ {
+				if _, ok, err := kv.Get(client.ID, "k"); err != nil || !ok {
+					return nil, fmt.Errorf("E10 mk get: ok=%v err=%v", ok, err)
+				}
+			}
+			serve := distinctSince(m.Rec, snap2)
+			return []E10Row{{
+				Platform:        "mk",
+				BootPrimitives:  len(boot),
+				BootNames:       kindNames(boot),
+				ServePrimitives: len(serve),
+				CyclesPerGet:    uint64(m.Now()-t0) / uint64(n),
+			}}, nil
+		},
+		// --- VMM: a domain with hooks, channels and grants.
+		func(context.Context) ([]E10Row, error) {
+			m := hw.NewMachine(hw.X86(), &hw.MachineConfig{Frames: 1024})
+			h, _, err := vmm.New(m, 64)
+			if err != nil {
+				return nil, err
+			}
+			snap := m.Rec.Snapshot()
+			appDom, err := h.CreateDomain("kv", 64)
+			if err != nil {
+				return nil, err
+			}
+			app := vmmos.NewKVAppliance(h, appDom)
+			clDom, err := h.CreateDomain("client", 64)
+			if err != nil {
+				return nil, err
+			}
+			cgk := vmmos.NewGuestKernel(h, clDom)
+			cl, err := app.Connect(cgk)
+			if err != nil {
+				return nil, err
+			}
+			if err := cl.Put("k", []byte("v")); err != nil {
+				return nil, err
+			}
+			boot := distinctSince(m.Rec, snap)
+
+			snap2 := m.Rec.Snapshot()
+			t0 := m.Now()
+			for i := 0; i < n; i++ {
+				if _, ok, err := cl.Get("k"); err != nil || !ok {
+					return nil, fmt.Errorf("E10 vmm get: ok=%v err=%v", ok, err)
+				}
+			}
+			serve := distinctSince(m.Rec, snap2)
+			return []E10Row{{
+				Platform:        "vmm",
+				BootPrimitives:  len(boot),
+				BootNames:       kindNames(boot),
+				ServePrimitives: len(serve),
+				CyclesPerGet:    uint64(m.Now()-t0) / uint64(n),
+			}}, nil
+		},
 	}
-	return rows, nil
+	return runFuncs(r, cells)
 }
 
 // distinctSince returns the primitive kinds whose counters moved since the

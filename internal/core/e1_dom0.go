@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"vmmk/internal/hw"
@@ -40,47 +41,53 @@ func E1Defaults() E1Config {
 }
 
 // RunE1 sweeps packet sizes in both delivery modes on a fresh Xen stack per
-// point and returns the rows.
-func RunE1(cfg E1Config) ([]E1Row, error) {
-	var rows []E1Row
-	for _, copyMode := range []bool{false, true} {
-		for _, size := range cfg.Sizes {
-			s, err := NewXenStack(Config{CopyMode: copyMode})
-			if err != nil {
-				return nil, err
-			}
-			rec := s.M().Rec
-			snap := rec.Snapshot()
-			driver0 := s.DriverSideCycles()
-			guest0 := rec.CyclesPrefix("vmm.domU")
-			total0 := rec.TotalCycles()
+// point and returns the rows, fanning the points across GOMAXPROCS workers.
+func RunE1(cfg E1Config) ([]E1Row, error) { return DefaultRunner().E1(cfg) }
 
-			s.InjectPackets(cfg.Packets, size, 0)
-			s.DrainRx(0)
-
-			flips := rec.CountsSince(snap, trace.KPageFlip)
-			driver := s.DriverSideCycles() - driver0
-			guest := rec.CyclesPrefix("vmm.domU") - guest0
-			total := rec.TotalCycles() - total0
-			row := E1Row{
-				Mode:      map[bool]string{false: "flip", true: "copy"}[copyMode],
-				PktSize:   size,
-				Packets:   cfg.Packets,
-				Flips:     flips,
-				DriverCyc: driver,
-				GuestCyc:  guest,
-				PerPktCyc: driver / uint64(cfg.Packets),
-			}
-			if total > 0 {
-				row.DriverShare = float64(driver) / float64(total)
-			}
-			if flips > 0 {
-				row.PerFlipCyc = driver / flips
-			}
-			rows = append(rows, row)
-		}
+// E1 runs the sweep on this runner's worker pool: one cell per
+// (delivery mode, packet size) point, each booting its own stack.
+func (r *Runner) E1(cfg E1Config) ([]E1Row, error) {
+	if cfg.Packets <= 0 {
+		cfg.Packets = E1Defaults().Packets
 	}
-	return rows, nil
+	modes := []bool{false, true}
+	return runCells(r, len(modes)*len(cfg.Sizes), func(_ context.Context, i int) (E1Row, error) {
+		copyMode := modes[i/len(cfg.Sizes)]
+		size := cfg.Sizes[i%len(cfg.Sizes)]
+		s, err := NewXenStack(Config{CopyMode: copyMode})
+		if err != nil {
+			return E1Row{}, err
+		}
+		rec := s.M().Rec
+		snap := rec.Snapshot()
+		driver0 := s.DriverSideCycles()
+		guest0 := rec.CyclesPrefix("vmm.domU")
+		total0 := rec.TotalCycles()
+
+		s.InjectPackets(cfg.Packets, size, 0)
+		s.DrainRx(0)
+
+		flips := rec.CountsSince(snap, trace.KPageFlip)
+		driver := s.DriverSideCycles() - driver0
+		guest := rec.CyclesPrefix("vmm.domU") - guest0
+		total := rec.TotalCycles() - total0
+		row := E1Row{
+			Mode:      map[bool]string{false: "flip", true: "copy"}[copyMode],
+			PktSize:   size,
+			Packets:   cfg.Packets,
+			Flips:     flips,
+			DriverCyc: driver,
+			GuestCyc:  guest,
+			PerPktCyc: driver / uint64(cfg.Packets),
+		}
+		if total > 0 {
+			row.DriverShare = float64(driver) / float64(total)
+		}
+		if flips > 0 {
+			row.PerFlipCyc = driver / flips
+		}
+		return row, nil
+	})
 }
 
 // E1RateRow is one point of the offered-load sweep: packets arrive on a
@@ -97,14 +104,22 @@ type E1RateRow struct {
 
 // RunE1Rates sweeps offered load at a fixed packet size in flip mode.
 func RunE1Rates(rates []int, packets, size int) ([]E1RateRow, error) {
+	return DefaultRunner().E1Rates(rates, packets, size)
+}
+
+// E1Rates runs the offered-load sweep, one cell per rate point.
+func (r *Runner) E1Rates(rates []int, packets, size int) ([]E1RateRow, error) {
 	if len(rates) == 0 {
 		rates = []int{1000, 5000, 20000, 50000, 100000}
 	}
-	var rows []E1RateRow
-	for _, rate := range rates {
+	if packets <= 0 {
+		packets = 100
+	}
+	return runCells(r, len(rates), func(_ context.Context, i int) (E1RateRow, error) {
+		rate := rates[i]
 		s, err := NewXenStack(Config{})
 		if err != nil {
-			return nil, err
+			return E1RateRow{}, err
 		}
 		gap := hw.Cycles(workload.RateSchedule(rate))
 		start := s.M().Now()
@@ -135,9 +150,8 @@ func RunE1Rates(rates []int, packets, size int) ([]E1RateRow, error) {
 		if window > 0 {
 			row.DriverLoad = float64(driver) / float64(window)
 		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }
 
 // E1RateTable renders the offered-load sweep.

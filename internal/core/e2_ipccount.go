@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"vmmk/internal/trace"
@@ -90,9 +91,14 @@ func E2Workloads() []E2Workload {
 
 // RunE2 runs every workload on fresh stacks of both kinds and counts
 // IPC-equivalent operations.
-func RunE2() ([]E2Row, error) {
-	var rows []E2Row
-	for _, w := range E2Workloads() {
+func RunE2() ([]E2Row, error) { return DefaultRunner().E2() }
+
+// E2 runs the comparison on this runner's worker pool: one cell per
+// workload, each booting a fresh pair of stacks.
+func (r *Runner) E2() ([]E2Row, error) {
+	ws := E2Workloads()
+	return runCells(r, len(ws), func(_ context.Context, i int) (E2Row, error) {
+		w := ws[i]
 		counts := map[string]uint64{}
 		for _, build := range []func() (Platform, error){
 			func() (Platform, error) { return NewMKStack(Config{}) },
@@ -100,11 +106,11 @@ func RunE2() ([]E2Row, error) {
 		} {
 			p, err := build()
 			if err != nil {
-				return nil, err
+				return E2Row{}, err
 			}
 			snap := p.M().Rec.Snapshot()
 			if err := w.Run(p); err != nil {
-				return nil, fmt.Errorf("E2 %s on %s: %w", w.Name, p.Name(), err)
+				return E2Row{}, fmt.Errorf("E2 %s on %s: %w", w.Name, p.Name(), err)
 			}
 			counts[p.Name()] = p.M().Rec.IPCEquivalentSince(snap)
 		}
@@ -112,9 +118,8 @@ func RunE2() ([]E2Row, error) {
 		if row.MKOps > 0 {
 			row.Ratio = float64(row.VMMOps) / float64(row.MKOps)
 		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }
 
 // E2Table renders the comparison.

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"vmmk/internal/hw"
 	"vmmk/internal/trace"
 	"vmmk/internal/vmm"
@@ -23,96 +25,97 @@ type E3Row struct {
 }
 
 // RunE3 measures the four configurations with n syscalls each.
-func RunE3(n int) ([]E3Row, error) {
+func RunE3(n int) ([]E3Row, error) { return DefaultRunner().E3(n) }
+
+// E3 runs the four configurations as independent cells, each on its own
+// freshly booted stack.
+func (r *Runner) E3(n int) ([]E3Row, error) {
 	if n <= 0 {
 		n = 200
 	}
-	var rows []E3Row
-
-	// Native baseline.
-	{
-		s, err := NewNativeStack(Config{})
-		if err != nil {
-			return nil, err
-		}
-		t0 := s.M().Now()
-		for i := 0; i < n; i++ {
-			if err := s.DoSyscall(0, 1, 0); err != nil {
+	cells := []func(context.Context) ([]E3Row, error){
+		// Native baseline.
+		func(context.Context) ([]E3Row, error) {
+			s, err := NewNativeStack(Config{})
+			if err != nil {
 				return nil, err
 			}
-		}
-		rows = append(rows, E3Row{
-			Config:      "native trap",
-			CyclesPerOp: uint64(s.M().Now()-t0) / uint64(n),
-		})
-	}
-
-	// Xen fast path: fresh stack, pristine segments.
-	{
-		s, err := NewXenStack(Config{FastPath: true})
-		if err != nil {
-			return nil, err
-		}
-		mon0 := s.M().Rec.Cycles(vmm.HypervisorComponent)
-		t0 := s.M().Now()
-		for i := 0; i < n; i++ {
-			if err := s.DoSyscall(0, vmmos.SysGetPID, 0); err != nil {
+			t0 := s.M().Now()
+			for i := 0; i < n; i++ {
+				if err := s.DoSyscall(0, 1, 0); err != nil {
+					return nil, err
+				}
+			}
+			return []E3Row{{
+				Config:      "native trap",
+				CyclesPerOp: uint64(s.M().Now()-t0) / uint64(n),
+			}}, nil
+		},
+		// Xen fast path: fresh stack, pristine segments.
+		func(context.Context) ([]E3Row, error) {
+			s, err := NewXenStack(Config{FastPath: true})
+			if err != nil {
 				return nil, err
 			}
-		}
-		rows = append(rows, E3Row{
-			Config:       "xen trap-gate fast path",
-			CyclesPerOp:  uint64(s.M().Now()-t0) / uint64(n),
-			MonitorCyc:   (s.M().Rec.Cycles(vmm.HypervisorComponent) - mon0) / uint64(n),
-			FastPathLive: s.H.FastPathActive(s.Guests[0].Dom.ID),
-		})
-	}
-
-	// Xen after glibc TLS: load a flat GS segment, fast path dies.
-	{
-		s, err := NewXenStack(Config{FastPath: true})
-		if err != nil {
-			return nil, err
-		}
-		dom := s.Guests[0].Dom.ID
-		if err := s.H.LoadGuestSegment(dom, hw.SegGS, hw.Segment{Base: 0, Limit: ^uint64(0), DPL: hw.Ring3}); err != nil {
-			return nil, err
-		}
-		mon0 := s.M().Rec.Cycles(vmm.HypervisorComponent)
-		t0 := s.M().Now()
-		for i := 0; i < n; i++ {
-			if err := s.DoSyscall(0, vmmos.SysGetPID, 0); err != nil {
+			mon0 := s.M().Rec.Cycles(vmm.HypervisorComponent)
+			t0 := s.M().Now()
+			for i := 0; i < n; i++ {
+				if err := s.DoSyscall(0, vmmos.SysGetPID, 0); err != nil {
+					return nil, err
+				}
+			}
+			return []E3Row{{
+				Config:       "xen trap-gate fast path",
+				CyclesPerOp:  uint64(s.M().Now()-t0) / uint64(n),
+				MonitorCyc:   (s.M().Rec.Cycles(vmm.HypervisorComponent) - mon0) / uint64(n),
+				FastPathLive: s.H.FastPathActive(s.Guests[0].Dom.ID),
+			}}, nil
+		},
+		// Xen after glibc TLS: load a flat GS segment, fast path dies.
+		func(context.Context) ([]E3Row, error) {
+			s, err := NewXenStack(Config{FastPath: true})
+			if err != nil {
 				return nil, err
 			}
-		}
-		rows = append(rows, E3Row{
-			Config:       "xen after glibc TLS (bounced)",
-			CyclesPerOp:  uint64(s.M().Now()-t0) / uint64(n),
-			MonitorCyc:   (s.M().Rec.Cycles(vmm.HypervisorComponent) - mon0) / uint64(n),
-			FastPathLive: s.H.FastPathActive(dom),
-		})
-	}
-
-	// Microkernel: syscall as one IPC call to the OS server.
-	{
-		s, err := NewMKStack(Config{})
-		if err != nil {
-			return nil, err
-		}
-		kc0 := s.M().Rec.Cycles("mk.kernel")
-		t0 := s.M().Now()
-		for i := 0; i < n; i++ {
-			if err := s.DoSyscall(0, 1, 0); err != nil {
+			dom := s.Guests[0].Dom.ID
+			if err := s.H.LoadGuestSegment(dom, hw.SegGS, hw.Segment{Base: 0, Limit: ^uint64(0), DPL: hw.Ring3}); err != nil {
 				return nil, err
 			}
-		}
-		rows = append(rows, E3Row{
-			Config:      "mk IPC syscall (L4Linux)",
-			CyclesPerOp: uint64(s.M().Now()-t0) / uint64(n),
-			MonitorCyc:  (s.M().Rec.Cycles("mk.kernel") - kc0) / uint64(n),
-		})
+			mon0 := s.M().Rec.Cycles(vmm.HypervisorComponent)
+			t0 := s.M().Now()
+			for i := 0; i < n; i++ {
+				if err := s.DoSyscall(0, vmmos.SysGetPID, 0); err != nil {
+					return nil, err
+				}
+			}
+			return []E3Row{{
+				Config:       "xen after glibc TLS (bounced)",
+				CyclesPerOp:  uint64(s.M().Now()-t0) / uint64(n),
+				MonitorCyc:   (s.M().Rec.Cycles(vmm.HypervisorComponent) - mon0) / uint64(n),
+				FastPathLive: s.H.FastPathActive(dom),
+			}}, nil
+		},
+		// Microkernel: syscall as one IPC call to the OS server.
+		func(context.Context) ([]E3Row, error) {
+			s, err := NewMKStack(Config{})
+			if err != nil {
+				return nil, err
+			}
+			kc0 := s.M().Rec.Cycles("mk.kernel")
+			t0 := s.M().Now()
+			for i := 0; i < n; i++ {
+				if err := s.DoSyscall(0, 1, 0); err != nil {
+					return nil, err
+				}
+			}
+			return []E3Row{{
+				Config:      "mk IPC syscall (L4Linux)",
+				CyclesPerOp: uint64(s.M().Now()-t0) / uint64(n),
+				MonitorCyc:  (s.M().Rec.Cycles("mk.kernel") - kc0) / uint64(n),
+			}}, nil
+		},
 	}
-	return rows, nil
+	return runFuncs(r, cells)
 }
 
 // E3Table renders the rows.

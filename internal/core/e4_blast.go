@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strconv"
 
 	"vmmk/internal/trace"
@@ -26,11 +27,14 @@ type E4Row struct {
 
 // RunE4 runs the kill-the-storage-service and kill-the-driver scenarios on
 // all three platforms with nGuests guests each.
-func RunE4(nGuests int) ([]E4Row, error) {
+func RunE4(nGuests int) ([]E4Row, error) { return DefaultRunner().E4(nGuests) }
+
+// E4 runs the scenario × platform grid as independent cells: each crash
+// happens on its own freshly booted system.
+func (r *Runner) E4(nGuests int) ([]E4Row, error) {
 	if nGuests <= 0 {
 		nGuests = 3
 	}
-	var rows []E4Row
 	type scenario struct {
 		name string
 		kill func(Platform)
@@ -44,38 +48,36 @@ func RunE4(nGuests int) ([]E4Row, error) {
 		func() (Platform, error) { return NewXenStack(Config{Guests: nGuests}) },
 		func() (Platform, error) { return NewNativeStack(Config{Guests: nGuests}) },
 	}
-	for _, sc := range scenarios {
-		for _, build := range builders {
-			p, err := build()
-			if err != nil {
-				return nil, err
-			}
-			// Pre-crash sanity: storage and network work.
-			if err := p.StorageWrite(0, 1, []byte("pre")); err != nil {
-				return nil, err
-			}
-			p.InjectPackets(1, 64, 0)
-			p.DrainRx(0)
+	return runCells(r, len(scenarios)*len(builders), func(_ context.Context, i int) (E4Row, error) {
+		sc := scenarios[i/len(builders)]
+		p, err := builders[i%len(builders)]()
+		if err != nil {
+			return E4Row{}, err
+		}
+		// Pre-crash sanity: storage and network work.
+		if err := p.StorageWrite(0, 1, []byte("pre")); err != nil {
+			return E4Row{}, err
+		}
+		p.InjectPackets(1, 64, 0)
+		p.DrainRx(0)
 
-			sc.kill(p)
+		sc.kill(p)
 
-			row := E4Row{Platform: p.Name(), Scenario: sc.name, GuestsTotal: nGuests}
-			row.StorageWorks = p.StorageWrite(0, 2, []byte("post")) == nil
-			row.NetworkWorks = p.SendPackets(1, 64, 0) == nil
-			for _, cs := range p.Alive() {
-				switch {
-				case cs.Name == "monitor":
-					row.KernelAlive = cs.Alive
-				case len(cs.Name) > 5 && cs.Name[:5] == "guest":
-					if cs.Alive {
-						row.GuestsSurvive++
-					}
+		row := E4Row{Platform: p.Name(), Scenario: sc.name, GuestsTotal: nGuests}
+		row.StorageWorks = p.StorageWrite(0, 2, []byte("post")) == nil
+		row.NetworkWorks = p.SendPackets(1, 64, 0) == nil
+		for _, cs := range p.Alive() {
+			switch {
+			case cs.Name == "monitor":
+				row.KernelAlive = cs.Alive
+			case len(cs.Name) > 5 && cs.Name[:5] == "guest":
+				if cs.Alive {
+					row.GuestsSurvive++
 				}
 			}
-			rows = append(rows, row)
 		}
-	}
-	return rows, nil
+		return row, nil
+	})
 }
 
 // E4Table renders the rows.

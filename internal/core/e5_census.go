@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 
 	"vmmk/internal/trace"
@@ -85,56 +86,60 @@ func censusWorkload(p Platform) error {
 }
 
 // RunE5 runs the census on fresh stacks.
-func RunE5() ([]E5Row, error) {
-	var rows []E5Row
-	// Microkernel.
-	{
-		s, err := NewMKStack(Config{})
-		if err != nil {
-			return nil, err
-		}
-		if err := censusWorkload(s); err != nil {
-			return nil, err
-		}
-		// Also provoke a page fault so the pager facet shows up.
-		if _, err := s.K.Touch(s.OSes[0].Proc(s.Procs[0]).Thread.ID, 0x123, 2); err != nil {
-			return nil, err
-		}
-		kinds := s.M().Rec.DistinctPrimitives("mk")
-		rows = append(rows, E5Row{
-			Platform:   "mk",
-			Count:      len(kinds),
-			Primitives: kindNames(kinds),
-			Mechanisms: distinctMechanisms(kinds),
-		})
+func RunE5() ([]E5Row, error) { return DefaultRunner().E5() }
+
+// E5 runs the two platform censuses as independent cells.
+func (r *Runner) E5() ([]E5Row, error) {
+	cells := []func(context.Context) ([]E5Row, error){
+		// Microkernel.
+		func(context.Context) ([]E5Row, error) {
+			s, err := NewMKStack(Config{})
+			if err != nil {
+				return nil, err
+			}
+			if err := censusWorkload(s); err != nil {
+				return nil, err
+			}
+			// Also provoke a page fault so the pager facet shows up.
+			if _, err := s.K.Touch(s.OSes[0].Proc(s.Procs[0]).Thread.ID, 0x123, 2); err != nil {
+				return nil, err
+			}
+			kinds := s.M().Rec.DistinctPrimitives("mk")
+			return []E5Row{{
+				Platform:   "mk",
+				Count:      len(kinds),
+				Primitives: kindNames(kinds),
+				Mechanisms: distinctMechanisms(kinds),
+			}}, nil
+		},
+		// VMM.
+		func(context.Context) ([]E5Row, error) {
+			s, err := NewXenStack(Config{FastPath: true})
+			if err != nil {
+				return nil, err
+			}
+			if err := censusWorkload(s); err != nil {
+				return nil, err
+			}
+			// Provoke an exception bounce so primitive 7 shows up even with
+			// the syscall fast path live.
+			if _, err := s.H.GuestException(s.Guests[0].Dom.ID, 14, func() {}); err != nil {
+				return nil, err
+			}
+			// Monitor-provided virtual device (primitive 10): console write.
+			if err := s.H.VirtDeviceOp(s.Guests[0].Dom.ID, "console", 20); err != nil {
+				return nil, err
+			}
+			kinds := s.M().Rec.DistinctPrimitives("vmm")
+			return []E5Row{{
+				Platform:   "vmm",
+				Count:      len(kinds),
+				Primitives: kindNames(kinds),
+				Mechanisms: distinctMechanisms(kinds),
+			}}, nil
+		},
 	}
-	// VMM.
-	{
-		s, err := NewXenStack(Config{FastPath: true})
-		if err != nil {
-			return nil, err
-		}
-		if err := censusWorkload(s); err != nil {
-			return nil, err
-		}
-		// Provoke an exception bounce so primitive 7 shows up even with
-		// the syscall fast path live.
-		if _, err := s.H.GuestException(s.Guests[0].Dom.ID, 14, func() {}); err != nil {
-			return nil, err
-		}
-		// Monitor-provided virtual device (primitive 10): console write.
-		if err := s.H.VirtDeviceOp(s.Guests[0].Dom.ID, "console", 20); err != nil {
-			return nil, err
-		}
-		kinds := s.M().Rec.DistinctPrimitives("vmm")
-		rows = append(rows, E5Row{
-			Platform:   "vmm",
-			Count:      len(kinds),
-			Primitives: kindNames(kinds),
-			Mechanisms: distinctMechanisms(kinds),
-		})
-	}
-	return rows, nil
+	return runFuncs(r, cells)
 }
 
 func kindNames(kinds []trace.Kind) []string {

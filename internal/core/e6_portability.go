@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strconv"
 	"strings"
 
@@ -59,14 +60,18 @@ func vmmInterfaceDeltas(base, a *hw.Arch) []string {
 
 // RunE6 boots the mk stack on all nine architectures and computes VMM
 // interface deltas against x86.
-func RunE6() ([]E6Row, error) {
+func RunE6() ([]E6Row, error) { return DefaultRunner().E6() }
+
+// E6 boots each architecture in its own cell.
+func (r *Runner) E6() ([]E6Row, error) {
 	base := hw.X86()
-	var rows []E6Row
-	for _, arch := range hw.AllArchs() {
+	archs := hw.AllArchs()
+	return runCells(r, len(archs), func(_ context.Context, i int) (E6Row, error) {
+		arch := archs[i]
 		row := E6Row{Arch: arch.Name}
 		s, err := NewMKStack(Config{Arch: arch})
 		if err != nil {
-			return nil, err
+			return E6Row{}, err
 		}
 		// The probe: a syscall, a packet, a storage op — the whole
 		// personality, unchanged.
@@ -80,9 +85,8 @@ func RunE6() ([]E6Row, error) {
 		}
 		row.VMMDeltaNames = vmmInterfaceDeltas(base, arch)
 		row.VMMDeltas = len(row.VMMDeltaNames)
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }
 
 // E6Table renders the rows.

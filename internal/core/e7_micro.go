@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"vmmk/internal/hw"
 	"vmmk/internal/mk"
 	"vmmk/internal/trace"
@@ -22,17 +24,25 @@ type E7Row struct {
 
 // RunE7 measures each primitive n times on fresh stacks and reports the
 // mean.
-func RunE7(n int) ([]E7Row, error) {
+func RunE7(n int) ([]E7Row, error) { return DefaultRunner().E7(n) }
+
+// E7 runs the three measurement blocks — microkernel, VMM and bare
+// hardware — as independent cells, each on its own machine. Primitives
+// within a block stay sequential because they share that block's stack.
+func (r *Runner) E7(n int) ([]E7Row, error) {
 	if n <= 0 {
 		n = 100
 	}
-	var rows []E7Row
-	add := func(op, sys string, total hw.Cycles) {
-		rows = append(rows, E7Row{Op: op, System: sys, Cycles: uint64(total) / uint64(n)})
+	mean := func(rows *[]E7Row) func(op, sys string, total hw.Cycles) {
+		return func(op, sys string, total hw.Cycles) {
+			*rows = append(*rows, E7Row{Op: op, System: sys, Cycles: uint64(total) / uint64(n)})
+		}
 	}
 
 	// --- Microkernel primitives.
-	{
+	mkCell := func(context.Context) ([]E7Row, error) {
+		var rows []E7Row
+		add := mean(&rows)
 		m := hw.NewMachine(hw.X86(), &hw.MachineConfig{Frames: 512})
 		k := mk.New(m)
 		cs, err := k.NewSpace("c", mk.NilThread)
@@ -94,10 +104,13 @@ func RunE7(n int) ([]E7Row, error) {
 			}
 		}
 		add("IPC map transfer (1 page)", "mk", m.Now()-t0)
+		return rows, nil
 	}
 
 	// --- VMM primitives.
-	{
+	vmmCell := func(context.Context) ([]E7Row, error) {
+		var rows []E7Row
+		add := mean(&rows)
 		m := hw.NewMachine(hw.X86(), &hw.MachineConfig{Frames: 1024})
 		h, d0, err := vmm.New(m, 300)
 		if err != nil {
@@ -174,10 +187,13 @@ func RunE7(n int) ([]E7Row, error) {
 			}
 		}
 		add("guest syscall (bounced)", "vmm", m.Now()-t0)
+		return rows, nil
 	}
 
 	// --- Shared hardware costs for context.
-	{
+	hwCell := func(context.Context) ([]E7Row, error) {
+		var rows []E7Row
+		add := mean(&rows)
 		m := hw.NewMachine(hw.X86(), nil)
 		t0 := m.Now()
 		for i := 0; i < n; i++ {
@@ -193,8 +209,10 @@ func RunE7(n int) ([]E7Row, error) {
 			m.CPU.SwitchSpace("hw", pts[i%2])
 		}
 		add("address-space switch (untagged)", "hw", m.Now()-t0)
+		return rows, nil
 	}
-	return rows, nil
+
+	return runFuncs(r, []func(context.Context) ([]E7Row, error){mkCell, vmmCell, hwCell})
 }
 
 // E7Table renders the microbenchmarks.

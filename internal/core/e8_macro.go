@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"vmmk/internal/trace"
@@ -31,7 +32,12 @@ type E8Row struct {
 const thinkCycles = 100_000
 
 // RunE8 serves n web requests on each platform.
-func RunE8(n int) ([]E8Row, error) {
+func RunE8(n int) ([]E8Row, error) { return DefaultRunner().E8(n) }
+
+// E8 serves the same request stream on each platform in its own cell; the
+// relative-cost column is derived from the native row after the cells join,
+// so it is independent of which platform finishes first.
+func (r *Runner) E8(n int) ([]E8Row, error) {
 	if n <= 0 {
 		n = 50
 	}
@@ -60,30 +66,37 @@ func RunE8(n int) ([]E8Row, error) {
 		return uint64(p.M().Now() - t0), nil
 	}
 
-	var rows []E8Row
-	var nativeCyc uint64
 	builders := []func() (Platform, error){
 		func() (Platform, error) { return NewNativeStack(Config{}) },
 		func() (Platform, error) { return NewMKStack(Config{}) },
 		func() (Platform, error) { return NewXenStack(Config{}) },
 	}
-	for _, build := range builders {
-		p, err := build()
+	rows, err := runCells(r, len(builders), func(_ context.Context, i int) (E8Row, error) {
+		p, err := builders[i]()
 		if err != nil {
-			return nil, err
+			return E8Row{}, err
 		}
 		cyc, err := serve(p)
 		if err != nil {
-			return nil, err
+			return E8Row{}, err
 		}
-		row := E8Row{Platform: p.Name(), Requests: n, TotalCycles: cyc, CyclesPerReq: cyc / uint64(n)}
-		if p.Name() == "native" {
-			nativeCyc = cyc
-			row.RelativeCost = 1.0
+		return E8Row{Platform: p.Name(), Requests: n, TotalCycles: cyc, CyclesPerReq: cyc / uint64(n)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var nativeCyc uint64
+	for _, row := range rows {
+		if row.Platform == "native" {
+			nativeCyc = row.TotalCycles
+		}
+	}
+	for i := range rows {
+		if rows[i].Platform == "native" {
+			rows[i].RelativeCost = 1.0
 		} else if nativeCyc > 0 {
-			row.RelativeCost = float64(cyc) / float64(nativeCyc)
+			rows[i].RelativeCost = float64(rows[i].TotalCycles) / float64(nativeCyc)
 		}
-		rows = append(rows, row)
 	}
 	return rows, nil
 }

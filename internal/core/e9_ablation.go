@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"vmmk/internal/hw"
@@ -31,29 +32,44 @@ type E9Row struct {
 }
 
 // RunE9 runs all four ablations.
-func RunE9() ([]E9Row, error) {
-	var rows []E9Row
+func RunE9() ([]E9Row, error) { return DefaultRunner().E9() }
+
+// E9 runs every ablation variant as its own cell — each builds its own
+// machine, so the whole table fans out at once.
+func (r *Runner) E9() ([]E9Row, error) {
+	var cells []func(context.Context) ([]E9Row, error)
+	one := func(cell func() (E9Row, error)) {
+		cells = append(cells, func(context.Context) ([]E9Row, error) {
+			row, err := cell()
+			if err != nil {
+				return nil, err
+			}
+			return []E9Row{row}, nil
+		})
+	}
 
 	// (a) flip vs copy per packet size: driver-side cycles per packet.
 	for _, size := range []int{64, 1500, 4096} {
 		for _, copyMode := range []bool{false, true} {
-			s, err := NewXenStack(Config{CopyMode: copyMode})
-			if err != nil {
-				return nil, err
-			}
-			d0 := s.DriverSideCycles()
-			s.InjectPackets(50, size, 0)
-			s.DrainRx(0)
-			per := float64(s.DriverSideCycles()-d0) / 50
-			variant := "flip"
-			if copyMode {
-				variant = "copy"
-			}
-			rows = append(rows, E9Row{
-				Ablation: "a: rx transport",
-				Variant:  fmt.Sprintf("%s @%dB", variant, size),
-				Metric:   "driver cyc/pkt",
-				Value:    per,
+			one(func() (E9Row, error) {
+				s, err := NewXenStack(Config{CopyMode: copyMode})
+				if err != nil {
+					return E9Row{}, err
+				}
+				d0 := s.DriverSideCycles()
+				s.InjectPackets(50, size, 0)
+				s.DrainRx(0)
+				per := float64(s.DriverSideCycles()-d0) / 50
+				variant := "flip"
+				if copyMode {
+					variant = "copy"
+				}
+				return E9Row{
+					Ablation: "a: rx transport",
+					Variant:  fmt.Sprintf("%s @%dB", variant, size),
+					Metric:   "driver cyc/pkt",
+					Value:    per,
+				}, nil
 			})
 		}
 	}
@@ -61,64 +77,68 @@ func RunE9() ([]E9Row, error) {
 	// (b) ASID on/off for IPC round-trip cost. Take the x86 descriptor
 	// and graft a tagged TLB onto it, holding everything else fixed.
 	for _, tagged := range []bool{false, true} {
-		arch := hw.X86()
-		arch.HasASID = tagged
-		if tagged {
-			arch.Costs.ASSwitch = 150 // no full flush needed
-		}
-		m := hw.NewMachine(arch, &hw.MachineConfig{Frames: 256})
-		k := mk.New(m)
-		cs, err := k.NewSpace("c", mk.NilThread)
-		if err != nil {
-			return nil, err
-		}
-		ss, err := k.NewSpace("s", mk.NilThread)
-		if err != nil {
-			return nil, err
-		}
-		cl := k.NewThread(cs, "c", 1, nil)
-		srv := k.NewThread(ss, "s", 2, func(k *mk.Kernel, from mk.ThreadID, msg mk.Msg) (mk.Msg, error) {
-			return msg, nil
-		})
-		t0 := m.Now()
-		for i := 0; i < 100; i++ {
-			if _, err := k.Call(cl.ID, srv.ID, mk.Msg{}); err != nil {
-				return nil, err
+		one(func() (E9Row, error) {
+			arch := hw.X86()
+			arch.HasASID = tagged
+			if tagged {
+				arch.Costs.ASSwitch = 150 // no full flush needed
 			}
-		}
-		variant := "untagged TLB"
-		if tagged {
-			variant = "ASID-tagged TLB"
-		}
-		rows = append(rows, E9Row{
-			Ablation: "b: TLB tagging",
-			Variant:  variant,
-			Metric:   "IPC RT cyc",
-			Value:    float64(m.Now()-t0) / 100,
+			m := hw.NewMachine(arch, &hw.MachineConfig{Frames: 256})
+			k := mk.New(m)
+			cs, err := k.NewSpace("c", mk.NilThread)
+			if err != nil {
+				return E9Row{}, err
+			}
+			ss, err := k.NewSpace("s", mk.NilThread)
+			if err != nil {
+				return E9Row{}, err
+			}
+			cl := k.NewThread(cs, "c", 1, nil)
+			srv := k.NewThread(ss, "s", 2, func(k *mk.Kernel, from mk.ThreadID, msg mk.Msg) (mk.Msg, error) {
+				return msg, nil
+			})
+			t0 := m.Now()
+			for i := 0; i < 100; i++ {
+				if _, err := k.Call(cl.ID, srv.ID, mk.Msg{}); err != nil {
+					return E9Row{}, err
+				}
+			}
+			variant := "untagged TLB"
+			if tagged {
+				variant = "ASID-tagged TLB"
+			}
+			return E9Row{
+				Ablation: "b: TLB tagging",
+				Variant:  variant,
+				Metric:   "IPC RT cyc",
+				Value:    float64(m.Now()-t0) / 100,
+			}, nil
 		})
 	}
 
 	// (c) fast path on/off: syscall cost.
 	for _, fast := range []bool{true, false} {
-		s, err := NewXenStack(Config{FastPath: fast})
-		if err != nil {
-			return nil, err
-		}
-		t0 := s.M().Now()
-		for i := 0; i < 100; i++ {
-			if err := s.DoSyscall(0, 1, 0); err != nil {
-				return nil, err
+		one(func() (E9Row, error) {
+			s, err := NewXenStack(Config{FastPath: fast})
+			if err != nil {
+				return E9Row{}, err
 			}
-		}
-		variant := "fast path on"
-		if !fast {
-			variant = "fast path off"
-		}
-		rows = append(rows, E9Row{
-			Ablation: "c: trap-gate shortcut",
-			Variant:  variant,
-			Metric:   "syscall cyc",
-			Value:    float64(s.M().Now()-t0) / 100,
+			t0 := s.M().Now()
+			for i := 0; i < 100; i++ {
+				if err := s.DoSyscall(0, 1, 0); err != nil {
+					return E9Row{}, err
+				}
+			}
+			variant := "fast path on"
+			if !fast {
+				variant = "fast path off"
+			}
+			return E9Row{
+				Ablation: "c: trap-gate shortcut",
+				Variant:  variant,
+				Metric:   "syscall cyc",
+				Value:    float64(s.M().Now()-t0) / 100,
+			}, nil
 		})
 	}
 
@@ -127,27 +147,29 @@ func RunE9() ([]E9Row, error) {
 	// the *storage host* is killed; the metric is how many of the two
 	// services (network, storage) still work afterwards.
 	for _, consolidated := range []bool{false, true} {
-		s, err := NewXenStack(Config{Guests: 2, Consolidated: consolidated})
-		if err != nil {
-			return nil, err
-		}
-		s.KillStorage()
-		working := 0
-		if s.SendPackets(1, 64, 0) == nil {
-			working++
-		}
-		if s.StorageWrite(0, 1, []byte("x")) == nil {
-			working++
-		}
-		variant := "decomposed servers"
-		if consolidated {
-			variant = "super-VM (storage in dom0)"
-		}
-		rows = append(rows, E9Row{
-			Ablation: "d: consolidation",
-			Variant:  variant,
-			Metric:   "services alive after storage-host crash",
-			Value:    float64(working),
+		one(func() (E9Row, error) {
+			s, err := NewXenStack(Config{Guests: 2, Consolidated: consolidated})
+			if err != nil {
+				return E9Row{}, err
+			}
+			s.KillStorage()
+			working := 0
+			if s.SendPackets(1, 64, 0) == nil {
+				working++
+			}
+			if s.StorageWrite(0, 1, []byte("x")) == nil {
+				working++
+			}
+			variant := "decomposed servers"
+			if consolidated {
+				variant = "super-VM (storage in dom0)"
+			}
+			return E9Row{
+				Ablation: "d: consolidation",
+				Variant:  variant,
+				Metric:   "services alive after storage-host crash",
+				Value:    float64(working),
+			}, nil
 		})
 	}
 
@@ -156,47 +178,49 @@ func RunE9() ([]E9Row, error) {
 	// comparing a small-footprint server (fits beside the client) against
 	// a large-footprint one (thrashes the cache on every switch).
 	for _, fat := range []bool{false, true} {
-		m := hw.NewMachine(hw.X86(), &hw.MachineConfig{Frames: 256})
-		cache := hw.NewCache(512, 10)
-		serverLines := 120 // small server: both fit in 512
-		if fat {
-			serverLines = 512 // fat server: displaces the client entirely
-		}
-		k := mk.New(m)
-		cs, err := k.NewSpace("c", mk.NilThread)
-		if err != nil {
-			return nil, err
-		}
-		ss, err := k.NewSpace("s", mk.NilThread)
-		if err != nil {
-			return nil, err
-		}
-		cache.SetFootprint(uint16(cs.ID), 120)
-		cache.SetFootprint(uint16(ss.ID), serverLines)
-		m.CPU.AttachCache(cache)
-		cl := k.NewThread(cs, "c", 1, nil)
-		srv := k.NewThread(ss, "s", 2, func(k *mk.Kernel, from mk.ThreadID, msg mk.Msg) (mk.Msg, error) {
-			return msg, nil
-		})
-		// Warm up once, then measure steady state.
-		if _, err := k.Call(cl.ID, srv.ID, mk.Msg{}); err != nil {
-			return nil, err
-		}
-		t0 := m.Now()
-		for i := 0; i < 100; i++ {
-			if _, err := k.Call(cl.ID, srv.ID, mk.Msg{}); err != nil {
-				return nil, err
+		one(func() (E9Row, error) {
+			m := hw.NewMachine(hw.X86(), &hw.MachineConfig{Frames: 256})
+			cache := hw.NewCache(512, 10)
+			serverLines := 120 // small server: both fit in 512
+			if fat {
+				serverLines = 512 // fat server: displaces the client entirely
 			}
-		}
-		variant := "small server (fits in cache)"
-		if fat {
-			variant = "fat server (thrashes cache)"
-		}
-		rows = append(rows, E9Row{
-			Ablation: "e: cache footprint",
-			Variant:  variant,
-			Metric:   "IPC RT cyc (steady state)",
-			Value:    float64(m.Now()-t0) / 100,
+			k := mk.New(m)
+			cs, err := k.NewSpace("c", mk.NilThread)
+			if err != nil {
+				return E9Row{}, err
+			}
+			ss, err := k.NewSpace("s", mk.NilThread)
+			if err != nil {
+				return E9Row{}, err
+			}
+			cache.SetFootprint(uint16(cs.ID), 120)
+			cache.SetFootprint(uint16(ss.ID), serverLines)
+			m.CPU.AttachCache(cache)
+			cl := k.NewThread(cs, "c", 1, nil)
+			srv := k.NewThread(ss, "s", 2, func(k *mk.Kernel, from mk.ThreadID, msg mk.Msg) (mk.Msg, error) {
+				return msg, nil
+			})
+			// Warm up once, then measure steady state.
+			if _, err := k.Call(cl.ID, srv.ID, mk.Msg{}); err != nil {
+				return E9Row{}, err
+			}
+			t0 := m.Now()
+			for i := 0; i < 100; i++ {
+				if _, err := k.Call(cl.ID, srv.ID, mk.Msg{}); err != nil {
+					return E9Row{}, err
+				}
+			}
+			variant := "small server (fits in cache)"
+			if fat {
+				variant = "fat server (thrashes cache)"
+			}
+			return E9Row{
+				Ablation: "e: cache footprint",
+				Variant:  variant,
+				Metric:   "IPC RT cyc (steady state)",
+				Value:    float64(m.Now()-t0) / 100,
+			}, nil
 		})
 	}
 
@@ -205,41 +229,43 @@ func RunE9() ([]E9Row, error) {
 	// driver-side cost, at the price of delivery latency (not modelled
 	// as a metric here; the count is the point).
 	for _, batch := range []int{1, 8} {
-		m := hw.NewMachine(hw.X86(), &hw.MachineConfig{Frames: 2048, IRQLines: 16})
-		h, d0, err := vmm.New(m, 128)
-		if err != nil {
-			return nil, err
-		}
-		nic := dev.NewNIC(m, dev.NICConfig{RxIRQ: 1, TxIRQ: 2, RingSize: 128, CoalesceRx: batch})
-		disk := dev.NewDisk(m, dev.DiskConfig{IRQ: 3})
-		dd, err := vmmos.NewDriverDomain(h, d0, nic, disk)
-		if err != nil {
-			return nil, err
-		}
-		dU, err := h.CreateDomain("u", 64)
-		if err != nil {
-			return nil, err
-		}
-		gk := vmmos.NewGuestKernel(h, dU)
-		if _, err := vmmos.ConnectNet(dd, gk); err != nil {
-			return nil, err
-		}
-		driver0 := m.Rec.Cycles("vmm.dom0") + m.Rec.Cycles(vmm.HypervisorComponent)
-		const pkts = 64
-		for i := 0; i < pkts; i++ {
-			nic.Inject(make([]byte, 256))
+		one(func() (E9Row, error) {
+			m := hw.NewMachine(hw.X86(), &hw.MachineConfig{Frames: 2048, IRQLines: 16})
+			h, d0, err := vmm.New(m, 128)
+			if err != nil {
+				return E9Row{}, err
+			}
+			nic := dev.NewNIC(m, dev.NICConfig{RxIRQ: 1, TxIRQ: 2, RingSize: 128, CoalesceRx: batch})
+			disk := dev.NewDisk(m, dev.DiskConfig{IRQ: 3})
+			dd, err := vmmos.NewDriverDomain(h, d0, nic, disk)
+			if err != nil {
+				return E9Row{}, err
+			}
+			dU, err := h.CreateDomain("u", 64)
+			if err != nil {
+				return E9Row{}, err
+			}
+			gk := vmmos.NewGuestKernel(h, dU)
+			if _, err := vmmos.ConnectNet(dd, gk); err != nil {
+				return E9Row{}, err
+			}
+			driver0 := m.Rec.Cycles("vmm.dom0") + m.Rec.Cycles(vmm.HypervisorComponent)
+			const pkts = 64
+			for i := 0; i < pkts; i++ {
+				nic.Inject(make([]byte, 256))
+				m.IRQ.DispatchPending(vmm.HypervisorComponent)
+				h.PumpIO(16)
+			}
+			nic.FlushRxIRQ()
 			m.IRQ.DispatchPending(vmm.HypervisorComponent)
 			h.PumpIO(16)
-		}
-		nic.FlushRxIRQ()
-		m.IRQ.DispatchPending(vmm.HypervisorComponent)
-		h.PumpIO(16)
-		driver := m.Rec.Cycles("vmm.dom0") + m.Rec.Cycles(vmm.HypervisorComponent) - driver0
-		rows = append(rows, E9Row{
-			Ablation: "f: irq coalescing",
-			Variant:  fmt.Sprintf("batch=%d (irqs=%d)", batch, nic.RxIRQsRaised()),
-			Metric:   "driver cyc/pkt",
-			Value:    float64(driver) / pkts,
+			driver := m.Rec.Cycles("vmm.dom0") + m.Rec.Cycles(vmm.HypervisorComponent) - driver0
+			return E9Row{
+				Ablation: "f: irq coalescing",
+				Variant:  fmt.Sprintf("batch=%d (irqs=%d)", batch, nic.RxIRQsRaised()),
+				Metric:   "driver cyc/pkt",
+				Value:    float64(driver) / pkts,
+			}, nil
 		})
 	}
 
@@ -249,47 +275,49 @@ func RunE9() ([]E9Row, error) {
 	// cost gap §2.2 says drove VMMs away from "faithful representation
 	// of the underlying hardware".
 	for _, shadowMode := range []bool{true, false} {
-		m := hw.NewMachine(hw.X86(), &hw.MachineConfig{Frames: 512})
-		h, _, err := vmm.New(m, 64)
-		if err != nil {
-			return nil, err
-		}
-		dU, err := h.CreateDomain("u", 64)
-		if err != nil {
-			return nil, err
-		}
-		const updates = 60
-		t0 := m.Clock.Now()
-		if shadowMode {
-			sh, err := h.EnableShadowMMU(dU.ID)
+		one(func() (E9Row, error) {
+			m := hw.NewMachine(hw.X86(), &hw.MachineConfig{Frames: 512})
+			h, _, err := vmm.New(m, 64)
 			if err != nil {
-				return nil, err
+				return E9Row{}, err
 			}
-			t0 = m.Clock.Now()
-			for i := 0; i < updates; i++ {
-				if err := sh.GuestPTWrite(hw.VPN(0x900+i), i%32, hw.PermRW, true); err != nil {
-					return nil, err
+			dU, err := h.CreateDomain("u", 64)
+			if err != nil {
+				return E9Row{}, err
+			}
+			const updates = 60
+			t0 := m.Clock.Now()
+			if shadowMode {
+				sh, err := h.EnableShadowMMU(dU.ID)
+				if err != nil {
+					return E9Row{}, err
+				}
+				t0 = m.Clock.Now()
+				for i := 0; i < updates; i++ {
+					if err := sh.GuestPTWrite(hw.VPN(0x900+i), i%32, hw.PermRW, true); err != nil {
+						return E9Row{}, err
+					}
+				}
+			} else {
+				for i := 0; i < updates; i++ {
+					if err := h.MMUUpdate(dU.ID, hw.VPN(0x900+i), i%32, hw.PermRW, true); err != nil {
+						return E9Row{}, err
+					}
 				}
 			}
-		} else {
-			for i := 0; i < updates; i++ {
-				if err := h.MMUUpdate(dU.ID, hw.VPN(0x900+i), i%32, hw.PermRW, true); err != nil {
-					return nil, err
-				}
+			variant := "paravirtual hypercall"
+			if shadowMode {
+				variant = "shadow trap-and-emulate"
 			}
-		}
-		variant := "paravirtual hypercall"
-		if shadowMode {
-			variant = "shadow trap-and-emulate"
-		}
-		rows = append(rows, E9Row{
-			Ablation: "g: virtualisation style",
-			Variant:  variant,
-			Metric:   "PT update cyc",
-			Value:    float64(m.Clock.Now()-t0) / updates,
+			return E9Row{
+				Ablation: "g: virtualisation style",
+				Variant:  variant,
+				Metric:   "PT update cyc",
+				Value:    float64(m.Clock.Now()-t0) / updates,
+			}, nil
 		})
 	}
-	return rows, nil
+	return runFuncs(r, cells)
 }
 
 // E9Table renders the ablations.

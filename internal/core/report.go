@@ -13,18 +13,23 @@ type Experiment struct {
 	Run   func(w io.Writer) error
 }
 
-// Experiments returns all nine experiments in order.
-func Experiments() []Experiment {
+// Experiments returns all experiments in order, bound to the default
+// (GOMAXPROCS-parallel) runner.
+func Experiments() []Experiment { return DefaultRunner().Experiments() }
+
+// Experiments returns all experiments in order, bound to this runner: each
+// Run fans its cells out across the runner's worker pool.
+func (r *Runner) Experiments() []Experiment {
 	return []Experiment{
 		{"e1", "Dom0 CPU overhead under I/O load (CG05 shape)", func(w io.Writer) error {
-			rows, err := RunE1(E1Defaults())
+			rows, err := r.E1(E1Defaults())
 			if err != nil {
 				return err
 			}
 			if _, err := fmt.Fprintln(w, E1Table(rows)); err != nil {
 				return err
 			}
-			rateRows, err := RunE1Rates(nil, 100, 1500)
+			rateRows, err := r.E1Rates(nil, 100, 1500)
 			if err != nil {
 				return err
 			}
@@ -32,7 +37,7 @@ func Experiments() []Experiment {
 			return err
 		}},
 		{"e2", "IPC-equivalent operation counts", func(w io.Writer) error {
-			rows, err := RunE2()
+			rows, err := r.E2()
 			if err != nil {
 				return err
 			}
@@ -40,7 +45,7 @@ func Experiments() []Experiment {
 			return err
 		}},
 		{"e3", "guest system-call paths", func(w io.Writer) error {
-			rows, err := RunE3(200)
+			rows, err := r.E3(200)
 			if err != nil {
 				return err
 			}
@@ -48,7 +53,7 @@ func Experiments() []Experiment {
 			return err
 		}},
 		{"e4", "failure blast radius", func(w io.Writer) error {
-			rows, err := RunE4(3)
+			rows, err := r.E4(3)
 			if err != nil {
 				return err
 			}
@@ -56,7 +61,7 @@ func Experiments() []Experiment {
 			return err
 		}},
 		{"e5", "privileged-primitive census", func(w io.Writer) error {
-			rows, err := RunE5()
+			rows, err := r.E5()
 			if err != nil {
 				return err
 			}
@@ -64,7 +69,7 @@ func Experiments() []Experiment {
 			return err
 		}},
 		{"e6", "nine-architecture portability", func(w io.Writer) error {
-			rows, err := RunE6()
+			rows, err := r.E6()
 			if err != nil {
 				return err
 			}
@@ -72,7 +77,7 @@ func Experiments() []Experiment {
 			return err
 		}},
 		{"e7", "primitive microbenchmarks", func(w io.Writer) error {
-			rows, err := RunE7(100)
+			rows, err := r.E7(100)
 			if err != nil {
 				return err
 			}
@@ -80,7 +85,7 @@ func Experiments() []Experiment {
 			return err
 		}},
 		{"e8", "web-serving macro benchmark", func(w io.Writer) error {
-			rows, err := RunE8(50)
+			rows, err := r.E8(50)
 			if err != nil {
 				return err
 			}
@@ -88,7 +93,7 @@ func Experiments() []Experiment {
 			return err
 		}},
 		{"e9", "design-decision ablations", func(w io.Writer) error {
-			rows, err := RunE9()
+			rows, err := r.E9()
 			if err != nil {
 				return err
 			}
@@ -96,7 +101,7 @@ func Experiments() []Experiment {
 			return err
 		}},
 		{"e10", "minimal-extension interface complexity", func(w io.Writer) error {
-			rows, err := RunE10(100)
+			rows, err := r.E10(100)
 			if err != nil {
 				return err
 			}
@@ -106,9 +111,15 @@ func Experiments() []Experiment {
 	}
 }
 
-// RunAll executes every experiment, writing each table to w.
-func RunAll(w io.Writer) error {
-	for _, e := range Experiments() {
+// RunAll executes every experiment on the default runner, writing each
+// table to w.
+func RunAll(w io.Writer) error { return DefaultRunner().RunAll(w) }
+
+// RunAll executes every experiment on this runner, writing each table to w.
+// Experiments run one after another; parallelism lives inside each, across
+// its cells, so the tables stream out in their canonical order.
+func (r *Runner) RunAll(w io.Writer) error {
+	for _, e := range r.Experiments() {
 		if _, err := fmt.Fprintf(w, "== %s: %s ==\n", e.ID, e.Title); err != nil {
 			return err
 		}

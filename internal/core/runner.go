@@ -1,0 +1,144 @@
+package core
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Runner is the experiment engine: it executes the independent cells an
+// experiment decomposes into on a bounded worker pool. One cell is one
+// (platform, parameter-point) pair booting its own Platform/hw.Machine, so
+// cells share no state and any interleaving yields the same table — results
+// land at their cell's index, and every simrand stream is seeded inside the
+// cell that consumes it, so serial and parallel runs are byte-identical.
+type Runner struct {
+	// Parallel caps the number of cells in flight; <= 0 means GOMAXPROCS.
+	Parallel int
+	// Ctx, when non-nil, cancels an in-progress experiment early.
+	Ctx context.Context
+}
+
+// NewRunner returns a runner with the given worker cap (<= 0: GOMAXPROCS).
+func NewRunner(parallel int) *Runner { return &Runner{Parallel: parallel} }
+
+// DefaultRunner fans out across GOMAXPROCS workers — what the plain RunE*
+// helpers use.
+func DefaultRunner() *Runner { return &Runner{} }
+
+// SerialRunner executes one cell at a time, in index order.
+func SerialRunner() *Runner { return &Runner{Parallel: 1} }
+
+func (r *Runner) workers() int {
+	if r == nil || r.Parallel <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return r.Parallel
+}
+
+func (r *Runner) ctx() context.Context {
+	if r == nil || r.Ctx == nil {
+		return context.Background()
+	}
+	return r.Ctx
+}
+
+// runCells executes n independent cells on up to r.Parallel workers and
+// returns their results in cell order. A failure cancels the cells not yet
+// started; the lowest-indexed failure actually observed is returned after
+// in-flight cells drain. Cancellation of the runner's own context wins only
+// when no cell failed outright.
+func runCells[T any](r *Runner, n int, cell func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	workers := r.workers()
+	if workers > n {
+		workers = n
+	}
+	ctx, cancel := context.WithCancel(r.ctx())
+	defer cancel()
+
+	out := make([]T, n)
+	var (
+		mu      sync.Mutex
+		errIdx  = n
+		cellErr error
+	)
+	fail := func(i int, err error) {
+		mu.Lock()
+		if i < errIdx {
+			errIdx, cellErr = i, err
+		}
+		mu.Unlock()
+		cancel()
+	}
+
+	if workers == 1 {
+		// Serial fast path: no goroutines, deterministic by construction.
+		for i := 0; i < n && ctx.Err() == nil; i++ {
+			v, err := cell(ctx, i)
+			if err != nil {
+				fail(i, err)
+				break
+			}
+			out[i] = v
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					if ctx.Err() != nil {
+						continue // drain the channel without running cells
+					}
+					v, err := cell(ctx, i)
+					if err != nil {
+						fail(i, err)
+						continue
+					}
+					out[i] = v
+				}
+			}()
+		}
+		for i := 0; i < n; i++ {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+
+	if cellErr != nil {
+		return nil, cellErr
+	}
+	if err := r.ctx().Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// runFlat is runCells for experiments whose cells each yield a slice of
+// rows: the per-cell groups are concatenated in cell order.
+func runFlat[T any](r *Runner, n int, cell func(ctx context.Context, i int) ([]T, error)) ([]T, error) {
+	groups, err := runCells(r, n, cell)
+	if err != nil {
+		return nil, err
+	}
+	var out []T
+	for _, g := range groups {
+		out = append(out, g...)
+	}
+	return out, nil
+}
+
+// runFuncs executes a fixed list of heterogeneous cells (each already bound
+// to its parameters) and concatenates their row groups in list order — the
+// shape E3, E7 and E9 decompose into.
+func runFuncs[T any](r *Runner, cells []func(ctx context.Context) ([]T, error)) ([]T, error) {
+	return runFlat(r, len(cells), func(ctx context.Context, i int) ([]T, error) {
+		return cells[i](ctx)
+	})
+}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRunCellsOrderAndValues checks that results land at their cell's index
+// no matter how the pool schedules them.
+func TestRunCellsOrderAndValues(t *testing.T) {
+	for _, parallel := range []int{1, 2, 8, 64} {
+		r := NewRunner(parallel)
+		out, err := runCells(r, 100, func(_ context.Context, i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("parallel=%d: %v", parallel, err)
+		}
+		if len(out) != 100 {
+			t.Fatalf("parallel=%d: got %d results", parallel, len(out))
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("parallel=%d: out[%d] = %d, want %d", parallel, i, v, i*i)
+			}
+		}
+	}
+}
+
+// TestRunCellsEmpty checks the degenerate case.
+func TestRunCellsEmpty(t *testing.T) {
+	out, err := runCells(NewRunner(4), 0, func(_ context.Context, i int) (int, error) {
+		t.Fatal("cell ran for n=0")
+		return 0, nil
+	})
+	if err != nil || out != nil {
+		t.Fatalf("got (%v, %v), want (nil, nil)", out, err)
+	}
+}
+
+// TestRunCellsFirstError checks that a failing cell aborts the run and that
+// the reported error is a real cell error, with the serial runner picking
+// the lowest failing index exactly.
+func TestRunCellsFirstError(t *testing.T) {
+	boom := func(i int) error { return fmt.Errorf("cell %d exploded", i) }
+	for _, parallel := range []int{1, 4} {
+		r := NewRunner(parallel)
+		_, err := runCells(r, 50, func(_ context.Context, i int) (int, error) {
+			if i == 3 || i == 7 {
+				return 0, boom(i)
+			}
+			return i, nil
+		})
+		if err == nil {
+			t.Fatalf("parallel=%d: expected error", parallel)
+		}
+		if errors.Is(err, context.Canceled) {
+			t.Fatalf("parallel=%d: cancellation masked the real error: %v", parallel, err)
+		}
+		if parallel == 1 && err.Error() != "cell 3 exploded" {
+			t.Fatalf("serial: got %q, want the first failing cell", err)
+		}
+	}
+}
+
+// TestRunCellsErrorStopsLaterCells checks cancellation actually prunes
+// work: with one worker, nothing after the failing cell may run.
+func TestRunCellsErrorStopsLaterCells(t *testing.T) {
+	var ran atomic.Int32
+	_, err := runCells(SerialRunner(), 100, func(_ context.Context, i int) (int, error) {
+		ran.Add(1)
+		if i == 5 {
+			return 0, errors.New("stop here")
+		}
+		return 0, nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if got := ran.Load(); got != 6 {
+		t.Fatalf("ran %d cells, want 6 (0..5)", got)
+	}
+}
+
+// TestRunCellsContextCancel checks an externally cancelled runner context
+// surfaces as its error and stops scheduling cells.
+func TestRunCellsContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	r := &Runner{Parallel: 4, Ctx: ctx}
+	var ran atomic.Int32
+	_, err := runCells(r, 1000, func(_ context.Context, i int) (int, error) {
+		if ran.Add(1) == 10 {
+			cancel()
+		}
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got >= 1000 {
+		t.Fatalf("cancellation did not prune work: all %d cells ran", got)
+	}
+}
+
+// TestRunFlatConcatenatesInOrder checks the flattening helper preserves
+// group order.
+func TestRunFlatConcatenatesInOrder(t *testing.T) {
+	out, err := runFlat(NewRunner(8), 10, func(_ context.Context, i int) ([]int, error) {
+		return []int{i * 10, i*10 + 1}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 20 {
+		t.Fatalf("got %d rows, want 20", len(out))
+	}
+	for i, v := range out {
+		want := (i/2)*10 + i%2
+		if v != want {
+			t.Fatalf("out[%d] = %d, want %d", i, v, want)
+		}
+	}
+}
+
+// TestSerialParallelIdentical is the determinism guard the parallel engine
+// must honour: every cell boots its own machine and seeds its own simrand
+// streams, so a serial run and a -parallel 4 run of the same experiment
+// must produce deeply equal tables. E1 (parameter sweep) and E7 (multi-row
+// block cells) are the representative shapes; E8 adds a cross-cell derived
+// column (relative cost vs native).
+func TestSerialParallelIdentical(t *testing.T) {
+	serial, par := SerialRunner(), NewRunner(4)
+
+	cfg := E1Config{Sizes: []int{64, 1500, 4096}, Packets: 30}
+	s1, err := serial.E1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := par.E1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s1, p1) {
+		t.Errorf("E1 diverges:\nserial:   %+v\nparallel: %+v", s1, p1)
+	}
+
+	s7, err := serial.E7(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p7, err := par.E7(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s7, p7) {
+		t.Errorf("E7 diverges:\nserial:   %+v\nparallel: %+v", s7, p7)
+	}
+
+	s8, err := serial.E8(15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p8, err := par.E8(15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s8, p8) {
+		t.Errorf("E8 diverges:\nserial:   %+v\nparallel: %+v", s8, p8)
+	}
+}
+
+// TestSerialParallelIdenticalAll renders every experiment table through
+// RunAll on both a serial and a wide runner and compares the full reports
+// byte for byte — the whole-harness version of the guard above.
+func TestSerialParallelIdenticalAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full experiment suite twice")
+	}
+	render := func(r *Runner) string {
+		var buf strings.Builder
+		if err := r.RunAll(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	a := render(SerialRunner())
+	b := render(NewRunner(4))
+	if a != b {
+		t.Error("serial and parallel full reports differ")
+	}
+}
