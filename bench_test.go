@@ -164,6 +164,41 @@ func BenchmarkE10Extension(b *testing.B) {
 	}
 }
 
+// benchE11Config is a trimmed migration sweep sized for benchmarking.
+var benchE11Config = core.E11Config{
+	Frames:     64,
+	DirtyRates: []int{0, 16},
+	Budgets:    []int{0, 2},
+	Cutoff:     2,
+}
+
+// BenchmarkE11LiveMig regenerates the live-migration downtime sweep.
+func BenchmarkE11LiveMig(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := serialEng.E11(benchE11Config)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkE11LiveMigParallel fans the migration cells (two machines each)
+// across the worker pool.
+func BenchmarkE11LiveMigParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := parallelEng.E11(benchE11Config)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
 // BenchmarkAllExperiments runs the entire evaluation once per iteration —
 // the end-to-end "reproduce the paper" cost.
 func BenchmarkAllExperiments(b *testing.B) {

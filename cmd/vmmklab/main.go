@@ -7,14 +7,20 @@
 //	vmmklab all
 //	vmmklab list
 //
-// Experiments are e1 through e10 (see EXPERIMENTS.md for the index). Flags:
+// Experiments are e1 through e11 (see EXPERIMENTS.md for the index). Flags:
 //
 //	-packets n   packet count for E1 sweeps (default 100)
 //	-syscalls n  iteration count for E3/E7 (default 200)
 //	-guests n    guest count for E4 (default 3)
 //	-requests n  request count for E8 (default 50)
+//	-frames n    guest memory pages for E11 migrations (default 96)
+//	-rounds n    max pre-copy round budget for E11 (default 4)
+//	-dirty n     peak dirty rate (pages/round) for E11 (default 48)
 //	-parallel n  max experiment cells in flight (default GOMAXPROCS)
 //	-csv         emit CSV instead of aligned tables
+//
+// Every parameter flag must be positive; zero or negative values are
+// usage errors, not silent clamps.
 //
 // Every experiment decomposes into independent cells — one simulated
 // machine per (platform, parameter-point) pair — which fan out across
@@ -42,13 +48,37 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("vmmklab", flag.ContinueOnError)
 	packets := fs.Int("packets", 100, "packet count for E1 sweeps")
-	syscalls := fs.Int("syscalls", 200, "iteration count for E3/E7")
+	syscalls := fs.Int("syscalls", 200, "iteration count for E3/E7/E10")
 	guests := fs.Int("guests", 3, "guest count for E4")
 	requests := fs.Int("requests", 50, "request count for E8")
+	frames := fs.Int("frames", 96, "guest memory pages for E11 migrations")
+	rounds := fs.Int("rounds", 4, "max pre-copy round budget for E11")
+	dirty := fs.Int("dirty", 48, "peak dirty rate (pages/round) for E11")
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "max experiment cells in flight")
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	// Every experiment parameter must be positive: a zero or negative
+	// count is a usage error, never a panic or a silent clamp.
+	// (-parallel is engine config, not an experiment parameter: <= 0
+	// falls back to GOMAXPROCS by design.)
+	for _, p := range []struct {
+		name  string
+		value int
+	}{
+		{"packets", *packets},
+		{"syscalls", *syscalls},
+		{"guests", *guests},
+		{"requests", *requests},
+		{"frames", *frames},
+		{"rounds", *rounds},
+		{"dirty", *dirty},
+	} {
+		if p.value < 1 {
+			fs.Usage()
+			return fmt.Errorf("usage: -%s must be positive (got %d)", p.name, p.value)
+		}
 	}
 	if fs.NArg() == 0 {
 		fs.Usage()
@@ -146,6 +176,24 @@ func run(args []string) error {
 				return err
 			}
 			emit(core.E10Table(rows))
+			return nil
+		},
+		"e11": func() error {
+			low := *dirty / 6
+			if low < 1 {
+				low = 1
+			}
+			cfg := core.E11Config{
+				Frames:     *frames,
+				DirtyRates: []int{0, low, *dirty},
+				Budgets:    []int{0, 1, *rounds},
+				Cutoff:     2,
+			}
+			rows, err := eng.E11(cfg)
+			if err != nil {
+				return err
+			}
+			emit(core.E11Table(rows))
 			return nil
 		},
 	}

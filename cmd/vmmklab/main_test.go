@@ -29,10 +29,51 @@ func TestListCommand(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, id := range []string{"e1", "e5", "e9"} {
+	for _, id := range []string{"e1", "e5", "e9", "e11"} {
 		if !strings.Contains(out, id) {
 			t.Errorf("list output missing %s", id)
 		}
+	}
+}
+
+// TestFlagValidation covers zero and negative values for every experiment
+// parameter flag: each must come back as a usage error naming the flag —
+// never a panic, never a silently clamped run.
+func TestFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		flag string
+	}{
+		{"e1 packets zero", []string{"-packets", "0", "e1"}, "packets"},
+		{"e1 packets negative", []string{"-packets", "-5", "e1"}, "packets"},
+		{"e3 syscalls zero", []string{"-syscalls", "0", "e3"}, "syscalls"},
+		{"e7 syscalls negative", []string{"-syscalls", "-1", "e7"}, "syscalls"},
+		{"e10 syscalls zero", []string{"-syscalls", "0", "e10"}, "syscalls"},
+		{"e4 guests zero", []string{"-guests", "0", "e4"}, "guests"},
+		{"e4 guests negative", []string{"-guests", "-3", "e4"}, "guests"},
+		{"e8 requests zero", []string{"-requests", "0", "e8"}, "requests"},
+		{"e8 requests negative", []string{"-requests", "-10", "e8"}, "requests"},
+		{"e11 frames zero", []string{"-frames", "0", "e11"}, "frames"},
+		{"e11 frames negative", []string{"-frames", "-96", "e11"}, "frames"},
+		{"e11 rounds zero", []string{"-rounds", "0", "e11"}, "rounds"},
+		{"e11 rounds negative", []string{"-rounds", "-4", "e11"}, "rounds"},
+		{"e11 dirty zero", []string{"-dirty", "0", "e11"}, "dirty"},
+		{"e11 dirty negative", []string{"-dirty", "-8", "e11"}, "dirty"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := capture(t, func() error { return run(tc.args) })
+			if err == nil {
+				t.Fatalf("run(%v) accepted an invalid parameter", tc.args)
+			}
+			if !strings.Contains(err.Error(), tc.flag) {
+				t.Fatalf("error %q does not name the offending -%s flag", err, tc.flag)
+			}
+			if !strings.Contains(err.Error(), "usage") {
+				t.Fatalf("error %q is not a usage error", err)
+			}
+		})
 	}
 }
 
@@ -77,14 +118,41 @@ func TestAllCheapExperimentsThroughCLI(t *testing.T) {
 		t.Skip("runs several experiments")
 	}
 	out, err := capture(t, func() error {
-		return run([]string{"-syscalls", "40", "-requests", "10", "-packets", "20", "e1", "e2", "e6", "e7", "e8", "e9", "e10"})
+		return run([]string{"-syscalls", "40", "-requests", "10", "-packets", "20",
+			"-frames", "48", "-rounds", "2", "-dirty", "8",
+			"e1", "e2", "e6", "e7", "e8", "e9", "e10", "e11"})
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, id := range []string{"e1", "e2", "e6", "e7", "e8", "e9", "e10"} {
+	for _, id := range []string{"e1", "e2", "e6", "e7", "e8", "e9", "e10", "e11"} {
 		if !strings.Contains(out, "== "+id+":") {
 			t.Errorf("missing %s output", id)
+		}
+	}
+}
+
+// TestE11FlagsAndDeterminism runs the migration sweep through the CLI at
+// two worker widths and requires byte-identical tables with the expected
+// modes present.
+func TestE11FlagsAndDeterminism(t *testing.T) {
+	args := func(parallel string) []string {
+		return []string{"-parallel", parallel, "-frames", "48", "-rounds", "2", "-dirty", "8", "e11"}
+	}
+	serial, err := capture(t, func() error { return run(args("1")) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := capture(t, func() error { return run(args("4")) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial != parallel {
+		t.Fatalf("-parallel changed the E11 table:\nserial:\n%s\nparallel:\n%s", serial, parallel)
+	}
+	for _, want := range []string{"== e11:", "stop&copy", "pre-copy", "downtime cyc"} {
+		if !strings.Contains(serial, want) {
+			t.Errorf("e11 output missing %q:\n%s", want, serial)
 		}
 	}
 }

@@ -36,14 +36,14 @@ func TestExamplesRun(t *testing.T) {
 		t.Skip("builds and runs six example binaries")
 	}
 	cases := []struct {
-		dir    string
-		marker string
+		dir     string
+		markers []string
 	}{
-		{"quickstart", "IPC-equivalent ops"},
-		{"ioserver", "driver-domain CPU"},
-		{"faultlab", "blast radius"},
-		{"portability", "nine architectures"},
-		{"migration", "memory travels whole"},
+		{"quickstart", []string{"IPC-equivalent ops"}},
+		{"ioserver", []string{"driver-domain CPU"}},
+		{"faultlab", []string{"blast radius"}},
+		{"portability", []string{"nine architectures"}},
+		{"migration", []string{"memory travels whole", "live pre-copy blacked out"}},
 	}
 	for _, c := range cases {
 		c := c
@@ -53,8 +53,10 @@ func TestExamplesRun(t *testing.T) {
 			if err != nil {
 				t.Fatalf("example failed: %v\n%s", err, out)
 			}
-			if !strings.Contains(string(out), c.marker) {
-				t.Fatalf("output missing marker %q:\n%s", c.marker, out)
+			for _, marker := range c.markers {
+				if !strings.Contains(string(out), marker) {
+					t.Fatalf("output missing marker %q:\n%s", marker, out)
+				}
 			}
 		})
 	}

@@ -588,6 +588,61 @@ func TestE10ExtensionComplexity(t *testing.T) {
 	}
 }
 
+// --- E11 -----------------------------------------------------------------
+
+func TestE11LiveMigrationBeatsStopAndCopy(t *testing.T) {
+	cfg := E11Config{Frames: 64, DirtyRates: []int{0, 4, 16}, Budgets: []int{0, 1, 4}, Cutoff: 2}
+	rows, err := RunE11(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(cfg.DirtyRates)*len(cfg.Budgets) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(cfg.DirtyRates)*len(cfg.Budgets))
+	}
+	get := func(rate, budget int) E11Row {
+		for _, r := range rows {
+			if r.DirtyRate == rate && r.Budget == budget {
+				return r
+			}
+		}
+		t.Fatalf("missing cell rate=%d budget=%d", rate, budget)
+		return E11Row{}
+	}
+	for _, rate := range cfg.DirtyRates {
+		stop := get(rate, 0)
+		live := get(rate, 4)
+		// The acceptance criterion: pre-copy's blackout is strictly shorter
+		// than freezing the guest for the whole copy, at every dirty rate
+		// below memory size.
+		if live.DowntimeCyc >= stop.DowntimeCyc {
+			t.Errorf("rate %d: live downtime %d not below stop-and-copy %d",
+				rate, live.DowntimeCyc, stop.DowntimeCyc)
+		}
+		// The price is bandwidth: pre-copy never moves fewer pages.
+		if live.PagesMoved < stop.PagesMoved {
+			t.Errorf("rate %d: live moved %d pages, stop-and-copy %d",
+				rate, live.PagesMoved, stop.PagesMoved)
+		}
+	}
+	// A clean guest converges after one full round with nothing to re-send.
+	clean := get(0, 4)
+	if clean.Rounds != 1 || clean.PagesMoved != cfg.Frames {
+		t.Errorf("clean guest: rounds=%d moved=%d, want 1 round, %d pages",
+			clean.Rounds, clean.PagesMoved, cfg.Frames)
+	}
+	// A writing guest re-sends: strictly more transfers than memory size.
+	if hot := get(16, 4); hot.PagesMoved <= cfg.Frames {
+		t.Errorf("hot guest moved only %d pages across %d rounds", hot.PagesMoved, hot.Rounds)
+	}
+	// More budget at the same rate must not lengthen the blackout.
+	for _, rate := range []int{4, 16} {
+		if get(rate, 4).DowntimeCyc > get(rate, 1).DowntimeCyc {
+			t.Errorf("rate %d: budget 4 downtime %d exceeds budget 1's %d",
+				rate, get(rate, 4).DowntimeCyc, get(rate, 1).DowntimeCyc)
+		}
+	}
+}
+
 // --- harness -------------------------------------------------------------
 
 func TestRunAllProducesEveryTable(t *testing.T) {

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"vmmk/internal/hw"
+	"vmmk/internal/simrand"
+	"vmmk/internal/trace"
+	"vmmk/internal/vmm"
+)
+
+// E11 measures the downtime/bandwidth trade-off of live pre-copy migration
+// — the management workload §3.3's "treat the OS as a component" argument
+// culminates in. A guest with a controlled dirty rate is moved between two
+// hypervisors once per cell: with a zero round budget the move is the
+// stop-and-copy baseline (the guest freezes for the whole copy); with a
+// positive budget vmm.MigrateLive streams pages while the guest keeps
+// writing, paying re-sent pages to shrink the final blackout. The table
+// reports downtime cycles, total pages transferred and rounds used per
+// (dirty rate × round budget) cell.
+
+// E11Config parameterises the migration sweep.
+type E11Config struct {
+	Frames     int   // guest pseudo-physical memory in pages
+	DirtyRates []int // pages the guest writes per pre-copy round
+	Budgets    []int // pre-copy round budgets; 0 = stop-and-copy baseline
+	Cutoff     int   // writable-working-set cutoff for early convergence
+}
+
+// E11Defaults returns the published sweep.
+func E11Defaults() E11Config {
+	return E11Config{
+		Frames:     96,
+		DirtyRates: []int{0, 8, 48},
+		Budgets:    []int{0, 1, 2, 4},
+		Cutoff:     2,
+	}
+}
+
+func (c *E11Config) defaults() {
+	if c.Frames <= 0 {
+		c.Frames = E11Defaults().Frames
+	}
+	if len(c.DirtyRates) == 0 {
+		c.DirtyRates = E11Defaults().DirtyRates
+	}
+	if len(c.Budgets) == 0 {
+		c.Budgets = E11Defaults().Budgets
+	}
+}
+
+// E11Row is one migration cell's measurement.
+type E11Row struct {
+	DirtyRate   int    // pages written per round
+	Budget      int    // pre-copy round budget (0 = stop-and-copy)
+	Mode        string // "stop&copy" or "pre-copy"
+	Rounds      int    // rounds actually run
+	PagesMoved  int    // total page transfers, re-sends included
+	DowntimeCyc uint64 // guest-observable blackout, both machines
+	TotalCyc    uint64 // whole-migration cycles, both machines
+}
+
+// RunE11 runs the sweep on the default parallel runner.
+func RunE11(cfg E11Config) ([]E11Row, error) { return DefaultRunner().E11(cfg) }
+
+// E11 fans one cell out per (dirty rate, round budget) pair. Every cell
+// boots its own source and destination machines and seeds its own write
+// stream, so the table is byte-identical at any -parallel width.
+func (r *Runner) E11(cfg E11Config) ([]E11Row, error) {
+	cfg.defaults()
+	type cellCfg struct{ rate, budget int }
+	var cells []cellCfg
+	for _, rate := range cfg.DirtyRates {
+		for _, budget := range cfg.Budgets {
+			cells = append(cells, cellCfg{rate, budget})
+		}
+	}
+	return runCells(r, len(cells), func(_ context.Context, i int) (E11Row, error) {
+		c := cells[i]
+		return e11Cell(cfg.Frames, c.rate, c.budget, cfg.Cutoff)
+	})
+}
+
+// e11Cell boots a source stack with one guest and an empty destination
+// hypervisor, then migrates the guest while it writes rate pages per round.
+func e11Cell(frames, rate, budget, cutoff int) (E11Row, error) {
+	srcM := hw.NewMachine(hw.X86(), &hw.MachineConfig{Frames: frames + 256})
+	srcH, _, err := vmm.New(srcM, 64)
+	if err != nil {
+		return E11Row{}, err
+	}
+	dom, err := srcH.CreateDomain("mig", frames)
+	if err != nil {
+		return E11Row{}, err
+	}
+	// Deterministic page contents, plus a marker the cell verifies after
+	// the move — the experiment doubles as an end-to-end correctness check.
+	const marker = "e11-travels-whole"
+	for gpn := 0; gpn < frames; gpn++ {
+		srcM.Mem.Data(dom.FrameAt(gpn))[0] = byte(gpn)
+	}
+	copy(srcM.Mem.Data(dom.FrameAt(frames - 1))[16:], marker)
+
+	dstM := hw.NewMachine(hw.X86(), &hw.MachineConfig{Frames: frames + 256})
+	dstH, _, err := vmm.New(dstM, 64)
+	if err != nil {
+		return E11Row{}, err
+	}
+
+	var (
+		moved *vmm.Domain
+		row   = E11Row{DirtyRate: rate, Budget: budget}
+	)
+	if budget == 0 {
+		s0, d0 := srcM.Now(), dstM.Now()
+		moved, err = vmm.Migrate(srcH, dom.ID, dstH)
+		if err != nil {
+			return E11Row{}, err
+		}
+		down := uint64(srcM.Now()-s0) + uint64(dstM.Now()-d0)
+		row.Mode = "stop&copy"
+		row.PagesMoved = frames
+		row.DowntimeCyc = down
+		row.TotalCyc = down // the whole copy is blackout
+	} else {
+		// The guest's concurrent activity: rate page writes per round,
+		// drawn from a stream seeded by the cell's own parameters.
+		rng := simrand.New(0xE11 ^ uint64(rate)<<20 ^ uint64(budget)<<8)
+		var workErr error
+		work := func(round int) {
+			for i := 0; i < rate; i++ {
+				gpn := int(rng.Uint64n(uint64(frames)))
+				if err := srcH.GuestMemWrite(dom.ID, gpn, 1, []byte{byte(round)}); err != nil && workErr == nil {
+					workErr = fmt.Errorf("E11 guest write: %w", err)
+				}
+			}
+		}
+		var stats *vmm.LiveStats
+		moved, stats, err = vmm.MigrateLive(srcH, dom.ID, dstH, vmm.LiveOpts{
+			MaxRounds: budget,
+			WSSCutoff: cutoff,
+			GuestWork: work,
+		})
+		if err != nil {
+			return E11Row{}, err
+		}
+		if workErr != nil {
+			return E11Row{}, workErr
+		}
+		row.Mode = "pre-copy"
+		row.Rounds = stats.Rounds
+		row.PagesMoved = stats.PagesMoved
+		row.DowntimeCyc = uint64(stats.Downtime)
+		row.TotalCyc = uint64(stats.Total)
+	}
+	got := dstM.Mem.Data(moved.FrameAt(frames - 1))[16 : 16+len(marker)]
+	if string(got) != marker {
+		return E11Row{}, fmt.Errorf("E11 rate=%d budget=%d: memory corrupted in flight: %q", rate, budget, got)
+	}
+	if err := dstH.Unpause(moved.ID); err != nil {
+		return E11Row{}, err
+	}
+	if err := dstH.Hypercall(moved.ID, "probe", 10); err != nil {
+		return E11Row{}, fmt.Errorf("E11 rate=%d budget=%d: migrated guest dead: %w", rate, budget, err)
+	}
+	return row, nil
+}
+
+// E11Table renders the sweep.
+func E11Table(rows []E11Row) *trace.Table {
+	t := trace.NewTable(
+		"E11 — live pre-copy migration: downtime vs pages moved (paper §3.3)",
+		"dirty/rnd", "budget", "mode", "rounds", "pages moved", "downtime cyc", "total cyc",
+	)
+	for _, r := range rows {
+		t.AddRow(r.DirtyRate, r.Budget, r.Mode, r.Rounds, r.PagesMoved, r.DowntimeCyc, r.TotalCyc)
+	}
+	return t
+}

@@ -108,6 +108,14 @@ func (r *Runner) Experiments() []Experiment {
 			_, err = fmt.Fprintln(w, E10Table(rows))
 			return err
 		}},
+		{"e11", "live pre-copy migration downtime", func(w io.Writer) error {
+			rows, err := r.E11(E11Defaults())
+			if err != nil {
+				return err
+			}
+			_, err = fmt.Fprintln(w, E11Table(rows))
+			return err
+		}},
 	}
 }
 

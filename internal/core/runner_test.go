@@ -172,6 +172,21 @@ func TestSerialParallelIdentical(t *testing.T) {
 	if !reflect.DeepEqual(s8, p8) {
 		t.Errorf("E8 diverges:\nserial:   %+v\nparallel: %+v", s8, p8)
 	}
+
+	// E11's cells pair two machines each and seed per-cell write streams;
+	// the migration sweep must still be order-independent.
+	cfg11 := E11Config{Frames: 48, DirtyRates: []int{0, 8}, Budgets: []int{0, 2}, Cutoff: 2}
+	s11, err := serial.E11(cfg11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p11, err := par.E11(cfg11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s11, p11) {
+		t.Errorf("E11 diverges:\nserial:   %+v\nparallel: %+v", s11, p11)
+	}
 }
 
 // TestSerialParallelIdenticalAll renders every experiment table through

@@ -57,6 +57,12 @@ const (
 	KSchedule
 	KFault // injected component failure
 
+	// KDirtyLogFault is a guest store taken as a write-protect fault by the
+	// dirty-page log (live pre-copy migration). Deliberately outside the E5
+	// primitive ranges: it is a use of primitive 7's fault machinery, not a
+	// new primitive, and the bounce itself is counted separately.
+	KDirtyLogFault
+
 	kindCount
 )
 
@@ -91,6 +97,7 @@ var kindNames = [...]string{
 	KDMATransfer:       "hw.dma",
 	KSchedule:          "hw.sched",
 	KFault:             "sim.fault",
+	KDirtyLogFault:     "vmm.dirtylog",
 }
 
 // String returns the stable dotted name of the kind.

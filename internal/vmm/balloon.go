@@ -20,12 +20,9 @@ var ErrBalloonEmpty = errors.New("vmm: no free machine memory to balloon in")
 // the machine pool. It returns how many were actually released — holes and
 // flipped-away slots are skipped.
 func (h *Hypervisor) BalloonOut(dom DomID, n int) (int, error) {
-	d := h.domains[dom]
-	if d == nil {
-		return 0, ErrNoSuchDomain
-	}
-	if d.Dead {
-		return 0, ErrDomainDead
+	d, err := h.lookup(dom)
+	if err != nil {
+		return 0, err
 	}
 	h.hypercallEntry(d)
 	defer h.hypercallExit(d)
@@ -51,12 +48,9 @@ func (h *Hypervisor) BalloonOut(dom DomID, n int) (int, error) {
 // BalloonIn allocates n fresh pages to the domain, filling P2M holes first
 // and appending beyond them. It returns how many pages were obtained.
 func (h *Hypervisor) BalloonIn(dom DomID, n int) (int, error) {
-	d := h.domains[dom]
-	if d == nil {
-		return 0, ErrNoSuchDomain
-	}
-	if d.Dead {
-		return 0, ErrDomainDead
+	d, err := h.lookup(dom)
+	if err != nil {
+		return 0, err
 	}
 	h.hypercallEntry(d)
 	defer h.hypercallExit(d)
@@ -68,6 +62,9 @@ func (h *Hypervisor) BalloonIn(dom DomID, n int) (int, error) {
 		}
 		if gpn < len(d.frames) {
 			d.frames[gpn] = f
+			// The slot is no longer a hole: prune it from the free list so
+			// churn does not accumulate stale entries for addFrame to skip.
+			d.pruneHole(gpn)
 		} else {
 			d.frames = append(d.frames, f)
 		}

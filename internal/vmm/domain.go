@@ -39,6 +39,10 @@ type Domain struct {
 	// currently safe for this domain (see LoadGuestSegment).
 	fastPathOK bool
 
+	// dirtyLog, when non-nil, write-protects this domain's pages and logs
+	// guest stores (live pre-copy migration; see shadow.go).
+	dirtyLog *DirtyLog
+
 	// masked, when true, defers event upcalls (guest cli on events).
 	masked  bool
 	pending []Port
@@ -94,12 +98,9 @@ func (d *Domain) Syscalls() (total, fast uint64) { return d.syscalls, d.fastSysc
 // mapping before installing the entry — the essence of shadow/direct
 // paravirtual paging.
 func (h *Hypervisor) MMUUpdate(dom DomID, vpn hw.VPN, gpn int, perms hw.Perm, user bool) error {
-	d := h.domains[dom]
-	if d == nil {
-		return ErrNoSuchDomain
-	}
-	if d.Dead {
-		return ErrDomainDead
+	d, err := h.lookup(dom)
+	if err != nil {
+		return err
 	}
 	h.hypercallEntry(d)
 	defer h.hypercallExit(d)
@@ -116,12 +117,9 @@ func (h *Hypervisor) MMUUpdate(dom DomID, vpn hw.VPN, gpn int, perms hw.Perm, us
 
 // MMUUnmap removes a guest mapping with the required TLB invalidation.
 func (h *Hypervisor) MMUUnmap(dom DomID, vpn hw.VPN) error {
-	d := h.domains[dom]
-	if d == nil {
-		return ErrNoSuchDomain
-	}
-	if d.Dead {
-		return ErrDomainDead
+	d, err := h.lookup(dom)
+	if err != nil {
+		return err
 	}
 	h.hypercallEntry(d)
 	defer h.hypercallExit(d)

@@ -27,21 +27,38 @@ type channel struct {
 	sends  uint64
 }
 
+// chanPortStride separates the port numbers of successive occupants of
+// one channel slot. Slot indexes stay far below it in any realistic run.
+const chanPortStride = 1 << 20
+
 // BindChannel creates a channel between two domains and returns the local
-// port each side uses. Both domains must be alive.
+// port each side uses. Both domains must be alive. Channel slots freed by
+// DestroyDomain are reused so domain churn does not grow the port table;
+// each reuse shifts the slot's port numbers by a generation stride, so a
+// surviving peer still holding a dead channel's port gets an error rather
+// than silently signalling the slot's next occupant.
 func (h *Hypervisor) BindChannel(x, y DomID) (Port, Port, error) {
-	dx, dy := h.domains[x], h.domains[y]
-	if dx == nil || dy == nil {
-		return 0, 0, ErrNoSuchDomain
+	dx, err := h.lookup(x)
+	if err != nil {
+		return 0, 0, err
 	}
-	if dx.Dead || dy.Dead {
-		return 0, 0, ErrDomainDead
+	if _, err := h.lookup(y); err != nil {
+		return 0, 0, err
 	}
 	// A bind is a hypercall from the allocating side.
 	h.hypercallEntry(dx)
-	px := Port(len(h.ports)*2 + 1)
-	py := Port(len(h.ports)*2 + 2)
-	h.ports = append(h.ports, &channel{a: endpoint{x, px}, b: endpoint{y, py}})
+	slot := len(h.ports)
+	if n := len(h.freeChans); n > 0 {
+		slot = h.freeChans[n-1]
+		h.freeChans = h.freeChans[:n-1]
+	} else {
+		h.ports = append(h.ports, nil)
+		h.chanGen = append(h.chanGen, 0)
+	}
+	base := h.chanGen[slot] * chanPortStride
+	px := Port(base + slot*2 + 1)
+	py := Port(base + slot*2 + 2)
+	h.ports[slot] = &channel{a: endpoint{x, px}, b: endpoint{y, py}}
 	h.hypercallExit(dx)
 	return px, py, nil
 }
@@ -67,12 +84,9 @@ func (h *Hypervisor) findChannel(dom DomID, port Port) (*channel, endpoint, bool
 // remote is not current, a world switch — the cycle structure behind the
 // paper's observation that Xen's event mechanism is IPC by another name.
 func (h *Hypervisor) NotifyChannel(from DomID, port Port) error {
-	d := h.domains[from]
-	if d == nil {
-		return ErrNoSuchDomain
-	}
-	if d.Dead {
-		return ErrDomainDead
+	d, err := h.lookup(from)
+	if err != nil {
+		return err
 	}
 	ch, remote, ok := h.findChannel(from, port)
 	if !ok {
@@ -116,12 +130,9 @@ func (h *Hypervisor) deliverEvent(rd *Domain, port Port) {
 // SendVIRQ injects a virtual interrupt (timer, debug, …) into a domain:
 // paper primitive 8.
 func (h *Hypervisor) SendVIRQ(dom DomID, virq int) error {
-	d := h.domains[dom]
-	if d == nil {
-		return ErrNoSuchDomain
-	}
-	if d.Dead {
-		return ErrDomainDead
+	d, err := h.lookup(dom)
+	if err != nil {
+		return err
 	}
 	prev := h.current
 	h.switchTo(d)
@@ -140,9 +151,9 @@ func (h *Hypervisor) SendVIRQ(dom DomID, virq int) error {
 // virtualised interrupt controller"). The monitor fields the interrupt and
 // injects it into the owner.
 func (h *Hypervisor) RouteIRQ(line hw.IRQLine, dom DomID) error {
-	d := h.domains[dom]
-	if d == nil {
-		return ErrNoSuchDomain
+	d, err := h.lookup(dom)
+	if err != nil {
+		return err
 	}
 	if !d.Privileged {
 		return ErrNotPrivileged

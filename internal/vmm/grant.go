@@ -35,12 +35,9 @@ func (g *grantTable) revokeAll() {
 // GrantAccess creates a grant of the owner's frame to domain to. The owner
 // must actually own the frame; this is the monitor's validation burden.
 func (h *Hypervisor) GrantAccess(owner DomID, frame hw.FrameID, to DomID, readOnly bool) (GrantRef, error) {
-	d := h.domains[owner]
-	if d == nil {
-		return 0, ErrNoSuchDomain
-	}
-	if d.Dead {
-		return 0, ErrDomainDead
+	d, err := h.lookup(owner)
+	if err != nil {
+		return 0, err
 	}
 	if !d.OwnsFrame(frame) {
 		return 0, ErrFrameNotOwned
@@ -75,16 +72,18 @@ func (h *Hypervisor) lookupGrant(owner DomID, ref GrantRef, user DomID) (*Domain
 // GrantMap maps a granted page into the user domain at vpn (netback-style
 // zero-copy RX examination). Costs: hypercall + PTE install.
 func (h *Hypervisor) GrantMap(user DomID, owner DomID, ref GrantRef, vpn hw.VPN) error {
-	ud := h.domains[user]
-	if ud == nil {
-		return ErrNoSuchDomain
-	}
-	if ud.Dead {
-		return ErrDomainDead
-	}
-	_, e, err := h.lookupGrant(owner, ref, user)
+	ud, err := h.lookup(user)
 	if err != nil {
 		return err
+	}
+	od, e, err := h.lookupGrant(owner, ref, user)
+	if err != nil {
+		return err
+	}
+	if !od.OwnsFrame(e.frame) {
+		// The frame left the granter (another grant's flip): the grant
+		// dangles and must not expose the new owner's memory.
+		return ErrGrantRevoked
 	}
 	h.hypercallEntry(ud)
 	defer h.hypercallExit(ud)
@@ -98,24 +97,28 @@ func (h *Hypervisor) GrantMap(user DomID, owner DomID, ref GrantRef, vpn hw.VPN)
 	return nil
 }
 
-// GrantUnmap removes a previously mapped grant from the user domain.
+// GrantUnmap removes a previously mapped grant from the user domain. The
+// owner may already be dead or destroyed — tearing down one's own mapping
+// of a defunct peer's page must always succeed (frontends unmap after a
+// backend crash); only the grant's map count is then left unadjusted.
 func (h *Hypervisor) GrantUnmap(user DomID, owner DomID, ref GrantRef, vpn hw.VPN) error {
-	ud := h.domains[user]
-	if ud == nil {
+	ud, err := h.lookup(user)
+	if err != nil {
+		return err
+	}
+	var e *grantEntry
+	if d := h.domains[owner]; d != nil {
+		if ref < 0 || int(ref) >= len(d.grants.entries) {
+			return ErrBadGrant
+		}
+		e = d.grants.entries[ref]
+	} else if owner >= h.nextDom {
 		return ErrNoSuchDomain
 	}
-	d := h.domains[owner]
-	if d == nil {
-		return ErrNoSuchDomain
-	}
-	if ref < 0 || int(ref) >= len(d.grants.entries) {
-		return ErrBadGrant
-	}
-	e := d.grants.entries[ref]
 	h.hypercallEntry(ud)
 	defer h.hypercallExit(ud)
 	ud.PT.Unmap(vpn)
-	if e.mapped > 0 {
+	if e != nil && e.mapped > 0 {
 		e.mapped--
 	}
 	h.M.CPU.Work(HypervisorComponent, h.M.Arch.Costs.PTEUpdate)
@@ -128,19 +131,19 @@ func (h *Hypervisor) GrantUnmap(user DomID, owner DomID, ref GrantRef, vpn hw.VP
 // copy-mode alternative to page flipping whose trade-off E9 ablates (and
 // which Xen itself later adopted for network RX).
 func (h *Hypervisor) GrantCopy(user DomID, owner DomID, ref GrantRef, dst hw.FrameID, n uint64) error {
-	ud := h.domains[user]
-	if ud == nil {
-		return ErrNoSuchDomain
-	}
-	if ud.Dead {
-		return ErrDomainDead
+	ud, err := h.lookup(user)
+	if err != nil {
+		return err
 	}
 	if !ud.OwnsFrame(dst) {
 		return ErrFrameNotOwned
 	}
-	_, e, err := h.lookupGrant(owner, ref, user)
+	od, e, err := h.lookupGrant(owner, ref, user)
 	if err != nil {
 		return err
+	}
+	if !od.OwnsFrame(e.frame) {
+		return ErrGrantRevoked // dangling: the frame was flipped away
 	}
 	h.hypercallEntry(ud)
 	defer h.hypercallExit(ud)
@@ -156,12 +159,9 @@ func (h *Hypervisor) GrantCopy(user DomID, owner DomID, ref GrantRef, dst hw.Fra
 // bytes of the page carry payload — the exact property Cherkasova &
 // Gardner measured and E1 reproduces.
 func (h *Hypervisor) GrantTransfer(user DomID, owner DomID, ref GrantRef) (hw.FrameID, error) {
-	ud := h.domains[user]
-	if ud == nil {
-		return hw.NoFrame, ErrNoSuchDomain
-	}
-	if ud.Dead {
-		return hw.NoFrame, ErrDomainDead
+	ud, err := h.lookup(user)
+	if err != nil {
+		return hw.NoFrame, err
 	}
 	od, e, err := h.lookupGrant(owner, ref, user)
 	if err != nil {
@@ -169,6 +169,13 @@ func (h *Hypervisor) GrantTransfer(user DomID, owner DomID, ref GrantRef) (hw.Fr
 	}
 	if e.readOnly {
 		return hw.NoFrame, ErrGrantReadOnly
+	}
+	if !od.OwnsFrame(e.frame) {
+		// The same frame was granted more than once and another grant's
+		// flip already moved it: this grant dangles. Without this check a
+		// second transfer would reassign a frame its granter no longer
+		// owns and desynchronise the ownership ledger.
+		return hw.NoFrame, ErrGrantRevoked
 	}
 	h.hypercallEntry(ud)
 	defer h.hypercallExit(ud)
@@ -208,7 +215,9 @@ func (d *Domain) addFrame(f hw.FrameID) int {
 	for len(d.holes) > 0 {
 		i := d.holes[len(d.holes)-1]
 		d.holes = d.holes[:len(d.holes)-1]
-		if d.frames[i] == hw.NoFrame { // stale entries possible after BalloonIn
+		// BalloonIn prunes the holes it fills, so entries here should
+		// always be genuine; the check stays as a defensive guard.
+		if d.frames[i] == hw.NoFrame {
 			d.frames[i] = f
 			return i
 		}
@@ -217,11 +226,23 @@ func (d *Domain) addFrame(f hw.FrameID) int {
 	return len(d.frames) - 1
 }
 
+// pruneHole removes gpn from the free-slot list after the hole is filled
+// by a path that addresses slots directly (BalloonIn) rather than popping
+// them (addFrame).
+func (d *Domain) pruneHole(gpn int) {
+	for i, g := range d.holes {
+		if g == gpn {
+			d.holes = append(d.holes[:i], d.holes[i+1:]...)
+			return
+		}
+	}
+}
+
 // GrantRevoke withdraws a grant the owner previously issued.
 func (h *Hypervisor) GrantRevoke(owner DomID, ref GrantRef) error {
-	d := h.domains[owner]
-	if d == nil {
-		return ErrNoSuchDomain
+	d, err := h.lookup(owner)
+	if err != nil {
+		return err
 	}
 	if ref < 0 || int(ref) >= len(d.grants.entries) {
 		return ErrBadGrant

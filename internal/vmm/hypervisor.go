@@ -59,9 +59,11 @@ type Hypervisor struct {
 	order   []DomID // creation order, for deterministic iteration
 	nextDom DomID
 
-	ports   []*channel
-	current *Domain
-	sched   *scheduler
+	ports     []*channel
+	chanGen   []int // per-slot reuse generation: stale ports never alias
+	freeChans []int // reclaimed channel slots, reused by BindChannel
+	current   *Domain
+	sched     *scheduler
 
 	// FastPathPolicy globally enables the trap-gate syscall shortcut
 	// (ablation switch for E9; per-domain validity is tracked separately).
@@ -123,6 +125,24 @@ func (h *Hypervisor) CreateDomain(name string, frames int) (*Domain, error) {
 // Domain returns the domain for id, or nil.
 func (h *Hypervisor) Domain(id DomID) *Domain { return h.domains[id] }
 
+// lookup resolves id to a live domain. DestroyDomain reclaims a domain's
+// bookkeeping outright (so a create/destroy churn loop stays bounded), which
+// means destroyed ids are absent from the map; the nextDom watermark keeps
+// their error distinct: an id that was once allocated reports ErrDomainDead,
+// an id that never existed reports ErrNoSuchDomain.
+func (h *Hypervisor) lookup(id DomID) (*Domain, error) {
+	if d := h.domains[id]; d != nil {
+		if d.Dead {
+			return nil, ErrDomainDead
+		}
+		return d, nil
+	}
+	if id < h.nextDom {
+		return nil, ErrDomainDead
+	}
+	return nil, ErrNoSuchDomain
+}
+
 // Domains returns live domains in creation order.
 func (h *Hypervisor) Domains() []*Domain {
 	out := make([]*Domain, 0, len(h.order))
@@ -156,12 +176,9 @@ func (h *Hypervisor) switchTo(d *Domain) {
 // interface"); the specific hypercalls below (MMUUpdate, grant operations,
 // event operations) layer their own semantics over the same entry path.
 func (h *Hypervisor) Hypercall(dom DomID, op string, workCost hw.Cycles) error {
-	d := h.domains[dom]
-	if d == nil {
-		return ErrNoSuchDomain
-	}
-	if d.Dead {
-		return ErrDomainDead
+	d, err := h.lookup(dom)
+	if err != nil {
+		return err
 	}
 	h.hypercallEntry(d)
 	h.M.CPU.Work(HypervisorComponent, workCost)
@@ -209,21 +226,37 @@ func (h *Hypervisor) Stats() (hypercalls, worldSwitches uint64) {
 // vCPU never runs again, its event channels are closed, its grants are
 // revoked, and its memory is released. Other domains observe failures only
 // through their own references to it — the E4 blast-radius property.
+//
+// All per-domain monitor state is reclaimed here, not just marked dead:
+// the domain map and creation-order entries, the scheduler's weight and
+// credit entries, and the channel slots of every event channel either of
+// whose endpoints was this domain. A create/destroy churn loop therefore
+// returns the monitor to its baseline footprint (the churn regression test
+// asserts exactly this). Holders of a stale *Domain still observe Dead.
 func (h *Hypervisor) DestroyDomain(id DomID) error {
 	d := h.domains[id]
 	if d == nil {
+		if id < h.nextDom {
+			return nil // already destroyed and reclaimed: idempotent
+		}
 		return ErrNoSuchDomain
 	}
 	if d.Dead {
 		return nil
 	}
 	d.Dead = true
-	for _, ch := range h.ports {
+	for i, ch := range h.ports {
 		if ch == nil {
 			continue
 		}
 		if ch.a.dom == id || ch.b.dom == id {
 			ch.closed = true
+			h.ports[i] = nil
+			// Bump the slot's generation so the surviving peer's stale
+			// port numbers can never resolve to whatever channel reuses
+			// the slot next.
+			h.chanGen[i]++
+			h.freeChans = append(h.freeChans, i)
 		}
 	}
 	d.grants.revokeAll()
@@ -240,7 +273,17 @@ func (h *Hypervisor) DestroyDomain(id DomID) error {
 	if h.current == d {
 		h.current = nil
 	}
+	d.dirtyLog = nil
 	h.sched.remove(d)
+	delete(h.sched.weights, id)
+	delete(h.sched.credits, id)
+	delete(h.domains, id)
+	for i, oid := range h.order {
+		if oid == id {
+			h.order = append(h.order[:i], h.order[i+1:]...)
+			break
+		}
+	}
 	h.M.Rec.Charge(uint64(h.M.Clock.Now()), trace.KFault, d.Component(), 0)
 	return nil
 }

@@ -1,0 +1,320 @@
+package vmm
+
+import (
+	"errors"
+	"testing"
+
+	"vmmk/internal/hw"
+	"vmmk/internal/trace"
+)
+
+// --- dirty-page logging ----------------------------------------------------
+
+func TestDirtyLogCatchesFirstWritePerRound(t *testing.T) {
+	r := newVrig(t, hw.X86())
+	dl, err := r.h.EnableDirtyLog(r.domU.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.h.GuestMemWrite(r.domU.ID, 5, 0, []byte("dirty")); err != nil {
+		t.Fatal(err)
+	}
+	if got := dl.Dirty(); len(got) != 1 || got[0] != 5 {
+		t.Fatalf("dirty = %v, want [5]", got)
+	}
+	if dl.Faults() != 1 {
+		t.Fatalf("faults = %d, want 1", dl.Faults())
+	}
+	if r.m.Rec.Counts(trace.KDirtyLogFault) != 1 {
+		t.Fatal("dirty-log fault not recorded")
+	}
+	// The second store to an unprotected page is full speed: no new fault.
+	if err := r.h.GuestMemWrite(r.domU.ID, 5, 8, []byte("again")); err != nil {
+		t.Fatal(err)
+	}
+	if dl.Faults() != 1 {
+		t.Fatalf("faults after free write = %d, want 1", dl.Faults())
+	}
+	// Re-arming hands back the round's dirty set and re-protects.
+	if got := dl.Rearm(); len(got) != 1 || got[0] != 5 {
+		t.Fatalf("rearm returned %v, want [5]", got)
+	}
+	if got := dl.Dirty(); len(got) != 0 {
+		t.Fatalf("dirty after rearm = %v, want empty", got)
+	}
+	if err := r.h.GuestMemWrite(r.domU.ID, 5, 0, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if dl.Faults() != 2 {
+		t.Fatalf("re-armed page did not fault: faults = %d", dl.Faults())
+	}
+}
+
+func TestDirtyLogWriteProtectsAndRestoresPerms(t *testing.T) {
+	r := newVrig(t, hw.X86())
+	// One mapping the guest holds writable, one deliberately read-only.
+	if err := r.h.MMUUpdate(r.domU.ID, 0xA00, 3, hw.PermRW, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.h.MMUUpdate(r.domU.ID, 0xA01, 4, hw.PermR, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.h.EnableDirtyLog(r.domU.ID); err != nil {
+		t.Fatal(err)
+	}
+	if e, _ := r.domU.PT.Lookup(0xA00); e.Perms&hw.PermW != 0 {
+		t.Fatal("armed page still writable")
+	}
+	// The fault restores write permission on the faulting page only.
+	if err := r.h.GuestMemWrite(r.domU.ID, 3, 0, []byte("w")); err != nil {
+		t.Fatal(err)
+	}
+	if e, _ := r.domU.PT.Lookup(0xA00); e.Perms&hw.PermW == 0 {
+		t.Fatal("fault did not restore write permission")
+	}
+	r.h.DisableDirtyLog(r.domU.ID)
+	if e, _ := r.domU.PT.Lookup(0xA00); e.Perms&hw.PermW == 0 {
+		t.Fatal("disable did not restore write permission")
+	}
+	// The guest's own read-only mapping must never gain PermW.
+	if e, _ := r.domU.PT.Lookup(0xA01); e.Perms != hw.PermR {
+		t.Fatalf("read-only mapping perms mutated to %v", e.Perms)
+	}
+}
+
+func TestDirtyLogRearmKeepsCleanPagesRestorable(t *testing.T) {
+	// Pages that never fault stay armed across Rearm; their record of
+	// which mappings lost PermW must survive so disable (and migration's
+	// PT transfer) can restore them. A rearm that rescanned the — now
+	// write-protected — page table would wipe that record and leave clean
+	// pages read-only forever.
+	r := newVrig(t, hw.X86())
+	dl, err := r.h.EnableDirtyLog(r.domU.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dl.Rearm()
+	dl.Rearm()
+	r.h.DisableDirtyLog(r.domU.ID)
+	if e, ok := r.domU.PT.Lookup(hw.VPN(4)); !ok || e.Perms&hw.PermW == 0 {
+		t.Fatalf("clean page left write-protected after rearm cycle: %+v ok=%v", e, ok)
+	}
+}
+
+func TestDirtyLogLifecycleErrors(t *testing.T) {
+	r := newVrig(t, hw.X86())
+	if _, err := r.h.EnableDirtyLog(r.domU.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.h.EnableDirtyLog(r.domU.ID); !errors.Is(err, ErrDirtyLogActive) {
+		t.Fatalf("double enable err = %v, want ErrDirtyLogActive", err)
+	}
+	if err := r.h.GuestMemWrite(r.domU.ID, 9999, 0, []byte("x")); !errors.Is(err, ErrFrameNotOwned) {
+		t.Fatalf("out-of-range write err = %v, want ErrFrameNotOwned", err)
+	}
+	if err := r.h.GuestMemWrite(r.domU.ID, 0, 4090, []byte("too-long")); err == nil {
+		t.Fatal("page-overrunning write accepted")
+	}
+	r.h.DestroyDomain(r.domU.ID)
+	if err := r.h.GuestMemWrite(r.domU.ID, 0, 0, []byte("x")); !errors.Is(err, ErrDomainDead) {
+		t.Fatalf("write to destroyed domain err = %v, want ErrDomainDead", err)
+	}
+	r.h.DisableDirtyLog(r.domU.ID) // destroyed domain: must be a no-op
+}
+
+// --- live pre-copy migration ------------------------------------------------
+
+// liveRig is a source rig plus an empty destination hypervisor.
+type liveRig struct {
+	*vrig
+	m2   *hw.Machine
+	dstH *Hypervisor
+}
+
+func newLiveRig(t *testing.T) *liveRig {
+	t.Helper()
+	src := newVrig(t, hw.X86())
+	m2 := hw.NewMachine(hw.X86(), &hw.MachineConfig{Frames: 512})
+	dstH, _, err := New(m2, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &liveRig{vrig: src, m2: m2, dstH: dstH}
+}
+
+func TestMigrateLiveMovesMemoryAndMappings(t *testing.T) {
+	r := newLiveRig(t)
+	copy(r.m.Mem.Data(r.domU.FrameAt(7)), []byte("steady-state-page"))
+	if err := r.h.MMUUpdate(r.domU.ID, 0x700, 7, hw.PermR, true); err != nil {
+		t.Fatal(err)
+	}
+	// The guest keeps writing while pre-copy rounds run; every write must
+	// still arrive, including one in the last live round.
+	work := func(round int) {
+		if err := r.h.GuestMemWrite(r.domU.ID, 9, 0, []byte{'r', byte('0' + round)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d2, stats, err := MigrateLive(r.h, r.domU.ID, r.dstH, LiveOpts{MaxRounds: 3, GuestWork: work})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.h.Alive(r.domU.ID) {
+		t.Fatal("domain still alive at source")
+	}
+	if !r.dstH.Paused(d2.ID) {
+		t.Fatal("migrated domain must arrive paused")
+	}
+	if got := string(r.m2.Mem.Data(d2.FrameAt(7))[:17]); got != "steady-state-page" {
+		t.Fatalf("memory corrupted in flight: %q", got)
+	}
+	wantLast := []byte{'r', byte('0' + stats.Rounds)}
+	if got := r.m2.Mem.Data(d2.FrameAt(9))[:2]; string(got) != string(wantLast) {
+		t.Fatalf("last-round write lost: %q, want %q", got, wantLast)
+	}
+	if e, ok := d2.PT.Lookup(0x700); !ok || e.Perms != hw.PermR {
+		t.Fatal("guest mapping did not travel")
+	}
+	// Kernel identity mappings regain write permission at the destination
+	// (the write-protection belonged to the dirty log, not the guest) —
+	// both for the repeatedly dirtied page and for a never-written one.
+	if e, ok := d2.PT.Lookup(hw.VPN(9)); !ok || e.Perms&hw.PermW == 0 {
+		t.Fatalf("dirtied page's mapping lost PermW: %+v ok=%v", e, ok)
+	}
+	if e, ok := d2.PT.Lookup(hw.VPN(8)); !ok || e.Perms&hw.PermW == 0 {
+		t.Fatalf("clean page's mapping lost PermW: %+v ok=%v", e, ok)
+	}
+	if stats.Rounds < 1 || stats.Rounds > 3 {
+		t.Fatalf("rounds = %d", stats.Rounds)
+	}
+	if stats.PagesFinal > stats.PagesMoved || stats.PagesMoved < len(d2.Frames()) {
+		t.Fatalf("page accounting wrong: %+v", stats)
+	}
+	if stats.Downtime <= 0 || stats.Total < stats.Downtime {
+		t.Fatalf("cycle accounting wrong: %+v", stats)
+	}
+	// The arrival is a working guest.
+	if err := r.dstH.Unpause(d2.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.dstH.Hypercall(d2.ID, "probe", 10); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMigrateLiveDowntimeBeatsStopAndCopy(t *testing.T) {
+	// The acceptance criterion: for a low-dirty-rate guest, pre-copy's
+	// blackout is strictly shorter than freezing the guest for the whole
+	// copy. Both legs run on identically prepared rigs.
+	prep := func() *liveRig {
+		r := newLiveRig(t)
+		for gpn := 0; gpn < 16; gpn++ {
+			copy(r.m.Mem.Data(r.domU.FrameAt(gpn)), []byte{byte(gpn)})
+		}
+		return r
+	}
+
+	stop := prep()
+	s0, d0 := stop.m.Now(), stop.m2.Now()
+	if _, err := Migrate(stop.h, stop.domU.ID, stop.dstH); err != nil {
+		t.Fatal(err)
+	}
+	stopDowntime := (stop.m.Now() - s0) + (stop.m2.Now() - d0)
+
+	live := prep()
+	work := func(round int) {
+		// Two pages per round: a light writable working set.
+		for gpn := 0; gpn < 2; gpn++ {
+			if err := live.h.GuestMemWrite(live.domU.ID, gpn, 0, []byte("hot")); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	_, stats, err := MigrateLive(live.h, live.domU.ID, live.dstH, LiveOpts{MaxRounds: 4, GuestWork: work})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Downtime >= stopDowntime {
+		t.Fatalf("live downtime %d not below stop-and-copy %d", stats.Downtime, stopDowntime)
+	}
+	// Pre-copy pays for the shorter blackout with re-sent pages.
+	if stats.PagesMoved <= stats.PagesFinal {
+		t.Fatalf("expected pre-copy rounds to move extra pages: %+v", stats)
+	}
+}
+
+func TestMigrateLivePreservesP2MHoles(t *testing.T) {
+	r := newLiveRig(t)
+	// Flip a frame away from domU to punch a hole in its P2M.
+	f := r.domU.FrameAt(2)
+	ref, err := r.h.GrantAccess(r.domU.ID, f, r.dom0.ID, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.h.GrantTransfer(r.dom0.ID, r.domU.ID, ref); err != nil {
+		t.Fatal(err)
+	}
+	d2, _, err := MigrateLive(r.h, r.domU.ID, r.dstH, LiveOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.FrameAt(2) != hw.NoFrame {
+		t.Fatal("hole not preserved across live migration")
+	}
+	if d2.FrameAt(3) == hw.NoFrame {
+		t.Fatal("neighbouring page lost")
+	}
+}
+
+func TestMigrateLiveWSSCutoffBoundsRounds(t *testing.T) {
+	r := newLiveRig(t)
+	// A guest that redirties its whole memory every round can never
+	// converge; the working-set cutoff must stop the iteration at the
+	// first non-shrinking round rather than burning the full budget.
+	n := len(r.domU.Frames())
+	work := func(round int) {
+		for gpn := 0; gpn < n; gpn++ {
+			if err := r.h.GuestMemWrite(r.domU.ID, gpn, 0, []byte{byte(round)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	_, stats, err := MigrateLive(r.h, r.domU.ID, r.dstH, LiveOpts{MaxRounds: 8, GuestWork: work})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rounds != 1 {
+		t.Fatalf("non-converging guest ran %d rounds, want the cutoff after 1", stats.Rounds)
+	}
+	if stats.PagesFinal != n {
+		t.Fatalf("final round moved %d pages, want the whole working set %d", stats.PagesFinal, n)
+	}
+}
+
+func TestMigrateLiveErrors(t *testing.T) {
+	r := newLiveRig(t)
+	if _, _, err := MigrateLive(r.h, 9999, r.dstH, LiveOpts{}); !errors.Is(err, ErrNoSuchDomain) {
+		t.Fatalf("err = %v, want ErrNoSuchDomain", err)
+	}
+	r.h.DestroyDomain(r.domU.ID)
+	if _, _, err := MigrateLive(r.h, r.domU.ID, r.dstH, LiveOpts{}); !errors.Is(err, ErrDomainDead) {
+		t.Fatalf("err = %v, want ErrDomainDead", err)
+	}
+	// A failed migration must not leave the source's dirty log armed.
+	r2 := newLiveRig(t)
+	tiny := hw.NewMachine(hw.X86(), &hw.MachineConfig{Frames: 8})
+	tinyH, _, err := New(tiny, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := MigrateLive(r2.h, r2.domU.ID, tinyH, LiveOpts{}); err == nil {
+		t.Fatal("migration into an out-of-memory destination should fail")
+	}
+	if r2.domU.dirtyLog != nil {
+		t.Fatal("failed migration left the dirty log enabled")
+	}
+	// The domain is unharmed and can be migrated properly afterwards.
+	if _, _, err := MigrateLive(r2.h, r2.domU.ID, r2.dstH, LiveOpts{}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -3,6 +3,7 @@ package vmm
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"vmmk/internal/hw"
 )
@@ -39,12 +40,9 @@ type DomainImage struct {
 // Pause takes the domain off the scheduler; a paused domain's vCPU never
 // runs, but its state remains intact.
 func (h *Hypervisor) Pause(dom DomID) error {
-	d := h.domains[dom]
-	if d == nil {
-		return ErrNoSuchDomain
-	}
-	if d.Dead {
-		return ErrDomainDead
+	d, err := h.lookup(dom)
+	if err != nil {
+		return err
 	}
 	d.paused = true
 	h.sched.remove(d)
@@ -57,12 +55,9 @@ func (h *Hypervisor) Pause(dom DomID) error {
 
 // Unpause puts the domain back on the run queue.
 func (h *Hypervisor) Unpause(dom DomID) error {
-	d := h.domains[dom]
-	if d == nil {
-		return ErrNoSuchDomain
-	}
-	if d.Dead {
-		return ErrDomainDead
+	d, err := h.lookup(dom)
+	if err != nil {
+		return err
 	}
 	if !d.paused {
 		return nil
@@ -79,40 +74,84 @@ func (h *Hypervisor) Paused(dom DomID) bool {
 	return d != nil && d.paused
 }
 
+// capturePT serialises a domain's page table in guest terms (gpn, not
+// machine frame), sorted by VPN. Entries referencing foreign frames
+// (grant maps) are dropped, like real migration drops grant mappings.
+func capturePT(d *Domain) []savedPTE {
+	gpnOf := make(map[hw.FrameID]int, len(d.frames))
+	for gpn, f := range d.frames {
+		if f != hw.NoFrame {
+			gpnOf[f] = gpn
+		}
+	}
+	var out []savedPTE
+	d.PT.Each(func(v hw.VPN, e hw.PTE) {
+		if gpn, ok := gpnOf[e.Frame]; ok {
+			out = append(out, savedPTE{VPN: v, GPN: gpn, Perms: e.Perms, User: e.User})
+		}
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].VPN < out[j].VPN })
+	return out
+}
+
+// allocShell creates a paused domain with one fresh frame per true slot in
+// exists, holes preserved at the false slots, and an empty page table —
+// the receiving half of restore and live migration.
+func (h *Hypervisor) allocShell(name string, privileged bool, exists []bool) (*Domain, error) {
+	n := 0
+	for _, ok := range exists {
+		if ok {
+			n++
+		}
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("vmm: domain %q has no memory", name)
+	}
+	d, err := h.CreateDomain(name, n)
+	if err != nil {
+		return nil, err
+	}
+	d.Privileged = privileged
+	frames := make([]hw.FrameID, len(exists))
+	next := 0
+	for gpn, ok := range exists {
+		if !ok {
+			frames[gpn] = hw.NoFrame
+			continue
+		}
+		frames[gpn] = d.frames[next]
+		next++
+	}
+	d.frames = frames
+	d.PT = hw.NewPageTable(d.PT.ASID())
+	// Shells start paused, like migrated VMs pre-resume.
+	d.paused = true
+	h.sched.remove(d)
+	return d, nil
+}
+
 // SaveDomain captures a paused domain's memory and page table. The copy is
 // charged per page — the dominant cost of real checkpointing.
 func (h *Hypervisor) SaveDomain(dom DomID) (*DomainImage, error) {
-	d := h.domains[dom]
-	if d == nil {
-		return nil, ErrNoSuchDomain
-	}
-	if d.Dead {
-		return nil, ErrDomainDead
+	d, err := h.lookup(dom)
+	if err != nil {
+		return nil, err
 	}
 	if !d.paused {
 		return nil, ErrDomainLive
 	}
-	img := &DomainImage{Name: d.Name, Privileged: d.Privileged}
+	img := &DomainImage{Name: d.Name, Privileged: d.Privileged, PT: capturePT(d)}
 	ps := h.M.Mem.PageSize()
-	gpnOf := make(map[hw.FrameID]int, len(d.frames))
-	for gpn, f := range d.frames {
+	for _, f := range d.frames {
 		if f == hw.NoFrame {
 			img.Memory = append(img.Memory, nil)
 			continue
 		}
-		gpnOf[f] = gpn
 		page := make([]byte, ps)
 		copy(page, h.M.Mem.Data(f))
 		img.Memory = append(img.Memory, page)
 		h.M.CPU.Work(HypervisorComponent, h.M.CPU.CopyCost(ps))
 	}
-	d.PT.Each(func(v hw.VPN, e hw.PTE) {
-		if gpn, ok := gpnOf[e.Frame]; ok {
-			img.PT = append(img.PT, savedPTE{VPN: v, GPN: gpn, Perms: e.Perms, User: e.User})
-		}
-		// Entries referencing foreign frames (grant maps) are dropped,
-		// like real migration drops grant mappings.
-	})
 	return img, nil
 }
 
@@ -123,38 +162,24 @@ func (h *Hypervisor) RestoreDomain(img *DomainImage) (*Domain, error) {
 	if img == nil || img.Name == "" {
 		return nil, fmt.Errorf("vmm: empty domain image")
 	}
-	frames := 0
-	for _, p := range img.Memory {
-		if p != nil {
-			frames++
-		}
+	exists := make([]bool, len(img.Memory))
+	for gpn, page := range img.Memory {
+		exists[gpn] = page != nil
 	}
-	if frames == 0 {
-		return nil, fmt.Errorf("vmm: image has no memory")
-	}
-	d, err := h.CreateDomain(img.Name, frames)
+	d, err := h.allocShell(img.Name, img.Privileged, exists)
 	if err != nil {
 		return nil, err
 	}
-	d.Privileged = img.Privileged
+	// Lay pages back down (gpn numbering is the shell's layout).
 	ps := h.M.Mem.PageSize()
-	// Lay pages back down, preserving gpn numbering (holes stay holes).
-	rebuilt := make([]hw.FrameID, len(img.Memory))
-	next := 0
 	for gpn, page := range img.Memory {
 		if page == nil {
-			rebuilt[gpn] = hw.NoFrame
 			continue
 		}
-		f := d.frames[next]
-		next++
-		rebuilt[gpn] = f
-		copy(h.M.Mem.Data(f), page)
+		copy(h.M.Mem.Data(d.FrameAt(gpn)), page)
 		h.M.CPU.Work(HypervisorComponent, h.M.CPU.CopyCost(ps))
 	}
-	d.frames = rebuilt
 	// Rebuild the page table through the validated path.
-	d.PT = hw.NewPageTable(d.PT.ASID())
 	for _, e := range img.PT {
 		f := d.FrameAt(e.GPN)
 		if f == hw.NoFrame {
@@ -163,15 +188,13 @@ func (h *Hypervisor) RestoreDomain(img *DomainImage) (*Domain, error) {
 		d.PT.Map(e.VPN, hw.PTE{Frame: f, Perms: e.Perms, User: e.User})
 		h.M.CPU.Work(HypervisorComponent, h.M.Arch.Costs.PTEUpdate)
 	}
-	// Restored domains start paused, like migrated VMs pre-resume.
-	d.paused = true
-	h.sched.remove(d)
 	return d, nil
 }
 
 // Migrate is save + destroy + restore onto a destination hypervisor: the
 // whole-OS mobility that §3.3's "treat the OS as a component" enables. It
-// returns the new domain on dst.
+// returns the new domain on dst. The guest is frozen for the entire copy —
+// the stop-and-copy baseline MigrateLive improves on.
 func Migrate(src *Hypervisor, dom DomID, dst *Hypervisor) (*Domain, error) {
 	if err := src.Pause(dom); err != nil {
 		return nil, err
@@ -184,4 +207,140 @@ func Migrate(src *Hypervisor, dom DomID, dst *Hypervisor) (*Domain, error) {
 		return nil, err
 	}
 	return dst.RestoreDomain(img)
+}
+
+// LiveOpts parameterises a pre-copy live migration.
+type LiveOpts struct {
+	// MaxRounds bounds the pre-copy rounds before the stop-and-copy
+	// finish (default 3).
+	MaxRounds int
+	// WSSCutoff stops iterating early once the dirty set is this small:
+	// the remaining pages are the guest's writable working set, and
+	// re-sending them live cannot converge further.
+	WSSCutoff int
+	// GuestWork, when non-nil, runs the guest's activity concurrent with
+	// each pre-copy round (1-based round number). The guest dirties pages
+	// through Hypervisor.GuestMemWrite, which the armed dirty log sees.
+	GuestWork func(round int)
+}
+
+// LiveStats reports what a live migration did and what it cost.
+type LiveStats struct {
+	Rounds     int       // pre-copy rounds actually run
+	PagesMoved int       // page transfers in total, re-sends included
+	PagesFinal int       // pages copied during the blackout
+	Downtime   hw.Cycles // guest-observable pause: src pause→destroy + dst final apply
+	Total      hw.Cycles // whole-migration cycles across both machines
+}
+
+// MigrateLive moves a running guest with iterative pre-copy: round one
+// transfers every page while the guest keeps executing; each further round
+// transfers only the pages the dirty log caught since the previous round;
+// the final round falls back to pause + stop-and-copy for whatever is
+// still dirty (plus the page table) and resumes on the destination. The
+// returned domain is paused on dst, exactly like RestoreDomain's — the
+// caller reconnects devices and unpauses.
+func MigrateLive(src *Hypervisor, dom DomID, dst *Hypervisor, opts LiveOpts) (*Domain, *LiveStats, error) {
+	d, err := src.lookup(dom)
+	if err != nil {
+		return nil, nil, err
+	}
+	if opts.MaxRounds <= 0 {
+		opts.MaxRounds = 3
+	}
+	dl, err := src.EnableDirtyLog(dom)
+	if err != nil {
+		return nil, nil, err
+	}
+	srcT0, dstT0 := src.M.Now(), dst.M.Now()
+
+	// Destination shell with the same pseudo-physical layout; it stays
+	// paused while pages stream in. Its page table is rebuilt in the
+	// blackout.
+	var all []int // gpns that exist at the source
+	exists := make([]bool, len(d.frames))
+	for gpn, f := range d.frames {
+		if f != hw.NoFrame {
+			exists[gpn] = true
+			all = append(all, gpn)
+		}
+	}
+	shell, err := dst.allocShell(d.Name, d.Privileged, exists)
+	if err != nil {
+		src.DisableDirtyLog(dom)
+		return nil, nil, err
+	}
+
+	ps := src.M.Mem.PageSize()
+	stats := &LiveStats{}
+	xfer := func(gpn int) {
+		sf, df := d.frames[gpn], shell.frames[gpn]
+		if sf == hw.NoFrame || df == hw.NoFrame {
+			return
+		}
+		copy(dst.M.Mem.Data(df), src.M.Mem.Data(sf))
+		// Reading out and landing the page are monitor work on each end.
+		src.M.CPU.Work(HypervisorComponent, src.M.CPU.CopyCost(ps))
+		dst.M.CPU.Work(HypervisorComponent, dst.M.CPU.CopyCost(ps))
+		stats.PagesMoved++
+	}
+
+	// Pre-copy rounds: the guest runs (and dirties pages) while each
+	// round's set crosses; whatever it dirtied becomes the next round's
+	// set. Stop when the budget is spent, the dirty set is inside the
+	// cutoff, or the writable working set stops shrinking.
+	toSend := all
+	for round := 1; ; round++ {
+		stats.Rounds = round
+		if opts.GuestWork != nil {
+			opts.GuestWork(round)
+		}
+		for _, gpn := range toSend {
+			xfer(gpn)
+		}
+		dirty := dl.Rearm()
+		prev := len(toSend)
+		toSend = dirty
+		if round >= opts.MaxRounds || len(dirty) <= opts.WSSCutoff || len(dirty) >= prev {
+			break
+		}
+	}
+
+	// The blackout: pause, move the remainder and the page table, kill the
+	// source copy. Everything in this window is guest-visible downtime.
+	downSrc, downDst := src.M.Now(), dst.M.Now()
+	if err := src.Pause(dom); err != nil {
+		src.DisableDirtyLog(dom)
+		return nil, nil, err
+	}
+	for _, gpn := range toSend {
+		xfer(gpn)
+	}
+	stats.PagesFinal = len(toSend)
+
+	// Page-table skeleton travels in guest terms, like SaveDomain's.
+	for _, e := range capturePT(d) {
+		f := shell.FrameAt(e.GPN)
+		if f == hw.NoFrame {
+			continue
+		}
+		perms := e.Perms
+		// Mappings still write-protected by the log regain PermW on the
+		// destination: the protection was the log's, not the guest's.
+		for _, v := range dl.wprot[e.GPN] {
+			if v == e.VPN {
+				perms |= hw.PermW
+				break
+			}
+		}
+		shell.PT.Map(e.VPN, hw.PTE{Frame: f, Perms: perms, User: e.User})
+		dst.M.CPU.Work(HypervisorComponent, dst.M.Arch.Costs.PTEUpdate)
+	}
+	src.DisableDirtyLog(dom)
+	if err := src.DestroyDomain(dom); err != nil {
+		return nil, nil, err
+	}
+	stats.Downtime = (src.M.Now() - downSrc) + (dst.M.Now() - downDst)
+	stats.Total = (src.M.Now() - srcT0) + (dst.M.Now() - dstT0)
+	return shell, stats, nil
 }

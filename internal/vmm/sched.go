@@ -40,8 +40,8 @@ func (s *scheduler) remove(d *Domain) {
 
 // SetWeight adjusts a domain's scheduling weight (credits per refill).
 func (h *Hypervisor) SetWeight(dom DomID, w int) error {
-	if h.domains[dom] == nil {
-		return ErrNoSuchDomain
+	if _, err := h.lookup(dom); err != nil {
+		return err
 	}
 	if w < 1 {
 		w = 1

@@ -1,6 +1,10 @@
 package vmm
 
 import (
+	"errors"
+	"fmt"
+	"sort"
+
 	"vmmk/internal/hw"
 	"vmmk/internal/trace"
 )
@@ -37,12 +41,9 @@ type shadowGPTE struct {
 // GuestPTWrite instead, which models an ordinary store into a
 // write-protected page-table page.
 func (h *Hypervisor) EnableShadowMMU(dom DomID) (*ShadowMMU, error) {
-	d := h.domains[dom]
-	if d == nil {
-		return nil, ErrNoSuchDomain
-	}
-	if d.Dead {
-		return nil, ErrDomainDead
+	d, err := h.lookup(dom)
+	if err != nil {
+		return nil, err
 	}
 	// Write-protecting the PT pages is itself monitor work.
 	h.M.CPU.Work(HypervisorComponent, 800)
@@ -80,6 +81,177 @@ func (s *ShadowMMU) GuestPTWrite(vpn hw.VPN, gpn int, perms hw.Perm, user bool) 
 	h.M.CPU.Charge(HypervisorComponent, trace.KShadowPTUpdate, h.M.Arch.Costs.PTEUpdate)
 	h.M.CPU.FlushTLBEntry(HypervisorComponent, d.PT.ASID(), vpn)
 	h.M.CPU.ReturnTo(HypervisorComponent, hw.Ring1)
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Dirty-page logging: the write-fault half of shadow paging repurposed for
+// live pre-copy migration. Arming the log write-protects every writable
+// mapping of the domain's pages; the first guest store to an armed page
+// faults into the monitor, which logs the guest page number, restores the
+// page's write permissions and resumes the guest. Each pre-copy round
+// re-arms the log and consumes the pages dirtied during the previous round
+// — exactly the mechanism behind Xen's log-dirty mode.
+
+// ErrDirtyLogActive is returned when enabling a second dirty log on a
+// domain whose log is already armed.
+var ErrDirtyLogActive = errors.New("vmm: dirty log already enabled")
+
+// DirtyLog tracks which guest pages a domain wrote since the last (re)arm.
+type DirtyLog struct {
+	h *Hypervisor
+	d *Domain
+
+	armed map[int]bool     // gpn -> write-protected, next store faults
+	dirty map[int]bool     // gpn -> written since the last (re)arm
+	wprot map[int][]hw.VPN // gpn -> mappings whose PermW the log removed
+
+	faults uint64
+}
+
+// EnableDirtyLog arms write-fault-driven dirty-page tracking on a domain
+// and returns its log. The domain keeps running; only its first store to
+// each page per round pays a fault.
+func (h *Hypervisor) EnableDirtyLog(dom DomID) (*DirtyLog, error) {
+	d, err := h.lookup(dom)
+	if err != nil {
+		return nil, err
+	}
+	if d.dirtyLog != nil {
+		return nil, ErrDirtyLogActive
+	}
+	dl := &DirtyLog{
+		h:     h,
+		d:     d,
+		armed: make(map[int]bool),
+		dirty: make(map[int]bool),
+		wprot: make(map[int][]hw.VPN),
+	}
+	d.dirtyLog = dl
+	h.M.CPU.Work(HypervisorComponent, 400) // log-dirty mode switch
+	dl.arm()
+	return dl, nil
+}
+
+// DisableDirtyLog restores the domain's write permissions and detaches the
+// log. Destroyed domains are fine: there is nothing left to restore.
+func (h *Hypervisor) DisableDirtyLog(dom DomID) {
+	d := h.domains[dom]
+	if d == nil || d.dirtyLog == nil {
+		return
+	}
+	dl := d.dirtyLog
+	for gpn := range dl.armed {
+		dl.disarm(gpn)
+	}
+	d.dirtyLog = nil
+}
+
+// arm write-protects every owned page not already protected. Pages still
+// armed from a previous round are skipped — their write permissions are
+// already stripped, and their wprot record (which mappings to restore on
+// disarm) must survive untouched. One pass over the page table builds the
+// frame -> writable-VPNs index, so a round costs O(entries), not
+// O(frames × entries).
+func (dl *DirtyLog) arm() {
+	h, d := dl.h, dl.d
+	byFrame := d.PT.WritableByFrame()
+	for gpn, f := range d.frames {
+		if f == hw.NoFrame || !d.OwnsFrame(f) || dl.armed[gpn] {
+			continue
+		}
+		vpns := byFrame[f]
+		for _, vpn := range vpns {
+			e, _ := d.PT.Lookup(vpn)
+			e.Perms &^= hw.PermW
+			d.PT.Map(vpn, e)
+			h.M.CPU.Charge(HypervisorComponent, trace.KShadowPTUpdate, h.M.Arch.Costs.PTEUpdate)
+		}
+		dl.wprot[gpn] = vpns
+		dl.armed[gpn] = true
+	}
+	// Stale writable translations must go before protection is real.
+	h.M.CPU.FlushTLB(HypervisorComponent)
+}
+
+// disarm restores the write permissions the log removed from gpn's
+// mappings and takes the page off the armed set.
+func (dl *DirtyLog) disarm(gpn int) {
+	d := dl.d
+	for _, vpn := range dl.wprot[gpn] {
+		if e, ok := d.PT.Lookup(vpn); ok {
+			e.Perms |= hw.PermW
+			d.PT.Map(vpn, e)
+		}
+	}
+	delete(dl.wprot, gpn)
+	delete(dl.armed, gpn)
+}
+
+// fault is the write-protect fault path: trap, decode, log, unprotect.
+func (dl *DirtyLog) fault(gpn int) {
+	h, d := dl.h, dl.d
+	dl.faults++
+	h.switchTo(d)
+	h.M.CPU.Trap(HypervisorComponent, false)
+	h.M.CPU.Charge(HypervisorComponent, trace.KExceptionBounce, h.M.Arch.Costs.CtxSave)
+	h.M.CPU.Work(HypervisorComponent, 120) // decode + log-dirty bookkeeping
+	dl.dirty[gpn] = true
+	nvpns := len(dl.wprot[gpn])
+	dl.disarm(gpn) // later stores to this page are full speed until re-arm
+	if nvpns == 0 {
+		nvpns = 1
+	}
+	h.M.CPU.Charge(HypervisorComponent, trace.KDirtyLogFault,
+		hw.Cycles(nvpns)*h.M.Arch.Costs.PTEUpdate)
+	h.M.CPU.ReturnTo(HypervisorComponent, hw.Ring1)
+}
+
+// Dirty returns the pages written since the last (re)arm, ascending.
+func (dl *DirtyLog) Dirty() []int {
+	out := make([]int, 0, len(dl.dirty))
+	for gpn := range dl.dirty {
+		out = append(out, gpn)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Rearm collects the current dirty set, clears it and write-protects the
+// domain's pages again — one pre-copy round boundary. It returns the pages
+// dirtied since the previous arm, ascending.
+func (dl *DirtyLog) Rearm() []int {
+	out := dl.Dirty()
+	dl.dirty = make(map[int]bool)
+	dl.arm()
+	return out
+}
+
+// Faults returns how many write-protect faults the log has taken.
+func (dl *DirtyLog) Faults() uint64 { return dl.faults }
+
+// GuestMemWrite models a guest store of data into its page gpn at byte
+// offset off. With an armed dirty log the first store to a page takes the
+// write-protect fault above; otherwise it is ordinary guest work. This is
+// the mutation path the live-migration experiments drive.
+func (h *Hypervisor) GuestMemWrite(dom DomID, gpn, off int, data []byte) error {
+	d, err := h.lookup(dom)
+	if err != nil {
+		return err
+	}
+	f := d.FrameAt(gpn)
+	if f == hw.NoFrame || !d.OwnsFrame(f) {
+		return ErrFrameNotOwned
+	}
+	page := h.M.Mem.Data(f)
+	if off < 0 || off+len(data) > len(page) {
+		return fmt.Errorf("vmm: guest write [%d,%d) outside page", off, off+len(data))
+	}
+	if dl := d.dirtyLog; dl != nil && dl.armed[gpn] {
+		dl.fault(gpn)
+	}
+	h.M.CPU.Work(d.Component(), h.M.CPU.CopyCost(uint64(len(data))))
+	copy(page[off:], data)
 	return nil
 }
 

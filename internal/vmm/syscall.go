@@ -26,12 +26,9 @@ import (
 // EnableFastPath registers the guest's trap gate and (re)computes the
 // segment precondition. Returns whether the fast path is active.
 func (h *Hypervisor) EnableFastPath(dom DomID) (bool, error) {
-	d := h.domains[dom]
-	if d == nil {
-		return false, ErrNoSuchDomain
-	}
-	if d.Dead {
-		return false, ErrDomainDead
+	d, err := h.lookup(dom)
+	if err != nil {
+		return false, err
 	}
 	h.hypercallEntry(d)
 	defer h.hypercallExit(d)
@@ -48,12 +45,9 @@ func (h *Hypervisor) EnableFastPath(dom DomID) (bool, error) {
 // monitor re-validates the fast-path precondition: one flat segment kills
 // the shortcut for the whole domain.
 func (h *Hypervisor) LoadGuestSegment(dom DomID, reg hw.SegReg, seg hw.Segment) error {
-	d := h.domains[dom]
-	if d == nil {
-		return ErrNoSuchDomain
-	}
-	if d.Dead {
-		return ErrDomainDead
+	d, err := h.lookup(dom)
+	if err != nil {
+		return err
 	}
 	h.hypercallEntry(d) // update_descriptor hypercall
 	h.M.CPU.LoadSegment(d.Component(), reg, seg)
@@ -83,12 +77,9 @@ func (h *Hypervisor) FastPathActive(dom DomID) bool {
 //
 // The returned values are whatever the guest kernel's OnSyscall produced.
 func (h *Hypervisor) GuestSyscall(dom DomID, no uint32, args []uint64) ([]uint64, error) {
-	d := h.domains[dom]
-	if d == nil {
-		return nil, ErrNoSuchDomain
-	}
-	if d.Dead {
-		return nil, ErrDomainDead
+	d, err := h.lookup(dom)
+	if err != nil {
+		return nil, err
 	}
 	h.switchTo(d)
 	d.syscalls++
@@ -138,12 +129,9 @@ func (h *Hypervisor) GuestSyscall(dom DomID, no uint32, args []uint64) ([]uint64
 // argument is the guest kernel's response; a nil handler models an
 // unhandled exception and returns false.
 func (h *Hypervisor) GuestException(dom DomID, vector int, handle func()) (bool, error) {
-	d := h.domains[dom]
-	if d == nil {
-		return false, ErrNoSuchDomain
-	}
-	if d.Dead {
-		return false, ErrDomainDead
+	d, err := h.lookup(dom)
+	if err != nil {
+		return false, err
 	}
 	h.switchTo(d)
 	// Exceptions always enter the monitor first (no gate shortcut: the
@@ -167,12 +155,9 @@ func (h *Hypervisor) GuestException(dom DomID, vector int, handle func()) (bool,
 // the monitor still owns the console, the domain control interface and
 // emergency devices.
 func (h *Hypervisor) VirtDeviceOp(dom DomID, device string, cost hw.Cycles) error {
-	d := h.domains[dom]
-	if d == nil {
-		return ErrNoSuchDomain
-	}
-	if d.Dead {
-		return ErrDomainDead
+	d, err := h.lookup(dom)
+	if err != nil {
+		return err
 	}
 	h.hypercallEntry(d)
 	defer h.hypercallExit(d)

@@ -259,6 +259,51 @@ func TestGrantTransferFlipsOwnership(t *testing.T) {
 	}
 }
 
+func TestDanglingGrantsAfterFlipRefused(t *testing.T) {
+	// The same frame granted twice: after one grant's flip moves the frame,
+	// the other grant dangles and must be dead for every operation —
+	// otherwise a second transfer reassigns a frame its granter no longer
+	// owns and corrupts the ownership ledger (caught originally by
+	// TestQuickGrantOwnershipInvariants).
+	r := newVrig(t, hw.X86())
+	other, err := r.h.CreateDomain("domU2", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := r.dom0.FrameAt(6)
+	ref1, _ := r.h.GrantAccess(r.dom0.ID, f, r.domU.ID, false)
+	ref2, _ := r.h.GrantAccess(r.dom0.ID, f, other.ID, false)
+	refRO, _ := r.h.GrantAccess(r.dom0.ID, f, other.ID, true)
+	if _, err := r.h.GrantTransfer(r.domU.ID, r.dom0.ID, ref1); err != nil {
+		t.Fatal(err)
+	}
+	// Transfer through the dangling grant must refuse, leaving the ledger
+	// and both P2M maps untouched.
+	if _, err := r.h.GrantTransfer(other.ID, r.dom0.ID, ref2); !errors.Is(err, ErrGrantRevoked) {
+		t.Fatalf("dangling transfer err = %v, want ErrGrantRevoked", err)
+	}
+	if !r.domU.OwnsFrame(f) {
+		t.Fatal("dangling transfer moved ownership")
+	}
+	if len(other.Frames()) != 8 {
+		t.Fatal("dangling transfer grew the receiver's frame list")
+	}
+	// Map and copy through dangling grants must refuse too: the frame now
+	// holds another domain's memory.
+	if err := r.h.GrantMap(other.ID, r.dom0.ID, refRO, 0x300); !errors.Is(err, ErrGrantRevoked) {
+		t.Fatalf("dangling map err = %v, want ErrGrantRevoked", err)
+	}
+	if err := r.h.GrantCopy(other.ID, r.dom0.ID, refRO, other.FrameAt(0), 16); !errors.Is(err, ErrGrantRevoked) {
+		t.Fatalf("dangling copy err = %v, want ErrGrantRevoked", err)
+	}
+	// A read-only dangling grant still reports read-only first on
+	// transfer (the monitor checks the grant's own mode before its
+	// backing frame).
+	if _, err := r.h.GrantTransfer(other.ID, r.dom0.ID, refRO); !errors.Is(err, ErrGrantReadOnly) {
+		t.Fatalf("ro dangling transfer err = %v, want ErrGrantReadOnly", err)
+	}
+}
+
 func TestGrantTransferReadOnlyRefused(t *testing.T) {
 	r := newVrig(t, hw.X86())
 	f := r.dom0.FrameAt(2)
@@ -502,6 +547,176 @@ func TestDestroyDomainDoesNotFreeFlippedFrames(t *testing.T) {
 	r.h.DestroyDomain(r.dom0.ID)
 	if r.m.Mem.Owner(f) != "vmm.domU1" {
 		t.Fatalf("flipped frame owner = %q after donor death", r.m.Mem.Owner(f))
+	}
+}
+
+func TestDomainChurnReturnsToBaseline(t *testing.T) {
+	// The churn regression: a create -> bind -> destroy loop must leave no
+	// per-domain residue in the monitor — domain map, creation order,
+	// scheduler weight/credit maps, run queue, channel table and physical
+	// memory all return to their baseline sizes.
+	r := newVrig(t, hw.X86())
+	livePorts := func() int {
+		n := 0
+		for _, ch := range r.h.ports {
+			if ch != nil {
+				n++
+			}
+		}
+		return n
+	}
+	baseDomains := len(r.h.domains)
+	baseOrder := len(r.h.order)
+	baseWeights := len(r.h.sched.weights)
+	baseCredits := len(r.h.sched.credits)
+	baseRun := len(r.h.sched.run)
+	basePorts := livePorts()
+	baseFree := r.m.Mem.FreeFrames()
+
+	const cycles = 50
+	for i := 0; i < cycles; i++ {
+		d, err := r.h.CreateDomain("churn", 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p0, _, err := r.h.BindChannel(r.dom0.ID, d.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.SetHooks(GuestHooks{OnEvent: func(Port) {}})
+		if err := r.h.NotifyChannel(r.dom0.ID, p0); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.h.DestroyDomain(d.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if n := len(r.h.domains); n != baseDomains {
+		t.Errorf("domain map grew: %d -> %d", baseDomains, n)
+	}
+	if n := len(r.h.order); n != baseOrder {
+		t.Errorf("creation-order list grew: %d -> %d", baseOrder, n)
+	}
+	if n := len(r.h.sched.weights); n != baseWeights {
+		t.Errorf("scheduler weights grew: %d -> %d", baseWeights, n)
+	}
+	if n := len(r.h.sched.credits); n != baseCredits {
+		t.Errorf("scheduler credits grew: %d -> %d", baseCredits, n)
+	}
+	if n := len(r.h.sched.run); n != baseRun {
+		t.Errorf("run queue grew: %d -> %d", baseRun, n)
+	}
+	if n := livePorts(); n != basePorts {
+		t.Errorf("live channels grew: %d -> %d", basePorts, n)
+	}
+	// Reclaimed slots are reused, so the slot table grows by at most the
+	// single slot the loop keeps in flight.
+	if n := len(r.h.ports); n > basePorts+1 {
+		t.Errorf("channel slot table grew unboundedly: %d slots after %d cycles", n, cycles)
+	}
+	if free := r.m.Mem.FreeFrames(); free != baseFree {
+		t.Errorf("frames leaked: %d free -> %d", baseFree, free)
+	}
+
+	// Destroyed ids still answer with the dead-domain error, never a
+	// ghost entry; unknown ids stay distinct.
+	if err := r.h.Hypercall(r.domU.ID+1, "x", 0); !errors.Is(err, ErrDomainDead) {
+		t.Errorf("destroyed id err = %v, want ErrDomainDead", err)
+	}
+	if err := r.h.Hypercall(9999, "x", 0); !errors.Is(err, ErrNoSuchDomain) {
+		t.Errorf("unknown id err = %v, want ErrNoSuchDomain", err)
+	}
+}
+
+func TestStalePortCannotAliasReusedChannelSlot(t *testing.T) {
+	// A destroyed domain's channel slot is reclaimed, but the surviving
+	// peer may still hold the old port number. The reused slot's ports
+	// carry a new generation, so signalling the stale port must error —
+	// never deliver an upcall to the slot's next occupant.
+	r := newVrig(t, hw.X86())
+	a, err := r.h.CreateDomain("a", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pStale, _, err := r.h.BindChannel(r.dom0.ID, a.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.h.DestroyDomain(a.ID); err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.h.CreateDomain("b", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	b.SetHooks(GuestHooks{OnEvent: func(Port) { hits++ }})
+	pNew, _, err := r.h.BindChannel(r.dom0.ID, b.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pNew == pStale {
+		t.Fatal("reused slot handed out the dead channel's port number")
+	}
+	if err := r.h.NotifyChannel(r.dom0.ID, pStale); err == nil {
+		t.Fatal("stale port accepted")
+	}
+	if hits != 0 {
+		t.Fatal("stale port delivered an upcall to the slot's new occupant")
+	}
+	if err := r.h.NotifyChannel(r.dom0.ID, pNew); err != nil || hits != 1 {
+		t.Fatalf("fresh channel broken: err=%v hits=%d", err, hits)
+	}
+}
+
+func TestBalloonChurnKeepsHolesBounded(t *testing.T) {
+	// BalloonIn must prune the P2M holes it fills; an out/in churn loop
+	// otherwise accumulates stale entries without bound.
+	r := newVrig(t, hw.X86())
+	d := r.domU
+	countHoles := func() int {
+		n := 0
+		for _, f := range d.frames {
+			if f == hw.NoFrame {
+				n++
+			}
+		}
+		return n
+	}
+	for i := 0; i < 20; i++ {
+		out, err := r.h.BalloonOut(d.ID, 8)
+		if err != nil || out != 8 {
+			t.Fatalf("cycle %d: ballooned out %d, %v", i, out, err)
+		}
+		in, err := r.h.BalloonIn(d.ID, 8)
+		if err != nil || in != 8 {
+			t.Fatalf("cycle %d: ballooned in %d, %v", i, in, err)
+		}
+		if got, want := len(d.holes), countHoles(); got != want {
+			t.Fatalf("cycle %d: hole list has %d entries for %d real holes", i, got, want)
+		}
+	}
+	if len(d.holes) != 0 {
+		t.Fatalf("hole list not empty after balanced churn: %d", len(d.holes))
+	}
+	// A flip-punched hole is pruned the same way once ballooned full.
+	f := d.FrameAt(3)
+	ref, err := r.h.GrantAccess(d.ID, f, r.dom0.ID, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.h.GrantTransfer(r.dom0.ID, d.ID, ref); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.holes) != 1 {
+		t.Fatalf("flip should punch one hole, have %d", len(d.holes))
+	}
+	if _, err := r.h.BalloonIn(d.ID, 1); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.holes) != 0 || countHoles() != 0 {
+		t.Fatalf("hole not pruned after fill: list=%d real=%d", len(d.holes), countHoles())
 	}
 }
 

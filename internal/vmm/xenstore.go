@@ -91,12 +91,9 @@ func (s *Store) Write(dom DomID, path, value string) error {
 	if !validPath(path) {
 		return ErrStoreBadPath
 	}
-	d := s.h.domains[dom]
-	if d == nil {
-		return ErrNoSuchDomain
-	}
-	if d.Dead {
-		return ErrDomainDead
+	d, err := s.h.lookup(dom)
+	if err != nil {
+		return err
 	}
 	s.h.hypercallEntry(d)
 	defer s.h.hypercallExit(d)
@@ -115,12 +112,9 @@ func (s *Store) Write(dom DomID, path, value string) error {
 // Read returns the value at path. Reads are unrestricted, as in XenStore's
 // common configuration.
 func (s *Store) Read(dom DomID, path string) (string, error) {
-	d := s.h.domains[dom]
-	if d == nil {
-		return "", ErrNoSuchDomain
-	}
-	if d.Dead {
-		return "", ErrDomainDead
+	d, err := s.h.lookup(dom)
+	if err != nil {
+		return "", err
 	}
 	s.h.hypercallEntry(d)
 	defer s.h.hypercallExit(d)
@@ -135,8 +129,11 @@ func (s *Store) Read(dom DomID, path string) (string, error) {
 // GrantWrite lets a privileged domain hand write access on one path to
 // another domain (how Dom0 sets up frontend directories for new guests).
 func (s *Store) GrantWrite(granter, to DomID, path string) error {
-	d := s.h.domains[granter]
-	if d == nil || !d.Privileged {
+	d, err := s.h.lookup(granter)
+	if err != nil {
+		return err
+	}
+	if !d.Privileged {
 		return ErrNotPrivileged
 	}
 	if !validPath(path) {
@@ -149,12 +146,9 @@ func (s *Store) GrantWrite(granter, to DomID, path string) error {
 
 // List returns the direct children of prefix, sorted.
 func (s *Store) List(dom DomID, prefix string) ([]string, error) {
-	d := s.h.domains[dom]
-	if d == nil {
-		return nil, ErrNoSuchDomain
-	}
-	if d.Dead {
-		return nil, ErrDomainDead
+	d, err := s.h.lookup(dom)
+	if err != nil {
+		return nil, err
 	}
 	s.h.hypercallEntry(d)
 	defer s.h.hypercallExit(d)
@@ -185,12 +179,8 @@ func (s *Store) List(dom DomID, prefix string) ([]string, error) {
 // callback runs in the watcher's context: delivery world-switches to the
 // watcher like an event upcall.
 func (s *Store) Watch(dom DomID, path string, fn func(path, value string)) error {
-	d := s.h.domains[dom]
-	if d == nil {
-		return ErrNoSuchDomain
-	}
-	if d.Dead {
-		return ErrDomainDead
+	if _, err := s.h.lookup(dom); err != nil {
+		return err
 	}
 	if !validPath(path) {
 		return ErrStoreBadPath

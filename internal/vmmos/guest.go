@@ -227,6 +227,15 @@ func (gk *GuestKernel) MountFS(blocks uint64) (*fslite.FS, error) {
 	return fslite.Mkfs(gk.Blk, gk.H.M.Mem.PageSize(), blocks)
 }
 
+// WriteMemory models guest code storing data into its own page gpn at
+// byte offset off. When the hypervisor has the domain's dirty log armed
+// (live pre-copy migration in flight), the first store per page per round
+// takes the write-protect fault the log relies on — from the guest's
+// point of view it is just a slightly slower store.
+func (gk *GuestKernel) WriteMemory(gpn, off int, data []byte) error {
+	return gk.H.GuestMemWrite(gk.Dom.ID, gpn, off, data)
+}
+
 // Console returns what guest processes wrote with SysWrite.
 func (gk *GuestKernel) Console() []byte { return gk.console }
 

@@ -505,3 +505,29 @@ func TestFlipVsCopyCPUProportionality(t *testing.T) {
 		t.Fatalf("copy cost not size-dependent: 64B=%d 4096B=%d", copySmall, copyBig)
 	}
 }
+
+func TestGuestWriteMemorySeenByDirtyLog(t *testing.T) {
+	// The guest-kernel store path lands in memory and, with the domain's
+	// dirty log armed, is exactly what a live migration round collects.
+	s := newStack(t, RxFlip)
+	if err := s.guest.WriteMemory(5, 0, []byte("plain store")); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.m.Mem.Data(s.guest.Dom.FrameAt(5))[:11]; string(got) != "plain store" {
+		t.Fatalf("store lost: %q", got)
+	}
+	dl, err := s.h.EnableDirtyLog(s.guest.Dom.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.guest.WriteMemory(7, 0, []byte("logged store")); err != nil {
+		t.Fatal(err)
+	}
+	if dirty := dl.Dirty(); len(dirty) != 1 || dirty[0] != 7 {
+		t.Fatalf("dirty = %v, want [7]", dirty)
+	}
+	s.h.DisableDirtyLog(s.guest.Dom.ID)
+	if err := s.guest.WriteMemory(9999, 0, []byte("x")); err == nil {
+		t.Fatal("out-of-range guest write accepted")
+	}
+}
