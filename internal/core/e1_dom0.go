@@ -6,7 +6,6 @@ import (
 
 	"vmmk/internal/hw"
 	"vmmk/internal/trace"
-	"vmmk/internal/vmm"
 	"vmmk/internal/workload"
 )
 
@@ -133,9 +132,9 @@ func (r *Runner) E1Rates(rates []int, packets, size int) ([]E1RateRow, error) {
 		// each interrupt as it lands (one event per dispatch round).
 		for s.M().Events.Pending() > 0 {
 			s.M().Events.RunUntilIdle(1)
-			s.M().IRQ.DispatchPending(vmm.HypervisorComponent)
+			s.M().IRQ.DispatchPending(s.H.Comp())
 		}
-		s.M().IRQ.DispatchPending(vmm.HypervisorComponent)
+		s.M().IRQ.DispatchPending(s.H.Comp())
 		s.Pump()
 		delivered := s.DrainRx(0)
 		window := uint64(s.M().Now() - start)

@@ -195,18 +195,19 @@ func (r *Runner) E7(n int) ([]E7Row, error) {
 		var rows []E7Row
 		add := mean(&rows)
 		m := hw.NewMachine(hw.X86(), nil)
+		hwc := m.Rec.Intern("hw")
 		t0 := m.Now()
 		for i := 0; i < n; i++ {
 			m.CPU.SetRing(hw.Ring3)
-			m.CPU.Trap("hw", true) // sysenter-style, same entry hypercalls use
-			m.CPU.ReturnTo("hw", hw.Ring3)
+			m.CPU.Trap(hwc, true) // sysenter-style, same entry hypercalls use
+			m.CPU.ReturnTo(hwc, hw.Ring3)
 		}
 		add("bare trap + return", "hw", m.Now()-t0)
 
 		pts := []*hw.PageTable{hw.NewPageTable(1), hw.NewPageTable(2)}
 		t0 = m.Now()
 		for i := 0; i < n; i++ {
-			m.CPU.SwitchSpace("hw", pts[i%2])
+			m.CPU.SwitchSpace(hwc, pts[i%2])
 		}
 		add("address-space switch (untagged)", "hw", m.Now()-t0)
 		return rows, nil

@@ -253,11 +253,11 @@ func (r *Runner) E9() ([]E9Row, error) {
 			const pkts = 64
 			for i := 0; i < pkts; i++ {
 				nic.Inject(make([]byte, 256))
-				m.IRQ.DispatchPending(vmm.HypervisorComponent)
+				m.IRQ.DispatchPending(h.Comp())
 				h.PumpIO(16)
 			}
 			nic.FlushRxIRQ()
-			m.IRQ.DispatchPending(vmm.HypervisorComponent)
+			m.IRQ.DispatchPending(h.Comp())
 			h.PumpIO(16)
 			driver := m.Rec.Cycles("vmm.dom0") + m.Rec.Cycles(vmm.HypervisorComponent) - driver0
 			return E9Row{

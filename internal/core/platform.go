@@ -213,7 +213,7 @@ func (s *XenStack) InjectPackets(n, size, dest int) {
 			pkt[0] = byte(dest)
 		}
 		s.NIC.Inject(pkt)
-		s.Mach.IRQ.DispatchPending(vmm.HypervisorComponent)
+		s.Mach.IRQ.DispatchPending(s.H.Comp())
 		s.Pump()
 	}
 }
@@ -386,7 +386,7 @@ func (s *MKStack) InjectPackets(n, size, dest int) {
 			pkt[0] = byte(dest)
 		}
 		s.NIC.Inject(pkt)
-		s.Mach.IRQ.DispatchPending(mk.KernelComponent)
+		s.Mach.IRQ.DispatchPending(s.K.Comp())
 		s.Pump()
 	}
 }
@@ -494,6 +494,8 @@ type NativeStack struct {
 	NIC  *dev.NIC
 	Disk *dev.Disk
 
+	comp trace.Comp // NativeComponent, interned at boot
+
 	rxQueue int
 	store   map[uint64][]byte
 	dead    bool
@@ -506,14 +508,14 @@ const NativeComponent = "native.kernel"
 func NewNativeStack(cfg Config) (*NativeStack, error) {
 	cfg.defaults()
 	m := hw.NewMachine(cfg.Arch, &hw.MachineConfig{Frames: cfg.Frames, IRQLines: 16})
-	s := &NativeStack{Cfg: cfg, Mach: m, store: make(map[uint64][]byte)}
+	s := &NativeStack{Cfg: cfg, Mach: m, comp: m.Rec.Intern(NativeComponent), store: make(map[uint64][]byte)}
 	s.NIC = dev.NewNIC(m, dev.NICConfig{RxIRQ: 1, TxIRQ: 2, RingSize: 128})
 	s.Disk = dev.NewDisk(m, dev.DiskConfig{IRQ: 3, Latency: cfg.DiskLatency})
 	m.IRQ.SetHandler(1, func(hw.IRQLine) {
 		// In-kernel driver: reap and queue, no domain crossings.
-		m.CPU.Charge(NativeComponent, trace.KIRQ, 0)
+		m.CPU.Charge(s.comp, trace.KIRQ, 0)
 		for range s.NIC.ReapRx() {
-			m.CPU.Work(NativeComponent, 400)
+			m.CPU.Work(s.comp, 400)
 			s.rxQueue++
 		}
 		for s.NIC.PostedBuffers() < 32 {
@@ -527,8 +529,8 @@ func NewNativeStack(cfg Config) (*NativeStack, error) {
 			}
 		}
 	})
-	m.IRQ.SetHandler(2, func(hw.IRQLine) { m.CPU.Work(NativeComponent, 150) })
-	m.IRQ.SetHandler(3, func(hw.IRQLine) { m.CPU.Work(NativeComponent, 200) })
+	m.IRQ.SetHandler(2, func(hw.IRQLine) { m.CPU.Work(s.comp, 150) })
+	m.IRQ.SetHandler(3, func(hw.IRQLine) { m.CPU.Work(s.comp, 200) })
 	for i := 0; i < 32; i++ {
 		f, err := m.Mem.Alloc(NativeComponent)
 		if err != nil {
@@ -549,7 +551,7 @@ func (s *NativeStack) M() *hw.Machine { return s.Mach }
 func (s *NativeStack) Pump() {
 	for i := 0; i < 256; i++ {
 		n := s.Mach.Events.RunUntilIdle(1024)
-		n += s.Mach.IRQ.DispatchPending(NativeComponent)
+		n += s.Mach.IRQ.DispatchPending(s.comp)
 		if n == 0 {
 			break
 		}
@@ -559,9 +561,9 @@ func (s *NativeStack) Pump() {
 // syscall charges the native syscall path: one trap, kernel work, return.
 func (s *NativeStack) syscall(work hw.Cycles) {
 	s.Mach.CPU.SetRing(hw.Ring3)
-	s.Mach.CPU.Trap(NativeComponent, s.Mach.Arch.HasFastSyscall)
-	s.Mach.CPU.Work(NativeComponent, 150+work)
-	s.Mach.CPU.ReturnTo(NativeComponent, hw.Ring3)
+	s.Mach.CPU.Trap(s.comp, s.Mach.Arch.HasFastSyscall)
+	s.Mach.CPU.Work(s.comp, 150+work)
+	s.Mach.CPU.ReturnTo(s.comp, hw.Ring3)
 }
 
 // InjectPackets implements Platform.
@@ -572,7 +574,7 @@ func (s *NativeStack) InjectPackets(n, size, dest int) {
 			pkt[0] = byte(dest)
 		}
 		s.NIC.Inject(pkt)
-		s.Mach.IRQ.DispatchPending(NativeComponent)
+		s.Mach.IRQ.DispatchPending(s.comp)
 		s.Pump()
 	}
 }

@@ -1,5 +1,7 @@
 package hw
 
+import "vmmk/internal/trace"
+
 // Cache models the indirect cost of protection-domain switching that the
 // paper's minimality argument (§2.2) is really about: every domain has a
 // cache footprint, the cache has finite capacity, and re-entering a domain
@@ -117,7 +119,7 @@ func (c *CPU) AttachCache(cache *Cache) { c.cache = cache }
 // automatically when a cache is attached, and kernels may call it for
 // same-space handoffs that still displace cache state (e.g. a large server
 // running within a shared space).
-func (c *CPU) CacheRun(component string, asid uint16) {
+func (c *CPU) CacheRun(component trace.Comp, asid uint16) {
 	if c.cache == nil {
 		return
 	}

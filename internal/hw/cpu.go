@@ -109,14 +109,14 @@ func (c *CPU) Seg(r SegReg) Segment { return c.segs[r] }
 
 // Charge advances the clock by cost, attributes it to component and counts
 // kind. It is the single point through which all accounted events flow.
-func (c *CPU) Charge(component string, kind trace.Kind, cost Cycles) {
+func (c *CPU) Charge(component trace.Comp, kind trace.Kind, cost Cycles) {
 	c.Clock.Advance(cost)
 	c.Rec.Charge(uint64(c.Clock.Now()), kind, component, uint64(cost))
 }
 
 // Work advances the clock by cost and attributes it to component without
 // counting a kernel event — ordinary computation.
-func (c *CPU) Work(component string, cost Cycles) {
+func (c *CPU) Work(component trace.Comp, cost Cycles) {
 	c.Clock.Advance(cost)
 	c.Rec.ChargeCycles(component, uint64(cost))
 }
@@ -124,7 +124,7 @@ func (c *CPU) Work(component string, cost Cycles) {
 // Trap enters ring 0 from the current ring, charging kernel-entry cost to
 // component. fast selects the sysenter-style entry when the architecture
 // has one.
-func (c *CPU) Trap(component string, fast bool) {
+func (c *CPU) Trap(component trace.Comp, fast bool) {
 	cost := c.Arch.Costs.KernelEntry
 	if fast && c.Arch.HasFastSyscall {
 		cost = c.Arch.Costs.FastSyscall
@@ -135,14 +135,14 @@ func (c *CPU) Trap(component string, fast bool) {
 }
 
 // ReturnTo leaves ring 0 for the given ring, charging kernel-exit cost.
-func (c *CPU) ReturnTo(component string, p Priv) {
+func (c *CPU) ReturnTo(component trace.Comp, p Priv) {
 	c.ring = p
 	c.Charge(component, trace.KKernelExit, c.Arch.Costs.KernelExit)
 }
 
 // LoadSegment loads a segment register, charging descriptor-check cost. On
 // a non-segmented architecture it charges nothing and stores nothing.
-func (c *CPU) LoadSegment(component string, r SegReg, s Segment) {
+func (c *CPU) LoadSegment(component trace.Comp, r SegReg, s Segment) {
 	if !c.Arch.HasSegmentation {
 		return
 	}
@@ -174,7 +174,7 @@ func (c *CPU) SegmentsExclude(base uint64) bool {
 
 // SwitchSpace makes pt the active address space. On an untagged TLB this
 // costs a full flush; with ASIDs only the root write. Component is charged.
-func (c *CPU) SwitchSpace(component string, pt *PageTable) {
+func (c *CPU) SwitchSpace(component trace.Comp, pt *PageTable) {
 	if pt == c.pt {
 		return
 	}
@@ -190,13 +190,13 @@ func (c *CPU) SwitchSpace(component string, pt *PageTable) {
 
 // FlushTLB performs and charges a full TLB flush (shootdown after unmap,
 // page flip, etc.).
-func (c *CPU) FlushTLB(component string) {
+func (c *CPU) FlushTLB(component trace.Comp) {
 	c.TLB.FlushAll()
 	c.Charge(component, trace.KTLBFlush, c.Arch.Costs.TLBFlushAll)
 }
 
 // FlushTLBEntry invalidates one entry and charges the single-entry cost.
-func (c *CPU) FlushTLBEntry(component string, asid uint16, vpn VPN) {
+func (c *CPU) FlushTLBEntry(component trace.Comp, asid uint16, vpn VPN) {
 	c.TLB.FlushEntry(asid, vpn)
 	c.Work(component, c.Arch.Costs.TLBFlushEntry)
 }
@@ -230,7 +230,7 @@ func (r TranslateResult) String() string {
 // charging TLB-miss/page-walk costs to component. A failed translation is
 // the hardware half of a page fault; the caller (kernel) decides what
 // happens next.
-func (c *CPU) Translate(component string, vpn VPN, want Perm) (PTE, TranslateResult) {
+func (c *CPU) Translate(component trace.Comp, vpn VPN, want Perm) (PTE, TranslateResult) {
 	if c.pt == nil {
 		return PTE{}, XlateNoMapping
 	}

@@ -233,8 +233,8 @@ func TestConsole(t *testing.T) {
 	m := devMachine(t)
 	c := NewConsole(m)
 	before := m.Clock.Now()
-	c.Write("os", []byte("hello "))
-	c.Write("os", []byte("world"))
+	c.Write(m.Rec.Intern("os"), []byte("hello "))
+	c.Write(m.Rec.Intern("os"), []byte("world"))
 	if c.Contents() != "hello world" {
 		t.Fatalf("contents = %q", c.Contents())
 	}

@@ -44,6 +44,7 @@ type DiskCompletion struct {
 // end-to-end data integrity.
 type Disk struct {
 	m         *hw.Machine
+	comp      trace.Comp // "hw.disk", interned at construction
 	irq       hw.IRQLine
 	latency   hw.Cycles
 	blocks    uint64
@@ -70,7 +71,7 @@ func NewDisk(m *hw.Machine, cfg DiskConfig) *Disk {
 	if lat == 0 {
 		lat = 50000
 	}
-	return &Disk{m: m, irq: cfg.IRQ, latency: lat, blocks: blocks, store: make(map[uint64][]byte)}
+	return &Disk{m: m, comp: m.Rec.Intern("hw.disk"), irq: cfg.IRQ, latency: lat, blocks: blocks, store: make(map[uint64][]byte)}
 }
 
 // IRQ returns the completion interrupt line.
@@ -103,7 +104,7 @@ func (d *Disk) Submit(req DiskReq) {
 				copy(blk, d.m.Mem.Data(req.Frame))
 				d.store[req.Block] = blk
 			}
-			d.m.CPU.Rec.Charge(uint64(d.m.Clock.Now()), trace.KDMATransfer, "hw.disk", uint64(ps/8))
+			d.m.CPU.Rec.Charge(uint64(d.m.Clock.Now()), trace.KDMATransfer, d.comp, uint64(ps/8))
 			d.served++
 		}
 		d.completed = append(d.completed, DiskCompletion{Req: req, OK: ok})
@@ -192,7 +193,7 @@ type Console struct {
 func NewConsole(m *hw.Machine) *Console { return &Console{m: m} }
 
 // Write appends p to the console transcript, charging MMIO cost per chunk.
-func (c *Console) Write(component string, p []byte) {
+func (c *Console) Write(component trace.Comp, p []byte) {
 	c.m.CPU.Work(component, c.m.Arch.Costs.DeviceMMIO)
 	c.buf = append(c.buf, p...)
 }

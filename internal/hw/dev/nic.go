@@ -24,6 +24,7 @@ type Packet struct {
 // wire latency and raise the TX interrupt.
 type NIC struct {
 	m       *hw.Machine
+	comp    trace.Comp // "hw.nic", interned at construction
 	rxIRQ   hw.IRQLine
 	txIRQ   hw.IRQLine
 	wire    hw.Cycles // serialisation latency per packet
@@ -84,6 +85,7 @@ func NewNIC(m *hw.Machine, cfg NICConfig) *NIC {
 	}
 	return &NIC{
 		m:        m,
+		comp:     m.Rec.Intern("hw.nic"),
 		rxIRQ:    cfg.RxIRQ,
 		txIRQ:    cfg.TxIRQ,
 		wire:     wire,
@@ -130,7 +132,7 @@ func (n *NIC) Inject(data []byte) bool {
 	n.rxSeq++
 	n.completed = append(n.completed, RxCompletion{Frame: f, Len: nn, Seq: n.rxSeq})
 	words := hw.Cycles((nn + 7) / 8)
-	n.m.CPU.Rec.Charge(uint64(n.m.Clock.Now()), trace.KDMATransfer, "hw.nic", uint64(words*n.dmaWord))
+	n.m.CPU.Rec.Charge(uint64(n.m.Clock.Now()), trace.KDMATransfer, n.comp, uint64(words*n.dmaWord))
 	n.sinceIRQ++
 	if n.sinceIRQ >= n.coalesce {
 		n.sinceIRQ = 0
@@ -174,7 +176,7 @@ func (n *NIC) Transmit(f hw.FrameID, length int) {
 	data := make([]byte, length)
 	copy(data, n.m.Mem.Data(f))
 	words := hw.Cycles((length + 7) / 8)
-	n.m.CPU.Rec.Charge(uint64(n.m.Clock.Now()), trace.KDMATransfer, "hw.nic", uint64(words*n.dmaWord))
+	n.m.CPU.Rec.Charge(uint64(n.m.Clock.Now()), trace.KDMATransfer, n.comp, uint64(words*n.dmaWord))
 	n.txInFlight++
 	n.m.Events.ScheduleAfter(n.wire, "nic.tx-done", func() {
 		n.txInFlight--

@@ -344,7 +344,7 @@ func TestCPUTrapCharges(t *testing.T) {
 	m := testMachine(t)
 	m.CPU.SetRing(Ring3)
 	before := m.Now()
-	m.CPU.Trap("k", false)
+	m.CPU.Trap(m.Rec.Intern("k"), false)
 	if m.CPU.Ring() != Ring0 {
 		t.Fatal("trap did not enter ring0")
 	}
@@ -354,7 +354,7 @@ func TestCPUTrapCharges(t *testing.T) {
 	if m.Rec.Counts(trace.KTrap) != 1 {
 		t.Fatal("trap not recorded")
 	}
-	m.CPU.ReturnTo("k", Ring3)
+	m.CPU.ReturnTo(m.Rec.Intern("k"), Ring3)
 	if m.CPU.Ring() != Ring3 {
 		t.Fatal("return did not restore ring")
 	}
@@ -363,10 +363,10 @@ func TestCPUTrapCharges(t *testing.T) {
 func TestCPUFastTrapCheaper(t *testing.T) {
 	m := testMachine(t)
 	t0 := m.Now()
-	m.CPU.Trap("k", false)
+	m.CPU.Trap(m.Rec.Intern("k"), false)
 	slow := m.Now() - t0
 	t1 := m.Now()
-	m.CPU.Trap("k", true)
+	m.CPU.Trap(m.Rec.Intern("k"), true)
 	fast := m.Now() - t1
 	if fast >= slow {
 		t.Fatalf("fast syscall (%d) not cheaper than trap (%d)", fast, slow)
@@ -376,9 +376,9 @@ func TestCPUFastTrapCheaper(t *testing.T) {
 func TestCPUSwitchSpaceUntaggedFlushes(t *testing.T) {
 	m := testMachine(t) // x86: untagged
 	pt1, pt2 := NewPageTable(1), NewPageTable(2)
-	m.CPU.SwitchSpace("k", pt1)
+	m.CPU.SwitchSpace(m.Rec.Intern("k"), pt1)
 	m.CPU.TLB.Insert(1, 5, PTE{Frame: 1})
-	m.CPU.SwitchSpace("k", pt2)
+	m.CPU.SwitchSpace(m.Rec.Intern("k"), pt2)
 	if m.CPU.TLB.Len() != 0 {
 		t.Fatal("untagged switch must flush the TLB")
 	}
@@ -390,9 +390,9 @@ func TestCPUSwitchSpaceUntaggedFlushes(t *testing.T) {
 func TestCPUSwitchSpaceTaggedKeepsTLB(t *testing.T) {
 	m := NewMachine(ARM(), &MachineConfig{Frames: 16})
 	pt1, pt2 := NewPageTable(1), NewPageTable(2)
-	m.CPU.SwitchSpace("k", pt1)
+	m.CPU.SwitchSpace(m.Rec.Intern("k"), pt1)
 	m.CPU.TLB.Insert(1, 5, PTE{Frame: 1})
-	m.CPU.SwitchSpace("k", pt2)
+	m.CPU.SwitchSpace(m.Rec.Intern("k"), pt2)
 	if m.CPU.TLB.Len() != 1 {
 		t.Fatal("tagged switch should keep TLB contents")
 	}
@@ -401,9 +401,9 @@ func TestCPUSwitchSpaceTaggedKeepsTLB(t *testing.T) {
 func TestCPUSwitchSpaceSameIsFree(t *testing.T) {
 	m := testMachine(t)
 	pt := NewPageTable(1)
-	m.CPU.SwitchSpace("k", pt)
+	m.CPU.SwitchSpace(m.Rec.Intern("k"), pt)
 	before := m.Now()
-	m.CPU.SwitchSpace("k", pt)
+	m.CPU.SwitchSpace(m.Rec.Intern("k"), pt)
 	if m.Now() != before {
 		t.Fatal("re-switching to the current space must be free")
 	}
@@ -414,23 +414,23 @@ func TestCPUTranslate(t *testing.T) {
 	pt := NewPageTable(1)
 	f, _ := m.Mem.Alloc("a")
 	pt.Map(5, PTE{Frame: f, Perms: PermRW, User: true})
-	m.CPU.SwitchSpace("k", pt)
+	m.CPU.SwitchSpace(m.Rec.Intern("k"), pt)
 	m.CPU.SetRing(Ring3)
 
-	if _, res := m.CPU.Translate("a", 5, PermR); res != XlateOK {
+	if _, res := m.CPU.Translate(m.Rec.Intern("a"), 5, PermR); res != XlateOK {
 		t.Fatalf("first translate = %v, want ok (miss+refill)", res)
 	}
 	misses0 := m.Rec.Counts(trace.KTLBMiss)
-	if _, res := m.CPU.Translate("a", 5, PermW); res != XlateOK {
+	if _, res := m.CPU.Translate(m.Rec.Intern("a"), 5, PermW); res != XlateOK {
 		t.Fatal("second translate failed")
 	}
 	if m.Rec.Counts(trace.KTLBMiss) != misses0 {
 		t.Fatal("second translate should hit the TLB")
 	}
-	if _, res := m.CPU.Translate("a", 5, PermX); res != XlateProtection {
+	if _, res := m.CPU.Translate(m.Rec.Intern("a"), 5, PermX); res != XlateProtection {
 		t.Fatal("execute of rw- page should fault")
 	}
-	if _, res := m.CPU.Translate("a", 99, PermR); res != XlateNoMapping {
+	if _, res := m.CPU.Translate(m.Rec.Intern("a"), 99, PermR); res != XlateNoMapping {
 		t.Fatal("unmapped vpn should fault")
 	}
 }
@@ -439,14 +439,14 @@ func TestCPUTranslatePrivilege(t *testing.T) {
 	m := testMachine(t)
 	pt := NewPageTable(1)
 	pt.Map(5, PTE{Frame: 0, Perms: PermRW, User: false})
-	m.CPU.SwitchSpace("k", pt)
+	m.CPU.SwitchSpace(m.Rec.Intern("k"), pt)
 	m.CPU.SetRing(Ring3)
-	if _, res := m.CPU.Translate("a", 5, PermR); res != XlatePrivilege {
+	if _, res := m.CPU.Translate(m.Rec.Intern("a"), 5, PermR); res != XlatePrivilege {
 		t.Fatalf("user access to supervisor page = %v, want privilege fault", res)
 	}
 	m.CPU.SetRing(Ring0)
 	// Entry is now cached; kernel access must succeed.
-	if _, res := m.CPU.Translate("k", 5, PermR); res != XlateOK {
+	if _, res := m.CPU.Translate(m.Rec.Intern("k"), 5, PermR); res != XlateOK {
 		t.Fatal("kernel access to supervisor page failed")
 	}
 }
@@ -456,13 +456,13 @@ func TestSegmentsExclude(t *testing.T) {
 	const vmmBase = 0xFC00_0000
 	// Truncated segments that stop below the monitor: fast path legal.
 	for r := SegDS; r <= SegGS; r++ {
-		m.CPU.LoadSegment("g", r, Segment{Base: 0, Limit: vmmBase - 1, DPL: Ring3})
+		m.CPU.LoadSegment(m.Rec.Intern("g"), r, Segment{Base: 0, Limit: vmmBase - 1, DPL: Ring3})
 	}
 	if !m.CPU.SegmentsExclude(vmmBase) {
 		t.Fatal("truncated segments should exclude the monitor")
 	}
 	// glibc-TLS-style flat GS: violates the precondition.
-	m.CPU.LoadSegment("g", SegGS, Segment{Base: 0, Limit: ^uint64(0), DPL: Ring3})
+	m.CPU.LoadSegment(m.Rec.Intern("g"), SegGS, Segment{Base: 0, Limit: ^uint64(0), DPL: Ring3})
 	if m.CPU.SegmentsExclude(vmmBase) {
 		t.Fatal("flat GS must break the exclusion — this is the glibc incident")
 	}
@@ -484,14 +484,14 @@ func TestIRQDispatchOrderAndMask(t *testing.T) {
 	m.IRQ.Raise(5)
 	m.IRQ.Raise(2)
 	m.IRQ.Mask(5)
-	if n := m.IRQ.DispatchPending("k"); n != 1 {
+	if n := m.IRQ.DispatchPending(m.Rec.Intern("k")); n != 1 {
 		t.Fatalf("dispatched %d, want 1 (line 5 masked)", n)
 	}
 	if len(got) != 1 || got[0] != 2 {
 		t.Fatalf("got %v, want [2]", got)
 	}
 	m.IRQ.Unmask(5)
-	m.IRQ.DispatchPending("k")
+	m.IRQ.DispatchPending(m.Rec.Intern("k"))
 	if len(got) != 2 || got[1] != 5 {
 		t.Fatal("masked line lost its pending state")
 	}
@@ -500,7 +500,7 @@ func TestIRQDispatchOrderAndMask(t *testing.T) {
 func TestIRQSpurious(t *testing.T) {
 	m := testMachine(t)
 	m.IRQ.Raise(3) // no handler
-	m.IRQ.DispatchPending("k")
+	m.IRQ.DispatchPending(m.Rec.Intern("k"))
 	if _, spurious := m.IRQ.Stats(); spurious != 1 {
 		t.Fatalf("spurious = %d, want 1", spurious)
 	}

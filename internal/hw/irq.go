@@ -19,6 +19,7 @@ type Handler func(line IRQLine)
 // how the simulation serialises work and keeps traces deterministic.
 type IRQController struct {
 	cpu      *CPU
+	comp     trace.Comp // "hw.irq", interned at construction
 	lines    int
 	pending  []bool
 	masked   []bool
@@ -35,6 +36,7 @@ func NewIRQController(cpu *CPU, n int) *IRQController {
 	}
 	return &IRQController{
 		cpu:      cpu,
+		comp:     cpu.Rec.Intern("hw.irq"),
 		lines:    n,
 		pending:  make([]bool, n),
 		masked:   make([]bool, n),
@@ -69,7 +71,7 @@ func (ic *IRQController) Raise(line IRQLine) {
 	ic.check(line)
 	ic.raised++
 	ic.pending[line] = true
-	ic.cpu.Rec.Charge(uint64(ic.cpu.Clock.Now()), trace.KIRQ, "hw.irq", 0)
+	ic.cpu.Rec.Charge(uint64(ic.cpu.Clock.Now()), trace.KIRQ, ic.comp, 0)
 }
 
 // Pending reports whether a line is asserted.
@@ -91,7 +93,7 @@ func (ic *IRQController) AnyPending() bool {
 // DispatchPending delivers every unmasked pending line in ascending order,
 // charging dispatch cost to component per delivery. Lines without handlers
 // are counted as spurious and dropped. It returns the number delivered.
-func (ic *IRQController) DispatchPending(component string) int {
+func (ic *IRQController) DispatchPending(component trace.Comp) int {
 	n := 0
 	for i := 0; i < ic.lines; i++ {
 		if !ic.pending[i] || ic.masked[i] {

@@ -30,7 +30,7 @@ func newExcRig(t *testing.T) *excRig {
 		if msg.Label == LabelException {
 			r.seen = append(r.seen, int(msg.Words[0]))
 		}
-		k.M.CPU.Work("mk.excsrv", 150)
+		k.M.CPU.Work(k.M.Rec.Intern("mk.excsrv"), 150)
 		return Msg{Words: []uint64{r.verdict}}, nil
 	})
 	us, err := k.NewSpace("user", NilThread)

@@ -24,15 +24,15 @@ func (k *Kernel) Touch(tid ThreadID, vpn hw.VPN, want hw.Perm) (hw.PTE, error) {
 	if t == nil {
 		return hw.PTE{}, ErrNoSuchThread
 	}
-	k.M.CPU.SwitchSpace(t.Component(), t.Space.PT)
-	e, res := k.M.CPU.Translate(t.Component(), vpn, want)
+	k.M.CPU.SwitchSpace(t.comp, t.Space.PT)
+	e, res := k.M.CPU.Translate(t.comp, vpn, want)
 	if res == hw.XlateOK {
 		return e, nil
 	}
 	if err := k.handleFault(t, vpn, want); err != nil {
 		return hw.PTE{}, err
 	}
-	e, res = k.M.CPU.Translate(t.Component(), vpn, want)
+	e, res = k.M.CPU.Translate(t.comp, vpn, want)
 	if res != hw.XlateOK {
 		return hw.PTE{}, ErrPagerFailed
 	}
@@ -42,27 +42,27 @@ func (k *Kernel) Touch(tid ThreadID, vpn hw.VPN, want hw.Perm) (hw.PTE, error) {
 // handleFault runs the kernel fault path: enter the kernel, synthesise a
 // fault IPC to the pager, apply the pager's reply mapping.
 func (k *Kernel) handleFault(t *Thread, vpn hw.VPN, want hw.Perm) error {
-	k.M.CPU.Trap(KernelComponent, false) // faults always take the slow gate
-	k.M.CPU.Charge(KernelComponent, trace.KPageFault, k.M.Arch.Costs.PrivCheck)
+	k.M.CPU.Trap(k.comp, false) // faults always take the slow gate
+	k.M.CPU.Charge(k.comp, trace.KPageFault, k.M.Arch.Costs.PrivCheck)
 
 	pagerID := t.Space.Pager
 	if pagerID == NilThread {
-		k.M.CPU.ReturnTo(KernelComponent, hw.Ring3)
+		k.M.CPU.ReturnTo(k.comp, hw.Ring3)
 		return ErrNoPager
 	}
 	pager := k.threads[pagerID]
 	if pager == nil || pager.State == StateDead || pager.Space.Dead || pager.Handler == nil {
 		// Pager gone: the fault cannot be resolved. The faulting thread
 		// is the casualty; the kernel and everyone else survive.
-		k.M.CPU.ReturnTo(KernelComponent, hw.Ring3)
+		k.M.CPU.ReturnTo(k.comp, hw.Ring3)
 		return ErrNoPager
 	}
 
 	// Fault IPC: kernel-synthesised message on behalf of the faulter.
 	k.faultsIPCd++
-	k.M.CPU.Charge(KernelComponent, trace.KPagerFault, 30)
-	k.M.CPU.SwitchSpace(KernelComponent, pager.Space.PT)
-	k.M.CPU.ReturnTo(KernelComponent, hw.Ring3)
+	k.M.CPU.Charge(k.comp, trace.KPagerFault, 30)
+	k.M.CPU.SwitchSpace(k.comp, pager.Space.PT)
+	k.M.CPU.ReturnTo(k.comp, hw.Ring3)
 
 	k.callDepth++
 	reply, herr := pager.Handler(k, t.ID, Msg{
@@ -71,7 +71,7 @@ func (k *Kernel) handleFault(t *Thread, vpn hw.VPN, want hw.Perm) error {
 	})
 	k.callDepth--
 
-	k.M.CPU.Trap(KernelComponent, false)
+	k.M.CPU.Trap(k.comp, false)
 	if herr == nil && len(reply.Map) > 0 {
 		if merr := k.applyMapItems(pager.Space, t.Space, reply.Map); merr != nil {
 			herr = merr
@@ -79,8 +79,8 @@ func (k *Kernel) handleFault(t *Thread, vpn hw.VPN, want hw.Perm) error {
 	} else if herr == nil {
 		herr = ErrPagerFailed
 	}
-	k.M.CPU.SwitchSpace(KernelComponent, t.Space.PT)
-	k.M.CPU.ReturnTo(KernelComponent, hw.Ring3)
+	k.M.CPU.SwitchSpace(k.comp, t.Space.PT)
+	k.M.CPU.ReturnTo(k.comp, hw.Ring3)
 	return herr
 }
 
@@ -94,7 +94,7 @@ func (k *Kernel) SetExceptionHandler(s *Space, handler ThreadID) error {
 		return ErrNoSuchThread
 	}
 	s.ExcHandler = handler
-	k.M.CPU.Work(KernelComponent, 100)
+	k.M.CPU.Work(k.comp, 100)
 	return nil
 }
 
@@ -107,30 +107,30 @@ func (k *Kernel) RaiseException(tid ThreadID, vector int) (resumed bool, err err
 	if t == nil {
 		return false, ErrNoSuchThread
 	}
-	k.M.CPU.Trap(KernelComponent, false)
-	k.M.CPU.Work(KernelComponent, k.M.Arch.Costs.PrivCheck)
+	k.M.CPU.Trap(k.comp, false)
+	k.M.CPU.Work(k.comp, k.M.Arch.Costs.PrivCheck)
 
 	hid := t.Space.ExcHandler
 	handler := k.threads[hid]
 	if handler == nil || handler.State == StateDead || handler.Space.Dead || handler.Handler == nil {
 		// Unhandled: the faulter dies; nobody else is touched.
-		k.M.CPU.ReturnTo(KernelComponent, hw.Ring3)
+		k.M.CPU.ReturnTo(k.comp, hw.Ring3)
 		k.KillThread(tid)
 		return false, nil
 	}
 	// Exception IPC, kernel-synthesised on behalf of the faulter.
-	k.M.CPU.Charge(KernelComponent, trace.KIPCSend, 30)
-	k.M.CPU.SwitchSpace(KernelComponent, handler.Space.PT)
-	k.M.CPU.ReturnTo(KernelComponent, hw.Ring3)
+	k.M.CPU.Charge(k.comp, trace.KIPCSend, 30)
+	k.M.CPU.SwitchSpace(k.comp, handler.Space.PT)
+	k.M.CPU.ReturnTo(k.comp, hw.Ring3)
 	k.callDepth++
 	reply, herr := handler.Handler(k, tid, Msg{
 		Label: LabelException,
 		Words: []uint64{uint64(vector)},
 	})
 	k.callDepth--
-	k.M.CPU.Trap(KernelComponent, false)
-	k.M.CPU.SwitchSpace(KernelComponent, t.Space.PT)
-	k.M.CPU.ReturnTo(KernelComponent, hw.Ring3)
+	k.M.CPU.Trap(k.comp, false)
+	k.M.CPU.SwitchSpace(k.comp, t.Space.PT)
+	k.M.CPU.ReturnTo(k.comp, hw.Ring3)
 	if herr != nil || len(reply.Words) == 0 || reply.Words[0] == 0 {
 		k.KillThread(tid)
 		return false, nil
@@ -153,15 +153,15 @@ func (k *Kernel) RegisterIRQ(line hw.IRQLine, tid ThreadID) error {
 			return // driver died; interrupt is dropped, kernel unharmed
 		}
 		// Interrupt IPC: conceptually from the "hardware thread".
-		k.M.CPU.Charge(KernelComponent, trace.KIPCSend, 20)
+		k.M.CPU.Charge(k.comp, trace.KIPCSend, 20)
 		if t.Handler != nil {
 			prev := k.M.CPU.PageTable()
-			k.M.CPU.SwitchSpace(KernelComponent, t.Space.PT)
+			k.M.CPU.SwitchSpace(k.comp, t.Space.PT)
 			k.callDepth++
 			_, _ = t.Handler(k, NilThread, Msg{Label: LabelIRQ, Words: []uint64{uint64(l)}})
 			k.callDepth--
 			if prev != nil {
-				k.M.CPU.SwitchSpace(KernelComponent, prev)
+				k.M.CPU.SwitchSpace(k.comp, prev)
 			}
 		} else {
 			t.Inbox = append(t.Inbox, Envelope{From: NilThread, Msg: Msg{Label: LabelIRQ, Words: []uint64{uint64(l)}}})
@@ -169,7 +169,7 @@ func (k *Kernel) RegisterIRQ(line hw.IRQLine, tid ThreadID) error {
 		t.ipcIn++
 		k.ipcSends++
 	})
-	k.M.CPU.Work(KernelComponent, 100)
+	k.M.CPU.Work(k.comp, 100)
 	return nil
 }
 
@@ -184,7 +184,7 @@ func (k *Kernel) KillThread(tid ThreadID) {
 	t.Inbox = nil
 	t.Handler = nil
 	k.sched.remove(t)
-	k.M.Rec.Charge(uint64(k.M.Clock.Now()), trace.KFault, t.Component(), 0)
+	k.M.Rec.Charge(uint64(k.M.Clock.Now()), trace.KFault, t.comp, 0)
 }
 
 // KillSpace kills a whole protection domain: every thread in it dies and
@@ -201,7 +201,7 @@ func (k *Kernel) KillSpace(s *Space) {
 		}
 	}
 	s.PT.Each(func(v hw.VPN, _ hw.PTE) {})
-	k.M.Rec.Charge(uint64(k.M.Clock.Now()), trace.KFault, s.Component(), 0)
+	k.M.Rec.Charge(uint64(k.M.Clock.Now()), trace.KFault, s.comp, 0)
 }
 
 // Alive reports whether the thread exists and is not dead.

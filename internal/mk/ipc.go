@@ -59,16 +59,16 @@ func (k *Kernel) ipcTransferCost(msg Msg) error {
 	words := len(msg.Words)
 	if words <= arch.RegisterIPCWords {
 		// Short IPC: words ride in registers, no memory traffic.
-		k.M.CPU.Work(KernelComponent, 20)
+		k.M.CPU.Work(k.comp, 20)
 	} else {
 		extra := uint64(words-arch.RegisterIPCWords) * uint64(arch.WordBytes())
-		k.M.CPU.Work(KernelComponent, k.M.CPU.CopyCost(extra))
+		k.M.CPU.Work(k.comp, k.M.CPU.CopyCost(extra))
 	}
 	if len(msg.Data) > 0 {
 		if len(msg.Data) > maxStringTransfer {
 			return ErrMsgTooLarge
 		}
-		k.M.CPU.Charge(KernelComponent, trace.KIPCStringTransfer, k.M.CPU.CopyCost(uint64(len(msg.Data))))
+		k.M.CPU.Charge(k.comp, trace.KIPCStringTransfer, k.M.CPU.CopyCost(uint64(len(msg.Data))))
 	}
 	return nil
 }
@@ -90,13 +90,13 @@ func (k *Kernel) applyMapItems(src, dst *Space, items []MapItem) error {
 				return ErrPermDenied
 			}
 			dst.PT.Map(it.DstVPN+hw.VPN(i), hw.PTE{Frame: e.Frame, Perms: it.Perms, User: true})
-			k.M.CPU.Work(KernelComponent, k.M.Arch.Costs.PTEUpdate)
+			k.M.CPU.Work(k.comp, k.M.Arch.Costs.PTEUpdate)
 			srcNode := mapNode{space: src.ID, vpn: it.SrcVPN + hw.VPN(i)}
 			dstNode := mapNode{space: dst.ID, vpn: it.DstVPN + hw.VPN(i)}
 			if it.Grant {
 				src.PT.Unmap(it.SrcVPN + hw.VPN(i))
-				k.M.CPU.Work(KernelComponent, k.M.Arch.Costs.PTEUpdate)
-				k.M.CPU.FlushTLBEntry(KernelComponent, uint16(src.ID), it.SrcVPN+hw.VPN(i))
+				k.M.CPU.Work(k.comp, k.M.Arch.Costs.PTEUpdate)
+				k.M.CPU.FlushTLBEntry(k.comp, uint16(src.ID), it.SrcVPN+hw.VPN(i))
 				// Frame accounting follows the grant, and the sender's
 				// node leaves the derivation tree: a gift carries no
 				// revocation authority.
@@ -108,7 +108,7 @@ func (k *Kernel) applyMapItems(src, dst *Space, items []MapItem) error {
 				k.mapdb.record(srcNode, dstNode)
 			}
 		}
-		k.M.CPU.Charge(KernelComponent, trace.KIPCMapTransfer, 0)
+		k.M.CPU.Charge(k.comp, trace.KIPCMapTransfer, 0)
 	}
 	return nil
 }
@@ -122,17 +122,17 @@ func (k *Kernel) ipcPreamble(from, to ThreadID) (*Thread, *Thread, error) {
 		return nil, nil, ErrNoSuchThread
 	}
 	// Kernel entry from the sender's context.
-	k.M.CPU.Trap(KernelComponent, k.M.Arch.HasFastSyscall)
-	k.M.CPU.Work(KernelComponent, k.M.Arch.Costs.PrivCheck) // validate partner ID / rights
+	k.M.CPU.Trap(k.comp, k.M.Arch.HasFastSyscall)
+	k.M.CPU.Work(k.comp, k.M.Arch.Costs.PrivCheck) // validate partner ID / rights
 	if !k.ipcAllowed(from, to) {
-		k.M.CPU.ReturnTo(KernelComponent, hw.Ring3)
+		k.M.CPU.ReturnTo(k.comp, hw.Ring3)
 		return nil, nil, ErrIPCDenied
 	}
 	if dst.State == StateDead || dst.Space.Dead {
 		// The kernel stays correct; the failure is confined to the
 		// caller, which receives an error exactly as the paper's §3.1
 		// describes for a failed user-level server.
-		k.M.CPU.ReturnTo(KernelComponent, hw.Ring3)
+		k.M.CPU.ReturnTo(k.comp, hw.Ring3)
 		return nil, nil, ErrDeadPartner
 	}
 	return src, dst, nil
@@ -148,29 +148,29 @@ func (k *Kernel) Call(from, to ThreadID, msg Msg) (Msg, error) {
 		return Msg{}, err
 	}
 	if dst.Handler == nil {
-		k.M.CPU.ReturnTo(KernelComponent, hw.Ring3)
+		k.M.CPU.ReturnTo(k.comp, hw.Ring3)
 		return Msg{}, ErrNotResponding
 	}
 	if k.callDepth >= maxCallDepth {
-		k.M.CPU.ReturnTo(KernelComponent, hw.Ring3)
+		k.M.CPU.ReturnTo(k.comp, hw.Ring3)
 		return Msg{}, ErrCallDepth
 	}
 
 	if err := k.ipcTransferCost(msg); err != nil {
-		k.M.CPU.ReturnTo(KernelComponent, hw.Ring3)
+		k.M.CPU.ReturnTo(k.comp, hw.Ring3)
 		return Msg{}, err
 	}
 	if len(msg.Map) > 0 {
 		if err := k.applyMapItems(src.Space, dst.Space, msg.Map); err != nil {
-			k.M.CPU.ReturnTo(KernelComponent, hw.Ring3)
+			k.M.CPU.ReturnTo(k.comp, hw.Ring3)
 			return Msg{}, err
 		}
 	}
 
 	// Control transfer: switch to the server's space and drop to user.
-	k.M.CPU.SwitchSpace(KernelComponent, dst.Space.PT)
-	k.M.CPU.Charge(KernelComponent, trace.KIPCCall, k.M.Arch.Costs.CtxSave)
-	k.M.CPU.ReturnTo(KernelComponent, hw.Ring3)
+	k.M.CPU.SwitchSpace(k.comp, dst.Space.PT)
+	k.M.CPU.Charge(k.comp, trace.KIPCCall, k.M.Arch.Costs.CtxSave)
+	k.M.CPU.ReturnTo(k.comp, hw.Ring3)
 
 	src.ipcOut++
 	dst.ipcIn++
@@ -181,7 +181,7 @@ func (k *Kernel) Call(from, to ThreadID, msg Msg) (Msg, error) {
 	k.callDepth--
 
 	// Reply path: kernel entry from the server, transfer, switch back.
-	k.M.CPU.Trap(KernelComponent, k.M.Arch.HasFastSyscall)
+	k.M.CPU.Trap(k.comp, k.M.Arch.HasFastSyscall)
 	if herr == nil {
 		if terr := k.ipcTransferCost(reply); terr != nil {
 			herr = terr
@@ -191,9 +191,9 @@ func (k *Kernel) Call(from, to ThreadID, msg Msg) (Msg, error) {
 			}
 		}
 	}
-	k.M.CPU.SwitchSpace(KernelComponent, src.Space.PT)
-	k.M.CPU.Work(KernelComponent, k.M.Arch.Costs.CtxSave)
-	k.M.CPU.ReturnTo(KernelComponent, hw.Ring3)
+	k.M.CPU.SwitchSpace(k.comp, src.Space.PT)
+	k.M.CPU.Work(k.comp, k.M.Arch.Costs.CtxSave)
+	k.M.CPU.ReturnTo(k.comp, hw.Ring3)
 
 	if herr != nil {
 		return Msg{}, herr
@@ -211,23 +211,23 @@ func (k *Kernel) Send(from, to ThreadID, msg Msg) error {
 		return err
 	}
 	if err := k.ipcTransferCost(msg); err != nil {
-		k.M.CPU.ReturnTo(KernelComponent, hw.Ring3)
+		k.M.CPU.ReturnTo(k.comp, hw.Ring3)
 		return err
 	}
 	if len(msg.Map) > 0 {
 		if err := k.applyMapItems(src.Space, dst.Space, msg.Map); err != nil {
-			k.M.CPU.ReturnTo(KernelComponent, hw.Ring3)
+			k.M.CPU.ReturnTo(k.comp, hw.Ring3)
 			return err
 		}
 	}
 	src.ipcOut++
 	dst.ipcIn++
 	k.ipcSends++
-	k.M.CPU.Charge(KernelComponent, trace.KIPCSend, 10)
+	k.M.CPU.Charge(k.comp, trace.KIPCSend, 10)
 
 	if dst.Handler != nil {
-		k.M.CPU.SwitchSpace(KernelComponent, dst.Space.PT)
-		k.M.CPU.ReturnTo(KernelComponent, hw.Ring3)
+		k.M.CPU.SwitchSpace(k.comp, dst.Space.PT)
+		k.M.CPU.ReturnTo(k.comp, hw.Ring3)
 		if k.callDepth >= maxCallDepth {
 			return ErrCallDepth
 		}
@@ -237,13 +237,13 @@ func (k *Kernel) Send(from, to ThreadID, msg Msg) error {
 		// One-way: handler errors do not propagate to the sender, but a
 		// crash of the handler is a real event.
 		_ = herr
-		k.M.CPU.Trap(KernelComponent, k.M.Arch.HasFastSyscall)
-		k.M.CPU.SwitchSpace(KernelComponent, src.Space.PT)
-		k.M.CPU.ReturnTo(KernelComponent, hw.Ring3)
+		k.M.CPU.Trap(k.comp, k.M.Arch.HasFastSyscall)
+		k.M.CPU.SwitchSpace(k.comp, src.Space.PT)
+		k.M.CPU.ReturnTo(k.comp, hw.Ring3)
 		return nil
 	}
 	dst.Inbox = append(dst.Inbox, Envelope{From: from, Msg: msg.clone()})
-	k.M.CPU.ReturnTo(KernelComponent, hw.Ring3)
+	k.M.CPU.ReturnTo(k.comp, hw.Ring3)
 	return nil
 }
 
@@ -256,10 +256,10 @@ func (k *Kernel) Receive(tid ThreadID) (Envelope, bool) {
 	if t == nil || len(t.Inbox) == 0 {
 		return Envelope{}, false
 	}
-	k.M.CPU.Trap(KernelComponent, k.M.Arch.HasFastSyscall)
+	k.M.CPU.Trap(k.comp, k.M.Arch.HasFastSyscall)
 	env := t.Inbox[0]
 	t.Inbox = t.Inbox[1:]
-	k.M.CPU.Charge(KernelComponent, trace.KIPCReceive, 10)
-	k.M.CPU.ReturnTo(KernelComponent, hw.Ring3)
+	k.M.CPU.Charge(k.comp, trace.KIPCReceive, 10)
+	k.M.CPU.ReturnTo(k.comp, hw.Ring3)
 	return env, true
 }

@@ -23,6 +23,7 @@ import (
 	"errors"
 
 	"vmmk/internal/hw"
+	"vmmk/internal/trace"
 )
 
 // ThreadID names a thread. The kernel component itself uses thread ID 0,
@@ -61,6 +62,8 @@ const maxCallDepth = 16
 type Kernel struct {
 	M *hw.Machine
 
+	comp trace.Comp // KernelComponent, interned at boot
+
 	threads map[ThreadID]*Thread
 	spaces  map[SpaceID]*Space
 
@@ -86,6 +89,7 @@ type Kernel struct {
 func New(m *hw.Machine) *Kernel {
 	k := &Kernel{
 		M:        m,
+		comp:     m.Rec.Intern(KernelComponent),
 		threads:  make(map[ThreadID]*Thread),
 		spaces:   make(map[SpaceID]*Space),
 		nextTID:  1,
@@ -96,7 +100,7 @@ func New(m *hw.Machine) *Kernel {
 	k.mapdb = newMapDB()
 	k.rights = newRightsTable()
 	// Boot cost: set up kernel space, IDT-equivalent, etc.
-	m.CPU.Work(KernelComponent, 5000)
+	m.CPU.Work(k.comp, 5000)
 	return k
 }
 
@@ -112,10 +116,15 @@ type Space struct {
 	// the faulting thread.
 	ExcHandler ThreadID
 	Dead       bool
+
+	comp trace.Comp // "mk."+Name, interned at creation
 }
 
 // Component returns the trace attribution name for work done in the space.
 func (s *Space) Component() string { return "mk." + s.Name }
+
+// Comp returns the space's interned trace attribution handle.
+func (s *Space) Comp() trace.Comp { return s.comp }
 
 // NewSpace creates an empty address space. Pager may be NilThread for
 // spaces that must never fault (drivers with pinned memory).
@@ -128,10 +137,11 @@ func (k *Kernel) NewSpace(name string, pager ThreadID) (*Space, error) {
 		Name:  name,
 		PT:    hw.NewPageTable(uint16(k.nextASID)),
 		Pager: pager,
+		comp:  k.M.Rec.Intern("mk." + name),
 	}
 	k.nextASID++
 	k.spaces[s.ID] = s
-	k.M.CPU.Work(KernelComponent, 300) // space construction
+	k.M.CPU.Work(k.comp, 300) // space construction
 	return s, nil
 }
 
@@ -176,6 +186,8 @@ type Thread struct {
 
 	ipcIn  uint64
 	ipcOut uint64
+
+	comp trace.Comp // "mk."+Name, interned at creation
 }
 
 // Envelope is a queued one-way message.
@@ -187,6 +199,9 @@ type Envelope struct {
 // Component returns the thread's trace attribution name.
 func (t *Thread) Component() string { return "mk." + t.Name }
 
+// Comp returns the thread's interned trace attribution handle.
+func (t *Thread) Comp() trace.Comp { return t.comp }
+
 // NewThread creates a thread in space with the given priority and handler
 // (nil for pure client threads that only originate IPC).
 func (k *Kernel) NewThread(space *Space, name string, prio int, h Handler) *Thread {
@@ -197,13 +212,17 @@ func (k *Kernel) NewThread(space *Space, name string, prio int, h Handler) *Thre
 		Prio:    prio,
 		State:   StateReady,
 		Handler: h,
+		comp:    k.M.Rec.Intern("mk." + name),
 	}
 	k.nextTID++
 	k.threads[t.ID] = t
 	k.sched.add(t)
-	k.M.CPU.Work(KernelComponent, 400) // TCB allocation and setup
+	k.M.CPU.Work(k.comp, 400) // TCB allocation and setup
 	return t
 }
+
+// Comp returns the kernel's interned trace attribution handle.
+func (k *Kernel) Comp() trace.Comp { return k.comp }
 
 // Thread returns the thread for id, or nil.
 func (k *Kernel) Thread(id ThreadID) *Thread { return k.threads[id] }
@@ -225,7 +244,7 @@ func (k *Kernel) Threads() int {
 // any derivation recorded for it.
 func (k *Kernel) MapPage(s *Space, vpn hw.VPN, f hw.FrameID, perms hw.Perm) {
 	s.PT.Map(vpn, hw.PTE{Frame: f, Perms: perms, User: true})
-	k.M.CPU.Work(KernelComponent, k.M.Arch.Costs.PTEUpdate)
+	k.M.CPU.Work(k.comp, k.M.Arch.Costs.PTEUpdate)
 	k.mapdb.drop(mapNode{space: s.ID, vpn: vpn})
 }
 
@@ -233,8 +252,8 @@ func (k *Kernel) MapPage(s *Space, vpn hw.VPN, f hw.FrameID, perms hw.Perm) {
 // mappings in other spaces survive (use UnmapRecursive to revoke them).
 func (k *Kernel) UnmapPage(s *Space, vpn hw.VPN) {
 	s.PT.Unmap(vpn)
-	k.M.CPU.Work(KernelComponent, k.M.Arch.Costs.PTEUpdate)
-	k.M.CPU.FlushTLBEntry(KernelComponent, uint16(s.ID), vpn)
+	k.M.CPU.Work(k.comp, k.M.Arch.Costs.PTEUpdate)
+	k.M.CPU.FlushTLBEntry(k.comp, uint16(s.ID), vpn)
 	k.mapdb.drop(mapNode{space: s.ID, vpn: vpn})
 }
 
@@ -258,7 +277,7 @@ func (k *Kernel) PumpIO(maxRounds int) int {
 	total := 0
 	for round := 0; round < maxRounds; round++ {
 		n := k.M.Events.RunUntilIdle(1024)
-		n += k.M.IRQ.DispatchPending(KernelComponent)
+		n += k.M.IRQ.DispatchPending(k.comp)
 		total += n
 		if n == 0 {
 			break

@@ -103,8 +103,8 @@ func (k *Kernel) UnmapRecursive(s *Space, vpn hw.VPN, revokeSelf bool) int {
 		if vs != nil {
 			if _, ok := vs.PT.Lookup(v.vpn); ok {
 				vs.PT.Unmap(v.vpn)
-				k.M.CPU.Work(KernelComponent, k.M.Arch.Costs.PTEUpdate)
-				k.M.CPU.FlushTLBEntry(KernelComponent, uint16(vs.ID), v.vpn)
+				k.M.CPU.Work(k.comp, k.M.Arch.Costs.PTEUpdate)
+				k.M.CPU.FlushTLBEntry(k.comp, uint16(vs.ID), v.vpn)
 				n++
 			}
 		}
@@ -113,8 +113,8 @@ func (k *Kernel) UnmapRecursive(s *Space, vpn hw.VPN, revokeSelf bool) int {
 	if revokeSelf {
 		if _, ok := s.PT.Lookup(vpn); ok {
 			s.PT.Unmap(vpn)
-			k.M.CPU.Work(KernelComponent, k.M.Arch.Costs.PTEUpdate)
-			k.M.CPU.FlushTLBEntry(KernelComponent, uint16(s.ID), vpn)
+			k.M.CPU.Work(k.comp, k.M.Arch.Costs.PTEUpdate)
+			k.M.CPU.FlushTLBEntry(k.comp, uint16(s.ID), vpn)
 			n++
 		}
 		k.mapdb.drop(root)

@@ -32,7 +32,7 @@ func newRig(t testing.TB, arch *hw.Arch) *rig {
 	}
 	client := k.NewThread(cs, "client", 1, nil)
 	server := k.NewThread(ss, "server", 2, func(k *Kernel, from ThreadID, msg Msg) (Msg, error) {
-		k.M.CPU.Work("mk.server", 100) // pretend to do something
+		k.M.CPU.Work(k.M.Rec.Intern("mk.server"), 100) // pretend to do something
 		return Msg{Label: msg.Label + 1, Words: msg.Words, Data: msg.Data}, nil
 	})
 	return &rig{m: m, k: k, client: client, server: server}
@@ -370,7 +370,7 @@ func TestIRQDeliveredAsIPC(t *testing.T) {
 		t.Fatal(err)
 	}
 	m.IRQ.Raise(5)
-	m.IRQ.DispatchPending(KernelComponent)
+	m.IRQ.DispatchPending(m.Rec.Intern(KernelComponent))
 	if gotLine != 5 {
 		t.Fatalf("driver saw line %d, want 5", gotLine)
 	}
@@ -391,7 +391,7 @@ func TestIRQToDeadDriverDropped(t *testing.T) {
 	k.RegisterIRQ(5, drv.ID)
 	k.KillThread(drv.ID)
 	m.IRQ.Raise(5)
-	m.IRQ.DispatchPending(KernelComponent) // must not panic or invoke
+	m.IRQ.DispatchPending(m.Rec.Intern(KernelComponent)) // must not panic or invoke
 }
 
 func TestKillSpaceKillsAllItsThreads(t *testing.T) {

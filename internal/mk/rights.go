@@ -31,7 +31,7 @@ func (k *Kernel) RestrictIPC(sender ThreadID) error {
 	if k.rights.allowed[sender] == nil {
 		k.rights.allowed[sender] = make(map[ThreadID]bool)
 	}
-	k.M.CPU.Work(KernelComponent, 100)
+	k.M.CPU.Work(k.comp, 100)
 	return nil
 }
 
@@ -45,7 +45,7 @@ func (k *Kernel) AllowIPC(sender, receiver ThreadID) error {
 		k.rights.allowed[sender] = make(map[ThreadID]bool)
 	}
 	k.rights.allowed[sender][receiver] = true
-	k.M.CPU.Work(KernelComponent, 100)
+	k.M.CPU.Work(k.comp, 100)
 	return nil
 }
 
@@ -53,7 +53,7 @@ func (k *Kernel) AllowIPC(sender, receiver ThreadID) error {
 func (k *Kernel) RevokeIPC(sender, receiver ThreadID) {
 	if wl := k.rights.allowed[sender]; wl != nil {
 		delete(wl, receiver)
-		k.M.CPU.Work(KernelComponent, 80)
+		k.M.CPU.Work(k.comp, 80)
 	}
 }
 

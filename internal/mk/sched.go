@@ -66,17 +66,17 @@ func (s *scheduler) pick() *Thread {
 // switch to the next ready thread, charging the switch. It returns the
 // chosen thread (nil if none ready).
 func (k *Kernel) Schedule() *Thread {
-	k.M.CPU.Trap(KernelComponent, false)
-	k.M.IRQ.DispatchPending(KernelComponent)
+	k.M.CPU.Trap(k.comp, false)
+	k.M.IRQ.DispatchPending(k.comp)
 	next := k.sched.pick()
 	if next != nil && next != k.sched.current {
 		k.sched.switches++
-		k.M.CPU.Charge(KernelComponent, trace.KContextSwitch, k.M.Arch.Costs.CtxSave)
-		k.M.CPU.SwitchSpace(KernelComponent, next.Space.PT)
+		k.M.CPU.Charge(k.comp, trace.KContextSwitch, k.M.Arch.Costs.CtxSave)
+		k.M.CPU.SwitchSpace(k.comp, next.Space.PT)
 		k.sched.current = next
 	}
-	k.M.CPU.Charge(KernelComponent, trace.KSchedule, 50)
-	k.M.CPU.ReturnTo(KernelComponent, hw.Ring3)
+	k.M.CPU.Charge(k.comp, trace.KSchedule, 50)
+	k.M.CPU.ReturnTo(k.comp, hw.Ring3)
 	return next
 }
 

@@ -3,6 +3,7 @@ package mkos
 import (
 	"vmmk/internal/hw/dev"
 	"vmmk/internal/mk"
+	"vmmk/internal/trace"
 )
 
 // BlkDriver is the user-level disk driver server: one thread owning the
@@ -54,17 +55,20 @@ func NewBlkDriver(k *mk.Kernel, disk *dev.Disk) (*BlkDriver, error) {
 // Component returns the driver's trace attribution name.
 func (d *BlkDriver) Component() string { return d.Thread.Component() }
 
+// Comp returns the server's interned trace attribution handle.
+func (d *BlkDriver) Comp() trace.Comp { return d.Thread.Comp() }
+
 // GrantPartition assigns a fresh partition of size blocks to a client
 // thread (an OS server or the storage server).
 func (d *BlkDriver) GrantPartition(client mk.ThreadID, size uint64) {
 	d.parts[client] = &partition{base: d.nextBase, size: size}
 	d.nextBase += size
-	d.K.M.CPU.Work(d.Component(), 200)
+	d.K.M.CPU.Work(d.Comp(), 200)
 }
 
 // handle serves IRQ IPCs and client read/write calls.
 func (d *BlkDriver) handle(k *mk.Kernel, from mk.ThreadID, msg mk.Msg) (mk.Msg, error) {
-	comp := d.Component()
+	comp := d.Comp()
 	switch msg.Label {
 	case mk.LabelIRQ:
 		for _, c := range d.Disk.Reap() {
@@ -88,7 +92,7 @@ func (d *BlkDriver) handle(k *mk.Kernel, from mk.ThreadID, msg mk.Msg) (mk.Msg, 
 			return mk.Msg{}, ErrBadRequest
 		}
 		k.M.CPU.Work(comp, 300) // request validation, translation
-		f, err := k.M.Mem.Alloc(comp)
+		f, err := k.M.Mem.Alloc(d.Component())
 		if err != nil {
 			return mk.Msg{}, err
 		}

@@ -2,6 +2,7 @@ package mkos
 
 import (
 	"vmmk/internal/mk"
+	"vmmk/internal/trace"
 )
 
 // KVServer is the "minimal extension" of §2.2's complexity argument: a
@@ -42,10 +43,13 @@ func NewKVServer(k *mk.Kernel) (*KVServer, error) {
 // Component returns the server's trace attribution name.
 func (s *KVServer) Component() string { return s.Thread.Component() }
 
+// Comp returns the server's interned trace attribution handle.
+func (s *KVServer) Comp() trace.Comp { return s.Thread.Comp() }
+
 // handle serves get/put/delete. Keys ride in msg.Data up to the first NUL;
 // values follow it.
 func (s *KVServer) handle(k *mk.Kernel, from mk.ThreadID, msg mk.Msg) (mk.Msg, error) {
-	comp := s.Component()
+	comp := s.Comp()
 	k.M.CPU.Work(comp, 200) // hash, lookup
 	key, value := splitKV(msg.Data)
 	switch msg.Label {

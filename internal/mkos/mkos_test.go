@@ -62,7 +62,7 @@ func (s *mstack) pump() { s.k.PumpIO(64) }
 
 func (s *mstack) inject(size int) {
 	s.nic.Inject(make([]byte, size))
-	s.m.IRQ.DispatchPending(mk.KernelComponent)
+	s.m.IRQ.DispatchPending(s.m.Rec.Intern(mk.KernelComponent))
 }
 
 func TestSyscallGetPID(t *testing.T) {
@@ -385,7 +385,7 @@ func TestRxDemuxToMultipleOSServers(t *testing.T) {
 	s.nic.Inject([]byte{0, 0})
 	s.nic.Inject([]byte{1, 0})
 	s.nic.Inject([]byte{1, 0})
-	s.m.IRQ.DispatchPending(mk.KernelComponent)
+	s.m.IRQ.DispatchPending(s.m.Rec.Intern(mk.KernelComponent))
 	s.pump()
 	if s.os.PendingRx() != 1 {
 		t.Fatalf("os1 pending = %d, want 1", s.os.PendingRx())
@@ -462,7 +462,7 @@ func TestCrossArchStackBoots(t *testing.T) {
 				t.Fatal(err)
 			}
 			nic.Inject(make([]byte, 256))
-			m.IRQ.DispatchPending(mk.KernelComponent)
+			m.IRQ.DispatchPending(m.Rec.Intern(mk.KernelComponent))
 			k.PumpIO(16)
 			if osrv.PendingRx() != 1 {
 				t.Fatal("packet lost")

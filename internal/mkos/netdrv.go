@@ -4,6 +4,7 @@ import (
 	"vmmk/internal/hw"
 	"vmmk/internal/hw/dev"
 	"vmmk/internal/mk"
+	"vmmk/internal/trace"
 )
 
 // RxMode selects how the driver moves received packets to a client OS
@@ -78,6 +79,9 @@ func NewNetDriver(k *mk.Kernel, nic *dev.NIC) (*NetDriver, error) {
 // Component returns the driver's trace attribution name.
 func (d *NetDriver) Component() string { return d.Thread.Component() }
 
+// Comp returns the server's interned trace attribution handle.
+func (d *NetDriver) Comp() trace.Comp { return d.Thread.Comp() }
+
 // Attach connects an OS server as a packet client; packets whose first byte
 // selects this client's index are delivered to it.
 func (d *NetDriver) Attach(os *OSServer) *NetClient {
@@ -94,7 +98,7 @@ func (d *NetDriver) replenish() {
 		if err != nil {
 			return
 		}
-		d.K.M.CPU.Work(d.Component(), 120)
+		d.K.M.CPU.Work(d.Comp(), 120)
 		if !d.NIC.PostRxBuffer(f) {
 			d.K.M.Mem.Free(f)
 			return
@@ -114,7 +118,7 @@ func (d *NetDriver) handle(k *mk.Kernel, from mk.ThreadID, msg mk.Msg) (mk.Msg, 
 		case d.NIC.RxIRQ():
 			d.rx(k)
 		case d.NIC.TxIRQ():
-			k.M.CPU.Work(d.Component(), 150) // reap TX descriptors
+			k.M.CPU.Work(d.Comp(), 150) // reap TX descriptors
 		}
 		return mk.Msg{}, nil
 	case LabelNetTx:
@@ -125,9 +129,9 @@ func (d *NetDriver) handle(k *mk.Kernel, from mk.ThreadID, msg mk.Msg) (mk.Msg, 
 
 // tx stages a client payload into a driver frame and programs the NIC.
 func (d *NetDriver) tx(k *mk.Kernel, msg mk.Msg) (mk.Msg, error) {
-	comp := d.Component()
+	comp := d.Comp()
 	k.M.CPU.Work(comp, 350) // driver TX path
-	f, err := k.M.Mem.Alloc(comp)
+	f, err := k.M.Mem.Alloc(d.Component())
 	if err != nil {
 		return mk.Msg{}, err
 	}
@@ -142,7 +146,7 @@ func (d *NetDriver) tx(k *mk.Kernel, msg mk.Msg) (mk.Msg, error) {
 
 // rx drains the NIC and forwards each packet to its client via IPC.
 func (d *NetDriver) rx(k *mk.Kernel) {
-	comp := d.Component()
+	comp := d.Comp()
 	for _, c := range d.NIC.ReapRx() {
 		d.rxHandled++
 		k.M.CPU.Work(comp, 400) // driver RX path: demux, checksum

@@ -17,6 +17,7 @@ import (
 	"vmmk/internal/fslite"
 	"vmmk/internal/hw"
 	"vmmk/internal/mk"
+	"vmmk/internal/trace"
 )
 
 // PID identifies a process of the OS server.
@@ -119,6 +120,9 @@ func NewOSServer(k *mk.Kernel, name string) (*OSServer, error) {
 // Component returns the server's trace attribution name.
 func (os *OSServer) Component() string { return os.Thread.Component() }
 
+// Comp returns the server's interned trace attribution handle.
+func (os *OSServer) Comp() trace.Comp { return os.Thread.Comp() }
+
 // SetSyscallWork tunes the modelled per-syscall in-server work.
 func (os *OSServer) SetSyscallWork(c hw.Cycles) { os.syscallWork = c }
 
@@ -134,7 +138,7 @@ func (os *OSServer) Spawn(name string) (*Proc, error) {
 	os.nextPID++
 	os.procs[p.PID] = p
 	os.byTID[t.ID] = p
-	os.K.M.CPU.Work(os.Component(), 500)
+	os.K.M.CPU.Work(os.Comp(), 500)
 	return p, nil
 }
 
@@ -161,7 +165,7 @@ func (os *OSServer) Syscall(pid PID, no uint32, args ...uint64) ([]uint64, error
 // packet deliveries from the net driver, and page faults from its
 // processes (the server is their external pager).
 func (os *OSServer) handle(k *mk.Kernel, from mk.ThreadID, msg mk.Msg) (mk.Msg, error) {
-	comp := os.Component()
+	comp := os.Comp()
 	switch msg.Label {
 	case mk.LabelPageFault:
 		return os.handleFault(k, from, msg)
@@ -182,13 +186,13 @@ func (os *OSServer) handle(k *mk.Kernel, from mk.ThreadID, msg mk.Msg) (mk.Msg, 
 // allocate backing, map it into the server's window, delegate to the
 // faulter. This is the external-pager protocol of §3.1.
 func (os *OSServer) handleFault(k *mk.Kernel, from mk.ThreadID, msg mk.Msg) (mk.Msg, error) {
-	comp := os.Component()
+	comp := os.Comp()
 	k.M.CPU.Work(comp, 400) // vm_area lookup, policy
 	if len(msg.Words) < 2 {
 		return mk.Msg{}, ErrBadRequest
 	}
 	vpn := hw.VPN(msg.Words[0])
-	f, err := k.M.Mem.Alloc(comp)
+	f, err := k.M.Mem.Alloc(os.Component())
 	if err != nil {
 		return mk.Msg{}, err
 	}
@@ -205,7 +209,7 @@ func errno(v uint64) mk.Msg { return mk.Msg{Words: []uint64{v}} }
 
 // handleSyscall dispatches one system call inside the OS server.
 func (os *OSServer) handleSyscall(k *mk.Kernel, from mk.ThreadID, msg mk.Msg) (mk.Msg, error) {
-	comp := os.Component()
+	comp := os.Comp()
 	k.M.CPU.Work(comp, os.syscallWork)
 	if len(msg.Words) == 0 {
 		return mk.Msg{}, ErrBadRequest

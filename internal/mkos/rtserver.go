@@ -6,6 +6,7 @@ import (
 
 	"vmmk/internal/hw"
 	"vmmk/internal/mk"
+	"vmmk/internal/trace"
 )
 
 // RTServer is a DROPS-style real-time service running beside the
@@ -74,6 +75,9 @@ func NewRTServer(k *mk.Kernel, timerLine hw.IRQLine, tickInterval hw.Cycles, uti
 // Component returns the server's trace attribution name.
 func (s *RTServer) Component() string { return s.Thread.Component() }
 
+// Comp returns the server's interned trace attribution handle.
+func (s *RTServer) Comp() trace.Comp { return s.Thread.Comp() }
+
 // Utilisation returns the admitted task set's total utilisation.
 func (s *RTServer) Utilisation() float64 {
 	u := 0.0
@@ -94,7 +98,7 @@ func (s *RTServer) Admit(name string, periodTicks uint64, budget hw.Cycles) (*RT
 	}
 	t := &RTTask{Name: name, PeriodTicks: periodTicks, Budget: budget}
 	s.tasks = append(s.tasks, t)
-	s.K.M.CPU.Work(s.Component(), 300) // admission test, reservation setup
+	s.K.M.CPU.Work(s.Comp(), 300) // admission test, reservation setup
 	return t, nil
 }
 
@@ -112,7 +116,7 @@ func (s *RTServer) handle(k *mk.Kernel, from mk.ThreadID, msg mk.Msg) (mk.Msg, e
 		return mk.Msg{}, ErrBadRequest
 	}
 	s.tick++
-	comp := s.Component()
+	comp := s.Comp()
 	k.M.CPU.Work(comp, 80) // scheduler entry
 
 	// Release phase: jobs whose period divides the tick count. A job

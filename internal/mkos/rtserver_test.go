@@ -36,7 +36,7 @@ func (r *rtRig) runTicks(n uint64) {
 	target := r.m.Clock.Now() + hw.Cycles(n)*100_000
 	for r.rt.Ticks() < r.rt.tick+n && r.m.Clock.Now() < target {
 		r.m.Events.RunUntilIdle(4)
-		r.m.IRQ.DispatchPending(mk.KernelComponent)
+		r.m.IRQ.DispatchPending(r.m.Rec.Intern(mk.KernelComponent))
 	}
 }
 
@@ -82,7 +82,7 @@ func TestRTAdmittedTasksMeetDeadlines(t *testing.T) {
 	// Run 40 ticks of virtual time.
 	for i := 0; i < 40; i++ {
 		r.m.Events.RunUntilIdle(2)
-		r.m.IRQ.DispatchPending(mk.KernelComponent)
+		r.m.IRQ.DispatchPending(r.m.Rec.Intern(mk.KernelComponent))
 	}
 	if r.rt.Ticks() < 30 {
 		t.Fatalf("only %d ticks delivered", r.rt.Ticks())
@@ -112,7 +112,7 @@ func TestRTOverloadMisses(t *testing.T) {
 	hog := r.rt.ForceAdmit("hog", 1, 150_000)
 	for i := 0; i < 30; i++ {
 		r.m.Events.RunUntilIdle(2)
-		r.m.IRQ.DispatchPending(mk.KernelComponent)
+		r.m.IRQ.DispatchPending(r.m.Rec.Intern(mk.KernelComponent))
 	}
 	_, _, misses := hog.Stats()
 	if misses == 0 {
@@ -134,7 +134,7 @@ func TestRTEDFOrdering(t *testing.T) {
 	}
 	for i := 0; i < 60; i++ {
 		r.m.Events.RunUntilIdle(2)
-		r.m.IRQ.DispatchPending(mk.KernelComponent)
+		r.m.IRQ.DispatchPending(r.m.Rec.Intern(mk.KernelComponent))
 	}
 	if _, _, m := tight.Stats(); m != 0 {
 		t.Fatalf("tight task missed %d deadlines under EDF", m)
@@ -177,7 +177,7 @@ func TestRTCoexistsWithOSServer(t *testing.T) {
 			}
 		}
 		m.Events.RunUntilIdle(2)
-		m.IRQ.DispatchPending(mk.KernelComponent)
+		m.IRQ.DispatchPending(m.Rec.Intern(mk.KernelComponent))
 	}
 	if rt.Ticks() == 0 {
 		t.Fatal("timer never reached the RT server")

@@ -71,7 +71,7 @@ func (r *ShmRegion) Write(page int, data []byte) error {
 		return mk.ErrBadMapping
 	}
 	copy(r.K.M.Mem.Data(r.frames[page]), data)
-	r.K.M.CPU.Work(r.Owner.Component(), r.K.M.CPU.CopyCost(uint64(len(data))))
+	r.K.M.CPU.Work(r.Owner.Comp(), r.K.M.CPU.CopyCost(uint64(len(data))))
 	return nil
 }
 
@@ -84,7 +84,7 @@ func (v *ShmView) Read(page int, n int) ([]byte, error) {
 	}
 	out := make([]byte, n)
 	copy(out, v.region.K.M.Mem.Data(e.Frame))
-	v.region.K.M.CPU.Work(v.Space.Component(), v.region.K.M.CPU.CopyCost(uint64(n)))
+	v.region.K.M.CPU.Work(v.Space.Comp(), v.region.K.M.CPU.CopyCost(uint64(n)))
 	return out, nil
 }
 

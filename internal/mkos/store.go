@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"vmmk/internal/mk"
+	"vmmk/internal/trace"
 )
 
 // StoreServer is the microkernel twin of the Parallax appliance: a
@@ -59,6 +60,9 @@ func NewStoreServerIn(k *mk.Kernel, sp *mk.Space, name string, blk BlockService)
 // Component returns the server's trace attribution name.
 func (s *StoreServer) Component() string { return s.Thread.Component() }
 
+// Comp returns the server's interned trace attribution handle.
+func (s *StoreServer) Comp() trace.Comp { return s.Thread.Comp() }
+
 // SetPersistence installs (or replaces) the server's write-through path.
 // Pass a BlkClient bound to this server's thread ID.
 func (s *StoreServer) SetPersistence(blk BlockService) { s.blk = blk }
@@ -78,7 +82,7 @@ func (s *StoreServer) Attach(os *OSServer, size uint64) *StoreClient {
 
 // handle serves read/write/snapshot requests from clients.
 func (s *StoreServer) handle(k *mk.Kernel, from mk.ThreadID, msg mk.Msg) (mk.Msg, error) {
-	comp := s.Component()
+	comp := s.Comp()
 	vd := s.vdisks[from]
 	if vd == nil {
 		return mk.Msg{}, ErrNoVDisk

@@ -3,6 +3,19 @@
 // Every experiment in the paper reduces to questions over these two ledgers
 // ("how many boundary crossings?", "whose CPU time is it?"), so the recorder
 // is deliberately dumb and exact: monotone counters, no sampling.
+//
+// Components are identified by interned handles, not strings. A Registry
+// interns dotted component names ("vmm.dom0", "mk.srv.net") into dense
+// integer Comp handles; producers intern once at boot/registration time
+// (hw.CPU helpers, kernel/hypervisor/domain/thread constructors all store
+// their handle) and charge through the handle thereafter. That makes the
+// hot path — Charge/ChargeCycles under every simulated privileged
+// operation — two array increments into a flat ledger, with no hashing and
+// no allocation. Interning also records dotted parent links and maintains
+// prefix-group membership, so aggregate queries (CyclesPrefix) are sums
+// over member slices computed at intern time rather than scans of all
+// names. String-keyed queries (Cycles, CyclesSince) remain for rendering
+// and tests; they resolve through the registry once per call.
 package trace
 
 import (
@@ -142,13 +155,24 @@ func (k Kind) IsMKPrimitive() bool {
 }
 
 // Recorder accumulates event counts and per-component cycle attribution.
-// The zero value is not ready to use; call NewRecorder.
+// The cycle ledger is a flat slice indexed by Comp handle; all charge-path
+// methods deal in handles minted by the recorder's Registry (Intern), so a
+// charge is two array increments with no hashing and no allocation. The
+// string-keyed query methods (Cycles, CyclesPrefix, CyclesSince) remain for
+// report rendering and tests; they resolve names through the registry once
+// per call. The zero value is not ready to use; call NewRecorder.
 type Recorder struct {
-	counts [kindCount]uint64
-	cycles map[string]uint64 // component -> cycles charged
-	order  []string          // components in first-charge order
-	log    []Record          // optional bounded event log
-	logCap int
+	reg     *Registry
+	counts  [kindCount]uint64
+	cycles  []uint64 // indexed by Comp; grown on demand
+	seen    []bool   // indexed by Comp; true once charged
+	charged []Comp   // components in first-charge order
+
+	// Bounded event log as a ring buffer: once len(log) == logCap the
+	// oldest record is overwritten in place — O(1) per eviction.
+	log     []Record
+	logHead int // index of the oldest record once the ring is full
+	logCap  int
 }
 
 // Record is one logged event, kept only when logging is enabled.
@@ -160,10 +184,39 @@ type Record struct {
 	Note      string
 }
 
-// NewRecorder returns an empty recorder. logCap > 0 enables the bounded
-// event log (oldest entries are dropped beyond the cap).
+// NewRecorder returns an empty recorder with a fresh Registry. logCap > 0
+// enables the bounded event log (oldest entries are dropped beyond the cap).
 func NewRecorder(logCap int) *Recorder {
-	return &Recorder{cycles: make(map[string]uint64), logCap: logCap}
+	return &Recorder{reg: NewRegistry(), logCap: logCap}
+}
+
+// Registry returns the recorder's component registry.
+func (r *Recorder) Registry() *Registry { return r.reg }
+
+// Intern returns the handle for a dotted component name, minting it on first
+// use. Components intern once at boot/registration time and charge through
+// the handle thereafter.
+func (r *Recorder) Intern(name string) Comp {
+	c := r.reg.Intern(name)
+	r.ensure(c)
+	return c
+}
+
+// ensure grows the ledger to cover handle c.
+func (r *Recorder) ensure(c Comp) {
+	if int(c) < len(r.cycles) {
+		return
+	}
+	n := len(r.reg.names)
+	if n <= int(c) {
+		n = int(c) + 1
+	}
+	cycles := make([]uint64, n)
+	copy(cycles, r.cycles)
+	r.cycles = cycles
+	seen := make([]bool, n)
+	copy(seen, r.seen)
+	r.seen = seen
 }
 
 // Count increments the counter for kind.
@@ -172,47 +225,73 @@ func (r *Recorder) Count(kind Kind) { r.counts[kind]++ }
 // CountN increments the counter for kind by n.
 func (r *Recorder) CountN(kind Kind, n uint64) { r.counts[kind] += n }
 
-// Charge attributes cycles to the named component and increments the kind
-// counter. Component names are free-form but conventionally dotted paths
-// ("vmm.dom0", "mk.kernel", "mk.srv.net").
-func (r *Recorder) Charge(at uint64, kind Kind, component string, cycles uint64) {
+// Charge attributes cycles to the component and increments the kind counter.
+func (r *Recorder) Charge(at uint64, kind Kind, c Comp, cycles uint64) {
 	r.counts[kind]++
-	r.chargeCycles(component, cycles)
+	r.chargeCycles(c, cycles)
 	if r.logCap > 0 {
-		if len(r.log) >= r.logCap {
-			copy(r.log, r.log[1:])
-			r.log = r.log[:len(r.log)-1]
-		}
-		r.log = append(r.log, Record{At: at, Kind: kind, Component: component, Cycles: cycles})
+		r.logAppend(Record{At: at, Kind: kind, Component: r.reg.Name(c), Cycles: cycles})
 	}
 }
 
 // ChargeCycles attributes cycles to a component without counting an event;
 // used for plain execution time (the workload "doing its job").
-func (r *Recorder) ChargeCycles(component string, cycles uint64) {
-	r.chargeCycles(component, cycles)
+func (r *Recorder) ChargeCycles(c Comp, cycles uint64) {
+	r.chargeCycles(c, cycles)
 }
 
-func (r *Recorder) chargeCycles(component string, cycles uint64) {
-	if _, ok := r.cycles[component]; !ok {
-		r.order = append(r.order, component)
+func (r *Recorder) chargeCycles(c Comp, cycles uint64) {
+	if int(c) >= len(r.cycles) {
+		r.ensure(c)
 	}
-	r.cycles[component] += cycles
+	if !r.seen[c] {
+		r.seen[c] = true
+		r.charged = append(r.charged, c)
+	}
+	r.cycles[c] += cycles
+}
+
+// logAppend adds rec to the ring, overwriting the oldest record when full.
+func (r *Recorder) logAppend(rec Record) {
+	if len(r.log) < r.logCap {
+		r.log = append(r.log, rec)
+		return
+	}
+	r.log[r.logHead] = rec
+	r.logHead++
+	if r.logHead == r.logCap {
+		r.logHead = 0
+	}
 }
 
 // Counts returns the count for kind.
 func (r *Recorder) Counts(kind Kind) uint64 { return r.counts[kind] }
 
-// Cycles returns the cycles charged to component.
-func (r *Recorder) Cycles(component string) uint64 { return r.cycles[component] }
+// Cycles returns the cycles charged to the named component.
+func (r *Recorder) Cycles(component string) uint64 {
+	c, ok := r.reg.Lookup(component)
+	if !ok {
+		return 0
+	}
+	return r.CyclesComp(c)
+}
 
-// CyclesPrefix sums cycles over all components whose name starts with prefix.
+// CyclesComp returns the cycles charged to handle c.
+func (r *Recorder) CyclesComp(c Comp) uint64 {
+	if c < 0 || int(c) >= len(r.cycles) {
+		return 0
+	}
+	return r.cycles[c]
+}
+
+// CyclesPrefix sums cycles over all components whose name starts with
+// prefix. The member set is computed once per distinct prefix (and kept
+// current as new components intern), so the query is a sum over a
+// precomputed slice, not a scan of all names.
 func (r *Recorder) CyclesPrefix(prefix string) uint64 {
 	var sum uint64
-	for name, c := range r.cycles {
-		if strings.HasPrefix(name, prefix) {
-			sum += c
-		}
+	for _, c := range r.reg.prefixMembers(prefix) {
+		sum += r.CyclesComp(c)
 	}
 	return sum
 }
@@ -220,16 +299,18 @@ func (r *Recorder) CyclesPrefix(prefix string) uint64 {
 // TotalCycles sums cycles over all components.
 func (r *Recorder) TotalCycles() uint64 {
 	var sum uint64
-	for _, c := range r.cycles {
-		sum += c
+	for _, c := range r.charged {
+		sum += r.cycles[c]
 	}
 	return sum
 }
 
 // Components returns component names in first-charge order.
 func (r *Recorder) Components() []string {
-	out := make([]string, len(r.order))
-	copy(out, r.order)
+	out := make([]string, len(r.charged))
+	for i, c := range r.charged {
+		out[i] = r.reg.Name(c)
+	}
 	return out
 }
 
@@ -271,36 +352,39 @@ func (r *Recorder) DistinctPrimitives(class string) []Kind {
 	return out
 }
 
-// Log returns a copy of the bounded event log.
+// Log returns a copy of the bounded event log, oldest first.
 func (r *Recorder) Log() []Record {
 	out := make([]Record, len(r.log))
-	copy(out, r.log)
+	n := copy(out, r.log[r.logHead:])
+	copy(out[n:], r.log[:r.logHead])
 	return out
 }
 
-// Reset clears all counters, attributions and the log.
+// Reset clears all counters, attributions and the log. Interned handles
+// remain valid: the registry survives a reset.
 func (r *Recorder) Reset() {
 	r.counts = [kindCount]uint64{}
-	r.cycles = make(map[string]uint64)
-	r.order = nil
+	for _, c := range r.charged {
+		r.cycles[c] = 0
+		r.seen[c] = false
+	}
+	r.charged = r.charged[:0]
 	r.log = r.log[:0]
+	r.logHead = 0
 }
 
 // Snapshot captures the current counter values so a caller can later compute
 // a delta over a measurement window.
 func (r *Recorder) Snapshot() Snapshot {
-	s := Snapshot{cycles: make(map[string]uint64, len(r.cycles))}
-	s.counts = r.counts
-	for k, v := range r.cycles {
-		s.cycles[k] = v
-	}
+	s := Snapshot{counts: r.counts, cycles: make([]uint64, len(r.cycles))}
+	copy(s.cycles, r.cycles)
 	return s
 }
 
 // Snapshot is a point-in-time copy of a Recorder's ledgers.
 type Snapshot struct {
 	counts [kindCount]uint64
-	cycles map[string]uint64
+	cycles []uint64
 }
 
 // CountsSince returns the count delta for kind between s and the recorder's
@@ -309,9 +393,23 @@ func (r *Recorder) CountsSince(s Snapshot, kind Kind) uint64 {
 	return r.counts[kind] - s.counts[kind]
 }
 
-// CyclesSince returns the cycle delta for component between s and now.
+// CyclesSince returns the cycle delta for the named component between s and
+// now. Components interned after the snapshot was taken had zero cycles then.
 func (r *Recorder) CyclesSince(s Snapshot, component string) uint64 {
-	return r.cycles[component] - s.cycles[component]
+	c, ok := r.reg.Lookup(component)
+	if !ok {
+		return 0
+	}
+	return r.CyclesSinceComp(s, c)
+}
+
+// CyclesSinceComp returns the cycle delta for handle c between s and now.
+func (r *Recorder) CyclesSinceComp(s Snapshot, c Comp) uint64 {
+	var was uint64
+	if c >= 0 && int(c) < len(s.cycles) {
+		was = s.cycles[c]
+	}
+	return r.CyclesComp(c) - was
 }
 
 // IPCEquivalentSince returns the IPC-equivalent op delta since s.
@@ -336,13 +434,13 @@ func (r *Recorder) Summary() string {
 		}
 	}
 	b.WriteString("cycles:\n")
-	names := make([]string, 0, len(r.cycles))
-	for n := range r.cycles {
-		names = append(names, n)
+	names := make([]string, 0, len(r.charged))
+	for _, c := range r.charged {
+		names = append(names, r.reg.Name(c))
 	}
 	sort.Strings(names)
 	for _, n := range names {
-		fmt.Fprintf(&b, "  %-18s %12d\n", n, r.cycles[n])
+		fmt.Fprintf(&b, "  %-18s %12d\n", n, r.Cycles(n))
 	}
 	return b.String()
 }

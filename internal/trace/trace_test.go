@@ -38,9 +38,9 @@ func TestVMMPrimitiveCountIsTen(t *testing.T) {
 
 func TestChargeAccumulates(t *testing.T) {
 	r := NewRecorder(0)
-	r.Charge(0, KHypercall, "vmm.dom0", 100)
-	r.Charge(5, KHypercall, "vmm.dom0", 50)
-	r.Charge(9, KIPCSend, "mk.kernel", 25)
+	r.Charge(0, KHypercall, r.Intern("vmm.dom0"), 100)
+	r.Charge(5, KHypercall, r.Intern("vmm.dom0"), 50)
+	r.Charge(9, KIPCSend, r.Intern("mk.kernel"), 25)
 	if got := r.Counts(KHypercall); got != 2 {
 		t.Errorf("hypercall count = %d, want 2", got)
 	}
@@ -54,7 +54,7 @@ func TestChargeAccumulates(t *testing.T) {
 
 func TestChargeCyclesNoEvent(t *testing.T) {
 	r := NewRecorder(0)
-	r.ChargeCycles("app", 42)
+	r.ChargeCycles(r.Intern("app"), 42)
 	for k := Kind(0); k < kindCount; k++ {
 		if r.Counts(k) != 0 {
 			t.Fatalf("ChargeCycles incremented event counter %v", k)
@@ -67,9 +67,9 @@ func TestChargeCyclesNoEvent(t *testing.T) {
 
 func TestCyclesPrefix(t *testing.T) {
 	r := NewRecorder(0)
-	r.ChargeCycles("vmm.dom0", 10)
-	r.ChargeCycles("vmm.domU1", 20)
-	r.ChargeCycles("mk.kernel", 5)
+	r.ChargeCycles(r.Intern("vmm.dom0"), 10)
+	r.ChargeCycles(r.Intern("vmm.domU1"), 20)
+	r.ChargeCycles(r.Intern("mk.kernel"), 5)
 	if got := r.CyclesPrefix("vmm."); got != 30 {
 		t.Errorf("prefix sum = %d, want 30", got)
 	}
@@ -77,9 +77,9 @@ func TestCyclesPrefix(t *testing.T) {
 
 func TestComponentsOrder(t *testing.T) {
 	r := NewRecorder(0)
-	r.ChargeCycles("b", 1)
-	r.ChargeCycles("a", 1)
-	r.ChargeCycles("b", 1)
+	r.ChargeCycles(r.Intern("b"), 1)
+	r.ChargeCycles(r.Intern("a"), 1)
+	r.ChargeCycles(r.Intern("b"), 1)
 	got := r.Components()
 	if len(got) != 2 || got[0] != "b" || got[1] != "a" {
 		t.Errorf("components = %v, want [b a]", got)
@@ -122,7 +122,7 @@ func TestDistinctPrimitives(t *testing.T) {
 func TestLogBounded(t *testing.T) {
 	r := NewRecorder(3)
 	for i := uint64(0); i < 10; i++ {
-		r.Charge(i, KTrap, "x", 1)
+		r.Charge(i, KTrap, r.Intern("x"), 1)
 	}
 	log := r.Log()
 	if len(log) != 3 {
@@ -135,10 +135,10 @@ func TestLogBounded(t *testing.T) {
 
 func TestSnapshotDelta(t *testing.T) {
 	r := NewRecorder(0)
-	r.Charge(0, KIPCCall, "mk.kernel", 10)
+	r.Charge(0, KIPCCall, r.Intern("mk.kernel"), 10)
 	s := r.Snapshot()
-	r.Charge(1, KIPCCall, "mk.kernel", 10)
-	r.Charge(2, KIPCCall, "mk.kernel", 10)
+	r.Charge(1, KIPCCall, r.Intern("mk.kernel"), 10)
+	r.Charge(2, KIPCCall, r.Intern("mk.kernel"), 10)
 	if got := r.CountsSince(s, KIPCCall); got != 2 {
 		t.Errorf("delta counts = %d, want 2", got)
 	}
@@ -152,7 +152,7 @@ func TestSnapshotDelta(t *testing.T) {
 
 func TestReset(t *testing.T) {
 	r := NewRecorder(2)
-	r.Charge(0, KTrap, "x", 5)
+	r.Charge(0, KTrap, r.Intern("x"), 5)
 	r.Reset()
 	if r.Counts(KTrap) != 0 || r.TotalCycles() != 0 || len(r.Log()) != 0 {
 		t.Fatal("reset did not clear state")
@@ -162,8 +162,8 @@ func TestReset(t *testing.T) {
 func TestSummaryDeterministic(t *testing.T) {
 	build := func() string {
 		r := NewRecorder(0)
-		r.Charge(0, KHypercall, "b", 1)
-		r.Charge(0, KIPCSend, "a", 2)
+		r.Charge(0, KHypercall, r.Intern("b"), 1)
+		r.Charge(0, KIPCSend, r.Intern("a"), 2)
 		return r.Summary()
 	}
 	if build() != build() {
@@ -180,7 +180,7 @@ func TestQuickChargeTotal(t *testing.T) {
 		var want uint64
 		for i, c := range charges {
 			comp := "c" + string(rune('a'+i%5))
-			r.ChargeCycles(comp, uint64(c))
+			r.ChargeCycles(r.Intern(comp), uint64(c))
 			want += uint64(c)
 		}
 		return r.TotalCycles() == want

@@ -36,11 +36,11 @@ func (h *Hypervisor) BalloonOut(dom DomID, n int) (int, error) {
 		d.frames[gpn] = hw.NoFrame
 		d.holes = append(d.holes, gpn)
 		h.M.Mem.Free(f)
-		h.M.CPU.Work(HypervisorComponent, hw.Cycles(60)+h.M.Arch.Costs.PTEUpdate)
+		h.M.CPU.Work(h.comp, hw.Cycles(60)+h.M.Arch.Costs.PTEUpdate)
 		released++
 	}
 	if released > 0 {
-		h.M.CPU.FlushTLB(HypervisorComponent)
+		h.M.CPU.FlushTLB(h.comp)
 	}
 	return released, nil
 }
@@ -68,7 +68,7 @@ func (h *Hypervisor) BalloonIn(dom DomID, n int) (int, error) {
 		} else {
 			d.frames = append(d.frames, f)
 		}
-		h.M.CPU.Work(HypervisorComponent, 80)
+		h.M.CPU.Work(h.comp, 80)
 		got++
 		return true
 	}

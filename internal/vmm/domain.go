@@ -49,10 +49,15 @@ type Domain struct {
 
 	syscalls     uint64
 	fastSyscalls uint64
+
+	comp trace.Comp // "vmm."+Name, interned at creation
 }
 
 // Component returns the domain's trace attribution name.
 func (d *Domain) Component() string { return "vmm." + d.Name }
+
+// Comp returns the domain's interned trace attribution handle.
+func (d *Domain) Comp() trace.Comp { return d.comp }
 
 // Frames returns the domain's pseudo-physical frame list (index = guest
 // pseudo-physical page number).
@@ -85,7 +90,7 @@ func (d *Domain) ReleaseFrame(f hw.FrameID) error {
 	d.removeFrame(f)
 	d.PT.UnmapFrame(f)
 	d.hyp.M.Mem.Free(f)
-	d.hyp.M.CPU.Work(d.Component(), 60)
+	d.hyp.M.CPU.Work(d.comp, 60)
 	return nil
 }
 
@@ -107,11 +112,11 @@ func (h *Hypervisor) MMUUpdate(dom DomID, vpn hw.VPN, gpn int, perms hw.Perm, us
 
 	f := d.FrameAt(gpn)
 	if f == hw.NoFrame || !d.OwnsFrame(f) {
-		h.M.CPU.Charge(HypervisorComponent, trace.KShadowPTUpdate, h.M.Arch.Costs.PrivCheck)
+		h.M.CPU.Charge(h.comp, trace.KShadowPTUpdate, h.M.Arch.Costs.PrivCheck)
 		return ErrBadPTE
 	}
 	d.PT.Map(vpn, hw.PTE{Frame: f, Perms: perms, User: user})
-	h.M.CPU.Charge(HypervisorComponent, trace.KShadowPTUpdate, h.M.Arch.Costs.PTEUpdate)
+	h.M.CPU.Charge(h.comp, trace.KShadowPTUpdate, h.M.Arch.Costs.PTEUpdate)
 	return nil
 }
 
@@ -124,8 +129,8 @@ func (h *Hypervisor) MMUUnmap(dom DomID, vpn hw.VPN) error {
 	h.hypercallEntry(d)
 	defer h.hypercallExit(d)
 	d.PT.Unmap(vpn)
-	h.M.CPU.Charge(HypervisorComponent, trace.KShadowPTUpdate, h.M.Arch.Costs.PTEUpdate)
-	h.M.CPU.FlushTLBEntry(HypervisorComponent, d.PT.ASID(), vpn)
+	h.M.CPU.Charge(h.comp, trace.KShadowPTUpdate, h.M.Arch.Costs.PTEUpdate)
+	h.M.CPU.FlushTLBEntry(h.comp, d.PT.ASID(), vpn)
 	return nil
 }
 

@@ -102,7 +102,7 @@ func (h *Hypervisor) NotifyChannel(from DomID, port Port) error {
 
 	h.hypercallEntry(d)
 	ch.sends++
-	h.M.CPU.Charge(HypervisorComponent, trace.KEvtchnSend, 80)
+	h.M.CPU.Charge(h.comp, trace.KEvtchnSend, 80)
 	h.hypercallExit(d)
 
 	if rd.masked {
@@ -118,7 +118,7 @@ func (h *Hypervisor) NotifyChannel(from DomID, port Port) error {
 func (h *Hypervisor) deliverEvent(rd *Domain, port Port) {
 	prev := h.current
 	h.switchTo(rd)
-	h.M.CPU.Charge(HypervisorComponent, trace.KVirtIRQ, h.M.Arch.Costs.IRQDispatch/2)
+	h.M.CPU.Charge(h.comp, trace.KVirtIRQ, h.M.Arch.Costs.IRQDispatch/2)
 	if rd.Hooks.OnEvent != nil {
 		rd.Hooks.OnEvent(port)
 	}
@@ -136,7 +136,7 @@ func (h *Hypervisor) SendVIRQ(dom DomID, virq int) error {
 	}
 	prev := h.current
 	h.switchTo(d)
-	h.M.CPU.Charge(HypervisorComponent, trace.KVirtIRQ, h.M.Arch.Costs.IRQDispatch/2)
+	h.M.CPU.Charge(h.comp, trace.KVirtIRQ, h.M.Arch.Costs.IRQDispatch/2)
 	if d.Hooks.OnVIRQ != nil {
 		d.Hooks.OnVIRQ(virq)
 	}
@@ -163,7 +163,7 @@ func (h *Hypervisor) RouteIRQ(line hw.IRQLine, dom DomID) error {
 		if owner == nil || owner.Dead {
 			return // driver domain died; interrupt dropped, monitor fine
 		}
-		h.M.CPU.Charge(HypervisorComponent, trace.KHardIRQInject, h.M.Arch.Costs.IRQDispatch)
+		h.M.CPU.Charge(h.comp, trace.KHardIRQInject, h.M.Arch.Costs.IRQDispatch)
 		prev := h.current
 		h.switchTo(owner)
 		if owner.Hooks.OnVIRQ != nil {
@@ -173,7 +173,7 @@ func (h *Hypervisor) RouteIRQ(line hw.IRQLine, dom DomID) error {
 			h.switchTo(prev)
 		}
 	})
-	h.M.CPU.Work(HypervisorComponent, 100)
+	h.M.CPU.Work(h.comp, 100)
 	return nil
 }
 

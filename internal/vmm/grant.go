@@ -46,7 +46,7 @@ func (h *Hypervisor) GrantAccess(owner DomID, frame hw.FrameID, to DomID, readOn
 	defer h.hypercallExit(d)
 	e := &grantEntry{frame: frame, to: to, readOnly: readOnly}
 	d.grants.entries = append(d.grants.entries, e)
-	h.M.CPU.Work(HypervisorComponent, 60)
+	h.M.CPU.Work(h.comp, 60)
 	return GrantRef(len(d.grants.entries) - 1), nil
 }
 
@@ -93,7 +93,7 @@ func (h *Hypervisor) GrantMap(user DomID, owner DomID, ref GrantRef, vpn hw.VPN)
 	}
 	ud.PT.Map(vpn, hw.PTE{Frame: e.frame, Perms: perms, User: false})
 	e.mapped++
-	h.M.CPU.Charge(HypervisorComponent, trace.KGrantMap, h.M.Arch.Costs.PTEUpdate+40)
+	h.M.CPU.Charge(h.comp, trace.KGrantMap, h.M.Arch.Costs.PTEUpdate+40)
 	return nil
 }
 
@@ -121,8 +121,8 @@ func (h *Hypervisor) GrantUnmap(user DomID, owner DomID, ref GrantRef, vpn hw.VP
 	if e != nil && e.mapped > 0 {
 		e.mapped--
 	}
-	h.M.CPU.Work(HypervisorComponent, h.M.Arch.Costs.PTEUpdate)
-	h.M.CPU.FlushTLBEntry(HypervisorComponent, ud.PT.ASID(), vpn)
+	h.M.CPU.Work(h.comp, h.M.Arch.Costs.PTEUpdate)
+	h.M.CPU.FlushTLBEntry(h.comp, ud.PT.ASID(), vpn)
 	return nil
 }
 
@@ -148,7 +148,7 @@ func (h *Hypervisor) GrantCopy(user DomID, owner DomID, ref GrantRef, dst hw.Fra
 	h.hypercallEntry(ud)
 	defer h.hypercallExit(ud)
 	copied := h.M.Mem.Copy(dst, e.frame, n)
-	h.M.CPU.Charge(HypervisorComponent, trace.KGrantCopy, 120+h.M.CPU.CopyCost(copied))
+	h.M.CPU.Charge(h.comp, trace.KGrantCopy, 120+h.M.CPU.CopyCost(copied))
 	return nil
 }
 
@@ -182,15 +182,15 @@ func (h *Hypervisor) GrantTransfer(user DomID, owner DomID, ref GrantRef) (hw.Fr
 
 	// Tear down the previous owner's mappings of the frame.
 	removed := od.PT.UnmapFrame(e.frame)
-	h.M.CPU.Work(HypervisorComponent, hw.Cycles(removed)*h.M.Arch.Costs.PTEUpdate)
+	h.M.CPU.Work(h.comp, hw.Cycles(removed)*h.M.Arch.Costs.PTEUpdate)
 	// Ownership moves in the physical ledger and in both frame lists.
 	h.M.Mem.Transfer(e.frame, ud.Component())
 	od.removeFrame(e.frame)
 	ud.addFrame(e.frame)
 	e.revoked = true
 	// TLB shootdown: the flip invalidates translations machine-wide.
-	h.M.CPU.FlushTLB(HypervisorComponent)
-	h.M.CPU.Charge(HypervisorComponent, trace.KPageFlip,
+	h.M.CPU.FlushTLB(h.comp)
+	h.M.CPU.Charge(h.comp, trace.KPageFlip,
 		2*h.M.Arch.Costs.PTEUpdate+h.M.Arch.Costs.TLBFlushAll+200)
 	return e.frame, nil
 }
@@ -250,6 +250,6 @@ func (h *Hypervisor) GrantRevoke(owner DomID, ref GrantRef) error {
 	h.hypercallEntry(d)
 	defer h.hypercallExit(d)
 	d.grants.entries[ref].revoked = true
-	h.M.CPU.Work(HypervisorComponent, 40)
+	h.M.CPU.Work(h.comp, 40)
 	return nil
 }

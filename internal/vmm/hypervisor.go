@@ -55,6 +55,8 @@ const VMMBase uint64 = 0xFC00_0000
 type Hypervisor struct {
 	M *hw.Machine
 
+	comp trace.Comp // HypervisorComponent, interned at boot
+
 	domains map[DomID]*Domain
 	order   []DomID // creation order, for deterministic iteration
 	nextDom DomID
@@ -78,11 +80,12 @@ type Hypervisor struct {
 func New(m *hw.Machine, dom0Frames int) (*Hypervisor, *Domain, error) {
 	h := &Hypervisor{
 		M:              m,
+		comp:           m.Rec.Intern(HypervisorComponent),
 		domains:        make(map[DomID]*Domain),
 		FastPathPolicy: true,
 	}
 	h.sched = newScheduler(h)
-	m.CPU.Work(HypervisorComponent, 8000) // monitor boot
+	m.CPU.Work(h.comp, 8000) // monitor boot
 	d0, err := h.CreateDomain("dom0", dom0Frames)
 	if err != nil {
 		return nil, nil, err
@@ -104,6 +107,7 @@ func (h *Hypervisor) CreateDomain(name string, frames int) (*Domain, error) {
 		PT:     hw.NewPageTable(uint16(id) + 100), // ASIDs disjoint from mk's
 		grants: newGrantTable(),
 		hyp:    h,
+		comp:   h.M.Rec.Intern("vmm." + name),
 	}
 	mem, err := h.M.Mem.AllocN(d.Component(), frames)
 	if err != nil {
@@ -114,13 +118,16 @@ func (h *Hypervisor) CreateDomain(name string, frames int) (*Domain, error) {
 		// Guest kernel mappings; guest user pages are re-flagged later.
 		d.PT.Map(hw.VPN(i), hw.PTE{Frame: f, Perms: hw.PermRWX, User: true})
 	}
-	h.M.CPU.Charge(HypervisorComponent, trace.KHypercall, 600) // domain-build hypercall
+	h.M.CPU.Charge(h.comp, trace.KHypercall, 600) // domain-build hypercall
 	h.hypercalls++
 	h.domains[id] = d
 	h.order = append(h.order, id)
 	h.sched.add(d)
 	return d, nil
 }
+
+// Comp returns the monitor's interned trace attribution handle.
+func (h *Hypervisor) Comp() trace.Comp { return h.comp }
 
 // Domain returns the domain for id, or nil.
 func (h *Hypervisor) Domain(id DomID) *Domain { return h.domains[id] }
@@ -165,8 +172,8 @@ func (h *Hypervisor) switchTo(d *Domain) {
 		return
 	}
 	h.worldSw++
-	h.M.CPU.Charge(HypervisorComponent, trace.KWorldSwitch, h.M.Arch.Costs.WorldSwitch)
-	h.M.CPU.SwitchSpace(HypervisorComponent, d.PT)
+	h.M.CPU.Charge(h.comp, trace.KWorldSwitch, h.M.Arch.Costs.WorldSwitch)
+	h.M.CPU.SwitchSpace(h.comp, d.PT)
 	h.current = d
 }
 
@@ -181,7 +188,7 @@ func (h *Hypervisor) Hypercall(dom DomID, op string, workCost hw.Cycles) error {
 		return err
 	}
 	h.hypercallEntry(d)
-	h.M.CPU.Work(HypervisorComponent, workCost)
+	h.M.CPU.Work(h.comp, workCost)
 	h.hypercallExit(d)
 	_ = op
 	return nil
@@ -190,15 +197,15 @@ func (h *Hypervisor) Hypercall(dom DomID, op string, workCost hw.Cycles) error {
 // hypercallEntry charges the guest-kernel -> monitor transition.
 func (h *Hypervisor) hypercallEntry(d *Domain) {
 	h.switchTo(d) // hypercalls execute in the caller's context
-	h.M.CPU.Trap(HypervisorComponent, h.M.Arch.HasFastSyscall)
-	h.M.CPU.Charge(HypervisorComponent, trace.KHypercall, h.M.Arch.Costs.PrivCheck)
+	h.M.CPU.Trap(h.comp, h.M.Arch.HasFastSyscall)
+	h.M.CPU.Charge(h.comp, trace.KHypercall, h.M.Arch.Costs.PrivCheck)
 	h.hypercalls++
 }
 
 // hypercallExit returns to the guest kernel ring.
 func (h *Hypervisor) hypercallExit(d *Domain) {
 	_ = d
-	h.M.CPU.ReturnTo(HypervisorComponent, hw.Ring1)
+	h.M.CPU.ReturnTo(h.comp, hw.Ring1)
 }
 
 // PumpIO drives the machine until quiescent or maxRounds: fire every due
@@ -208,7 +215,7 @@ func (h *Hypervisor) PumpIO(maxRounds int) int {
 	total := 0
 	for round := 0; round < maxRounds; round++ {
 		n := h.M.Events.RunUntilIdle(1024)
-		n += h.M.IRQ.DispatchPending(HypervisorComponent)
+		n += h.M.IRQ.DispatchPending(h.comp)
 		total += n
 		if n == 0 {
 			break
@@ -284,7 +291,7 @@ func (h *Hypervisor) DestroyDomain(id DomID) error {
 			break
 		}
 	}
-	h.M.Rec.Charge(uint64(h.M.Clock.Now()), trace.KFault, d.Component(), 0)
+	h.M.Rec.Charge(uint64(h.M.Clock.Now()), trace.KFault, d.comp, 0)
 	return nil
 }
 

@@ -49,7 +49,7 @@ func (h *Hypervisor) Pause(dom DomID) error {
 	if h.current == d {
 		h.current = nil
 	}
-	h.M.CPU.Work(HypervisorComponent, 200)
+	h.M.CPU.Work(h.comp, 200)
 	return nil
 }
 
@@ -64,7 +64,7 @@ func (h *Hypervisor) Unpause(dom DomID) error {
 	}
 	d.paused = false
 	h.sched.add(d)
-	h.M.CPU.Work(HypervisorComponent, 200)
+	h.M.CPU.Work(h.comp, 200)
 	return nil
 }
 
@@ -150,7 +150,7 @@ func (h *Hypervisor) SaveDomain(dom DomID) (*DomainImage, error) {
 		page := make([]byte, ps)
 		copy(page, h.M.Mem.Data(f))
 		img.Memory = append(img.Memory, page)
-		h.M.CPU.Work(HypervisorComponent, h.M.CPU.CopyCost(ps))
+		h.M.CPU.Work(h.comp, h.M.CPU.CopyCost(ps))
 	}
 	return img, nil
 }
@@ -177,7 +177,7 @@ func (h *Hypervisor) RestoreDomain(img *DomainImage) (*Domain, error) {
 			continue
 		}
 		copy(h.M.Mem.Data(d.FrameAt(gpn)), page)
-		h.M.CPU.Work(HypervisorComponent, h.M.CPU.CopyCost(ps))
+		h.M.CPU.Work(h.comp, h.M.CPU.CopyCost(ps))
 	}
 	// Rebuild the page table through the validated path.
 	for _, e := range img.PT {
@@ -186,7 +186,7 @@ func (h *Hypervisor) RestoreDomain(img *DomainImage) (*Domain, error) {
 			continue
 		}
 		d.PT.Map(e.VPN, hw.PTE{Frame: f, Perms: e.Perms, User: e.User})
-		h.M.CPU.Work(HypervisorComponent, h.M.Arch.Costs.PTEUpdate)
+		h.M.CPU.Work(h.comp, h.M.Arch.Costs.PTEUpdate)
 	}
 	return d, nil
 }
@@ -280,8 +280,8 @@ func MigrateLive(src *Hypervisor, dom DomID, dst *Hypervisor, opts LiveOpts) (*D
 		}
 		copy(dst.M.Mem.Data(df), src.M.Mem.Data(sf))
 		// Reading out and landing the page are monitor work on each end.
-		src.M.CPU.Work(HypervisorComponent, src.M.CPU.CopyCost(ps))
-		dst.M.CPU.Work(HypervisorComponent, dst.M.CPU.CopyCost(ps))
+		src.M.CPU.Work(src.comp, src.M.CPU.CopyCost(ps))
+		dst.M.CPU.Work(dst.comp, dst.M.CPU.CopyCost(ps))
 		stats.PagesMoved++
 	}
 
@@ -334,7 +334,7 @@ func MigrateLive(src *Hypervisor, dom DomID, dst *Hypervisor, opts LiveOpts) (*D
 			}
 		}
 		shell.PT.Map(e.VPN, hw.PTE{Frame: f, Perms: perms, User: e.User})
-		dst.M.CPU.Work(HypervisorComponent, dst.M.Arch.Costs.PTEUpdate)
+		dst.M.CPU.Work(dst.comp, dst.M.Arch.Costs.PTEUpdate)
 	}
 	src.DisableDirtyLog(dom)
 	if err := src.DestroyDomain(dom); err != nil {

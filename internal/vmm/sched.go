@@ -58,8 +58,8 @@ func (h *Hypervisor) ScheduleNext() *Domain {
 	if len(s.run) == 0 {
 		return nil
 	}
-	h.M.CPU.Trap(HypervisorComponent, false)
-	h.M.IRQ.DispatchPending(HypervisorComponent)
+	h.M.CPU.Trap(h.comp, false)
+	h.M.IRQ.DispatchPending(h.comp)
 	s.decisions++
 
 	// Find the first domain (in queue order) with credits; refill all
@@ -84,11 +84,11 @@ func (h *Hypervisor) ScheduleNext() *Domain {
 			}
 		}
 	}
-	h.M.CPU.Charge(HypervisorComponent, trace.KSchedule, 60)
+	h.M.CPU.Charge(h.comp, trace.KSchedule, 60)
 	if pick != nil {
 		h.switchTo(pick)
 	}
-	h.M.CPU.ReturnTo(HypervisorComponent, hw.Ring1)
+	h.M.CPU.ReturnTo(h.comp, hw.Ring1)
 	return pick
 }
 

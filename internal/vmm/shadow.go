@@ -46,7 +46,7 @@ func (h *Hypervisor) EnableShadowMMU(dom DomID) (*ShadowMMU, error) {
 		return nil, err
 	}
 	// Write-protecting the PT pages is itself monitor work.
-	h.M.CPU.Work(HypervisorComponent, 800)
+	h.M.CPU.Work(h.comp, 800)
 	return &ShadowMMU{h: h, d: d, gpt: make(map[hw.VPN]shadowGPTE)}, nil
 }
 
@@ -62,25 +62,25 @@ func (s *ShadowMMU) GuestPTWrite(vpn hw.VPN, gpn int, perms hw.Perm, user bool) 
 	}
 	h.switchTo(d)
 	// The write-protect fault: full trap into the monitor.
-	h.M.CPU.Trap(HypervisorComponent, false)
-	h.M.CPU.Charge(HypervisorComponent, trace.KExceptionBounce, h.M.Arch.Costs.CtxSave)
+	h.M.CPU.Trap(h.comp, false)
+	h.M.CPU.Charge(h.comp, trace.KExceptionBounce, h.M.Arch.Costs.CtxSave)
 	// Instruction decode + emulation of the store.
-	h.M.CPU.Work(HypervisorComponent, 180)
+	h.M.CPU.Work(h.comp, 180)
 	s.gpt[vpn] = shadowGPTE{gpn: gpn, perms: perms, user: user}
 	// Validation identical to the paravirtual path's.
 	f := d.FrameAt(gpn)
 	if f == hw.NoFrame || !d.OwnsFrame(f) {
 		s.rejected++
 		d.PT.Unmap(vpn) // shadow must not map what the guest may not have
-		h.M.CPU.Charge(HypervisorComponent, trace.KShadowPTUpdate, h.M.Arch.Costs.PrivCheck)
-		h.M.CPU.ReturnTo(HypervisorComponent, hw.Ring1)
+		h.M.CPU.Charge(h.comp, trace.KShadowPTUpdate, h.M.Arch.Costs.PrivCheck)
+		h.M.CPU.ReturnTo(h.comp, hw.Ring1)
 		return nil // the *guest* write succeeded; the shadow just ignores it
 	}
 	d.PT.Map(vpn, hw.PTE{Frame: f, Perms: perms, User: user})
 	s.emulated++
-	h.M.CPU.Charge(HypervisorComponent, trace.KShadowPTUpdate, h.M.Arch.Costs.PTEUpdate)
-	h.M.CPU.FlushTLBEntry(HypervisorComponent, d.PT.ASID(), vpn)
-	h.M.CPU.ReturnTo(HypervisorComponent, hw.Ring1)
+	h.M.CPU.Charge(h.comp, trace.KShadowPTUpdate, h.M.Arch.Costs.PTEUpdate)
+	h.M.CPU.FlushTLBEntry(h.comp, d.PT.ASID(), vpn)
+	h.M.CPU.ReturnTo(h.comp, hw.Ring1)
 	return nil
 }
 
@@ -128,7 +128,7 @@ func (h *Hypervisor) EnableDirtyLog(dom DomID) (*DirtyLog, error) {
 		wprot: make(map[int][]hw.VPN),
 	}
 	d.dirtyLog = dl
-	h.M.CPU.Work(HypervisorComponent, 400) // log-dirty mode switch
+	h.M.CPU.Work(h.comp, 400) // log-dirty mode switch
 	dl.arm()
 	return dl, nil
 }
@@ -165,13 +165,13 @@ func (dl *DirtyLog) arm() {
 			e, _ := d.PT.Lookup(vpn)
 			e.Perms &^= hw.PermW
 			d.PT.Map(vpn, e)
-			h.M.CPU.Charge(HypervisorComponent, trace.KShadowPTUpdate, h.M.Arch.Costs.PTEUpdate)
+			h.M.CPU.Charge(h.comp, trace.KShadowPTUpdate, h.M.Arch.Costs.PTEUpdate)
 		}
 		dl.wprot[gpn] = vpns
 		dl.armed[gpn] = true
 	}
 	// Stale writable translations must go before protection is real.
-	h.M.CPU.FlushTLB(HypervisorComponent)
+	h.M.CPU.FlushTLB(h.comp)
 }
 
 // disarm restores the write permissions the log removed from gpn's
@@ -193,18 +193,18 @@ func (dl *DirtyLog) fault(gpn int) {
 	h, d := dl.h, dl.d
 	dl.faults++
 	h.switchTo(d)
-	h.M.CPU.Trap(HypervisorComponent, false)
-	h.M.CPU.Charge(HypervisorComponent, trace.KExceptionBounce, h.M.Arch.Costs.CtxSave)
-	h.M.CPU.Work(HypervisorComponent, 120) // decode + log-dirty bookkeeping
+	h.M.CPU.Trap(h.comp, false)
+	h.M.CPU.Charge(h.comp, trace.KExceptionBounce, h.M.Arch.Costs.CtxSave)
+	h.M.CPU.Work(h.comp, 120) // decode + log-dirty bookkeeping
 	dl.dirty[gpn] = true
 	nvpns := len(dl.wprot[gpn])
 	dl.disarm(gpn) // later stores to this page are full speed until re-arm
 	if nvpns == 0 {
 		nvpns = 1
 	}
-	h.M.CPU.Charge(HypervisorComponent, trace.KDirtyLogFault,
+	h.M.CPU.Charge(h.comp, trace.KDirtyLogFault,
 		hw.Cycles(nvpns)*h.M.Arch.Costs.PTEUpdate)
-	h.M.CPU.ReturnTo(HypervisorComponent, hw.Ring1)
+	h.M.CPU.ReturnTo(h.comp, hw.Ring1)
 }
 
 // Dirty returns the pages written since the last (re)arm, ascending.
@@ -250,7 +250,7 @@ func (h *Hypervisor) GuestMemWrite(dom DomID, gpn, off int, data []byte) error {
 	if dl := d.dirtyLog; dl != nil && dl.armed[gpn] {
 		dl.fault(gpn)
 	}
-	h.M.CPU.Work(d.Component(), h.M.CPU.CopyCost(uint64(len(data))))
+	h.M.CPU.Work(d.comp, h.M.CPU.CopyCost(uint64(len(data))))
 	copy(page[off:], data)
 	return nil
 }

@@ -50,7 +50,7 @@ func (h *Hypervisor) LoadGuestSegment(dom DomID, reg hw.SegReg, seg hw.Segment) 
 		return err
 	}
 	h.hypercallEntry(d) // update_descriptor hypercall
-	h.M.CPU.LoadSegment(d.Component(), reg, seg)
+	h.M.CPU.LoadSegment(d.comp, reg, seg)
 	if d.fastPathOK && !h.M.CPU.SegmentsExclude(VMMBase) {
 		d.fastPathOK = false
 	}
@@ -90,17 +90,17 @@ func (h *Hypervisor) GuestSyscall(dom DomID, no uint32, args []uint64) ([]uint64
 		// cost, charged to the *guest*, since the monitor is not involved.
 		d.fastSyscalls++
 		h.M.CPU.Clock.Advance(h.M.Arch.Costs.KernelEntry)
-		h.M.Rec.Charge(uint64(h.M.Clock.Now()), trace.KSyscallFastPath, d.Component(), uint64(h.M.Arch.Costs.KernelEntry))
+		h.M.Rec.Charge(uint64(h.M.Clock.Now()), trace.KSyscallFastPath, d.comp, uint64(h.M.Arch.Costs.KernelEntry))
 		h.M.CPU.SetRing(hw.Ring1)
-		h.M.Rec.Charge(uint64(h.M.Clock.Now()), trace.KGuestUserToKernel, d.Component(), 0)
+		h.M.Rec.Charge(uint64(h.M.Clock.Now()), trace.KGuestUserToKernel, d.comp, 0)
 	} else {
 		// Bounce: monitor entry, validation, reflected into the guest
 		// kernel (primitive 7), which is an accounted exception bounce.
-		h.M.CPU.Trap(HypervisorComponent, false)
-		h.M.CPU.Work(HypervisorComponent, h.M.Arch.Costs.PrivCheck)
-		h.M.CPU.Charge(HypervisorComponent, trace.KExceptionBounce, h.M.Arch.Costs.CtxSave)
-		h.M.CPU.ReturnTo(HypervisorComponent, hw.Ring1)
-		h.M.Rec.Charge(uint64(h.M.Clock.Now()), trace.KGuestUserToKernel, d.Component(), 0)
+		h.M.CPU.Trap(h.comp, false)
+		h.M.CPU.Work(h.comp, h.M.Arch.Costs.PrivCheck)
+		h.M.CPU.Charge(h.comp, trace.KExceptionBounce, h.M.Arch.Costs.CtxSave)
+		h.M.CPU.ReturnTo(h.comp, hw.Ring1)
+		h.M.Rec.Charge(uint64(h.M.Clock.Now()), trace.KGuestUserToKernel, d.comp, 0)
 	}
 
 	// Guest kernel executes the system call.
@@ -113,12 +113,12 @@ func (h *Hypervisor) GuestSyscall(dom DomID, no uint32, args []uint64) ([]uint64
 	// the bounced path needs the monitor again for the privileged iret.
 	if fast {
 		h.M.CPU.Clock.Advance(h.M.Arch.Costs.KernelExit)
-		h.M.Rec.Charge(uint64(h.M.Clock.Now()), trace.KGuestKernelToUser, d.Component(), uint64(h.M.Arch.Costs.KernelExit))
+		h.M.Rec.Charge(uint64(h.M.Clock.Now()), trace.KGuestKernelToUser, d.comp, uint64(h.M.Arch.Costs.KernelExit))
 		h.M.CPU.SetRing(hw.Ring3)
 	} else {
-		h.M.CPU.Trap(HypervisorComponent, h.M.Arch.HasFastSyscall)
-		h.M.CPU.ReturnTo(HypervisorComponent, hw.Ring3)
-		h.M.Rec.Charge(uint64(h.M.Clock.Now()), trace.KGuestKernelToUser, d.Component(), 0)
+		h.M.CPU.Trap(h.comp, h.M.Arch.HasFastSyscall)
+		h.M.CPU.ReturnTo(h.comp, hw.Ring3)
+		h.M.Rec.Charge(uint64(h.M.Clock.Now()), trace.KGuestKernelToUser, d.comp, 0)
 	}
 	return ret, nil
 }
@@ -136,15 +136,15 @@ func (h *Hypervisor) GuestException(dom DomID, vector int, handle func()) (bool,
 	h.switchTo(d)
 	// Exceptions always enter the monitor first (no gate shortcut: the
 	// monitor must see faults to maintain its own invariants).
-	h.M.CPU.Trap(HypervisorComponent, false)
-	h.M.CPU.Charge(HypervisorComponent, trace.KExceptionBounce, h.M.Arch.Costs.CtxSave)
-	h.M.CPU.ReturnTo(HypervisorComponent, hw.Ring1)
+	h.M.CPU.Trap(h.comp, false)
+	h.M.CPU.Charge(h.comp, trace.KExceptionBounce, h.M.Arch.Costs.CtxSave)
+	h.M.CPU.ReturnTo(h.comp, hw.Ring1)
 	if handle == nil {
 		return false, nil
 	}
 	handle()
-	h.M.CPU.Trap(HypervisorComponent, h.M.Arch.HasFastSyscall)
-	h.M.CPU.ReturnTo(HypervisorComponent, hw.Ring3)
+	h.M.CPU.Trap(h.comp, h.M.Arch.HasFastSyscall)
+	h.M.CPU.ReturnTo(h.comp, hw.Ring3)
 	_ = vector
 	return true, nil
 }
@@ -161,7 +161,7 @@ func (h *Hypervisor) VirtDeviceOp(dom DomID, device string, cost hw.Cycles) erro
 	}
 	h.hypercallEntry(d)
 	defer h.hypercallExit(d)
-	h.M.CPU.Charge(HypervisorComponent, trace.KVirtDeviceOp, h.M.Arch.Costs.DeviceMMIO+cost)
+	h.M.CPU.Charge(h.comp, trace.KVirtDeviceOp, h.M.Arch.Costs.DeviceMMIO+cost)
 	_ = device
 	return nil
 }

@@ -361,7 +361,7 @@ func TestGrantCopyCostScalesWithPayload(t *testing.T) {
 func TestFastPathLifecycle(t *testing.T) {
 	r := newVrig(t, hw.X86())
 	r.domU.SetHooks(GuestHooks{OnSyscall: func(no uint32, args []uint64) []uint64 {
-		r.m.CPU.Work(r.domU.Component(), 200)
+		r.m.CPU.Work(r.domU.Comp(), 200)
 		return []uint64{uint64(no)}
 	}})
 	// Guest boots with truncated segments (XenoLinux layout).
@@ -460,7 +460,7 @@ func TestGuestException(t *testing.T) {
 	handled := false
 	ok, err := r.h.GuestException(r.domU.ID, 14, func() {
 		handled = true
-		r.m.CPU.Work(r.domU.Component(), 50)
+		r.m.CPU.Work(r.domU.Comp(), 50)
 	})
 	if err != nil || !ok || !handled {
 		t.Fatalf("exception not handled: ok=%v err=%v", ok, err)
@@ -486,7 +486,7 @@ func TestRouteIRQRequiresPrivilege(t *testing.T) {
 		t.Fatal(err)
 	}
 	r.m.IRQ.Raise(3)
-	r.m.IRQ.DispatchPending(HypervisorComponent)
+	r.m.IRQ.DispatchPending(r.m.Rec.Intern(HypervisorComponent))
 	if hits != 1 {
 		t.Fatalf("dom0 saw %d injections, want 1", hits)
 	}
@@ -501,7 +501,7 @@ func TestIRQToDeadDom0Dropped(t *testing.T) {
 	r.h.RouteIRQ(3, r.dom0.ID)
 	r.h.DestroyDomain(r.dom0.ID)
 	r.m.IRQ.Raise(3)
-	r.m.IRQ.DispatchPending(HypervisorComponent) // must not panic
+	r.m.IRQ.DispatchPending(r.m.Rec.Intern(HypervisorComponent)) // must not panic
 }
 
 func TestSendVIRQ(t *testing.T) {
@@ -776,18 +776,18 @@ func TestTenPrimitivesAllObservable(t *testing.T) {
 	})
 	r.dom0.SetHooks(GuestHooks{OnVIRQ: func(v int) {}})
 
-	r.h.GuestSyscall(r.domU.ID, 1, nil)                       // 1+2 (u2k, k2u) via 7 (bounce)
-	p0, _, _ := r.h.BindChannel(r.dom0.ID, r.domU.ID)         //
-	r.h.NotifyChannel(r.dom0.ID, p0)                          // 3 (+8 virq upcall)
-	r.h.Hypercall(r.domU.ID, "balloon", 50)                   // 4
-	r.h.MMUUpdate(r.domU.ID, 0x400, 1, hw.PermRW, true)       // 5
-	f := r.dom0.FrameAt(4)                                    //
-	ref, _ := r.h.GrantAccess(r.dom0.ID, f, r.domU.ID, false) //
-	r.h.GrantTransfer(r.domU.ID, r.dom0.ID, ref)              // 6
-	r.h.RouteIRQ(2, r.dom0.ID)                                // 9 setup
-	r.m.IRQ.Raise(2)                                          //
-	r.m.IRQ.DispatchPending(HypervisorComponent)              // 9
-	r.h.VirtDeviceOp(r.domU.ID, "console", 10)                // 10
+	r.h.GuestSyscall(r.domU.ID, 1, nil)                          // 1+2 (u2k, k2u) via 7 (bounce)
+	p0, _, _ := r.h.BindChannel(r.dom0.ID, r.domU.ID)            //
+	r.h.NotifyChannel(r.dom0.ID, p0)                             // 3 (+8 virq upcall)
+	r.h.Hypercall(r.domU.ID, "balloon", 50)                      // 4
+	r.h.MMUUpdate(r.domU.ID, 0x400, 1, hw.PermRW, true)          // 5
+	f := r.dom0.FrameAt(4)                                       //
+	ref, _ := r.h.GrantAccess(r.dom0.ID, f, r.domU.ID, false)    //
+	r.h.GrantTransfer(r.domU.ID, r.dom0.ID, ref)                 // 6
+	r.h.RouteIRQ(2, r.dom0.ID)                                   // 9 setup
+	r.m.IRQ.Raise(2)                                             //
+	r.m.IRQ.DispatchPending(r.m.Rec.Intern(HypervisorComponent)) // 9
+	r.h.VirtDeviceOp(r.domU.ID, "console", 10)                   // 10
 
 	want := []trace.Kind{
 		trace.KGuestUserToKernel, trace.KGuestKernelToUser, trace.KEvtchnSend,

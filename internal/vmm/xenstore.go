@@ -104,7 +104,7 @@ func (s *Store) Write(dom DomID, path, value string) error {
 	if _, ok := s.owners[path]; !ok {
 		s.owners[path] = dom
 	}
-	s.h.M.CPU.Work(HypervisorComponent, 150)
+	s.h.M.CPU.Work(s.h.comp, 150)
 	s.fire(path, value)
 	return nil
 }
@@ -122,7 +122,7 @@ func (s *Store) Read(dom DomID, path string) (string, error) {
 	if !ok {
 		return "", ErrStoreNoEntry
 	}
-	s.h.M.CPU.Work(HypervisorComponent, 100)
+	s.h.M.CPU.Work(s.h.comp, 100)
 	return v, nil
 }
 
@@ -140,7 +140,7 @@ func (s *Store) GrantWrite(granter, to DomID, path string) error {
 		return ErrStoreBadPath
 	}
 	s.owners[path] = to
-	s.h.M.CPU.Work(HypervisorComponent, 120)
+	s.h.M.CPU.Work(s.h.comp, 120)
 	return nil
 }
 
@@ -152,7 +152,7 @@ func (s *Store) List(dom DomID, prefix string) ([]string, error) {
 	}
 	s.h.hypercallEntry(d)
 	defer s.h.hypercallExit(d)
-	s.h.M.CPU.Work(HypervisorComponent, 150)
+	s.h.M.CPU.Work(s.h.comp, 150)
 	if !strings.HasSuffix(prefix, "/") {
 		prefix += "/"
 	}
@@ -186,7 +186,7 @@ func (s *Store) Watch(dom DomID, path string, fn func(path, value string)) error
 		return ErrStoreBadPath
 	}
 	s.watches[path] = append(s.watches[path], watch{dom: dom, fn: fn})
-	s.h.M.CPU.Work(HypervisorComponent, 120)
+	s.h.M.CPU.Work(s.h.comp, 120)
 	return nil
 }
 
@@ -203,7 +203,7 @@ func (s *Store) fire(path, value string) {
 			}
 			prev := s.h.current
 			s.h.switchTo(wd)
-			s.h.M.CPU.Work(HypervisorComponent, 80)
+			s.h.M.CPU.Work(s.h.comp, 80)
 			w.fn(path, value)
 			if prev != nil && prev != wd && !prev.Dead {
 				s.h.switchTo(prev)

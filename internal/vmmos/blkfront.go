@@ -55,7 +55,7 @@ func (bf *BlkFront) port() vmm.Port { return bf.localPort }
 // onEvent: completion notifications arrive here; state was already updated
 // by blkback through the shared request, so only demux work is charged.
 func (bf *BlkFront) onEvent() {
-	bf.gk.H.M.CPU.Work(bf.gk.Component(), 150)
+	bf.gk.H.M.CPU.Work(bf.gk.Comp(), 150)
 }
 
 // submit runs one request to completion.
@@ -64,8 +64,8 @@ func (bf *BlkFront) submit(op dev.DiskOp, block uint64) (*blkReq, error) {
 	if !h.Alive(bf.dd.GK.Dom.ID) {
 		return nil, ErrBackendDead
 	}
-	h.M.CPU.Work(bf.gk.Component(), 250) // request construction
-	readOnly := op == dev.DiskWrite      // dom0 only reads our page on write
+	h.M.CPU.Work(bf.gk.Comp(), 250) // request construction
+	readOnly := op == dev.DiskWrite // dom0 only reads our page on write
 	ref, err := h.GrantAccess(bf.gk.Dom.ID, bf.buf, bf.dd.GK.Dom.ID, readOnly)
 	if err != nil {
 		return nil, err

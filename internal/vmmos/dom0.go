@@ -3,6 +3,7 @@ package vmmos
 import (
 	"vmmk/internal/hw"
 	"vmmk/internal/hw/dev"
+	"vmmk/internal/trace"
 	"vmmk/internal/vmm"
 )
 
@@ -130,6 +131,9 @@ func NewDriverDomain(h *vmm.Hypervisor, d0 *vmm.Domain, nic *dev.NIC, disk *dev.
 // Component returns Dom0's trace attribution name.
 func (dd *DriverDomain) Component() string { return dd.GK.Component() }
 
+// Comp returns the interned trace attribution handle.
+func (dd *DriverDomain) Comp() trace.Comp { return dd.GK.Comp() }
+
 // replenishRxPool posts fresh dom0-owned frames to the NIC until the target
 // depth is reached. Pool management is real driver work and is charged.
 func (dd *DriverDomain) replenishRxPool() {
@@ -138,7 +142,7 @@ func (dd *DriverDomain) replenishRxPool() {
 		if err != nil {
 			return // memory pressure: run with a shallower pool
 		}
-		dd.H.M.CPU.Work(dd.Component(), 120) // buffer alloc + descriptor write
+		dd.H.M.CPU.Work(dd.Comp(), 120) // buffer alloc + descriptor write
 		if !dd.NIC.PostRxBuffer(f) {
 			dd.H.M.Mem.Free(f)
 			return
@@ -152,7 +156,7 @@ func (dd *DriverDomain) handleIRQ(virq int) {
 	case dd.NIC != nil && virq == int(dd.NIC.RxIRQ()):
 		dd.netbackRx()
 	case dd.NIC != nil && virq == int(dd.NIC.TxIRQ()):
-		dd.H.M.CPU.Work(dd.Component(), 150) // reap TX descriptors
+		dd.H.M.CPU.Work(dd.Comp(), 150) // reap TX descriptors
 	case dd.Disk != nil && virq == int(dd.Disk.IRQ()):
 		dd.blkbackComplete()
 	}
@@ -161,7 +165,7 @@ func (dd *DriverDomain) handleIRQ(virq int) {
 // netbackRx drains the NIC and pushes each packet to the owning guest:
 // demux by destination byte, publish a grant, kick the event channel.
 func (dd *DriverDomain) netbackRx() {
-	comp := dd.Component()
+	comp := dd.Comp()
 	for _, c := range dd.NIC.ReapRx() {
 		dd.rxHandled++
 		dd.H.M.CPU.Work(comp, 400) // driver RX path: demux, checksum, skb
@@ -193,7 +197,7 @@ func (dd *DriverDomain) netbackRx() {
 // netbackTx is dom0's event handler for a guest's TX kick: map each granted
 // packet page, hand it to the NIC, unmap.
 func (dd *DriverDomain) netbackTx(conn *netConn) {
-	comp := dd.Component()
+	comp := dd.Comp()
 	ring := conn.txRing
 	conn.txRing = nil
 	const txWindow = hw.VPN(0xD000)
@@ -215,7 +219,7 @@ func (dd *DriverDomain) netbackTx(conn *netConn) {
 // translate partition-relative blocks, submit to the physical disk with the
 // guest's granted frame as the DMA target.
 func (dd *DriverDomain) blkbackSubmit(conn *blkConn) {
-	comp := dd.Component()
+	comp := dd.Comp()
 	reqs := conn.reqs
 	conn.reqs = nil
 	for _, r := range reqs {
@@ -235,7 +239,7 @@ func (dd *DriverDomain) blkbackSubmit(conn *blkConn) {
 // blkbackComplete handles the physical disk's completion interrupt: match
 // tags, notify the owning guests.
 func (dd *DriverDomain) blkbackComplete() {
-	comp := dd.Component()
+	comp := dd.Comp()
 	for _, c := range dd.Disk.Reap() {
 		dd.H.M.CPU.Work(comp, 200)
 		for _, conn := range dd.blkConns {

@@ -18,6 +18,7 @@ import (
 
 	"vmmk/internal/fslite"
 	"vmmk/internal/hw"
+	"vmmk/internal/trace"
 	"vmmk/internal/vmm"
 )
 
@@ -101,6 +102,9 @@ func NewGuestKernel(h *vmm.Hypervisor, dom *vmm.Domain) *GuestKernel {
 // Component returns the domain's trace attribution name.
 func (gk *GuestKernel) Component() string { return gk.Dom.Component() }
 
+// Comp returns the interned trace attribution handle.
+func (gk *GuestKernel) Comp() trace.Comp { return gk.Dom.Comp() }
+
 // SetSyscallWork tunes the modelled in-kernel work per syscall.
 func (gk *GuestKernel) SetSyscallWork(c hw.Cycles) { gk.syscallWork = c }
 
@@ -109,7 +113,7 @@ func (gk *GuestKernel) Spawn(name string) *Process {
 	p := &Process{PID: gk.nextPID, Name: name}
 	gk.nextPID++
 	gk.procs[p.PID] = p
-	gk.H.M.CPU.Work(gk.Component(), 500) // fork+exec stand-in
+	gk.H.M.CPU.Work(gk.Comp(), 500) // fork+exec stand-in
 	return p
 }
 
@@ -128,7 +132,7 @@ func (gk *GuestKernel) Syscall(pid PID, no uint32, args ...uint64) ([]uint64, er
 // handleSyscall is the guest kernel's trap entry (registered as the
 // domain's OnSyscall hook). args[0] is the calling PID by convention.
 func (gk *GuestKernel) handleSyscall(no uint32, args []uint64) []uint64 {
-	comp := gk.Component()
+	comp := gk.Comp()
 	gk.H.M.CPU.Work(comp, gk.syscallWork)
 	var pid PID
 	if len(args) > 0 {
@@ -184,7 +188,7 @@ func (gk *GuestKernel) handleSyscall(no uint32, args []uint64) []uint64 {
 // handleEvent demultiplexes event-channel upcalls to the frontends and any
 // registered backends.
 func (gk *GuestKernel) handleEvent(port vmm.Port) {
-	gk.H.M.CPU.Work(gk.Component(), 80) // upcall demux
+	gk.H.M.CPU.Work(gk.Comp(), 80) // upcall demux
 	if gk.Net != nil && port == gk.Net.localPort {
 		gk.Net.onEvent()
 		return
@@ -201,7 +205,7 @@ func (gk *GuestKernel) handleEvent(port vmm.Port) {
 // handleVIRQ handles timer and other virtual interrupts, chaining to the
 // driver domain's hook when one is registered.
 func (gk *GuestKernel) handleVIRQ(virq int) {
-	gk.H.M.CPU.Work(gk.Component(), 60)
+	gk.H.M.CPU.Work(gk.Comp(), 60)
 	if gk.ExtraVIRQ != nil {
 		gk.ExtraVIRQ(virq)
 	}

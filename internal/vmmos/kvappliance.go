@@ -2,6 +2,7 @@ package vmmos
 
 import (
 	"vmmk/internal/hw"
+	"vmmk/internal/trace"
 	"vmmk/internal/vmm"
 )
 
@@ -58,6 +59,9 @@ func NewKVAppliance(h *vmm.Hypervisor, dom *vmm.Domain) *KVAppliance {
 // Component returns the appliance's trace attribution name.
 func (a *KVAppliance) Component() string { return a.Dom.Component() }
 
+// Comp returns the interned trace attribution handle.
+func (a *KVAppliance) Comp() trace.Comp { return a.Dom.Comp() }
+
 // Connect attaches a client guest: event channel + a dedicated request page
 // the client grants per call.
 func (a *KVAppliance) Connect(gk *GuestKernel) (*KVClient, error) {
@@ -74,14 +78,14 @@ func (a *KVAppliance) Connect(gk *GuestKernel) (*KVClient, error) {
 	c.conn = conn
 	a.conns[gk.Dom.ID] = conn
 	a.GK.ExtraEvent[appPort] = func() { a.serve(conn) }
-	gk.ExtraEvent[frontPort] = func() { gk.H.M.CPU.Work(gk.Component(), 100) }
+	gk.ExtraEvent[frontPort] = func() { gk.H.M.CPU.Work(gk.Comp(), 100) }
 	return c, nil
 }
 
 // serve handles one client kick: map the granted request page, run the
 // lookup, write the response back through the same page, unmap, notify.
 func (a *KVAppliance) serve(conn *kvConn) {
-	comp := a.Component()
+	comp := a.Comp()
 	h := a.H
 	r := conn.req
 	if r == nil {

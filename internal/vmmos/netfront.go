@@ -57,7 +57,7 @@ func ConnectNet(dd *DriverDomain, gk *GuestKernel) (*NetFront, error) {
 
 // onEvent is the frontend's upcall: drain the RX ring.
 func (nf *NetFront) onEvent() {
-	comp := nf.gk.Component()
+	comp := nf.gk.Comp()
 	h := nf.gk.H
 	ring := nf.conn.rxRing
 	nf.conn.rxRing = nil
@@ -89,7 +89,7 @@ func (nf *NetFront) onEvent() {
 			// Backend keeps its page: revoke the grant and let dom0
 			// recycle the frame straight back into the NIC pool.
 			h.GrantRevoke(nf.dd.GK.Dom.ID, slot.ref)
-			nf.dd.H.M.CPU.Work(nf.dd.Component(), 80) // pool recycle
+			nf.dd.H.M.CPU.Work(nf.dd.Comp(), 80) // pool recycle
 			nf.dd.NIC.PostRxBuffer(slot.frame)
 		}
 	}
@@ -111,7 +111,7 @@ func (nf *NetFront) Pending() int { return len(nf.rxQueue) }
 // Send transmits one packet: stage into the TX buffer, grant it to Dom0,
 // kick the channel.
 func (nf *NetFront) Send(data []byte) error {
-	comp := nf.gk.Component()
+	comp := nf.gk.Comp()
 	h := nf.gk.H
 	if !h.Alive(nf.dd.GK.Dom.ID) {
 		return ErrBackendDead

@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"vmmk/internal/hw"
+	"vmmk/internal/trace"
 	"vmmk/internal/vmm"
 )
 
@@ -95,6 +96,9 @@ func NewParallaxOn(gk *GuestKernel, dd *DriverDomain, persistBlocks uint64) (*Pa
 // Component returns the appliance's trace attribution name.
 func (px *Parallax) Component() string { return px.GK.Component() }
 
+// Comp returns the interned trace attribution handle.
+func (px *Parallax) Comp() trace.Comp { return px.GK.Comp() }
+
 // AttachClient creates a virtual disk for a client guest and wires its
 // event channel; the returned PxFront plugs into the client kernel as its
 // BlockDevice.
@@ -120,7 +124,7 @@ func (px *Parallax) AttachClient(gk *GuestKernel, size uint64) (*PxFront, error)
 // serve handles a client kick: pop requests, run the block map, move data
 // through the granted page, notify completion.
 func (px *Parallax) serve(conn *pxConn) {
-	comp := px.Component()
+	comp := px.Comp()
 	h := px.H
 	reqs := conn.reqs
 	conn.reqs = nil
@@ -193,7 +197,7 @@ func (px *Parallax) Snapshot(client vmm.DomID) (int, error) {
 	if vd == nil {
 		return 0, ErrVDiskUnknown
 	}
-	px.H.M.CPU.Work(px.Component(), 800)
+	px.H.M.CPU.Work(px.Comp(), 800)
 	if vd.snapshot == nil {
 		vd.snapshot = make(map[uint64][]byte)
 	}
@@ -234,7 +238,7 @@ type PxFront struct {
 func (pf *PxFront) port() vmm.Port { return pf.localPort }
 
 func (pf *PxFront) onEvent() {
-	pf.gk.H.M.CPU.Work(pf.gk.Component(), 150)
+	pf.gk.H.M.CPU.Work(pf.gk.Comp(), 150)
 }
 
 func (pf *PxFront) submit(write bool, block uint64) (*pxReq, error) {
@@ -242,7 +246,7 @@ func (pf *PxFront) submit(write bool, block uint64) (*pxReq, error) {
 	if !h.Alive(pf.px.GK.Dom.ID) {
 		return nil, ErrBackendDead
 	}
-	h.M.CPU.Work(pf.gk.Component(), 250)
+	h.M.CPU.Work(pf.gk.Comp(), 250)
 	ref, err := h.GrantAccess(pf.gk.Dom.ID, pf.buf, pf.px.GK.Dom.ID, false)
 	if err != nil {
 		return nil, err

@@ -104,7 +104,7 @@ func injectPacket(s *stack, size int) {
 	pkt := make([]byte, size)
 	// First byte selects the destination guest (index 0).
 	s.nic.Inject(pkt)
-	s.m.IRQ.DispatchPending(vmm.HypervisorComponent)
+	s.m.IRQ.DispatchPending(s.m.Rec.Intern(vmm.HypervisorComponent))
 }
 
 func TestNetRxFlipEndToEnd(t *testing.T) {
@@ -447,7 +447,7 @@ func TestRxDemuxToMultipleGuests(t *testing.T) {
 	s.nic.Inject([]byte{0, 0, 0})
 	s.nic.Inject([]byte{1, 0, 0})
 	s.nic.Inject([]byte{1, 0, 0})
-	s.m.IRQ.DispatchPending(vmm.HypervisorComponent)
+	s.m.IRQ.DispatchPending(s.m.Rec.Intern(vmm.HypervisorComponent))
 	s.pump()
 	if s.guest.Net.Pending() != 1 {
 		t.Fatalf("guest1 pending = %d, want 1", s.guest.Net.Pending())
