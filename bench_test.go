@@ -199,6 +199,40 @@ func BenchmarkE11LiveMigParallel(b *testing.B) {
 	}
 }
 
+// benchE12Config is a trimmed SMP sweep sized for benchmarking.
+var benchE12Config = core.E12Config{
+	CPUCounts: []int{1, 4},
+	Ops:       120,
+	Pages:     32,
+	Packets:   12,
+}
+
+// BenchmarkE12SMP regenerates the SMP scaling sweep.
+func BenchmarkE12SMP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := serialEng.E12(benchE12Config)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkE12SMPParallel fans the SMP cells across the worker pool.
+func BenchmarkE12SMPParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := parallelEng.E12(benchE12Config)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
 // BenchmarkAllExperiments runs the entire evaluation once per iteration —
 // the end-to-end "reproduce the paper" cost.
 func BenchmarkAllExperiments(b *testing.B) {

@@ -7,7 +7,8 @@
 //	vmmklab all
 //	vmmklab list
 //
-// Experiments are e1 through e11 (see EXPERIMENTS.md for the index). Flags:
+// Experiments are e1 through e12 (see EXPERIMENTS.md for the index). Flags
+// may appear before or after experiment names (vmmklab e12 -cpus 2 works):
 //
 //	-packets n   packet count for E1 sweeps (default 100)
 //	-syscalls n  iteration count for E3/E7 (default 200)
@@ -16,11 +17,13 @@
 //	-frames n    guest memory pages for E11 migrations (default 96)
 //	-rounds n    max pre-copy round budget for E11 (default 4)
 //	-dirty n     peak dirty rate (pages/round) for E11 (default 48)
+//	-cpus list   comma-separated core counts for the E12 SMP sweep
+//	             (default 1,2,4,8)
 //	-parallel n  max experiment cells in flight (default GOMAXPROCS)
 //	-csv         emit CSV instead of aligned tables
 //
-// Every parameter flag must be positive; zero or negative values are
-// usage errors, not silent clamps.
+// Every parameter flag must be positive (each -cpus entry likewise); zero
+// or negative values are usage errors, not silent clamps.
 //
 // Every experiment decomposes into independent cells — one simulated
 // machine per (platform, parameter-point) pair — which fan out across
@@ -33,6 +36,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 
 	"vmmk/internal/core"
 	"vmmk/internal/trace"
@@ -45,6 +50,37 @@ func main() {
 	}
 }
 
+// maxCPUs bounds the E12 sweep; the simulation is exact, not sampled, so a
+// four-digit core count is a typo, not an experiment.
+const maxCPUs = 64
+
+// parseCPUList parses the -cpus flag: comma-separated positive core
+// counts, each at most maxCPUs.
+func parseCPUList(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("usage: -cpus entries must be integers (got %q)", part)
+		}
+		if n < 1 {
+			return nil, fmt.Errorf("usage: -cpus entries must be positive (got %d)", n)
+		}
+		if n > maxCPUs {
+			return nil, fmt.Errorf("usage: -cpus entries must be at most %d (got %d)", maxCPUs, n)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("usage: -cpus needs at least one core count")
+	}
+	return out, nil
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("vmmklab", flag.ContinueOnError)
 	packets := fs.Int("packets", 100, "packet count for E1 sweeps")
@@ -54,11 +90,37 @@ func run(args []string) error {
 	frames := fs.Int("frames", 96, "guest memory pages for E11 migrations")
 	rounds := fs.Int("rounds", 4, "max pre-copy round budget for E11")
 	dirty := fs.Int("dirty", 48, "peak dirty rate (pages/round) for E11")
+	cpus := fs.String("cpus", "1,2,4,8", "comma-separated core counts for the E12 SMP sweep")
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "max experiment cells in flight")
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
-	if err := fs.Parse(args); err != nil {
-		return err
+	// Accept flags on either side of experiment names ("vmmklab e12 -cpus
+	// 2" reads naturally): parse, peel off leading positionals, and keep
+	// parsing whatever remains. The flag package's conventions survive
+	// the loop: a standalone "--" ends flag parsing for everything after
+	// it, and a lone "-" is an ordinary (non-flag) argument.
+	var positional, tail []string
+	rest := args
+	for i, a := range args {
+		if a == "--" {
+			rest = args[:i]
+			tail = args[i+1:]
+			break
+		}
 	}
+	for {
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		rest = fs.Args()
+		for len(rest) > 0 && (rest[0] == "-" || !strings.HasPrefix(rest[0], "-")) {
+			positional = append(positional, rest[0])
+			rest = rest[1:]
+		}
+		if len(rest) == 0 {
+			break
+		}
+	}
+	positional = append(positional, tail...)
 	// Every experiment parameter must be positive: a zero or negative
 	// count is a usage error, never a panic or a silent clamp.
 	// (-parallel is engine config, not an experiment parameter: <= 0
@@ -80,7 +142,12 @@ func run(args []string) error {
 			return fmt.Errorf("usage: -%s must be positive (got %d)", p.name, p.value)
 		}
 	}
-	if fs.NArg() == 0 {
+	cpuCounts, err := parseCPUList(*cpus)
+	if err != nil {
+		fs.Usage()
+		return err
+	}
+	if len(positional) == 0 {
 		fs.Usage()
 		return fmt.Errorf("no experiment given; try 'vmmklab list'")
 	}
@@ -196,10 +263,20 @@ func run(args []string) error {
 			emit(core.E11Table(rows))
 			return nil
 		},
+		"e12": func() error {
+			cfg := core.E12Defaults()
+			cfg.CPUCounts = cpuCounts
+			rows, err := eng.E12(cfg)
+			if err != nil {
+				return err
+			}
+			emit(core.E12Table(rows))
+			return nil
+		},
 	}
 
 	var ids []string
-	for _, a := range fs.Args() {
+	for _, a := range positional {
 		switch a {
 		case "all":
 			for _, e := range core.Experiments() {

@@ -4,6 +4,7 @@ import (
 	"os"
 	"strings"
 	"testing"
+	"time"
 )
 
 // capture runs fn with stdout redirected and returns what it printed.
@@ -60,6 +61,12 @@ func TestFlagValidation(t *testing.T) {
 		{"e11 rounds negative", []string{"-rounds", "-4", "e11"}, "rounds"},
 		{"e11 dirty zero", []string{"-dirty", "0", "e11"}, "dirty"},
 		{"e11 dirty negative", []string{"-dirty", "-8", "e11"}, "dirty"},
+		{"e12 cpus zero", []string{"-cpus", "0", "e12"}, "cpus"},
+		{"e12 cpus negative entry", []string{"-cpus", "2,-4", "e12"}, "cpus"},
+		{"e12 cpus junk", []string{"-cpus", "two", "e12"}, "cpus"},
+		{"e12 cpus absurd", []string{"-cpus", "4096", "e12"}, "cpus"},
+		{"e12 cpus empty", []string{"-cpus", ",", "e12"}, "cpus"},
+		{"e12 cpus zero after name", []string{"e12", "-cpus", "0"}, "cpus"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -80,6 +87,35 @@ func TestFlagValidation(t *testing.T) {
 func TestUnknownExperiment(t *testing.T) {
 	if err := run([]string{"e99"}); err == nil {
 		t.Fatal("unknown experiment accepted")
+	}
+}
+
+// TestBareDashTerminates: a lone "-" is a non-flag argument to the flag
+// package; the interleaved-flag parse loop must treat it as an (invalid)
+// experiment name rather than spinning forever on it.
+func TestBareDashTerminates(t *testing.T) {
+	done := make(chan error, 1)
+	go func() { done <- run([]string{"e7", "-"}) }()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("bare '-' accepted as an experiment")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("run([e7 -]) hung instead of rejecting the bare '-'")
+	}
+}
+
+// TestDoubleDashEndsFlags: everything after a standalone "--" is
+// positional, even when it looks like a flag — the flag package's
+// convention must survive the interleaved parse loop.
+func TestDoubleDashEndsFlags(t *testing.T) {
+	err := run([]string{"--", "-csv"})
+	if err == nil {
+		t.Fatal("'-csv' after '--' was not treated as a positional")
+	}
+	if !strings.Contains(err.Error(), "unknown experiment") || !strings.Contains(err.Error(), "-csv") {
+		t.Fatalf("want unknown-experiment error naming -csv, got %v", err)
 	}
 }
 
@@ -153,6 +189,32 @@ func TestE11FlagsAndDeterminism(t *testing.T) {
 	for _, want := range []string{"== e11:", "stop&copy", "pre-copy", "downtime cyc"} {
 		if !strings.Contains(serial, want) {
 			t.Errorf("e11 output missing %q:\n%s", want, serial)
+		}
+	}
+}
+
+// TestE12FlagsAndDeterminism runs the SMP sweep through the CLI — with the
+// flags after the experiment name, the way the docs show it — at two
+// worker widths and requires byte-identical tables with the expected
+// workloads present.
+func TestE12FlagsAndDeterminism(t *testing.T) {
+	args := func(parallel string) []string {
+		return []string{"e12", "-cpus", "1,2", "-parallel", parallel}
+	}
+	serial, err := capture(t, func() error { return run(args("1")) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := capture(t, func() error { return run(args("4")) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial != parallel {
+		t.Fatalf("-parallel changed the E12 table:\nserial:\n%s\nparallel:\n%s", serial, parallel)
+	}
+	for _, want := range []string{"== e12:", "ipc-pingpong", "dirty-scan", "driver-io", "shootdowns"} {
+		if !strings.Contains(serial, want) {
+			t.Errorf("e12 output missing %q:\n%s", want, serial)
 		}
 	}
 }

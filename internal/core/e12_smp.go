@@ -1,0 +1,377 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"vmmk/internal/hw"
+	"vmmk/internal/mk"
+	"vmmk/internal/trace"
+	"vmmk/internal/vmm"
+)
+
+// E12 measures what E1–E11 deliberately hold at zero: the cost of cross-CPU
+// coordination. The paper's comparison — per-domain vCPUs multiplexed by a
+// VMM versus a global thread pool scheduled by a microkernel — only
+// separates on multiprocessors, where the two structures pay differently
+// for IPIs, TLB shootdowns and run-queue placement. Three workloads sweep
+// core count on all three platform stacks:
+//
+//   - ipc-pingpong: a client on the boot CPU round-robins synchronous
+//     round trips over one partner per core. Cross-CPU rendezvous pays
+//     wake/reply IPIs (mk), an event-delivery kick (vmm) or reschedule
+//     IPIs (native), so the SMP tax climbs with the fraction of partners
+//     that live remotely: 0 at one core, (n-1)/n of ops at n.
+//   - dirty-scan: pages of a multi-vCPU guest (vmm, via log-dirty arming),
+//     a multi-threaded space (mk, via unmap) or a kernel buffer pool
+//     (native) are invalidated while every core may cache translations —
+//     each invalidation shoots down n-1 TLBs, so cost grows linearly.
+//   - driver-io: the full stacks from E1/E8 with guests placed on non-boot
+//     CPUs and drivers on the boot CPU; RX delivery and storage writes pay
+//     whatever IPIs and shootdowns the structure implies.
+//
+// Every cell is deterministic (no PRNG; fixed write/visit patterns), so
+// the table is byte-identical at any -parallel width, and every 1-CPU row
+// shows zero IPIs and shootdowns — the regression guard that E1–E11's
+// uniprocessor accounting is untouched.
+
+// E12Config parameterises the SMP sweep.
+type E12Config struct {
+	CPUCounts []int // machine sizes to sweep (each >= 1)
+	Ops       int   // ping-pong round trips per cell
+	Pages     int   // dirty-scan pages per round (two rounds per cell)
+	Packets   int   // driver-io RX packets per guest
+}
+
+// E12Defaults returns the published sweep.
+func E12Defaults() E12Config {
+	return E12Config{CPUCounts: []int{1, 2, 4, 8}, Ops: 240, Pages: 64, Packets: 24}
+}
+
+func (c *E12Config) defaults() {
+	d := E12Defaults()
+	if len(c.CPUCounts) == 0 {
+		c.CPUCounts = d.CPUCounts
+	}
+	if c.Ops <= 0 {
+		c.Ops = d.Ops
+	}
+	if c.Pages <= 0 {
+		c.Pages = d.Pages
+	}
+	if c.Packets <= 0 {
+		c.Packets = d.Packets
+	}
+}
+
+// E12Row is one (workload, platform, core count) measurement.
+type E12Row struct {
+	Workload   string
+	Platform   string
+	CPUs       int
+	Ops        int    // logical operations the workload performed
+	IPIs       uint64 // inter-processor interrupts delivered
+	Shootdowns uint64 // remote TLB invalidations performed
+	SMPCyc     uint64 // cycles attributed to cpu<n>.ipi / cpu<n>.shootdown
+	TotalCyc   uint64 // whole-machine virtual time consumed
+}
+
+// RunE12 runs the sweep on the default parallel runner.
+func RunE12(cfg E12Config) ([]E12Row, error) { return DefaultRunner().E12(cfg) }
+
+// E12 fans one cell out per (workload, platform, core count) triple. Rows
+// group each (workload, platform) pair's cores-vs-cost curve contiguously.
+func (r *Runner) E12(cfg E12Config) ([]E12Row, error) {
+	cfg.defaults()
+	type cellCfg struct {
+		workload, platform string
+		ncpus              int
+	}
+	var cells []cellCfg
+	for _, w := range []string{"ipc-pingpong", "dirty-scan", "driver-io"} {
+		for _, p := range []string{"vmm", "mk", "native"} {
+			for _, n := range cfg.CPUCounts {
+				cells = append(cells, cellCfg{w, p, n})
+			}
+		}
+	}
+	return runCells(r, len(cells), func(_ context.Context, i int) (E12Row, error) {
+		c := cells[i]
+		if c.ncpus < 1 {
+			return E12Row{}, fmt.Errorf("E12: core count must be positive (got %d)", c.ncpus)
+		}
+		switch c.workload {
+		case "ipc-pingpong":
+			switch c.platform {
+			case "vmm":
+				return e12PingPongVMM(c.ncpus, cfg.Ops)
+			case "mk":
+				return e12PingPongMK(c.ncpus, cfg.Ops)
+			default:
+				return e12PingPongNative(c.ncpus, cfg.Ops)
+			}
+		case "dirty-scan":
+			switch c.platform {
+			case "vmm":
+				return e12DirtyScanVMM(c.ncpus, cfg.Pages)
+			case "mk":
+				return e12DirtyScanMK(c.ncpus, cfg.Pages)
+			default:
+				return e12DirtyScanNative(c.ncpus, cfg.Pages)
+			}
+		default:
+			return e12DriverIO(c.platform, c.ncpus, cfg.Packets)
+		}
+	})
+}
+
+// e12Row reduces a finished cell's machine to its row.
+func e12Row(m *hw.Machine, workload, platform string, ncpus, ops int) E12Row {
+	return E12Row{
+		Workload:   workload,
+		Platform:   platform,
+		CPUs:       ncpus,
+		Ops:        ops,
+		IPIs:       m.Rec.Counts(trace.KIPI),
+		Shootdowns: m.Rec.Counts(trace.KTLBShootdown),
+		SMPCyc:     m.Rec.CyclesPrefix("cpu"),
+		TotalCyc:   uint64(m.Now()),
+	}
+}
+
+// e12PingPongMK: a client thread on the boot CPU calls one echo server per
+// CPU, round-robin. Calls to servers homed on other CPUs pay the wake and
+// reply IPIs the kernel's cross-CPU IPC path charges.
+func e12PingPongMK(ncpus, ops int) (E12Row, error) {
+	m := hw.NewMachine(hw.X86(), &hw.MachineConfig{Frames: 1024, NCPUs: ncpus})
+	k := mk.New(m)
+	cs, err := k.NewSpace("client", mk.NilThread)
+	if err != nil {
+		return E12Row{}, err
+	}
+	client := k.NewThread(cs, "client", 5, nil)
+	servers := make([]*mk.Thread, ncpus)
+	for c := 0; c < ncpus; c++ {
+		ss, err := k.NewSpace(fmt.Sprintf("echo%d", c), mk.NilThread)
+		if err != nil {
+			return E12Row{}, err
+		}
+		comp := ss.Comp()
+		t := k.NewThread(ss, ss.Name, 5, func(kk *mk.Kernel, _ mk.ThreadID, msg mk.Msg) (mk.Msg, error) {
+			kk.M.CPU.Work(comp, 50)
+			return msg, nil
+		})
+		if c > 0 {
+			if err := k.SetAffinity(t.ID, c); err != nil {
+				return E12Row{}, err
+			}
+		}
+		servers[c] = t
+	}
+	msg := mk.Msg{Label: 1, Words: []uint64{0xE12}}
+	for j := 0; j < ops; j++ {
+		if _, err := k.Call(client.ID, servers[j%ncpus].ID, msg); err != nil {
+			return E12Row{}, err
+		}
+	}
+	return e12Row(m, "ipc-pingpong", "mk", ncpus, ops), nil
+}
+
+// e12PingPongVMM: Dom0 notifies an event channel to one peer domain per
+// CPU, round-robin. Delivery into a domain whose vCPU is placed on another
+// pCPU pays the kick IPI.
+func e12PingPongVMM(ncpus, ops int) (E12Row, error) {
+	m := hw.NewMachine(hw.X86(), &hw.MachineConfig{Frames: 2048, NCPUs: ncpus})
+	h, _, err := vmm.New(m, 128)
+	if err != nil {
+		return E12Row{}, err
+	}
+	ports := make([]vmm.Port, ncpus)
+	for c := 0; c < ncpus; c++ {
+		d, err := h.CreateDomain(fmt.Sprintf("peer%d", c), 16)
+		if err != nil {
+			return E12Row{}, err
+		}
+		if c > 0 {
+			if err := h.PlaceVCPUs(d.ID, c); err != nil {
+				return E12Row{}, err
+			}
+		}
+		px, _, err := h.BindChannel(vmm.Dom0, d.ID)
+		if err != nil {
+			return E12Row{}, err
+		}
+		ports[c] = px
+	}
+	for j := 0; j < ops; j++ {
+		if err := h.NotifyChannel(vmm.Dom0, ports[j%ncpus]); err != nil {
+			return E12Row{}, err
+		}
+	}
+	return e12Row(m, "ipc-pingpong", "vmm", ncpus, ops), nil
+}
+
+// e12PingPongNative: a monolithic kernel's cross-core pipe ping-pong — one
+// syscall per round trip plus, for a partner on another core, the
+// reschedule IPI each direction. No protection-domain crossing, but the
+// hardware coordination cost is the same order as the structured systems'.
+func e12PingPongNative(ncpus, ops int) (E12Row, error) {
+	m := hw.NewMachine(hw.X86(), &hw.MachineConfig{Frames: 256, NCPUs: ncpus})
+	comp := m.Rec.Intern(NativeComponent)
+	for j := 0; j < ops; j++ {
+		m.CPU.SetRing(hw.Ring3)
+		m.CPU.Trap(comp, m.Arch.HasFastSyscall)
+		m.CPU.Work(comp, 200)
+		if t := j % ncpus; t != 0 {
+			m.SendIPI(0, t) // wake the partner's core
+			m.SendIPI(t, 0) // its reply wakes ours
+		}
+		m.CPU.ReturnTo(comp, hw.Ring3)
+	}
+	return e12Row(m, "ipc-pingpong", "native", ncpus, ops), nil
+}
+
+// e12DirtyScanVMM: a guest with one vCPU per pCPU runs two log-dirty
+// rounds over its pages. Each (re)arm write-protects the guest and must
+// shoot the stale writable translations out of every pCPU hosting one of
+// its vCPUs — Xen's log-dirty broadcast, growing linearly with placement.
+func e12DirtyScanVMM(ncpus, pages int) (E12Row, error) {
+	m := hw.NewMachine(hw.X86(), &hw.MachineConfig{Frames: pages + 512, NCPUs: ncpus})
+	h, _, err := vmm.New(m, 64)
+	if err != nil {
+		return E12Row{}, err
+	}
+	d, err := h.CreateDomain("smpguest", pages)
+	if err != nil {
+		return E12Row{}, err
+	}
+	if ncpus > 1 {
+		place := make([]int, ncpus)
+		for i := range place {
+			place[i] = i
+		}
+		if err := h.PlaceVCPUs(d.ID, place...); err != nil {
+			return E12Row{}, err
+		}
+	}
+	dl, err := h.EnableDirtyLog(d.ID)
+	if err != nil {
+		return E12Row{}, err
+	}
+	for round := 0; round < 2; round++ {
+		for p := 0; p < pages; p++ {
+			if err := h.GuestMemWrite(d.ID, p, 0, []byte{byte(round)}); err != nil {
+				return E12Row{}, err
+			}
+		}
+		dl.Rearm()
+	}
+	return e12Row(m, "dirty-scan", "vmm", ncpus, 2*pages), nil
+}
+
+// e12DirtyScanMK: a space with one worker thread installed per CPU has
+// pages mapped and unmapped under it, twice. Each unmap invalidates
+// locally and shoots down every other CPU currently running the space.
+func e12DirtyScanMK(ncpus, pages int) (E12Row, error) {
+	m := hw.NewMachine(hw.X86(), &hw.MachineConfig{Frames: 2*pages + 512, NCPUs: ncpus})
+	k := mk.New(m)
+	s, err := k.NewSpace("scan", mk.NilThread)
+	if err != nil {
+		return E12Row{}, err
+	}
+	for c := 0; c < ncpus; c++ {
+		t := k.NewThread(s, fmt.Sprintf("scan.w%d", c), 5, nil)
+		if c > 0 {
+			if err := k.SetAffinity(t.ID, c); err != nil {
+				return E12Row{}, err
+			}
+		}
+	}
+	for c := 0; c < ncpus; c++ {
+		k.ScheduleOn(c) // install each CPU's worker so the space is live there
+	}
+	const base = hw.VPN(0x1000)
+	for round := 0; round < 2; round++ {
+		if _, err := k.AllocAndMap(s, base, pages, hw.PermRW); err != nil {
+			return E12Row{}, err
+		}
+		for p := 0; p < pages; p++ {
+			k.UnmapPage(s, base+hw.VPN(p))
+		}
+	}
+	return e12Row(m, "dirty-scan", "mk", ncpus, 2*pages), nil
+}
+
+// e12DirtyScanNative: the monolithic baseline tears down a kernel buffer
+// pool — per-page PTE update, local invalidation, and on SMP a
+// single-entry shootdown broadcast to every other core.
+func e12DirtyScanNative(ncpus, pages int) (E12Row, error) {
+	m := hw.NewMachine(hw.X86(), &hw.MachineConfig{Frames: 256, NCPUs: ncpus})
+	comp := m.Rec.Intern(NativeComponent)
+	var targets []int
+	for i := 1; i < ncpus; i++ {
+		targets = append(targets, i)
+	}
+	const base = hw.VPN(0x1000)
+	for round := 0; round < 2; round++ {
+		for p := 0; p < pages; p++ {
+			m.CPU.Work(comp, m.Arch.Costs.PTEUpdate)
+			m.CPU.FlushTLBEntry(comp, 0, base+hw.VPN(p))
+			if len(targets) > 0 {
+				m.ShootdownEntry(0, targets, 0, base+hw.VPN(p))
+			}
+		}
+	}
+	return e12Row(m, "dirty-scan", "native", ncpus, 2*pages), nil
+}
+
+// e12DriverIO: the full platform stacks under the E1-style I/O workload,
+// with guests spread over non-boot CPUs (Config.NCPUs) and the drivers on
+// the boot CPU: RX delivery, drain and storage writes pay whatever
+// cross-CPU coordination each structure implies.
+func e12DriverIO(platform string, ncpus, packets int) (E12Row, error) {
+	cfg := Config{Guests: 2, NCPUs: ncpus}
+	var (
+		p   Platform
+		err error
+	)
+	switch platform {
+	case "vmm":
+		p, err = NewXenStack(cfg)
+	case "mk":
+		p, err = NewMKStack(cfg)
+	default:
+		p, err = NewNativeStack(cfg)
+	}
+	if err != nil {
+		return E12Row{}, err
+	}
+	guests := cfg.Guests
+	if platform == "native" {
+		guests = 1
+	}
+	ops := 0
+	for g := 0; g < guests; g++ {
+		p.InjectPackets(packets, 256, g)
+		ops += p.DrainRx(g)
+		for b := 0; b < 4; b++ {
+			if err := p.StorageWrite(g, uint64(b+1), []byte("e12-smp")); err != nil {
+				return E12Row{}, err
+			}
+			ops++
+		}
+	}
+	return e12Row(p.M(), "driver-io", platform, ncpus, ops), nil
+}
+
+// E12Table renders the sweep.
+func E12Table(rows []E12Row) *trace.Table {
+	t := trace.NewTable(
+		"E12 — SMP scaling: IPI and TLB-shootdown cost vs core count",
+		"workload", "platform", "cpus", "ops", "IPIs", "shootdowns", "smp cyc", "total cyc",
+	)
+	for _, r := range rows {
+		t.AddRow(r.Workload, r.Platform, r.CPUs, r.Ops, r.IPIs, r.Shootdowns, r.SMPCyc, r.TotalCyc)
+	}
+	return t
+}

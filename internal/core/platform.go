@@ -1,11 +1,3 @@
-// Package core is the comparison framework — the reproduction's actual
-// contribution, standing in for the "systematic and objective examination
-// of the similarities and differences of microkernels and VMMs" the paper
-// calls for. It boots the two complete stacks (and a monolithic native
-// baseline) on identical simulated hardware, replays identical workloads,
-// and reduces the traces to the quantities the debate argues about:
-// boundary-crossing counts, per-component CPU attribution, failure blast
-// radii, primitive censuses and portability deltas.
 package core
 
 import (
@@ -31,6 +23,13 @@ type Config struct {
 	DiskLatency hw.Cycles
 	StoreBlocks uint64 // per-guest virtual disk size
 	LogCap      int    // trace event-log capacity (0 = counters only)
+	// NCPUs is the machine's processor count (default 1). With more than
+	// one CPU the stacks spread their guests over the non-boot CPUs —
+	// vCPU placement on the VMM side, thread affinity on the mk side —
+	// while drivers stay on the boot CPU, so cross-CPU coordination
+	// (IPIs, TLB shootdown) becomes visible. E1–E11 always run with one
+	// CPU and are bit-for-bit unaffected.
+	NCPUs int
 	// Consolidated colocates the storage service with the driver domain
 	// (Parallax inside Dom0; store server inside the disk driver's space)
 	// — the "super-VM" structure §2.2 warns about. Default is decomposed.
@@ -54,6 +53,18 @@ func (c *Config) defaults() {
 	if c.StoreBlocks == 0 {
 		c.StoreBlocks = 256
 	}
+	if c.NCPUs == 0 {
+		c.NCPUs = 1
+	}
+}
+
+// guestCPU spreads guest i over the non-boot CPUs (1-based round-robin);
+// on a uniprocessor everything stays on CPU 0.
+func (c *Config) guestCPU(i int) int {
+	if c.NCPUs <= 1 {
+		return 0
+	}
+	return 1 + i%(c.NCPUs-1)
 }
 
 // ErrGuestIndex is returned for out-of-range guest references.
@@ -120,7 +131,7 @@ type XenStack struct {
 // NewXenStack boots the full VMM-side system.
 func NewXenStack(cfg Config) (*XenStack, error) {
 	cfg.defaults()
-	m := hw.NewMachine(cfg.Arch, &hw.MachineConfig{Frames: cfg.Frames, IRQLines: 16, LogCap: cfg.LogCap})
+	m := hw.NewMachine(cfg.Arch, &hw.MachineConfig{Frames: cfg.Frames, IRQLines: 16, LogCap: cfg.LogCap, NCPUs: cfg.NCPUs})
 	h, d0, err := vmm.New(m, 256)
 	if err != nil {
 		return nil, err
@@ -186,6 +197,15 @@ func NewXenStack(cfg Config) (*XenStack, error) {
 				}
 			}
 			if _, err := h.EnableFastPath(dU.ID); err != nil {
+				return nil, err
+			}
+		}
+		// On a multiprocessor the guest's vCPU lives on a non-boot pCPU
+		// (Dom0 and Parallax stay on the boot CPU with the monitor), so
+		// event deliveries to it pay IPIs and its shadow invalidations
+		// shoot down its pCPU.
+		if cfg.NCPUs > 1 {
+			if err := gk.Place(cfg.guestCPU(i)); err != nil {
 				return nil, err
 			}
 		}
@@ -326,7 +346,7 @@ type MKStack struct {
 // NewMKStack boots the full microkernel-side system.
 func NewMKStack(cfg Config) (*MKStack, error) {
 	cfg.defaults()
-	m := hw.NewMachine(cfg.Arch, &hw.MachineConfig{Frames: cfg.Frames, IRQLines: 16, LogCap: cfg.LogCap})
+	m := hw.NewMachine(cfg.Arch, &hw.MachineConfig{Frames: cfg.Frames, IRQLines: 16, LogCap: cfg.LogCap, NCPUs: cfg.NCPUs})
 	k := mk.New(m)
 	nic := dev.NewNIC(m, dev.NICConfig{RxIRQ: 1, TxIRQ: 2, RingSize: 128})
 	disk := dev.NewDisk(m, dev.DiskConfig{IRQ: 3, Latency: cfg.DiskLatency})
@@ -359,6 +379,15 @@ func NewMKStack(cfg Config) (*MKStack, error) {
 		}
 		nd.Attach(osrv)
 		store.Attach(osrv, cfg.StoreBlocks)
+		// Mirror the VMM-side placement: each guest OS instance (server
+		// thread plus its processes) homes on a non-boot CPU while the
+		// driver and store servers keep the boot CPU, so guest⇄driver
+		// IPC crosses CPUs and pays IPIs.
+		if cfg.NCPUs > 1 {
+			if err := osrv.Pin(cfg.guestCPU(i)); err != nil {
+				return nil, err
+			}
+		}
 		p, err := osrv.Spawn("app")
 		if err != nil {
 			return nil, err
@@ -507,7 +536,7 @@ const NativeComponent = "native.kernel"
 // NewNativeStack boots the baseline.
 func NewNativeStack(cfg Config) (*NativeStack, error) {
 	cfg.defaults()
-	m := hw.NewMachine(cfg.Arch, &hw.MachineConfig{Frames: cfg.Frames, IRQLines: 16})
+	m := hw.NewMachine(cfg.Arch, &hw.MachineConfig{Frames: cfg.Frames, IRQLines: 16, NCPUs: cfg.NCPUs})
 	s := &NativeStack{Cfg: cfg, Mach: m, comp: m.Rec.Intern(NativeComponent), store: make(map[uint64][]byte)}
 	s.NIC = dev.NewNIC(m, dev.NICConfig{RxIRQ: 1, TxIRQ: 2, RingSize: 128})
 	s.Disk = dev.NewDisk(m, dev.DiskConfig{IRQ: 3, Latency: cfg.DiskLatency})
@@ -579,11 +608,22 @@ func (s *NativeStack) InjectPackets(n, size, dest int) {
 	}
 }
 
-// DrainRx implements Platform.
+// appCPU is the core the application runs on in the SMP model: the last
+// one, as far from the boot CPU (which fields interrupts and runs the
+// in-kernel driver) as the machine allows. 0 on a uniprocessor.
+func (s *NativeStack) appCPU() int { return s.Mach.NCPUs() - 1 }
+
+// DrainRx implements Platform. On a multiprocessor each delivered packet
+// costs the reschedule IPI the driver core sends to wake the application
+// core — the monolithic kernel pays for cross-CPU coordination too, just
+// without any protection-domain crossing.
 func (s *NativeStack) DrainRx(int) int {
 	n := 0
 	for s.rxQueue > 0 {
 		s.syscall(100)
+		if app := s.appCPU(); app != 0 {
+			s.Mach.SendIPI(0, app)
+		}
 		s.rxQueue--
 		n++
 	}
@@ -617,6 +657,22 @@ func (s *NativeStack) DoSyscall(from int, no uint32, arg uint64) error {
 	return nil
 }
 
+// smpUnmapBuffer models tearing down a transient kernel mapping on a
+// multiprocessor: the unmapping core must shoot the stale translation out
+// of every other core's TLB before the frame can be reused. Free on a
+// uniprocessor.
+func (s *NativeStack) smpUnmapBuffer(f hw.FrameID) {
+	n := s.Mach.NCPUs()
+	if n <= 1 {
+		return
+	}
+	targets := make([]int, 0, n-1)
+	for i := 1; i < n; i++ {
+		targets = append(targets, i)
+	}
+	s.Mach.ShootdownEntry(0, targets, 0, hw.VPN(f))
+}
+
 // StorageWrite implements Platform: an in-kernel filesystem write.
 func (s *NativeStack) StorageWrite(from int, block uint64, data []byte) error {
 	if s.dead {
@@ -628,6 +684,7 @@ func (s *NativeStack) StorageWrite(from int, block uint64, data []byte) error {
 		return err
 	}
 	defer s.Mach.Mem.Free(f)
+	defer s.smpUnmapBuffer(f)
 	buf := s.Mach.Mem.Data(f)
 	copy(buf, data)
 	s.Disk.Submit(dev.DiskReq{Op: dev.DiskWrite, Block: block, Frame: f})
@@ -647,6 +704,7 @@ func (s *NativeStack) StorageRead(from int, block uint64) ([]byte, error) {
 		return nil, err
 	}
 	defer s.Mach.Mem.Free(f)
+	defer s.smpUnmapBuffer(f)
 	s.Disk.Submit(dev.DiskReq{Op: dev.DiskRead, Block: block, Frame: f})
 	s.Pump()
 	out := make([]byte, s.Mach.Mem.PageSize())

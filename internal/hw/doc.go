@@ -1,0 +1,31 @@
+// Package hw simulates the hardware substrate both kernels run on: one or
+// more CPUs with privilege rings and (on x86) segmentation, an MMU with
+// page tables and per-CPU software-visible TLBs, physical memory with frame
+// ownership, an interrupt controller doubling as the IPI mesh, and a
+// discrete-event queue driving devices (hw/dev).
+//
+// Nothing here executes real instructions. The simulation is a cycle
+// accounting model: every privileged operation advances a virtual clock by
+// an architecture-specific cost (CostModel) and records the event in a
+// trace.Recorder. The paper's claims are about counts of privileged
+// crossings and their relative costs, so this level of fidelity is exactly
+// what the experiments need, and it is fully deterministic. Nine Arch
+// descriptors (AllArchs) capture what the portability and fast-path
+// arguments depend on: segmentation, ASID-tagged TLBs, page-table depth,
+// trap mechanisms, endianness, word width.
+//
+// Multiprocessor model: a Machine may have several CPUs (MachineConfig.
+// NCPUs) sharing the clock, memory, recorder and IRQ controller; each CPU
+// keeps private privilege state, address-space root and TLB. Cross-CPU
+// coordination is explicit and charged: SendIPI delivers one
+// inter-processor interrupt (cost split between "cpu<n>.ipi" components of
+// sender and target), and ShootdownAll/ShootdownEntry interrupt target
+// CPUs to invalidate their TLBs ("cpu<n>.shootdown"). CPU 0 is the boot
+// processor every uniprocessor path uses, so a 1-CPU machine — the
+// configuration experiments E1–E11 always run — behaves bit-for-bit as it
+// did before SMP support existed; only experiment E12 sweeps NCPUs.
+//
+// Layering: package mk (the L4-style microkernel) and package vmm (the
+// Xen-style monitor) both boot directly on a Machine; package core
+// instantiates one Machine per experiment cell.
+package hw

@@ -17,8 +17,13 @@ type Handler func(line IRQLine)
 // priority) when the kernel asks. Dispatch is explicit rather than
 // preemptive: the kernels poll at their scheduling points, which matches
 // how the simulation serialises work and keeps traces deterministic.
+//
+// On a multi-CPU machine the controller doubles as the local-APIC mesh:
+// external device interrupts are routed to the boot CPU (CPUs[0], the
+// common x86 arrangement of the paper's era), while inter-processor
+// interrupts go point-to-point between any two CPUs via Machine.SendIPI.
 type IRQController struct {
-	cpu      *CPU
+	cpu      *CPU       // boot CPU: fields all external interrupts
 	comp     trace.Comp // "hw.irq", interned at construction
 	lines    int
 	pending  []bool
@@ -26,17 +31,23 @@ type IRQController struct {
 	handlers []Handler
 	raised   uint64
 	spurious uint64
+	ipis     uint64
 }
 
 // NewIRQController returns a controller with n lines, all unmasked and
-// without handlers.
-func NewIRQController(cpu *CPU, n int) *IRQController {
+// without handlers, fielding external interrupts on cpus[0]. (IPIs are
+// point-to-point — deliverIPI takes both endpoints — so the controller
+// itself only needs the boot CPU.)
+func NewIRQController(cpus []*CPU, n int) *IRQController {
 	if n <= 0 {
 		panic("hw: controller needs at least one line")
 	}
+	if len(cpus) == 0 {
+		panic("hw: controller needs at least one CPU")
+	}
 	return &IRQController{
-		cpu:      cpu,
-		comp:     cpu.Rec.Intern("hw.irq"),
+		cpu:      cpus[0],
+		comp:     cpus[0].Rec.Intern("hw.irq"),
 		lines:    n,
 		pending:  make([]bool, n),
 		masked:   make([]bool, n),
@@ -111,6 +122,24 @@ func (ic *IRQController) DispatchPending(component trace.Comp) int {
 	}
 	return n
 }
+
+// deliverIPI is the inter-processor interrupt path (Machine.SendIPI and
+// the shootdown helpers route through it): the sender pays the APIC write
+// plus the cross-CPU interrupt latency, the target pays acceptance and
+// vectoring. Both halves advance the one shared clock — the simulation
+// serialises the machine — but each half lands on its own CPU's component
+// ("cpu<n>.ipi"), so the E12 tables can show where the SMP tax falls.
+func (ic *IRQController) deliverIPI(src, dst *CPU) {
+	ic.ipis++
+	costs := src.Arch.Costs
+	src.Clock.Advance(costs.IPI)
+	src.Rec.Charge(uint64(src.Clock.Now()), trace.KIPI, src.ipiComp, uint64(costs.IPI))
+	dst.Clock.Advance(costs.IRQDispatch)
+	dst.Rec.ChargeCycles(dst.ipiComp, uint64(costs.IRQDispatch))
+}
+
+// IPIs returns how many inter-processor interrupts have been delivered.
+func (ic *IRQController) IPIs() uint64 { return ic.ipis }
 
 // Stats returns cumulative raised and spurious counts.
 func (ic *IRQController) Stats() (raised, spurious uint64) { return ic.raised, ic.spurious }

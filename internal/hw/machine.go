@@ -3,14 +3,20 @@ package hw
 import "vmmk/internal/trace"
 
 // Machine bundles one complete simulated computer: architecture, clock,
-// event queue, CPU, physical memory and interrupt controller. Both kernels
-// boot on a Machine; the experiments instantiate one per platform under
-// test.
+// event queue, one or more CPUs, physical memory and interrupt controller.
+// Both kernels boot on a Machine; the experiments instantiate one per
+// platform under test.
+//
+// All CPUs share the clock, memory, recorder and IRQ controller; each CPU
+// has its own privilege state, address-space root and TLB. CPU is the boot
+// processor (CPUs[0]) and is what every uniprocessor code path uses, so a
+// 1-CPU machine behaves exactly as it did before SMP support existed.
 type Machine struct {
 	Arch   *Arch
 	Clock  *Clock
 	Events *EventQueue
-	CPU    *CPU
+	CPU    *CPU   // boot processor, == CPUs[0]
+	CPUs   []*CPU // all processors; len(CPUs) >= 1
 	Mem    *PhysMem
 	IRQ    *IRQController
 	Rec    *trace.Recorder
@@ -21,11 +27,12 @@ type MachineConfig struct {
 	Frames   int // physical memory size in pages (default 4096)
 	IRQLines int // interrupt lines (default 16)
 	LogCap   int // trace event log capacity (default 0 = counters only)
+	NCPUs    int // processor count (default 1)
 }
 
 // NewMachine builds a machine for arch. A nil cfg uses defaults.
 func NewMachine(arch *Arch, cfg *MachineConfig) *Machine {
-	c := MachineConfig{Frames: 4096, IRQLines: 16}
+	c := MachineConfig{Frames: 4096, IRQLines: 16, NCPUs: 1}
 	if cfg != nil {
 		if cfg.Frames > 0 {
 			c.Frames = cfg.Frames
@@ -33,22 +40,100 @@ func NewMachine(arch *Arch, cfg *MachineConfig) *Machine {
 		if cfg.IRQLines > 0 {
 			c.IRQLines = cfg.IRQLines
 		}
+		if cfg.NCPUs > 0 {
+			c.NCPUs = cfg.NCPUs
+		}
 		c.LogCap = cfg.LogCap
 	}
 	clock := &Clock{}
 	rec := trace.NewRecorder(c.LogCap)
 	mem := NewPhysMem(c.Frames, arch.PageSize())
-	cpu := NewCPU(arch, clock, mem, rec)
+	cpus := make([]*CPU, c.NCPUs)
+	for i := range cpus {
+		cpus[i] = NewCPUOn(arch, clock, mem, rec, i)
+	}
 	return &Machine{
 		Arch:   arch,
 		Clock:  clock,
 		Events: NewEventQueue(clock),
-		CPU:    cpu,
+		CPU:    cpus[0],
+		CPUs:   cpus,
 		Mem:    mem,
-		IRQ:    NewIRQController(cpu, c.IRQLines),
+		IRQ:    NewIRQController(cpus, c.IRQLines),
 		Rec:    rec,
 	}
 }
 
 // Now returns the machine's virtual time.
 func (m *Machine) Now() Cycles { return m.Clock.Now() }
+
+// NCPUs returns the processor count.
+func (m *Machine) NCPUs() int { return len(m.CPUs) }
+
+// checkCPU panics on an out-of-range CPU index — always a kernel bug, the
+// moral equivalent of programming a nonexistent APIC ID.
+func (m *Machine) checkCPU(i int) *CPU {
+	if i < 0 || i >= len(m.CPUs) {
+		panic("hw: CPU index out of range")
+	}
+	return m.CPUs[i]
+}
+
+// SendIPI sends one inter-processor interrupt from CPU from to CPU to,
+// charging the sender's APIC write plus interrupt latency to the sender's
+// "cpu<from>.ipi" component and the target's acceptance to
+// "cpu<to>.ipi". Sending to yourself is free and uncounted (kernels
+// short-circuit self-IPIs), so uniprocessor paths may call this blindly.
+func (m *Machine) SendIPI(from, to int) {
+	src := m.checkCPU(from)
+	dst := m.checkCPU(to)
+	if src == dst {
+		return
+	}
+	m.IRQ.deliverIPI(src, dst)
+}
+
+// ShootdownAll performs a full TLB shootdown: CPU from interrupts every
+// target CPU, which flushes its entire TLB and charges the handling cost to
+// its own "cpu<n>.shootdown" component. The initiator's IPIs are charged
+// per target; targets equal to from (or duplicated) are skipped, so callers
+// may pass conservative target sets.
+func (m *Machine) ShootdownAll(from int, targets []int) {
+	m.shootdown(from, targets, func(c *CPU) {
+		c.TLB.FlushAll()
+	})
+}
+
+// ShootdownEntry is the single-entry variant of ShootdownAll: every target
+// CPU invalidates just (asid, vpn). The IPI round trip dominates — the
+// reason real kernels batch invalidations — so it costs the same shootdown
+// handling as a full flush minus the refill misses the full flush causes.
+func (m *Machine) ShootdownEntry(from int, targets []int, asid uint16, vpn VPN) {
+	m.shootdown(from, targets, func(c *CPU) {
+		c.TLB.FlushEntry(asid, vpn)
+	})
+}
+
+// shootdown interrupts each distinct remote target in ascending CPU order
+// (determinism), runs the invalidation on it and charges the costs.
+func (m *Machine) shootdown(from int, targets []int, invalidate func(*CPU)) {
+	src := m.checkCPU(from)
+	want := make([]bool, len(m.CPUs))
+	for _, t := range targets {
+		if t == from {
+			continue // the initiator flushes locally, not via IPI
+		}
+		m.checkCPU(t)
+		want[t] = true
+	}
+	for i, dst := range m.CPUs {
+		if !want[i] {
+			continue
+		}
+		m.IRQ.deliverIPI(src, dst)
+		invalidate(dst)
+		m.Clock.Advance(m.Arch.Costs.TLBShootdown)
+		m.Rec.Charge(uint64(m.Clock.Now()), trace.KTLBShootdown, dst.shootComp,
+			uint64(m.Arch.Costs.TLBShootdown))
+	}
+}

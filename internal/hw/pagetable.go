@@ -145,6 +145,7 @@ func (pt *PageTable) UnmapFrame(f FrameID) int {
 	return len(victims)
 }
 
+// String summarises the table for debugging output.
 func (pt *PageTable) String() string {
 	return fmt.Sprintf("pt(asid=%d, %d entries)", pt.asid, len(pt.entries))
 }

@@ -1,0 +1,32 @@
+// Package mk implements an L4-style microkernel over the hw substrate:
+// threads, address spaces, synchronous IPC with register/string/map
+// transfer, interrupt delivery as IPC, external pagers, and a priority
+// round-robin scheduler with per-CPU run queues. It is "system A" of the
+// paper's comparison; package vmm is its Xen-shaped counterpart, package
+// mkos the OS personality that runs on it, and package core boots and
+// measures the two side by side.
+//
+// Following Liedtke's dictum quoted in the paper ("minimize the kernel and
+// implement whatever possible outside of the kernel"), the kernel knows
+// nothing about devices, files, networks or guest operating systems; all of
+// that lives in user-level servers (package mkos). IPC is the single
+// extensibility primitive and serves the paper's three purposes: control
+// transfer, data transfer, and resource delegation by mutual agreement.
+//
+// Execution model: the simulation is synchronous and deterministic. A
+// server thread is a reactive handler; Call runs the complete IPC path —
+// kernel entry, transfer, address-space switch, the handler itself, and the
+// reply — charging every step to the right component. This collapses
+// scheduling interleavings that the paper's arguments do not depend on
+// while preserving exactly what they do depend on: who crosses which
+// protection boundary, how often, and at what cost.
+//
+// Multiprocessor model: threads have a home CPU (Thread.Affinity, set by
+// SetAffinity) and each CPU schedules from its own run queue (ScheduleOn),
+// stealing work from other CPUs — a charged migration — when its queue
+// runs dry. IPC between threads homed on different CPUs pays wake and
+// reply IPIs, and unmapping a page of a space installed on other CPUs
+// triggers a TLB shootdown to each of them. A thread is never installed on
+// two CPUs at once. All of this is inert on the 1-CPU machines E1–E11 use;
+// experiment E12 is what exercises it.
+package mk

@@ -167,7 +167,14 @@ func (k *Kernel) Call(from, to ThreadID, msg Msg) (Msg, error) {
 		}
 	}
 
-	// Control transfer: switch to the server's space and drop to user.
+	// Control transfer: switch to the server's space and drop to user. A
+	// partner homed on another CPU first needs that CPU kicked awake — the
+	// cross-CPU IPC surcharge the SMP experiment (E12) measures; same-CPU
+	// rendezvous (and every uniprocessor call) pays nothing here.
+	if src.Affinity != dst.Affinity {
+		k.ipcCrossCPU++
+		k.M.SendIPI(src.Affinity, dst.Affinity)
+	}
 	k.M.CPU.SwitchSpace(k.comp, dst.Space.PT)
 	k.M.CPU.Charge(k.comp, trace.KIPCCall, k.M.Arch.Costs.CtxSave)
 	k.M.CPU.ReturnTo(k.comp, hw.Ring3)
@@ -180,7 +187,11 @@ func (k *Kernel) Call(from, to ThreadID, msg Msg) (Msg, error) {
 	reply, herr := dst.Handler(k, from, msg.clone())
 	k.callDepth--
 
-	// Reply path: kernel entry from the server, transfer, switch back.
+	// Reply path: kernel entry from the server, transfer, switch back —
+	// and the return kick when the caller waits on another CPU.
+	if src.Affinity != dst.Affinity {
+		k.M.SendIPI(dst.Affinity, src.Affinity)
+	}
 	k.M.CPU.Trap(k.comp, k.M.Arch.HasFastSyscall)
 	if herr == nil {
 		if terr := k.ipcTransferCost(reply); terr != nil {
@@ -223,6 +234,10 @@ func (k *Kernel) Send(from, to ThreadID, msg Msg) error {
 	src.ipcOut++
 	dst.ipcIn++
 	k.ipcSends++
+	if src.Affinity != dst.Affinity {
+		k.ipcCrossCPU++
+		k.M.SendIPI(src.Affinity, dst.Affinity)
+	}
 	k.M.CPU.Charge(k.comp, trace.KIPCSend, 10)
 
 	if dst.Handler != nil {

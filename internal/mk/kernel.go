@@ -1,22 +1,3 @@
-// Package mk implements an L4-style microkernel over the hw substrate:
-// threads, address spaces, synchronous IPC with register/string/map
-// transfer, interrupt delivery as IPC, external pagers, and a priority
-// round-robin scheduler.
-//
-// Following Liedtke's dictum quoted in the paper ("minimize the kernel and
-// implement whatever possible outside of the kernel"), the kernel knows
-// nothing about devices, files, networks or guest operating systems; all of
-// that lives in user-level servers (package mkos). IPC is the single
-// extensibility primitive and serves the paper's three purposes: control
-// transfer, data transfer, and resource delegation by mutual agreement.
-//
-// Execution model: the simulation is synchronous and deterministic. A
-// server thread is a reactive handler; Call runs the complete IPC path —
-// kernel entry, transfer, address-space switch, the handler itself, and the
-// reply — charging every step to the right component. This collapses
-// scheduling interleavings that the paper's arguments do not depend on
-// while preserving exactly what they do depend on: who crosses which
-// protection boundary, how often, and at what cost.
 package mk
 
 import (
@@ -48,6 +29,7 @@ var (
 	ErrPagerFailed    = errors.New("mk: pager could not resolve fault")
 	ErrSpaceExhausted = errors.New("mk: out of address-space IDs")
 	ErrCallDepth      = errors.New("mk: IPC call chain too deep")
+	ErrBadCPU         = errors.New("mk: CPU index out of range")
 )
 
 // KernelComponent is the trace attribution name of kernel-mode work.
@@ -79,9 +61,10 @@ type Kernel struct {
 	callDepth int
 
 	// stats
-	ipcCalls   uint64
-	ipcSends   uint64
-	faultsIPCd uint64
+	ipcCalls    uint64
+	ipcSends    uint64
+	ipcCrossCPU uint64
+	faultsIPCd  uint64
 }
 
 // New boots a microkernel on machine m. The kernel reserves ASID 0 for
@@ -160,6 +143,7 @@ const (
 	StateDead
 )
 
+// String names the scheduling state.
 func (s ThreadState) String() string {
 	switch s {
 	case StateReady:
@@ -180,6 +164,15 @@ type Thread struct {
 	Prio    int // higher runs first
 	State   ThreadState
 	Handler Handler
+
+	// Affinity is the CPU whose run queue homes the thread (0 on a
+	// uniprocessor). SetAffinity re-homes it; work stealing may migrate
+	// it when its home CPU has surplus ready work.
+	Affinity int
+	// onCPU is the CPU the thread is currently installed on, -1 when not
+	// running anywhere — the invariant that a thread never occupies two
+	// CPUs at once is enforced through it.
+	onCPU int
 
 	// Inbox holds one-way sends awaiting the thread's next activation.
 	Inbox []Envelope
@@ -212,6 +205,7 @@ func (k *Kernel) NewThread(space *Space, name string, prio int, h Handler) *Thre
 		Prio:    prio,
 		State:   StateReady,
 		Handler: h,
+		onCPU:   -1,
 		comp:    k.M.Rec.Intern("mk." + name),
 	}
 	k.nextTID++
@@ -248,12 +242,17 @@ func (k *Kernel) MapPage(s *Space, vpn hw.VPN, f hw.FrameID, perms hw.Perm) {
 	k.mapdb.drop(mapNode{space: s.ID, vpn: vpn})
 }
 
-// UnmapPage removes a single mapping and invalidates the TLB entry. Derived
-// mappings in other spaces survive (use UnmapRecursive to revoke them).
+// UnmapPage removes a single mapping and invalidates the TLB entry, on the
+// local CPU directly and on any other CPU currently running a thread of the
+// space by cross-CPU shootdown. Derived mappings in other spaces survive
+// (use UnmapRecursive to revoke them).
 func (k *Kernel) UnmapPage(s *Space, vpn hw.VPN) {
 	s.PT.Unmap(vpn)
 	k.M.CPU.Work(k.comp, k.M.Arch.Costs.PTEUpdate)
 	k.M.CPU.FlushTLBEntry(k.comp, uint16(s.ID), vpn)
+	if targets := k.cpusRunningSpace(s, 0); len(targets) > 0 {
+		k.M.ShootdownEntry(0, targets, uint16(s.ID), vpn)
+	}
 	k.mapdb.drop(mapNode{space: s.ID, vpn: vpn})
 }
 
@@ -290,3 +289,7 @@ func (k *Kernel) PumpIO(maxRounds int) int {
 func (k *Kernel) Stats() (calls, sends, faultIPCs uint64) {
 	return k.ipcCalls, k.ipcSends, k.faultsIPCd
 }
+
+// CrossCPUIPC returns how many IPC operations crossed a CPU boundary (and
+// therefore paid the IPI surcharge).
+func (k *Kernel) CrossCPUIPC() uint64 { return k.ipcCrossCPU }

@@ -1,19 +1,30 @@
 package mk
 
 import (
+	"fmt"
 	"sort"
 
 	"vmmk/internal/hw"
 	"vmmk/internal/trace"
 )
 
-// scheduler is a priority round-robin run queue. The synchronous IPC model
-// resolves most control transfer directly, so the scheduler's observable
-// job is (a) picking whom a timer tick preempts to, and (b) charging
-// context-switch costs when the running thread changes — both of which the
-// macro experiments (E8) need for honest totals.
+// scheduler distributes threads over per-CPU priority round-robin run
+// queues. The synchronous IPC model resolves most control transfer
+// directly, so the scheduler's observable job is (a) picking whom a timer
+// tick preempts to, (b) charging context-switch costs when a CPU's running
+// thread changes, and (c) on multiprocessors, placing threads by affinity
+// and stealing work across CPUs when a queue runs dry — each steal is a
+// real migration paid for with an IPI. A 1-CPU machine collapses to the
+// single global queue the macro experiments (E8) were calibrated on.
 type scheduler struct {
-	k        *Kernel
+	k      *Kernel
+	cpus   []*cpuQueue // one per machine CPU; index == hw CPU index
+	steals uint64
+}
+
+// cpuQueue is one CPU's run queue: priority classes in FIFO order plus the
+// thread currently installed on that CPU.
+type cpuQueue struct {
 	queues   map[int][]*Thread // priority -> FIFO
 	prios    []int             // sorted descending
 	current  *Thread
@@ -21,40 +32,81 @@ type scheduler struct {
 }
 
 func newScheduler(k *Kernel) *scheduler {
-	return &scheduler{k: k, queues: make(map[int][]*Thread)}
-}
-
-func (s *scheduler) add(t *Thread) {
-	q, ok := s.queues[t.Prio]
-	if !ok {
-		s.prios = append(s.prios, t.Prio)
-		sort.Sort(sort.Reverse(sort.IntSlice(s.prios)))
+	s := &scheduler{k: k, cpus: make([]*cpuQueue, k.M.NCPUs())}
+	for i := range s.cpus {
+		s.cpus[i] = &cpuQueue{queues: make(map[int][]*Thread)}
 	}
-	s.queues[t.Prio] = append(q, t)
+	return s
 }
 
-func (s *scheduler) remove(t *Thread) {
-	q := s.queues[t.Prio]
-	for i, x := range q {
+func (q *cpuQueue) add(t *Thread) {
+	fifo, ok := q.queues[t.Prio]
+	if !ok {
+		q.prios = append(q.prios, t.Prio)
+		sort.Sort(sort.Reverse(sort.IntSlice(q.prios)))
+	}
+	q.queues[t.Prio] = append(fifo, t)
+}
+
+func (q *cpuQueue) remove(t *Thread) {
+	fifo := q.queues[t.Prio]
+	for i, x := range fifo {
 		if x == t {
-			s.queues[t.Prio] = append(q[:i], q[i+1:]...)
+			q.queues[t.Prio] = append(fifo[:i], fifo[i+1:]...)
 			break
 		}
 	}
-	if s.current == t {
-		s.current = nil
+	if q.current == t {
+		q.current = nil
+		t.onCPU = -1
 	}
 }
 
-// pick returns the next ready thread in priority order, rotating the
-// winner's queue for round-robin fairness.
-func (s *scheduler) pick() *Thread {
-	for _, p := range s.prios {
-		q := s.queues[p]
-		for i, t := range q {
-			if t.State == StateReady {
-				// Rotate: move to the back of its priority class.
-				s.queues[p] = append(append(append([]*Thread{}, q[:i]...), q[i+1:]...), t)
+func (s *scheduler) add(t *Thread)    { s.cpus[t.Affinity].add(t) }
+func (s *scheduler) remove(t *Thread) { s.cpus[t.Affinity].remove(t) }
+
+// pick returns the next ready thread for cpu in priority order, rotating
+// the winner's queue for round-robin fairness. Threads currently installed
+// on another CPU are skipped — a thread never runs on two CPUs at once.
+// An empty queue falls back to stealing.
+func (s *scheduler) pick(cpu int) *Thread {
+	q := s.cpus[cpu]
+	for _, p := range q.prios {
+		fifo := q.queues[p]
+		for i, t := range fifo {
+			if t.State != StateReady {
+				continue
+			}
+			if t.onCPU >= 0 && t.onCPU != cpu {
+				continue
+			}
+			// Rotate: move to the back of its priority class.
+			q.queues[p] = append(append(append([]*Thread{}, fifo[:i]...), fifo[i+1:]...), t)
+			return t
+		}
+	}
+	return s.steal(cpu)
+}
+
+// steal migrates the first stealable thread from another CPU's queue
+// (victims scanned in ascending CPU order, each in its own priority order)
+// to cpu, paying a reschedule IPI toward the victim. It returns nil when
+// no CPU has spare ready work.
+func (s *scheduler) steal(cpu int) *Thread {
+	for v, vq := range s.cpus {
+		if v == cpu {
+			continue
+		}
+		for _, p := range vq.prios {
+			for _, t := range vq.queues[p] {
+				if t.State != StateReady || t.onCPU >= 0 {
+					continue
+				}
+				vq.remove(t)
+				t.Affinity = cpu
+				s.cpus[cpu].add(t)
+				s.steals++
+				s.k.M.SendIPI(cpu, v)
 				return t
 			}
 		}
@@ -62,26 +114,101 @@ func (s *scheduler) pick() *Thread {
 	return nil
 }
 
-// Schedule runs one scheduling decision: dispatch pending interrupts, then
-// switch to the next ready thread, charging the switch. It returns the
-// chosen thread (nil if none ready).
-func (k *Kernel) Schedule() *Thread {
-	k.M.CPU.Trap(k.comp, false)
-	k.M.IRQ.DispatchPending(k.comp)
-	next := k.sched.pick()
-	if next != nil && next != k.sched.current {
-		k.sched.switches++
-		k.M.CPU.Charge(k.comp, trace.KContextSwitch, k.M.Arch.Costs.CtxSave)
-		k.M.CPU.SwitchSpace(k.comp, next.Space.PT)
-		k.sched.current = next
+// Schedule runs one scheduling decision on the boot CPU — the uniprocessor
+// entry point every pre-SMP caller uses. See ScheduleOn.
+func (k *Kernel) Schedule() *Thread { return k.ScheduleOn(0) }
+
+// ScheduleOn runs one scheduling decision on the given CPU: dispatch
+// pending interrupts (boot CPU only — external interrupts are routed
+// there), then switch to the next ready thread, charging the switch to
+// that CPU. It returns the chosen thread (nil if none ready anywhere).
+func (k *Kernel) ScheduleOn(cpu int) *Thread {
+	if cpu < 0 || cpu >= len(k.sched.cpus) {
+		panic(fmt.Sprintf("mk: schedule on nonexistent CPU %d", cpu))
 	}
-	k.M.CPU.Charge(k.comp, trace.KSchedule, 50)
-	k.M.CPU.ReturnTo(k.comp, hw.Ring3)
+	c := k.M.CPUs[cpu]
+	q := k.sched.cpus[cpu]
+	c.Trap(k.comp, false)
+	if cpu == 0 {
+		k.M.IRQ.DispatchPending(k.comp)
+	}
+	next := k.sched.pick(cpu)
+	if next != nil && next != q.current {
+		q.switches++
+		if old := q.current; old != nil {
+			old.onCPU = -1
+		}
+		c.Charge(k.comp, trace.KContextSwitch, k.M.Arch.Costs.CtxSave)
+		c.SwitchSpace(k.comp, next.Space.PT)
+		q.current = next
+		next.onCPU = cpu
+	}
+	c.Charge(k.comp, trace.KSchedule, 50)
+	c.ReturnTo(k.comp, hw.Ring3)
 	return next
 }
 
-// Current returns the thread last chosen by Schedule.
-func (k *Kernel) Current() *Thread { return k.sched.current }
+// Current returns the thread last chosen by Schedule on the boot CPU.
+func (k *Kernel) Current() *Thread { return k.CurrentOn(0) }
 
-// Switches returns the number of thread switches performed.
-func (k *Kernel) Switches() uint64 { return k.sched.switches }
+// CurrentOn returns the thread currently installed on the given CPU.
+func (k *Kernel) CurrentOn(cpu int) *Thread { return k.sched.cpus[cpu].current }
+
+// Switches returns the number of thread switches performed, summed over
+// all CPUs — stealing moves where a switch happens, never how many there
+// are (the invariant TestWorkStealingPreservesSwitches pins).
+func (k *Kernel) Switches() uint64 {
+	var n uint64
+	for _, q := range k.sched.cpus {
+		n += q.switches
+	}
+	return n
+}
+
+// SwitchesOn returns the thread switches performed by one CPU.
+func (k *Kernel) SwitchesOn(cpu int) uint64 { return k.sched.cpus[cpu].switches }
+
+// Steals returns how many cross-CPU work-steal migrations have happened.
+func (k *Kernel) Steals() uint64 { return k.sched.steals }
+
+// SetAffinity re-homes a thread onto the given CPU. Re-homing to the
+// thread's current CPU is free; an actual migration moves the thread's
+// queue entry and, if the thread is installed on its old CPU, kicks that
+// CPU with a reschedule IPI. The boot-time pinning a platform does before
+// any thread has run charges nothing.
+func (k *Kernel) SetAffinity(tid ThreadID, cpu int) error {
+	t := k.threads[tid]
+	if t == nil || t.State == StateDead {
+		return ErrNoSuchThread
+	}
+	if cpu < 0 || cpu >= k.M.NCPUs() {
+		return ErrBadCPU
+	}
+	if t.Affinity == cpu {
+		return nil
+	}
+	wasOn := t.onCPU
+	k.sched.cpus[t.Affinity].remove(t)
+	t.Affinity = cpu
+	k.sched.cpus[cpu].add(t)
+	if wasOn >= 0 {
+		k.M.SendIPI(cpu, wasOn)
+	}
+	return nil
+}
+
+// cpusRunningSpace returns the CPUs (ascending, excluding except) whose
+// installed thread belongs to space s — the set whose TLBs may cache the
+// space's translations and therefore the target list for a shootdown.
+func (k *Kernel) cpusRunningSpace(s *Space, except int) []int {
+	var out []int
+	for i, q := range k.sched.cpus {
+		if i == except {
+			continue
+		}
+		if q.current != nil && q.current.Space == s {
+			out = append(out, i)
+		}
+	}
+	return out
+}

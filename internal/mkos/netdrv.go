@@ -19,6 +19,7 @@ const (
 	RxStringCopy
 )
 
+// String names the receive delivery mode.
 func (m RxMode) String() string {
 	if m == RxGrant {
 		return "grant"

@@ -1,14 +1,3 @@
-// Package mkos provides the operating-system personality that runs on the
-// mk microkernel: a paravirtualised OS server (L4Linux-like) whose
-// processes make system calls by IPC, user-level NIC and disk driver
-// servers that receive interrupts as IPC, and a storage server with
-// copy-on-write snapshots — the microkernel-side twin of the Parallax
-// appliance, used by the liability-inversion experiment E4.
-//
-// Together with package mk this is "system A" of the paper's comparison.
-// Structurally it is the DROPS/L4Linux arrangement §3.3 cites: the OS is
-// one server among several, drivers are ordinary user-level threads, and
-// every interaction is the one IPC primitive.
 package mkos
 
 import (
@@ -87,6 +76,7 @@ type OSServer struct {
 	console     []byte
 	rxQueue     [][]byte
 	syscallWork hw.Cycles
+	homeCPU     int // CPU the server and its processes are pinned to (Pin)
 
 	pagerWindow hw.VPN // next free window page for fault service
 }
@@ -134,12 +124,37 @@ func (os *OSServer) Spawn(name string) (*Proc, error) {
 		return nil, err
 	}
 	t := os.K.NewThread(sp, sp.Name, 1, nil)
+	if os.homeCPU != 0 {
+		if err := os.K.SetAffinity(t.ID, os.homeCPU); err != nil {
+			return nil, err
+		}
+	}
 	p := &Proc{PID: os.nextPID, Name: name, Thread: t, Space: sp}
 	os.nextPID++
 	os.procs[p.PID] = p
 	os.byTID[t.ID] = p
 	os.K.M.CPU.Work(os.Comp(), 500)
 	return p, nil
+}
+
+// Pin re-homes the OS server thread and every one of its processes onto
+// cpu; later Spawns inherit the placement. This is the mk-side analogue of
+// vmm.PlaceVCPUs: the SMP experiment (E12) pins each guest OS instance to
+// its own CPU while the driver servers stay on the boot CPU, so syscalls
+// stay CPU-local and driver IPC pays the cross-CPU IPI surcharge.
+func (os *OSServer) Pin(cpu int) error {
+	if err := os.K.SetAffinity(os.Thread.ID, cpu); err != nil {
+		return err
+	}
+	for pid := PID(1); pid < os.nextPID; pid++ {
+		if p := os.procs[pid]; p != nil {
+			if err := os.K.SetAffinity(p.Thread.ID, cpu); err != nil {
+				return err
+			}
+		}
+	}
+	os.homeCPU = cpu
+	return nil
 }
 
 // Proc returns the process for pid, or nil.

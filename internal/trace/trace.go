@@ -1,21 +1,3 @@
-// Package trace records what the simulated kernels do: how many times each
-// privileged primitive fires and how many CPU cycles each component consumes.
-// Every experiment in the paper reduces to questions over these two ledgers
-// ("how many boundary crossings?", "whose CPU time is it?"), so the recorder
-// is deliberately dumb and exact: monotone counters, no sampling.
-//
-// Components are identified by interned handles, not strings. A Registry
-// interns dotted component names ("vmm.dom0", "mk.srv.net") into dense
-// integer Comp handles; producers intern once at boot/registration time
-// (hw.CPU helpers, kernel/hypervisor/domain/thread constructors all store
-// their handle) and charge through the handle thereafter. That makes the
-// hot path — Charge/ChargeCycles under every simulated privileged
-// operation — two array increments into a flat ledger, with no hashing and
-// no allocation. Interning also records dotted parent links and maintains
-// prefix-group membership, so aggregate queries (CyclesPrefix) are sums
-// over member slices computed at intern time rather than scans of all
-// names. String-keyed queries (Cycles, CyclesSince) remain for rendering
-// and tests; they resolve through the registry once per call.
 package trace
 
 import (
@@ -76,6 +58,20 @@ const (
 	// new primitive, and the bounce itself is counted separately.
 	KDirtyLogFault
 
+	// KIPI is one inter-processor interrupt: a cross-CPU kick for remote
+	// wakeup, rescheduling, work stealing or shootdown initiation. Like
+	// KDirtyLogFault it sits outside the E5 primitive ranges — an IPI is
+	// hardware plumbing both kernel structures pay for, not a new
+	// extensibility primitive — and outside the E2 IPC-equivalent set,
+	// because the logical transfer it accompanies (the cross-CPU IPC or
+	// event delivery) is already counted once.
+	KIPI
+
+	// KTLBShootdown is one remote TLB invalidation performed by a target
+	// CPU in response to a shootdown IPI. Counted per target CPU flushed,
+	// so a broadcast shootdown on an N-CPU machine counts N-1 events.
+	KTLBShootdown
+
 	kindCount
 )
 
@@ -111,6 +107,8 @@ var kindNames = [...]string{
 	KSchedule:          "hw.sched",
 	KFault:             "sim.fault",
 	KDirtyLogFault:     "vmm.dirtylog",
+	KIPI:               "smp.ipi",
+	KTLBShootdown:      "smp.shootdown",
 }
 
 // String returns the stable dotted name of the kind.

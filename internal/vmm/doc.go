@@ -1,0 +1,28 @@
+// Package vmm implements a Xen-style virtual-machine monitor over the hw
+// substrate: domains with paravirtualised guest kernels, the hypercall
+// interface, asynchronous event channels, grant tables with page flipping
+// and hypervisor-mediated copy, validated (shadow) page-table updates with
+// a write-fault dirty log, exception virtualisation with the x86 trap-gate
+// syscall shortcut, a virtual interrupt controller, whole-domain mobility
+// (pause/save/restore, stop-and-copy Migrate and live pre-copy
+// MigrateLive), and a credit scheduler. It is "system B" of the paper's
+// comparison; package mk is its L4-shaped counterpart, package vmmos the
+// guest side that runs on it, and package core boots and measures the two
+// side by side.
+//
+// The package deliberately exposes the ten primitives the paper's §2.2
+// enumerates as "the common subset … found in most VMMs", each with its own
+// entry point, validation and bookkeeping — in contrast to package mk,
+// where one IPC primitive carries everything. Experiment E5 counts exactly
+// this difference.
+//
+// Multiprocessor model: a domain may be given several virtual CPUs, each
+// pinned to a physical CPU (PlaceVCPUs); ScheduleSMP runs the credit
+// scheduler's placement epoch, one decision per pCPU, and never installs
+// the same vCPU on two pCPUs. Shadow-page-table invalidation (trap-and-
+// emulate writes, MMUUnmap, dirty-log arming) shoots down every pCPU
+// hosting one of the domain's vCPUs, and event delivery into a remotely
+// placed domain pays a kick IPI. Domains that are never placed keep the
+// free uniprocessor arrangement, which is how E1–E11 stay bit-for-bit
+// unchanged; experiment E12 sweeps core counts.
+package vmm

@@ -47,6 +47,11 @@ type Domain struct {
 	masked  bool
 	pending []Port
 
+	// placement maps vCPU index -> physical CPU. Empty means the
+	// uniprocessor arrangement every pre-SMP caller gets: one implicit
+	// vCPU on pCPU 0, no IPIs, no shootdowns. PlaceVCPUs sets it.
+	placement []int
+
 	syscalls     uint64
 	fastSyscalls uint64
 
@@ -97,6 +102,84 @@ func (d *Domain) ReleaseFrame(f hw.FrameID) error {
 // Syscalls returns total and fast-path guest syscall counts.
 func (d *Domain) Syscalls() (total, fast uint64) { return d.syscalls, d.fastSyscalls }
 
+// VCPUs returns the domain's virtual CPU count: the length of its
+// placement, or 1 for an unplaced (uniprocessor-style) domain.
+func (d *Domain) VCPUs() int {
+	if len(d.placement) == 0 {
+		return 1
+	}
+	return len(d.placement)
+}
+
+// VCPUPlacement returns a copy of the vCPU -> pCPU placement (nil when the
+// domain is unplaced).
+func (d *Domain) VCPUPlacement() []int {
+	if len(d.placement) == 0 {
+		return nil
+	}
+	return append([]int(nil), d.placement...)
+}
+
+// remotePCPUs returns the distinct physical CPUs other than except that
+// host one of d's vCPUs, ascending — the target set for a TLB shootdown
+// after one of the domain's shadow translations changes, and the CPUs an
+// event delivery may need to kick. Unplaced domains live entirely on pCPU
+// 0 and return nothing.
+func (d *Domain) remotePCPUs(except int) []int {
+	if len(d.placement) == 0 {
+		return nil
+	}
+	n := d.hyp.M.NCPUs()
+	seen := make([]bool, n)
+	for _, p := range d.placement {
+		if p != except && p >= 0 && p < n {
+			seen[p] = true
+		}
+	}
+	var out []int
+	for p, ok := range seen {
+		if ok {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// PlaceVCPUs gives a domain one virtual CPU per argument, each pinned to
+// the named physical CPU (vCPU i on pcpus[i]). Placement is the SMP
+// control-plane operation Dom0's toolstack performs at domain build; the
+// credit scheduler (ScheduleSMP) honours it, shadow-page-table
+// invalidation shoots down every placed pCPU, and event delivery to a
+// remotely placed domain pays an IPI. Calling it with no arguments resets
+// the domain to the unplaced uniprocessor arrangement.
+func (h *Hypervisor) PlaceVCPUs(dom DomID, pcpus ...int) error {
+	d, err := h.lookup(dom)
+	if err != nil {
+		return err
+	}
+	for _, p := range pcpus {
+		if p < 0 || p >= h.M.NCPUs() {
+			return ErrBadPCPU
+		}
+	}
+	// Re-placement deschedules the domain's vCPUs wherever they currently
+	// run; the next ScheduleSMP epoch installs them at their new homes.
+	// Without this scrub a moved vCPU could appear installed on its old
+	// pCPU and its new one at once.
+	for p, cur := range h.sched.currentOn {
+		if cur.dom == dom {
+			h.sched.currentOn[p] = noVCPU
+		}
+	}
+	if len(pcpus) == 0 {
+		d.placement = nil
+		return nil
+	}
+	d.placement = append([]int(nil), pcpus...)
+	h.M.CPU.Work(h.comp, 200) // toolstack placement hypercall
+	return nil
+}
+
 // MMUUpdate is the validated page-table-update hypercall (paper primitive
 // 5: "resource allocation within the VM via hardware page-table
 // virtualisation"). The monitor checks that the domain owns the frame it is
@@ -120,7 +203,9 @@ func (h *Hypervisor) MMUUpdate(dom DomID, vpn hw.VPN, gpn int, perms hw.Perm, us
 	return nil
 }
 
-// MMUUnmap removes a guest mapping with the required TLB invalidation.
+// MMUUnmap removes a guest mapping with the required TLB invalidation —
+// locally, and by shootdown on every other pCPU hosting one of the
+// domain's vCPUs.
 func (h *Hypervisor) MMUUnmap(dom DomID, vpn hw.VPN) error {
 	d, err := h.lookup(dom)
 	if err != nil {
@@ -131,6 +216,7 @@ func (h *Hypervisor) MMUUnmap(dom DomID, vpn hw.VPN) error {
 	d.PT.Unmap(vpn)
 	h.M.CPU.Charge(h.comp, trace.KShadowPTUpdate, h.M.Arch.Costs.PTEUpdate)
 	h.M.CPU.FlushTLBEntry(h.comp, d.PT.ASID(), vpn)
+	h.shootdownEntry(d, vpn)
 	return nil
 }
 

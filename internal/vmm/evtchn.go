@@ -114,8 +114,11 @@ func (h *Hypervisor) NotifyChannel(from DomID, port Port) error {
 }
 
 // deliverEvent runs the remote domain's upcall for port, switching worlds
-// if needed and switching back afterwards (the sender continues).
+// if needed and switching back afterwards (the sender continues). A domain
+// whose vCPUs are placed on other pCPUs is first kicked with an IPI — the
+// cross-CPU event-delivery surcharge E12 measures.
 func (h *Hypervisor) deliverEvent(rd *Domain, port Port) {
+	h.kickDomain(rd)
 	prev := h.current
 	h.switchTo(rd)
 	h.M.CPU.Charge(h.comp, trace.KVirtIRQ, h.M.Arch.Costs.IRQDispatch/2)
@@ -134,6 +137,7 @@ func (h *Hypervisor) SendVIRQ(dom DomID, virq int) error {
 	if err != nil {
 		return err
 	}
+	h.kickDomain(d)
 	prev := h.current
 	h.switchTo(d)
 	h.M.CPU.Charge(h.comp, trace.KVirtIRQ, h.M.Arch.Costs.IRQDispatch/2)

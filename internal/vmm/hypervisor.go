@@ -1,15 +1,3 @@
-// Package vmm implements a Xen-style virtual-machine monitor over the hw
-// substrate: domains with paravirtualised guest kernels, the hypercall
-// interface, asynchronous event channels, grant tables with page flipping
-// and hypervisor-mediated copy, validated (shadow) page-table updates,
-// exception virtualisation with the x86 trap-gate syscall shortcut, a
-// virtual interrupt controller, and a weighted round-robin scheduler.
-//
-// The package deliberately exposes the ten primitives the paper's §2.2
-// enumerates as "the common subset … found in most VMMs", each with its own
-// entry point, validation and bookkeeping — in contrast to package mk,
-// where one IPC primitive carries everything. Experiment E5 counts exactly
-// this difference.
 package vmm
 
 import (
@@ -40,6 +28,7 @@ var (
 	ErrNotPrivileged = errors.New("vmm: operation requires Dom0 privilege")
 	ErrNoFastPath    = errors.New("vmm: fast path unavailable")
 	ErrFrameNotOwned = errors.New("vmm: domain does not own frame")
+	ErrBadPCPU       = errors.New("vmm: physical CPU index out of range")
 )
 
 // HypervisorComponent is the trace attribution name of monitor-mode work.
@@ -177,6 +166,33 @@ func (h *Hypervisor) switchTo(d *Domain) {
 	h.current = d
 }
 
+// shootdownEntry invalidates one of d's translations on every other pCPU
+// hosting a vCPU of d. The monitor runs on the boot CPU, whose TLB the
+// caller has already flushed directly; unplaced domains (every
+// uniprocessor caller) cost nothing.
+func (h *Hypervisor) shootdownEntry(d *Domain, vpn hw.VPN) {
+	if targets := d.remotePCPUs(0); len(targets) > 0 {
+		h.M.ShootdownEntry(0, targets, d.PT.ASID(), vpn)
+	}
+}
+
+// shootdownAll is the full-flush variant of shootdownEntry (dirty-log
+// arming and other whole-table invalidations).
+func (h *Hypervisor) shootdownAll(d *Domain) {
+	if targets := d.remotePCPUs(0); len(targets) > 0 {
+		h.M.ShootdownAll(0, targets)
+	}
+}
+
+// kickDomain sends the IPI that accompanies delivering an asynchronous
+// event into a domain whose vCPUs live on other pCPUs: the monitor (boot
+// CPU) pokes the domain's first remote pCPU so its vCPU takes the upcall.
+func (h *Hypervisor) kickDomain(d *Domain) {
+	if targets := d.remotePCPUs(0); len(targets) > 0 {
+		h.M.SendIPI(0, targets[0])
+	}
+}
+
 // Hypercall performs a generic control hypercall from dom: ring transition
 // into the monitor, validation, op-specific work cost, return. It is the
 // paper's primitive 4 ("resource allocation per VM via VMM hypercall
@@ -280,6 +296,11 @@ func (h *Hypervisor) DestroyDomain(id DomID) error {
 	if h.current == d {
 		h.current = nil
 	}
+	for p, cur := range h.sched.currentOn {
+		if cur.dom == id {
+			h.sched.currentOn[p] = noVCPU
+		}
+	}
 	d.dirtyLog = nil
 	h.sched.remove(d)
 	delete(h.sched.weights, id)
@@ -301,6 +322,7 @@ func (h *Hypervisor) Alive(id DomID) bool {
 	return d != nil && !d.Dead
 }
 
+// String summarises the monitor for debugging output.
 func (h *Hypervisor) String() string {
 	return fmt.Sprintf("hypervisor(%d domains)", len(h.Domains()))
 }

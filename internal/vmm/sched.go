@@ -9,16 +9,48 @@ import (
 // Xen's BVT/credit schedulers that preserves what the experiments observe:
 // which domain gets the CPU next and what a domain switch costs. Weights
 // give Dom0 the boost driver domains get in practice.
+//
+// On a multiprocessor the same credit pool drives vCPU placement:
+// ScheduleSMP runs one decision per physical CPU, picking among the vCPUs
+// placed there (PlaceVCPUs) and burning one domain credit per vCPU
+// installed — a domain with more vCPUs drains its credits faster, exactly
+// the proportional-share property Xen's credit scheduler has. The
+// uniprocessor ScheduleNext entry point is untouched: a 1-CPU machine
+// schedules exactly as it did before SMP support existed.
 type scheduler struct {
 	h         *Hypervisor
 	run       []*Domain
 	weights   map[DomID]int
 	credits   map[DomID]int
 	decisions uint64
+
+	// Per-pCPU SMP state: which vCPU each pCPU is running and its
+	// round-robin cursor over the pCPU's candidate list.
+	currentOn []vcpuID
+	cursor    []int
 }
 
+// vcpuID names one virtual CPU of one domain; noVCPU marks an idle pCPU.
+type vcpuID struct {
+	dom  DomID
+	vcpu int
+}
+
+var noVCPU = vcpuID{dom: ^DomID(0), vcpu: -1}
+
 func newScheduler(h *Hypervisor) *scheduler {
-	return &scheduler{h: h, weights: make(map[DomID]int), credits: make(map[DomID]int)}
+	n := h.M.NCPUs()
+	s := &scheduler{
+		h:         h,
+		weights:   make(map[DomID]int),
+		credits:   make(map[DomID]int),
+		currentOn: make([]vcpuID, n),
+		cursor:    make([]int, n),
+	}
+	for i := range s.currentOn {
+		s.currentOn[i] = noVCPU
+	}
+	return s
 }
 
 func (s *scheduler) add(d *Domain) {
@@ -94,3 +126,105 @@ func (h *Hypervisor) ScheduleNext() *Domain {
 
 // Decisions returns how many scheduling decisions have been made.
 func (h *Hypervisor) Decisions() uint64 { return h.sched.decisions }
+
+// ScheduleSMP runs one placement epoch of the credit scheduler: every
+// physical CPU, in ascending order, picks the next runnable vCPU placed on
+// it and installs it, charging the decision and any world switch to that
+// CPU (so each pCPU's TLB state is its own). It returns the domain chosen
+// per pCPU (nil entries for idle pCPUs). Unplaced domains count as one
+// vCPU on pCPU 0, which makes a 1-CPU epoch equivalent to one
+// ScheduleNext decision per runnable domain.
+func (h *Hypervisor) ScheduleSMP() []*Domain {
+	out := make([]*Domain, h.M.NCPUs())
+	for p := range out {
+		out[p] = h.schedulePCPU(p)
+	}
+	return out
+}
+
+// RunningOn returns the domain whose vCPU the given pCPU last installed
+// via ScheduleSMP (nil when idle), plus which of its vCPUs it is.
+func (h *Hypervisor) RunningOn(pcpu int) (*Domain, int) {
+	cur := h.sched.currentOn[pcpu]
+	if cur == noVCPU {
+		return nil, -1
+	}
+	return h.domains[cur.dom], cur.vcpu
+}
+
+// candidatesOn lists the vCPUs placed on pcpu in domain-creation order —
+// the deterministic electorate of one pCPU's scheduling decision.
+func (h *Hypervisor) candidatesOn(pcpu int) []vcpuID {
+	var cand []vcpuID
+	for _, id := range h.order {
+		d := h.domains[id]
+		if d == nil || d.Dead || d.paused {
+			continue
+		}
+		if len(d.placement) == 0 {
+			if pcpu == 0 {
+				cand = append(cand, vcpuID{id, 0})
+			}
+			continue
+		}
+		for v, pp := range d.placement {
+			if pp == pcpu {
+				cand = append(cand, vcpuID{id, v})
+			}
+		}
+	}
+	return cand
+}
+
+// schedulePCPU makes one credit decision on one physical CPU.
+func (h *Hypervisor) schedulePCPU(p int) *Domain {
+	s := h.sched
+	c := h.M.CPUs[p]
+	cand := h.candidatesOn(p)
+	c.Trap(h.comp, false)
+	if p == 0 {
+		h.M.IRQ.DispatchPending(h.comp)
+	}
+	s.decisions++
+
+	pick, found := noVCPU, false
+	for tries := 0; tries < 2 && !found && len(cand) > 0; tries++ {
+		for i := 0; i < len(cand); i++ {
+			idx := (s.cursor[p] + i) % len(cand)
+			if s.credits[cand[idx].dom] > 0 {
+				s.credits[cand[idx].dom]--
+				s.cursor[p] = (idx + 1) % len(cand)
+				pick, found = cand[idx], true
+				break
+			}
+		}
+		if !found {
+			for id, w := range s.weights {
+				s.credits[id] = w
+			}
+		}
+	}
+	c.Charge(h.comp, trace.KSchedule, 60)
+
+	var d *Domain
+	if found {
+		d = h.domains[pick.dom]
+		if s.currentOn[p] != pick {
+			h.worldSw++
+			c.Charge(h.comp, trace.KWorldSwitch, h.M.Arch.Costs.WorldSwitch)
+			c.SwitchSpace(h.comp, d.PT)
+			s.currentOn[p] = pick
+			if p == 0 {
+				h.current = d
+			}
+		}
+	} else {
+		// Idle: nothing placed (or runnable) here any more. Clearing the
+		// installation keeps RunningOn's "nil when idle" contract and
+		// prevents a re-placed vCPU from appearing installed on its old
+		// pCPU after it moves.
+		s.currentOn[p] = noVCPU
+	}
+	c.ReturnTo(h.comp, hw.Ring1)
+	return d
+}

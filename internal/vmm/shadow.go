@@ -80,6 +80,9 @@ func (s *ShadowMMU) GuestPTWrite(vpn hw.VPN, gpn int, perms hw.Perm, user bool) 
 	s.emulated++
 	h.M.CPU.Charge(h.comp, trace.KShadowPTUpdate, h.M.Arch.Costs.PTEUpdate)
 	h.M.CPU.FlushTLBEntry(h.comp, d.PT.ASID(), vpn)
+	// A shadow entry changed under every vCPU of the domain: pCPUs other
+	// than the monitor's must drop their stale translation by shootdown.
+	h.shootdownEntry(d, vpn)
 	h.M.CPU.ReturnTo(h.comp, hw.Ring1)
 	return nil
 }
@@ -170,8 +173,12 @@ func (dl *DirtyLog) arm() {
 		dl.wprot[gpn] = vpns
 		dl.armed[gpn] = true
 	}
-	// Stale writable translations must go before protection is real.
+	// Stale writable translations must go before protection is real — on
+	// every pCPU hosting one of the domain's vCPUs, not just the boot CPU
+	// the monitor runs on. This per-round broadcast is why log-dirty mode
+	// gets more expensive with core count (E12's dirty-scan workload).
 	h.M.CPU.FlushTLB(h.comp)
+	h.shootdownAll(d)
 }
 
 // disarm restores the write permissions the log removed from gpn's

@@ -1,0 +1,339 @@
+package vmm
+
+import (
+	"errors"
+	"testing"
+
+	"vmmk/internal/hw"
+	"vmmk/internal/trace"
+)
+
+// smpHyp boots a hypervisor on an n-CPU machine.
+func smpHyp(t testing.TB, ncpus int) (*hw.Machine, *Hypervisor, *Domain) {
+	t.Helper()
+	m := hw.NewMachine(hw.X86(), &hw.MachineConfig{Frames: 1024, NCPUs: ncpus})
+	h, d0, err := New(m, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, h, d0
+}
+
+func TestPlaceVCPUsValidation(t *testing.T) {
+	_, h, _ := smpHyp(t, 2)
+	d, err := h.CreateDomain("guest", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.PlaceVCPUs(d.ID, 0, 2); !errors.Is(err, ErrBadPCPU) {
+		t.Fatalf("out-of-range pCPU: got %v, want ErrBadPCPU", err)
+	}
+	if err := h.PlaceVCPUs(DomID(99), 0); !errors.Is(err, ErrNoSuchDomain) {
+		t.Fatalf("missing domain: got %v, want ErrNoSuchDomain", err)
+	}
+	if d.VCPUs() != 1 || d.VCPUPlacement() != nil {
+		t.Fatal("unplaced domain should report one implicit vCPU")
+	}
+	if err := h.PlaceVCPUs(d.ID, 0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if d.VCPUs() != 3 {
+		t.Fatalf("VCPUs = %d, want 3", d.VCPUs())
+	}
+	if got := d.VCPUPlacement(); len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 1 {
+		t.Fatalf("placement = %v", got)
+	}
+	if err := h.PlaceVCPUs(d.ID); err != nil {
+		t.Fatal(err)
+	}
+	if d.VCPUs() != 1 {
+		t.Fatal("PlaceVCPUs() did not reset to the uniprocessor arrangement")
+	}
+}
+
+// TestVCPUNeverOnTwoPCPUs runs credit epochs over a mixed placement and
+// asserts that no (domain, vCPU) pair is ever installed on two pCPUs.
+func TestVCPUNeverOnTwoPCPUs(t *testing.T) {
+	const ncpus = 4
+	_, h, _ := smpHyp(t, ncpus)
+	a, err := h.CreateDomain("a", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := h.CreateDomain("b", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.PlaceVCPUs(a.ID, 0, 1, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.PlaceVCPUs(b.ID, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	for epoch := 0; epoch < 8; epoch++ {
+		h.ScheduleSMP()
+		type slot struct {
+			dom  DomID
+			vcpu int
+		}
+		seen := map[slot]int{}
+		for p := 0; p < ncpus; p++ {
+			d, v := h.RunningOn(p)
+			if d == nil {
+				continue
+			}
+			s := slot{d.ID, v}
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("epoch %d: %s vCPU%d on pCPUs %d and %d at once",
+					epoch, d.Name, v, prev, p)
+			}
+			seen[s] = p
+		}
+	}
+}
+
+// TestScheduleSMPPlacesByPlacement: every pCPU with candidates gets one,
+// and a pCPU nobody is placed on idles.
+func TestScheduleSMPPlacesByPlacement(t *testing.T) {
+	_, h, _ := smpHyp(t, 3)
+	g, err := h.CreateDomain("g", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.PlaceVCPUs(g.ID, 1); err != nil {
+		t.Fatal(err)
+	}
+	picks := h.ScheduleSMP()
+	if picks[0] == nil {
+		t.Fatal("boot pCPU idle despite dom0 being unplaced (implicit pCPU 0)")
+	}
+	if picks[1] == nil || picks[1].ID != g.ID {
+		t.Fatalf("pCPU 1 ran %v, want domain g", picks[1])
+	}
+	if picks[2] != nil {
+		t.Fatalf("pCPU 2 ran %s with nothing placed there", picks[2].Name)
+	}
+	if d, v := h.RunningOn(1); d == nil || d.ID != g.ID || v != 0 {
+		t.Fatal("RunningOn(1) does not report g's vCPU0")
+	}
+}
+
+// TestShadowInvalidationShootsDown: with a guest's vCPUs placed on other
+// pCPUs, shadow-page-table invalidation (trap-and-emulate write and
+// paravirtual unmap alike) broadcasts a shootdown to each of them.
+func TestShadowInvalidationShootsDown(t *testing.T) {
+	m, h, _ := smpHyp(t, 3)
+	g, err := h.CreateDomain("g", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, err := h.EnableShadowMMU(g.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sm.GuestPTWrite(0x10, 1, hw.PermRW, true); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Rec.Counts(trace.KTLBShootdown); got != 0 {
+		t.Fatalf("unplaced guest caused %d shootdowns", got)
+	}
+
+	if err := h.PlaceVCPUs(g.ID, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := sm.GuestPTWrite(0x11, 2, hw.PermRW, true); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Rec.Counts(trace.KTLBShootdown); got != 2 {
+		t.Fatalf("placed guest PT write caused %d shootdowns, want 2", got)
+	}
+	if err := h.MMUUnmap(g.ID, 0x11); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Rec.Counts(trace.KTLBShootdown); got != 4 {
+		t.Fatalf("MMUUnmap raised shootdowns to %d, want 4", got)
+	}
+	if m.Rec.Cycles("cpu1.shootdown") == 0 || m.Rec.Cycles("cpu2.shootdown") == 0 {
+		t.Fatal("shootdown cycles not attributed to the target CPUs")
+	}
+}
+
+// TestDirtyLogArmBroadcast: arming log-dirty mode on a placed guest pays
+// one remote flush per placed pCPU, per (re)arm.
+func TestDirtyLogArmBroadcast(t *testing.T) {
+	m, h, _ := smpHyp(t, 4)
+	g, err := h.CreateDomain("g", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.PlaceVCPUs(g.ID, 0, 1, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	dl, err := h.EnableDirtyLog(g.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Rec.Counts(trace.KTLBShootdown); got != 3 {
+		t.Fatalf("arm broadcast hit %d CPUs, want 3", got)
+	}
+	if err := h.GuestMemWrite(g.ID, 0, 0, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	dl.Rearm()
+	if got := m.Rec.Counts(trace.KTLBShootdown); got != 6 {
+		t.Fatalf("re-arm raised shootdowns to %d, want 6", got)
+	}
+	h.DisableDirtyLog(g.ID)
+}
+
+// TestEventDeliveryKicksRemoteDomain: notifying a channel whose remote
+// domain is placed off the boot CPU pays the kick IPI; an unplaced remote
+// does not.
+func TestEventDeliveryKicksRemoteDomain(t *testing.T) {
+	m, h, _ := smpHyp(t, 2)
+	g, err := h.CreateDomain("g", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0, _, err := h.BindChannel(Dom0, g.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.NotifyChannel(Dom0, p0); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Rec.Counts(trace.KIPI); got != 0 {
+		t.Fatalf("unplaced remote cost %d IPIs", got)
+	}
+	if err := h.PlaceVCPUs(g.ID, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.NotifyChannel(Dom0, p0); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Rec.Counts(trace.KIPI); got != 1 {
+		t.Fatalf("remote delivery cost %d IPIs, want 1", got)
+	}
+	if err := h.SendVIRQ(g.ID, 3); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Rec.Counts(trace.KIPI); got != 2 {
+		t.Fatalf("remote VIRQ raised IPIs to %d, want 2", got)
+	}
+}
+
+// TestDestroyedDomainLeavesNoSMPResidue: destroying a placed, running
+// domain clears its pCPU installations, and a later epoch never resurrects
+// it.
+func TestDestroyedDomainLeavesNoSMPResidue(t *testing.T) {
+	_, h, _ := smpHyp(t, 2)
+	g, err := h.CreateDomain("g", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.PlaceVCPUs(g.ID, 1); err != nil {
+		t.Fatal(err)
+	}
+	h.ScheduleSMP()
+	if d, _ := h.RunningOn(1); d == nil || d.ID != g.ID {
+		t.Fatal("setup: g not installed on pCPU 1")
+	}
+	if err := h.DestroyDomain(g.ID); err != nil {
+		t.Fatal(err)
+	}
+	if d, _ := h.RunningOn(1); d != nil {
+		t.Fatalf("destroyed domain still installed on pCPU 1: %s", d.Name)
+	}
+	picks := h.ScheduleSMP()
+	if picks[1] != nil {
+		t.Fatalf("pCPU 1 resurrected %s", picks[1].Name)
+	}
+}
+
+// TestIdlePCPUClearsInstallation: pausing or re-placing a domain must not
+// leave its vCPU reported as installed on a pCPU it no longer runs on —
+// RunningOn goes nil once the pCPU's next epoch finds nothing to run, and
+// a re-placed vCPU never shows up on two pCPUs.
+func TestIdlePCPUClearsInstallation(t *testing.T) {
+	_, h, _ := smpHyp(t, 2)
+	g, err := h.CreateDomain("g", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.PlaceVCPUs(g.ID, 1); err != nil {
+		t.Fatal(err)
+	}
+	h.ScheduleSMP()
+	if d, _ := h.RunningOn(1); d == nil || d.ID != g.ID {
+		t.Fatal("setup: g not installed on pCPU 1")
+	}
+
+	if err := h.Pause(g.ID); err != nil {
+		t.Fatal(err)
+	}
+	h.ScheduleSMP()
+	if d, _ := h.RunningOn(1); d != nil {
+		t.Fatalf("paused domain still installed on pCPU 1: %s", d.Name)
+	}
+	if err := h.Unpause(g.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	// Re-placement: the vCPU moves from pCPU 1 to pCPU 0; its old
+	// installation must be descheduled immediately, not shadow-owned.
+	h.ScheduleSMP()
+	if err := h.PlaceVCPUs(g.ID, 0); err != nil {
+		t.Fatal(err)
+	}
+	if d, _ := h.RunningOn(1); d != nil {
+		t.Fatalf("re-placed domain still installed on pCPU 1: %s", d.Name)
+	}
+	h.ScheduleSMP()
+	type slot struct {
+		dom  DomID
+		vcpu int
+	}
+	seen := map[slot]int{}
+	for p := 0; p < 2; p++ {
+		if d, v := h.RunningOn(p); d != nil {
+			s := slot{d.ID, v}
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("%s vCPU%d on pCPUs %d and %d after re-placement", d.Name, v, prev, p)
+			}
+			seen[s] = p
+		}
+	}
+}
+
+// TestUniprocessorHypervisorChargesNoSMP mirrors the mk-side guard: a full
+// hypercall + event + shadow workout on a 1-CPU machine leaves every SMP
+// counter at zero.
+func TestUniprocessorHypervisorChargesNoSMP(t *testing.T) {
+	m, h, _ := smpHyp(t, 1)
+	g, err := h.CreateDomain("g", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0, _, err := h.BindChannel(Dom0, g.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := h.NotifyChannel(Dom0, p0); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.MMUUpdate(g.ID, hw.VPN(0x20+i), i, hw.PermRW, true); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.MMUUnmap(g.ID, hw.VPN(0x20+i)); err != nil {
+			t.Fatal(err)
+		}
+		h.ScheduleNext()
+	}
+	if m.Rec.Counts(trace.KIPI) != 0 || m.Rec.Counts(trace.KTLBShootdown) != 0 {
+		t.Fatal("uniprocessor hypervisor counted SMP events")
+	}
+	if got := m.Rec.CyclesPrefix("cpu"); got != 0 {
+		t.Fatalf("uniprocessor hypervisor charged %d SMP cycles", got)
+	}
+}

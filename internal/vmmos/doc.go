@@ -1,0 +1,21 @@
+// Package vmmos provides the operating-system personalities that run on
+// the vmm hypervisor: a paravirtualised guest kernel (XenoLinux-like) with
+// a small process and syscall model, the Dom0 driver domain with netback
+// and blkback backends, the matching netfront/blkfront frontends, a
+// Parallax-like storage appliance domain that serves virtual disks to
+// other guests, and the KV appliance (E10's minimal extension).
+//
+// Together with package vmm this is "system B" of the paper's comparison —
+// the structural twin of package mkos on the microkernel side. The I/O
+// paths are modelled on Xen 2.x as measured by Cherkasova & Gardner:
+// network receive moves pages from the driver domain to the guest by page
+// flipping (one flip per packet, whatever the packet size), with a
+// grant-copy mode available as the ablation E9 studies. Package core boots
+// this stack as XenStack next to mkos's MKStack on identical hw machines.
+//
+// On a multiprocessor, GuestKernel.Place pins a guest's vCPUs to physical
+// CPUs (vmm.PlaceVCPUs under the hood); the driver domain stays on the
+// boot CPU, so backend→frontend event deliveries pay kick IPIs and the
+// guest's shadow invalidations shoot down its pCPUs — the costs experiment
+// E12 sweeps against core count.
+package vmmos

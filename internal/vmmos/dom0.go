@@ -18,6 +18,7 @@ const (
 	RxCopy
 )
 
+// String names the receive delivery mode.
 func (m RxMode) String() string {
 	if m == RxFlip {
 		return "flip"

@@ -1,15 +1,3 @@
-// Package vmmos provides the operating-system personalities that run on the
-// vmm hypervisor: a paravirtualised guest kernel (XenoLinux-like) with a
-// small process and syscall model, the Dom0 driver domain with netback and
-// blkback backends, the matching netfront/blkfront frontends, and a
-// Parallax-like storage appliance domain that serves virtual disks to other
-// guests.
-//
-// Together with package vmm this is "system B" of the paper's comparison.
-// The I/O paths are modelled on Xen 2.x as measured by Cherkasova & Gardner:
-// network receive moves pages from the driver domain to the guest by page
-// flipping (one flip per packet, whatever the packet size), with a grant-copy
-// mode available as the ablation E9 studies.
 package vmmos
 
 import (
@@ -107,6 +95,15 @@ func (gk *GuestKernel) Comp() trace.Comp { return gk.Dom.Comp() }
 
 // SetSyscallWork tunes the modelled in-kernel work per syscall.
 func (gk *GuestKernel) SetSyscallWork(c hw.Cycles) { gk.syscallWork = c }
+
+// Place gives the guest one vCPU per argument, pinned to the named
+// physical CPUs (a pass-through to vmm.PlaceVCPUs). A placed guest's
+// shadow-page-table invalidations shoot down every placed pCPU and event
+// deliveries to it pay an IPI — the SMP costs E12 sweeps. Guests that are
+// never placed keep the free uniprocessor arrangement.
+func (gk *GuestKernel) Place(pcpus ...int) error {
+	return gk.H.PlaceVCPUs(gk.Dom.ID, pcpus...)
+}
 
 // Spawn creates a guest process.
 func (gk *GuestKernel) Spawn(name string) *Process {

@@ -76,6 +76,7 @@ const (
 	OpBlockWrite
 )
 
+// String names the workload operation.
 func (k OpKind) String() string {
 	switch k {
 	case OpGetPID:
