@@ -14,6 +14,7 @@ package vmmk
 // Both variants produce identical tables (see core's determinism tests).
 
 import (
+	"context"
 	"io"
 	"testing"
 
@@ -249,6 +250,36 @@ func BenchmarkAllExperiments(b *testing.B) {
 func BenchmarkAllExperimentsParallel(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if err := parallelEng.RunAll(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRegistryE7 runs E7 through the registry's uniform entry point
+// (normalization, the experiment, Result assembly) — the path the CLI and
+// every future plug-in experiment use.
+func BenchmarkRegistryE7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := serialEng.RunExperiment(context.Background(), "e7", core.Params{"syscalls": 100})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Tables) == 0 {
+			b.Fatal("no tables")
+		}
+	}
+}
+
+// BenchmarkResultJSON measures the stable JSON encoding of a finished
+// Result — the cost downstream tooling pays per stored document.
+func BenchmarkResultJSON(b *testing.B) {
+	res, err := serialEng.RunExperiment(context.Background(), "e7", core.Params{"syscalls": 100})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := res.JSON(); err != nil {
 			b.Fatal(err)
 		}
 	}

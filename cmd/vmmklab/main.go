@@ -7,11 +7,14 @@
 //	vmmklab all
 //	vmmklab list
 //
-// Experiments are e1 through e12 (see EXPERIMENTS.md for the index). Flags
-// may appear before or after experiment names (vmmklab e12 -cpus 2 works):
+// Experiments are e1 through e12 (see EXPERIMENTS.md for the index). The
+// parameter flags are generated from the experiment registry
+// (internal/core): each registered parameter becomes one flag, shared by
+// every experiment that declares it. Run `vmmklab -h` for the generated
+// list; at the time of writing:
 //
 //	-packets n   packet count for E1 sweeps (default 100)
-//	-syscalls n  iteration count for E3/E7 (default 200)
+//	-syscalls n  iteration count for E3/E7/E10 (default 200)
 //	-guests n    guest count for E4 (default 3)
 //	-requests n  request count for E8 (default 50)
 //	-frames n    guest memory pages for E11 migrations (default 96)
@@ -19,11 +22,18 @@
 //	-dirty n     peak dirty rate (pages/round) for E11 (default 48)
 //	-cpus list   comma-separated core counts for the E12 SMP sweep
 //	             (default 1,2,4,8)
+//
+// Engine and output flags (not experiment parameters):
+//
 //	-parallel n  max experiment cells in flight (default GOMAXPROCS)
 //	-csv         emit CSV instead of aligned tables
+//	-json        emit one JSON document per experiment (see EXPERIMENTS.md
+//	             for the schema); try `vmmklab e3 -json | jq`
 //
-// Every parameter flag must be positive (each -cpus entry likewise); zero
-// or negative values are usage errors, not silent clamps.
+// Flags may appear before or after experiment names (vmmklab e12 -cpus 2
+// works). Every parameter flag must be positive (each -cpus entry likewise);
+// zero or negative values are usage errors, not silent clamps — enforced by
+// the registry's shared validator.
 //
 // Every experiment decomposes into independent cells — one simulated
 // machine per (platform, parameter-point) pair — which fan out across
@@ -32,15 +42,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
-	"strconv"
 	"strings"
 
 	"vmmk/internal/core"
-	"vmmk/internal/trace"
 )
 
 func main() {
@@ -50,49 +59,24 @@ func main() {
 	}
 }
 
-// maxCPUs bounds the E12 sweep; the simulation is exact, not sampled, so a
-// four-digit core count is a typo, not an experiment.
-const maxCPUs = 64
-
-// parseCPUList parses the -cpus flag: comma-separated positive core
-// counts, each at most maxCPUs.
-func parseCPUList(s string) ([]int, error) {
-	var out []int
-	for _, part := range strings.Split(s, ",") {
-		part = strings.TrimSpace(part)
-		if part == "" {
-			continue
-		}
-		n, err := strconv.Atoi(part)
-		if err != nil {
-			return nil, fmt.Errorf("usage: -cpus entries must be integers (got %q)", part)
-		}
-		if n < 1 {
-			return nil, fmt.Errorf("usage: -cpus entries must be positive (got %d)", n)
-		}
-		if n > maxCPUs {
-			return nil, fmt.Errorf("usage: -cpus entries must be at most %d (got %d)", maxCPUs, n)
-		}
-		out = append(out, n)
-	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("usage: -cpus needs at least one core count")
-	}
-	return out, nil
-}
-
 func run(args []string) error {
 	fs := flag.NewFlagSet("vmmklab", flag.ContinueOnError)
-	packets := fs.Int("packets", 100, "packet count for E1 sweeps")
-	syscalls := fs.Int("syscalls", 200, "iteration count for E3/E7/E10")
-	guests := fs.Int("guests", 3, "guest count for E4")
-	requests := fs.Int("requests", 50, "request count for E8")
-	frames := fs.Int("frames", 96, "guest memory pages for E11 migrations")
-	rounds := fs.Int("rounds", 4, "max pre-copy round budget for E11")
-	dirty := fs.Int("dirty", 48, "peak dirty rate (pages/round) for E11")
-	cpus := fs.String("cpus", "1,2,4,8", "comma-separated core counts for the E12 SMP sweep")
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "max experiment cells in flight")
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
+	jsonOut := fs.Bool("json", false, "emit one JSON document per experiment")
+	// Every experiment parameter flag is generated from the registry: one
+	// flag per declared parameter name, shared across the experiments that
+	// declare it.
+	intFlags := map[string]*int{}
+	listFlags := map[string]*string{}
+	for _, p := range core.FlagParams() {
+		switch p.Kind {
+		case core.ParamIntList:
+			listFlags[p.Name] = fs.String(p.Name, p.DefaultString(), p.Help)
+		default:
+			intFlags[p.Name] = fs.Int(p.Name, p.DefaultInt, p.Help)
+		}
+	}
 	// Accept flags on either side of experiment names ("vmmklab e12 -cpus
 	// 2" reads naturally): parse, peel off leading positionals, and keep
 	// parsing whatever remains. The flag package's conventions survive
@@ -121,187 +105,81 @@ func run(args []string) error {
 		}
 	}
 	positional = append(positional, tail...)
-	// Every experiment parameter must be positive: a zero or negative
-	// count is a usage error, never a panic or a silent clamp.
-	// (-parallel is engine config, not an experiment parameter: <= 0
-	// falls back to GOMAXPROCS by design.)
-	for _, p := range []struct {
-		name  string
-		value int
-	}{
-		{"packets", *packets},
-		{"syscalls", *syscalls},
-		{"guests", *guests},
-		{"requests", *requests},
-		{"frames", *frames},
-		{"rounds", *rounds},
-		{"dirty", *dirty},
-	} {
-		if p.value < 1 {
-			fs.Usage()
-			return fmt.Errorf("usage: -%s must be positive (got %d)", p.name, p.value)
-		}
+	if *csv && *jsonOut {
+		return fmt.Errorf("usage: -csv and -json are mutually exclusive")
 	}
-	cpuCounts, err := parseCPUList(*cpus)
-	if err != nil {
-		fs.Usage()
-		return err
+	// Validate every parameter through the registry's shared validator —
+	// a zero or negative value is a usage error even when the selected
+	// experiments don't read that flag. (-parallel is engine config, not
+	// an experiment parameter: <= 0 falls back to GOMAXPROCS by design.)
+	values := core.Params{}
+	for _, p := range core.FlagParams() {
+		switch p.Kind {
+		case core.ParamIntList:
+			v, err := p.Parse(*listFlags[p.Name])
+			if err != nil {
+				fs.Usage()
+				return err
+			}
+			values[p.Name] = v
+		default:
+			v := *intFlags[p.Name]
+			if err := p.Validate(v); err != nil {
+				fs.Usage()
+				return err
+			}
+			values[p.Name] = v
+		}
 	}
 	if len(positional) == 0 {
 		fs.Usage()
 		return fmt.Errorf("no experiment given; try 'vmmklab list'")
 	}
 
-	eng := core.NewRunner(*parallel)
-
-	emit := func(t *trace.Table) {
-		if *csv {
-			fmt.Print(t.CSV())
-		} else {
-			fmt.Println(t)
-		}
-	}
-
-	runners := map[string]func() error{
-		"e1": func() error {
-			cfg := core.E1Defaults()
-			cfg.Packets = *packets
-			rows, err := eng.E1(cfg)
-			if err != nil {
-				return err
-			}
-			emit(core.E1Table(rows))
-			return nil
-		},
-		"e2": func() error {
-			rows, err := eng.E2()
-			if err != nil {
-				return err
-			}
-			emit(core.E2Table(rows))
-			return nil
-		},
-		"e3": func() error {
-			rows, err := eng.E3(*syscalls)
-			if err != nil {
-				return err
-			}
-			emit(core.E3Table(rows))
-			return nil
-		},
-		"e4": func() error {
-			rows, err := eng.E4(*guests)
-			if err != nil {
-				return err
-			}
-			emit(core.E4Table(rows))
-			return nil
-		},
-		"e5": func() error {
-			rows, err := eng.E5()
-			if err != nil {
-				return err
-			}
-			emit(core.E5Table(rows))
-			return nil
-		},
-		"e6": func() error {
-			rows, err := eng.E6()
-			if err != nil {
-				return err
-			}
-			emit(core.E6Table(rows))
-			return nil
-		},
-		"e7": func() error {
-			rows, err := eng.E7(*syscalls)
-			if err != nil {
-				return err
-			}
-			emit(core.E7Table(rows))
-			return nil
-		},
-		"e8": func() error {
-			rows, err := eng.E8(*requests)
-			if err != nil {
-				return err
-			}
-			emit(core.E8Table(rows))
-			return nil
-		},
-		"e9": func() error {
-			rows, err := eng.E9()
-			if err != nil {
-				return err
-			}
-			emit(core.E9Table(rows))
-			return nil
-		},
-		"e10": func() error {
-			rows, err := eng.E10(*syscalls)
-			if err != nil {
-				return err
-			}
-			emit(core.E10Table(rows))
-			return nil
-		},
-		"e11": func() error {
-			low := *dirty / 6
-			if low < 1 {
-				low = 1
-			}
-			cfg := core.E11Config{
-				Frames:     *frames,
-				DirtyRates: []int{0, low, *dirty},
-				Budgets:    []int{0, 1, *rounds},
-				Cutoff:     2,
-			}
-			rows, err := eng.E11(cfg)
-			if err != nil {
-				return err
-			}
-			emit(core.E11Table(rows))
-			return nil
-		},
-		"e12": func() error {
-			cfg := core.E12Defaults()
-			cfg.CPUCounts = cpuCounts
-			rows, err := eng.E12(cfg)
-			if err != nil {
-				return err
-			}
-			emit(core.E12Table(rows))
-			return nil
-		},
-	}
-
 	var ids []string
 	for _, a := range positional {
 		switch a {
 		case "all":
-			for _, e := range core.Experiments() {
-				ids = append(ids, e.ID)
+			for _, s := range core.Specs() {
+				ids = append(ids, s.ID)
 			}
 		case "list":
-			for _, e := range core.Experiments() {
-				fmt.Printf("%-4s %s\n", e.ID, e.Title)
+			for _, s := range core.Specs() {
+				fmt.Printf("%-4s %s\n", s.ID, s.Title)
 			}
 			return nil
 		default:
-			if _, ok := runners[a]; !ok {
+			if _, ok := core.Lookup(a); !ok {
 				return fmt.Errorf("unknown experiment %q (try 'list')", a)
 			}
 			ids = append(ids, a)
 		}
 	}
+
+	eng := core.NewRunner(*parallel)
 	for _, id := range ids {
-		for _, e := range core.Experiments() {
-			if e.ID == id {
-				fmt.Printf("== %s: %s ==\n", e.ID, e.Title)
-			}
+		spec, _ := core.Lookup(id)
+		params := core.Params{}
+		for _, p := range spec.Params {
+			params[p.Name] = values[p.Name]
 		}
-		if err := runners[id](); err != nil {
+		res, err := eng.RunExperiment(context.Background(), id, params)
+		if err != nil {
 			return fmt.Errorf("%s: %w", id, err)
+		}
+		switch {
+		case *jsonOut:
+			b, err := res.JSON()
+			if err != nil {
+				return fmt.Errorf("%s: %w", id, err)
+			}
+			fmt.Println(string(b))
+		case *csv:
+			fmt.Printf("== %s: %s ==\n", spec.ID, spec.Title)
+			fmt.Print(res.CSV())
+		default:
+			fmt.Printf("== %s: %s ==\n", spec.ID, spec.Title)
+			fmt.Print(res.Text())
 		}
 	}
 	return nil

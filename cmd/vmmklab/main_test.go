@@ -1,11 +1,22 @@
 package main
 
 import (
+	"encoding/json"
+	"flag"
+	"io"
 	"os"
+	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
+
+	"vmmk/internal/core"
 )
+
+// update regenerates the golden files under testdata from the current
+// output: go test ./cmd/vmmklab -run Golden -update
+var update = flag.Bool("update", false, "rewrite golden files")
 
 // capture runs fn with stdout redirected and returns what it printed.
 func capture(t *testing.T, fn func() error) (string, error) {
@@ -16,13 +27,17 @@ func capture(t *testing.T, fn func() error) (string, error) {
 	}
 	old := os.Stdout
 	os.Stdout = w
+	done := make(chan string, 1)
+	go func() {
+		b, _ := io.ReadAll(r)
+		done <- string(b)
+	}()
 	runErr := fn()
 	os.Stdout = old
 	w.Close()
-	buf := make([]byte, 1<<20)
-	n, _ := r.Read(buf)
+	out := <-done
 	r.Close()
-	return string(buf[:n]), runErr
+	return out, runErr
 }
 
 func TestListCommand(t *testing.T) {
@@ -30,57 +45,210 @@ func TestListCommand(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, id := range []string{"e1", "e5", "e9", "e11"} {
-		if !strings.Contains(out, id) {
-			t.Errorf("list output missing %s", id)
+	// Every registered experiment must appear — the list is generated, so
+	// the check is against the registry, not a hand-kept id list.
+	for _, s := range core.Specs() {
+		if !strings.Contains(out, s.ID+" ") || !strings.Contains(out, s.Title) {
+			t.Errorf("list output missing %s (%s)", s.ID, s.Title)
 		}
 	}
 }
 
-// TestFlagValidation covers zero and negative values for every experiment
-// parameter flag: each must come back as a usage error naming the flag —
-// never a panic, never a silently clamped run.
-func TestFlagValidation(t *testing.T) {
-	cases := []struct {
+// TestFlagValidationRegistryDriven is the property test the registry makes
+// possible: for EVERY registered parameter of EVERY experiment, zero and
+// negative values must come back as usage errors naming the flag — never a
+// panic, never a silently clamped run. List parameters additionally reject
+// empty and garbage lists and entries above their bound. The cases are
+// generated from core.Specs(), so a new experiment's parameters are covered
+// the moment it registers.
+func TestFlagValidationRegistryDriven(t *testing.T) {
+	type tc struct {
 		name string
 		args []string
 		flag string
-	}{
-		{"e1 packets zero", []string{"-packets", "0", "e1"}, "packets"},
-		{"e1 packets negative", []string{"-packets", "-5", "e1"}, "packets"},
-		{"e3 syscalls zero", []string{"-syscalls", "0", "e3"}, "syscalls"},
-		{"e7 syscalls negative", []string{"-syscalls", "-1", "e7"}, "syscalls"},
-		{"e10 syscalls zero", []string{"-syscalls", "0", "e10"}, "syscalls"},
-		{"e4 guests zero", []string{"-guests", "0", "e4"}, "guests"},
-		{"e4 guests negative", []string{"-guests", "-3", "e4"}, "guests"},
-		{"e8 requests zero", []string{"-requests", "0", "e8"}, "requests"},
-		{"e8 requests negative", []string{"-requests", "-10", "e8"}, "requests"},
-		{"e11 frames zero", []string{"-frames", "0", "e11"}, "frames"},
-		{"e11 frames negative", []string{"-frames", "-96", "e11"}, "frames"},
-		{"e11 rounds zero", []string{"-rounds", "0", "e11"}, "rounds"},
-		{"e11 rounds negative", []string{"-rounds", "-4", "e11"}, "rounds"},
-		{"e11 dirty zero", []string{"-dirty", "0", "e11"}, "dirty"},
-		{"e11 dirty negative", []string{"-dirty", "-8", "e11"}, "dirty"},
-		{"e12 cpus zero", []string{"-cpus", "0", "e12"}, "cpus"},
-		{"e12 cpus negative entry", []string{"-cpus", "2,-4", "e12"}, "cpus"},
-		{"e12 cpus junk", []string{"-cpus", "two", "e12"}, "cpus"},
-		{"e12 cpus absurd", []string{"-cpus", "4096", "e12"}, "cpus"},
-		{"e12 cpus empty", []string{"-cpus", ",", "e12"}, "cpus"},
-		{"e12 cpus zero after name", []string{"e12", "-cpus", "0"}, "cpus"},
 	}
-	for _, tc := range cases {
-		t.Run(tc.name, func(t *testing.T) {
-			_, err := capture(t, func() error { return run(tc.args) })
-			if err == nil {
-				t.Fatalf("run(%v) accepted an invalid parameter", tc.args)
+	var cases []tc
+	add := func(spec core.Spec, p core.Param, bad string) {
+		cases = append(cases, tc{
+			name: spec.ID + " -" + p.Name + "=" + bad,
+			args: []string{"-" + p.Name, bad, spec.ID},
+			flag: p.Name,
+		})
+	}
+	nparams := 0
+	for _, spec := range core.Specs() {
+		for _, p := range spec.Params {
+			nparams++
+			switch p.Kind {
+			case core.ParamIntList:
+				bads := []string{"0", "2,-4", "two", ","}
+				if p.Max > 0 {
+					bads = append(bads, strconv.Itoa(p.Max+1))
+				}
+				for _, b := range bads {
+					add(spec, p, b)
+				}
+			default:
+				for _, b := range []string{"0", "-5"} {
+					add(spec, p, b)
+				}
 			}
-			if !strings.Contains(err.Error(), tc.flag) {
-				t.Fatalf("error %q does not name the offending -%s flag", err, tc.flag)
+			// Flags must be rejected after the experiment name too.
+			cases = append(cases, tc{
+				name: spec.ID + " -" + p.Name + " after name",
+				args: []string{spec.ID, "-" + p.Name, "0"},
+				flag: p.Name,
+			})
+		}
+	}
+	if nparams == 0 {
+		t.Fatal("registry declares no parameters — property test is vacuous")
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := capture(t, func() error { return run(c.args) })
+			if err == nil {
+				t.Fatalf("run(%v) accepted an invalid parameter", c.args)
+			}
+			if !strings.Contains(err.Error(), c.flag) {
+				t.Fatalf("error %q does not name the offending -%s flag", err, c.flag)
 			}
 			if !strings.Contains(err.Error(), "usage") {
 				t.Fatalf("error %q is not a usage error", err)
 			}
 		})
+	}
+}
+
+// goldenArgs returns the trimmed parameter flags each experiment's golden
+// files were captured with (sized to keep the test fast).
+func goldenArgs(id string) []string {
+	switch id {
+	case "e1":
+		return []string{"-packets", "30"}
+	case "e3", "e7", "e10":
+		return []string{"-syscalls", "50"}
+	case "e4":
+		return []string{"-guests", "2"}
+	case "e8":
+		return []string{"-requests", "10"}
+	case "e11":
+		return []string{"-frames", "48", "-rounds", "2", "-dirty", "8"}
+	case "e12":
+		return []string{"-cpus", "1,2"}
+	}
+	return nil
+}
+
+// checkGolden compares the CLI's output for args against the named golden
+// file byte for byte (or rewrites the file under -update).
+func checkGolden(t *testing.T, file string, args []string) {
+	t.Helper()
+	out, err := capture(t, func() error { return run(args) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", file)
+	if *update {
+		if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != string(want) {
+		t.Errorf("%s: output differs from golden\n--- got ---\n%s\n--- want ---\n%s", file, out, want)
+	}
+}
+
+// TestGoldenTextAndCSV pins the text and CSV rendering of every registered
+// experiment to the output captured from the pre-registry CLI: the
+// api_redesign moved all twelve experiments onto core.Spec/core.Result
+// without changing a byte of what users see.
+func TestGoldenTextAndCSV(t *testing.T) {
+	for _, spec := range core.Specs() {
+		spec := spec
+		t.Run(spec.ID, func(t *testing.T) {
+			args := goldenArgs(spec.ID)
+			checkGolden(t, spec.ID+".txt.golden", append([]string{spec.ID}, args...))
+			checkGolden(t, spec.ID+".csv.golden", append([]string{"-csv", spec.ID}, args...))
+		})
+	}
+}
+
+// TestGoldenJSON pins the stable JSON encoding for a representative subset
+// (a sweep, a fixed-configuration table, and the SMP grid).
+func TestGoldenJSON(t *testing.T) {
+	for _, id := range []string{"e1", "e3", "e12"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			checkGolden(t, id+".json.golden", append([]string{"-json", id}, goldenArgs(id)...))
+		})
+	}
+}
+
+// TestAllJSONParses is the sweep-level smoke: `vmmklab all -json` (with
+// trimmed parameters) must emit one JSON document per registered
+// experiment, each carrying the experiment id, the echoed params, and at
+// least one table with columns and rows.
+func TestAllJSONParses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	args := []string{"-packets", "20", "-syscalls", "40", "-guests", "2", "-requests", "10",
+		"-frames", "48", "-rounds", "2", "-dirty", "8", "-cpus", "1,2", "all", "-json"}
+	out, err := capture(t, func() error { return run(args) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	type table struct {
+		Title   string `json:"title"`
+		Columns []struct {
+			Name string `json:"name"`
+			Unit string `json:"unit"`
+		} `json:"columns"`
+		Rows [][]any `json:"rows"`
+	}
+	type doc struct {
+		Experiment string         `json:"experiment"`
+		Title      string         `json:"title"`
+		Params     map[string]any `json:"params"`
+		Tables     []table        `json:"tables"`
+	}
+	dec := json.NewDecoder(strings.NewReader(out))
+	var seen []string
+	for dec.More() {
+		var d doc
+		if err := dec.Decode(&d); err != nil {
+			t.Fatalf("invalid JSON document after %v: %v", seen, err)
+		}
+		if d.Experiment == "" || d.Title == "" || len(d.Tables) == 0 {
+			t.Fatalf("degenerate document: %+v", d)
+		}
+		for _, tb := range d.Tables {
+			if len(tb.Columns) == 0 || len(tb.Rows) == 0 {
+				t.Errorf("%s: table %q has no columns or rows", d.Experiment, tb.Title)
+			}
+			for _, row := range tb.Rows {
+				if len(row) != len(tb.Columns) {
+					t.Errorf("%s: row width %d != %d columns", d.Experiment, len(row), len(tb.Columns))
+				}
+			}
+		}
+		seen = append(seen, d.Experiment)
+	}
+	if len(seen) != len(core.Specs()) {
+		t.Fatalf("decoded %d documents (%v), want %d", len(seen), seen, len(core.Specs()))
+	}
+}
+
+func TestCSVAndJSONMutuallyExclusive(t *testing.T) {
+	_, err := capture(t, func() error { return run([]string{"-csv", "-json", "e5"}) })
+	if err == nil || !strings.Contains(err.Error(), "usage") {
+		t.Fatalf("want usage error for -csv -json, got %v", err)
 	}
 }
 

@@ -1,6 +1,7 @@
 package vmmk
 
 import (
+	"flag"
 	"go/ast"
 	"go/parser"
 	"go/token"
@@ -9,7 +10,47 @@ import (
 	"regexp"
 	"strings"
 	"testing"
+
+	"vmmk/internal/core"
 )
+
+// updateDocs regenerates the registry-generated block in EXPERIMENTS.md:
+// go test -run TestExperimentsRegistryTableCurrent -update-docs .
+var updateDocs = flag.Bool("update-docs", false, "rewrite generated doc sections")
+
+// TestExperimentsRegistryTableCurrent pins the generated experiment/
+// parameter table in EXPERIMENTS.md to core.RegistryMarkdown(): the docs
+// can never drift from the registry — registering a new experiment or
+// changing a parameter default fails this test until the table is
+// regenerated with -update-docs.
+func TestExperimentsRegistryTableCurrent(t *testing.T) {
+	const file = "EXPERIMENTS.md"
+	data, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	begin := strings.Index(text, "<!-- registry:begin")
+	end := strings.Index(text, "<!-- registry:end -->")
+	if begin < 0 || end < 0 || end < begin {
+		t.Fatalf("%s: registry markers missing or out of order", file)
+	}
+	close := strings.Index(text[begin:end], "-->")
+	if close < 0 {
+		t.Fatalf("%s: unterminated registry:begin comment", file)
+	}
+	blockStart := begin + close + len("-->\n")
+	want := core.RegistryMarkdown()
+	if got := text[blockStart:end]; got != want {
+		if *updateDocs {
+			if err := os.WriteFile(file, []byte(text[:blockStart]+want+text[end:]), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			return
+		}
+		t.Errorf("%s: generated registry table is stale; run\n  go test -run TestExperimentsRegistryTableCurrent -update-docs .\ngot:\n%s\nwant:\n%s", file, got, want)
+	}
+}
 
 // TestDocsMarkdownLinks is the docs-CI link check: every relative link in
 // every tracked *.md file must resolve to a file or directory in the

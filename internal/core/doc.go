@@ -10,7 +10,14 @@
 // and — on multiprocessors — IPI and TLB-shootdown burden.
 //
 // The experiments are E1–E12, one file each (e1_dom0.go … e12_smp.go),
-// indexed by report.go and documented in EXPERIMENTS.md. Each experiment
+// documented in EXPERIMENTS.md. Each file declares a Spec — id, title,
+// typed parameters — and self-registers at init into the declarative
+// registry (spec.go); the CLI's flags and validation, the `list` output,
+// the `all` sweep and the benchmarks are all generated from Specs(). Every
+// experiment implements the uniform entry point
+// Run(ctx, *Runner, Params) (*Result, error); Result (result.go) is the
+// single typed result model — column schema with units, rows, echoed
+// params — rendering as aligned text, CSV and stable JSON. Each experiment
 // decomposes into independent cells — one freshly booted Platform or
 // hw.Machine per (platform, parameter-point) pair — executed by the
 // parallel engine in runner.go: results land at their cell's index and

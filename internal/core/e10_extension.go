@@ -20,6 +20,21 @@ import (
 // vmmos.KVAppliance); the experiment counts the kernel interface surface
 // each must program against to boot and to serve, plus per-request cost.
 
+func init() {
+	Register(Spec{
+		ID:     "e10",
+		Title:  "minimal-extension interface complexity",
+		Params: []Param{paramSyscalls},
+		Run: func(_ context.Context, r *Runner, p Params) (*Result, error) {
+			rows, err := r.E10(p.Int("syscalls"))
+			if err != nil {
+				return nil, err
+			}
+			return NewResult(e10Table(rows)), nil
+		},
+	})
+}
+
 // E10Row is one platform's measurement.
 type E10Row struct {
 	Platform        string
@@ -135,14 +150,19 @@ func distinctSince(rec *trace.Recorder, snap trace.Snapshot) []trace.Kind {
 	return out
 }
 
-// E10Table renders the comparison.
-func E10Table(rows []E10Row) *trace.Table {
-	t := trace.NewTable(
+// e10Table builds the registry table.
+func e10Table(rows []E10Row) *ResultTable {
+	t := NewResultTable(
 		"E10 — minimal extension (KV cache): interface surface and cost (paper §2.2)",
-		"platform", "boot primitives", "serve primitives", "cyc/get",
+		Col("platform", ""), Col("boot primitives", "primitives"),
+		Col("serve primitives", "primitives"), Col("cyc/get", "cycles"),
 	)
 	for _, r := range rows {
 		t.AddRow(r.Platform, r.BootPrimitives, r.ServePrimitives, r.CyclesPerGet)
 	}
 	return t
 }
+
+// E10Table renders the comparison (compatibility wrapper over the
+// registry's Result model).
+func E10Table(rows []E10Row) *trace.Table { return e10Table(rows).Trace() }

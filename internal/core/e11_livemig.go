@@ -20,33 +20,91 @@ import (
 // reports downtime cycles, total pages transferred and rounds used per
 // (dirty rate × round budget) cell.
 
-// E11Config parameterises the migration sweep.
+func init() {
+	Register(Spec{
+		ID:    "e11",
+		Title: "live pre-copy migration downtime",
+		Params: []Param{
+			{Name: "frames", Kind: ParamInt, DefaultInt: 96,
+				Unit: "pages", Help: "guest memory pages for E11 migrations"},
+			{Name: "rounds", Kind: ParamInt, DefaultInt: 4,
+				Unit: "rounds", Help: "max pre-copy round budget for E11"},
+			{Name: "dirty", Kind: ParamInt, DefaultInt: 48,
+				Unit: "pages/round", Help: "peak dirty rate (pages/round) for E11"},
+		},
+		Run: func(_ context.Context, r *Runner, p Params) (*Result, error) {
+			cfg := E11Config{
+				Frames:    p.Int("frames"),
+				MaxRounds: p.Int("rounds"),
+				PeakDirty: p.Int("dirty"),
+			}
+			rows, err := r.E11(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return NewResult(e11Table(rows)), nil
+		},
+	})
+}
+
+// E11Config parameterises the migration sweep. Zero fields are normalized
+// by the same derivation everywhere, so the CLI and direct API callers get
+// identical defaults.
 type E11Config struct {
 	Frames     int   // guest pseudo-physical memory in pages
 	DirtyRates []int // pages the guest writes per pre-copy round
 	Budgets    []int // pre-copy round budgets; 0 = stop-and-copy baseline
-	Cutoff     int   // writable-working-set cutoff for early convergence
+	// Cutoff is the writable-working-set cutoff for early convergence.
+	// Zero means the published default of 2; pass a negative value for
+	// "no cutoff" (pre-copy stops only when the dirty set is empty or
+	// stops shrinking).
+	Cutoff int
+	// PeakDirty derives DirtyRates when that slice is empty: the sweep is
+	// {0, max(1, PeakDirty/6), PeakDirty}. Zero means the published 48.
+	PeakDirty int
+	// MaxRounds derives Budgets when that slice is empty: the sweep is
+	// {0, 1, MaxRounds}. Zero means the published 4.
+	MaxRounds int
 }
 
-// E11Defaults returns the published sweep.
+// E11Defaults returns the fully normalized default sweep — the same
+// configuration `vmmklab e11` runs with default flags.
 func E11Defaults() E11Config {
-	return E11Config{
-		Frames:     96,
-		DirtyRates: []int{0, 8, 48},
-		Budgets:    []int{0, 1, 2, 4},
-		Cutoff:     2,
-	}
+	var c E11Config
+	c.defaults()
+	return c
 }
 
+// defaults normalizes zero fields in place: the quiet/medium/peak dirty
+// sweep is derived from PeakDirty (the medium rate is PeakDirty/6, clamped
+// to at least one page), the budget sweep from MaxRounds, and a zero
+// writable-working-set cutoff lands at the published 2 (negative Cutoff
+// normalizes to 0: no early-convergence cutoff).
 func (c *E11Config) defaults() {
 	if c.Frames <= 0 {
-		c.Frames = E11Defaults().Frames
+		c.Frames = 96
+	}
+	if c.PeakDirty <= 0 {
+		c.PeakDirty = 48
+	}
+	if c.MaxRounds <= 0 {
+		c.MaxRounds = 4
 	}
 	if len(c.DirtyRates) == 0 {
-		c.DirtyRates = E11Defaults().DirtyRates
+		low := c.PeakDirty / 6
+		if low < 1 {
+			low = 1
+		}
+		c.DirtyRates = []int{0, low, c.PeakDirty}
 	}
 	if len(c.Budgets) == 0 {
-		c.Budgets = E11Defaults().Budgets
+		c.Budgets = []int{0, 1, c.MaxRounds}
+	}
+	switch {
+	case c.Cutoff == 0:
+		c.Cutoff = 2
+	case c.Cutoff < 0:
+		c.Cutoff = 0
 	}
 }
 
@@ -167,14 +225,20 @@ func e11Cell(frames, rate, budget, cutoff int) (E11Row, error) {
 	return row, nil
 }
 
-// E11Table renders the sweep.
-func E11Table(rows []E11Row) *trace.Table {
-	t := trace.NewTable(
+// e11Table builds the registry table.
+func e11Table(rows []E11Row) *ResultTable {
+	t := NewResultTable(
 		"E11 — live pre-copy migration: downtime vs pages moved (paper §3.3)",
-		"dirty/rnd", "budget", "mode", "rounds", "pages moved", "downtime cyc", "total cyc",
+		Col("dirty/rnd", "pages/round"), Col("budget", "rounds"), Col("mode", ""),
+		Col("rounds", "rounds"), Col("pages moved", "pages"),
+		Col("downtime cyc", "cycles"), Col("total cyc", "cycles"),
 	)
 	for _, r := range rows {
 		t.AddRow(r.DirtyRate, r.Budget, r.Mode, r.Rounds, r.PagesMoved, r.DowntimeCyc, r.TotalCyc)
 	}
 	return t
 }
+
+// E11Table renders the sweep (compatibility wrapper over the registry's
+// Result model).
+func E11Table(rows []E11Row) *trace.Table { return e11Table(rows).Trace() }

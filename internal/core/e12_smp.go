@@ -35,6 +35,30 @@ import (
 // shows zero IPIs and shootdowns — the regression guard that E1–E11's
 // uniprocessor accounting is untouched.
 
+func init() {
+	Register(Spec{
+		ID:    "e12",
+		Title: "SMP scaling: IPIs and TLB shootdown vs cores",
+		Params: []Param{{
+			Name: "cpus", Kind: ParamIntList, DefaultList: []int{1, 2, 4, 8}, Max: MaxCPUs,
+			Unit: "cores", Help: "comma-separated core counts for the E12 SMP sweep",
+		}},
+		Run: func(_ context.Context, r *Runner, p Params) (*Result, error) {
+			cfg := E12Defaults()
+			cfg.CPUCounts = p.IntList("cpus")
+			rows, err := r.E12(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return NewResult(e12Table(rows)), nil
+		},
+	})
+}
+
+// MaxCPUs bounds the E12 sweep; the simulation is exact, not sampled, so a
+// four-digit core count is a typo, not an experiment.
+const MaxCPUs = 64
+
 // E12Config parameterises the SMP sweep.
 type E12Config struct {
 	CPUCounts []int // machine sizes to sweep (each >= 1)
@@ -364,14 +388,20 @@ func e12DriverIO(platform string, ncpus, packets int) (E12Row, error) {
 	return e12Row(p.M(), "driver-io", platform, ncpus, ops), nil
 }
 
-// E12Table renders the sweep.
-func E12Table(rows []E12Row) *trace.Table {
-	t := trace.NewTable(
+// e12Table builds the registry table.
+func e12Table(rows []E12Row) *ResultTable {
+	t := NewResultTable(
 		"E12 — SMP scaling: IPI and TLB-shootdown cost vs core count",
-		"workload", "platform", "cpus", "ops", "IPIs", "shootdowns", "smp cyc", "total cyc",
+		Col("workload", ""), Col("platform", ""), Col("cpus", "cores"), Col("ops", "ops"),
+		Col("IPIs", "interrupts"), Col("shootdowns", "invalidations"),
+		Col("smp cyc", "cycles"), Col("total cyc", "cycles"),
 	)
 	for _, r := range rows {
 		t.AddRow(r.Workload, r.Platform, r.CPUs, r.Ops, r.IPIs, r.Shootdowns, r.SMPCyc, r.TotalCyc)
 	}
 	return t
 }
+
+// E12Table renders the sweep (compatibility wrapper over the registry's
+// Result model).
+func E12Table(rows []E12Row) *trace.Table { return e12Table(rows).Trace() }

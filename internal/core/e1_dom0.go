@@ -15,6 +15,26 @@ import (
 // its per-packet cost tracks the number of page flips, not the number of
 // payload bytes.
 
+func init() {
+	Register(Spec{
+		ID:    "e1",
+		Title: "Dom0 CPU overhead under I/O load (CG05 shape)",
+		Params: []Param{{
+			Name: "packets", Kind: ParamInt, DefaultInt: 100,
+			Unit: "packets", Help: "packet count for E1 sweeps",
+		}},
+		Run: func(_ context.Context, r *Runner, p Params) (*Result, error) {
+			cfg := E1Defaults()
+			cfg.Packets = p.Int("packets")
+			rows, err := r.E1(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return NewResult(e1Table(rows)), nil
+		},
+	})
+}
+
 // E1Row is one point of the sweep.
 type E1Row struct {
 	Mode        string // flip or copy
@@ -153,11 +173,12 @@ func (r *Runner) E1Rates(rates []int, packets, size int) ([]E1RateRow, error) {
 	})
 }
 
-// E1RateTable renders the offered-load sweep.
-func E1RateTable(rows []E1RateRow) *trace.Table {
-	t := trace.NewTable(
+// e1RateTable builds the offered-load sweep's registry table.
+func e1RateTable(rows []E1RateRow) *ResultTable {
+	t := NewResultTable(
 		"E1b — driver-side CPU utilisation vs offered load (flip mode, 1500B)",
-		"rate pkt/s", "pkts", "delivered", "driver cyc", "window cyc", "driver load",
+		Col("rate pkt/s", "packets/s"), Col("pkts", "packets"), Col("delivered", "packets"),
+		Col("driver cyc", "cycles"), Col("window cyc", "cycles"), Col("driver load", "%"),
 	)
 	for _, r := range rows {
 		t.AddRow(r.RatePktPerSec, r.Packets, r.Delivered, r.DriverCyc, r.WindowCyc,
@@ -166,11 +187,17 @@ func E1RateTable(rows []E1RateRow) *trace.Table {
 	return t
 }
 
-// E1Table renders the rows as the experiment's result table.
-func E1Table(rows []E1Row) *trace.Table {
-	t := trace.NewTable(
+// E1RateTable renders the offered-load sweep (compatibility wrapper over
+// the registry's Result model).
+func E1RateTable(rows []E1RateRow) *trace.Table { return e1RateTable(rows).Trace() }
+
+// e1Table builds the main sweep's registry table.
+func e1Table(rows []E1Row) *ResultTable {
+	t := NewResultTable(
 		"E1 — Dom0/driver-domain CPU under network RX load (Cherkasova-Gardner shape)",
-		"mode", "pkt B", "pkts", "flips", "driver cyc", "driver/pkt", "driver share", "cyc/flip",
+		Col("mode", ""), Col("pkt B", "bytes"), Col("pkts", "packets"), Col("flips", "flips"),
+		Col("driver cyc", "cycles"), Col("driver/pkt", "cycles/packet"),
+		Col("driver share", "%"), Col("cyc/flip", "cycles/flip"),
 	)
 	for _, r := range rows {
 		t.AddRow(r.Mode, r.PktSize, r.Packets, r.Flips, r.DriverCyc, r.PerPktCyc,
@@ -178,3 +205,7 @@ func E1Table(rows []E1Row) *trace.Table {
 	}
 	return t
 }
+
+// E1Table renders the rows as the experiment's result table (compatibility
+// wrapper over the registry's Result model).
+func E1Table(rows []E1Row) *trace.Table { return e1Table(rows).Trace() }

@@ -14,6 +14,20 @@ import (
 // stacks; the recorder counts every IPC-equivalent boundary crossing
 // (defined in trace.Kind.IsIPCEquivalent) on each.
 
+func init() {
+	Register(Spec{
+		ID:    "e2",
+		Title: "IPC-equivalent operation counts",
+		Run: func(_ context.Context, r *Runner, _ Params) (*Result, error) {
+			rows, err := r.E2()
+			if err != nil {
+				return nil, err
+			}
+			return NewResult(e2Table(rows)), nil
+		},
+	})
+}
+
 // E2Row is one workload's comparison.
 type E2Row struct {
 	Workload string
@@ -122,14 +136,18 @@ func (r *Runner) E2() ([]E2Row, error) {
 	})
 }
 
-// E2Table renders the comparison.
-func E2Table(rows []E2Row) *trace.Table {
-	t := trace.NewTable(
+// e2Table builds the comparison's registry table.
+func e2Table(rows []E2Row) *ResultTable {
+	t := NewResultTable(
 		"E2 — IPC-equivalent operations per workload (paper §3.2: counts should be essentially equal)",
-		"workload", "mk ops", "vmm ops", "vmm/mk",
+		Col("workload", ""), Col("mk ops", "ops"), Col("vmm ops", "ops"), Col("vmm/mk", "ratio"),
 	)
 	for _, r := range rows {
 		t.AddRow(r.Workload, r.MKOps, r.VMMOps, fmt.Sprintf("%.2fx", r.Ratio))
 	}
 	return t
 }
+
+// E2Table renders the comparison (compatibility wrapper over the registry's
+// Result model).
+func E2Table(rows []E2Row) *trace.Table { return e2Table(rows).Trace() }

@@ -16,6 +16,21 @@ import (
 // server) and the native trap are measured on the same hardware model for
 // comparison.
 
+func init() {
+	Register(Spec{
+		ID:     "e3",
+		Title:  "guest system-call paths",
+		Params: []Param{paramSyscalls},
+		Run: func(_ context.Context, r *Runner, p Params) (*Result, error) {
+			rows, err := r.E3(p.Int("syscalls"))
+			if err != nil {
+				return nil, err
+			}
+			return NewResult(e3Table(rows)), nil
+		},
+	})
+}
+
 // E3Row is one configuration's per-syscall cost.
 type E3Row struct {
 	Config       string
@@ -118,11 +133,12 @@ func (r *Runner) E3(n int) ([]E3Row, error) {
 	return runFuncs(r, cells)
 }
 
-// E3Table renders the rows.
-func E3Table(rows []E3Row) *trace.Table {
-	t := trace.NewTable(
+// e3Table builds the registry table.
+func e3Table(rows []E3Row) *ResultTable {
+	t := NewResultTable(
 		"E3 — guest system-call paths (paper §3.2: the shortcut is fragile)",
-		"configuration", "cycles/syscall", "monitor cyc/op", "fast path",
+		Col("configuration", ""), Col("cycles/syscall", "cycles"),
+		Col("monitor cyc/op", "cycles"), Col("fast path", ""),
 	)
 	for _, r := range rows {
 		live := "-"
@@ -133,3 +149,7 @@ func E3Table(rows []E3Row) *trace.Table {
 	}
 	return t
 }
+
+// E3Table renders the rows (compatibility wrapper over the registry's
+// Result model).
+func E3Table(rows []E3Row) *trace.Table { return e3Table(rows).Trace() }

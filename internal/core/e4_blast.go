@@ -14,6 +14,24 @@ import (
 // identically on both systems. The native baseline shows the structural
 // alternative: an in-kernel service's death is everyone's death.
 
+func init() {
+	Register(Spec{
+		ID:    "e4",
+		Title: "failure blast radius",
+		Params: []Param{{
+			Name: "guests", Kind: ParamInt, DefaultInt: 3,
+			Unit: "guests", Help: "guest count for E4",
+		}},
+		Run: func(_ context.Context, r *Runner, p Params) (*Result, error) {
+			rows, err := r.E4(p.Int("guests"))
+			if err != nil {
+				return nil, err
+			}
+			return NewResult(e4Table(rows)), nil
+		},
+	})
+}
+
 // E4Row is one platform × scenario outcome.
 type E4Row struct {
 	Platform      string
@@ -80,11 +98,12 @@ func (r *Runner) E4(nGuests int) ([]E4Row, error) {
 	})
 }
 
-// E4Table renders the rows.
-func E4Table(rows []E4Row) *trace.Table {
-	t := trace.NewTable(
+// e4Table builds the registry table.
+func e4Table(rows []E4Row) *ResultTable {
+	t := NewResultTable(
 		"E4 — failure blast radius (paper §3.1: identical confinement on both systems)",
-		"platform", "scenario", "kernel", "storage", "network", "guests alive",
+		Col("platform", ""), Col("scenario", ""), Col("kernel", ""), Col("storage", ""),
+		Col("network", ""), Col("guests alive", "guests"),
 	)
 	yn := func(b bool) string {
 		if b {
@@ -98,3 +117,7 @@ func E4Table(rows []E4Row) *trace.Table {
 	}
 	return t
 }
+
+// E4Table renders the rows (compatibility wrapper over the registry's
+// Result model).
+func E4Table(rows []E4Row) *trace.Table { return e4Table(rows).Trace() }

@@ -14,6 +14,20 @@ import (
 // "each requiring a dedicated set of security mechanisms, resources, and
 // kernel code".
 
+func init() {
+	Register(Spec{
+		ID:    "e5",
+		Title: "privileged-primitive census",
+		Run: func(_ context.Context, r *Runner, _ Params) (*Result, error) {
+			rows, err := r.E5()
+			if err != nil {
+				return nil, err
+			}
+			return NewResult(e5Table(rows)), nil
+		},
+	})
+}
+
 // E5Row is one platform's census.
 type E5Row struct {
 	Platform   string
@@ -150,14 +164,19 @@ func kindNames(kinds []trace.Kind) []string {
 	return out
 }
 
-// E5Table renders the census.
-func E5Table(rows []E5Row) *trace.Table {
-	t := trace.NewTable(
+// e5Table builds the registry table.
+func e5Table(rows []E5Row) *ResultTable {
+	t := NewResultTable(
 		"E5 — distinct privileged primitives exercised by the same workload (paper §2.2)",
-		"platform", "count", "security mechanisms", "primitives",
+		Col("platform", ""), Col("count", "primitives"),
+		Col("security mechanisms", "mechanisms"), Col("primitives", ""),
 	)
 	for _, r := range rows {
 		t.AddRow(r.Platform, r.Count, r.Mechanisms, strings.Join(r.Primitives, " "))
 	}
 	return t
 }
+
+// E5Table renders the census (compatibility wrapper over the registry's
+// Result model).
+func E5Table(rows []E5Row) *trace.Table { return e5Table(rows).Trace() }

@@ -20,6 +20,20 @@ import (
 // side, count the raw-interface properties a guest must be rewritten
 // against when moving from the x86 baseline to each architecture.
 
+func init() {
+	Register(Spec{
+		ID:    "e6",
+		Title: "nine-architecture portability",
+		Run: func(_ context.Context, r *Runner, _ Params) (*Result, error) {
+			rows, err := r.E6()
+			if err != nil {
+				return nil, err
+			}
+			return NewResult(e6Table(rows)), nil
+		},
+	})
+}
+
 // E6Row is one architecture's result.
 type E6Row struct {
 	Arch          string
@@ -89,11 +103,12 @@ func (r *Runner) E6() ([]E6Row, error) {
 	})
 }
 
-// E6Table renders the rows.
-func E6Table(rows []E6Row) *trace.Table {
-	t := trace.NewTable(
+// e6Table builds the registry table.
+func e6Table(rows []E6Row) *ResultTable {
+	t := NewResultTable(
 		"E6 — portability: identical mk personality across 9 architectures vs VMM interface deltas (paper §2.2)",
-		"arch", "mk component", "changes", "vmm port items", "which",
+		Col("arch", ""), Col("mk component", ""), Col("changes", "changes"),
+		Col("vmm port items", "items"), Col("which", ""),
 	)
 	for _, r := range rows {
 		status := "runs unchanged"
@@ -104,3 +119,7 @@ func E6Table(rows []E6Row) *trace.Table {
 	}
 	return t
 }
+
+// E6Table renders the rows (compatibility wrapper over the registry's
+// Result model).
+func E6Table(rows []E6Row) *trace.Table { return e6Table(rows).Trace() }

@@ -15,6 +15,21 @@ import (
 // notifications, page flips, grant copies and world switches, measured
 // directly.
 
+func init() {
+	Register(Spec{
+		ID:     "e7",
+		Title:  "primitive microbenchmarks",
+		Params: []Param{paramSyscalls},
+		Run: func(_ context.Context, r *Runner, p Params) (*Result, error) {
+			rows, err := r.E7(p.Int("syscalls"))
+			if err != nil {
+				return nil, err
+			}
+			return NewResult(e7Table(rows)), nil
+		},
+	})
+}
+
 // E7Row is one primitive's cost.
 type E7Row struct {
 	Op     string
@@ -216,14 +231,18 @@ func (r *Runner) E7(n int) ([]E7Row, error) {
 	return runFuncs(r, []func(context.Context) ([]E7Row, error){mkCell, vmmCell, hwCell})
 }
 
-// E7Table renders the microbenchmarks.
-func E7Table(rows []E7Row) *trace.Table {
-	t := trace.NewTable(
+// e7Table builds the registry table.
+func e7Table(rows []E7Row) *ResultTable {
+	t := NewResultTable(
 		"E7 — primitive microbenchmarks (mean cycles/op on the x86 model)",
-		"operation", "system", "cycles",
+		Col("operation", ""), Col("system", ""), Col("cycles", "cycles"),
 	)
 	for _, r := range rows {
 		t.AddRow(r.Op, r.System, r.Cycles)
 	}
 	return t
 }
+
+// E7Table renders the microbenchmarks (compatibility wrapper over the
+// registry's Result model).
+func E7Table(rows []E7Row) *trace.Table { return e7Table(rows).Trace() }

@@ -15,6 +15,24 @@ import (
 // each system's relative slowdown so the "OS as component works on both"
 // claim is checkable.
 
+func init() {
+	Register(Spec{
+		ID:    "e8",
+		Title: "web-serving macro benchmark",
+		Params: []Param{{
+			Name: "requests", Kind: ParamInt, DefaultInt: 50,
+			Unit: "requests", Help: "request count for E8",
+		}},
+		Run: func(_ context.Context, r *Runner, p Params) (*Result, error) {
+			rows, err := r.E8(p.Int("requests"))
+			if err != nil {
+				return nil, err
+			}
+			return NewResult(e8Table(rows)), nil
+		},
+	})
+}
+
 // E8Row is one platform's macro result.
 type E8Row struct {
 	Platform     string
@@ -104,14 +122,19 @@ func (r *Runner) E8(n int) ([]E8Row, error) {
 	return rows, nil
 }
 
-// E8Table renders the rows.
-func E8Table(rows []E8Row) *trace.Table {
-	t := trace.NewTable(
+// e8Table builds the registry table.
+func e8Table(rows []E8Row) *ResultTable {
+	t := NewResultTable(
 		"E8 — web-serving macro workload (paper §3.3: paravirt OS works on both)",
-		"platform", "requests", "cycles/request", "relative cost",
+		Col("platform", ""), Col("requests", "requests"),
+		Col("cycles/request", "cycles"), Col("relative cost", "ratio"),
 	)
 	for _, r := range rows {
 		t.AddRow(r.Platform, r.Requests, r.CyclesPerReq, fmt.Sprintf("%.2fx", r.RelativeCost))
 	}
 	return t
 }
+
+// E8Table renders the rows (compatibility wrapper over the registry's
+// Result model).
+func E8Table(rows []E8Row) *trace.Table { return e8Table(rows).Trace() }

@@ -23,6 +23,20 @@ import (
 //  d. consolidated "super-VM" (storage in Dom0) vs decomposed servers,
 //     measured by blast radius — §2.2's single-point-of-failure warning.
 
+func init() {
+	Register(Spec{
+		ID:    "e9",
+		Title: "design-decision ablations",
+		Run: func(_ context.Context, r *Runner, _ Params) (*Result, error) {
+			rows, err := r.E9()
+			if err != nil {
+				return nil, err
+			}
+			return NewResult(e9Table(rows)), nil
+		},
+	})
+}
+
 // E9Row is one ablation measurement.
 type E9Row struct {
 	Ablation string
@@ -320,14 +334,18 @@ func (r *Runner) E9() ([]E9Row, error) {
 	return runFuncs(r, cells)
 }
 
-// E9Table renders the ablations.
-func E9Table(rows []E9Row) *trace.Table {
-	t := trace.NewTable(
+// e9Table builds the registry table.
+func e9Table(rows []E9Row) *ResultTable {
+	t := NewResultTable(
 		"E9 — ablations of the design decisions in DESIGN.md",
-		"ablation", "variant", "metric", "value",
+		Col("ablation", ""), Col("variant", ""), Col("metric", ""), Col("value", ""),
 	)
 	for _, r := range rows {
 		t.AddRow(r.Ablation, r.Variant, r.Metric, r.Value)
 	}
 	return t
 }
+
+// E9Table renders the ablations (compatibility wrapper over the registry's
+// Result model).
+func E9Table(rows []E9Row) *trace.Table { return e9Table(rows).Trace() }

@@ -1,139 +1,54 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 )
 
-// Experiment is one runnable experiment with its identifier and
-// description, the unit the CLI and the bench harness iterate over.
+// Experiment is the line-oriented view of one registered experiment: its
+// identifier, title, and a Run that renders the default-parameter Result as
+// aligned text. It is generated from the registry — the CLI, the report
+// harness and the benchmarks all iterate the same Specs.
 type Experiment struct {
 	ID    string
 	Title string
 	Run   func(w io.Writer) error
 }
 
-// Experiments returns all experiments in order, bound to the default
-// (GOMAXPROCS-parallel) runner.
+// Experiments returns all registered experiments in registry order, bound
+// to the default (GOMAXPROCS-parallel) runner.
 func Experiments() []Experiment { return DefaultRunner().Experiments() }
 
-// Experiments returns all experiments in order, bound to this runner: each
-// Run fans its cells out across the runner's worker pool.
+// Experiments returns all registered experiments in registry order, bound
+// to this runner: each Run executes the experiment with its declared
+// default parameters, fanning its cells out across the runner's worker
+// pool, and writes the text tables to w.
 func (r *Runner) Experiments() []Experiment {
-	return []Experiment{
-		{"e1", "Dom0 CPU overhead under I/O load (CG05 shape)", func(w io.Writer) error {
-			rows, err := r.E1(E1Defaults())
+	specs := Specs()
+	out := make([]Experiment, len(specs))
+	for i, s := range specs {
+		id := s.ID
+		out[i] = Experiment{ID: s.ID, Title: s.Title, Run: func(w io.Writer) error {
+			res, err := r.RunExperiment(context.Background(), id, nil)
 			if err != nil {
 				return err
 			}
-			if _, err := fmt.Fprintln(w, E1Table(rows)); err != nil {
-				return err
-			}
-			rateRows, err := r.E1Rates(nil, 100, 1500)
-			if err != nil {
-				return err
-			}
-			_, err = fmt.Fprintln(w, E1RateTable(rateRows))
+			_, err = io.WriteString(w, res.Text())
 			return err
-		}},
-		{"e2", "IPC-equivalent operation counts", func(w io.Writer) error {
-			rows, err := r.E2()
-			if err != nil {
-				return err
-			}
-			_, err = fmt.Fprintln(w, E2Table(rows))
-			return err
-		}},
-		{"e3", "guest system-call paths", func(w io.Writer) error {
-			rows, err := r.E3(200)
-			if err != nil {
-				return err
-			}
-			_, err = fmt.Fprintln(w, E3Table(rows))
-			return err
-		}},
-		{"e4", "failure blast radius", func(w io.Writer) error {
-			rows, err := r.E4(3)
-			if err != nil {
-				return err
-			}
-			_, err = fmt.Fprintln(w, E4Table(rows))
-			return err
-		}},
-		{"e5", "privileged-primitive census", func(w io.Writer) error {
-			rows, err := r.E5()
-			if err != nil {
-				return err
-			}
-			_, err = fmt.Fprintln(w, E5Table(rows))
-			return err
-		}},
-		{"e6", "nine-architecture portability", func(w io.Writer) error {
-			rows, err := r.E6()
-			if err != nil {
-				return err
-			}
-			_, err = fmt.Fprintln(w, E6Table(rows))
-			return err
-		}},
-		{"e7", "primitive microbenchmarks", func(w io.Writer) error {
-			rows, err := r.E7(100)
-			if err != nil {
-				return err
-			}
-			_, err = fmt.Fprintln(w, E7Table(rows))
-			return err
-		}},
-		{"e8", "web-serving macro benchmark", func(w io.Writer) error {
-			rows, err := r.E8(50)
-			if err != nil {
-				return err
-			}
-			_, err = fmt.Fprintln(w, E8Table(rows))
-			return err
-		}},
-		{"e9", "design-decision ablations", func(w io.Writer) error {
-			rows, err := r.E9()
-			if err != nil {
-				return err
-			}
-			_, err = fmt.Fprintln(w, E9Table(rows))
-			return err
-		}},
-		{"e10", "minimal-extension interface complexity", func(w io.Writer) error {
-			rows, err := r.E10(100)
-			if err != nil {
-				return err
-			}
-			_, err = fmt.Fprintln(w, E10Table(rows))
-			return err
-		}},
-		{"e11", "live pre-copy migration downtime", func(w io.Writer) error {
-			rows, err := r.E11(E11Defaults())
-			if err != nil {
-				return err
-			}
-			_, err = fmt.Fprintln(w, E11Table(rows))
-			return err
-		}},
-		{"e12", "SMP scaling: IPIs and TLB shootdown vs cores", func(w io.Writer) error {
-			rows, err := r.E12(E12Defaults())
-			if err != nil {
-				return err
-			}
-			_, err = fmt.Fprintln(w, E12Table(rows))
-			return err
-		}},
+		}}
 	}
+	return out
 }
 
-// RunAll executes every experiment on the default runner, writing each
-// table to w.
+// RunAll executes every registered experiment on the default runner,
+// writing each table to w.
 func RunAll(w io.Writer) error { return DefaultRunner().RunAll(w) }
 
-// RunAll executes every experiment on this runner, writing each table to w.
-// Experiments run one after another; parallelism lives inside each, across
-// its cells, so the tables stream out in their canonical order.
+// RunAll executes every registered experiment on this runner, writing each
+// table to w. Experiments run one after another; parallelism lives inside
+// each, across its cells, so the tables stream out in their canonical
+// order.
 func (r *Runner) RunAll(w io.Writer) error {
 	for _, e := range r.Experiments() {
 		if _, err := fmt.Fprintf(w, "== %s: %s ==\n", e.ID, e.Title); err != nil {

@@ -1,0 +1,105 @@
+package core
+
+// result.go is the single typed result model every experiment returns: a
+// column schema with units, the rows, and the echoed parameters, with
+// renderers for aligned text (byte-identical to the pre-registry tables),
+// CSV, and a stable JSON encoding downstream tooling (benchmark trackers,
+// regression diffing, sweep aggregation) can consume without screen-scraping.
+
+import (
+	"encoding/json"
+	"strings"
+
+	"vmmk/internal/trace"
+)
+
+// Column is one column of a ResultTable: the display name (exactly the
+// header the text and CSV renderers print) plus the unit of the quantity,
+// carried separately for machine-readable output.
+type Column struct {
+	Name string `json:"name"`
+	Unit string `json:"unit,omitempty"`
+}
+
+// Col constructs a Column.
+func Col(name, unit string) Column { return Column{Name: name, Unit: unit} }
+
+// ResultTable is one table of an experiment's Result: title, column schema
+// and rows. Cells keep their native types (integers stay numbers in JSON);
+// cells the text renderer shows pre-formatted (percentages, ratios) are
+// strings here too, so every renderer agrees on what was measured.
+type ResultTable struct {
+	Title   string   `json:"title"`
+	Columns []Column `json:"columns"`
+	Rows    [][]any  `json:"rows"`
+}
+
+// NewResultTable returns a table with the given title and column schema.
+func NewResultTable(title string, cols ...Column) *ResultTable {
+	return &ResultTable{Title: title, Columns: cols}
+}
+
+// AddRow appends one row; cells line up with Columns.
+func (t *ResultTable) AddRow(cells ...any) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Trace converts the table to the text/CSV renderer's type. Cell formatting
+// (float rounding, alignment) is trace.Table's, so text output is
+// byte-identical to the pre-registry builders'.
+func (t *ResultTable) Trace() *trace.Table {
+	names := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		names[i] = c.Name
+	}
+	tt := trace.NewTable(t.Title, names...)
+	for _, row := range t.Rows {
+		tt.AddRow(row...)
+	}
+	return tt
+}
+
+// Result is the uniform experiment outcome: which experiment ran, with
+// which (normalized) parameters, and the tables it produced. RunExperiment
+// stamps Experiment, Title and Params; Spec.Run only builds Tables.
+type Result struct {
+	Experiment string         `json:"experiment"`
+	Title      string         `json:"title"`
+	Params     Params         `json:"params"`
+	Tables     []*ResultTable `json:"tables"`
+}
+
+// NewResult wraps tables into a Result (id, title and params are stamped by
+// RunExperiment).
+func NewResult(tables ...*ResultTable) *Result {
+	return &Result{Tables: tables}
+}
+
+// Text renders every table as the aligned text the CLI prints by default,
+// one blank line after each table — byte-identical to the pre-registry
+// per-experiment output.
+func (r *Result) Text() string {
+	var b strings.Builder
+	for _, t := range r.Tables {
+		b.WriteString(t.Trace().String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders every table as comma-separated values (headers first).
+func (r *Result) CSV() string {
+	var b strings.Builder
+	for _, t := range r.Tables {
+		b.WriteString(t.Trace().CSV())
+	}
+	return b.String()
+}
+
+// JSON returns the stable machine-readable encoding: one compact document
+// with the experiment id, title, echoed params, and every table's column
+// schema (with units) and rows. Params encode with sorted keys, so equal
+// results encode to equal bytes.
+func (r *Result) JSON() ([]byte, error) {
+	return json.Marshal(r)
+}

@@ -1,0 +1,406 @@
+package core
+
+// spec.go is the declarative experiment registry — the single source of
+// truth the CLI, the report harness and the benchmarks all generate from.
+// Each experiment file declares a Spec (id, title, typed parameters) and
+// self-registers at init; adding experiment thirteen is one new file with
+// one Register call, and the flag surface, validation, `list` output and
+// the `all` sweep follow without touching cmd/vmmklab.
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// ParamKind discriminates the value type of a Param.
+type ParamKind int
+
+// The supported parameter kinds.
+const (
+	// ParamInt is a single positive integer.
+	ParamInt ParamKind = iota
+	// ParamIntList is a comma-separated list of positive integers.
+	ParamIntList
+)
+
+// Param declares one typed experiment parameter: its flag name, value kind,
+// default, unit and bounds. Every experiment parameter must be positive —
+// zero or negative values are usage errors, never silent clamps — and list
+// parameters must be non-empty; Validate is the one validator the CLI, the
+// registry and the tests all share.
+type Param struct {
+	// Name is the parameter (and CLI flag) name, e.g. "packets".
+	Name string
+	// Kind selects int or int-list semantics.
+	Kind ParamKind
+	// Help is the one-line flag description.
+	Help string
+	// Unit names the quantity for machine-readable output ("packets",
+	// "pages", "cores", ...).
+	Unit string
+	// DefaultInt is the default for ParamInt parameters.
+	DefaultInt int
+	// DefaultList is the default for ParamIntList parameters.
+	DefaultList []int
+	// Max, when positive, bounds each value (list entries included).
+	Max int
+}
+
+// Default returns the parameter's default value (an int or a fresh []int).
+func (p Param) Default() any {
+	if p.Kind == ParamIntList {
+		return append([]int(nil), p.DefaultList...)
+	}
+	return p.DefaultInt
+}
+
+// DefaultString renders the default the way the CLI displays and re-parses
+// it ("100", or "1,2,4,8" for lists).
+func (p Param) DefaultString() string {
+	if p.Kind == ParamIntList {
+		parts := make([]string, len(p.DefaultList))
+		for i, n := range p.DefaultList {
+			parts[i] = strconv.Itoa(n)
+		}
+		return strings.Join(parts, ",")
+	}
+	return strconv.Itoa(p.DefaultInt)
+}
+
+// Parse converts flag text into a validated value of the parameter's kind.
+// Errors are usage errors naming the offending flag.
+func (p Param) Parse(s string) (any, error) {
+	if p.Kind == ParamIntList {
+		var out []int
+		for _, part := range strings.Split(s, ",") {
+			part = strings.TrimSpace(part)
+			if part == "" {
+				continue
+			}
+			n, err := strconv.Atoi(part)
+			if err != nil {
+				return nil, fmt.Errorf("usage: -%s entries must be integers (got %q)", p.Name, part)
+			}
+			out = append(out, n)
+		}
+		if err := p.Validate(out); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(s))
+	if err != nil {
+		return nil, fmt.Errorf("usage: -%s must be an integer (got %q)", p.Name, s)
+	}
+	if err := p.Validate(n); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// Validate checks a typed value against the parameter's constraints: every
+// value must be positive and, when Max is set, at most Max; lists need at
+// least one entry. Errors are usage errors naming the offending flag.
+func (p Param) Validate(v any) error {
+	if p.Kind == ParamIntList {
+		list, ok := v.([]int)
+		if !ok {
+			return fmt.Errorf("usage: -%s wants a comma-separated integer list (got %T)", p.Name, v)
+		}
+		if len(list) == 0 {
+			return fmt.Errorf("usage: -%s needs at least one value", p.Name)
+		}
+		for _, n := range list {
+			if n < 1 {
+				return fmt.Errorf("usage: -%s entries must be positive (got %d)", p.Name, n)
+			}
+			if p.Max > 0 && n > p.Max {
+				return fmt.Errorf("usage: -%s entries must be at most %d (got %d)", p.Name, p.Max, n)
+			}
+		}
+		return nil
+	}
+	n, ok := v.(int)
+	if !ok {
+		return fmt.Errorf("usage: -%s wants an integer (got %T)", p.Name, v)
+	}
+	if n < 1 {
+		return fmt.Errorf("usage: -%s must be positive (got %d)", p.Name, n)
+	}
+	if p.Max > 0 && n > p.Max {
+		return fmt.Errorf("usage: -%s must be at most %d (got %d)", p.Name, p.Max, n)
+	}
+	return nil
+}
+
+// Params carries one experiment invocation's parameter values by name.
+// Values are int or []int (string values are accepted by Normalize, which
+// parses them through the declaring Param — what the CLI feeds in).
+type Params map[string]any
+
+// Int returns the named int parameter, or 0 when absent.
+func (ps Params) Int(name string) int {
+	v, _ := ps[name].(int)
+	return v
+}
+
+// IntList returns the named list parameter, or nil when absent.
+func (ps Params) IntList(name string) []int {
+	v, _ := ps[name].([]int)
+	return v
+}
+
+// Spec declares one experiment: identifier, human title, typed parameters
+// and the uniform entry point every experiment implements. Experiments
+// self-register at init via Register.
+type Spec struct {
+	// ID is the experiment identifier ("e1" ... "e12").
+	ID string
+	// Title is the one-line description `list` and the report headers show.
+	Title string
+	// Params declares the experiment's parameters. Parameters shared
+	// across experiments (one CLI flag) must be declared identically.
+	Params []Param
+	// Run executes the experiment on the given runner with normalized
+	// parameters and returns its tables. RunExperiment stamps the Result
+	// with the spec's id, title and the echoed params.
+	Run func(ctx context.Context, r *Runner, p Params) (*Result, error)
+}
+
+// Param returns the declaration of the named parameter.
+func (s Spec) Param(name string) (Param, bool) {
+	for _, p := range s.Params {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Param{}, false
+}
+
+// Defaults returns a fresh Params holding every declared default.
+func (s Spec) Defaults() Params {
+	out := make(Params, len(s.Params))
+	for _, p := range s.Params {
+		out[p.Name] = p.Default()
+	}
+	return out
+}
+
+// Normalize fills missing parameters with their defaults and validates
+// everything through the shared validator. String values are parsed as flag
+// text; unknown parameter names are usage errors. The input map is not
+// modified.
+func (s Spec) Normalize(p Params) (Params, error) {
+	for name := range p {
+		if _, ok := s.Param(name); !ok {
+			return nil, fmt.Errorf("usage: experiment %s has no parameter -%s", s.ID, name)
+		}
+	}
+	out := make(Params, len(s.Params))
+	for _, d := range s.Params {
+		v, ok := p[d.Name]
+		if !ok || v == nil {
+			out[d.Name] = d.Default()
+			continue
+		}
+		if text, isText := v.(string); isText {
+			parsed, err := d.Parse(text)
+			if err != nil {
+				return nil, err
+			}
+			out[d.Name] = parsed
+			continue
+		}
+		if err := d.Validate(v); err != nil {
+			return nil, err
+		}
+		if list, isList := v.([]int); isList {
+			v = append([]int(nil), list...)
+		}
+		out[d.Name] = v
+	}
+	return out, nil
+}
+
+// paramSyscalls is the iteration-count parameter E3, E7 and E10 share: one
+// CLI flag, one default, one validator.
+var paramSyscalls = Param{
+	Name: "syscalls", Kind: ParamInt, DefaultInt: 200,
+	Unit: "ops", Help: "iteration count for E3/E7/E10",
+}
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Spec{}
+)
+
+// Register adds a Spec to the experiment registry. It panics on a malformed
+// spec, a duplicate id, or a parameter redeclared with a different shape
+// than another spec's — the registry keeps exactly one flag per parameter
+// name, so shared parameters must agree everywhere.
+func Register(s Spec) {
+	if s.ID == "" || s.Title == "" || s.Run == nil {
+		panic(fmt.Sprintf("core: Register(%q): id, title and run are all required", s.ID))
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[s.ID]; dup {
+		panic(fmt.Sprintf("core: experiment %q registered twice", s.ID))
+	}
+	for _, p := range s.Params {
+		if p.Name == "" {
+			panic(fmt.Sprintf("core: experiment %q declares an unnamed parameter", s.ID))
+		}
+		for id, other := range registry {
+			if q, ok := other.Param(p.Name); ok && !sameParamShape(p, q) {
+				panic(fmt.Sprintf("core: parameter -%s declared differently by %q and %q", p.Name, s.ID, id))
+			}
+		}
+	}
+	registry[s.ID] = s
+}
+
+// sameParamShape reports whether two declarations of a shared parameter
+// agree on everything a single CLI flag must agree on.
+func sameParamShape(a, b Param) bool {
+	if a.Kind != b.Kind || a.DefaultInt != b.DefaultInt || a.Max != b.Max ||
+		a.Unit != b.Unit || a.Help != b.Help || len(a.DefaultList) != len(b.DefaultList) {
+		return false
+	}
+	for i := range a.DefaultList {
+		if a.DefaultList[i] != b.DefaultList[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Specs returns every registered experiment in natural id order (e2 before
+// e10).
+func Specs() []Spec {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]Spec, 0, len(registry))
+	for _, s := range registry {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return specLess(out[i].ID, out[j].ID) })
+	return out
+}
+
+// Lookup returns the spec registered under id.
+func Lookup(id string) (Spec, bool) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	s, ok := registry[id]
+	return s, ok
+}
+
+// specLess orders experiment ids by alphabetic prefix, then numeric suffix.
+func specLess(a, b string) bool {
+	pa, na := splitID(a)
+	pb, nb := splitID(b)
+	if pa != pb {
+		return pa < pb
+	}
+	if na != nb {
+		return na < nb
+	}
+	return a < b
+}
+
+// splitID separates an id's alphabetic prefix from its numeric suffix.
+func splitID(id string) (string, int) {
+	i := len(id)
+	for i > 0 && id[i-1] >= '0' && id[i-1] <= '9' {
+		i--
+	}
+	n, _ := strconv.Atoi(id[i:])
+	return id[:i], n
+}
+
+// FlagParams returns the union of every registered parameter, one entry per
+// name, in registry order — what a data-driven CLI binds its flags from.
+func FlagParams() []Param {
+	seen := map[string]bool{}
+	var out []Param
+	for _, s := range Specs() {
+		for _, p := range s.Params {
+			if !seen[p.Name] {
+				seen[p.Name] = true
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}
+
+// RunExperiment runs the registered experiment id on the default parallel
+// runner with the given parameters (nil means all defaults).
+func RunExperiment(id string, p Params) (*Result, error) {
+	return DefaultRunner().RunExperiment(context.Background(), id, p)
+}
+
+// RunExperiment normalizes p against the experiment's spec, runs it on this
+// runner and returns the Result stamped with the experiment's id, title and
+// the echoed normalized parameters. A non-background ctx cancels in-flight
+// cells.
+func (r *Runner) RunExperiment(ctx context.Context, id string, p Params) (*Result, error) {
+	s, ok := Lookup(id)
+	if !ok {
+		return nil, fmt.Errorf("unknown experiment %q (try 'list')", id)
+	}
+	np, err := s.Normalize(p)
+	if err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if r == nil {
+		r = DefaultRunner()
+	}
+	if ctx != context.Background() {
+		bound := *r
+		bound.Ctx = ctx
+		r = &bound
+	}
+	res, err := s.Run(ctx, r, np)
+	if err != nil {
+		return nil, err
+	}
+	res.Experiment = s.ID
+	res.Title = s.Title
+	res.Params = np
+	return res, nil
+}
+
+// RegistryMarkdown renders the registered experiments and their parameters
+// as the markdown table EXPERIMENTS.md embeds between its registry markers;
+// the docs test pins the embedded copy to this output so the documentation
+// can never drift from the registry.
+func RegistryMarkdown() string {
+	var b strings.Builder
+	b.WriteString("| id | experiment | parameters |\n")
+	b.WriteString("|----|------------|------------|\n")
+	for _, s := range Specs() {
+		var ps []string
+		for _, p := range s.Params {
+			unit := p.Unit
+			if unit == "" {
+				unit = "n"
+			}
+			ps = append(ps, fmt.Sprintf("`-%s` (%s, default `%s`)", p.Name, unit, p.DefaultString()))
+		}
+		cell := "—"
+		if len(ps) > 0 {
+			cell = strings.Join(ps, ", ")
+		}
+		fmt.Fprintf(&b, "| %s | %s | %s |\n", s.ID, s.Title, cell)
+	}
+	return b.String()
+}
