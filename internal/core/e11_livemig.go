@@ -25,11 +25,11 @@ func init() {
 		ID:    "e11",
 		Title: "live pre-copy migration downtime",
 		Params: []Param{
-			{Name: "frames", Kind: ParamInt, DefaultInt: 96,
+			{Name: "frames", Kind: ParamInt, DefaultInt: 96, Max: 1 << 20,
 				Unit: "pages", Help: "guest memory pages for E11 migrations"},
-			{Name: "rounds", Kind: ParamInt, DefaultInt: 4,
+			{Name: "rounds", Kind: ParamInt, DefaultInt: 4, Max: 64,
 				Unit: "rounds", Help: "max pre-copy round budget for E11"},
-			{Name: "dirty", Kind: ParamInt, DefaultInt: 48,
+			{Name: "dirty", Kind: ParamInt, DefaultInt: 48, Max: 1 << 20,
 				Unit: "pages/round", Help: "peak dirty rate (pages/round) for E11"},
 		},
 		Run: func(_ context.Context, r *Runner, p Params) (*Result, error) {

@@ -20,7 +20,7 @@ func init() {
 		ID:    "e1",
 		Title: "Dom0 CPU overhead under I/O load (CG05 shape)",
 		Params: []Param{{
-			Name: "packets", Kind: ParamInt, DefaultInt: 100,
+			Name: "packets", Kind: ParamInt, DefaultInt: 100, Max: 1 << 20,
 			Unit: "packets", Help: "packet count for E1 sweeps",
 		}},
 		Run: func(_ context.Context, r *Runner, p Params) (*Result, error) {

@@ -19,7 +19,7 @@ func init() {
 		ID:    "e4",
 		Title: "failure blast radius",
 		Params: []Param{{
-			Name: "guests", Kind: ParamInt, DefaultInt: 3,
+			Name: "guests", Kind: ParamInt, DefaultInt: 3, Max: 256,
 			Unit: "guests", Help: "guest count for E4",
 		}},
 		Run: func(_ context.Context, r *Runner, p Params) (*Result, error) {

@@ -20,7 +20,7 @@ func init() {
 		ID:    "e8",
 		Title: "web-serving macro benchmark",
 		Params: []Param{{
-			Name: "requests", Kind: ParamInt, DefaultInt: 50,
+			Name: "requests", Kind: ParamInt, DefaultInt: 50, Max: 1 << 20,
 			Unit: "requests", Help: "request count for E8",
 		}},
 		Run: func(_ context.Context, r *Runner, p Params) (*Result, error) {

@@ -195,7 +195,9 @@ func (s Spec) Defaults() Params {
 // text; unknown parameter names are usage errors. The input map is not
 // modified.
 func (s Spec) Normalize(p Params) (Params, error) {
-	for name := range p {
+	// Sorted so the error names the alphabetically first unknown parameter,
+	// not whichever one map iteration happened to visit first.
+	for _, name := range sortedKeys(p) {
 		if _, ok := s.Param(name); !ok {
 			return nil, fmt.Errorf("usage: experiment %s has no parameter -%s", s.ID, name)
 		}
@@ -229,7 +231,7 @@ func (s Spec) Normalize(p Params) (Params, error) {
 // paramSyscalls is the iteration-count parameter E3, E7 and E10 share: one
 // CLI flag, one default, one validator.
 var paramSyscalls = Param{
-	Name: "syscalls", Kind: ParamInt, DefaultInt: 200,
+	Name: "syscalls", Kind: ParamInt, DefaultInt: 200, Max: 1 << 20,
 	Unit: "ops", Help: "iteration count for E3/E7/E10",
 }
 
@@ -255,13 +257,26 @@ func Register(s Spec) {
 		if p.Name == "" {
 			panic(fmt.Sprintf("core: experiment %q declares an unnamed parameter", s.ID))
 		}
-		for id, other := range registry {
-			if q, ok := other.Param(p.Name); ok && !sameParamShape(p, q) {
+		// Sorted so a conflicting redeclaration panics with a stable
+		// message naming the same prior experiment on every run.
+		for _, id := range sortedKeys(registry) {
+			if q, ok := registry[id].Param(p.Name); ok && !sameParamShape(p, q) {
 				panic(fmt.Sprintf("core: parameter -%s declared differently by %q and %q", p.Name, s.ID, id))
 			}
 		}
 	}
 	registry[s.ID] = s
+}
+
+// sortedKeys returns a map's keys in sorted order, for iteration whose
+// visit order must be deterministic.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // sameParamShape reports whether two declarations of a shared parameter

@@ -1,0 +1,76 @@
+package lint
+
+import (
+	"go/ast"
+	"strconv"
+)
+
+// forbiddenTimeFuncs are the package time entry points that read or depend
+// on the host's wall clock. Referencing any of them (called or not) from
+// simulator code breaks bit-determinism: virtual time must come from
+// hw.Clock and schedules from cycle arithmetic.
+var forbiddenTimeFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// forbiddenRandImports are the unseeded-by-default randomness packages.
+// internal/simrand is the sanctioned source: seeded, stable across Go
+// releases, and deterministic by construction.
+var forbiddenRandImports = map[string]string{
+	"math/rand":    "math/rand's global source is unseeded",
+	"math/rand/v2": "math/rand/v2 is seeded from runtime entropy",
+	"crypto/rand":  "crypto/rand is nondeterministic by design",
+}
+
+// AnalyzerDetrand forbids wall-clock and nondeterministic-randomness sources
+// in simulator code.
+var AnalyzerDetrand = &Analyzer{
+	Name: "detrand",
+	Doc: "forbid wall-clock time (time.Now, time.Since, timers) and " +
+		"nondeterministic randomness (math/rand, crypto/rand) in simulator " +
+		"code; virtual time flows through hw.Clock and randomness through " +
+		"internal/simrand",
+	Run: runDetrand,
+}
+
+func runDetrand(pass *Pass) error {
+	// simrand is the sanctioned wrapper and documents its own determinism
+	// contract; everything else answers to the rule.
+	if pass.Pkg.Path() == "vmmk/internal/simrand" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if why, bad := forbiddenRandImports[path]; bad {
+				pass.Reportf(imp.Pos(), "import of %s in simulator code (%s); use vmmk/internal/simrand with an explicit seed", path, why)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.Info.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+				return true
+			}
+			if forbiddenTimeFuncs[obj.Name()] {
+				pass.Reportf(sel.Pos(), "time.%s reads the host wall clock; simulator time must come from hw.Clock (Machine.Now)", obj.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}

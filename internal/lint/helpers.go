@@ -1,0 +1,95 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// calleeFunc resolves the function or method a call expression invokes, or
+// nil for builtins, conversions and indirect calls through variables.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// isPkgFunc reports whether fn is the named function of the named package.
+func isPkgFunc(fn *types.Func, pkgPath, name string) bool {
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath && fn.Name() == name
+}
+
+// isBuiltin reports whether the call invokes the named builtin.
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+// mentionsAny reports whether the expression tree under n references any of
+// the given objects.
+func mentionsAny(info *types.Info, n ast.Node, objs map[types.Object]bool) bool {
+	if n == nil || len(objs) == 0 {
+		return false
+	}
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && objs[info.Uses[id]] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isNamedType reports whether t (after pointer indirection) is the named
+// type pkgPath.name.
+func isNamedType(t types.Type, pkgPath, name string) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// isStringType reports whether t's underlying type is string.
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// defObj returns the object an assignment target defines or uses: the loop
+// variables of a range statement arrive here as *ast.Ident expressions.
+func defObj(info *types.Info, e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if o := info.Defs[id]; o != nil {
+		return o
+	}
+	return info.Uses[id]
+}

@@ -1,0 +1,166 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant check. It mirrors the shape of
+// golang.org/x/tools/go/analysis.Analyzer so the checks could be ported to a
+// stock multichecker wholesale if the dependency ever becomes available.
+type Analyzer struct {
+	// Name is the analyzer's identifier, shown with every diagnostic.
+	Name string
+	// Doc is the one-paragraph description `vmmklint -help` prints.
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding: which analyzer fired, where, and why.
+type Diagnostic struct {
+	// Analyzer is the name of the analyzer that reported the finding.
+	Analyzer string `json:"analyzer"`
+	// Pos locates the finding (file, line, column).
+	Pos token.Position `json:"pos"`
+	// Message explains the finding and names the sanctioned idiom.
+	Message string `json:"message"`
+}
+
+// String renders the diagnostic the way compilers do: file:line:col: message.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	// Analyzer is the check being run.
+	Analyzer *Analyzer
+	// Fset maps token positions to file/line/column.
+	Fset *token.FileSet
+	// Files are the package's parsed non-test source files.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// Info holds the type-checker's expression, use and definition facts.
+	Info *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the static type of e, or nil when unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
+
+// ignoreDirective is the comment prefix that suppresses findings on its own
+// line and the line directly below it. A reason is mandatory.
+const ignoreDirective = "//vmmklint:ignore"
+
+// Run applies every analyzer to every package, applies the ignore
+// directives, and returns the surviving diagnostics sorted by position.
+func Run(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		var pkgDiags []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				diags:    &pkgDiags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
+			}
+		}
+		pkgDiags = append(pkgDiags, suppress(pkg, nil)...)
+		diags = append(diags, applyIgnores(pkg, pkgDiags)...)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// suppress returns framework diagnostics for malformed ignore directives in
+// pkg (a directive without a reason suppresses nothing and is itself an
+// error, so a lazy blanket ignore can never slip in silently).
+func suppress(pkg *Package, out []Diagnostic) []Diagnostic {
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignoreDirective) {
+					continue
+				}
+				reason := strings.TrimSpace(strings.TrimPrefix(c.Text, ignoreDirective))
+				if reason == "" {
+					out = append(out, Diagnostic{
+						Analyzer: "vmmklint",
+						Pos:      pkg.Fset.Position(c.Pos()),
+						Message:  "vmmklint:ignore directive needs a reason",
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// applyIgnores drops diagnostics covered by a well-formed ignore directive:
+// a directive suppresses findings on its own line (trailing comment) and on
+// the line directly below it (comment above the statement).
+func applyIgnores(pkg *Package, diags []Diagnostic) []Diagnostic {
+	ignored := map[string]map[int]bool{} // filename -> suppressed lines
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignoreDirective) {
+					continue
+				}
+				if strings.TrimSpace(strings.TrimPrefix(c.Text, ignoreDirective)) == "" {
+					continue // malformed; reported by suppress, never honoured
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				lines := ignored[pos.Filename]
+				if lines == nil {
+					lines = map[int]bool{}
+					ignored[pos.Filename] = lines
+				}
+				lines[pos.Line] = true
+				lines[pos.Line+1] = true
+			}
+		}
+	}
+	out := diags[:0]
+	for _, d := range diags {
+		if d.Analyzer != "vmmklint" && ignored[d.Pos.Filename][d.Pos.Line] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}

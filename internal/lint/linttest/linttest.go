@@ -1,0 +1,117 @@
+// Package linttest runs lint analyzers over fixture packages and checks
+// their findings against `// want "regexp"` comments, in the spirit of
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// A fixture is one directory of Go files under testdata (so the go tool
+// never builds it) that still type-checks: its imports — standard library or
+// module packages — resolve through export data from the module root. Every
+// line expecting a diagnostic carries a trailing comment
+//
+//	// want "regexp"
+//
+// (several per line allowed); the harness fails the test for every expected
+// finding that did not fire and every finding that was not expected. Ignore
+// directives are honoured, so a fixture can also prove the escape hatch
+// works.
+package linttest
+
+import (
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"vmmk/internal/lint"
+)
+
+// wantRE extracts the expectations of one want comment; patterns may be
+// double-quoted or backquoted.
+var wantRE = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+// ModuleRoot locates the enclosing module's root directory via the go tool.
+func ModuleRoot(t *testing.T) string {
+	t.Helper()
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		t.Fatalf("go env GOMOD: %v", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == "/dev/null" || gomod == "NUL" {
+		t.Fatal("not inside a module")
+	}
+	return filepath.Dir(gomod)
+}
+
+// expectation is one want comment: where it points and what must match.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run loads the fixture package at dir (relative to the module root if not
+// absolute), applies the analyzer, and diffs findings against the fixture's
+// want comments.
+func Run(t *testing.T, dir string, a *lint.Analyzer) {
+	t.Helper()
+	root := ModuleRoot(t)
+	if !filepath.IsAbs(dir) {
+		dir = filepath.Join(root, dir)
+	}
+	pkg, err := lint.LoadDir(root, dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags, err := lint.Run([]*lint.Analyzer{a}, []*lint.Package{pkg})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				i := strings.Index(c.Text, "// want ")
+				if i < 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, m := range wantRE.FindAllStringSubmatch(c.Text[i+len("// want "):], -1) {
+					pat := m[1]
+					if pat == "" {
+						pat = m[2]
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		found := false
+		for _, w := range wants {
+			if w.matched || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.pattern.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected a %s finding matching %q, got none", w.file, w.line, a.Name, w.pattern)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerMaporder flags range statements over maps whose iteration order
+// escapes into output: formatted text, table rows, writers, channels or
+// order-dependent slice stores. Go randomises map iteration per run, so any
+// such escape breaks the byte-identical-results guarantee the golden files
+// pin.
+//
+// The sanctioned idioms pass: collecting bare keys (or values) into a slice
+// to sort afterwards, accumulating commutative sums, building another map,
+// and deleting entries.
+var AnalyzerMaporder = &Analyzer{
+	Name: "maporder",
+	Doc: "flag range-over-map loops whose visit order escapes into rows, " +
+		"rendered tables, formatted output, writers or channels; collect " +
+		"keys and sort first (map iteration order is randomised per run)",
+	Run: runMaporder,
+}
+
+// orderSinkMethods are method names that append, render or record their
+// arguments in call order: feeding them map-iteration-ordered data makes the
+// output order random per run.
+var orderSinkMethods = map[string]bool{
+	"Write":        true,
+	"WriteString":  true,
+	"WriteByte":    true,
+	"WriteRune":    true,
+	"AddRow":       true,
+	"Record":       true,
+	"Charge":       true,
+	"ChargeCycles": true,
+	"Count":        true,
+	"CountN":       true,
+	"Emit":         true,
+	"Log":          true,
+	"Logf":         true,
+	"Append":       true,
+	"Push":         true,
+	"Enqueue":      true,
+	"Print":        true,
+	"Printf":       true,
+	"Println":      true,
+}
+
+func runMaporder(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			vars := map[types.Object]bool{}
+			var keyObj, valObj types.Object
+			if rs.Key != nil {
+				if keyObj = defObj(pass.Info, rs.Key); keyObj != nil {
+					vars[keyObj] = true
+				}
+			}
+			if rs.Value != nil {
+				if valObj = defObj(pass.Info, rs.Value); valObj != nil {
+					vars[valObj] = true
+				}
+			}
+			if len(vars) == 0 {
+				return true // `for range m` visits nothing order-dependent
+			}
+			checkMapBody(pass, rs, vars, keyObj, valObj)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkMapBody walks a range-over-map body looking for order sinks fed by
+// the loop variables.
+func checkMapBody(pass *Pass, rs *ast.RangeStmt, vars map[types.Object]bool, keyObj, valObj types.Object) {
+	info := pass.Info
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkMapCall(pass, n, vars, keyObj, valObj)
+		case *ast.SendStmt:
+			if mentionsAny(info, n.Value, vars) {
+				pass.Reportf(n.Pos(), "map iteration order escapes into a channel send; iterate sorted keys instead")
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				idx, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+				if !ok {
+					continue
+				}
+				xt := pass.TypeOf(idx.X)
+				if xt == nil {
+					continue
+				}
+				switch xt.Underlying().(type) {
+				case *types.Slice, *types.Array:
+				default:
+					continue
+				}
+				if mentionsAny(info, idx.Index, vars) {
+					continue // indexed by the key itself: position is data-determined
+				}
+				for _, rhs := range n.Rhs {
+					if mentionsAny(info, rhs, vars) {
+						pass.Reportf(n.Pos(), "map iteration order decides slice element positions here; iterate sorted keys instead")
+						break
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkMapCall classifies one call inside a range-over-map body.
+func checkMapCall(pass *Pass, call *ast.CallExpr, vars map[types.Object]bool, keyObj, valObj types.Object) {
+	info := pass.Info
+	// append: collecting the bare key or bare value into a slice is the
+	// first half of the collect-then-sort idiom and passes; appending
+	// anything composed from the loop variables bakes the visit order into
+	// the slice.
+	if isBuiltin(info, call, "append") {
+		for _, arg := range call.Args[1:] {
+			if o := defObj(info, ast.Unparen(arg)); o != nil && (o == keyObj || o == valObj) {
+				continue
+			}
+			if mentionsAny(info, arg, vars) {
+				pass.Reportf(call.Pos(), "map iteration order escapes into an append of derived data; collect bare keys and sort, then build rows in key order")
+			}
+		}
+		return
+	}
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return
+	}
+	isSink := (fn.Pkg() != nil && fn.Pkg().Path() == "fmt") ||
+		(fn.Type().(*types.Signature).Recv() != nil && orderSinkMethods[fn.Name()])
+	if !isSink {
+		return
+	}
+	for _, arg := range call.Args {
+		if mentionsAny(info, arg, vars) {
+			pass.Reportf(call.Pos(), "map iteration order escapes into %s; iterate sorted keys so output is deterministic", fn.Name())
+			return
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package lint_test
+
+import (
+	"testing"
+
+	"vmmk/internal/lint"
+	"vmmk/internal/lint/linttest"
+)
+
+// TestVmmklintClean is the self-run: the whole repository must pass its own
+// analyzer suite. A failure here is a real invariant regression (or a new
+// false positive, which is a bug in the analyzer — fix the analyzer, do not
+// reach for the ignore directive).
+func TestVmmklintClean(t *testing.T) {
+	root := linttest.ModuleRoot(t)
+	pkgs, err := lint.Load(root, "./...")
+	if err != nil {
+		t.Fatalf("loading repository packages: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loaded no packages")
+	}
+	diags, err := lint.Run(lint.All(), pkgs)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestIgnoreDirectiveNeedsReason pins the framework rule that a bare
+// //vmmklint:ignore suppresses nothing and is itself reported.
+func TestIgnoreDirectiveNeedsReason(t *testing.T) {
+	root := linttest.ModuleRoot(t)
+	pkg, err := lint.LoadDir(root, root+"/internal/lint/testdata/src/bareignore/a")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	diags, err := lint.Run([]*lint.Analyzer{lint.AnalyzerBoundedgo}, []*lint.Package{pkg})
+	if err != nil {
+		t.Fatalf("running: %v", err)
+	}
+	var sawDirective, sawFinding bool
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "vmmklint":
+			sawDirective = true
+		case "boundedgo":
+			sawFinding = true
+		}
+	}
+	if !sawDirective {
+		t.Error("bare ignore directive was not reported")
+	}
+	if !sawFinding {
+		t.Error("bare ignore directive suppressed a finding; only reasoned directives may")
+	}
+}

@@ -1,0 +1,9 @@
+// Package a proves a reasonless ignore directive is rejected: the go
+// statement below must still be reported, and the directive itself becomes a
+// finding.
+package a
+
+func bad(f func()) {
+	//vmmklint:ignore
+	go f()
+}

@@ -1,0 +1,15 @@
+// Package a is the boundedgo fixture: naked go statements must fire
+// everywhere (only internal/core/runner.go is exempt, and that file is not
+// this one).
+package a
+
+func bad(f func()) {
+	go f()      // want `naked go statement`
+	go func() { // want `naked go statement`
+		f()
+	}()
+}
+
+func good(f func()) {
+	f()
+}

@@ -1,0 +1,31 @@
+// Package a is the detrand fixture: wall-clock and randomness sources that
+// must fire, next to the sanctioned idioms that must pass.
+package a
+
+import (
+	"math/rand" // want `import of math/rand in simulator code`
+	"time"
+
+	"vmmk/internal/simrand"
+)
+
+// tick shows that time.Duration arithmetic is fine: no wall clock is read.
+const tick = 50 * time.Millisecond
+
+func bad() uint64 {
+	t := time.Now()      // want `time.Now reads the host wall clock`
+	_ = time.Since(t)    // want `time.Since reads the host wall clock`
+	time.Sleep(tick)     // want `time.Sleep reads the host wall clock`
+	_ = time.After(tick) // want `time.After reads the host wall clock`
+	return rand.Uint64()
+}
+
+func good() uint64 {
+	r := simrand.New(42)
+	return r.Uint64()
+}
+
+func ignored() time.Time {
+	//vmmklint:ignore host-side profiling clock, never part of simulated results
+	return time.Now()
+}

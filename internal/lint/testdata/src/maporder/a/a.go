@@ -1,0 +1,60 @@
+// Package a is the maporder fixture: map-iteration-order escapes that must
+// fire, next to the sanctioned order-insensitive idioms that must pass.
+package a
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+func bad(m map[string]int, b *strings.Builder, ch chan string, out []string) []string {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want `map iteration order escapes into Printf`
+	}
+	for k := range m {
+		b.WriteString(k) // want `map iteration order escapes into WriteString`
+	}
+	for k := range m {
+		ch <- k // want `map iteration order escapes into a channel send`
+	}
+	var rows []string
+	for k, v := range m {
+		rows = append(rows, fmt.Sprintf("%s=%d", k, v)) // want `append of derived data` `escapes into Sprintf`
+	}
+	i := 0
+	for k := range m {
+		out[i] = k // want `map iteration order decides slice element positions`
+		i++
+	}
+	return rows
+}
+
+func good(m map[string]int) []string {
+	var keys []string
+	for k := range m { // collecting bare keys to sort afterwards is the idiom
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	sum := 0
+	for _, v := range m {
+		sum += v // commutative accumulation is order-insensitive
+	}
+	inverse := make(map[int]string, len(m))
+	for k, v := range m {
+		inverse[v] = k // writing another map is keyed, not ordered
+	}
+	for k := range m {
+		delete(m, k)
+	}
+	keys = append(keys, fmt.Sprint(sum, len(inverse)))
+	return keys
+}
+
+func ignoredPick(m map[string]int) string {
+	for k := range m {
+		//vmmklint:ignore any element will do, result feeds an unordered set
+		return fmt.Sprint(k)
+	}
+	return ""
+}

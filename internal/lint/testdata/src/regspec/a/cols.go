@@ -1,0 +1,16 @@
+package a
+
+// cols.go deliberately does not match the eN_*.go pattern: the column-schema
+// and Param-literal rules are package-wide, the one-registration rule is
+// not.
+
+import core "vmmk/internal/core"
+
+func tables(unit string) *core.ResultTable {
+	return core.NewResultTable("fixture",
+		core.Col("ops", "ops"),
+		core.Col("mode", ""), // an explicit dimensionless label column is fine
+		core.Col("x", unit),  // want `Col unit must be a compile-time string constant`
+		core.Col("", "ops"),  // want `Col name must not be empty`
+	)
+}

@@ -1,0 +1,5 @@
+package a // want `experiment file e93_empty.go registers no core.Spec`
+
+// This file matches the eN_*.go pattern but never registers: the whole point
+// of the convention is that an experiment file with no registration is dead
+// weight the CLI cannot see.

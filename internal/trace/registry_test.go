@@ -6,6 +6,8 @@ import (
 	"strings"
 	"testing"
 	"testing/quick"
+
+	"vmmk/internal/simrand"
 )
 
 func TestInternIdempotent(t *testing.T) {
@@ -123,7 +125,7 @@ func TestSnapshotFlatLedger(t *testing.T) {
 // must match a scan over Components().
 func TestQuickHandleNameAgree(t *testing.T) {
 	f := func(seed int64, ops []uint16) bool {
-		rng := rand.New(rand.NewSource(seed))
+		rng := simrand.New(uint64(seed))
 		r := NewRecorder(0)
 		want := make(map[string]uint64)
 		for _, op := range ops {
@@ -159,7 +161,11 @@ func TestQuickHandleNameAgree(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(f, nil); err != nil {
+	// testing/quick's default generator is time-seeded; a fixed-seed source
+	// keeps the generated (seed, ops) inputs — and so the whole property
+	// test — reproducible run to run, including under -shuffle=on.
+	cfg := &quick.Config{Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(f, cfg); err != nil {
 		t.Fatal(err)
 	}
 }

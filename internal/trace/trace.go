@@ -131,13 +131,26 @@ const NKinds = int(kindCount)
 // Counting is per logical transfer, matching how KIPCCall counts one round
 // trip: a bounced guest syscall counts once (KExceptionBounce), so its
 // constituent guest-u2k/k2u ring transitions do not count again.
+//
+// The switch is total: every defined kind appears in exactly one case, and
+// an unclassified kind panics instead of silently not counting. Adding a
+// kind therefore forces an explicit E2 decision here (KDirtyLogFault, KIPI
+// and KTLBShootdown were added after the paper's enumeration and are
+// deliberately in the "no" case — see their doc comments).
 func (k Kind) IsIPCEquivalent() bool {
 	switch k {
 	case KIPCSend, KIPCReceive, KIPCCall, KIPCStringTransfer, KIPCMapTransfer, KPagerFault,
 		KEvtchnSend, KPageFlip, KExceptionBounce, KVirtIRQ, KGrantCopy, KGrantMap:
 		return true
+	case KGuestUserToKernel, KGuestKernelToUser, KHypercall, KShadowPTUpdate,
+		KHardIRQInject, KVirtDeviceOp, KSyscallFastPath,
+		KTrap, KKernelExit, KContextSwitch, KWorldSwitch, KTLBFlush, KTLBMiss,
+		KPageFault, KIRQ, KDMATransfer, KSchedule, KFault,
+		KDirtyLogFault, KIPI, KTLBShootdown:
+		return false
+	default:
+		panic(fmt.Sprintf("trace: kind %d has no IPC-equivalence classification; classify it in IsIPCEquivalent", uint8(k)))
 	}
-	return false
 }
 
 // IsVMMPrimitive reports whether the kind is one of the ten VMM primitives

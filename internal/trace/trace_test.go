@@ -14,6 +14,34 @@ func TestKindNamesComplete(t *testing.T) {
 	}
 }
 
+// TestKindClassificationTotal drives every defined kind through every
+// classifier: IsIPCEquivalent's switch is total-with-panic, so a newly added
+// kind that nobody classified fails here (and in every experiment that sums
+// IPC-equivalent ops) instead of being silently dropped from E2 counts.
+func TestKindClassificationTotal(t *testing.T) {
+	for k := Kind(0); k < kindCount; k++ {
+		_ = k.IsIPCEquivalent() // panics on an unclassified kind
+		_ = k.IsMKPrimitive()
+		_ = k.IsVMMPrimitive()
+	}
+}
+
+// TestPostPaperKindsClassification pins the deliberate decision that the
+// kinds added after the paper's §2.2 enumeration (dirty-log faults in PR 2,
+// IPIs and TLB shootdowns in PR 4) are neither primitives nor
+// IPC-equivalent: they are substrate plumbing both kernel structures pay
+// for, and the logical transfers they accompany are already counted once.
+func TestPostPaperKindsClassification(t *testing.T) {
+	for _, k := range []Kind{KDirtyLogFault, KIPI, KTLBShootdown} {
+		if k.IsIPCEquivalent() {
+			t.Errorf("%v must not count as IPC-equivalent", k)
+		}
+		if k.IsMKPrimitive() || k.IsVMMPrimitive() {
+			t.Errorf("%v must not count as a paper primitive", k)
+		}
+	}
+}
+
 func TestKindClassesDisjoint(t *testing.T) {
 	for k := Kind(0); k < kindCount; k++ {
 		if k.IsMKPrimitive() && k.IsVMMPrimitive() {
