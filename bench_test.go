@@ -21,6 +21,7 @@ import (
 	"vmmk/internal/core"
 	"vmmk/internal/hw"
 	"vmmk/internal/mk"
+	"vmmk/internal/trace"
 	"vmmk/internal/vmm"
 )
 
@@ -359,6 +360,54 @@ func BenchmarkVMMPageFlip(b *testing.B) {
 		}
 		owner, peer = peer, owner
 	}
+}
+
+// BenchmarkMachinePool measures the engine's machine-recycling path — one
+// Get (a Reset machine after the first iteration) plus one Put — against
+// booting the same machine from scratch, the fixed cost every experiment
+// cell used to pay.
+func BenchmarkMachinePool(b *testing.B) {
+	cfg := &hw.MachineConfig{Frames: 2048}
+	b.Run("pooled", func(b *testing.B) {
+		p := hw.NewMachinePool()
+		p.Put(p.Get(hw.X86(), cfg)) // warm the pool
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p.Put(p.Get(hw.X86(), cfg))
+		}
+	})
+	b.Run("fresh", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if m := hw.NewMachine(hw.X86(), cfg); m == nil {
+				b.Fatal("nil machine")
+			}
+		}
+	})
+}
+
+// BenchmarkChargeN compares charging 64 homogeneous events through the CPU
+// one at a time against the single batched ChargeN call the hot loops now
+// use. Both leave identical counters; the gap is the engine's win.
+func BenchmarkChargeN(b *testing.B) {
+	const n = 64
+	b.Run("loop", func(b *testing.B) {
+		m := hw.NewMachine(hw.X86(), &hw.MachineConfig{Frames: 16})
+		c := m.Rec.Intern("bench.comp")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < n; j++ {
+				m.CPU.Charge(c, trace.KTrap, 100)
+			}
+		}
+	})
+	b.Run("batched", func(b *testing.B) {
+		m := hw.NewMachine(hw.X86(), &hw.MachineConfig{Frames: 16})
+		c := m.Rec.Intern("bench.comp")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.CPU.ChargeN(c, trace.KTrap, 100, n)
+		}
+	})
 }
 
 // BenchmarkXenStackRxPacket measures the full end-to-end receive path.

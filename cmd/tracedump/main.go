@@ -68,7 +68,11 @@ func run(args []string) error {
 	}
 	fmt.Printf("event log (last %d entries):\n", len(log))
 	for _, r := range log {
-		fmt.Printf("  %12d  %-18s %-14s %6d cyc\n", r.At, r.Kind, r.Component, r.Cycles)
+		fmt.Printf("  %12d  %-18s %-14s %6d cyc", r.At, r.Kind, r.Component, r.Cycles)
+		if r.Count > 1 {
+			fmt.Printf("  x%d", r.Count)
+		}
+		fmt.Println()
 	}
 	return nil
 }

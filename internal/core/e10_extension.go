@@ -54,8 +54,9 @@ func (r *Runner) E10(n int) ([]E10Row, error) {
 	}
 	cells := []func(context.Context) ([]E10Row, error){
 		// --- Microkernel: one thread, one handler, IPC only.
-		func(context.Context) ([]E10Row, error) {
-			m := hw.NewMachine(hw.X86(), &hw.MachineConfig{Frames: 512})
+		func(ctx context.Context) ([]E10Row, error) {
+			m, release := acquireMachine(ctx, hw.X86(), &hw.MachineConfig{Frames: 512})
+			defer release()
 			k := mk.New(m)
 			snap := m.Rec.Snapshot()
 			kv, err := mkos.NewKVServer(k)
@@ -89,8 +90,9 @@ func (r *Runner) E10(n int) ([]E10Row, error) {
 			}}, nil
 		},
 		// --- VMM: a domain with hooks, channels and grants.
-		func(context.Context) ([]E10Row, error) {
-			m := hw.NewMachine(hw.X86(), &hw.MachineConfig{Frames: 1024})
+		func(ctx context.Context) ([]E10Row, error) {
+			m, release := acquireMachine(ctx, hw.X86(), &hw.MachineConfig{Frames: 1024})
+			defer release()
 			h, _, err := vmm.New(m, 64)
 			if err != nil {
 				return nil, err

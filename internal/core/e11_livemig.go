@@ -134,16 +134,28 @@ func (r *Runner) E11(cfg E11Config) ([]E11Row, error) {
 			cells = append(cells, cellCfg{rate, budget})
 		}
 	}
-	return runCells(r, len(cells), func(_ context.Context, i int) (E11Row, error) {
+	return runCells(r, len(cells), func(ctx context.Context, i int) (E11Row, error) {
 		c := cells[i]
-		return e11Cell(cfg.Frames, c.rate, c.budget, cfg.Cutoff)
+		return e11Cell(ctx, cfg.Frames, c.rate, c.budget, cfg.Cutoff)
 	})
+}
+
+// e11MachHeadroom is the frame slack each migration machine carries over
+// the guest's pseudo-physical size (hypervisor metadata, shadow state).
+// Hoisted to a named constant so the source and destination machines — and
+// every cell of the sweep — present one machine-pool identity.
+const e11MachHeadroom = 256
+
+// e11Mach is the geometry both migration endpoints boot with.
+func e11Mach(frames int) *hw.MachineConfig {
+	return &hw.MachineConfig{Frames: frames + e11MachHeadroom}
 }
 
 // e11Cell boots a source stack with one guest and an empty destination
 // hypervisor, then migrates the guest while it writes rate pages per round.
-func e11Cell(frames, rate, budget, cutoff int) (E11Row, error) {
-	srcM := hw.NewMachine(hw.X86(), &hw.MachineConfig{Frames: frames + 256})
+func e11Cell(ctx context.Context, frames, rate, budget, cutoff int) (E11Row, error) {
+	srcM, releaseSrc := acquireMachine(ctx, hw.X86(), e11Mach(frames))
+	defer releaseSrc()
 	srcH, _, err := vmm.New(srcM, 64)
 	if err != nil {
 		return E11Row{}, err
@@ -160,7 +172,8 @@ func e11Cell(frames, rate, budget, cutoff int) (E11Row, error) {
 	}
 	copy(srcM.Mem.Data(dom.FrameAt(frames - 1))[16:], marker)
 
-	dstM := hw.NewMachine(hw.X86(), &hw.MachineConfig{Frames: frames + 256})
+	dstM, releaseDst := acquireMachine(ctx, hw.X86(), e11Mach(frames))
+	defer releaseDst()
 	dstH, _, err := vmm.New(dstM, 64)
 	if err != nil {
 		return E11Row{}, err

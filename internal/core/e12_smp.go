@@ -119,7 +119,7 @@ func (r *Runner) E12(cfg E12Config) ([]E12Row, error) {
 			}
 		}
 	}
-	return runCells(r, len(cells), func(_ context.Context, i int) (E12Row, error) {
+	return runCells(r, len(cells), func(ctx context.Context, i int) (E12Row, error) {
 		c := cells[i]
 		if c.ncpus < 1 {
 			return E12Row{}, fmt.Errorf("E12: core count must be positive (got %d)", c.ncpus)
@@ -128,25 +128,54 @@ func (r *Runner) E12(cfg E12Config) ([]E12Row, error) {
 		case "ipc-pingpong":
 			switch c.platform {
 			case "vmm":
-				return e12PingPongVMM(c.ncpus, cfg.Ops)
+				return e12PingPongVMM(ctx, c.ncpus, cfg.Ops)
 			case "mk":
-				return e12PingPongMK(c.ncpus, cfg.Ops)
+				return e12PingPongMK(ctx, c.ncpus, cfg.Ops)
 			default:
-				return e12PingPongNative(c.ncpus, cfg.Ops)
+				return e12PingPongNative(ctx, c.ncpus, cfg.Ops)
 			}
 		case "dirty-scan":
 			switch c.platform {
 			case "vmm":
-				return e12DirtyScanVMM(c.ncpus, cfg.Pages)
+				return e12DirtyScanVMM(ctx, c.ncpus, cfg.Pages)
 			case "mk":
-				return e12DirtyScanMK(c.ncpus, cfg.Pages)
+				return e12DirtyScanMK(ctx, c.ncpus, cfg.Pages)
 			default:
-				return e12DirtyScanNative(c.ncpus, cfg.Pages)
+				return e12DirtyScanNative(ctx, c.ncpus, cfg.Pages)
 			}
 		default:
-			return e12DriverIO(c.platform, c.ncpus, cfg.Packets)
+			return e12DriverIO(ctx, c.platform, c.ncpus, cfg.Packets)
 		}
 	})
+}
+
+// Machine geometries for the E12 cells, hoisted to named package-level
+// configurations (with the pages-derived ones as functions of their named
+// headroom) so every cell of a workload/platform pair presents the same
+// machine-pool identity and reuse actually hits. Only NCPUs varies per
+// cell, applied by e12Mach.
+var (
+	e12PingPongMKMach  = hw.MachineConfig{Frames: 1024}
+	e12PingPongVMMMach = hw.MachineConfig{Frames: 2048}
+	e12NativeMach      = hw.MachineConfig{Frames: 256}
+)
+
+// e12ScanHeadroom is the frame slack the dirty-scan machines add over the
+// swept page count (hypervisor/kernel metadata plus the mapped pool).
+const e12ScanHeadroom = 512
+
+func e12ScanVMMMach(pages int) hw.MachineConfig {
+	return hw.MachineConfig{Frames: pages + e12ScanHeadroom}
+}
+
+func e12ScanMKMach(pages int) hw.MachineConfig {
+	return hw.MachineConfig{Frames: 2*pages + e12ScanHeadroom}
+}
+
+// e12Mach binds a hoisted geometry to the cell's core count.
+func e12Mach(base hw.MachineConfig, ncpus int) *hw.MachineConfig {
+	base.NCPUs = ncpus
+	return &base
 }
 
 // e12Row reduces a finished cell's machine to its row.
@@ -166,8 +195,9 @@ func e12Row(m *hw.Machine, workload, platform string, ncpus, ops int) E12Row {
 // e12PingPongMK: a client thread on the boot CPU calls one echo server per
 // CPU, round-robin. Calls to servers homed on other CPUs pay the wake and
 // reply IPIs the kernel's cross-CPU IPC path charges.
-func e12PingPongMK(ncpus, ops int) (E12Row, error) {
-	m := hw.NewMachine(hw.X86(), &hw.MachineConfig{Frames: 1024, NCPUs: ncpus})
+func e12PingPongMK(ctx context.Context, ncpus, ops int) (E12Row, error) {
+	m, release := acquireMachine(ctx, hw.X86(), e12Mach(e12PingPongMKMach, ncpus))
+	defer release()
 	k := mk.New(m)
 	cs, err := k.NewSpace("client", mk.NilThread)
 	if err != nil {
@@ -204,8 +234,9 @@ func e12PingPongMK(ncpus, ops int) (E12Row, error) {
 // e12PingPongVMM: Dom0 notifies an event channel to one peer domain per
 // CPU, round-robin. Delivery into a domain whose vCPU is placed on another
 // pCPU pays the kick IPI.
-func e12PingPongVMM(ncpus, ops int) (E12Row, error) {
-	m := hw.NewMachine(hw.X86(), &hw.MachineConfig{Frames: 2048, NCPUs: ncpus})
+func e12PingPongVMM(ctx context.Context, ncpus, ops int) (E12Row, error) {
+	m, release := acquireMachine(ctx, hw.X86(), e12Mach(e12PingPongVMMMach, ncpus))
+	defer release()
 	h, _, err := vmm.New(m, 128)
 	if err != nil {
 		return E12Row{}, err
@@ -239,18 +270,24 @@ func e12PingPongVMM(ncpus, ops int) (E12Row, error) {
 // syscall per round trip plus, for a partner on another core, the
 // reschedule IPI each direction. No protection-domain crossing, but the
 // hardware coordination cost is the same order as the structured systems'.
-func e12PingPongNative(ncpus, ops int) (E12Row, error) {
-	m := hw.NewMachine(hw.X86(), &hw.MachineConfig{Frames: 256, NCPUs: ncpus})
+func e12PingPongNative(ctx context.Context, ncpus, ops int) (E12Row, error) {
+	m, release := acquireMachine(ctx, hw.X86(), e12Mach(e12NativeMach, ncpus))
+	defer release()
 	comp := m.Rec.Intern(NativeComponent)
-	for j := 0; j < ops; j++ {
-		m.CPU.SetRing(hw.Ring3)
-		m.CPU.Trap(comp, m.Arch.HasFastSyscall)
-		m.CPU.Work(comp, 200)
-		if t := j % ncpus; t != 0 {
-			m.SendIPI(0, t) // wake the partner's core
-			m.SendIPI(t, 0) // its reply wakes ours
+	// The per-round-trip costs are uniform, so the whole run lands as
+	// aggregates: ops trap/return pairs, ops quanta of pipe work, and per
+	// remote partner the wake/reply IPI pairs its share of the round-robin
+	// earns. Totals match the per-item loop exactly.
+	m.CPU.SetRing(hw.Ring3)
+	m.CPU.TrapReturnN(comp, m.Arch.HasFastSyscall, hw.Ring3, uint64(ops))
+	m.CPU.WorkN(comp, 200, uint64(ops))
+	for t := 1; t < ncpus; t++ {
+		rounds := uint64(ops / ncpus)
+		if t < ops%ncpus {
+			rounds++
 		}
-		m.CPU.ReturnTo(comp, hw.Ring3)
+		m.SendIPIN(0, t, rounds) // wake the partner's core
+		m.SendIPIN(t, 0, rounds) // its reply wakes ours
 	}
 	return e12Row(m, "ipc-pingpong", "native", ncpus, ops), nil
 }
@@ -259,8 +296,9 @@ func e12PingPongNative(ncpus, ops int) (E12Row, error) {
 // rounds over its pages. Each (re)arm write-protects the guest and must
 // shoot the stale writable translations out of every pCPU hosting one of
 // its vCPUs — Xen's log-dirty broadcast, growing linearly with placement.
-func e12DirtyScanVMM(ncpus, pages int) (E12Row, error) {
-	m := hw.NewMachine(hw.X86(), &hw.MachineConfig{Frames: pages + 512, NCPUs: ncpus})
+func e12DirtyScanVMM(ctx context.Context, ncpus, pages int) (E12Row, error) {
+	m, release := acquireMachine(ctx, hw.X86(), e12Mach(e12ScanVMMMach(pages), ncpus))
+	defer release()
 	h, _, err := vmm.New(m, 64)
 	if err != nil {
 		return E12Row{}, err
@@ -296,8 +334,9 @@ func e12DirtyScanVMM(ncpus, pages int) (E12Row, error) {
 // e12DirtyScanMK: a space with one worker thread installed per CPU has
 // pages mapped and unmapped under it, twice. Each unmap invalidates
 // locally and shoots down every other CPU currently running the space.
-func e12DirtyScanMK(ncpus, pages int) (E12Row, error) {
-	m := hw.NewMachine(hw.X86(), &hw.MachineConfig{Frames: 2*pages + 512, NCPUs: ncpus})
+func e12DirtyScanMK(ctx context.Context, ncpus, pages int) (E12Row, error) {
+	m, release := acquireMachine(ctx, hw.X86(), e12Mach(e12ScanMKMach(pages), ncpus))
+	defer release()
 	k := mk.New(m)
 	s, err := k.NewSpace("scan", mk.NilThread)
 	if err != nil {
@@ -329,21 +368,31 @@ func e12DirtyScanMK(ncpus, pages int) (E12Row, error) {
 // e12DirtyScanNative: the monolithic baseline tears down a kernel buffer
 // pool — per-page PTE update, local invalidation, and on SMP a
 // single-entry shootdown broadcast to every other core.
-func e12DirtyScanNative(ncpus, pages int) (E12Row, error) {
-	m := hw.NewMachine(hw.X86(), &hw.MachineConfig{Frames: 256, NCPUs: ncpus})
+func e12DirtyScanNative(ctx context.Context, ncpus, pages int) (E12Row, error) {
+	m, release := acquireMachine(ctx, hw.X86(), e12Mach(e12NativeMach, ncpus))
+	defer release()
 	comp := m.Rec.Intern(NativeComponent)
 	var targets []int
 	for i := 1; i < ncpus; i++ {
 		targets = append(targets, i)
 	}
 	const base = hw.VPN(0x1000)
+	vpns := make([]hw.VPN, pages)
+	for p := range vpns {
+		vpns[p] = base + hw.VPN(p)
+	}
+	// A teardown round's per-page costs are uniform, so each round charges
+	// as three aggregates — PTE updates, local invalidations, and the
+	// remote shootdown broadcast — with the local TLB state still
+	// invalidated entry by entry. Totals match the per-page loop exactly.
 	for round := 0; round < 2; round++ {
-		for p := 0; p < pages; p++ {
-			m.CPU.Work(comp, m.Arch.Costs.PTEUpdate)
-			m.CPU.FlushTLBEntry(comp, 0, base+hw.VPN(p))
-			if len(targets) > 0 {
-				m.ShootdownEntry(0, targets, 0, base+hw.VPN(p))
-			}
+		m.CPU.WorkN(comp, m.Arch.Costs.PTEUpdate, uint64(pages))
+		for _, vpn := range vpns {
+			m.CPU.TLB.FlushEntry(0, vpn)
+		}
+		m.CPU.WorkN(comp, m.Arch.Costs.TLBFlushEntry, uint64(pages))
+		if len(targets) > 0 {
+			m.ShootdownEntries(0, targets, 0, vpns)
 		}
 	}
 	return e12Row(m, "dirty-scan", "native", ncpus, 2*pages), nil
@@ -353,8 +402,8 @@ func e12DirtyScanNative(ncpus, pages int) (E12Row, error) {
 // with guests spread over non-boot CPUs (Config.NCPUs) and the drivers on
 // the boot CPU: RX delivery, drain and storage writes pay whatever
 // cross-CPU coordination each structure implies.
-func e12DriverIO(platform string, ncpus, packets int) (E12Row, error) {
-	cfg := Config{Guests: 2, NCPUs: ncpus}
+func e12DriverIO(ctx context.Context, platform string, ncpus, packets int) (E12Row, error) {
+	cfg := Config{Guests: 2, NCPUs: ncpus}.WithPool(ctx)
 	var (
 		p   Platform
 		err error
@@ -370,6 +419,7 @@ func e12DriverIO(platform string, ncpus, packets int) (E12Row, error) {
 	if err != nil {
 		return E12Row{}, err
 	}
+	defer p.Close()
 	guests := cfg.Guests
 	if platform == "native" {
 		guests = 1

@@ -70,13 +70,14 @@ func (r *Runner) E1(cfg E1Config) ([]E1Row, error) {
 		cfg.Packets = E1Defaults().Packets
 	}
 	modes := []bool{false, true}
-	return runCells(r, len(modes)*len(cfg.Sizes), func(_ context.Context, i int) (E1Row, error) {
+	return runCells(r, len(modes)*len(cfg.Sizes), func(ctx context.Context, i int) (E1Row, error) {
 		copyMode := modes[i/len(cfg.Sizes)]
 		size := cfg.Sizes[i%len(cfg.Sizes)]
-		s, err := NewXenStack(Config{CopyMode: copyMode})
+		s, err := NewXenStack(Config{CopyMode: copyMode}.WithPool(ctx))
 		if err != nil {
 			return E1Row{}, err
 		}
+		defer s.Close()
 		rec := s.M().Rec
 		snap := rec.Snapshot()
 		driver0 := s.DriverSideCycles()
@@ -134,12 +135,13 @@ func (r *Runner) E1Rates(rates []int, packets, size int) ([]E1RateRow, error) {
 	if packets <= 0 {
 		packets = 100
 	}
-	return runCells(r, len(rates), func(_ context.Context, i int) (E1RateRow, error) {
+	return runCells(r, len(rates), func(ctx context.Context, i int) (E1RateRow, error) {
 		rate := rates[i]
-		s, err := NewXenStack(Config{})
+		s, err := NewXenStack(Config{}.WithPool(ctx))
 		if err != nil {
 			return E1RateRow{}, err
 		}
+		defer s.Close()
 		gap := hw.Cycles(workload.RateSchedule(rate))
 		start := s.M().Now()
 		driver0 := s.DriverSideCycles()

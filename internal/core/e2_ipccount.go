@@ -111,14 +111,14 @@ func RunE2() ([]E2Row, error) { return DefaultRunner().E2() }
 // workload, each booting a fresh pair of stacks.
 func (r *Runner) E2() ([]E2Row, error) {
 	ws := E2Workloads()
-	return runCells(r, len(ws), func(_ context.Context, i int) (E2Row, error) {
+	return runCells(r, len(ws), func(ctx context.Context, i int) (E2Row, error) {
 		w := ws[i]
 		counts := map[string]uint64{}
-		for _, build := range []func() (Platform, error){
-			func() (Platform, error) { return NewMKStack(Config{}) },
-			func() (Platform, error) { return NewXenStack(Config{}) },
+		for _, build := range []func(Config) (Platform, error){
+			func(c Config) (Platform, error) { return NewMKStack(c) },
+			func(c Config) (Platform, error) { return NewXenStack(c) },
 		} {
-			p, err := build()
+			p, err := build(Config{}.WithPool(ctx))
 			if err != nil {
 				return E2Row{}, err
 			}
@@ -127,6 +127,7 @@ func (r *Runner) E2() ([]E2Row, error) {
 				return E2Row{}, fmt.Errorf("E2 %s on %s: %w", w.Name, p.Name(), err)
 			}
 			counts[p.Name()] = p.M().Rec.IPCEquivalentSince(snap)
+			p.Close()
 		}
 		row := E2Row{Workload: w.Name, MKOps: counts["mk"], VMMOps: counts["vmm"]}
 		if row.MKOps > 0 {

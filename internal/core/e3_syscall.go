@@ -50,11 +50,12 @@ func (r *Runner) E3(n int) ([]E3Row, error) {
 	}
 	cells := []func(context.Context) ([]E3Row, error){
 		// Native baseline.
-		func(context.Context) ([]E3Row, error) {
-			s, err := NewNativeStack(Config{})
+		func(ctx context.Context) ([]E3Row, error) {
+			s, err := NewNativeStack(Config{}.WithPool(ctx))
 			if err != nil {
 				return nil, err
 			}
+			defer s.Close()
 			t0 := s.M().Now()
 			for i := 0; i < n; i++ {
 				if err := s.DoSyscall(0, 1, 0); err != nil {
@@ -67,11 +68,12 @@ func (r *Runner) E3(n int) ([]E3Row, error) {
 			}}, nil
 		},
 		// Xen fast path: fresh stack, pristine segments.
-		func(context.Context) ([]E3Row, error) {
-			s, err := NewXenStack(Config{FastPath: true})
+		func(ctx context.Context) ([]E3Row, error) {
+			s, err := NewXenStack(Config{FastPath: true}.WithPool(ctx))
 			if err != nil {
 				return nil, err
 			}
+			defer s.Close()
 			mon0 := s.M().Rec.Cycles(vmm.HypervisorComponent)
 			t0 := s.M().Now()
 			for i := 0; i < n; i++ {
@@ -87,11 +89,12 @@ func (r *Runner) E3(n int) ([]E3Row, error) {
 			}}, nil
 		},
 		// Xen after glibc TLS: load a flat GS segment, fast path dies.
-		func(context.Context) ([]E3Row, error) {
-			s, err := NewXenStack(Config{FastPath: true})
+		func(ctx context.Context) ([]E3Row, error) {
+			s, err := NewXenStack(Config{FastPath: true}.WithPool(ctx))
 			if err != nil {
 				return nil, err
 			}
+			defer s.Close()
 			dom := s.Guests[0].Dom.ID
 			if err := s.H.LoadGuestSegment(dom, hw.SegGS, hw.Segment{Base: 0, Limit: ^uint64(0), DPL: hw.Ring3}); err != nil {
 				return nil, err
@@ -111,11 +114,12 @@ func (r *Runner) E3(n int) ([]E3Row, error) {
 			}}, nil
 		},
 		// Microkernel: syscall as one IPC call to the OS server.
-		func(context.Context) ([]E3Row, error) {
-			s, err := NewMKStack(Config{})
+		func(ctx context.Context) ([]E3Row, error) {
+			s, err := NewMKStack(Config{}.WithPool(ctx))
 			if err != nil {
 				return nil, err
 			}
+			defer s.Close()
 			kc0 := s.M().Rec.Cycles("mk.kernel")
 			t0 := s.M().Now()
 			for i := 0; i < n; i++ {

@@ -61,17 +61,18 @@ func (r *Runner) E4(nGuests int) ([]E4Row, error) {
 		{"kill storage service", func(p Platform) { p.KillStorage() }},
 		{"kill driver domain", func(p Platform) { p.KillDriver() }},
 	}
-	builders := []func() (Platform, error){
-		func() (Platform, error) { return NewMKStack(Config{Guests: nGuests}) },
-		func() (Platform, error) { return NewXenStack(Config{Guests: nGuests}) },
-		func() (Platform, error) { return NewNativeStack(Config{Guests: nGuests}) },
+	builders := []func(Config) (Platform, error){
+		func(c Config) (Platform, error) { return NewMKStack(c) },
+		func(c Config) (Platform, error) { return NewXenStack(c) },
+		func(c Config) (Platform, error) { return NewNativeStack(c) },
 	}
-	return runCells(r, len(scenarios)*len(builders), func(_ context.Context, i int) (E4Row, error) {
+	return runCells(r, len(scenarios)*len(builders), func(ctx context.Context, i int) (E4Row, error) {
 		sc := scenarios[i/len(builders)]
-		p, err := builders[i%len(builders)]()
+		p, err := builders[i%len(builders)](Config{Guests: nGuests}.WithPool(ctx))
 		if err != nil {
 			return E4Row{}, err
 		}
+		defer p.Close()
 		// Pre-crash sanity: storage and network work.
 		if err := p.StorageWrite(0, 1, []byte("pre")); err != nil {
 			return E4Row{}, err

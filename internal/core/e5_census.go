@@ -106,11 +106,12 @@ func RunE5() ([]E5Row, error) { return DefaultRunner().E5() }
 func (r *Runner) E5() ([]E5Row, error) {
 	cells := []func(context.Context) ([]E5Row, error){
 		// Microkernel.
-		func(context.Context) ([]E5Row, error) {
-			s, err := NewMKStack(Config{})
+		func(ctx context.Context) ([]E5Row, error) {
+			s, err := NewMKStack(Config{}.WithPool(ctx))
 			if err != nil {
 				return nil, err
 			}
+			defer s.Close()
 			if err := censusWorkload(s); err != nil {
 				return nil, err
 			}
@@ -127,11 +128,12 @@ func (r *Runner) E5() ([]E5Row, error) {
 			}}, nil
 		},
 		// VMM.
-		func(context.Context) ([]E5Row, error) {
-			s, err := NewXenStack(Config{FastPath: true})
+		func(ctx context.Context) ([]E5Row, error) {
+			s, err := NewXenStack(Config{FastPath: true}.WithPool(ctx))
 			if err != nil {
 				return nil, err
 			}
+			defer s.Close()
 			if err := censusWorkload(s); err != nil {
 				return nil, err
 			}

@@ -80,13 +80,14 @@ func RunE6() ([]E6Row, error) { return DefaultRunner().E6() }
 func (r *Runner) E6() ([]E6Row, error) {
 	base := hw.X86()
 	archs := hw.AllArchs()
-	return runCells(r, len(archs), func(_ context.Context, i int) (E6Row, error) {
+	return runCells(r, len(archs), func(ctx context.Context, i int) (E6Row, error) {
 		arch := archs[i]
 		row := E6Row{Arch: arch.Name}
-		s, err := NewMKStack(Config{Arch: arch})
+		s, err := NewMKStack(Config{Arch: arch}.WithPool(ctx))
 		if err != nil {
 			return E6Row{}, err
 		}
+		defer s.Close()
 		// The probe: a syscall, a packet, a storage op — the whole
 		// personality, unchanged.
 		probeOK := s.DoSyscall(0, 1, 0) == nil

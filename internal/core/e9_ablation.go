@@ -52,9 +52,9 @@ func RunE9() ([]E9Row, error) { return DefaultRunner().E9() }
 // machine, so the whole table fans out at once.
 func (r *Runner) E9() ([]E9Row, error) {
 	var cells []func(context.Context) ([]E9Row, error)
-	one := func(cell func() (E9Row, error)) {
-		cells = append(cells, func(context.Context) ([]E9Row, error) {
-			row, err := cell()
+	one := func(cell func(ctx context.Context) (E9Row, error)) {
+		cells = append(cells, func(ctx context.Context) ([]E9Row, error) {
+			row, err := cell(ctx)
 			if err != nil {
 				return nil, err
 			}
@@ -65,11 +65,12 @@ func (r *Runner) E9() ([]E9Row, error) {
 	// (a) flip vs copy per packet size: driver-side cycles per packet.
 	for _, size := range []int{64, 1500, 4096} {
 		for _, copyMode := range []bool{false, true} {
-			one(func() (E9Row, error) {
-				s, err := NewXenStack(Config{CopyMode: copyMode})
+			one(func(ctx context.Context) (E9Row, error) {
+				s, err := NewXenStack(Config{CopyMode: copyMode}.WithPool(ctx))
 				if err != nil {
 					return E9Row{}, err
 				}
+				defer s.Close()
 				d0 := s.DriverSideCycles()
 				s.InjectPackets(50, size, 0)
 				s.DrainRx(0)
@@ -91,13 +92,14 @@ func (r *Runner) E9() ([]E9Row, error) {
 	// (b) ASID on/off for IPC round-trip cost. Take the x86 descriptor
 	// and graft a tagged TLB onto it, holding everything else fixed.
 	for _, tagged := range []bool{false, true} {
-		one(func() (E9Row, error) {
+		one(func(ctx context.Context) (E9Row, error) {
 			arch := hw.X86()
 			arch.HasASID = tagged
 			if tagged {
 				arch.Costs.ASSwitch = 150 // no full flush needed
 			}
-			m := hw.NewMachine(arch, &hw.MachineConfig{Frames: 256})
+			m, release := acquireMachine(ctx, arch, &hw.MachineConfig{Frames: 256})
+			defer release()
 			k := mk.New(m)
 			cs, err := k.NewSpace("c", mk.NilThread)
 			if err != nil {
@@ -132,11 +134,12 @@ func (r *Runner) E9() ([]E9Row, error) {
 
 	// (c) fast path on/off: syscall cost.
 	for _, fast := range []bool{true, false} {
-		one(func() (E9Row, error) {
-			s, err := NewXenStack(Config{FastPath: fast})
+		one(func(ctx context.Context) (E9Row, error) {
+			s, err := NewXenStack(Config{FastPath: fast}.WithPool(ctx))
 			if err != nil {
 				return E9Row{}, err
 			}
+			defer s.Close()
 			t0 := s.M().Now()
 			for i := 0; i < 100; i++ {
 				if err := s.DoSyscall(0, 1, 0); err != nil {
@@ -161,11 +164,12 @@ func (r *Runner) E9() ([]E9Row, error) {
 	// the *storage host* is killed; the metric is how many of the two
 	// services (network, storage) still work afterwards.
 	for _, consolidated := range []bool{false, true} {
-		one(func() (E9Row, error) {
-			s, err := NewXenStack(Config{Guests: 2, Consolidated: consolidated})
+		one(func(ctx context.Context) (E9Row, error) {
+			s, err := NewXenStack(Config{Guests: 2, Consolidated: consolidated}.WithPool(ctx))
 			if err != nil {
 				return E9Row{}, err
 			}
+			defer s.Close()
 			s.KillStorage()
 			working := 0
 			if s.SendPackets(1, 64, 0) == nil {
@@ -192,8 +196,9 @@ func (r *Runner) E9() ([]E9Row, error) {
 	// comparing a small-footprint server (fits beside the client) against
 	// a large-footprint one (thrashes the cache on every switch).
 	for _, fat := range []bool{false, true} {
-		one(func() (E9Row, error) {
-			m := hw.NewMachine(hw.X86(), &hw.MachineConfig{Frames: 256})
+		one(func(ctx context.Context) (E9Row, error) {
+			m, release := acquireMachine(ctx, hw.X86(), &hw.MachineConfig{Frames: 256})
+			defer release()
 			cache := hw.NewCache(512, 10)
 			serverLines := 120 // small server: both fit in 512
 			if fat {
@@ -243,8 +248,9 @@ func (r *Runner) E9() ([]E9Row, error) {
 	// driver-side cost, at the price of delivery latency (not modelled
 	// as a metric here; the count is the point).
 	for _, batch := range []int{1, 8} {
-		one(func() (E9Row, error) {
-			m := hw.NewMachine(hw.X86(), &hw.MachineConfig{Frames: 2048, IRQLines: 16})
+		one(func(ctx context.Context) (E9Row, error) {
+			m, release := acquireMachine(ctx, hw.X86(), &hw.MachineConfig{Frames: 2048, IRQLines: 16})
+			defer release()
 			h, d0, err := vmm.New(m, 128)
 			if err != nil {
 				return E9Row{}, err
@@ -289,8 +295,9 @@ func (r *Runner) E9() ([]E9Row, error) {
 	// cost gap §2.2 says drove VMMs away from "faithful representation
 	// of the underlying hardware".
 	for _, shadowMode := range []bool{true, false} {
-		one(func() (E9Row, error) {
-			m := hw.NewMachine(hw.X86(), &hw.MachineConfig{Frames: 512})
+		one(func(ctx context.Context) (E9Row, error) {
+			m, release := acquireMachine(ctx, hw.X86(), &hw.MachineConfig{Frames: 512})
+			defer release()
 			h, _, err := vmm.New(m, 64)
 			if err != nil {
 				return E9Row{}, err

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -34,6 +35,23 @@ type Config struct {
 	// (Parallax inside Dom0; store server inside the disk driver's space)
 	// — the "super-VM" structure §2.2 warns about. Default is decomposed.
 	Consolidated bool
+
+	// pool, when set, supplies (and on Close reclaims) the stack's machine.
+	// Cells populate it from their worker's context via poolFrom; a nil
+	// pool boots fresh, the pre-pool behaviour.
+	pool *hw.MachinePool
+}
+
+// WithPool returns the config bound to the cell context's machine pool —
+// the one line every stack-booting cell adds to join the reuse scheme.
+func (c Config) WithPool(ctx context.Context) Config {
+	c.pool = poolFrom(ctx)
+	return c
+}
+
+// machine acquires the stack's machine, pooled or fresh.
+func (c *Config) machine() *hw.Machine {
+	return c.pool.Get(c.Arch, &hw.MachineConfig{Frames: c.Frames, IRQLines: 16, LogCap: c.LogCap, NCPUs: c.NCPUs})
 }
 
 // Defaults fills zero fields.
@@ -100,6 +118,9 @@ type Platform interface {
 	// DriverSideCycles returns CPU attributed to the privileged I/O
 	// machinery (Dom0 + monitor, or driver servers + kernel).
 	DriverSideCycles() uint64
+	// Close releases the stack's machine back to its pool. Cells call it
+	// when the row is computed; the stack must not be used afterwards.
+	Close()
 }
 
 // ComponentStatus is one row of a liveness survey.
@@ -131,7 +152,7 @@ type XenStack struct {
 // NewXenStack boots the full VMM-side system.
 func NewXenStack(cfg Config) (*XenStack, error) {
 	cfg.defaults()
-	m := hw.NewMachine(cfg.Arch, &hw.MachineConfig{Frames: cfg.Frames, IRQLines: 16, LogCap: cfg.LogCap, NCPUs: cfg.NCPUs})
+	m := cfg.machine()
 	h, d0, err := vmm.New(m, 256)
 	if err != nil {
 		return nil, err
@@ -219,6 +240,10 @@ func NewXenStack(cfg Config) (*XenStack, error) {
 // Name implements Platform.
 func (s *XenStack) Name() string { return "vmm" }
 
+// Close implements Platform: the machine goes back to the pool it came
+// from (Reset), ready for the next cell. No-op when booted without a pool.
+func (s *XenStack) Close() { s.Cfg.pool.Put(s.Mach) }
+
 // M implements Platform.
 func (s *XenStack) M() *hw.Machine { return s.Mach }
 
@@ -227,11 +252,13 @@ func (s *XenStack) Pump() { s.H.PumpIO(256) }
 
 // InjectPackets implements Platform.
 func (s *XenStack) InjectPackets(n, size, dest int) {
+	// One buffer for the whole burst: the NIC DMAs the bytes into a posted
+	// frame on Inject, so the source can be reused.
+	pkt := make([]byte, size)
+	if size > 0 {
+		pkt[0] = byte(dest)
+	}
 	for i := 0; i < n; i++ {
-		pkt := make([]byte, size)
-		if size > 0 {
-			pkt[0] = byte(dest)
-		}
 		s.NIC.Inject(pkt)
 		s.Mach.IRQ.DispatchPending(s.H.Comp())
 		s.Pump()
@@ -346,7 +373,7 @@ type MKStack struct {
 // NewMKStack boots the full microkernel-side system.
 func NewMKStack(cfg Config) (*MKStack, error) {
 	cfg.defaults()
-	m := hw.NewMachine(cfg.Arch, &hw.MachineConfig{Frames: cfg.Frames, IRQLines: 16, LogCap: cfg.LogCap, NCPUs: cfg.NCPUs})
+	m := cfg.machine()
 	k := mk.New(m)
 	nic := dev.NewNIC(m, dev.NICConfig{RxIRQ: 1, TxIRQ: 2, RingSize: 128})
 	disk := dev.NewDisk(m, dev.DiskConfig{IRQ: 3, Latency: cfg.DiskLatency})
@@ -401,6 +428,9 @@ func NewMKStack(cfg Config) (*MKStack, error) {
 // Name implements Platform.
 func (s *MKStack) Name() string { return "mk" }
 
+// Close implements Platform.
+func (s *MKStack) Close() { s.Cfg.pool.Put(s.Mach) }
+
 // M implements Platform.
 func (s *MKStack) M() *hw.Machine { return s.Mach }
 
@@ -409,11 +439,13 @@ func (s *MKStack) Pump() { s.K.PumpIO(256) }
 
 // InjectPackets implements Platform.
 func (s *MKStack) InjectPackets(n, size, dest int) {
+	// One buffer for the whole burst: the NIC DMAs the bytes into a posted
+	// frame on Inject, so the source can be reused.
+	pkt := make([]byte, size)
+	if size > 0 {
+		pkt[0] = byte(dest)
+	}
 	for i := 0; i < n; i++ {
-		pkt := make([]byte, size)
-		if size > 0 {
-			pkt[0] = byte(dest)
-		}
 		s.NIC.Inject(pkt)
 		s.Mach.IRQ.DispatchPending(s.K.Comp())
 		s.Pump()
@@ -536,7 +568,7 @@ const NativeComponent = "native.kernel"
 // NewNativeStack boots the baseline.
 func NewNativeStack(cfg Config) (*NativeStack, error) {
 	cfg.defaults()
-	m := hw.NewMachine(cfg.Arch, &hw.MachineConfig{Frames: cfg.Frames, IRQLines: 16, NCPUs: cfg.NCPUs})
+	m := cfg.machine()
 	s := &NativeStack{Cfg: cfg, Mach: m, comp: m.Rec.Intern(NativeComponent), store: make(map[uint64][]byte)}
 	s.NIC = dev.NewNIC(m, dev.NICConfig{RxIRQ: 1, TxIRQ: 2, RingSize: 128})
 	s.Disk = dev.NewDisk(m, dev.DiskConfig{IRQ: 3, Latency: cfg.DiskLatency})
@@ -573,6 +605,9 @@ func NewNativeStack(cfg Config) (*NativeStack, error) {
 // Name implements Platform.
 func (s *NativeStack) Name() string { return "native" }
 
+// Close implements Platform.
+func (s *NativeStack) Close() { s.Cfg.pool.Put(s.Mach) }
+
 // M implements Platform.
 func (s *NativeStack) M() *hw.Machine { return s.Mach }
 
@@ -597,11 +632,13 @@ func (s *NativeStack) syscall(work hw.Cycles) {
 
 // InjectPackets implements Platform.
 func (s *NativeStack) InjectPackets(n, size, dest int) {
+	// One buffer for the whole burst: the NIC DMAs the bytes into a posted
+	// frame on Inject, so the source can be reused.
+	pkt := make([]byte, size)
+	if size > 0 {
+		pkt[0] = byte(dest)
+	}
 	for i := 0; i < n; i++ {
-		pkt := make([]byte, size)
-		if size > 0 {
-			pkt[0] = byte(dest)
-		}
 		s.NIC.Inject(pkt)
 		s.Mach.IRQ.DispatchPending(s.comp)
 		s.Pump()
@@ -618,14 +655,19 @@ func (s *NativeStack) appCPU() int { return s.Mach.NCPUs() - 1 }
 // core — the monolithic kernel pays for cross-CPU coordination too, just
 // without any protection-domain crossing.
 func (s *NativeStack) DrainRx(int) int {
-	n := 0
-	for s.rxQueue > 0 {
-		s.syscall(100)
-		if app := s.appCPU(); app != 0 {
-			s.Mach.SendIPI(0, app)
-		}
-		s.rxQueue--
-		n++
+	n := s.rxQueue
+	if n == 0 {
+		return 0
+	}
+	s.rxQueue = 0
+	// The whole backlog drains as one batched charge sequence — per
+	// packet it is exactly syscall(100) plus the reschedule IPI, so the
+	// aggregate counters and clock match the packet-at-a-time loop.
+	s.Mach.CPU.SetRing(hw.Ring3)
+	s.Mach.CPU.TrapReturnN(s.comp, s.Mach.Arch.HasFastSyscall, hw.Ring3, uint64(n))
+	s.Mach.CPU.WorkN(s.comp, 250, uint64(n))
+	if app := s.appCPU(); app != 0 {
+		s.Mach.SendIPIN(0, app, uint64(n))
 	}
 	return n
 }

@@ -4,6 +4,8 @@ import (
 	"context"
 	"runtime"
 	"sync"
+
+	"vmmk/internal/hw"
 )
 
 // Runner is the experiment engine: it executes the independent cells an
@@ -17,6 +19,14 @@ type Runner struct {
 	Parallel int
 	// Ctx, when non-nil, cancels an in-progress experiment early.
 	Ctx context.Context
+
+	// poolMu guards pools, the idle machine pools handed to workers. Each
+	// worker borrows one pool for the duration of an experiment (so the
+	// per-cell acquire/release path is lock-free) and returns it when the
+	// fan-out joins, which lets machines warm in one experiment be reused
+	// by the next on the same Runner.
+	poolMu sync.Mutex
+	pools  []*hw.MachinePool
 }
 
 // NewRunner returns a runner with the given worker cap (<= 0: GOMAXPROCS).
@@ -41,6 +51,35 @@ func (r *Runner) ctx() context.Context {
 		return context.Background()
 	}
 	return r.Ctx
+}
+
+// borrowPool hands a worker an idle machine pool, creating one when all are
+// in use. A nil Runner (direct cell calls in tests) gets a nil pool, which
+// acquireMachine treats as "always build fresh".
+func (r *Runner) borrowPool() *hw.MachinePool {
+	if r == nil {
+		return nil
+	}
+	r.poolMu.Lock()
+	defer r.poolMu.Unlock()
+	if n := len(r.pools); n > 0 {
+		p := r.pools[n-1]
+		r.pools[n-1] = nil
+		r.pools = r.pools[:n-1]
+		return p
+	}
+	return hw.NewMachinePool()
+}
+
+// returnPool puts a worker's pool back for the next experiment on this
+// Runner.
+func (r *Runner) returnPool(p *hw.MachinePool) {
+	if r == nil || p == nil {
+		return
+	}
+	r.poolMu.Lock()
+	r.pools = append(r.pools, p)
+	r.poolMu.Unlock()
 }
 
 // runCells executes n independent cells on up to r.Parallel workers and
@@ -76,14 +115,17 @@ func runCells[T any](r *Runner, n int, cell func(ctx context.Context, i int) (T,
 
 	if workers == 1 {
 		// Serial fast path: no goroutines, deterministic by construction.
+		pool := r.borrowPool()
+		cctx := withPool(ctx, pool)
 		for i := 0; i < n && ctx.Err() == nil; i++ {
-			v, err := cell(ctx, i)
+			v, err := cell(cctx, i)
 			if err != nil {
 				fail(i, err)
 				break
 			}
 			out[i] = v
 		}
+		r.returnPool(pool)
 	} else {
 		idx := make(chan int)
 		var wg sync.WaitGroup
@@ -91,11 +133,16 @@ func runCells[T any](r *Runner, n int, cell func(ctx context.Context, i int) (T,
 		for w := 0; w < workers; w++ {
 			go func() {
 				defer wg.Done()
+				// Each worker owns a machine pool for the whole fan-out:
+				// per-cell reuse stays lock-free and deterministic.
+				pool := r.borrowPool()
+				defer r.returnPool(pool)
+				cctx := withPool(ctx, pool)
 				for i := range idx {
 					if ctx.Err() != nil {
 						continue // drain the channel without running cells
 					}
-					v, err := cell(ctx, i)
+					v, err := cell(cctx, i)
 					if err != nil {
 						fail(i, err)
 						continue

@@ -380,9 +380,11 @@ func (r *Runner) RunExperiment(ctx context.Context, id string, p Params) (*Resul
 		r = DefaultRunner()
 	}
 	if ctx != context.Background() {
-		bound := *r
-		bound.Ctx = ctx
-		r = &bound
+		// Rebind the context on a fresh Runner rather than copying r: a
+		// Runner now owns a mutex-guarded machine-pool stack and must not
+		// be duplicated. The bound runner starts with cold pools, which
+		// only costs the first cell per worker a machine boot.
+		r = &Runner{Parallel: r.Parallel, Ctx: ctx}
 	}
 	res, err := s.Run(ctx, r, np)
 	if err != nil {

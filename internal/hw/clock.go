@@ -26,6 +26,10 @@ func (c *Clock) AdvanceTo(t Cycles) {
 	c.now = t
 }
 
+// Reset rewinds the clock to cycle zero (machine reuse only — live kernels
+// never travel backwards in time).
+func (c *Clock) Reset() { c.now = 0 }
+
 // Event is a scheduled callback in the discrete-event queue.
 type Event struct {
 	At   Cycles
@@ -104,6 +108,18 @@ func (q *EventQueue) Cancel(e *Event) {
 
 // Pending returns the number of queued events.
 func (q *EventQueue) Pending() int { return len(q.heap) }
+
+// Reset drops every queued event and rewinds the sequence counter, so a
+// reused machine schedules from the same deterministic starting point as a
+// fresh one.
+func (q *EventQueue) Reset() {
+	for i := range q.heap {
+		q.heap[i].idx = -1
+		q.heap[i] = nil
+	}
+	q.heap = q.heap[:0]
+	q.seq = 0
+}
 
 // NextAt returns the time of the earliest pending event, or false if none.
 func (q *EventQueue) NextAt() (Cycles, bool) {

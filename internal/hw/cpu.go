@@ -117,6 +117,20 @@ func NewCPUOn(arch *Arch, clock *Clock, mem *PhysMem, rec *trace.Recorder, index
 	}
 }
 
+// Reset restores the CPU to its post-NewCPUOn state: ring 0, no address
+// space, zeroed segments, no trap history, page-walk charging on, no cache
+// model, and an empty TLB. The interned attribution handles survive — they
+// are registry identities, not state.
+func (c *CPU) Reset() {
+	c.ring = Ring0
+	c.pt = nil
+	c.segs = [NumSegRegs]Segment{}
+	c.traps = 0
+	c.walkCharge = true
+	c.cache = nil
+	c.TLB.Reset()
+}
+
 // Ring returns the current privilege level.
 func (c *CPU) Ring() Priv { return c.ring }
 
@@ -145,6 +159,27 @@ func (c *CPU) Work(component trace.Comp, cost Cycles) {
 	c.Rec.ChargeCycles(component, uint64(cost))
 }
 
+// ChargeN advances the clock by n events of cost each and lands them in the
+// recorder as one aggregate (one log record carrying the count). Counters
+// and the cycle ledger end up exactly as n Charge calls would leave them —
+// the batched hot path for uniform loops.
+func (c *CPU) ChargeN(component trace.Comp, kind trace.Kind, cost Cycles, n uint64) {
+	if n == 0 {
+		return
+	}
+	c.Clock.Advance(cost * Cycles(n))
+	c.Rec.ChargeN(uint64(c.Clock.Now()), kind, component, uint64(cost), n)
+}
+
+// WorkN advances the clock by n×cost of uncounted computation in one step.
+func (c *CPU) WorkN(component trace.Comp, cost Cycles, n uint64) {
+	if n == 0 {
+		return
+	}
+	c.Clock.Advance(cost * Cycles(n))
+	c.Rec.ChargeCycles(component, uint64(cost)*n)
+}
+
 // Trap enters ring 0 from the current ring, charging kernel-entry cost to
 // component. fast selects the sysenter-style entry when the architecture
 // has one.
@@ -162,6 +197,25 @@ func (c *CPU) Trap(component trace.Comp, fast bool) {
 func (c *CPU) ReturnTo(component trace.Comp, p Priv) {
 	c.ring = p
 	c.Charge(component, trace.KKernelExit, c.Arch.Costs.KernelExit)
+}
+
+// TrapReturnN charges n complete trap/return round trips (enter ring 0,
+// leave for ring p) as two aggregate events. It is the batched form of n
+// Trap/ReturnTo pairs for loops whose bodies do nothing else privileged:
+// counters, trap statistics, cycle totals and the final ring all match the
+// per-item loop.
+func (c *CPU) TrapReturnN(component trace.Comp, fast bool, p Priv, n uint64) {
+	if n == 0 {
+		return
+	}
+	entry := c.Arch.Costs.KernelEntry
+	if fast && c.Arch.HasFastSyscall {
+		entry = c.Arch.Costs.FastSyscall
+	}
+	c.traps += n
+	c.ChargeN(component, trace.KTrap, entry, n)
+	c.ring = p
+	c.ChargeN(component, trace.KKernelExit, c.Arch.Costs.KernelExit, n)
 }
 
 // LoadSegment loads a segment register, charging descriptor-check cost. On

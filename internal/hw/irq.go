@@ -129,13 +129,30 @@ func (ic *IRQController) DispatchPending(component trace.Comp) int {
 // vectoring. Both halves advance the one shared clock — the simulation
 // serialises the machine — but each half lands on its own CPU's component
 // ("cpu<n>.ipi"), so the E12 tables can show where the SMP tax falls.
-func (ic *IRQController) deliverIPI(src, dst *CPU) {
-	ic.ipis++
+func (ic *IRQController) deliverIPI(src, dst *CPU) { ic.deliverIPIN(src, dst, 1) }
+
+// deliverIPIN delivers n back-to-back IPIs between the same two CPUs as one
+// aggregate: identical counters, cycle totals and clock movement to n
+// deliverIPI calls, in O(1) recorder work.
+func (ic *IRQController) deliverIPIN(src, dst *CPU, n uint64) {
+	if n == 0 {
+		return
+	}
+	ic.ipis += n
 	costs := src.Arch.Costs
-	src.Clock.Advance(costs.IPI)
-	src.Rec.Charge(uint64(src.Clock.Now()), trace.KIPI, src.ipiComp, uint64(costs.IPI))
-	dst.Clock.Advance(costs.IRQDispatch)
-	dst.Rec.ChargeCycles(dst.ipiComp, uint64(costs.IRQDispatch))
+	src.Clock.Advance(costs.IPI * Cycles(n))
+	src.Rec.ChargeN(uint64(src.Clock.Now()), trace.KIPI, src.ipiComp, uint64(costs.IPI), n)
+	dst.Clock.Advance(costs.IRQDispatch * Cycles(n))
+	dst.Rec.ChargeCycles(dst.ipiComp, uint64(costs.IRQDispatch)*n)
+}
+
+// Reset restores the controller to its post-NewIRQController state: no
+// pending or masked lines, no handlers, statistics cleared.
+func (ic *IRQController) Reset() {
+	clear(ic.pending)
+	clear(ic.masked)
+	clear(ic.handlers)
+	ic.raised, ic.spurious, ic.ipis = 0, 0, 0
 }
 
 // IPIs returns how many inter-processor interrupts have been delivered.

@@ -20,6 +20,11 @@ type Machine struct {
 	Mem    *PhysMem
 	IRQ    *IRQController
 	Rec    *trace.Recorder
+
+	// Cfg is the fully normalized configuration the machine was built with
+	// (defaults applied). It is the machine's pool identity: two machines
+	// with equal Arch values and equal Cfg are interchangeable after Reset.
+	Cfg MachineConfig
 }
 
 // MachineConfig sizes a Machine.
@@ -30,21 +35,28 @@ type MachineConfig struct {
 	NCPUs    int // processor count (default 1)
 }
 
+// normalized returns the config with defaults applied — the canonical form
+// NewMachine builds from and the pool keys by.
+func (c *MachineConfig) normalized() MachineConfig {
+	n := MachineConfig{Frames: 4096, IRQLines: 16, NCPUs: 1}
+	if c != nil {
+		if c.Frames > 0 {
+			n.Frames = c.Frames
+		}
+		if c.IRQLines > 0 {
+			n.IRQLines = c.IRQLines
+		}
+		if c.NCPUs > 0 {
+			n.NCPUs = c.NCPUs
+		}
+		n.LogCap = c.LogCap
+	}
+	return n
+}
+
 // NewMachine builds a machine for arch. A nil cfg uses defaults.
 func NewMachine(arch *Arch, cfg *MachineConfig) *Machine {
-	c := MachineConfig{Frames: 4096, IRQLines: 16, NCPUs: 1}
-	if cfg != nil {
-		if cfg.Frames > 0 {
-			c.Frames = cfg.Frames
-		}
-		if cfg.IRQLines > 0 {
-			c.IRQLines = cfg.IRQLines
-		}
-		if cfg.NCPUs > 0 {
-			c.NCPUs = cfg.NCPUs
-		}
-		c.LogCap = cfg.LogCap
-	}
+	c := cfg.normalized()
 	clock := &Clock{}
 	rec := trace.NewRecorder(c.LogCap)
 	mem := NewPhysMem(c.Frames, arch.PageSize())
@@ -61,11 +73,47 @@ func NewMachine(arch *Arch, cfg *MachineConfig) *Machine {
 		Mem:    mem,
 		IRQ:    NewIRQController(cpus, c.IRQLines),
 		Rec:    rec,
+		Cfg:    c,
 	}
+}
+
+// Reset restores the machine to its post-NewMachine state — clock at zero,
+// empty event queue, every CPU at ring 0 with an empty TLB, all memory free
+// and zeroed, quiescent interrupt controller, zeroed recorder counters —
+// without reallocating any of it. This is the machine-pool contract: an
+// experiment cell run on a Reset machine is byte-identical to one run on a
+// fresh machine. Interned component handles survive (they are identities in
+// the recorder's registry, and components with zero cycles are invisible to
+// every table query).
+func (m *Machine) Reset() {
+	m.Events.Reset()
+	m.Clock.Reset()
+	for _, c := range m.CPUs {
+		c.Reset()
+	}
+	m.Mem.Reset()
+	m.IRQ.Reset()
+	m.Rec.Reset()
 }
 
 // Now returns the machine's virtual time.
 func (m *Machine) Now() Cycles { return m.Clock.Now() }
+
+// Run drains, in order, every event due at or before t, then leaves the
+// clock at t — the event-driven engine's basic step. Idle gaps between
+// events are skipped, not stepped.
+func (m *Machine) Run(until Cycles) int { return m.Events.RunUntil(until) }
+
+// RunUntilIdle drains the event queue completely (advancing the clock to
+// each event in turn), bounded by maxEvents (0 = unlimited).
+func (m *Machine) RunUntilIdle(maxEvents int) int { return m.Events.RunUntilIdle(maxEvents) }
+
+// AdvanceTo skips idle virtual time: the clock jumps straight to t, firing
+// any events that become due on the way. Unlike Clock.AdvanceTo it is safe
+// to call with pending events — they fire at their scheduled times first.
+func (m *Machine) AdvanceTo(t Cycles) {
+	m.Events.RunUntil(t)
+}
 
 // NCPUs returns the processor count.
 func (m *Machine) NCPUs() int { return len(m.CPUs) }
@@ -93,6 +141,18 @@ func (m *Machine) SendIPI(from, to int) {
 	m.IRQ.deliverIPI(src, dst)
 }
 
+// SendIPIN sends n back-to-back IPIs from CPU from to CPU to as one
+// aggregate — same counters, cycles and clock movement as n SendIPI calls.
+// Self-IPIs remain free and uncounted.
+func (m *Machine) SendIPIN(from, to int, n uint64) {
+	src := m.checkCPU(from)
+	dst := m.checkCPU(to)
+	if src == dst {
+		return
+	}
+	m.IRQ.deliverIPIN(src, dst, n)
+}
+
 // ShootdownAll performs a full TLB shootdown: CPU from interrupts every
 // target CPU, which flushes its entire TLB and charges the handling cost to
 // its own "cpu<n>.shootdown" component. The initiator's IPIs are charged
@@ -112,6 +172,40 @@ func (m *Machine) ShootdownEntry(from int, targets []int, asid uint16, vpn VPN) 
 	m.shootdown(from, targets, func(c *CPU) {
 		c.TLB.FlushEntry(asid, vpn)
 	})
+}
+
+// ShootdownEntries is the batched form of ShootdownEntry for a run of
+// invalidations initiated back-to-back by the same CPU: every target CPU
+// takes len(vpns) IPIs and invalidates each (asid, vpn) in order, with the
+// per-target costs landed as aggregates. Counters, cycle totals and clock
+// movement match the equivalent ShootdownEntry loop; only log timestamps
+// coalesce (an aggregate is stamped at its last event).
+func (m *Machine) ShootdownEntries(from int, targets []int, asid uint16, vpns []VPN) {
+	if len(vpns) == 0 {
+		return
+	}
+	src := m.checkCPU(from)
+	want := make([]bool, len(m.CPUs))
+	for _, t := range targets {
+		if t == from {
+			continue // the initiator flushes locally, not via IPI
+		}
+		m.checkCPU(t)
+		want[t] = true
+	}
+	n := uint64(len(vpns))
+	for i, dst := range m.CPUs {
+		if !want[i] {
+			continue
+		}
+		m.IRQ.deliverIPIN(src, dst, n)
+		for _, vpn := range vpns {
+			dst.TLB.FlushEntry(asid, vpn)
+		}
+		m.Clock.Advance(m.Arch.Costs.TLBShootdown * Cycles(n))
+		m.Rec.ChargeN(uint64(m.Clock.Now()), trace.KTLBShootdown, dst.shootComp,
+			uint64(m.Arch.Costs.TLBShootdown), n)
+	}
 }
 
 // shootdown interrupts each distinct remote target in ascending CPU order

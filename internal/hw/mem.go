@@ -25,6 +25,7 @@ type PhysMem struct {
 	data     [][]byte // lazily allocated frame contents
 	owner    []string
 	free     []FrameID
+	freeTmpl []FrameID // construction-order free stack, copied on Reset
 	allocs   uint64
 	flips    uint64
 }
@@ -40,12 +41,15 @@ func NewPhysMem(frames int, pageSize uint64) *PhysMem {
 		data:     make([][]byte, frames),
 		owner:    make([]string, frames),
 		free:     make([]FrameID, 0, frames),
+		freeTmpl: make([]FrameID, frames),
 	}
 	// Stack of free frames; popping from the end yields ascending IDs
-	// first, which keeps traces readable.
+	// first, which keeps traces readable. The template is the same stack
+	// frozen at construction, so Reset restores it with one copy.
 	for i := frames - 1; i >= 0; i-- {
 		m.free = append(m.free, FrameID(i))
 	}
+	copy(m.freeTmpl, m.free)
 	return m
 }
 
@@ -87,14 +91,40 @@ func (m *PhysMem) AllocN(owner string, n int) ([]FrameID, error) {
 }
 
 // Free returns a frame to the allocator and clears its contents and owner.
+// The backing page is zeroed and kept rather than released: the next Data
+// call sees the same all-zero contents either way, and reallocating pages
+// was a measurable share of whole-engine allocations.
 func (m *PhysMem) Free(f FrameID) {
 	m.checkFrame(f)
 	if m.owner[f] == "" {
 		panic(fmt.Sprintf("hw: double free of frame %d", f))
 	}
 	m.owner[f] = ""
-	m.data[f] = nil
+	if m.data[f] != nil {
+		clear(m.data[f])
+	}
 	m.free = append(m.free, f)
+}
+
+// Reset restores the memory to its post-NewPhysMem state: every frame free
+// and unowned, all touched contents zeroed (pages are kept, not released),
+// statistics cleared, and the free stack rebuilt in construction order so a
+// reused machine allocates the same frame IDs as a fresh one. Only frames
+// still owned need their pages scrubbed here — Free already zeroes a page
+// when the frame is returned, so free frames are clean by invariant.
+func (m *PhysMem) Reset() {
+	for f, o := range m.owner {
+		if o == "" {
+			continue
+		}
+		if m.data[f] != nil {
+			clear(m.data[f])
+		}
+		m.owner[f] = ""
+	}
+	m.free = m.free[:m.frames]
+	copy(m.free, m.freeTmpl)
+	m.allocs, m.flips = 0, 0
 }
 
 // Owner returns the bookkeeping owner of f ("" if free).

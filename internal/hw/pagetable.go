@@ -47,17 +47,115 @@ type PTE struct {
 // VPN is a virtual page number (virtual address >> PageShift).
 type VPN uint64
 
-// PageTable is a sparse single-space page table. The simulated depth
-// (Arch.PTLevels) affects only walk cost, not the data structure.
-type PageTable struct {
-	entries map[VPN]PTE
-	asid    uint16
-	epoch   uint64 // bumped on any mutation; lets shadow tables detect drift
+// densePTE is a PTE plus a presence bit, sized so the dense region is a
+// flat pointer-free array the garbage collector never scans.
+type densePTE struct {
+	frame   FrameID
+	perms   Perm
+	user    bool
+	present bool
 }
+
+// PageTable is a single-space page table. The simulated depth
+// (Arch.PTLevels) affects only walk cost, not the data structure.
+//
+// Layout: domains and spaces map their pages densely from VPN 0 (identity
+// maps, process images), so the low VPN range lives in a flat array —
+// constant-time, allocation-free, hash-free. The occasional high mapping
+// (pager and grant windows at 0x1000+) overflows into a map. Map/Lookup
+// dispatch on the VPN alone, so the split is invisible to callers.
+type PageTable struct {
+	dense  []densePTE  // VPNs in [0, len(dense))
+	sparse map[VPN]PTE // VPNs >= len(dense); allocated on first use
+	n      int         // total live mappings across both regions
+
+	// byFrame is the reverse index frame -> VPNs mapping it. Page flipping
+	// revokes by frame on every packet, so revocation must not scan the
+	// whole table; but most tables (identity-mapped domains that never
+	// flip) pay for the index without ever consulting it, so it is built
+	// lazily on the first reverse lookup and kept in lockstep only from
+	// then on. Almost every frame has exactly one mapping, so the index
+	// stores that VPN inline and only allocates a set for the rare
+	// multiply-mapped frame.
+	byFrame map[FrameID]frameRef
+
+	asid  uint16
+	epoch uint64 // bumped on any mutation; lets shadow tables detect drift
+}
+
+// denseDefault is the dense-region size for tables built without a hint
+// (microkernel spaces): big enough for every process image the workloads
+// fault in, 2KB of pointer-free memory per space.
+const denseDefault = 256
 
 // NewPageTable returns an empty page table tagged with asid.
 func NewPageTable(asid uint16) *PageTable {
-	return &PageTable{entries: make(map[VPN]PTE), asid: asid}
+	return &PageTable{dense: make([]densePTE, denseDefault), asid: asid}
+}
+
+// NewPageTableSized is NewPageTable with a capacity hint for callers that
+// know how many pages they are about to map (domain build maps one entry
+// per frame; growing the tables incrementally showed up in profiles).
+func NewPageTableSized(asid uint16, hint int) *PageTable {
+	size := denseDefault
+	if hint > 0 {
+		size = hint + 64
+	}
+	return &PageTable{dense: make([]densePTE, size), asid: asid}
+}
+
+// frameRef is one reverse-index slot: the single mapping inline (the
+// overwhelmingly common case — no allocation), or the full set once a
+// second VPN maps the same frame.
+type frameRef struct {
+	single VPN
+	multi  map[VPN]struct{} // nil unless the frame is multiply mapped
+}
+
+// ensureIndex builds the reverse index on first demand; after this every
+// mutation maintains it incrementally.
+func (pt *PageTable) ensureIndex() {
+	if pt.byFrame != nil {
+		return
+	}
+	pt.byFrame = make(map[FrameID]frameRef, pt.n)
+	pt.Each(func(v VPN, e PTE) { pt.index(e.Frame, v) })
+}
+
+func (pt *PageTable) index(f FrameID, v VPN) {
+	if pt.byFrame == nil {
+		return
+	}
+	ref, ok := pt.byFrame[f]
+	switch {
+	case !ok:
+		pt.byFrame[f] = frameRef{single: v}
+	case ref.multi != nil:
+		ref.multi[v] = struct{}{}
+	case ref.single != v:
+		ref.multi = map[VPN]struct{}{ref.single: {}, v: {}}
+		pt.byFrame[f] = ref
+	}
+}
+
+func (pt *PageTable) unindex(f FrameID, v VPN) {
+	if pt.byFrame == nil {
+		return
+	}
+	ref, ok := pt.byFrame[f]
+	if !ok {
+		return
+	}
+	if ref.multi == nil {
+		if ref.single == v {
+			delete(pt.byFrame, f)
+		}
+		return
+	}
+	delete(ref.multi, v)
+	if len(ref.multi) == 0 {
+		delete(pt.byFrame, f)
+	}
 }
 
 // ASID returns the table's address-space identifier.
@@ -68,31 +166,82 @@ func (pt *PageTable) Epoch() uint64 { return pt.epoch }
 
 // Map installs or replaces the entry for vpn.
 func (pt *PageTable) Map(vpn VPN, e PTE) {
-	pt.entries[vpn] = e
+	if vpn < VPN(len(pt.dense)) {
+		d := &pt.dense[vpn]
+		if d.present {
+			if d.frame != e.Frame {
+				pt.unindex(d.frame, vpn)
+				pt.index(e.Frame, vpn)
+			}
+		} else {
+			pt.n++
+			pt.index(e.Frame, vpn)
+		}
+		d.frame, d.perms, d.user, d.present = e.Frame, e.Perms, e.User, true
+		pt.epoch++
+		return
+	}
+	if old, ok := pt.sparse[vpn]; ok {
+		if old.Frame != e.Frame {
+			pt.unindex(old.Frame, vpn)
+			pt.index(e.Frame, vpn)
+		}
+	} else {
+		pt.n++
+		pt.index(e.Frame, vpn)
+	}
+	if pt.sparse == nil {
+		pt.sparse = make(map[VPN]PTE)
+	}
+	pt.sparse[vpn] = e
 	pt.epoch++
 }
 
 // Unmap removes the entry for vpn; removing a missing entry is a no-op.
 func (pt *PageTable) Unmap(vpn VPN) {
-	if _, ok := pt.entries[vpn]; ok {
-		delete(pt.entries, vpn)
+	if vpn < VPN(len(pt.dense)) {
+		d := &pt.dense[vpn]
+		if d.present {
+			pt.unindex(d.frame, vpn)
+			*d = densePTE{}
+			pt.n--
+			pt.epoch++
+		}
+		return
+	}
+	if e, ok := pt.sparse[vpn]; ok {
+		delete(pt.sparse, vpn)
+		pt.unindex(e.Frame, vpn)
+		pt.n--
 		pt.epoch++
 	}
 }
 
 // Lookup returns the entry for vpn.
 func (pt *PageTable) Lookup(vpn VPN) (PTE, bool) {
-	e, ok := pt.entries[vpn]
+	if vpn < VPN(len(pt.dense)) {
+		d := pt.dense[vpn]
+		if !d.present {
+			return PTE{}, false
+		}
+		return PTE{Frame: d.frame, Perms: d.perms, User: d.user}, true
+	}
+	e, ok := pt.sparse[vpn]
 	return e, ok
 }
 
 // Len returns the number of mapped pages.
-func (pt *PageTable) Len() int { return len(pt.entries) }
+func (pt *PageTable) Len() int { return pt.n }
 
 // Each calls fn for every mapping. Iteration order is unspecified; callers
 // needing determinism must sort.
 func (pt *PageTable) Each(fn func(VPN, PTE)) {
-	for v, e := range pt.entries {
+	for v := range pt.dense {
+		if d := pt.dense[v]; d.present {
+			fn(VPN(v), PTE{Frame: d.frame, Perms: d.perms, User: d.user})
+		}
+	}
+	for v, e := range pt.sparse {
 		fn(v, e)
 	}
 }
@@ -100,13 +249,15 @@ func (pt *PageTable) Each(fn func(VPN, PTE)) {
 // FramesMapped returns how many entries reference frame f (used to verify
 // revocation: after an unmap-all, the count must be zero).
 func (pt *PageTable) FramesMapped(f FrameID) int {
-	n := 0
-	for _, e := range pt.entries {
-		if e.Frame == f {
-			n++
-		}
+	pt.ensureIndex()
+	ref, ok := pt.byFrame[f]
+	if !ok {
+		return 0
 	}
-	return n
+	if ref.multi == nil {
+		return 1
+	}
+	return len(ref.multi)
 }
 
 // WritableByFrame returns, for every mapped frame, the VPNs referencing it
@@ -116,11 +267,11 @@ func (pt *PageTable) FramesMapped(f FrameID) int {
 // single O(entries) sweep rather than one scan per frame.
 func (pt *PageTable) WritableByFrame() map[FrameID][]VPN {
 	out := make(map[FrameID][]VPN)
-	for v, e := range pt.entries {
+	pt.Each(func(v VPN, e PTE) {
 		if e.Perms&PermW != 0 {
 			out[e.Frame] = append(out[e.Frame], v)
 		}
-	}
+	})
 	for _, vpns := range out {
 		sort.Slice(vpns, func(i, j int) bool { return vpns[i] < vpns[j] })
 	}
@@ -128,24 +279,45 @@ func (pt *PageTable) WritableByFrame() map[FrameID][]VPN {
 }
 
 // UnmapFrame removes every mapping of frame f and returns how many were
-// removed. Page flipping and grant revocation use this.
+// removed. Page flipping and grant revocation use this on every packet, so
+// it walks the reverse index — O(mappings of f), not O(table).
 func (pt *PageTable) UnmapFrame(f FrameID) int {
-	var victims []VPN
-	for v, e := range pt.entries {
-		if e.Frame == f {
-			victims = append(victims, v)
+	pt.ensureIndex()
+	ref, ok := pt.byFrame[f]
+	if !ok {
+		return 0
+	}
+	n := 1
+	if ref.multi == nil {
+		pt.removeMapping(ref.single)
+	} else {
+		n = len(ref.multi)
+		for v := range ref.multi {
+			pt.removeMapping(v)
 		}
 	}
-	for _, v := range victims {
-		delete(pt.entries, v)
+	delete(pt.byFrame, f)
+	pt.epoch++
+	return n
+}
+
+// removeMapping deletes the forward entry for vpn without touching the
+// reverse index (UnmapFrame clears the whole slot itself).
+func (pt *PageTable) removeMapping(vpn VPN) {
+	if vpn < VPN(len(pt.dense)) {
+		if pt.dense[vpn].present {
+			pt.dense[vpn] = densePTE{}
+			pt.n--
+		}
+		return
 	}
-	if len(victims) > 0 {
-		pt.epoch++
+	if _, ok := pt.sparse[vpn]; ok {
+		delete(pt.sparse, vpn)
+		pt.n--
 	}
-	return len(victims)
 }
 
 // String summarises the table for debugging output.
 func (pt *PageTable) String() string {
-	return fmt.Sprintf("pt(asid=%d, %d entries)", pt.asid, len(pt.entries))
+	return fmt.Sprintf("pt(asid=%d, %d entries)", pt.asid, pt.n)
 }

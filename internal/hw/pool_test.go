@@ -1,0 +1,237 @@
+package hw
+
+import (
+	"testing"
+
+	"vmmk/internal/trace"
+)
+
+// exercise runs a small mixed workload on m: allocation, page writes, TLB
+// traffic, traps, IPIs and scheduled events — enough to dirty every
+// subsystem Reset must restore.
+func exercise(t *testing.T, m *Machine) {
+	t.Helper()
+	comp := m.Rec.Intern("test.comp")
+	frames, err := m.Mem.AllocN("test", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range frames {
+		m.Mem.Data(f)[0] = byte(i + 1)
+	}
+	pt := NewPageTable(1)
+	for i, f := range frames {
+		pt.Map(VPN(i), PTE{Frame: f, Perms: PermRW, User: true})
+	}
+	m.CPU.SwitchSpace(comp, pt)
+	for i := range frames {
+		m.CPU.Translate(comp, VPN(i), PermR)
+	}
+	m.CPU.Trap(comp, false)
+	m.CPU.ReturnTo(comp, Ring3)
+	if m.NCPUs() > 1 {
+		m.SendIPI(0, 1)
+		m.ShootdownAll(0, []int{1})
+	}
+	m.IRQ.SetHandler(3, func(IRQLine) {})
+	m.IRQ.Raise(3)
+	m.Events.ScheduleAfter(10_000, "never", func() { t.Error("stale event fired") })
+	m.Mem.Free(frames[0])
+}
+
+// fingerprint captures everything a fresh machine exposes that an
+// experiment could observe.
+type machineFP struct {
+	now      Cycles
+	pending  int
+	freeFrm  int
+	total    uint64
+	traps    uint64
+	ring     Priv
+	tlbLen   int
+	ipis     uint64
+	frame0   FrameID
+	frame0b0 byte
+}
+
+func fingerprint(m *Machine) machineFP {
+	f, err := m.Mem.Alloc("fp")
+	if err != nil {
+		panic(err)
+	}
+	b0 := m.Mem.Data(f)[0]
+	fp := machineFP{
+		now:      m.Now(),
+		pending:  m.Events.Pending(),
+		freeFrm:  m.Mem.FreeFrames(),
+		total:    m.Rec.TotalCycles(),
+		traps:    m.CPU.Traps(),
+		ring:     m.CPU.Ring(),
+		tlbLen:   m.CPU.TLB.Len(),
+		ipis:     m.IRQ.IPIs(),
+		frame0:   f,
+		frame0b0: b0,
+	}
+	return fp
+}
+
+// TestMachineResetRestoresFreshState pins the Reset contract: after a mixed
+// workload, Reset leaves the machine observably identical to a brand-new
+// one — same virtual time, same allocator order, zeroed memory, empty TLB,
+// quiescent queue and recorder.
+func TestMachineResetRestoresFreshState(t *testing.T) {
+	for _, ncpus := range []int{1, 4} {
+		cfg := &MachineConfig{Frames: 64, NCPUs: ncpus}
+		used := NewMachine(X86(), cfg)
+		exercise(t, used)
+		used.Reset()
+
+		fresh := NewMachine(X86(), cfg)
+		if got, want := fingerprint(used), fingerprint(fresh); got != want {
+			t.Errorf("ncpus=%d: reset machine %+v, fresh machine %+v", ncpus, got, want)
+		}
+		for k := trace.Kind(0); k < trace.Kind(trace.NKinds); k++ {
+			if used.Rec.Counts(k) != 0 {
+				t.Errorf("ncpus=%d: counter %v = %d after Reset", ncpus, k, used.Rec.Counts(k))
+			}
+		}
+	}
+}
+
+// TestMachineResetClearsEvents pins that queued events never leak across a
+// Reset — the exercise helper schedules one that calls t.Error if fired.
+func TestMachineResetClearsEvents(t *testing.T) {
+	m := NewMachine(X86(), &MachineConfig{Frames: 64})
+	exercise(t, m)
+	m.Reset()
+	m.RunUntilIdle(0) // would fire the stale event if Reset leaked it
+	if m.Now() != 0 {
+		t.Errorf("clock = %d after Reset+idle drain, want 0", m.Now())
+	}
+}
+
+// TestMachinePoolReuse pins the pool identity rule: same arch value + same
+// normalized config hits; different identities miss.
+func TestMachinePoolReuse(t *testing.T) {
+	p := NewMachinePool()
+	m1 := p.Get(X86(), &MachineConfig{Frames: 64})
+	p.Put(m1)
+	// X86() returns a fresh pointer — the pool must key by value.
+	m2 := p.Get(X86(), &MachineConfig{Frames: 64})
+	if m1 != m2 {
+		t.Fatal("pool did not reuse an identical machine")
+	}
+	if hits, _ := p.Stats(); hits != 1 {
+		t.Fatalf("hits = %d, want 1", hits)
+	}
+
+	p.Put(m2)
+	if m3 := p.Get(ARM(), &MachineConfig{Frames: 64}); m3 == m2 {
+		t.Fatal("pool crossed architectures")
+	}
+	if m4 := p.Get(X86(), &MachineConfig{Frames: 128}); m4 == m2 {
+		t.Fatal("pool crossed configs")
+	}
+	// Defaults normalize: nil config and explicit defaults share a key.
+	p2 := NewMachinePool()
+	p2.Put(p2.Get(X86(), nil))
+	if m5 := p2.Get(X86(), &MachineConfig{Frames: 4096, IRQLines: 16, NCPUs: 1}); m5 == nil {
+		t.Fatal("nil get")
+	} else if hits, _ := p2.Stats(); hits != 1 {
+		t.Fatal("normalized config did not hit the nil-config entry")
+	}
+}
+
+// TestNilPoolFallsBack pins that a nil *MachinePool degrades to plain
+// NewMachine, so optional threading needs no guards.
+func TestNilPoolFallsBack(t *testing.T) {
+	var p *MachinePool
+	m := p.Get(X86(), &MachineConfig{Frames: 32})
+	if m == nil || m.Mem.TotalFrames() != 32 {
+		t.Fatal("nil pool did not build a fresh machine")
+	}
+	p.Put(m) // no-op, must not panic
+}
+
+// TestBatchedChargeHelpersMatchLoops pins that the aggregate hw charge paths
+// (ChargeN, WorkN, TrapReturnN, SendIPIN, ShootdownEntries) leave counters,
+// cycles and the clock exactly where the per-item loops do.
+func TestBatchedChargeHelpersMatchLoops(t *testing.T) {
+	const n = 9
+	cfg := &MachineConfig{Frames: 64, NCPUs: 3}
+
+	loop := NewMachine(X86(), cfg)
+	lc := loop.Rec.Intern("x")
+	for i := 0; i < n; i++ {
+		loop.CPU.Charge(lc, trace.KTrap, 10)
+		loop.CPU.Work(lc, 7)
+	}
+	for i := 0; i < n; i++ {
+		loop.CPU.Trap(lc, true)
+		loop.CPU.ReturnTo(lc, Ring3)
+	}
+	for i := 0; i < n; i++ {
+		loop.SendIPI(0, 1)
+	}
+	vpns := make([]VPN, n)
+	for i := range vpns {
+		vpns[i] = VPN(i)
+		loop.ShootdownEntry(0, []int{1, 2}, 1, VPN(i))
+	}
+
+	batch := NewMachine(X86(), cfg)
+	bc := batch.Rec.Intern("x")
+	batch.CPU.ChargeN(bc, trace.KTrap, 10, n)
+	batch.CPU.WorkN(bc, 7, n)
+	batch.CPU.TrapReturnN(bc, true, Ring3, n)
+	batch.SendIPIN(0, 1, n)
+	batch.ShootdownEntries(0, []int{1, 2}, 1, vpns)
+
+	if loop.Now() != batch.Now() {
+		t.Errorf("clock: loop %d, batch %d", loop.Now(), batch.Now())
+	}
+	for k := trace.Kind(0); k < trace.Kind(trace.NKinds); k++ {
+		if loop.Rec.Counts(k) != batch.Rec.Counts(k) {
+			t.Errorf("counts(%v): loop %d, batch %d", k, loop.Rec.Counts(k), batch.Rec.Counts(k))
+		}
+	}
+	for _, comp := range loop.Rec.Components() {
+		if loop.Rec.Cycles(comp) != batch.Rec.Cycles(comp) {
+			t.Errorf("cycles(%s): loop %d, batch %d", comp, loop.Rec.Cycles(comp), batch.Rec.Cycles(comp))
+		}
+	}
+	if loop.CPU.Traps() != batch.CPU.Traps() {
+		t.Errorf("traps: loop %d, batch %d", loop.CPU.Traps(), batch.CPU.Traps())
+	}
+	if loop.IRQ.IPIs() != batch.IRQ.IPIs() {
+		t.Errorf("ipis: loop %d, batch %d", loop.IRQ.IPIs(), batch.IRQ.IPIs())
+	}
+}
+
+// TestMachineRunSkipsIdleTime pins the event-driven step: Run jumps the
+// clock across idle gaps instead of stepping through them, fires due events
+// in order, and leaves late events queued.
+func TestMachineRunSkipsIdleTime(t *testing.T) {
+	m := NewMachine(X86(), &MachineConfig{Frames: 16})
+	var fired []string
+	m.Events.Schedule(1_000, "a", func() { fired = append(fired, "a") })
+	m.Events.Schedule(500_000, "b", func() { fired = append(fired, "b") })
+	m.Events.Schedule(2_000_000, "late", func() { fired = append(fired, "late") })
+
+	if n := m.Run(1_000_000); n != 2 {
+		t.Fatalf("Run fired %d events, want 2", n)
+	}
+	if m.Now() != 1_000_000 {
+		t.Errorf("clock = %d, want 1000000 (idle skip to the horizon)", m.Now())
+	}
+	if len(fired) != 2 || fired[0] != "a" || fired[1] != "b" {
+		t.Errorf("fired = %v", fired)
+	}
+	if m.Events.Pending() != 1 {
+		t.Errorf("late event lost: pending = %d", m.Events.Pending())
+	}
+	m.AdvanceTo(3_000_000)
+	if len(fired) != 3 || fired[2] != "late" {
+		t.Errorf("AdvanceTo did not fire the late event: %v", fired)
+	}
+}

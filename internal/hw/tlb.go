@@ -75,10 +75,21 @@ func (t *TLB) Insert(asid uint16, vpn VPN, e PTE) {
 }
 
 // FlushAll empties the TLB (untagged space switch, or global shootdown).
+// The map's buckets are kept: untagged architectures flush on every address
+// space switch, and reallocating here dominated whole-engine profiles.
 func (t *TLB) FlushAll() {
-	t.entries = make(map[tlbKey]PTE, t.capacity)
+	clear(t.entries)
 	t.fifo = t.fifo[:0]
 	t.flushes++
+}
+
+// Reset restores the TLB to its post-NewTLB state: no entries, no
+// statistics. Capacity and tagging are construction-time properties and
+// survive.
+func (t *TLB) Reset() {
+	clear(t.entries)
+	t.fifo = t.fifo[:0]
+	t.hits, t.misses, t.flushes = 0, 0, 0
 }
 
 // FlushASID removes all entries for one address space. On an untagged TLB

@@ -33,6 +33,7 @@ var orderSinkMethods = map[string]bool{
 	"AddRow":       true,
 	"Record":       true,
 	"Charge":       true,
+	"ChargeN":      true,
 	"ChargeCycles": true,
 	"Count":        true,
 	"CountN":       true,

@@ -23,12 +23,18 @@ func newSrv(rec *trace.Recorder, id int) *srv {
 func (s *srv) good() {
 	s.rec.Charge(0, trace.KTrap, s.comp, 10)
 	s.rec.ChargeCycles(s.comp, 5)
+	// The batched variant through a stored handle is the sanctioned hot-loop
+	// idiom.
+	s.rec.ChargeN(0, trace.KTrap, s.comp, 10, 64)
 }
 
 func (s *srv) bad(name string, i int) {
 	s.rec.Charge(0, trace.KTrap, s.rec.Intern(name), 10)          // want `inline Intern call`
 	s.rec.ChargeCycles(s.rec.Intern("srv."+name), 5)              // want `inline Intern call`
 	s.rec.ChargeCycles(s.rec.Intern(fmt.Sprintf("srv.%d", i)), 5) // want `inline Intern call`
+	// Batching a loop's charges does not license building the handle there.
+	s.rec.ChargeN(0, trace.KTrap, s.rec.Intern(name), 10, 64)            // want `inline Intern call`
+	s.rec.ChargeN(0, trace.KTrap, handleFor(s.rec, "srv."+name), 10, 64) // want `string concatenation at the charge site`
 }
 
 // handleFor hides the Intern behind a helper; the concatenation at the

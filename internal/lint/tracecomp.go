@@ -11,7 +11,9 @@ import (
 // time. Building the component at the charge site — an inline Intern call, a
 // fmt.Sprintf, or string concatenation — reintroduces the hashing and
 // allocation the handle refactor removed from the hot path (22 -> 4.2
-// ns/op), so it is forbidden wherever a Comp flows into a Charge* method.
+// ns/op), so it is forbidden wherever a Comp flows into a Charge* method —
+// the batched ChargeN included: one aggregate call per loop makes the
+// per-call overhead rarer, not acceptable.
 var AnalyzerTracecomp = &Analyzer{
 	Name: "tracecomp",
 	Doc: "forbid component names built at Recorder/CPU charge sites " +

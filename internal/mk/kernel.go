@@ -100,11 +100,12 @@ type Space struct {
 	ExcHandler ThreadID
 	Dead       bool
 
-	comp trace.Comp // "mk."+Name, interned at creation
+	comp     trace.Comp // "mk."+Name, interned at creation
+	compName string     // "mk."+Name, cached for per-allocation owner tags
 }
 
 // Component returns the trace attribution name for work done in the space.
-func (s *Space) Component() string { return "mk." + s.Name }
+func (s *Space) Component() string { return s.compName }
 
 // Comp returns the space's interned trace attribution handle.
 func (s *Space) Comp() trace.Comp { return s.comp }
@@ -122,6 +123,7 @@ func (k *Kernel) NewSpace(name string, pager ThreadID) (*Space, error) {
 		Pager: pager,
 		comp:  k.M.Rec.Intern("mk." + name),
 	}
+	s.compName = "mk." + name
 	k.nextASID++
 	k.spaces[s.ID] = s
 	k.M.CPU.Work(k.comp, 300) // space construction
@@ -180,7 +182,8 @@ type Thread struct {
 	ipcIn  uint64
 	ipcOut uint64
 
-	comp trace.Comp // "mk."+Name, interned at creation
+	comp     trace.Comp // "mk."+Name, interned at creation
+	compName string     // "mk."+Name, cached for per-allocation owner tags
 }
 
 // Envelope is a queued one-way message.
@@ -190,7 +193,7 @@ type Envelope struct {
 }
 
 // Component returns the thread's trace attribution name.
-func (t *Thread) Component() string { return "mk." + t.Name }
+func (t *Thread) Component() string { return t.compName }
 
 // Comp returns the thread's interned trace attribution handle.
 func (t *Thread) Comp() trace.Comp { return t.comp }
@@ -208,6 +211,7 @@ func (k *Kernel) NewThread(space *Space, name string, prio int, h Handler) *Thre
 		onCPU:   -1,
 		comp:    k.M.Rec.Intern("mk." + name),
 	}
+	t.compName = "mk." + name
 	k.nextTID++
 	k.threads[t.ID] = t
 	k.sched.add(t)

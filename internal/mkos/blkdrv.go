@@ -20,7 +20,8 @@ type BlkDriver struct {
 	nextTag  uint64
 	inflight map[uint64]*blkPending
 
-	served uint64
+	served   uint64
+	replyBuf []byte // reused read-reply staging page (kernel clones replies)
 }
 
 type partition struct {
@@ -100,11 +101,9 @@ func (d *BlkDriver) handle(k *mk.Kernel, from mk.ThreadID, msg mk.Msg) (mk.Msg, 
 		op := dev.DiskRead
 		if msg.Label == LabelBlkWrite {
 			op = dev.DiskWrite
-			buf := k.M.Mem.Data(f)
-			for i := range buf {
-				buf[i] = 0
-			}
-			copy(buf, msg.Data)
+			// Freshly allocated frames are all-zero by PhysMem invariant,
+			// so staging is just the payload copy.
+			copy(k.M.Mem.Data(f), msg.Data)
 			k.M.CPU.Work(comp, k.M.CPU.CopyCost(uint64(len(msg.Data))))
 		}
 		d.nextTag++
@@ -125,7 +124,12 @@ func (d *BlkDriver) handle(k *mk.Kernel, from mk.ThreadID, msg mk.Msg) (mk.Msg, 
 		d.served++
 		if op == dev.DiskRead {
 			ps := k.M.Mem.PageSize()
-			out := make([]byte, ps)
+			// Reused scratch: the kernel clones the reply before the
+			// client sees it.
+			if cap(d.replyBuf) < int(ps) {
+				d.replyBuf = make([]byte, ps)
+			}
+			out := d.replyBuf[:ps]
 			copy(out, k.M.Mem.Data(f))
 			k.M.CPU.Work(comp, k.M.CPU.CopyCost(ps))
 			return mk.Msg{Data: out}, nil

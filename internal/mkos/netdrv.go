@@ -161,8 +161,10 @@ func (d *NetDriver) rx(k *mk.Kernel) {
 			k.M.Mem.Free(c.Frame)
 			continue
 		}
-		payload := make([]byte, c.Len)
-		copy(payload, k.M.Mem.Data(c.Frame)[:c.Len])
+		// The kernel clones message bodies on delivery, so the frame's
+		// live bytes can ride in the descriptor directly — one copy per
+		// packet (the clone), not two.
+		payload := k.M.Mem.Data(c.Frame)[:c.Len]
 		switch d.Mode {
 		case RxGrant:
 			// Zero-copy delivery: grant the packet page to the client

@@ -76,7 +76,9 @@ type OSServer struct {
 	console     []byte
 	rxQueue     [][]byte
 	syscallWork hw.Cycles
-	homeCPU     int // CPU the server and its processes are pinned to (Pin)
+	argScratch  []uint64 // reused Syscall word buffer (see Syscall)
+	zeroTx      []byte   // reused all-zero TX payload (see SysNetSend)
+	homeCPU     int      // CPU the server and its processes are pinned to (Pin)
 
 	pagerWindow hw.VPN // next free window page for fault service
 }
@@ -157,6 +159,16 @@ func (os *OSServer) Pin(cpu int) error {
 	return nil
 }
 
+// zeroBuf returns a reusable all-zero buffer of length n. Synthetic
+// workloads transmit blank payloads; the IPC layer clones the message
+// before anyone could mutate it, so one grow-only buffer serves all sends.
+func (os *OSServer) zeroBuf(n int) []byte {
+	if cap(os.zeroTx) < n {
+		os.zeroTx = make([]byte, n)
+	}
+	return os.zeroTx[:n]
+}
+
 // Proc returns the process for pid, or nil.
 func (os *OSServer) Proc(pid PID) *Proc { return os.procs[pid] }
 
@@ -168,7 +180,11 @@ func (os *OSServer) Syscall(pid PID, no uint32, args ...uint64) ([]uint64, error
 	if p == nil {
 		return nil, ErrNoSuchProcess
 	}
-	words := append([]uint64{uint64(no)}, args...)
+	// Reused scratch: Call clones the message before the handler sees it
+	// and never retains the original, so one buffer serves every syscall.
+	words := append(os.argScratch[:0], uint64(no))
+	words = append(words, args...)
+	os.argScratch = words
 	reply, err := os.K.Call(p.Thread.ID, os.Thread.ID, mk.Msg{Label: LabelSyscall, Words: words})
 	if err != nil {
 		return nil, err
@@ -188,8 +204,9 @@ func (os *OSServer) handle(k *mk.Kernel, from mk.ThreadID, msg mk.Msg) (mk.Msg, 
 		// One packet from the driver; payload already in msg.Data
 		// (string transfer) or granted via map items + Words[0]=len.
 		k.M.CPU.Work(comp, 250)
-		payload := append([]byte(nil), msg.Data...)
-		os.rxQueue = append(os.rxQueue, payload)
+		// The kernel delivered a private clone of the message; its Data is
+		// ours to keep without another copy.
+		os.rxQueue = append(os.rxQueue, msg.Data)
 		return mk.Msg{}, nil
 	case LabelSyscall:
 		return os.handleSyscall(k, from, msg)
@@ -251,7 +268,7 @@ func (os *OSServer) handleSyscall(k *mk.Kernel, from mk.ThreadID, msg mk.Msg) (m
 			return errno(^uint64(0)), nil
 		}
 		n := int(args[0])
-		if err := os.Net.Send(make([]byte, n)); err != nil {
+		if err := os.Net.Send(os.zeroBuf(n)); err != nil {
 			return errno(^uint64(0)), nil
 		}
 		return errno(uint64(n)), nil

@@ -23,6 +23,7 @@ type StoreServer struct {
 	blk    BlockService // write-through persistence; may be nil
 
 	requests uint64
+	replyBuf []byte // reused read-reply staging page (kernel clones replies)
 }
 
 // ErrNoVDisk is returned for requests from unattached clients.
@@ -104,7 +105,14 @@ func (s *StoreServer) handle(k *mk.Kernel, from mk.ThreadID, msg mk.Msg) (mk.Msg
 				return mk.Msg{}, err
 			}
 		}
-		out := make([]byte, k.M.Mem.PageSize())
+		// Reply via a reused scratch page: the kernel clones the reply
+		// before the client sees it, so the buffer is free again as soon
+		// as Call returns.
+		if cap(s.replyBuf) < int(k.M.Mem.PageSize()) {
+			s.replyBuf = make([]byte, k.M.Mem.PageSize())
+		}
+		out := s.replyBuf[:k.M.Mem.PageSize()]
+		clear(out)
 		copy(out, data)
 		k.M.CPU.Work(comp, k.M.CPU.CopyCost(uint64(len(out))))
 		return mk.Msg{Data: out}, nil
@@ -115,7 +123,9 @@ func (s *StoreServer) handle(k *mk.Kernel, from mk.ThreadID, msg mk.Msg) (mk.Msg
 		s.requests++
 		k.M.CPU.Work(comp, 500)
 		block := msg.Words[0]
-		data := append([]byte(nil), msg.Data...)
+		// The kernel delivered a private clone of the message; its Data
+		// is ours to keep as the cached block without another copy.
+		data := msg.Data
 		vd.blocks[block] = data
 		k.M.CPU.Work(comp, k.M.CPU.CopyCost(uint64(len(data))))
 		if s.blk != nil {

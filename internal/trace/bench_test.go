@@ -43,6 +43,35 @@ func BenchmarkTraceHotPath(b *testing.B) {
 	}
 }
 
+// BenchmarkChargeN measures one aggregate charge standing for 64 events —
+// the batched hot path the event-driven engine funnels loops through. Divide
+// by 64 for the per-event cost to compare against BenchmarkRecorderCharge.
+func BenchmarkChargeN(b *testing.B) {
+	r := NewRecorder(0)
+	xen := r.Intern("vmm.xen")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.ChargeN(uint64(i), KHypercall, xen, 1, 64)
+	}
+}
+
+// BenchmarkBatchFlush measures a full accumulate-and-flush round over three
+// kinds plus plain work — one dirty-scan round's worth of charging.
+func BenchmarkBatchFlush(b *testing.B) {
+	r := NewRecorder(0)
+	batch := r.NewBatch(r.Intern("hw.cpu0"))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		batch.ChargeN(KShadowPTUpdate, 60, 64)
+		batch.ChargeN(KTLBFlush, 95, 64)
+		batch.ChargeN(KTLBShootdown, 90, 64)
+		batch.Work(1000)
+		batch.Flush(uint64(i))
+	}
+}
+
 // BenchmarkRecorderChargeLogged measures the ring-buffer log in its steady
 // (wrapping) state: every Charge evicts the oldest record in O(1).
 func BenchmarkRecorderChargeLogged(b *testing.B) {

@@ -186,12 +186,16 @@ type Recorder struct {
 	logCap  int
 }
 
-// Record is one logged event, kept only when logging is enabled.
+// Record is one logged entry, kept only when logging is enabled. A record
+// aggregates Count events of the same kind against one component (Count is
+// 1 for a plain Charge); Cycles is the total across all of them, so summing
+// Cycles over the log is independent of how charges were batched.
 type Record struct {
-	At        uint64 // cycle timestamp
+	At        uint64 // cycle timestamp (flush time for an aggregate)
 	Kind      Kind
 	Component string
-	Cycles    uint64
+	Cycles    uint64 // total cycles across the aggregated events
+	Count     uint64 // events this record stands for (>= 1)
 	Note      string
 }
 
@@ -241,7 +245,29 @@ func (r *Recorder) Charge(at uint64, kind Kind, c Comp, cycles uint64) {
 	r.counts[kind]++
 	r.chargeCycles(c, cycles)
 	if r.logCap > 0 {
-		r.logAppend(Record{At: at, Kind: kind, Component: r.reg.Name(c), Cycles: cycles})
+		r.logAppend(Record{At: at, Kind: kind, Component: r.reg.Name(c), Cycles: cycles, Count: 1})
+	}
+}
+
+// ChargeN attributes count events of kind, costing cycles each, to the
+// component in one ledger update — the batched equivalent of calling Charge
+// count times with the same arguments. Counters and the cycle ledger end up
+// exactly as the loop would leave them; the event log gets ONE aggregate
+// record carrying the count and the total cycles instead of count records.
+// A zero count charges nothing.
+func (r *Recorder) ChargeN(at uint64, kind Kind, c Comp, cycles, count uint64) {
+	if count == 0 {
+		return
+	}
+	r.chargeAggregate(at, kind, c, cycles*count, count)
+}
+
+// chargeAggregate lands count events totalling totalCycles in one update.
+func (r *Recorder) chargeAggregate(at uint64, kind Kind, c Comp, totalCycles, count uint64) {
+	r.counts[kind] += count
+	r.chargeCycles(c, totalCycles)
+	if r.logCap > 0 {
+		r.logAppend(Record{At: at, Kind: kind, Component: r.reg.Name(c), Cycles: totalCycles, Count: count})
 	}
 }
 
@@ -382,6 +408,73 @@ func (r *Recorder) Reset() {
 	r.charged = r.charged[:0]
 	r.log = r.log[:0]
 	r.logHead = 0
+}
+
+// Batch accumulates charges against a single component so a hot loop's
+// costs land in the flat ledger as one increment per kind — the deferred
+// counterpart of ChargeN for loops whose per-item costs vary or mix counted
+// events with plain work. Flush applies everything accumulated since the
+// last flush: one aggregate log record per kind (in first-charge order,
+// carrying the count and total cycles) plus a single uncounted-work add,
+// then resets the batch for the next round. Counters and cycle totals are
+// exactly what the equivalent Charge/ChargeCycles loop would have produced.
+//
+// A Batch does not advance any clock; callers advance virtual time as they
+// accumulate (or in one step) and pass the flush-time timestamp to Flush.
+type Batch struct {
+	rec    *Recorder
+	comp   Comp
+	counts [kindCount]uint64
+	cycles [kindCount]uint64
+	work   uint64
+	kinds  []Kind // kinds with pending counts, in first-charge order
+}
+
+// NewBatch returns an empty accumulator charging component c.
+func (r *Recorder) NewBatch(c Comp) *Batch { return &Batch{rec: r, comp: c} }
+
+// Comp returns the component the batch charges.
+func (b *Batch) Comp() Comp { return b.comp }
+
+// Charge accumulates one event of kind costing cycles.
+func (b *Batch) Charge(kind Kind, cycles uint64) { b.ChargeN(kind, cycles, 1) }
+
+// ChargeN accumulates count events of kind costing cycles each.
+func (b *Batch) ChargeN(kind Kind, cycles, count uint64) {
+	if count == 0 {
+		return
+	}
+	if b.counts[kind] == 0 {
+		b.kinds = append(b.kinds, kind)
+	}
+	b.counts[kind] += count
+	b.cycles[kind] += cycles * count
+}
+
+// Work accumulates uncounted cycles (plain execution time).
+func (b *Batch) Work(cycles uint64) { b.work += cycles }
+
+// Pending returns the total cycles accumulated and not yet flushed.
+func (b *Batch) Pending() uint64 {
+	sum := b.work
+	for _, k := range b.kinds {
+		sum += b.cycles[k]
+	}
+	return sum
+}
+
+// Flush lands the accumulated charges in the recorder at timestamp at and
+// resets the batch. Flushing an empty batch is a no-op.
+func (b *Batch) Flush(at uint64) {
+	for _, k := range b.kinds {
+		b.rec.chargeAggregate(at, k, b.comp, b.cycles[k], b.counts[k])
+		b.counts[k], b.cycles[k] = 0, 0
+	}
+	b.kinds = b.kinds[:0]
+	if b.work > 0 {
+		b.rec.chargeCycles(b.comp, b.work)
+		b.work = 0
+	}
 }
 
 // Snapshot captures the current counter values so a caller can later compute

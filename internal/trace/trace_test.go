@@ -93,6 +93,146 @@ func TestChargeCyclesNoEvent(t *testing.T) {
 	}
 }
 
+// TestChargeNEquivalence pins the counter/ledger contract: ChargeN(c, n) is
+// indistinguishable from n individual Charges in every query the experiments
+// use — event counts, per-component cycles, totals, snapshots.
+func TestChargeNEquivalence(t *testing.T) {
+	loop := NewRecorder(0)
+	comp := loop.Intern("mk.kernel")
+	for i := 0; i < 7; i++ {
+		loop.Charge(uint64(i), KIPCSend, comp, 30)
+	}
+	batch := NewRecorder(0)
+	batch.ChargeN(6, KIPCSend, batch.Intern("mk.kernel"), 30, 7)
+
+	if a, b := loop.Counts(KIPCSend), batch.Counts(KIPCSend); a != b {
+		t.Errorf("counts: loop %d, batch %d", a, b)
+	}
+	if a, b := loop.Cycles("mk.kernel"), batch.Cycles("mk.kernel"); a != b {
+		t.Errorf("cycles: loop %d, batch %d", a, b)
+	}
+	if a, b := loop.TotalCycles(), batch.TotalCycles(); a != b {
+		t.Errorf("total: loop %d, batch %d", a, b)
+	}
+	if a, b := loop.IPCEquivalentOps(), batch.IPCEquivalentOps(); a != b {
+		t.Errorf("ipc-equivalent: loop %d, batch %d", a, b)
+	}
+}
+
+// TestChargeNLogSemantics pins the event-log contract: one aggregate record
+// carrying the count and the total cycles, so summing Cycles over the log is
+// independent of how charges were batched.
+func TestChargeNLogSemantics(t *testing.T) {
+	r := NewRecorder(16)
+	r.ChargeN(42, KPageFlip, r.Intern("vmm.dom0"), 10, 5)
+	log := r.Log()
+	if len(log) != 1 {
+		t.Fatalf("log has %d records, want 1 aggregate", len(log))
+	}
+	rec := log[0]
+	if rec.At != 42 || rec.Kind != KPageFlip || rec.Component != "vmm.dom0" {
+		t.Errorf("aggregate record = %+v", rec)
+	}
+	if rec.Cycles != 50 {
+		t.Errorf("aggregate cycles = %d, want 50 (total, not per-event)", rec.Cycles)
+	}
+	if rec.Count != 5 {
+		t.Errorf("aggregate count = %d, want 5", rec.Count)
+	}
+
+	// A plain Charge logs Count 1 — the log's Count column is total.
+	r.Charge(43, KTrap, r.Intern("vmm.dom0"), 7)
+	log = r.Log()
+	if got := log[len(log)-1].Count; got != 1 {
+		t.Errorf("plain Charge logged Count %d, want 1", got)
+	}
+}
+
+func TestChargeNZeroCount(t *testing.T) {
+	r := NewRecorder(4)
+	r.ChargeN(0, KTrap, r.Intern("x"), 100, 0)
+	if r.Counts(KTrap) != 0 || r.TotalCycles() != 0 || len(r.Log()) != 0 {
+		t.Fatal("ChargeN with count 0 must be a no-op")
+	}
+}
+
+// TestBatchFlush pins the accumulator: kinds land in first-charge order, each
+// as one aggregate record, with uncounted work folded into the ledger.
+func TestBatchFlush(t *testing.T) {
+	r := NewRecorder(16)
+	b := r.NewBatch(r.Intern("cpu0"))
+	b.Charge(KTLBShootdown, 90)
+	b.ChargeN(KIPI, 400, 3)
+	b.Charge(KTLBShootdown, 90)
+	b.Work(1000)
+	if got := b.Pending(); got != 90+3*400+90+1000 {
+		t.Errorf("pending = %d", got)
+	}
+	b.Flush(77)
+
+	if got := r.Counts(KTLBShootdown); got != 2 {
+		t.Errorf("shootdown count = %d, want 2", got)
+	}
+	if got := r.Counts(KIPI); got != 3 {
+		t.Errorf("ipi count = %d, want 3", got)
+	}
+	if got := r.Cycles("cpu0"); got != 90+3*400+90+1000 {
+		t.Errorf("cpu0 cycles = %d", got)
+	}
+	log := r.Log()
+	if len(log) != 2 {
+		t.Fatalf("log has %d records, want 2 aggregates", len(log))
+	}
+	// First-charge order: shootdown before IPI, both stamped at flush time.
+	if log[0].Kind != KTLBShootdown || log[0].Count != 2 || log[0].Cycles != 180 || log[0].At != 77 {
+		t.Errorf("first aggregate = %+v", log[0])
+	}
+	if log[1].Kind != KIPI || log[1].Count != 3 || log[1].Cycles != 1200 || log[1].At != 77 {
+		t.Errorf("second aggregate = %+v", log[1])
+	}
+
+	// The flush reset the batch: a second flush adds nothing.
+	before := r.TotalCycles()
+	b.Flush(99)
+	if r.TotalCycles() != before || len(r.Log()) != 2 {
+		t.Fatal("flushing an empty batch changed the recorder")
+	}
+	if b.Pending() != 0 {
+		t.Fatal("pending not cleared by flush")
+	}
+}
+
+// TestBatchMatchesLoop is the differential form: a batch over a mixed charge
+// sequence produces exactly the counters and ledger of the per-item loop.
+func TestBatchMatchesLoop(t *testing.T) {
+	loop := NewRecorder(0)
+	lc := loop.Intern("hw.cpu1")
+	for i := 0; i < 5; i++ {
+		loop.Charge(uint64(i), KShadowPTUpdate, lc, 60)
+		loop.Charge(uint64(i), KTLBFlush, lc, 95)
+		loop.ChargeCycles(lc, 11)
+	}
+
+	batched := NewRecorder(0)
+	b := batched.NewBatch(batched.Intern("hw.cpu1"))
+	b.ChargeN(KShadowPTUpdate, 60, 5)
+	b.ChargeN(KTLBFlush, 95, 5)
+	b.Work(5 * 11)
+	b.Flush(4)
+
+	for k := Kind(0); k < kindCount; k++ {
+		if loop.Counts(k) != batched.Counts(k) {
+			t.Errorf("counts(%v): loop %d, batch %d", k, loop.Counts(k), batched.Counts(k))
+		}
+	}
+	if loop.Cycles("hw.cpu1") != batched.Cycles("hw.cpu1") {
+		t.Errorf("cycles: loop %d, batch %d", loop.Cycles("hw.cpu1"), batched.Cycles("hw.cpu1"))
+	}
+	if loop.TotalCycles() != batched.TotalCycles() {
+		t.Errorf("total: loop %d, batch %d", loop.TotalCycles(), batched.TotalCycles())
+	}
+}
+
 func TestCyclesPrefix(t *testing.T) {
 	r := NewRecorder(0)
 	r.ChargeCycles(r.Intern("vmm.dom0"), 10)

@@ -55,11 +55,17 @@ type Domain struct {
 	syscalls     uint64
 	fastSyscalls uint64
 
-	comp trace.Comp // "vmm."+Name, interned at creation
+	comp     trace.Comp // "vmm."+Name, interned at creation
+	compName string     // "vmm."+Name, cached: OwnsFrame checks it per packet
+
+	// remote0 caches remotePCPUs(0) — the shootdown/kick target set every
+	// hypervisor-side caller wants — invalidated when placement changes.
+	remote0   []int
+	remote0OK bool
 }
 
 // Component returns the domain's trace attribution name.
-func (d *Domain) Component() string { return "vmm." + d.Name }
+func (d *Domain) Component() string { return d.compName }
 
 // Comp returns the domain's interned trace attribution handle.
 func (d *Domain) Comp() trace.Comp { return d.comp }
@@ -129,6 +135,9 @@ func (d *Domain) remotePCPUs(except int) []int {
 	if len(d.placement) == 0 {
 		return nil
 	}
+	if except == 0 && d.remote0OK {
+		return d.remote0
+	}
 	n := d.hyp.M.NCPUs()
 	seen := make([]bool, n)
 	for _, p := range d.placement {
@@ -141,6 +150,9 @@ func (d *Domain) remotePCPUs(except int) []int {
 		if ok {
 			out = append(out, p)
 		}
+	}
+	if except == 0 {
+		d.remote0, d.remote0OK = out, true
 	}
 	return out
 }
@@ -171,6 +183,7 @@ func (h *Hypervisor) PlaceVCPUs(dom DomID, pcpus ...int) error {
 			h.sched.currentOn[p] = noVCPU
 		}
 	}
+	d.remote0, d.remote0OK = nil, false
 	if len(pcpus) == 0 {
 		d.placement = nil
 		return nil
@@ -226,7 +239,7 @@ func (d *Domain) SetHooks(hooks GuestHooks) { d.Hooks = hooks }
 
 // MaskEvents defers upcall delivery (guest critical section).
 func (h *Hypervisor) MaskEvents(dom DomID) {
-	if d := h.domains[dom]; d != nil {
+	if d := h.dom(dom); d != nil {
 		d.masked = true
 	}
 }
@@ -234,7 +247,7 @@ func (h *Hypervisor) MaskEvents(dom DomID) {
 // UnmaskEvents re-enables upcalls and delivers anything pending, in port
 // order of arrival.
 func (h *Hypervisor) UnmaskEvents(dom DomID) {
-	d := h.domains[dom]
+	d := h.dom(dom)
 	if d == nil || !d.masked {
 		return
 	}

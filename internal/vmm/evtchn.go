@@ -95,7 +95,7 @@ func (h *Hypervisor) NotifyChannel(from DomID, port Port) error {
 	if ch.closed {
 		return ErrPortUnbound
 	}
-	rd := h.domains[remote.dom]
+	rd := h.dom(remote.dom)
 	if rd == nil || rd.Dead {
 		return ErrDomainDead
 	}
@@ -163,7 +163,7 @@ func (h *Hypervisor) RouteIRQ(line hw.IRQLine, dom DomID) error {
 		return ErrNotPrivileged
 	}
 	h.M.IRQ.SetHandler(line, func(l hw.IRQLine) {
-		owner := h.domains[dom]
+		owner := h.dom(dom)
 		if owner == nil || owner.Dead {
 			return // driver domain died; interrupt dropped, monitor fine
 		}

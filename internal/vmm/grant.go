@@ -19,16 +19,19 @@ type grantEntry struct {
 
 // grantTable is a domain's table of pages it has offered to other domains.
 // Grants are the mutual-agreement half of Xen I/O: the frontend grants, the
-// backend maps/copies/flips.
+// backend maps/copies/flips. Entries are stored by value; the pointers the
+// lookup helpers hand out are into the slice and stay valid only until the
+// next GrantAccess, which every caller satisfies by finishing its hypercall
+// before issuing another grant.
 type grantTable struct {
-	entries []*grantEntry
+	entries []grantEntry
 }
 
 func newGrantTable() *grantTable { return &grantTable{} }
 
 func (g *grantTable) revokeAll() {
-	for _, e := range g.entries {
-		e.revoked = true
+	for i := range g.entries {
+		g.entries[i].revoked = true
 	}
 }
 
@@ -44,22 +47,21 @@ func (h *Hypervisor) GrantAccess(owner DomID, frame hw.FrameID, to DomID, readOn
 	}
 	h.hypercallEntry(d)
 	defer h.hypercallExit(d)
-	e := &grantEntry{frame: frame, to: to, readOnly: readOnly}
-	d.grants.entries = append(d.grants.entries, e)
+	d.grants.entries = append(d.grants.entries, grantEntry{frame: frame, to: to, readOnly: readOnly})
 	h.M.CPU.Work(h.comp, 60)
 	return GrantRef(len(d.grants.entries) - 1), nil
 }
 
 // lookupGrant validates a (owner, ref) pair for use by domain user.
 func (h *Hypervisor) lookupGrant(owner DomID, ref GrantRef, user DomID) (*Domain, *grantEntry, error) {
-	d := h.domains[owner]
+	d := h.dom(owner)
 	if d == nil || d.Dead {
 		return nil, nil, ErrDomainDead
 	}
 	if ref < 0 || int(ref) >= len(d.grants.entries) {
 		return nil, nil, ErrBadGrant
 	}
-	e := d.grants.entries[ref]
+	e := &d.grants.entries[ref]
 	if e.revoked {
 		return nil, nil, ErrGrantRevoked
 	}
@@ -107,11 +109,11 @@ func (h *Hypervisor) GrantUnmap(user DomID, owner DomID, ref GrantRef, vpn hw.VP
 		return err
 	}
 	var e *grantEntry
-	if d := h.domains[owner]; d != nil {
+	if d := h.dom(owner); d != nil {
 		if ref < 0 || int(ref) >= len(d.grants.entries) {
 			return ErrBadGrant
 		}
-		e = d.grants.entries[ref]
+		e = &d.grants.entries[ref]
 	} else if owner >= h.nextDom {
 		return ErrNoSuchDomain
 	}

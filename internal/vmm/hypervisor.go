@@ -46,7 +46,11 @@ type Hypervisor struct {
 
 	comp trace.Comp // HypervisorComponent, interned at boot
 
-	domains map[DomID]*Domain
+	// domains is indexed by DomID (ids are allocated sequentially and
+	// never reused); destroyed domains leave a nil slot, which is what
+	// keeps the id watermark semantics while letting the hot lookup path
+	// be a bounds-checked load instead of a map probe.
+	domains []*Domain
 	order   []DomID // creation order, for deterministic iteration
 	nextDom DomID
 
@@ -70,7 +74,6 @@ func New(m *hw.Machine, dom0Frames int) (*Hypervisor, *Domain, error) {
 	h := &Hypervisor{
 		M:              m,
 		comp:           m.Rec.Intern(HypervisorComponent),
-		domains:        make(map[DomID]*Domain),
 		FastPathPolicy: true,
 	}
 	h.sched = newScheduler(h)
@@ -93,11 +96,12 @@ func (h *Hypervisor) CreateDomain(name string, frames int) (*Domain, error) {
 	d := &Domain{
 		ID:     id,
 		Name:   name,
-		PT:     hw.NewPageTable(uint16(id) + 100), // ASIDs disjoint from mk's
+		PT:     hw.NewPageTableSized(uint16(id)+100, frames), // ASIDs disjoint from mk's
 		grants: newGrantTable(),
 		hyp:    h,
 		comp:   h.M.Rec.Intern("vmm." + name),
 	}
+	d.compName = "vmm." + name
 	mem, err := h.M.Mem.AllocN(d.Component(), frames)
 	if err != nil {
 		return nil, err
@@ -109,7 +113,7 @@ func (h *Hypervisor) CreateDomain(name string, frames int) (*Domain, error) {
 	}
 	h.M.CPU.Charge(h.comp, trace.KHypercall, 600) // domain-build hypercall
 	h.hypercalls++
-	h.domains[id] = d
+	h.domains = append(h.domains, d)
 	h.order = append(h.order, id)
 	h.sched.add(d)
 	return d, nil
@@ -119,15 +123,24 @@ func (h *Hypervisor) CreateDomain(name string, frames int) (*Domain, error) {
 func (h *Hypervisor) Comp() trace.Comp { return h.comp }
 
 // Domain returns the domain for id, or nil.
-func (h *Hypervisor) Domain(id DomID) *Domain { return h.domains[id] }
+func (h *Hypervisor) Domain(id DomID) *Domain { return h.dom(id) }
+
+// dom returns the domain slot for id (nil when destroyed or never
+// allocated).
+func (h *Hypervisor) dom(id DomID) *Domain {
+	if int(id) < len(h.domains) {
+		return h.domains[id]
+	}
+	return nil
+}
 
 // lookup resolves id to a live domain. DestroyDomain reclaims a domain's
 // bookkeeping outright (so a create/destroy churn loop stays bounded), which
-// means destroyed ids are absent from the map; the nextDom watermark keeps
-// their error distinct: an id that was once allocated reports ErrDomainDead,
-// an id that never existed reports ErrNoSuchDomain.
+// means destroyed ids hold a nil slot; the nextDom watermark keeps their
+// error distinct: an id that was once allocated reports ErrDomainDead, an id
+// that never existed reports ErrNoSuchDomain.
 func (h *Hypervisor) lookup(id DomID) (*Domain, error) {
-	if d := h.domains[id]; d != nil {
+	if d := h.dom(id); d != nil {
 		if d.Dead {
 			return nil, ErrDomainDead
 		}
@@ -143,7 +156,7 @@ func (h *Hypervisor) lookup(id DomID) (*Domain, error) {
 func (h *Hypervisor) Domains() []*Domain {
 	out := make([]*Domain, 0, len(h.order))
 	for _, id := range h.order {
-		if d := h.domains[id]; d != nil && !d.Dead {
+		if d := h.dom(id); d != nil && !d.Dead {
 			out = append(out, d)
 		}
 	}
@@ -257,7 +270,7 @@ func (h *Hypervisor) Stats() (hypercalls, worldSwitches uint64) {
 // returns the monitor to its baseline footprint (the churn regression test
 // asserts exactly this). Holders of a stale *Domain still observe Dead.
 func (h *Hypervisor) DestroyDomain(id DomID) error {
-	d := h.domains[id]
+	d := h.dom(id)
 	if d == nil {
 		if id < h.nextDom {
 			return nil // already destroyed and reclaimed: idempotent
@@ -305,7 +318,7 @@ func (h *Hypervisor) DestroyDomain(id DomID) error {
 	h.sched.remove(d)
 	delete(h.sched.weights, id)
 	delete(h.sched.credits, id)
-	delete(h.domains, id)
+	h.domains[id] = nil
 	for i, oid := range h.order {
 		if oid == id {
 			h.order = append(h.order[:i], h.order[i+1:]...)
@@ -318,7 +331,7 @@ func (h *Hypervisor) DestroyDomain(id DomID) error {
 
 // Alive reports whether the domain exists and is not dead.
 func (h *Hypervisor) Alive(id DomID) bool {
-	d := h.domains[id]
+	d := h.dom(id)
 	return d != nil && !d.Dead
 }
 

@@ -70,7 +70,7 @@ func (h *Hypervisor) Unpause(dom DomID) error {
 
 // Paused reports whether the domain is paused.
 func (h *Hypervisor) Paused(dom DomID) bool {
-	d := h.domains[dom]
+	d := h.dom(dom)
 	return d != nil && d.paused
 }
 
@@ -142,16 +142,28 @@ func (h *Hypervisor) SaveDomain(dom DomID) (*DomainImage, error) {
 	}
 	img := &DomainImage{Name: d.Name, Privileged: d.Privileged, PT: capturePT(d)}
 	ps := h.M.Mem.PageSize()
+	pages := uint64(0)
+	live := 0
+	for _, f := range d.frames {
+		if f != hw.NoFrame {
+			live++
+		}
+	}
+	// One arena backs every captured page; the per-page slices just view
+	// into it, which keeps a big save at one allocation.
+	arena := make([]byte, uint64(live)*ps)
+	img.Memory = make([][]byte, 0, len(d.frames))
 	for _, f := range d.frames {
 		if f == hw.NoFrame {
 			img.Memory = append(img.Memory, nil)
 			continue
 		}
-		page := make([]byte, ps)
+		page := arena[pages*ps : (pages+1)*ps : (pages+1)*ps]
 		copy(page, h.M.Mem.Data(f))
 		img.Memory = append(img.Memory, page)
-		h.M.CPU.Work(h.comp, h.M.CPU.CopyCost(ps))
+		pages++
 	}
+	h.M.CPU.WorkN(h.comp, h.M.CPU.CopyCost(ps), pages)
 	return img, nil
 }
 
@@ -170,24 +182,30 @@ func (h *Hypervisor) RestoreDomain(img *DomainImage) (*Domain, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Lay pages back down (gpn numbering is the shell's layout).
+	// Lay pages back down (gpn numbering is the shell's layout). The copy
+	// work lands as one batched charge per phase: the cost per page is
+	// constant, so the aggregate is cycle-identical to the per-page loop.
 	ps := h.M.Mem.PageSize()
+	pages := uint64(0)
 	for gpn, page := range img.Memory {
 		if page == nil {
 			continue
 		}
 		copy(h.M.Mem.Data(d.FrameAt(gpn)), page)
-		h.M.CPU.Work(h.comp, h.M.CPU.CopyCost(ps))
+		pages++
 	}
+	h.M.CPU.WorkN(h.comp, h.M.CPU.CopyCost(ps), pages)
 	// Rebuild the page table through the validated path.
+	mapped := uint64(0)
 	for _, e := range img.PT {
 		f := d.FrameAt(e.GPN)
 		if f == hw.NoFrame {
 			continue
 		}
 		d.PT.Map(e.VPN, hw.PTE{Frame: f, Perms: e.Perms, User: e.User})
-		h.M.CPU.Work(h.comp, h.M.Arch.Costs.PTEUpdate)
+		mapped++
 	}
+	h.M.CPU.WorkN(h.comp, h.M.Arch.Costs.PTEUpdate, mapped)
 	return d, nil
 }
 
@@ -195,18 +213,70 @@ func (h *Hypervisor) RestoreDomain(img *DomainImage) (*Domain, error) {
 // whole-OS mobility that §3.3's "treat the OS as a component" enables. It
 // returns the new domain on dst. The guest is frozen for the entire copy —
 // the stop-and-copy baseline MigrateLive improves on.
+//
+// Between two distinct hypervisors the pages stream frame-to-frame without
+// materialising a DomainImage: each machine's charge sequence (pause, copy
+// work, destroy on the source; domain build, copy work, page-table rebuild
+// on the destination) is identical to the save/restore path, so the
+// accounting cannot differ — only the simulator's own buffering does.
+// Same-hypervisor migration still round-trips through the image, because
+// there the source must be torn down before its frames can back the copy.
 func Migrate(src *Hypervisor, dom DomID, dst *Hypervisor) (*Domain, error) {
-	if err := src.Pause(dom); err != nil {
-		return nil, err
+	if src == dst {
+		if err := src.Pause(dom); err != nil {
+			return nil, err
+		}
+		img, err := src.SaveDomain(dom)
+		if err != nil {
+			return nil, err
+		}
+		if err := src.DestroyDomain(dom); err != nil {
+			return nil, err
+		}
+		return dst.RestoreDomain(img)
 	}
-	img, err := src.SaveDomain(dom)
+
+	d, err := src.lookup(dom)
 	if err != nil {
 		return nil, err
 	}
+	if err := src.Pause(dom); err != nil {
+		return nil, err
+	}
+	pt := capturePT(d)
+	exists := make([]bool, len(d.frames))
+	for gpn, f := range d.frames {
+		exists[gpn] = f != hw.NoFrame
+	}
+	shell, err := dst.allocShell(d.Name, d.Privileged, exists)
+	if err != nil {
+		return nil, err
+	}
+	ps := src.M.Mem.PageSize()
+	pages := uint64(0)
+	for gpn, sf := range d.frames {
+		if sf == hw.NoFrame {
+			continue
+		}
+		copy(dst.M.Mem.Data(shell.frames[gpn]), src.M.Mem.Data(sf))
+		pages++
+	}
+	src.M.CPU.WorkN(src.comp, src.M.CPU.CopyCost(ps), pages)
+	dst.M.CPU.WorkN(dst.comp, dst.M.CPU.CopyCost(ps), pages)
+	mapped := uint64(0)
+	for _, e := range pt {
+		f := shell.FrameAt(e.GPN)
+		if f == hw.NoFrame {
+			continue
+		}
+		shell.PT.Map(e.VPN, hw.PTE{Frame: f, Perms: e.Perms, User: e.User})
+		mapped++
+	}
+	dst.M.CPU.WorkN(dst.comp, dst.M.Arch.Costs.PTEUpdate, mapped)
 	if err := src.DestroyDomain(dom); err != nil {
 		return nil, err
 	}
-	return dst.RestoreDomain(img)
+	return shell, nil
 }
 
 // LiveOpts parameterises a pre-copy live migration.
@@ -273,16 +343,25 @@ func MigrateLive(src *Hypervisor, dom DomID, dst *Hypervisor, opts LiveOpts) (*D
 
 	ps := src.M.Mem.PageSize()
 	stats := &LiveStats{}
-	xfer := func(gpn int) {
-		sf, df := d.frames[gpn], shell.frames[gpn]
-		if sf == hw.NoFrame || df == hw.NoFrame {
-			return
+	// sendAll moves one round's worth of pages and charges the copy work
+	// as a single batch per machine: both ends pay a fixed cost per page,
+	// so the round's aggregate is cycle-identical to charging page by
+	// page (the two machines' clocks are independent, and nothing inside
+	// a round observes either clock).
+	sendAll := func(gpns []int) {
+		moved := uint64(0)
+		for _, gpn := range gpns {
+			sf, df := d.frames[gpn], shell.frames[gpn]
+			if sf == hw.NoFrame || df == hw.NoFrame {
+				continue
+			}
+			copy(dst.M.Mem.Data(df), src.M.Mem.Data(sf))
+			moved++
 		}
-		copy(dst.M.Mem.Data(df), src.M.Mem.Data(sf))
-		// Reading out and landing the page are monitor work on each end.
-		src.M.CPU.Work(src.comp, src.M.CPU.CopyCost(ps))
-		dst.M.CPU.Work(dst.comp, dst.M.CPU.CopyCost(ps))
-		stats.PagesMoved++
+		// Reading out and landing the pages are monitor work on each end.
+		src.M.CPU.WorkN(src.comp, src.M.CPU.CopyCost(ps), moved)
+		dst.M.CPU.WorkN(dst.comp, dst.M.CPU.CopyCost(ps), moved)
+		stats.PagesMoved += int(moved)
 	}
 
 	// Pre-copy rounds: the guest runs (and dirties pages) while each
@@ -295,9 +374,7 @@ func MigrateLive(src *Hypervisor, dom DomID, dst *Hypervisor, opts LiveOpts) (*D
 		if opts.GuestWork != nil {
 			opts.GuestWork(round)
 		}
-		for _, gpn := range toSend {
-			xfer(gpn)
-		}
+		sendAll(toSend)
 		dirty := dl.Rearm()
 		prev := len(toSend)
 		toSend = dirty
@@ -313,12 +390,11 @@ func MigrateLive(src *Hypervisor, dom DomID, dst *Hypervisor, opts LiveOpts) (*D
 		src.DisableDirtyLog(dom)
 		return nil, nil, err
 	}
-	for _, gpn := range toSend {
-		xfer(gpn)
-	}
+	sendAll(toSend)
 	stats.PagesFinal = len(toSend)
 
 	// Page-table skeleton travels in guest terms, like SaveDomain's.
+	rebuilt := uint64(0)
 	for _, e := range capturePT(d) {
 		f := shell.FrameAt(e.GPN)
 		if f == hw.NoFrame {
@@ -334,8 +410,9 @@ func MigrateLive(src *Hypervisor, dom DomID, dst *Hypervisor, opts LiveOpts) (*D
 			}
 		}
 		shell.PT.Map(e.VPN, hw.PTE{Frame: f, Perms: perms, User: e.User})
-		dst.M.CPU.Work(dst.comp, dst.M.Arch.Costs.PTEUpdate)
+		rebuilt++
 	}
+	dst.M.CPU.WorkN(dst.comp, dst.M.Arch.Costs.PTEUpdate, rebuilt)
 	src.DisableDirtyLog(dom)
 	if err := src.DestroyDomain(dom); err != nil {
 		return nil, nil, err

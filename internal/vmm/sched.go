@@ -149,7 +149,7 @@ func (h *Hypervisor) RunningOn(pcpu int) (*Domain, int) {
 	if cur == noVCPU {
 		return nil, -1
 	}
-	return h.domains[cur.dom], cur.vcpu
+	return h.dom(cur.dom), cur.vcpu
 }
 
 // candidatesOn lists the vCPUs placed on pcpu in domain-creation order —
@@ -157,7 +157,7 @@ func (h *Hypervisor) RunningOn(pcpu int) (*Domain, int) {
 func (h *Hypervisor) candidatesOn(pcpu int) []vcpuID {
 	var cand []vcpuID
 	for _, id := range h.order {
-		d := h.domains[id]
+		d := h.dom(id)
 		if d == nil || d.Dead || d.paused {
 			continue
 		}
@@ -208,7 +208,7 @@ func (h *Hypervisor) schedulePCPU(p int) *Domain {
 
 	var d *Domain
 	if found {
-		d = h.domains[pick.dom]
+		d = h.dom(pick.dom)
 		if s.currentOn[p] != pick {
 			h.worldSw++
 			c.Charge(h.comp, trace.KWorldSwitch, h.M.Arch.Costs.WorldSwitch)

@@ -139,7 +139,7 @@ func (h *Hypervisor) EnableDirtyLog(dom DomID) (*DirtyLog, error) {
 // DisableDirtyLog restores the domain's write permissions and detaches the
 // log. Destroyed domains are fine: there is nothing left to restore.
 func (h *Hypervisor) DisableDirtyLog(dom DomID) {
-	d := h.domains[dom]
+	d := h.dom(dom)
 	if d == nil || d.dirtyLog == nil {
 		return
 	}

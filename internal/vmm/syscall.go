@@ -60,7 +60,7 @@ func (h *Hypervisor) LoadGuestSegment(dom DomID, reg hw.SegReg, seg hw.Segment) 
 
 // FastPathActive reports whether the domain's syscall shortcut is live.
 func (h *Hypervisor) FastPathActive(dom DomID) bool {
-	d := h.domains[dom]
+	d := h.dom(dom)
 	return d != nil && d.fastPathOK && h.FastPathPolicy
 }
 

@@ -565,7 +565,16 @@ func TestDomainChurnReturnsToBaseline(t *testing.T) {
 		}
 		return n
 	}
-	baseDomains := len(r.h.domains)
+	liveDomains := func() int {
+		n := 0
+		for _, d := range r.h.domains {
+			if d != nil {
+				n++
+			}
+		}
+		return n
+	}
+	baseDomains := liveDomains()
 	baseOrder := len(r.h.order)
 	baseWeights := len(r.h.sched.weights)
 	baseCredits := len(r.h.sched.credits)
@@ -592,8 +601,8 @@ func TestDomainChurnReturnsToBaseline(t *testing.T) {
 		}
 	}
 
-	if n := len(r.h.domains); n != baseDomains {
-		t.Errorf("domain map grew: %d -> %d", baseDomains, n)
+	if n := liveDomains(); n != baseDomains {
+		t.Errorf("live domain count grew: %d -> %d", baseDomains, n)
 	}
 	if n := len(r.h.order); n != baseOrder {
 		t.Errorf("creation-order list grew: %d -> %d", baseOrder, n)

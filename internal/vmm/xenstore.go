@@ -71,7 +71,7 @@ func itoa(n int) string {
 
 // mayWrite reports whether dom can write path.
 func (s *Store) mayWrite(dom DomID, path string) bool {
-	d := s.h.domains[dom]
+	d := s.h.dom(dom)
 	if d == nil || d.Dead {
 		return false
 	}
@@ -197,7 +197,7 @@ func (s *Store) fire(path, value string) {
 			continue
 		}
 		for _, w := range ws {
-			wd := s.h.domains[w.dom]
+			wd := s.h.dom(w.dom)
 			if wd == nil || wd.Dead {
 				continue
 			}

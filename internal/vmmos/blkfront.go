@@ -105,10 +105,8 @@ func (bf *BlkFront) Read(block uint64) ([]byte, error) {
 // Write stores data into a partition-relative block.
 func (bf *BlkFront) Write(block uint64, data []byte) error {
 	buf := bf.gk.H.M.Mem.Data(bf.buf)
-	for i := range buf {
-		buf[i] = 0
-	}
-	copy(buf, data)
+	n := copy(buf, data)
+	clear(buf[n:])
 	if _, err := bf.submit(dev.DiskWrite, block); err != nil {
 		return err
 	}

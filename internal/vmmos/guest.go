@@ -62,6 +62,19 @@ type GuestKernel struct {
 	console []byte
 
 	syscallWork hw.Cycles // per-syscall in-kernel work, tunable per workload
+
+	argScratch []uint64 // reused Syscall argument buffer (see Syscall)
+	zeroTx     []byte   // reused all-zero TX payload (see SysNetSend)
+}
+
+// zeroBuf returns a reusable all-zero buffer of length n. The synthetic
+// workloads transmit blank payloads, and every consumer below only reads
+// them, so one grow-only buffer serves all sends.
+func (gk *GuestKernel) zeroBuf(n int) []byte {
+	if cap(gk.zeroTx) < n {
+		gk.zeroTx = make([]byte, n)
+	}
+	return gk.zeroTx[:n]
 }
 
 // NewGuestKernel boots a guest kernel into dom, installing its hooks.
@@ -123,7 +136,12 @@ func (gk *GuestKernel) Syscall(pid PID, no uint32, args ...uint64) ([]uint64, er
 	if gk.procs[pid] == nil {
 		return nil, ErrNoSuchProcess
 	}
-	return gk.H.GuestSyscall(gk.Dom.ID, no, append([]uint64{uint64(pid)}, args...))
+	// Reused scratch: GuestSyscall consumes args synchronously (the hook
+	// chain never re-enters Syscall), so one buffer serves every call.
+	buf := append(gk.argScratch[:0], uint64(pid))
+	buf = append(buf, args...)
+	gk.argScratch = buf
+	return gk.H.GuestSyscall(gk.Dom.ID, no, buf)
 }
 
 // handleSyscall is the guest kernel's trap entry (registered as the
@@ -148,7 +166,7 @@ func (gk *GuestKernel) handleSyscall(no uint32, args []uint64) []uint64 {
 			return []uint64{^uint64(0)}
 		}
 		n := int(args[1])
-		if err := gk.Net.Send(make([]byte, n)); err != nil {
+		if err := gk.Net.Send(gk.zeroBuf(n)); err != nil {
 			return []uint64{^uint64(0)}
 		}
 		return []uint64{uint64(n)}
@@ -156,14 +174,14 @@ func (gk *GuestKernel) handleSyscall(no uint32, args []uint64) []uint64 {
 		if gk.Net == nil {
 			return []uint64{^uint64(0)}
 		}
-		pkt, ok := gk.Net.Recv()
+		n, ok := gk.Net.RecvLen()
 		if !ok {
 			return []uint64{0}
 		}
 		if p := gk.procs[pid]; p != nil {
 			p.rxDelivered++
 		}
-		return []uint64{uint64(len(pkt))}
+		return []uint64{uint64(n)}
 	case SysBlockRead, SysBlockWrite:
 		if gk.Blk == nil {
 			return []uint64{^uint64(0)}

@@ -18,7 +18,7 @@ type NetFront struct {
 	localPort vmm.Port
 	mode      RxMode
 
-	rxQueue [][]byte
+	rxQueue []int      // lengths of undelivered packets, in arrival order
 	rxBuf   hw.FrameID // copy-mode landing buffer
 	txBuf   hw.FrameID
 	txNext  hw.VPN
@@ -70,9 +70,10 @@ func (nf *NetFront) onEvent() {
 				continue
 			}
 			nf.rxFlips++
-			payload := make([]byte, slot.len)
-			copy(payload, h.M.Mem.Data(f)[:slot.len])
-			nf.rxQueue = append(nf.rxQueue, payload)
+			// The flipped page IS the packet (zero-copy); only the
+			// descriptor outlives this upcall, since user space consumes
+			// packets by length (RecvLen).
+			nf.rxQueue = append(nf.rxQueue, slot.len)
 			// Return the page to the machine pool; dom0 balloons a
 			// replacement for its NIC pool. (Xen 2.x exchanged pages;
 			// the flip count per packet — the measured quantity — is
@@ -83,9 +84,9 @@ func (nf *NetFront) onEvent() {
 				continue
 			}
 			nf.rxCopies++
-			payload := make([]byte, slot.len)
-			copy(payload, h.M.Mem.Data(nf.rxBuf)[:slot.len])
-			nf.rxQueue = append(nf.rxQueue, payload)
+			// GrantCopy has already landed the bytes in rxBuf and charged
+			// the copy; queue the descriptor.
+			nf.rxQueue = append(nf.rxQueue, slot.len)
 			// Backend keeps its page: revoke the grant and let dom0
 			// recycle the frame straight back into the NIC pool.
 			h.GrantRevoke(nf.dd.GK.Dom.ID, slot.ref)
@@ -95,14 +96,17 @@ func (nf *NetFront) onEvent() {
 	}
 }
 
-// Recv pops one received packet (guest-kernel side; SysNetRecv calls this).
-func (nf *NetFront) Recv() ([]byte, bool) {
+// RecvLen pops one received packet and returns its length (guest-kernel
+// side; SysNetRecv calls this). Packets are delivered to user space as
+// descriptors — the simulation accounts the data movement in cycles, so
+// the queue carries lengths, not materialized payload bytes.
+func (nf *NetFront) RecvLen() (int, bool) {
 	if len(nf.rxQueue) == 0 {
-		return nil, false
+		return 0, false
 	}
-	p := nf.rxQueue[0]
+	n := nf.rxQueue[0]
 	nf.rxQueue = nf.rxQueue[1:]
-	return p, true
+	return n, true
 }
 
 // Pending returns the number of undelivered received packets.

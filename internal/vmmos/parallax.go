@@ -1,6 +1,8 @@
 package vmmos
 
 import (
+	"encoding/binary"
+
 	"errors"
 
 	"vmmk/internal/hw"
@@ -145,13 +147,16 @@ func (px *Parallax) serve(conn *pxConn) {
 		e, _ := px.GK.Dom.PT.Lookup(window)
 		ps := h.M.Mem.PageSize()
 		if r.write {
-			data := make([]byte, ps)
-			copy(data, h.M.Mem.Data(e.Frame))
-			vd.write(r.block, data)
+			// Cache only the non-zero prefix (reads pad the tail back);
+			// the write-through sees the whole granted page, which
+			// BlkFront copies out before returning.
+			src := h.M.Mem.Data(e.Frame)
+			n := trimZeros(src)
+			vd.write(r.block, append([]byte(nil), src[:n]...))
 			h.M.CPU.Work(comp, h.M.CPU.CopyCost(ps))
 			if px.blk != nil {
 				// Write-through to the physical partition via Dom0.
-				if err := px.blk.Write(vd.persist+r.block, data); err != nil {
+				if err := px.blk.Write(vd.persist+r.block, src); err != nil {
 					r.done, r.ok = true, false
 					h.GrantUnmap(px.GK.Dom.ID, conn.client, r.ref, window)
 					h.NotifyChannel(px.GK.Dom.ID, conn.pxPort)
@@ -161,16 +166,27 @@ func (px *Parallax) serve(conn *pxConn) {
 		} else {
 			data := vd.read(r.block)
 			buf := h.M.Mem.Data(e.Frame)
-			for i := range buf {
-				buf[i] = 0
-			}
-			copy(buf, data)
+			nc := copy(buf, data)
+			clear(buf[nc:])
 			h.M.CPU.Work(comp, h.M.CPU.CopyCost(ps))
 		}
 		h.GrantUnmap(px.GK.Dom.ID, conn.client, r.ref, window)
 		r.done, r.ok = true, true
 		h.NotifyChannel(px.GK.Dom.ID, conn.pxPort)
 	}
+}
+
+// trimZeros returns the length of b without its all-zero tail (word-wise
+// scan; cached blocks are mostly zero padding).
+func trimZeros(b []byte) int {
+	n := len(b)
+	for n >= 8 && binary.LittleEndian.Uint64(b[n-8:n]) == 0 {
+		n -= 8
+	}
+	for n > 0 && b[n-1] == 0 {
+		n--
+	}
+	return n
 }
 
 func (vd *VDisk) read(block uint64) []byte {
@@ -231,8 +247,9 @@ type PxFront struct {
 	localPort vmm.Port
 	buf       hw.FrameID
 
-	reads  uint64
-	writes uint64
+	reads   uint64
+	writes  uint64
+	readBuf []byte // reused Read result buffer, valid until the next Read
 }
 
 func (pf *PxFront) port() vmm.Port { return pf.localPort }
@@ -267,13 +284,18 @@ func (pf *PxFront) submit(write bool, block uint64) (*pxReq, error) {
 	return req, nil
 }
 
-// Read returns the contents of a virtual block.
+// Read returns the contents of a virtual block. The returned slice is a
+// reused buffer, valid until the frontend's next Read.
 func (pf *PxFront) Read(block uint64) ([]byte, error) {
 	if _, err := pf.submit(false, block); err != nil {
 		return nil, err
 	}
 	pf.reads++
-	out := make([]byte, pf.gk.H.M.Mem.PageSize())
+	ps := pf.gk.H.M.Mem.PageSize()
+	if cap(pf.readBuf) < int(ps) {
+		pf.readBuf = make([]byte, ps)
+	}
+	out := pf.readBuf[:ps]
 	copy(out, pf.gk.H.M.Mem.Data(pf.buf))
 	return out, nil
 }
@@ -281,10 +303,8 @@ func (pf *PxFront) Read(block uint64) ([]byte, error) {
 // Write stores data into a virtual block.
 func (pf *PxFront) Write(block uint64, data []byte) error {
 	buf := pf.gk.H.M.Mem.Data(pf.buf)
-	for i := range buf {
-		buf[i] = 0
-	}
-	copy(buf, data)
+	n := copy(buf, data)
+	clear(buf[n:])
 	if _, err := pf.submit(true, block); err != nil {
 		return err
 	}
