@@ -6,6 +6,7 @@
 //	vmmklab [flags] <experiment>...
 //	vmmklab all
 //	vmmklab list
+//	vmmklab scenarios [list] [-run id,id,...]
 //
 // Experiments are e1 through e12 (see EXPERIMENTS.md for the index). The
 // parameter flags are generated from the experiment registry
@@ -29,6 +30,12 @@
 //	-csv         emit CSV instead of aligned tables
 //	-json        emit one JSON document per experiment (see EXPERIMENTS.md
 //	             for the schema); try `vmmklab e3 -json | jq`
+//
+// `vmmklab scenarios` runs the fault-injection scenario matrix
+// (internal/scenario): every row injects one fault and checks the stack
+// reports the declared typed error, panic or post-mortem state.
+// `scenarios list` prints the declared rows; -run selects a subset. A
+// failing row exits nonzero — the CI scenarios job keys on that.
 //
 // Flags may appear before or after experiment names (vmmklab e12 -cpus 2
 // works). Every parameter flag must be positive (each -cpus entry likewise);
@@ -64,6 +71,7 @@ func run(args []string) error {
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "max experiment cells in flight")
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
 	jsonOut := fs.Bool("json", false, "emit one JSON document per experiment")
+	runIDs := fs.String("run", "", "comma-separated scenario ids (scenarios subcommand only)")
 	// Every experiment parameter flag is generated from the registry: one
 	// flag per declared parameter name, shared across the experiments that
 	// declare it.
@@ -134,6 +142,11 @@ func run(args []string) error {
 	if len(positional) == 0 {
 		fs.Usage()
 		return fmt.Errorf("no experiment given; try 'vmmklab list'")
+	}
+	// The scenario matrix is a subcommand, not an experiment: it has its
+	// own registry (internal/scenario) and pass/fail semantics.
+	if positional[0] == "scenarios" {
+		return runScenarios(positional[1:], *runIDs, *parallel, *csv, *jsonOut)
 	}
 
 	var ids []string

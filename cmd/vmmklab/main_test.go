@@ -419,3 +419,52 @@ func TestCSVOutput(t *testing.T) {
 		t.Fatalf("no CSV header in:\n%s", out)
 	}
 }
+
+// TestGoldenScenarios pins the scenarios subcommand's three output shapes:
+// the full matrix run as text and JSON, and the declaration listing. The
+// matrix is all-pass and deterministic, so the run output is stable.
+func TestGoldenScenarios(t *testing.T) {
+	checkGolden(t, "scenarios.txt.golden", []string{"scenarios", "-parallel", "4"})
+	checkGolden(t, "scenarios.json.golden", []string{"-json", "scenarios", "-parallel", "4"})
+	checkGolden(t, "scenarios-list.txt.golden", []string{"scenarios", "list"})
+}
+
+// TestScenariosSubset runs a subset via -run and checks only those rows
+// appear, in the order requested.
+func TestScenariosSubset(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"scenarios", "-run", "mk/ipc-dead-partner,hw/alloc-beyond-physmem"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "mk/ipc-dead-partner") || !strings.Contains(out, "hw/alloc-beyond-physmem") {
+		t.Fatalf("subset output missing requested rows:\n%s", out)
+	}
+	if strings.Contains(out, "fslite/") {
+		t.Fatalf("subset output contains unrequested rows:\n%s", out)
+	}
+	if strings.Index(out, "mk/ipc-dead-partner") > strings.Index(out, "hw/alloc-beyond-physmem") {
+		t.Fatal("subset rows not in requested order")
+	}
+}
+
+// TestScenariosUnknownID: asking for a row the matrix does not declare is a
+// usage error, not an empty run.
+func TestScenariosUnknownID(t *testing.T) {
+	_, err := capture(t, func() error {
+		return run([]string{"scenarios", "-run", "vmm/no-such-row"})
+	})
+	if err == nil || !strings.Contains(err.Error(), "unknown scenario") {
+		t.Fatalf("err = %v, want unknown-scenario error", err)
+	}
+}
+
+// TestScenariosUnknownArgument: stray positionals after `scenarios` are
+// rejected rather than silently ignored.
+func TestScenariosUnknownArgument(t *testing.T) {
+	_, err := capture(t, func() error { return run([]string{"scenarios", "bogus"}) })
+	if err == nil || !strings.Contains(err.Error(), "unknown scenarios argument") {
+		t.Fatalf("err = %v, want unknown-argument error", err)
+	}
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"vmmk/internal/core"
+	"vmmk/internal/scenario"
+)
+
+// runScenarios is the `vmmklab scenarios` subcommand: the fault-injection
+// scenario matrix (internal/scenario). With no further arguments it runs
+// the whole matrix; `scenarios list` prints the declared rows without
+// running anything; -run selects a comma-separated subset. Output goes
+// through the same text/CSV/JSON renderers as the experiments. Any failing
+// row makes the command return an error (nonzero exit) — this is what the
+// CI scenarios job keys on.
+func runScenarios(positional []string, runIDs string, parallel int, csv, jsonOut bool) error {
+	list := false
+	for _, a := range positional {
+		switch a {
+		case "list":
+			list = true
+		default:
+			return fmt.Errorf("unknown scenarios argument %q (try 'scenarios list' or -run <ids>)", a)
+		}
+	}
+
+	var res *core.Result
+	var failed int
+	if list {
+		res = scenario.ListReport()
+	} else {
+		var ids []string
+		if runIDs != "" {
+			for _, id := range strings.Split(runIDs, ",") {
+				if id = strings.TrimSpace(id); id != "" {
+					ids = append(ids, id)
+				}
+			}
+		}
+		results, err := scenario.Run(scenario.Options{Parallel: parallel, IDs: ids})
+		if err != nil {
+			return err
+		}
+		_, failed, _ = scenario.Summarize(results)
+		res = scenario.Report(results)
+	}
+
+	switch {
+	case jsonOut:
+		b, err := res.JSON()
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(b))
+	case csv:
+		fmt.Printf("== %s: %s ==\n", res.Experiment, res.Title)
+		fmt.Print(res.CSV())
+	default:
+		fmt.Printf("== %s: %s ==\n", res.Experiment, res.Title)
+		fmt.Print(res.Text())
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d scenarios failed", failed, len(res.Tables[0].Rows))
+	}
+	return nil
+}

@@ -45,3 +45,11 @@ func acquireMachine(ctx context.Context, arch *hw.Arch, cfg *hw.MachineConfig) (
 	m := p.Get(arch, cfg)
 	return m, func() { p.Put(m) }
 }
+
+// AcquireMachine is acquireMachine for harnesses built on RunCells (the
+// scenario matrix): inside a cell it hands out a machine from the worker's
+// pool and the release that Resets it for the next cell; outside a runner
+// it degrades to a fresh boot and a no-op release.
+func AcquireMachine(ctx context.Context, arch *hw.Arch, cfg *hw.MachineConfig) (*hw.Machine, func()) {
+	return acquireMachine(ctx, arch, cfg)
+}

@@ -167,6 +167,15 @@ func runCells[T any](r *Runner, n int, cell func(ctx context.Context, i int) (T,
 	return out, nil
 }
 
+// RunCells is the exported face of runCells for deterministic harnesses
+// outside the experiment registry (the scenario matrix): n independent
+// cells fan out across the runner's bounded worker pool, each worker
+// carrying its own machine pool in the cell context (AcquireMachine), and
+// results land in cell order — serial and parallel runs are identical.
+func RunCells[T any](r *Runner, n int, cell func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	return runCells(r, n, cell)
+}
+
 // runFlat is runCells for experiments whose cells each yield a slice of
 // rows: the per-cell groups are concatenated in cell order.
 func runFlat[T any](r *Runner, n int, cell func(ctx context.Context, i int) ([]T, error)) ([]T, error) {

@@ -251,21 +251,27 @@ func (fs *FS) WriteFile(name string, data []byte) error {
 	if uint64(len(data)) > fs.MaxFileSize() {
 		return ErrFileTooBig
 	}
-	// Free old blocks, then write fresh ones.
-	for i, p := range in.ptrs {
-		if p != 0 {
-			fs.setUsed(p, false)
-			in.ptrs[i] = 0
+	// Copy-on-write: allocate and write the new blocks first, while the old
+	// ones stay allocated and the inode untouched. A device error or
+	// ErrNoSpace mid-write then rolls back only the fresh allocations — the
+	// file keeps its previous contents and the bitmap stays consistent with
+	// the inode table. Only a fully written block set is committed.
+	var newPtrs [directPtrs]uint64
+	nNew := 0
+	rollback := func() {
+		for i := 0; i < nNew; i++ {
+			fs.setUsed(newPtrs[i], false)
 		}
 	}
 	remaining := data
-	blkIdx := 0
 	for len(remaining) > 0 {
 		b, err := fs.allocBlock()
 		if err != nil {
+			rollback()
 			return err
 		}
-		in.ptrs[blkIdx] = b
+		newPtrs[nNew] = b
+		nNew++
 		chunk := remaining
 		if uint64(len(chunk)) > fs.blockSize {
 			chunk = chunk[:fs.blockSize]
@@ -273,11 +279,18 @@ func (fs *FS) WriteFile(name string, data []byte) error {
 		buf := make([]byte, fs.blockSize)
 		copy(buf, chunk)
 		if err := fs.dev.Write(b, buf); err != nil {
+			rollback()
 			return err
 		}
 		remaining = remaining[len(chunk):]
-		blkIdx++
 	}
+	// Commit: release the old blocks, install the new pointers and size.
+	for _, p := range in.ptrs {
+		if p != 0 {
+			fs.setUsed(p, false)
+		}
+	}
+	in.ptrs = newPtrs
 	in.size = uint64(len(data))
 	return fs.Sync()
 }
@@ -359,6 +372,56 @@ func (fs *FS) List() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// CheckConsistency cross-checks the allocation bitmap against the inode
+// table: metadata blocks allocated, every live file's pointers in range,
+// allocated and unshared, pointer count matching the file size, and no
+// allocated data block that no file references (a leak). It is the
+// post-mortem invariant the fault-injection scenarios assert after failed
+// writes.
+func (fs *FS) CheckConsistency() error {
+	for b := uint64(0); b < firstDataBlk; b++ {
+		if !fs.isUsed(b) {
+			return fmt.Errorf("fslite: metadata block %d marked free", b)
+		}
+	}
+	owner := make(map[uint64]string)
+	for i := range fs.inodes {
+		in := &fs.inodes[i]
+		if !in.used {
+			continue
+		}
+		want := int((in.size + fs.blockSize - 1) / fs.blockSize)
+		got := 0
+		for _, p := range in.ptrs {
+			if p == 0 {
+				continue
+			}
+			got++
+			if p < firstDataBlk || p >= fs.nblocks {
+				return fmt.Errorf("fslite: %q points at block %d outside the data area", in.name, p)
+			}
+			if !fs.isUsed(p) {
+				return fmt.Errorf("fslite: %q points at block %d which the bitmap marks free", in.name, p)
+			}
+			if prev, dup := owner[p]; dup {
+				return fmt.Errorf("fslite: block %d shared by %q and %q", p, prev, in.name)
+			}
+			owner[p] = in.name
+		}
+		if got != want {
+			return fmt.Errorf("fslite: %q has %d blocks for %d bytes (want %d)", in.name, got, in.size, want)
+		}
+	}
+	for b := uint64(firstDataBlk); b < fs.nblocks && b < fs.blockSize*8; b++ {
+		if fs.isUsed(b) {
+			if _, ok := owner[b]; !ok {
+				return fmt.Errorf("fslite: block %d allocated but unreferenced (leak)", b)
+			}
+		}
+	}
+	return nil
 }
 
 // FreeBlocks returns the number of unallocated data blocks.

@@ -310,3 +310,69 @@ func TestQuickBlockConservation(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestWriteFailureKeepsOldContents pins the copy-on-write contract: a
+// device error mid-rewrite must leave the old contents readable, the free
+// count unchanged and the bitmap consistent with the inode table.
+func TestWriteFailureKeepsOldContents(t *testing.T) {
+	fs, dev := newFS(t)
+	old := bytes.Repeat([]byte{'a'}, 2*4096)
+	if err := fs.WriteFile("f", old); err != nil {
+		t.Fatal(err)
+	}
+	free0 := fs.FreeBlocks()
+	dev.failAfter = dev.ops + 1 // second write of the rewrite dies
+	if err := fs.WriteFile("f", bytes.Repeat([]byte{'b'}, 3*4096)); err == nil {
+		t.Fatal("device failure swallowed")
+	}
+	dev.failAfter = 0
+	got, err := fs.ReadFile("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, old) {
+		t.Errorf("old contents damaged: %d bytes tagged %q", len(got), got[:1])
+	}
+	if free := fs.FreeBlocks(); free != free0 {
+		t.Errorf("free blocks %d after failed rewrite, want %d", free, free0)
+	}
+	if err := fs.CheckConsistency(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNoSpaceRollsBackAllocation pins the other abort path of the same
+// copy-on-write machinery: running out of blocks mid-write must release
+// every fresh allocation and leave existing files untouched.
+func TestNoSpaceRollsBackAllocation(t *testing.T) {
+	dev := newMemDev(4096)
+	fs, err := Mkfs(dev, 4096, firstDataBlk+6) // 6 data blocks
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := bytes.Repeat([]byte{'a'}, 2*4096)
+	if err := fs.WriteFile("f", old); err != nil {
+		t.Fatal(err)
+	}
+	free0 := fs.FreeBlocks()
+	// 5 blocks wanted, 4 free: the write dies after allocating some.
+	if err := fs.WriteFile("b", make([]byte, 5*4096)); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("err = %v, want ErrNoSpace", err)
+	}
+	if free := fs.FreeBlocks(); free != free0 {
+		t.Errorf("free blocks %d after rollback, want %d", free, free0)
+	}
+	if size, err := fs.Stat("b"); err != nil || size != 0 {
+		t.Errorf("failed file: size %d, err %v, want empty", size, err)
+	}
+	got, err := fs.ReadFile("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, old) {
+		t.Error("existing file damaged by the failed write")
+	}
+	if err := fs.CheckConsistency(); err != nil {
+		t.Error(err)
+	}
+}

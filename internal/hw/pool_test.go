@@ -142,6 +142,25 @@ func TestMachinePoolReuse(t *testing.T) {
 	}
 }
 
+// TestPoolReturnsCleanMachine is the pool's differential contract end to
+// end: Get, dirty the machine with a mixed workload, Put, Get again — the
+// recycled machine must fingerprint identically to a brand-new one.
+func TestPoolReturnsCleanMachine(t *testing.T) {
+	cfg := &MachineConfig{Frames: 64, NCPUs: 2}
+	p := NewMachinePool()
+	m := p.Get(X86(), cfg)
+	exercise(t, m)
+	p.Put(m)
+	got := p.Get(X86(), cfg)
+	if got != m {
+		t.Fatal("pool did not recycle the machine")
+	}
+	fresh := NewMachine(X86(), cfg)
+	if a, b := fingerprint(got), fingerprint(fresh); a != b {
+		t.Errorf("recycled machine %+v, fresh machine %+v", a, b)
+	}
+}
+
 // TestNilPoolFallsBack pins that a nil *MachinePool degrades to plain
 // NewMachine, so optional threading needs no guards.
 func TestNilPoolFallsBack(t *testing.T) {

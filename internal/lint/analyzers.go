@@ -7,6 +7,7 @@ func All() []*Analyzer {
 		AnalyzerDetrand,
 		AnalyzerMaporder,
 		AnalyzerRegspec,
+		AnalyzerScenrow,
 		AnalyzerTracecomp,
 	}
 }

@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+
+	"vmmk/internal/scenario"
+)
+
+// AnalyzerScenrow enforces the scenario-matrix row conventions at compile
+// time: every scenario.S literal declares a constant non-empty ID,
+// Subsystem and Fault; the ID is "<subsystem>/<slug>" for a known
+// subsystem; the expected outcome is an inline scenario.Outcome literal
+// with a constant non-empty Desc and at least one of Err, Panic or Check;
+// and the row has a Run. scenario.Register re-checks most of this at init,
+// but a malformed row should fail `vmmklint`, not the first program that
+// imports the matrix.
+var AnalyzerScenrow = &Analyzer{
+	Name: "scenrow",
+	Doc: "scenario-matrix conventions: constant id/subsystem/fault on every " +
+		"scenario.S, ids shaped <subsystem>/<slug>, inline Outcome with a " +
+		"Desc and at least one of Err/Panic/Check, and a Run",
+	Run: runScenrow,
+}
+
+const scenarioPath = "vmmk/internal/scenario"
+
+func runScenrow(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok || !isNamedType(pass.TypeOf(lit), scenarioPath, "S") {
+				return true
+			}
+			checkScenarioRow(pass, lit)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkScenarioRow validates one scenario.S composite literal.
+func checkScenarioRow(pass *Pass, lit *ast.CompositeLit) {
+	if len(lit.Elts) == 0 {
+		return // the zero S is Lookup's not-found sentinel, not a row
+	}
+	if _, keyed := lit.Elts[0].(*ast.KeyValueExpr); !keyed {
+		pass.Reportf(lit.Pos(), "scenario.S literal must use keyed fields so the row is auditable")
+		return
+	}
+	fields := keyedFields(lit)
+
+	strs := map[string]string{}
+	for _, name := range []string{"ID", "Subsystem", "Fault"} {
+		v, present := fields[name]
+		if !present {
+			pass.Reportf(lit.Pos(), "scenario.S literal is missing %s; every row declares its id, subsystem and injected fault", name)
+			continue
+		}
+		s, isConst := constString(pass, v)
+		if !isConst || s == "" {
+			pass.Reportf(v.Pos(), "scenario.S %s must be a non-empty string constant", name)
+			continue
+		}
+		strs[name] = s
+	}
+	if sub, ok := strs["Subsystem"]; ok {
+		known := false
+		for _, s := range scenario.Subsystems {
+			if sub == s {
+				known = true
+			}
+		}
+		if !known {
+			pass.Reportf(fields["Subsystem"].Pos(), "scenario.S names unknown subsystem %q (known: %s)", sub, strings.Join(scenario.Subsystems, ", "))
+		} else if id, ok := strs["ID"]; ok && !strings.HasPrefix(id, sub+"/") {
+			pass.Reportf(fields["ID"].Pos(), "scenario.S id %q must start with %q", id, sub+"/")
+		}
+	}
+
+	expect, present := fields["Expect"]
+	if !present {
+		pass.Reportf(lit.Pos(), "scenario.S literal is missing Expect; every row declares its expected outcome")
+	} else {
+		checkOutcomeLit(pass, expect)
+	}
+	if _, present := fields["Run"]; !present {
+		pass.Reportf(lit.Pos(), "scenario.S literal is missing Run")
+	}
+}
+
+// checkOutcomeLit validates the inline Outcome literal of a row's Expect.
+func checkOutcomeLit(pass *Pass, e ast.Expr) {
+	out, ok := ast.Unparen(e).(*ast.CompositeLit)
+	if !ok || !isNamedType(pass.TypeOf(out), scenarioPath, "Outcome") {
+		pass.Reportf(e.Pos(), "scenario.S Expect must be an inline scenario.Outcome literal so the expected outcome is statically auditable")
+		return
+	}
+	fields := keyedFields(out)
+	desc, present := fields["Desc"]
+	if !present {
+		pass.Reportf(out.Pos(), "scenario.Outcome is missing Desc; listings and result tables show it")
+	} else if s, isConst := constString(pass, desc); !isConst || s == "" {
+		pass.Reportf(desc.Pos(), "scenario.Outcome Desc must be a non-empty string constant")
+	}
+	if _, hasErr := fields["Err"]; !hasErr {
+		if _, hasPanic := fields["Panic"]; !hasPanic {
+			if _, hasCheck := fields["Check"]; !hasCheck {
+				pass.Reportf(out.Pos(), "scenario.Outcome declares none of Err, Panic or Check; the armed run needs at least one graded expectation")
+			}
+		}
+	}
+}

@@ -1,0 +1,77 @@
+// Package a is the scenrow fixture: malformed scenario rows must fire,
+// the sanctioned declaration shape must pass.
+package a
+
+import (
+	"errors"
+
+	scenario "vmmk/internal/scenario"
+)
+
+var errBoom = errors.New("boom")
+
+// sharedOutcome exists to prove Expect must be inline, not a variable.
+var sharedOutcome = scenario.Outcome{Desc: "shared", Err: errBoom}
+
+func rows() []scenario.S {
+	return []scenario.S{
+		{
+			// The sanctioned shape: constant strings, prefixed id, inline
+			// Outcome with Desc and a graded expectation, and a Run.
+			ID: "mk/good-row", Subsystem: "mk", Fault: "fixture fault",
+			Expect: scenario.Outcome{Desc: "ErrBoom", Err: errBoom},
+			Run:    func(*scenario.Env) error { return nil },
+		},
+		{
+			// Check alone is a valid expectation, and Desc may describe it.
+			ID: "hw/check-only", Subsystem: "hw", Fault: "fixture fault",
+			Expect: scenario.Outcome{Desc: "state predicate", Check: func(*scenario.Env) error { return nil }},
+			Run:    func(*scenario.Env) error { return nil },
+		},
+		{ // want `missing ID` `missing Fault`
+			Subsystem: "mk",
+			Expect:    scenario.Outcome{Desc: "d", Err: errBoom},
+			Run:       func(*scenario.Env) error { return nil },
+		},
+		{
+			ID: "mk/misfiled", Subsystem: "vmm", Fault: "fixture fault", // want `id "mk/misfiled" must start with "vmm/"`
+			Expect: scenario.Outcome{Desc: "d", Err: errBoom},
+			Run:    func(*scenario.Env) error { return nil },
+		},
+		{
+			ID: "net/row", Subsystem: "net", Fault: "fixture fault", // want `unknown subsystem "net"`
+			Expect: scenario.Outcome{Desc: "d", Err: errBoom},
+			Run:    func(*scenario.Env) error { return nil },
+		},
+		{
+			ID: rowID(), Subsystem: "mk", Fault: "fixture fault", // want `ID must be a non-empty string constant`
+			Expect: scenario.Outcome{Desc: "d", Err: errBoom},
+			Run:    func(*scenario.Env) error { return nil },
+		},
+		{ // want `missing Run`
+			ID: "mk/no-run", Subsystem: "mk", Fault: "fixture fault",
+			Expect: scenario.Outcome{Desc: "d", Err: errBoom},
+		},
+		{
+			ID: "mk/shared-outcome", Subsystem: "mk", Fault: "fixture fault",
+			Expect: sharedOutcome, // want `Expect must be an inline scenario.Outcome literal`
+			Run:    func(*scenario.Env) error { return nil },
+		},
+		{
+			ID: "mk/ungraded", Subsystem: "mk", Fault: "fixture fault",
+			Expect: scenario.Outcome{Desc: "d"}, // want `declares none of Err, Panic or Check`
+			Run:    func(*scenario.Env) error { return nil },
+		},
+		{
+			ID: "mk/no-desc", Subsystem: "mk", Fault: "fixture fault",
+			Expect: scenario.Outcome{Err: errBoom}, // want `missing Desc`
+			Run:    func(*scenario.Env) error { return nil },
+		},
+		{ // want `missing Expect`
+			ID: "mk/no-expect", Subsystem: "mk", Fault: "fixture fault",
+			Run: func(*scenario.Env) error { return nil },
+		},
+	}
+}
+
+func rowID() string { return "mk/computed" }

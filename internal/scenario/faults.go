@@ -1,0 +1,229 @@
+package scenario
+
+import (
+	"errors"
+	"fmt"
+
+	"vmmk/internal/fslite"
+	"vmmk/internal/hw"
+	"vmmk/internal/vmm"
+)
+
+// Errors the fault hooks inject. Rows declare them as expected outcomes.
+var (
+	// ErrDeviceFault is what FaultDev returns from a failed block operation.
+	ErrDeviceFault = errors.New("scenario: injected device fault")
+	// ErrLinkDown is what Link reports when its page budget is exhausted.
+	ErrLinkDown = errors.New("scenario: migration link failed")
+)
+
+// MemDev is a deterministic in-memory block device — the substrate FaultDev
+// wraps for the fslite rows.
+type MemDev struct {
+	blocks    map[uint64][]byte
+	blockSize uint64
+}
+
+// NewMemDev returns an empty in-memory device.
+func NewMemDev(blockSize uint64) *MemDev {
+	return &MemDev{blocks: make(map[uint64][]byte), blockSize: blockSize}
+}
+
+// Read returns a copy of the block (all-zero when never written).
+func (d *MemDev) Read(block uint64) ([]byte, error) {
+	out := make([]byte, d.blockSize)
+	copy(out, d.blocks[block])
+	return out, nil
+}
+
+// Write stores a copy of the block.
+func (d *MemDev) Write(block uint64, data []byte) error {
+	b := make([]byte, d.blockSize)
+	copy(b, data)
+	d.blocks[block] = b
+	return nil
+}
+
+// FaultDev wraps a fslite.BlockDev and injects device failures: an error on
+// the Nth write or read (1-based, sticky — a died device stays dead), and
+// optionally a torn write, where the failing write lands only the first
+// half of its block before the error. The zero value injects nothing.
+type FaultDev struct {
+	Inner fslite.BlockDev
+	// FailWrite fails the Nth and every later write (0: never).
+	FailWrite int
+	// FailRead fails the Nth and every later read (0: never).
+	FailRead int
+	// Torn makes the first failing write a torn one: half the block is
+	// written before the fault surfaces.
+	Torn bool
+
+	writes, reads int
+}
+
+// Writes returns how many writes the device has seen (failed ones included).
+func (d *FaultDev) Writes() int { return d.writes }
+
+// Read passes through to the wrapped device unless the read-fault fires.
+func (d *FaultDev) Read(block uint64) ([]byte, error) {
+	d.reads++
+	if d.FailRead > 0 && d.reads >= d.FailRead {
+		return nil, fmt.Errorf("%w: read %d of block %d", ErrDeviceFault, d.reads, block)
+	}
+	return d.Inner.Read(block)
+}
+
+// Write passes through unless the write-fault fires; the first failing
+// write is torn when Torn is set.
+func (d *FaultDev) Write(block uint64, data []byte) error {
+	d.writes++
+	if d.FailWrite > 0 && d.writes >= d.FailWrite {
+		if d.Torn && d.writes == d.FailWrite {
+			half := make([]byte, len(data))
+			copy(half, data[:len(data)/2])
+			// The torn half lands; the device then reports the failure.
+			if err := d.Inner.Write(block, half); err != nil {
+				return err
+			}
+		}
+		return fmt.Errorf("%w: write %d of block %d", ErrDeviceFault, d.writes, block)
+	}
+	return d.Inner.Write(block, data)
+}
+
+// Link is the lossy, latency-bounded migration link shim around
+// vmm.MigrateLive: it carries at most MaxPages page transfers (0: no
+// budget, the link never drops) and charges PerPage cycles of link time to
+// both machines for every page that crosses. Feed Transport into
+// vmm.LiveOpts; when the budget is exhausted the migration aborts with
+// vmm.ErrMigrationAborted wrapping ErrLinkDown.
+type Link struct {
+	MaxPages int
+	PerPage  hw.Cycles
+
+	pages int
+}
+
+// Pages returns how many page transfers the link has carried.
+func (l *Link) Pages() int { return l.pages }
+
+// Transport returns the vmm.LiveOpts.Transport hook for a migration from
+// src to dst over this link.
+func (l *Link) Transport(src, dst *hw.Machine) func(round, pages int) error {
+	srcComp := src.Rec.Intern("link")
+	dstComp := dst.Rec.Intern("link")
+	return func(round, pages int) error {
+		if l.MaxPages > 0 && l.pages+pages > l.MaxPages {
+			return fmt.Errorf("%w: round %d needs %d pages, %d of %d remain",
+				ErrLinkDown, round, pages, l.MaxPages-l.pages, l.MaxPages)
+		}
+		l.pages += pages
+		if l.PerPage > 0 && pages > 0 {
+			src.CPU.WorkN(srcComp, l.PerPage, uint64(pages))
+			dst.CPU.WorkN(dstComp, l.PerPage, uint64(pages))
+		}
+		return nil
+	}
+}
+
+// KillAtRound returns a vmm.LiveOpts.GuestWork hook that destroys dom at
+// the given pre-copy round — the DestroyDomain-mid-operation trigger for
+// the crash-mid-migration rows.
+func KillAtRound(h *vmm.Hypervisor, dom vmm.DomID, round int) func(int) {
+	return func(r int) {
+		if r == round {
+			h.DestroyDomain(dom)
+		}
+	}
+}
+
+// rng is a deterministic xorshift64* stream — the fuzzer's only source of
+// variation, seeded per row so runs are reproducible byte for byte.
+type rng struct{ s uint64 }
+
+func newRNG(seed uint64) *rng {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &rng{s: seed}
+}
+
+func (r *rng) next() uint64 {
+	r.s ^= r.s >> 12
+	r.s ^= r.s << 25
+	r.s ^= r.s >> 27
+	return r.s * 0x2545F4914F6CDD1D
+}
+
+// intn returns a value in [0, n).
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// FuzzHypercalls feeds n deterministic malformed or out-of-range hypercalls
+// at the hypervisor — bogus domain ids, wild grant refs and ports, guest
+// page numbers beyond the P2M, illegal pCPU placements — through victim, an
+// unprivileged live domain. Every call must come back with a typed error
+// (the arguments are invalid by construction) and none may panic; the first
+// silent acceptance or panic is returned.
+func FuzzHypercalls(h *vmm.Hypervisor, victim vmm.DomID, n int, seed uint64) error {
+	r := newRNG(seed)
+	badDom := func() vmm.DomID { return vmm.DomID(40000 + r.intn(20000)) }
+	bigGPN := func() int { return 1 << (20 + r.intn(10)) }
+	ops := []struct {
+		name string
+		call func() error
+	}{
+		{"hypercall-bad-dom", func() error {
+			return h.Hypercall(badDom(), "fuzz", hw.Cycles(1+r.intn(50)))
+		}},
+		{"mmu-update-wild-gpn", func() error {
+			return h.MMUUpdate(victim, hw.VPN(r.intn(1<<20)), bigGPN(), hw.PermRW, true)
+		}},
+		{"grant-map-wild-ref", func() error {
+			return h.GrantMap(victim, victim, vmm.GrantRef(1<<20+r.intn(1<<20)), hw.VPN(r.intn(256)))
+		}},
+		{"grant-copy-wild-ref", func() error {
+			return h.GrantCopy(victim, victim, vmm.GrantRef(1<<20+r.intn(1<<20)), hw.NoFrame, 64)
+		}},
+		{"grant-transfer-wild-ref", func() error {
+			_, err := h.GrantTransfer(victim, victim, vmm.GrantRef(1<<20+r.intn(1<<20)))
+			return err
+		}},
+		{"notify-wild-port", func() error {
+			return h.NotifyChannel(victim, vmm.Port(1<<20+r.intn(1<<20)))
+		}},
+		{"balloon-out-bad-dom", func() error {
+			_, err := h.BalloonOut(badDom(), 1+r.intn(16))
+			return err
+		}},
+		{"place-bad-pcpu", func() error {
+			return h.PlaceVCPUs(victim, h.M.NCPUs()+1+r.intn(64))
+		}},
+		{"route-irq-unprivileged", func() error {
+			return h.RouteIRQ(hw.IRQLine(1+r.intn(8)), victim)
+		}},
+		{"guest-write-wild-gpn", func() error {
+			return h.GuestMemWrite(victim, bigGPN(), 0, []byte{0xAA})
+		}},
+	}
+	for i := 0; i < n; i++ {
+		op := ops[r.intn(len(ops))]
+		err, panicMsg := callRecovered(op.call)
+		if panicMsg != "" {
+			return fmt.Errorf("fuzz op %d (%s) panicked: %s", i, op.name, panicMsg)
+		}
+		if err == nil {
+			return fmt.Errorf("fuzz op %d (%s) accepted malformed arguments", i, op.name)
+		}
+	}
+	return nil
+}
+
+// callRecovered runs one fuzz op, converting a panic into a message.
+func callRecovered(fn func() error) (err error, panicMsg string) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicMsg = fmt.Sprint(r)
+		}
+	}()
+	return fn(), ""
+}

@@ -1,0 +1,205 @@
+package scenario
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"vmmk/internal/hw"
+	"vmmk/internal/vmm"
+)
+
+// TestFaultDevNthWriteSticky: the write fault fires on exactly the Nth
+// write and every write after it — a died device stays dead.
+func TestFaultDevNthWriteSticky(t *testing.T) {
+	fd := &FaultDev{Inner: NewMemDev(64), FailWrite: 3}
+	data := bytes.Repeat([]byte{0xAB}, 64)
+	for i := 1; i <= 2; i++ {
+		if err := fd.Write(uint64(i), data); err != nil {
+			t.Fatalf("write %d failed early: %v", i, err)
+		}
+	}
+	for i := 3; i <= 5; i++ {
+		if err := fd.Write(uint64(i), data); !errors.Is(err, ErrDeviceFault) {
+			t.Fatalf("write %d: got %v, want ErrDeviceFault", i, err)
+		}
+	}
+	if got := fd.Writes(); got != 5 {
+		t.Errorf("Writes() = %d, want 5 (failed writes count)", got)
+	}
+	// Blocks 1 and 2 landed; block 3 must not have (non-torn failure).
+	got, err := fd.Inner.Read(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, make([]byte, 64)) {
+		t.Error("failed write landed data on the inner device")
+	}
+}
+
+// TestFaultDevTorn: the first failing write lands exactly half the block
+// before the error surfaces; later failing writes land nothing.
+func TestFaultDevTorn(t *testing.T) {
+	fd := &FaultDev{Inner: NewMemDev(64), FailWrite: 1, Torn: true}
+	data := bytes.Repeat([]byte{0xCD}, 64)
+	if err := fd.Write(7, data); !errors.Is(err, ErrDeviceFault) {
+		t.Fatalf("got %v, want ErrDeviceFault", err)
+	}
+	got, err := fd.Inner.Read(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]byte, 64)
+	copy(want, data[:32])
+	if !bytes.Equal(got, want) {
+		t.Errorf("torn block = %x..., want first half written, second half zero", got[:4])
+	}
+	// The tear is one-shot: the second failing write leaves its block alone.
+	if err := fd.Write(8, data); !errors.Is(err, ErrDeviceFault) {
+		t.Fatalf("got %v, want ErrDeviceFault", err)
+	}
+	got, err = fd.Inner.Read(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, make([]byte, 64)) {
+		t.Error("second failing write landed data; only the first should tear")
+	}
+}
+
+// TestFaultDevRead: the read fault mirrors the write fault — Nth and sticky.
+func TestFaultDevRead(t *testing.T) {
+	fd := &FaultDev{Inner: NewMemDev(64), FailRead: 2}
+	if _, err := fd.Read(0); err != nil {
+		t.Fatalf("read 1 failed early: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := fd.Read(0); !errors.Is(err, ErrDeviceFault) {
+			t.Fatalf("got %v, want ErrDeviceFault", err)
+		}
+	}
+}
+
+// TestFaultDevZeroValueTransparent: the zero thresholds inject nothing —
+// the disarmed leg of every fslite row runs through an idle FaultDev.
+func TestFaultDevZeroValueTransparent(t *testing.T) {
+	fd := &FaultDev{Inner: NewMemDev(64)}
+	data := bytes.Repeat([]byte{0x11}, 64)
+	for i := 0; i < 100; i++ {
+		if err := fd.Write(uint64(i), data); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		if _, err := fd.Read(uint64(i)); err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+	}
+}
+
+// TestLinkBudget: the transport carries pages until the budget runs out,
+// then reports ErrLinkDown without carrying the overflowing round.
+func TestLinkBudget(t *testing.T) {
+	src := hw.NewMachine(hw.X86(), DefaultConfig)
+	dst := hw.NewMachine(hw.X86(), DefaultConfig)
+	link := &Link{MaxPages: 10}
+	tr := link.Transport(src, dst)
+	if err := tr(0, 6); err != nil {
+		t.Fatalf("round 0: %v", err)
+	}
+	if err := tr(1, 4); err != nil {
+		t.Fatalf("round 1: %v", err)
+	}
+	if err := tr(2, 1); !errors.Is(err, ErrLinkDown) {
+		t.Fatalf("round 2: got %v, want ErrLinkDown", err)
+	}
+	if got := link.Pages(); got != 10 {
+		t.Errorf("Pages() = %d, want 10 (failed round not carried)", got)
+	}
+}
+
+// TestLinkCharges: every page crossing the link costs PerPage cycles on
+// both machines' clocks — the latency bound is simulated time, not config.
+func TestLinkCharges(t *testing.T) {
+	src := hw.NewMachine(hw.X86(), DefaultConfig)
+	dst := hw.NewMachine(hw.X86(), DefaultConfig)
+	link := &Link{PerPage: 100}
+	tr := link.Transport(src, dst)
+	s0, d0 := src.Now(), dst.Now()
+	if err := tr(0, 8); err != nil {
+		t.Fatal(err)
+	}
+	if got := src.Now() - s0; got != 800 {
+		t.Errorf("source clock advanced %d, want 800", got)
+	}
+	if got := dst.Now() - d0; got != 800 {
+		t.Errorf("destination clock advanced %d, want 800", got)
+	}
+	// No budget configured: the link never drops.
+	if err := tr(1, 1<<20); err != nil {
+		t.Errorf("unbudgeted link dropped: %v", err)
+	}
+}
+
+// TestRNGDeterministic: the fuzzer's only randomness source is a pure
+// function of its seed, and the zero seed falls back to a fixed constant.
+func TestRNGDeterministic(t *testing.T) {
+	a, b := newRNG(42), newRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.next() != b.next() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+	if newRNG(0).next() != newRNG(0).next() {
+		t.Error("zero-seed fallback is not deterministic")
+	}
+	if newRNG(1).next() == newRNG(2).next() {
+		t.Error("distinct seeds produced identical first values")
+	}
+}
+
+// TestFuzzHypercallsRejectsAll: against a healthy hypervisor, every
+// malformed call in a long deterministic stream must come back with a typed
+// error — no panics, no silent acceptance — and the victim domain survives.
+func TestFuzzHypercallsRejectsAll(t *testing.T) {
+	m := hw.NewMachine(hw.X86(), DefaultConfig)
+	h, _, err := vmm.New(m, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := h.CreateDomain("victim", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := FuzzHypercalls(h, d.ID, 2000, 0xC0FFEE); err != nil {
+		t.Fatal(err)
+	}
+	if !h.Alive(d.ID) {
+		t.Error("victim domain died under the fuzz stream")
+	}
+}
+
+// TestFuzzHypercallsDeadVictim: with the victim destroyed, every fuzz op
+// must still come back with a typed error (dead-domain or bad-argument) —
+// the stream completes clean rather than panicking on the corpse.
+func TestFuzzHypercallsDeadVictim(t *testing.T) {
+	m := hw.NewMachine(hw.X86(), DefaultConfig)
+	h, _, err := vmm.New(m, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := h.CreateDomain("victim", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.DestroyDomain(d.ID); err != nil {
+		t.Fatal(err)
+	}
+	// Against a destroyed victim every op still returns a typed error
+	// (dead-domain or bad-argument), so the stream must complete clean.
+	if err := FuzzHypercalls(h, d.ID, 500, 7); err != nil {
+		if !strings.Contains(err.Error(), "fuzz op") {
+			t.Fatalf("unexpected failure shape: %v", err)
+		}
+		t.Fatalf("fuzz against dead victim reported: %v", err)
+	}
+}

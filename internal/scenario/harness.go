@@ -1,0 +1,237 @@
+package scenario
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"vmmk/internal/core"
+	"vmmk/internal/hw"
+)
+
+// Row statuses. Every status is one of these three strings, so downstream
+// tooling can switch on them.
+const (
+	StatusPass = "pass"
+	StatusFail = "fail"
+	StatusSkip = "skip"
+)
+
+// RowResult is one row's outcome: the row's declaration echoed back plus
+// the status and, for non-pass rows, the detail.
+type RowResult struct {
+	ID        string
+	Subsystem string
+	Fault     string
+	Expect    string
+	Status    string
+	Detail    string
+}
+
+// skipError marks a row that declined to run (Skip).
+type skipError struct{ reason string }
+
+func (e *skipError) Error() string { return "skipped: " + e.reason }
+
+// Skip returns the error a Run function reports to mark its row skipped
+// (e.g. a row needing a machine shape the harness cannot provide).
+func Skip(reason string) error { return &skipError{reason: reason} }
+
+// Options parameterises a matrix run.
+type Options struct {
+	// Parallel caps rows in flight (<= 0: GOMAXPROCS). Results are
+	// byte-identical at any width.
+	Parallel int
+	// IDs selects a subset of rows, run in the order given; empty runs the
+	// whole matrix in ID order.
+	IDs []string
+}
+
+// Run executes the matrix and returns one result per row, in row order.
+// Each row runs both legs — disarmed control first (the identical path with
+// injection off must pass cleanly), then armed (the fault must produce the
+// declared outcome) — on machines acquired from the worker's pool.
+func Run(opts Options) ([]RowResult, error) {
+	var rows []S
+	if len(opts.IDs) == 0 {
+		rows = Rows()
+	} else {
+		for _, id := range opts.IDs {
+			s, ok := Lookup(id)
+			if !ok {
+				return nil, fmt.Errorf("unknown scenario %q (try 'scenarios list')", id)
+			}
+			rows = append(rows, s)
+		}
+	}
+	r := core.NewRunner(opts.Parallel)
+	return core.RunCells(r, len(rows), func(ctx context.Context, i int) (RowResult, error) {
+		return execute(ctx, rows[i]), nil
+	})
+}
+
+// execute runs one row's two legs and folds them into a result.
+func execute(ctx context.Context, s S) RowResult {
+	res := RowResult{
+		ID: s.ID, Subsystem: s.Subsystem, Fault: s.Fault,
+		Expect: s.Expect.Desc, Status: StatusPass,
+	}
+	for _, armed := range []bool{false, true} {
+		detail, skip := runLeg(ctx, s, armed)
+		if skip != "" {
+			res.Status, res.Detail = StatusSkip, skip
+			return res
+		}
+		if detail != "" {
+			res.Status, res.Detail = StatusFail, detail
+			return res
+		}
+	}
+	return res
+}
+
+// runLeg executes one leg of a row on a pooled machine and grades it.
+func runLeg(ctx context.Context, s S, armed bool) (detail, skip string) {
+	cfg := s.Cfg
+	if cfg == nil {
+		cfg = DefaultConfig
+	}
+	m, release := core.AcquireMachine(ctx, hw.X86(), cfg)
+	releases := []func(){release}
+	defer func() {
+		// Release in reverse acquisition order, mirroring the pool's
+		// LIFO reuse so repeated legs see the same machine sequence.
+		for i := len(releases) - 1; i >= 0; i-- {
+			releases[i]()
+		}
+	}()
+	env := &Env{M: m, Armed: armed}
+	env.acquire = func(c *hw.MachineConfig) *hw.Machine {
+		extra, rel := core.AcquireMachine(ctx, hw.X86(), c)
+		releases = append(releases, rel)
+		return extra
+	}
+	err, panicMsg := invoke(s.Run, env)
+	var sk *skipError
+	if errors.As(err, &sk) {
+		return "", sk.reason
+	}
+	leg := "control"
+	if armed {
+		leg = "armed"
+	}
+	switch {
+	case armed && s.Expect.Panic != "":
+		if panicMsg == "" {
+			return fmt.Sprintf("armed run completed (err=%v), want panic containing %q", err, s.Expect.Panic), ""
+		}
+		if !strings.Contains(panicMsg, s.Expect.Panic) {
+			return fmt.Sprintf("armed run panicked with %q, want substring %q", panicMsg, s.Expect.Panic), ""
+		}
+	case panicMsg != "":
+		return fmt.Sprintf("%s run panicked: %s", leg, panicMsg), ""
+	case armed && s.Expect.Err != nil:
+		if err == nil {
+			return fmt.Sprintf("armed run returned nil, want %v", s.Expect.Err), ""
+		}
+		if !errors.Is(err, s.Expect.Err) {
+			return fmt.Sprintf("armed run returned %q, want %v", err, s.Expect.Err), ""
+		}
+	case err != nil:
+		return fmt.Sprintf("%s run failed: %v", leg, err), ""
+	}
+	if s.Expect.Check != nil {
+		if cerr := s.Expect.Check(env); cerr != nil {
+			return fmt.Sprintf("%s post-mortem check: %v", leg, cerr), ""
+		}
+	}
+	return "", ""
+}
+
+// invoke runs fn with panics converted to a message — expected panics are a
+// legitimate outcome (hw contract violations), and an unexpected panic in
+// one row must fail that row, not the whole matrix.
+func invoke(fn func(*Env) error, env *Env) (err error, panicMsg string) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicMsg = fmt.Sprint(r)
+		}
+	}()
+	return fn(env), ""
+}
+
+// Summarize counts results by status.
+func Summarize(results []RowResult) (pass, fail, skip int) {
+	for _, r := range results {
+		switch r.Status {
+		case StatusPass:
+			pass++
+		case StatusSkip:
+			skip++
+		default:
+			fail++
+		}
+	}
+	return pass, fail, skip
+}
+
+// Report renders run results through the core.Result model: the matrix
+// table plus a per-subsystem summary, so `vmmklab scenarios` emits the same
+// text/CSV/JSON shapes as the experiments.
+func Report(results []RowResult) *core.Result {
+	matrix := core.NewResultTable("scenario matrix",
+		core.Col("id", ""), core.Col("subsystem", ""), core.Col("fault", ""),
+		core.Col("expected", ""), core.Col("status", ""), core.Col("detail", ""))
+	bySub := map[string]*[3]int{}
+	for _, r := range results {
+		matrix.AddRow(r.ID, r.Subsystem, r.Fault, r.Expect, r.Status, r.Detail)
+		c := bySub[r.Subsystem]
+		if c == nil {
+			c = &[3]int{}
+			bySub[r.Subsystem] = c
+		}
+		switch r.Status {
+		case StatusPass:
+			c[0]++
+		case StatusFail:
+			c[1]++
+		default:
+			c[2]++
+		}
+	}
+	summary := core.NewResultTable("rows by subsystem",
+		core.Col("subsystem", ""), core.Col("rows", ""), core.Col("pass", ""),
+		core.Col("fail", ""), core.Col("skip", ""))
+	subs := make([]string, 0, len(bySub))
+	for sub := range bySub {
+		subs = append(subs, sub)
+	}
+	sort.Strings(subs)
+	for _, sub := range subs {
+		c := bySub[sub]
+		summary.AddRow(sub, c[0]+c[1]+c[2], c[0], c[1], c[2])
+	}
+	res := core.NewResult(matrix, summary)
+	res.Experiment = "scenarios"
+	res.Title = "fault-injection scenario matrix"
+	res.Params = core.Params{}
+	return res
+}
+
+// ListReport renders the matrix declaration (no execution) as a core.Result
+// — the `vmmklab scenarios list` output.
+func ListReport() *core.Result {
+	t := core.NewResultTable("scenario matrix",
+		core.Col("id", ""), core.Col("subsystem", ""),
+		core.Col("fault", ""), core.Col("expected", ""))
+	for _, s := range Rows() {
+		t.AddRow(s.ID, s.Subsystem, s.Fault, s.Expect.Desc)
+	}
+	res := core.NewResult(t)
+	res.Experiment = "scenarios"
+	res.Title = "fault-injection scenario matrix"
+	res.Params = core.Params{}
+	return res
+}

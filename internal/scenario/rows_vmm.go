@@ -1,0 +1,582 @@
+package scenario
+
+import (
+	"bytes"
+	"fmt"
+
+	"vmmk/internal/hw"
+	"vmmk/internal/vmm"
+)
+
+// vmm rows: hypervisor-interface abuse and mid-operation crashes. The
+// monitor's validation burden is the paper's point — every malformed
+// hypercall, dangling grant, stale port and mid-migration death must come
+// back as a typed error with the hypervisor and the surviving domains
+// intact.
+
+// vmmState carries the hypervisors and domains under test to Check.
+type vmmState struct {
+	h, dst   *vmm.Hypervisor
+	dstM     *hw.Machine
+	domU     vmm.DomID
+	free     int
+	dstFree0 int
+	link     *Link
+}
+
+// vmmStillWorks probes that the hypervisor survived: create, touch and
+// destroy a probe domain.
+func vmmStillWorks(h *vmm.Hypervisor) error {
+	d, err := h.CreateDomain("probe", 8)
+	if err != nil {
+		return fmt.Errorf("post-fault CreateDomain: %w", err)
+	}
+	if err := h.GuestMemWrite(d.ID, 0, 0, []byte("ok")); err != nil {
+		return fmt.Errorf("post-fault guest write: %w", err)
+	}
+	if err := h.DestroyDomain(d.ID); err != nil {
+		return fmt.Errorf("post-fault DestroyDomain: %w", err)
+	}
+	return nil
+}
+
+func init() {
+	Register(S{
+		ID:        "vmm/hypercall-dead-domain",
+		Subsystem: "vmm",
+		Fault:     "hypercall issued by a destroyed domain",
+		Expect: Outcome{
+			Desc: "ErrDomainDead; hypervisor keeps serving others",
+			Err:  vmm.ErrDomainDead,
+			Check: func(env *Env) error {
+				return vmmStillWorks(env.State.(*vmmState).h)
+			},
+		},
+		Run: func(env *Env) error {
+			h, _, err := vmm.New(env.M, 64)
+			if err != nil {
+				return err
+			}
+			d, err := h.CreateDomain("domU", 32)
+			if err != nil {
+				return err
+			}
+			env.State = &vmmState{h: h}
+			if env.Armed {
+				if err := h.DestroyDomain(d.ID); err != nil {
+					return err
+				}
+			}
+			return h.Hypercall(d.ID, "probe", 100)
+		},
+	})
+
+	Register(S{
+		ID:        "vmm/hypercall-unknown-domain",
+		Subsystem: "vmm",
+		Fault:     "hypercall names a domain id that was never created",
+		Expect: Outcome{
+			Desc: "ErrNoSuchDomain",
+			Err:  vmm.ErrNoSuchDomain,
+		},
+		Run: func(env *Env) error {
+			h, _, err := vmm.New(env.M, 64)
+			if err != nil {
+				return err
+			}
+			d, err := h.CreateDomain("domU", 32)
+			if err != nil {
+				return err
+			}
+			target := d.ID
+			if env.Armed {
+				target = vmm.DomID(999)
+			}
+			return h.Hypercall(target, "probe", 100)
+		},
+	})
+
+	Register(S{
+		ID:        "vmm/grant-revoked-while-mapped",
+		Subsystem: "vmm",
+		Fault:     "owner revokes a grant the peer still has mapped, then the peer copies",
+		Expect: Outcome{
+			Desc: "ErrGrantRevoked; the peer's unmap still succeeds",
+			Err:  vmm.ErrGrantRevoked,
+			Check: func(env *Env) error {
+				return vmmStillWorks(env.State.(*vmmState).h)
+			},
+		},
+		Run: func(env *Env) error {
+			h, _, err := vmm.New(env.M, 64)
+			if err != nil {
+				return err
+			}
+			da, err := h.CreateDomain("domA", 32)
+			if err != nil {
+				return err
+			}
+			db, err := h.CreateDomain("domB", 32)
+			if err != nil {
+				return err
+			}
+			env.State = &vmmState{h: h}
+			ref, err := h.GrantAccess(da.ID, da.FrameAt(0), db.ID, false)
+			if err != nil {
+				return err
+			}
+			if err := h.GrantMap(db.ID, da.ID, ref, 0x40); err != nil {
+				return err
+			}
+			if env.Armed {
+				if err := h.GrantRevoke(da.ID, ref); err != nil {
+					return err
+				}
+			}
+			copyErr := h.GrantCopy(db.ID, da.ID, ref, db.FrameAt(0), 64)
+			// Tearing down one's own mapping must work even after revoke.
+			if err := h.GrantUnmap(db.ID, da.ID, ref, 0x40); err != nil {
+				return fmt.Errorf("unmap after revoke: %w", err)
+			}
+			return copyErr
+		},
+	})
+
+	Register(S{
+		ID:        "vmm/grant-dangling-after-flip",
+		Subsystem: "vmm",
+		Fault:     "second grant of a frame used after the first was page-flipped away",
+		Expect: Outcome{
+			Desc: "ErrGrantRevoked; a dangling grant exposes nobody's memory",
+			Err:  vmm.ErrGrantRevoked,
+		},
+		Run: func(env *Env) error {
+			h, _, err := vmm.New(env.M, 64)
+			if err != nil {
+				return err
+			}
+			da, err := h.CreateDomain("domA", 32)
+			if err != nil {
+				return err
+			}
+			db, err := h.CreateDomain("domB", 32)
+			if err != nil {
+				return err
+			}
+			f := da.FrameAt(0)
+			ref1, err := h.GrantAccess(da.ID, f, db.ID, false)
+			if err != nil {
+				return err
+			}
+			ref2, err := h.GrantAccess(da.ID, f, db.ID, false)
+			if err != nil {
+				return err
+			}
+			if env.Armed {
+				// The flip moves the frame to domB; ref2 now dangles.
+				if _, err := h.GrantTransfer(db.ID, da.ID, ref1); err != nil {
+					return err
+				}
+			}
+			return h.GrantMap(db.ID, da.ID, ref2, 0x40)
+		},
+	})
+
+	Register(S{
+		ID:        "vmm/stale-port-after-rebind",
+		Subsystem: "vmm",
+		Fault:     "peer destroyed, channel slot rebound to a new domain, old port reused",
+		Expect: Outcome{
+			Desc: "ErrBadPort; generation stride keeps stale ports from the new channel",
+			Err:  vmm.ErrBadPort,
+		},
+		Run: func(env *Env) error {
+			h, _, err := vmm.New(env.M, 64)
+			if err != nil {
+				return err
+			}
+			da, err := h.CreateDomain("domA", 16)
+			if err != nil {
+				return err
+			}
+			db, err := h.CreateDomain("domB", 16)
+			if err != nil {
+				return err
+			}
+			dc, err := h.CreateDomain("domC", 16)
+			if err != nil {
+				return err
+			}
+			pa, _, err := h.BindChannel(da.ID, db.ID)
+			if err != nil {
+				return err
+			}
+			if env.Armed {
+				if err := h.DestroyDomain(db.ID); err != nil {
+					return err
+				}
+				// Reuses the freed slot with a bumped generation.
+				if _, _, err := h.BindChannel(da.ID, dc.ID); err != nil {
+					return err
+				}
+			}
+			return h.NotifyChannel(da.ID, pa)
+		},
+	})
+
+	Register(S{
+		ID:        "vmm/notify-after-peer-destroyed",
+		Subsystem: "vmm",
+		Fault:     "event-channel notify after the peer domain was destroyed",
+		Expect: Outcome{
+			Desc: "ErrBadPort; destroy closed and reclaimed the channel",
+			Err:  vmm.ErrBadPort,
+			Check: func(env *Env) error {
+				return vmmStillWorks(env.State.(*vmmState).h)
+			},
+		},
+		Run: func(env *Env) error {
+			h, _, err := vmm.New(env.M, 64)
+			if err != nil {
+				return err
+			}
+			da, err := h.CreateDomain("domA", 16)
+			if err != nil {
+				return err
+			}
+			db, err := h.CreateDomain("domB", 16)
+			if err != nil {
+				return err
+			}
+			env.State = &vmmState{h: h}
+			pa, _, err := h.BindChannel(da.ID, db.ID)
+			if err != nil {
+				return err
+			}
+			if env.Armed {
+				if err := h.DestroyDomain(db.ID); err != nil {
+					return err
+				}
+			}
+			return h.NotifyChannel(da.ID, pa)
+		},
+	})
+
+	Register(S{
+		ID:        "vmm/balloon-in-exhausted",
+		Subsystem: "vmm",
+		Fault:     "balloon-in demands more frames than the machine has free",
+		Expect: Outcome{
+			Desc: "ErrBalloonEmpty after partial inflate; ledger accounts every frame",
+			Err:  vmm.ErrBalloonEmpty,
+			Check: func(env *Env) error {
+				st := env.State.(*vmmState)
+				d := st.h.Domain(st.domU)
+				if env.Armed {
+					if free := st.h.M.Mem.FreeFrames(); free != 0 {
+						return fmt.Errorf("machine has %d free frames after exhaustion, want 0", free)
+					}
+					if got, want := d.OwnedPages(), 256+st.free; got != want {
+						return fmt.Errorf("domain owns %d pages, want %d", got, want)
+					}
+				} else if got := d.OwnedPages(); got != 256+4 {
+					return fmt.Errorf("domain owns %d pages, want %d", got, 260)
+				}
+				return nil
+			},
+		},
+		Run: func(env *Env) error {
+			h, _, err := vmm.New(env.M, 64)
+			if err != nil {
+				return err
+			}
+			d, err := h.CreateDomain("domU", 256)
+			if err != nil {
+				return err
+			}
+			free := env.M.Mem.FreeFrames()
+			env.State = &vmmState{h: h, domU: d.ID, free: free}
+			n := 4
+			if env.Armed {
+				n = free + 10
+			}
+			_, err = h.BalloonIn(d.ID, n)
+			return err
+		},
+	})
+
+	Register(S{
+		ID:        "vmm/mmu-map-beyond-p2m",
+		Subsystem: "vmm",
+		Fault:     "MMU update maps a guest page number past the domain's P2M",
+		Expect: Outcome{
+			Desc: "ErrBadPTE",
+			Err:  vmm.ErrBadPTE,
+		},
+		Run: func(env *Env) error {
+			h, _, err := vmm.New(env.M, 64)
+			if err != nil {
+				return err
+			}
+			d, err := h.CreateDomain("domU", 32)
+			if err != nil {
+				return err
+			}
+			gpn := 1
+			if env.Armed {
+				gpn = 1 << 20
+			}
+			return h.MMUUpdate(d.ID, 0xA00, gpn, hw.PermRW, true)
+		},
+	})
+
+	Register(S{
+		ID:        "vmm/save-running-domain",
+		Subsystem: "vmm",
+		Fault:     "checkpoint attempted without pausing the domain first",
+		Expect: Outcome{
+			Desc: "ErrDomainLive",
+			Err:  vmm.ErrDomainLive,
+		},
+		Run: func(env *Env) error {
+			h, _, err := vmm.New(env.M, 64)
+			if err != nil {
+				return err
+			}
+			d, err := h.CreateDomain("domU", 32)
+			if err != nil {
+				return err
+			}
+			if !env.Armed {
+				if err := h.Pause(d.ID); err != nil {
+					return err
+				}
+			}
+			_, err = h.SaveDomain(d.ID)
+			return err
+		},
+	})
+
+	Register(S{
+		ID:        "vmm/dirty-log-double-enable",
+		Subsystem: "vmm",
+		Fault:     "dirty logging enabled twice without an intervening disable",
+		Expect: Outcome{
+			Desc: "ErrDirtyLogActive; disable/re-enable cycles stay legal",
+			Err:  vmm.ErrDirtyLogActive,
+		},
+		Run: func(env *Env) error {
+			h, _, err := vmm.New(env.M, 64)
+			if err != nil {
+				return err
+			}
+			d, err := h.CreateDomain("domU", 32)
+			if err != nil {
+				return err
+			}
+			if _, err := h.EnableDirtyLog(d.ID); err != nil {
+				return err
+			}
+			if !env.Armed {
+				h.DisableDirtyLog(d.ID)
+			}
+			_, err = h.EnableDirtyLog(d.ID)
+			return err
+		},
+	})
+
+	Register(S{
+		ID:        "vmm/place-vcpus-bad-pcpu",
+		Subsystem: "vmm",
+		Fault:     "vCPU placement names a physical CPU the machine does not have",
+		Cfg:       smpConfig,
+		Expect: Outcome{
+			Desc: "ErrBadPCPU",
+			Err:  vmm.ErrBadPCPU,
+		},
+		Run: func(env *Env) error {
+			h, _, err := vmm.New(env.M, 64)
+			if err != nil {
+				return err
+			}
+			d, err := h.CreateDomain("domU", 32)
+			if err != nil {
+				return err
+			}
+			pcpu := 1
+			if env.Armed {
+				pcpu = env.M.NCPUs() + 3
+			}
+			return h.PlaceVCPUs(d.ID, pcpu)
+		},
+	})
+
+	Register(S{
+		ID:        "vmm/hypercall-fuzz-storm",
+		Subsystem: "vmm",
+		Fault:     "300 malformed hypercalls: bogus domains, wild grant refs, ports, GPNs, pCPUs",
+		Expect: Outcome{
+			Desc: "every call rejected with a typed error; no panic, hypervisor intact",
+			Check: func(env *Env) error {
+				st := env.State.(*vmmState)
+				if !st.h.Alive(st.domU) {
+					return fmt.Errorf("fuzz victim died from rejected hypercalls")
+				}
+				return vmmStillWorks(st.h)
+			},
+		},
+		Run: func(env *Env) error {
+			h, _, err := vmm.New(env.M, 64)
+			if err != nil {
+				return err
+			}
+			d, err := h.CreateDomain("victim", 32)
+			if err != nil {
+				return err
+			}
+			env.State = &vmmState{h: h, domU: d.ID}
+			if !env.Armed {
+				// Injection off: the same interfaces, well-formed.
+				if err := h.Hypercall(d.ID, "probe", 50); err != nil {
+					return err
+				}
+				return h.MMUUpdate(d.ID, 0xB00, 2, hw.PermRW, true)
+			}
+			return FuzzHypercalls(h, d.ID, 300, 0x5EEDBEEF)
+		},
+	})
+
+	Register(S{
+		ID:        "vmm/migration-source-dies-midcopy",
+		Subsystem: "vmm",
+		Fault:     "source domain destroyed during pre-copy round 2 of a live migration",
+		Expect: Outcome{
+			Desc: "ErrMigrationAborted wrapping ErrDomainDead; no shell or frame leaks on dst",
+			Err:  vmm.ErrMigrationAborted,
+			Check: func(env *Env) error {
+				st := env.State.(*vmmState)
+				if env.Armed {
+					if st.h.Alive(st.domU) {
+						return fmt.Errorf("source domain still alive after its destruction")
+					}
+					if n := len(st.dst.Domains()); n != 1 {
+						return fmt.Errorf("destination holds %d domains, want 1 (shell leaked)", n)
+					}
+					if free := st.dstM.Mem.FreeFrames(); free != st.dstFree0 {
+						return fmt.Errorf("destination free frames %d, want %d (frames leaked)", free, st.dstFree0)
+					}
+				}
+				return vmmStillWorks(st.h)
+			},
+		},
+		Run: func(env *Env) error {
+			h, _, err := vmm.New(env.M, 64)
+			if err != nil {
+				return err
+			}
+			m2 := env.Machine(nil)
+			dst, _, err := vmm.New(m2, 64)
+			if err != nil {
+				return err
+			}
+			d, err := h.CreateDomain("domU", 48)
+			if err != nil {
+				return err
+			}
+			payload := []byte("live migration payload")
+			if err := h.GuestMemWrite(d.ID, 0, 0, payload); err != nil {
+				return err
+			}
+			env.State = &vmmState{h: h, dst: dst, dstM: m2, domU: d.ID, dstFree0: m2.Mem.FreeFrames()}
+			kill := KillAtRound(h, d.ID, 2)
+			mig, _, err := vmm.MigrateLive(h, d.ID, dst, vmm.LiveOpts{
+				MaxRounds: 4,
+				GuestWork: func(round int) {
+					// The guest keeps dirtying pages while rounds run.
+					_ = h.GuestMemWrite(d.ID, round%8, 0, []byte("dirty"))
+					if env.Armed {
+						kill(round)
+					}
+				},
+			})
+			if err != nil {
+				return err
+			}
+			if err := dst.Unpause(mig.ID); err != nil {
+				return err
+			}
+			if got := m2.Mem.Data(mig.FrameAt(0))[:len(payload)]; !bytes.Equal(got, payload) {
+				return fmt.Errorf("migrated memory corrupted: %q", got)
+			}
+			return nil
+		},
+	})
+
+	Register(S{
+		ID:        "vmm/migration-link-exhausted",
+		Subsystem: "vmm",
+		Fault:     "migration link drops after carrying 16 pages of a 48-page guest",
+		Expect: Outcome{
+			Desc: "ErrMigrationAborted; source runs on unpaused, destination spotless",
+			Err:  vmm.ErrMigrationAborted,
+			Check: func(env *Env) error {
+				st := env.State.(*vmmState)
+				if env.Armed {
+					if !st.h.Alive(st.domU) {
+						return fmt.Errorf("source domain lost to an aborted migration")
+					}
+					if st.h.Paused(st.domU) {
+						return fmt.Errorf("source left paused after abort")
+					}
+					if err := st.h.GuestMemWrite(st.domU, 1, 0, []byte("post-abort")); err != nil {
+						return fmt.Errorf("source wedged after abort: %w", err)
+					}
+					// The abort must disarm the dirty log so a retry can
+					// start one afresh.
+					if _, err := st.h.EnableDirtyLog(st.domU); err != nil {
+						return fmt.Errorf("dirty log left armed after abort: %w", err)
+					}
+					st.h.DisableDirtyLog(st.domU)
+					if n := len(st.dst.Domains()); n != 1 {
+						return fmt.Errorf("destination holds %d domains, want 1", n)
+					}
+					if free := st.dstM.Mem.FreeFrames(); free != st.dstFree0 {
+						return fmt.Errorf("destination free frames %d, want %d", free, st.dstFree0)
+					}
+				} else if st.link.Pages() < 48 {
+					return fmt.Errorf("healthy link carried only %d pages", st.link.Pages())
+				}
+				return nil
+			},
+		},
+		Run: func(env *Env) error {
+			h, _, err := vmm.New(env.M, 64)
+			if err != nil {
+				return err
+			}
+			m2 := env.Machine(nil)
+			dst, _, err := vmm.New(m2, 64)
+			if err != nil {
+				return err
+			}
+			d, err := h.CreateDomain("domU", 48)
+			if err != nil {
+				return err
+			}
+			link := &Link{PerPage: 100}
+			if env.Armed {
+				link.MaxPages = 16
+			}
+			env.State = &vmmState{h: h, dst: dst, dstM: m2, domU: d.ID,
+				dstFree0: m2.Mem.FreeFrames(), link: link}
+			mig, _, err := vmm.MigrateLive(h, d.ID, dst, vmm.LiveOpts{
+				MaxRounds: 3,
+				Transport: link.Transport(env.M, m2),
+			})
+			if err != nil {
+				return err
+			}
+			return dst.Unpause(mig.ID)
+		},
+	})
+}

@@ -1,0 +1,134 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"vmmk/internal/hw"
+)
+
+// Subsystems every scenario row must name — the layers of the simulator,
+// each of which contributes negative scenarios to the matrix.
+var Subsystems = []string{"fslite", "hw", "mk", "mkos", "vmm", "vmmos"}
+
+// Outcome is the typed expected result of a scenario's armed run: a
+// sentinel error, an expected panic, and/or a post-mortem state predicate.
+// Desc is the short human-readable label the listings and result tables
+// show. At least one of Err, Panic or Check must be set (enforced at
+// registration and statically by vmmklint's scenrow analyzer).
+type Outcome struct {
+	// Desc is the short label for the expected outcome ("ErrGrantRevoked",
+	// "panic: CPU index out of range", "bitmap consistent, old data intact").
+	Desc string
+	// Err, when non-nil, is the sentinel the armed Run must return,
+	// matched with errors.Is. When nil, the armed Run must return nil.
+	Err error
+	// Panic, when non-empty, is a substring the armed Run must panic with.
+	// Expected panics are hw-contract violations ("always a kernel bug").
+	Panic string
+	// Check, when non-nil, is the post-mortem state predicate: it runs
+	// after Run in both the armed and the disarmed leg and must return nil.
+	Check func(env *Env) error
+}
+
+// S is one scenario row of the matrix.
+type S struct {
+	// ID is "<subsystem>/<slug>", unique across the matrix.
+	ID string
+	// Subsystem is the layer under test: one of Subsystems.
+	Subsystem string
+	// Fault is the one-line description of the injected fault.
+	Fault string
+	// Cfg shapes the machine the row runs on; nil means DefaultConfig.
+	Cfg *hw.MachineConfig
+	// Expect is the typed expected outcome of the armed run.
+	Expect Outcome
+	// Run builds the system under test and triggers the fault when
+	// env.Armed — and must run the identical path, injection disabled,
+	// when not. The harness executes both legs.
+	Run func(env *Env) error
+}
+
+// Env is the per-leg execution environment the harness hands a row.
+type Env struct {
+	// M is the pooled machine the leg runs on.
+	M *hw.Machine
+	// Armed reports whether the fault is injected this leg. Rows branch on
+	// it to enable their fault hooks; everything else must be identical.
+	Armed bool
+	// State carries whatever Run built (the stack under test) to the
+	// post-mortem Check. Each leg gets a fresh Env, so no state crosses
+	// legs or repeated matrix runs.
+	State any
+
+	// acquire hands out an extra pooled machine (migration rows need a
+	// destination host). The harness installs it and releases every
+	// machine when the leg ends.
+	acquire func(cfg *hw.MachineConfig) *hw.Machine
+}
+
+// Machine acquires an additional pooled machine for this leg (beyond
+// env.M) — e.g. the destination host of a migration row. It is released
+// back to the worker's pool with the rest of the leg's machines.
+func (e *Env) Machine(cfg *hw.MachineConfig) *hw.Machine {
+	if cfg == nil {
+		cfg = DefaultConfig
+	}
+	return e.acquire(cfg)
+}
+
+// DefaultConfig is the machine shape rows get when they declare no Cfg.
+var DefaultConfig = &hw.MachineConfig{Frames: 1024, IRQLines: 16}
+
+// registry holds the matrix rows, kept sorted by ID.
+var registry []S
+
+// Register adds one row to the matrix (called from the rows_*.go init
+// functions). Malformed or duplicate rows panic at init: the matrix is
+// declarative and must be wholly well-formed before anything runs.
+func Register(s S) {
+	if s.ID == "" || s.Subsystem == "" || s.Fault == "" {
+		panic(fmt.Sprintf("scenario: row %+v missing id, subsystem or fault", s))
+	}
+	if !strings.HasPrefix(s.ID, s.Subsystem+"/") {
+		panic(fmt.Sprintf("scenario: id %q must start with %q", s.ID, s.Subsystem+"/"))
+	}
+	known := false
+	for _, sub := range Subsystems {
+		if s.Subsystem == sub {
+			known = true
+		}
+	}
+	if !known {
+		panic(fmt.Sprintf("scenario: %s names unknown subsystem %q", s.ID, s.Subsystem))
+	}
+	if s.Expect.Desc == "" || (s.Expect.Err == nil && s.Expect.Panic == "" && s.Expect.Check == nil) {
+		panic(fmt.Sprintf("scenario: %s declares no expected outcome", s.ID))
+	}
+	if s.Run == nil {
+		panic(fmt.Sprintf("scenario: %s has no Run", s.ID))
+	}
+	for _, r := range registry {
+		if r.ID == s.ID {
+			panic(fmt.Sprintf("scenario: duplicate id %q", s.ID))
+		}
+	}
+	registry = append(registry, s)
+	sort.Slice(registry, func(i, j int) bool { return registry[i].ID < registry[j].ID })
+}
+
+// Rows returns the full matrix, sorted by ID.
+func Rows() []S {
+	return append([]S(nil), registry...)
+}
+
+// Lookup returns the row with the given id.
+func Lookup(id string) (S, bool) {
+	for _, s := range registry {
+		if s.ID == id {
+			return s, true
+		}
+	}
+	return S{}, false
+}

@@ -1,0 +1,107 @@
+package scenario
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+// mustPanic runs fn and returns the panic message, failing the test if fn
+// returns normally.
+func mustPanic(t *testing.T, fn func()) string {
+	t.Helper()
+	var msg string
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				msg = r.(string)
+			}
+		}()
+		fn()
+		t.Fatal("expected panic, got normal return")
+	}()
+	return msg
+}
+
+// validRow is a well-formed fixture the rejection tests mutate. Its ID
+// collides with a registered row on purpose, so even a test bug that
+// reaches the duplicate check cannot pollute the registry.
+func validRow() S {
+	return S{
+		ID: "hw/alloc-beyond-physmem", Subsystem: "hw", Fault: "fixture",
+		Expect: Outcome{Desc: "d", Panic: "p"},
+		Run:    func(*Env) error { return nil },
+	}
+}
+
+// TestRegisterRejectsMalformed pins every registration invariant: the
+// matrix must be wholly well-formed before anything runs.
+func TestRegisterRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*S)
+		want   string
+	}{
+		{"missing id", func(s *S) { s.ID = "" }, "missing id"},
+		{"missing fault", func(s *S) { s.Fault = "" }, "missing id"},
+		{"id prefix", func(s *S) { s.ID = "mk/misfiled" }, "must start with"},
+		{"unknown subsystem", func(s *S) { s.ID = "net/x"; s.Subsystem = "net" }, "unknown subsystem"},
+		{"no outcome desc", func(s *S) { s.Expect.Desc = "" }, "no expected outcome"},
+		{"no outcome hook", func(s *S) { s.Expect = Outcome{Desc: "d"} }, "no expected outcome"},
+		{"no run", func(s *S) { s.Run = nil }, "has no Run"},
+		{"duplicate id", func(s *S) {}, "duplicate id"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := validRow()
+			tc.mutate(&s)
+			msg := mustPanic(t, func() { Register(s) })
+			if !strings.Contains(msg, tc.want) {
+				t.Errorf("panic %q, want substring %q", msg, tc.want)
+			}
+		})
+	}
+}
+
+// TestRowsSortedAndCopied: Rows returns the matrix in ID order, and the
+// returned slice is the caller's to mutate.
+func TestRowsSortedAndCopied(t *testing.T) {
+	rows := Rows()
+	if !sort.SliceIsSorted(rows, func(i, j int) bool { return rows[i].ID < rows[j].ID }) {
+		t.Error("Rows() not sorted by ID")
+	}
+	first := rows[0].ID
+	rows[0].ID = "mutated"
+	if Rows()[0].ID != first {
+		t.Error("mutating Rows() result leaked into the registry")
+	}
+}
+
+// TestLookup finds every registered row and nothing else.
+func TestLookup(t *testing.T) {
+	for _, s := range Rows() {
+		got, ok := Lookup(s.ID)
+		if !ok || got.ID != s.ID {
+			t.Errorf("Lookup(%q) = %v, %v", s.ID, got.ID, ok)
+		}
+	}
+	if _, ok := Lookup("hw/absent"); ok {
+		t.Error("Lookup found a row that was never registered")
+	}
+}
+
+// TestListReportShape: the list output declares every row with its fault
+// and expected outcome, without running anything.
+func TestListReportShape(t *testing.T) {
+	res := ListReport()
+	if len(res.Tables) != 1 {
+		t.Fatalf("list report has %d tables, want 1", len(res.Tables))
+	}
+	if got, want := len(res.Tables[0].Rows), len(Rows()); got != want {
+		t.Errorf("list has %d rows, want %d", got, want)
+	}
+	text := res.Text()
+	if !strings.Contains(text, "fslite/write-device-error-midfile") {
+		t.Error("list text missing a known row id")
+	}
+}

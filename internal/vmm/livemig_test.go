@@ -318,3 +318,119 @@ func TestMigrateLiveErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// --- transport hook and abort unwinding --------------------------------------
+
+// TestMigrateLiveTransportSeesEveryBatch pins the Transport contract: it is
+// consulted once per pre-copy round (1-based, with the round's page count)
+// and once for the blackout batch (round 0), and a clean link changes
+// nothing about the migration's outcome.
+func TestMigrateLiveTransportSeesEveryBatch(t *testing.T) {
+	r := newLiveRig(t)
+	if err := r.h.GuestMemWrite(r.domU.ID, 3, 0, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	type batch struct{ round, pages int }
+	var batches []batch
+	moved, _, err := MigrateLive(r.h, r.domU.ID, r.dstH, LiveOpts{
+		Transport: func(round, pages int) error {
+			batches = append(batches, batch{round, pages})
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batches) < 2 {
+		t.Fatalf("transport saw %d batches, want >= 2 (pre-copy + blackout)", len(batches))
+	}
+	if batches[0].round != 1 || batches[0].pages != 64 {
+		t.Errorf("first batch = %+v, want round 1 with all 64 pages", batches[0])
+	}
+	if last := batches[len(batches)-1]; last.round != 0 {
+		t.Errorf("last batch = %+v, want the blackout (round 0)", last)
+	}
+	if moved == nil {
+		t.Fatal("no destination domain")
+	}
+}
+
+// TestMigrateLiveLinkFailureAborts: a transport error during pre-copy must
+// abort cleanly — the sentinel and the cause both surface, the dirty log is
+// off, the destination keeps no shell, and the source is live and
+// migratable again.
+func TestMigrateLiveLinkFailureAborts(t *testing.T) {
+	linkDown := errors.New("link down")
+	for name, failAt := range map[string]int{"pre-copy": 1, "blackout": 0} {
+		t.Run(name, func(t *testing.T) {
+			r := newLiveRig(t)
+			dstDomains := len(r.dstH.Domains())
+			_, _, err := MigrateLive(r.h, r.domU.ID, r.dstH, LiveOpts{
+				Transport: func(round, pages int) error {
+					if round == failAt {
+						return linkDown
+					}
+					return nil
+				},
+			})
+			if !errors.Is(err, ErrMigrationAborted) || !errors.Is(err, linkDown) {
+				t.Fatalf("err = %v, want ErrMigrationAborted wrapping the link error", err)
+			}
+			if r.domU.dirtyLog != nil {
+				t.Error("abort left the dirty log enabled")
+			}
+			if got := len(r.dstH.Domains()); got != dstDomains {
+				t.Errorf("destination holds %d domains after abort, want %d", got, dstDomains)
+			}
+			if !r.h.Alive(r.domU.ID) || r.h.Paused(r.domU.ID) {
+				t.Fatal("abort left the source dead or paused")
+			}
+			if _, _, err := MigrateLive(r.h, r.domU.ID, r.dstH, LiveOpts{}); err != nil {
+				t.Fatalf("source not migratable after abort: %v", err)
+			}
+		})
+	}
+}
+
+// TestMigrateLiveSourceDeathAborts: the guest dying between rounds (crash
+// or toolstack DestroyDomain) aborts with ErrDomainDead and releases every
+// destination frame the half-filled shell held.
+func TestMigrateLiveSourceDeathAborts(t *testing.T) {
+	r := newLiveRig(t)
+	dstFree := r.m2.Mem.FreeFrames()
+	_, _, err := MigrateLive(r.h, r.domU.ID, r.dstH, LiveOpts{
+		MaxRounds: 4,
+		GuestWork: func(round int) {
+			if round == 2 {
+				r.h.DestroyDomain(r.domU.ID)
+			} else if err := r.h.GuestMemWrite(r.domU.ID, round, 0, []byte("dirty")); err != nil {
+				t.Error(err)
+			}
+		},
+	})
+	if !errors.Is(err, ErrMigrationAborted) || !errors.Is(err, ErrDomainDead) {
+		t.Fatalf("err = %v, want ErrMigrationAborted wrapping ErrDomainDead", err)
+	}
+	if got := r.m2.Mem.FreeFrames(); got != dstFree {
+		t.Errorf("destination frames leaked: %d free after abort, want %d", got, dstFree)
+	}
+}
+
+// TestMigrateLiveCallerPausedStaysPaused: abort only resumes a source the
+// migration itself paused — a domain the caller paused stays paused.
+func TestMigrateLiveCallerPausedStaysPaused(t *testing.T) {
+	r := newLiveRig(t)
+	if err := r.h.Pause(r.domU.ID); err != nil {
+		t.Fatal(err)
+	}
+	linkDown := errors.New("link down")
+	_, _, err := MigrateLive(r.h, r.domU.ID, r.dstH, LiveOpts{
+		Transport: func(round, pages int) error { return linkDown },
+	})
+	if !errors.Is(err, ErrMigrationAborted) {
+		t.Fatalf("err = %v, want ErrMigrationAborted", err)
+	}
+	if !r.h.Paused(r.domU.ID) {
+		t.Error("abort resumed a domain the caller had paused")
+	}
+}

@@ -279,6 +279,12 @@ func Migrate(src *Hypervisor, dom DomID, dst *Hypervisor) (*Domain, error) {
 	return shell, nil
 }
 
+// ErrMigrationAborted is returned when a live migration cannot finish —
+// the link failed or the source domain died mid-copy. The abort is clean:
+// the destination shell is destroyed, the dirty log disabled, and a source
+// paused for the blackout is resumed. The underlying cause is wrapped.
+var ErrMigrationAborted = errors.New("vmm: live migration aborted")
+
 // LiveOpts parameterises a pre-copy live migration.
 type LiveOpts struct {
 	// MaxRounds bounds the pre-copy rounds before the stop-and-copy
@@ -292,6 +298,13 @@ type LiveOpts struct {
 	// each pre-copy round (1-based round number). The guest dirties pages
 	// through Hypervisor.GuestMemWrite, which the armed dirty log sees.
 	GuestWork func(round int)
+	// Transport, when non-nil, models the migration link. It is consulted
+	// before each page batch crosses — round is the 1-based pre-copy round,
+	// or 0 for the final blackout batch — with the number of pages about to
+	// move. Returning an error aborts the migration: MigrateLive tears the
+	// destination shell down, disables the dirty log, resumes a source it
+	// paused, and returns ErrMigrationAborted wrapping the link error.
+	Transport func(round, pages int) error
 }
 
 // LiveStats reports what a live migration did and what it cost.
@@ -343,6 +356,20 @@ func MigrateLive(src *Hypervisor, dom DomID, dst *Hypervisor, opts LiveOpts) (*D
 
 	ps := src.M.Mem.PageSize()
 	stats := &LiveStats{}
+	// abort unwinds a migration that cannot finish: whatever the cause, the
+	// destination must not keep a half-filled shell, the source must not
+	// keep log-dirty write protection, and a source paused for the blackout
+	// must resume. pausedHere distinguishes "we paused it for the blackout"
+	// from "the caller handed us a paused domain".
+	pausedHere := false
+	abort := func(cause error) (*Domain, *LiveStats, error) {
+		src.DisableDirtyLog(dom)
+		if pausedHere && src.Alive(dom) {
+			src.Unpause(dom)
+		}
+		dst.DestroyDomain(shell.ID)
+		return nil, nil, fmt.Errorf("%w: %w", ErrMigrationAborted, cause)
+	}
 	// sendAll moves one round's worth of pages and charges the copy work
 	// as a single batch per machine: both ends pay a fixed cost per page,
 	// so the round's aggregate is cycle-identical to charging page by
@@ -373,6 +400,17 @@ func MigrateLive(src *Hypervisor, dom DomID, dst *Hypervisor, opts LiveOpts) (*D
 		stats.Rounds = round
 		if opts.GuestWork != nil {
 			opts.GuestWork(round)
+			// The guest's activity may include dying (crash, DestroyDomain
+			// from the toolstack). Copying out of a dead domain's frames
+			// would read memory the ledger has already reclaimed.
+			if !src.Alive(dom) {
+				return abort(ErrDomainDead)
+			}
+		}
+		if opts.Transport != nil {
+			if err := opts.Transport(round, len(toSend)); err != nil {
+				return abort(err)
+			}
 		}
 		sendAll(toSend)
 		dirty := dl.Rearm()
@@ -386,9 +424,18 @@ func MigrateLive(src *Hypervisor, dom DomID, dst *Hypervisor, opts LiveOpts) (*D
 	// The blackout: pause, move the remainder and the page table, kill the
 	// source copy. Everything in this window is guest-visible downtime.
 	downSrc, downDst := src.M.Now(), dst.M.Now()
+	pausedHere = !src.Paused(dom)
 	if err := src.Pause(dom); err != nil {
-		src.DisableDirtyLog(dom)
-		return nil, nil, err
+		pausedHere = false
+		return abort(err)
+	}
+	if opts.Transport != nil {
+		// The link can fail inside the blackout too — the worst case, since
+		// the guest is already off the source's run queue. The abort path
+		// resumes it.
+		if err := opts.Transport(0, len(toSend)); err != nil {
+			return abort(err)
+		}
 	}
 	sendAll(toSend)
 	stats.PagesFinal = len(toSend)
