@@ -235,6 +235,40 @@ func BenchmarkE12SMPParallel(b *testing.B) {
 	}
 }
 
+// benchE13Config is a trimmed fleet sweep sized for benchmarking.
+var benchE13Config = core.E13Config{
+	Fleets:     []int{2, 4},
+	Churns:     []int{32},
+	HostFrames: 160,
+}
+
+// BenchmarkE13Cluster regenerates the fleet placement-and-migration sweep.
+func BenchmarkE13Cluster(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := serialEng.E13(benchE13Config)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkE13ClusterParallel fans the fleet cells (each booting a whole
+// cluster of pooled hosts) across the worker pool.
+func BenchmarkE13ClusterParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := parallelEng.E13(benchE13Config)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
 // BenchmarkAllExperiments runs the entire evaluation once per iteration —
 // the end-to-end "reproduce the paper" cost.
 func BenchmarkAllExperiments(b *testing.B) {

@@ -6,9 +6,9 @@
 //	vmmklab [flags] <experiment>...
 //	vmmklab all
 //	vmmklab list
-//	vmmklab scenarios [list] [-run id,id,...]
+//	vmmklab scenarios [list] [-run id,id,...] [-shuffle seed]
 //
-// Experiments are e1 through e12 (see EXPERIMENTS.md for the index). The
+// Experiments are e1 through e13 (see EXPERIMENTS.md for the index). The
 // parameter flags are generated from the experiment registry
 // (internal/core): each registered parameter becomes one flag, shared by
 // every experiment that declares it. Run `vmmklab -h` for the generated
@@ -23,6 +23,10 @@
 //	-dirty n     peak dirty rate (pages/round) for E11 (default 48)
 //	-cpus list   comma-separated core counts for the E12 SMP sweep
 //	             (default 1,2,4,8)
+//	-fleet list  comma-separated host counts for the E13 fleet sweep
+//	             (default 2,4,8)
+//	-churn list  comma-separated churn event counts for E13 (default 24,96)
+//	-hostframes n  physical pages per E13 host (default 192)
 //
 // Engine and output flags (not experiment parameters):
 //
@@ -33,8 +37,10 @@
 //
 // `vmmklab scenarios` runs the fault-injection scenario matrix
 // (internal/scenario): every row injects one fault and checks the stack
-// reports the declared typed error, panic or post-mortem state.
-// `scenarios list` prints the declared rows; -run selects a subset. A
+// reports the declared typed error, panic, post-mortem state or cross-leg
+// trace invariant. `scenarios list` prints the declared rows; -run selects
+// a subset; -shuffle <seed> runs the whole matrix in a seeded
+// pseudo-random order (the same seed always yields the same order). A
 // failing row exits nonzero — the CI scenarios job keys on that.
 //
 // Flags may appear before or after experiment names (vmmklab e12 -cpus 2
@@ -72,6 +78,7 @@ func run(args []string) error {
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
 	jsonOut := fs.Bool("json", false, "emit one JSON document per experiment")
 	runIDs := fs.String("run", "", "comma-separated scenario ids (scenarios subcommand only)")
+	shuffle := fs.Uint64("shuffle", 0, "seed for a pseudo-random scenario order (scenarios subcommand only; 0 = ID order)")
 	// Every experiment parameter flag is generated from the registry: one
 	// flag per declared parameter name, shared across the experiments that
 	// declare it.
@@ -146,7 +153,7 @@ func run(args []string) error {
 	// The scenario matrix is a subcommand, not an experiment: it has its
 	// own registry (internal/scenario) and pass/fail semantics.
 	if positional[0] == "scenarios" {
-		return runScenarios(positional[1:], *runIDs, *parallel, *csv, *jsonOut)
+		return runScenarios(positional[1:], *runIDs, *shuffle, *parallel, *csv, *jsonOut)
 	}
 
 	var ids []string

@@ -136,6 +136,8 @@ func goldenArgs(id string) []string {
 		return []string{"-frames", "48", "-rounds", "2", "-dirty", "8"}
 	case "e12":
 		return []string{"-cpus", "1,2"}
+	case "e13":
+		return []string{"-fleet", "2,3", "-churn", "24", "-hostframes", "128"}
 	}
 	return nil
 }
@@ -180,9 +182,9 @@ func TestGoldenTextAndCSV(t *testing.T) {
 }
 
 // TestGoldenJSON pins the stable JSON encoding for a representative subset
-// (a sweep, a fixed-configuration table, and the SMP grid).
+// (a sweep, a fixed-configuration table, the SMP grid, and the fleet sweep).
 func TestGoldenJSON(t *testing.T) {
-	for _, id := range []string{"e1", "e3", "e12"} {
+	for _, id := range []string{"e1", "e3", "e12", "e13"} {
 		id := id
 		t.Run(id, func(t *testing.T) {
 			checkGolden(t, id+".json.golden", append([]string{"-json", id}, goldenArgs(id)...))
@@ -199,7 +201,8 @@ func TestAllJSONParses(t *testing.T) {
 		t.Skip("runs every experiment")
 	}
 	args := []string{"-packets", "20", "-syscalls", "40", "-guests", "2", "-requests", "10",
-		"-frames", "48", "-rounds", "2", "-dirty", "8", "-cpus", "1,2", "all", "-json"}
+		"-frames", "48", "-rounds", "2", "-dirty", "8", "-cpus", "1,2",
+		"-fleet", "2", "-churn", "24", "-hostframes", "128", "all", "-json"}
 	out, err := capture(t, func() error { return run(args) })
 	if err != nil {
 		t.Fatal(err)

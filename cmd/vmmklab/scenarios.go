@@ -11,11 +11,13 @@ import (
 // runScenarios is the `vmmklab scenarios` subcommand: the fault-injection
 // scenario matrix (internal/scenario). With no further arguments it runs
 // the whole matrix; `scenarios list` prints the declared rows without
-// running anything; -run selects a comma-separated subset. Output goes
-// through the same text/CSV/JSON renderers as the experiments. Any failing
-// row makes the command return an error (nonzero exit) — this is what the
-// CI scenarios job keys on.
-func runScenarios(positional []string, runIDs string, parallel int, csv, jsonOut bool) error {
+// running anything; -run selects a comma-separated subset; -shuffle runs
+// the whole matrix in a seeded pseudo-random order, proving no row depends
+// on its neighbours' pool residue. Output goes through the same
+// text/CSV/JSON renderers as the experiments. Any failing row makes the
+// command return an error (nonzero exit) — this is what the CI scenarios
+// job keys on.
+func runScenarios(positional []string, runIDs string, shuffle uint64, parallel int, csv, jsonOut bool) error {
 	list := false
 	for _, a := range positional {
 		switch a {
@@ -25,6 +27,9 @@ func runScenarios(positional []string, runIDs string, parallel int, csv, jsonOut
 			return fmt.Errorf("unknown scenarios argument %q (try 'scenarios list' or -run <ids>)", a)
 		}
 	}
+	if shuffle != 0 && (list || runIDs != "") {
+		return fmt.Errorf("usage: -shuffle runs the whole matrix; it cannot combine with list or -run")
+	}
 
 	var res *core.Result
 	var failed int
@@ -32,6 +37,9 @@ func runScenarios(positional []string, runIDs string, parallel int, csv, jsonOut
 		res = scenario.ListReport()
 	} else {
 		var ids []string
+		if shuffle != 0 {
+			ids = scenario.ShuffledIDs(shuffle)
+		}
 		if runIDs != "" {
 			for _, id := range strings.Split(runIDs, ",") {
 				if id = strings.TrimSpace(id); id != "" {

@@ -1,0 +1,22 @@
+// Package cluster is the fleet layer of the simulator: N simulated hosts,
+// each a pooled hw.Machine running a vmm.Hypervisor, under one placement
+// control plane. It is where the paper's closing argument — VMMs won
+// because they manage *whole systems*, not just address spaces — becomes
+// measurable: admission control and bin-packing vs. spread placement,
+// memory overcommit realized with the balloon hypercalls, and cross-host
+// live migration composed from vmm.MigrateLive and a vmm.Link whose
+// bandwidth, latency and budget are charged to each host's own trace
+// components.
+//
+// Everything is deterministic: placement scans hosts in index order with
+// strict-inequality tie-breaks, churn draws from a caller-seeded
+// simrand.Rand, and no code path ranges over a map. Running the same
+// (seed, policy, fleet) twice produces the same placement log, the same
+// migrations and the same per-host cycle counts — the property E13 and the
+// scenario matrix pin.
+//
+// The package deliberately does not import internal/core: the experiment
+// layer hands New a MachineSource bound to its per-worker machine pool,
+// and the scenario matrix binds one to its Env. A nil source boots fresh
+// machines, so direct use needs no harness.
+package cluster

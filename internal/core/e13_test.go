@@ -1,0 +1,54 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+// e13SmallConfig is the trimmed sweep the differential tests run.
+func e13SmallConfig() E13Config {
+	return E13Config{Fleets: []int{2, 3}, Churns: []int{32}, HostFrames: 160}
+}
+
+// TestE13SerialMatchesParallel is the fleet sweep's determinism
+// differential: one worker and many workers must produce identical rows,
+// even though the parallel run slices the fleet boots across per-worker
+// machine pools.
+func TestE13SerialMatchesParallel(t *testing.T) {
+	serial, err := SerialRunner().E13(e13SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := NewRunner(8).E13(e13SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("serial and parallel E13 rows differ:\n%+v\nvs\n%+v", serial, parallel)
+	}
+}
+
+// TestE13RowsShaped sanity-checks the sweep's content: every (fleet,
+// churn, policy) cell present, churn placing guests, and the consolidation
+// column distinguishing the two policies somewhere in the sweep.
+func TestE13RowsShaped(t *testing.T) {
+	cfg := E13Defaults()
+	rows, err := SerialRunner().E13(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(cfg.Fleets) * len(cfg.Churns) * 2
+	if len(rows) != want {
+		t.Fatalf("got %d rows, want %d", len(rows), want)
+	}
+	consol := map[string]float64{}
+	for _, r := range rows {
+		if r.Placed == 0 {
+			t.Fatalf("cell %+v placed nothing", r)
+		}
+		consol[r.Policy] += r.ConsolPct
+	}
+	if consol["binpack"] <= consol["spread"] {
+		t.Fatalf("binpack did not consolidate more than spread: %v", consol)
+	}
+}

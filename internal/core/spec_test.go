@@ -10,9 +10,9 @@ import (
 )
 
 // TestRegistryHasAllExperiments pins the registry's contents and natural
-// ordering: all twelve experiments, e2 before e10.
+// ordering: all thirteen experiments, e2 before e10.
 func TestRegistryHasAllExperiments(t *testing.T) {
-	want := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12"}
+	want := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13"}
 	specs := Specs()
 	if len(specs) != len(want) {
 		t.Fatalf("registry holds %d experiments, want %d", len(specs), len(want))

@@ -11,15 +11,15 @@ import (
 // time: every scenario.S literal declares a constant non-empty ID,
 // Subsystem and Fault; the ID is "<subsystem>/<slug>" for a known
 // subsystem; the expected outcome is an inline scenario.Outcome literal
-// with a constant non-empty Desc and at least one of Err, Panic or Check;
-// and the row has a Run. scenario.Register re-checks most of this at init,
-// but a malformed row should fail `vmmklint`, not the first program that
-// imports the matrix.
+// with a constant non-empty Desc and at least one of Err, Panic, Check or
+// Compare; and the row has a Run. scenario.Register re-checks most of this
+// at init, but a malformed row should fail `vmmklint`, not the first
+// program that imports the matrix.
 var AnalyzerScenrow = &Analyzer{
 	Name: "scenrow",
 	Doc: "scenario-matrix conventions: constant id/subsystem/fault on every " +
 		"scenario.S, ids shaped <subsystem>/<slug>, inline Outcome with a " +
-		"Desc and at least one of Err/Panic/Check, and a Run",
+		"Desc and at least one of Err/Panic/Check/Compare, and a Run",
 	Run: runScenrow,
 }
 
@@ -103,11 +103,13 @@ func checkOutcomeLit(pass *Pass, e ast.Expr) {
 	} else if s, isConst := constString(pass, desc); !isConst || s == "" {
 		pass.Reportf(desc.Pos(), "scenario.Outcome Desc must be a non-empty string constant")
 	}
-	if _, hasErr := fields["Err"]; !hasErr {
-		if _, hasPanic := fields["Panic"]; !hasPanic {
-			if _, hasCheck := fields["Check"]; !hasCheck {
-				pass.Reportf(out.Pos(), "scenario.Outcome declares none of Err, Panic or Check; the armed run needs at least one graded expectation")
-			}
+	graded := false
+	for _, name := range []string{"Err", "Panic", "Check", "Compare"} {
+		if _, has := fields[name]; has {
+			graded = true
 		}
+	}
+	if !graded {
+		pass.Reportf(out.Pos(), "scenario.Outcome declares none of Err, Panic, Check or Compare; the armed run needs at least one graded expectation")
 	}
 }

@@ -28,6 +28,12 @@ func rows() []scenario.S {
 			Expect: scenario.Outcome{Desc: "state predicate", Check: func(*scenario.Env) error { return nil }},
 			Run:    func(*scenario.Env) error { return nil },
 		},
+		{
+			// Compare alone is a valid expectation: a cross-leg trace invariant.
+			ID: "hw/compare-only", Subsystem: "hw", Fault: "fixture fault",
+			Expect: scenario.Outcome{Desc: "trace invariant", Compare: func(_, _ *scenario.Env) error { return nil }},
+			Run:    func(*scenario.Env) error { return nil },
+		},
 		{ // want `missing ID` `missing Fault`
 			Subsystem: "mk",
 			Expect:    scenario.Outcome{Desc: "d", Err: errBoom},
@@ -59,7 +65,7 @@ func rows() []scenario.S {
 		},
 		{
 			ID: "mk/ungraded", Subsystem: "mk", Fault: "fixture fault",
-			Expect: scenario.Outcome{Desc: "d"}, // want `declares none of Err, Panic or Check`
+			Expect: scenario.Outcome{Desc: "d"}, // want `declares none of Err, Panic, Check or Compare`
 			Run:    func(*scenario.Env) error { return nil },
 		},
 		{

@@ -72,14 +72,17 @@ func Run(opts Options) ([]RowResult, error) {
 	})
 }
 
-// execute runs one row's two legs and folds them into a result.
+// execute runs one row's two legs and folds them into a result. When the
+// row declares a Compare, both legs' Envs are retained and the cross-leg
+// invariant is graded after both legs pass on their own.
 func execute(ctx context.Context, s S) RowResult {
 	res := RowResult{
 		ID: s.ID, Subsystem: s.Subsystem, Fault: s.Fault,
 		Expect: s.Expect.Desc, Status: StatusPass,
 	}
-	for _, armed := range []bool{false, true} {
-		detail, skip := runLeg(ctx, s, armed)
+	var legs [2]*Env
+	for i, armed := range []bool{false, true} {
+		env, detail, skip := runLeg(ctx, s, armed)
 		if skip != "" {
 			res.Status, res.Detail = StatusSkip, skip
 			return res
@@ -88,12 +91,21 @@ func execute(ctx context.Context, s S) RowResult {
 			res.Status, res.Detail = StatusFail, detail
 			return res
 		}
+		legs[i] = env
+	}
+	if s.Expect.Compare != nil {
+		// Both legs' machines are released by now; Compare grades only
+		// what the Runs copied into State.
+		if cerr := s.Expect.Compare(legs[0], legs[1]); cerr != nil {
+			res.Status, res.Detail = StatusFail, fmt.Sprintf("cross-leg compare: %v", cerr)
+		}
 	}
 	return res
 }
 
-// runLeg executes one leg of a row on a pooled machine and grades it.
-func runLeg(ctx context.Context, s S, armed bool) (detail, skip string) {
+// runLeg executes one leg of a row on a pooled machine, grades it, and
+// returns the leg's Env for cross-leg comparison.
+func runLeg(ctx context.Context, s S, armed bool) (env *Env, detail, skip string) {
 	cfg := s.Cfg
 	if cfg == nil {
 		cfg = DefaultConfig
@@ -107,7 +119,7 @@ func runLeg(ctx context.Context, s S, armed bool) (detail, skip string) {
 			releases[i]()
 		}
 	}()
-	env := &Env{M: m, Armed: armed}
+	env = &Env{M: m, Armed: armed}
 	env.acquire = func(c *hw.MachineConfig) *hw.Machine {
 		extra, rel := core.AcquireMachine(ctx, hw.X86(), c)
 		releases = append(releases, rel)
@@ -116,7 +128,7 @@ func runLeg(ctx context.Context, s S, armed bool) (detail, skip string) {
 	err, panicMsg := invoke(s.Run, env)
 	var sk *skipError
 	if errors.As(err, &sk) {
-		return "", sk.reason
+		return env, "", sk.reason
 	}
 	leg := "control"
 	if armed {
@@ -125,29 +137,29 @@ func runLeg(ctx context.Context, s S, armed bool) (detail, skip string) {
 	switch {
 	case armed && s.Expect.Panic != "":
 		if panicMsg == "" {
-			return fmt.Sprintf("armed run completed (err=%v), want panic containing %q", err, s.Expect.Panic), ""
+			return env, fmt.Sprintf("armed run completed (err=%v), want panic containing %q", err, s.Expect.Panic), ""
 		}
 		if !strings.Contains(panicMsg, s.Expect.Panic) {
-			return fmt.Sprintf("armed run panicked with %q, want substring %q", panicMsg, s.Expect.Panic), ""
+			return env, fmt.Sprintf("armed run panicked with %q, want substring %q", panicMsg, s.Expect.Panic), ""
 		}
 	case panicMsg != "":
-		return fmt.Sprintf("%s run panicked: %s", leg, panicMsg), ""
+		return env, fmt.Sprintf("%s run panicked: %s", leg, panicMsg), ""
 	case armed && s.Expect.Err != nil:
 		if err == nil {
-			return fmt.Sprintf("armed run returned nil, want %v", s.Expect.Err), ""
+			return env, fmt.Sprintf("armed run returned nil, want %v", s.Expect.Err), ""
 		}
 		if !errors.Is(err, s.Expect.Err) {
-			return fmt.Sprintf("armed run returned %q, want %v", err, s.Expect.Err), ""
+			return env, fmt.Sprintf("armed run returned %q, want %v", err, s.Expect.Err), ""
 		}
 	case err != nil:
-		return fmt.Sprintf("%s run failed: %v", leg, err), ""
+		return env, fmt.Sprintf("%s run failed: %v", leg, err), ""
 	}
 	if s.Expect.Check != nil {
 		if cerr := s.Expect.Check(env); cerr != nil {
-			return fmt.Sprintf("%s post-mortem check: %v", leg, cerr), ""
+			return env, fmt.Sprintf("%s post-mortem check: %v", leg, cerr), ""
 		}
 	}
-	return "", ""
+	return env, "", ""
 }
 
 // invoke runs fn with panics converted to a message — expected panics are a

@@ -245,6 +245,92 @@ func TestHarnessSkip(t *testing.T) {
 	}
 }
 
+// TestHarnessCompare: the cross-leg Compare runs once after both legs pass,
+// with the control Env first and the armed Env second, and its error fails
+// the row with a cross-leg detail.
+func TestHarnessCompare(t *testing.T) {
+	ran := 0
+	res := execute(context.Background(), fabricate(
+		Outcome{Desc: "trace invariant", Compare: func(control, armed *Env) error {
+			ran++
+			if control.Armed || !armed.Armed {
+				return fmt.Errorf("legs handed to Compare in the wrong order")
+			}
+			return nil
+		}},
+		func(env *Env) error {
+			env.State = env.Armed
+			return nil
+		},
+	))
+	if res.Status != StatusPass {
+		t.Fatalf("got %s (%s), want pass", res.Status, res.Detail)
+	}
+	if ran != 1 {
+		t.Fatalf("Compare ran %d times, want 1", ran)
+	}
+
+	res = execute(context.Background(), fabricate(
+		Outcome{Desc: "trace invariant", Compare: func(control, armed *Env) error {
+			return fmt.Errorf("delta out of bounds")
+		}},
+		func(env *Env) error { return nil },
+	))
+	if res.Status != StatusFail || !strings.Contains(res.Detail, "cross-leg compare: delta out of bounds") {
+		t.Fatalf("got %s (%s), want cross-leg compare failure", res.Status, res.Detail)
+	}
+}
+
+// TestHarnessCompareSkippedOnLegFailure: a row whose own legs fail never
+// reaches Compare — the per-leg detail, not a confusing cross-leg one, is
+// what the matrix reports.
+func TestHarnessCompareSkippedOnLegFailure(t *testing.T) {
+	ran := false
+	res := execute(context.Background(), fabricate(
+		Outcome{Desc: "trace invariant", Compare: func(control, armed *Env) error {
+			ran = true
+			return nil
+		}},
+		func(env *Env) error { return fmt.Errorf("leg broke") },
+	))
+	if res.Status != StatusFail || !strings.Contains(res.Detail, "control run failed") {
+		t.Fatalf("got %s (%s), want control-leg failure", res.Status, res.Detail)
+	}
+	if ran {
+		t.Fatal("Compare ran despite a failed leg")
+	}
+}
+
+// TestShuffledIDs pins the -shuffle contract: a seeded shuffle is a
+// permutation of the whole matrix, the same seed always yields the same
+// order, and the order actually differs from the sorted registry order.
+func TestShuffledIDs(t *testing.T) {
+	ids := ShuffledIDs(7)
+	if len(ids) != len(Rows()) {
+		t.Fatalf("shuffle has %d ids, matrix %d", len(ids), len(Rows()))
+	}
+	seen := map[string]bool{}
+	for _, id := range ids {
+		if seen[id] {
+			t.Fatalf("shuffle repeats %s", id)
+		}
+		seen[id] = true
+		if _, ok := Lookup(id); !ok {
+			t.Fatalf("shuffle invented %s", id)
+		}
+	}
+	if !reflect.DeepEqual(ids, ShuffledIDs(7)) {
+		t.Fatal("same seed produced different orders")
+	}
+	sorted := make([]string, 0, len(Rows()))
+	for _, s := range Rows() {
+		sorted = append(sorted, s.ID)
+	}
+	if reflect.DeepEqual(ids, sorted) {
+		t.Fatal("seed 7 left the matrix in sorted order — shuffle is a no-op")
+	}
+}
+
 // TestReportShape pins the report's table layout: the matrix table plus the
 // per-subsystem summary, with one summary line per subsystem present.
 func TestReportShape(t *testing.T) {

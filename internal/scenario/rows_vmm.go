@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"vmmk/internal/hw"
+	"vmmk/internal/trace"
 	"vmmk/internal/vmm"
 )
 
@@ -14,7 +15,9 @@ import (
 // back as a typed error with the hypervisor and the surviving domains
 // intact.
 
-// vmmState carries the hypervisors and domains under test to Check.
+// vmmState carries the hypervisors and domains under test to Check, plus
+// the recorder numbers the cross-leg Compare rows grade after the leg's
+// machines are back in the pool.
 type vmmState struct {
 	h, dst   *vmm.Hypervisor
 	dstM     *hw.Machine
@@ -22,6 +25,9 @@ type vmmState struct {
 	free     int
 	dstFree0 int
 	link     *Link
+
+	dirtyFaults uint64
+	dstCycles   uint64
 }
 
 // vmmStillWorks probes that the hypervisor survived: create, touch and
@@ -573,6 +579,107 @@ func init() {
 				MaxRounds: 3,
 				Transport: link.Transport(env.M, m2),
 			})
+			if err != nil {
+				return err
+			}
+			return dst.Unpause(mig.ID)
+		},
+	})
+
+	Register(S{
+		ID:        "vmm/dirty-log-fault-accounting",
+		Subsystem: "vmm",
+		Fault:     "dirty logging armed across repeated stores to 6 guest pages",
+		Expect: Outcome{
+			Desc: "KDirtyLogFault delta is exactly one per protected page, zero disarmed",
+			Compare: func(control, armed *Env) error {
+				c := control.State.(*vmmState).dirtyFaults
+				a := armed.State.(*vmmState).dirtyFaults
+				if c != 0 {
+					return fmt.Errorf("control leg took %d dirty-log faults with logging off", c)
+				}
+				if a != 6 {
+					return fmt.Errorf("armed leg took %d dirty-log faults, want one per page = 6", a)
+				}
+				return nil
+			},
+		},
+		Run: func(env *Env) error {
+			h, _, err := vmm.New(env.M, 64)
+			if err != nil {
+				return err
+			}
+			d, err := h.CreateDomain("domU", 32)
+			if err != nil {
+				return err
+			}
+			before := env.M.Rec.Counts(trace.KDirtyLogFault)
+			if env.Armed {
+				if _, err := h.EnableDirtyLog(d.ID); err != nil {
+					return err
+				}
+			}
+			// Two stores per page: only the first takes the write-protect
+			// fault, the second runs at full speed on the unprotected PTE.
+			for gpn := 0; gpn < 6; gpn++ {
+				for pass := 0; pass < 2; pass++ {
+					if err := h.GuestMemWrite(d.ID, gpn, 0, []byte("dirty")); err != nil {
+						return err
+					}
+				}
+			}
+			if env.Armed {
+				h.DisableDirtyLog(d.ID)
+			}
+			env.State = &vmmState{dirtyFaults: env.M.Rec.Counts(trace.KDirtyLogFault) - before}
+			return nil
+		},
+	})
+
+	Register(S{
+		ID:        "vmm/migration-abort-cost",
+		Subsystem: "vmm",
+		Fault:     "link budget below the first pre-copy batch; the completed control run is the baseline",
+		Expect: Outcome{
+			Desc: "ErrMigrationAborted; the abort costs the destination less than completion",
+			Err:  vmm.ErrMigrationAborted,
+			Compare: func(control, armed *Env) error {
+				c := control.State.(*vmmState).dstCycles
+				a := armed.State.(*vmmState).dstCycles
+				if c == 0 {
+					return fmt.Errorf("control migration charged the destination nothing")
+				}
+				if a >= c {
+					return fmt.Errorf("aborted run cost the destination %d cycles, completed run %d", a, c)
+				}
+				return nil
+			},
+		},
+		Run: func(env *Env) error {
+			h, _, err := vmm.New(env.M, 64)
+			if err != nil {
+				return err
+			}
+			m2 := env.Machine(nil)
+			dst, _, err := vmm.New(m2, 64)
+			if err != nil {
+				return err
+			}
+			d, err := h.CreateDomain("domU", 48)
+			if err != nil {
+				return err
+			}
+			l := &vmm.Link{PerPage: 50, Latency: 1000}
+			if env.Armed {
+				l.Budget = 16
+			}
+			st := &vmmState{h: h, dst: dst, dstM: m2, domU: d.ID}
+			env.State = st
+			mig, _, err := vmm.MigrateLive(h, d.ID, dst, vmm.LiveOpts{
+				MaxRounds: 3,
+				Transport: l.Transport(env.M, m2),
+			})
+			st.dstCycles = m2.Rec.TotalCycles()
 			if err != nil {
 				return err
 			}

@@ -6,17 +6,19 @@ import (
 	"strings"
 
 	"vmmk/internal/hw"
+	"vmmk/internal/simrand"
 )
 
 // Subsystems every scenario row must name — the layers of the simulator,
 // each of which contributes negative scenarios to the matrix.
-var Subsystems = []string{"fslite", "hw", "mk", "mkos", "vmm", "vmmos"}
+var Subsystems = []string{"cluster", "fslite", "hw", "mk", "mkos", "vmm", "vmmos"}
 
 // Outcome is the typed expected result of a scenario's armed run: a
-// sentinel error, an expected panic, and/or a post-mortem state predicate.
-// Desc is the short human-readable label the listings and result tables
-// show. At least one of Err, Panic or Check must be set (enforced at
-// registration and statically by vmmklint's scenrow analyzer).
+// sentinel error, an expected panic, a post-mortem state predicate, and/or
+// a cross-leg comparison. Desc is the short human-readable label the
+// listings and result tables show. At least one of Err, Panic, Check or
+// Compare must be set (enforced at registration and statically by
+// vmmklint's scenrow analyzer).
 type Outcome struct {
 	// Desc is the short label for the expected outcome ("ErrGrantRevoked",
 	// "panic: CPU index out of range", "bitmap consistent, old data intact").
@@ -30,6 +32,12 @@ type Outcome struct {
 	// Check, when non-nil, is the post-mortem state predicate: it runs
 	// after Run in both the armed and the disarmed leg and must return nil.
 	Check func(env *Env) error
+	// Compare, when non-nil, is the cross-leg trace invariant: it runs once
+	// after both legs pass their own grading, with the control and armed
+	// Envs. By then the legs' machines are back in the pool, so Compare
+	// must consult only what Run copied into Env.State (recorder deltas,
+	// counts, costs) — never a live *hw.Machine.
+	Compare func(control, armed *Env) error
 }
 
 // S is one scenario row of the matrix.
@@ -103,7 +111,8 @@ func Register(s S) {
 	if !known {
 		panic(fmt.Sprintf("scenario: %s names unknown subsystem %q", s.ID, s.Subsystem))
 	}
-	if s.Expect.Desc == "" || (s.Expect.Err == nil && s.Expect.Panic == "" && s.Expect.Check == nil) {
+	if s.Expect.Desc == "" || (s.Expect.Err == nil && s.Expect.Panic == "" &&
+		s.Expect.Check == nil && s.Expect.Compare == nil) {
 		panic(fmt.Sprintf("scenario: %s declares no expected outcome", s.ID))
 	}
 	if s.Run == nil {
@@ -131,4 +140,19 @@ func Lookup(id string) (S, bool) {
 		}
 	}
 	return S{}, false
+}
+
+// ShuffledIDs returns every row ID in the seeded pseudo-random order the
+// `scenarios -shuffle` mode runs them in. The permutation is a pure
+// function of the seed, so a shuffled run is exactly reproducible — the
+// point is to prove no row depends on its neighbours' pool residue, not to
+// add nondeterminism.
+func ShuffledIDs(seed uint64) []string {
+	rows := Rows()
+	perm := simrand.New(seed).Perm(len(rows))
+	ids := make([]string, len(rows))
+	for i, j := range perm {
+		ids[i] = rows[j].ID
+	}
+	return ids
 }

@@ -1,0 +1,97 @@
+package vmm
+
+import (
+	"errors"
+	"testing"
+
+	"vmmk/internal/hw"
+)
+
+// linkRig boots two hypervisors with one 24-page guest on the source.
+func linkRig(t *testing.T) (srcM, dstM *hw.Machine, src, dst *Hypervisor, dom DomID) {
+	t.Helper()
+	cfg := &hw.MachineConfig{Frames: 256}
+	srcM = hw.NewMachine(hw.X86(), cfg)
+	dstM = hw.NewMachine(hw.X86(), cfg)
+	src, _, err := New(srcM, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, _, err = New(dstM, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := src.CreateDomain("lnk", 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srcM, dstM, src, dst, d.ID
+}
+
+// TestLinkChargesBothEndpoints pins the link accounting: every transfer
+// round charges Latency plus PerPage×pages to the LinkComponent of both
+// machines, and the total matches Link.Cost exactly.
+func TestLinkChargesBothEndpoints(t *testing.T) {
+	srcM, dstM, src, dst, dom := linkRig(t)
+	l := &Link{PerPage: 3, Latency: 500}
+	moved, stats, err := MigrateLive(src, dom, dst, LiveOpts{
+		MaxRounds: 2,
+		Transport: l.Transport(srcM, dstM),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved == nil || stats == nil {
+		t.Fatal("no result from migration")
+	}
+	if l.Pages() == 0 || l.Rounds() == 0 {
+		t.Fatalf("link carried nothing: pages=%d rounds=%d", l.Pages(), l.Rounds())
+	}
+	want := uint64(l.Cost())
+	if want != uint64(l.Latency)*uint64(l.Rounds())+uint64(l.PerPage)*uint64(l.Pages()) {
+		t.Fatalf("Cost %d inconsistent with rounds=%d pages=%d", want, l.Rounds(), l.Pages())
+	}
+	if got := srcM.Rec.Cycles(LinkComponent); got != want {
+		t.Errorf("src %s cycles = %d, want %d", LinkComponent, got, want)
+	}
+	if got := dstM.Rec.Cycles(LinkComponent); got != want {
+		t.Errorf("dst %s cycles = %d, want %d", LinkComponent, got, want)
+	}
+}
+
+// TestLinkZeroIsFree pins that the zero Link charges nothing and never
+// drops.
+func TestLinkZeroIsFree(t *testing.T) {
+	srcM, dstM, src, dst, dom := linkRig(t)
+	l := &Link{}
+	if _, _, err := MigrateLive(src, dom, dst, LiveOpts{Transport: l.Transport(srcM, dstM)}); err != nil {
+		t.Fatal(err)
+	}
+	if got := srcM.Rec.Cycles(LinkComponent); got != 0 {
+		t.Fatalf("free link charged %d cycles", got)
+	}
+	if l.Cost() != 0 {
+		t.Fatalf("free link Cost = %d", l.Cost())
+	}
+}
+
+// TestLinkBudgetAborts pins the failure mode: a link whose budget cannot
+// carry the first round reports ErrLinkDown and the migration aborts
+// cleanly (shell gone, source still running).
+func TestLinkBudgetAborts(t *testing.T) {
+	srcM, dstM, src, dst, dom := linkRig(t)
+	l := &Link{Budget: 4}
+	_, _, err := MigrateLive(src, dom, dst, LiveOpts{Transport: l.Transport(srcM, dstM)})
+	if !errors.Is(err, ErrMigrationAborted) || !errors.Is(err, ErrLinkDown) {
+		t.Fatalf("err = %v, want ErrMigrationAborted wrapping ErrLinkDown", err)
+	}
+	if l.Pages() != 0 {
+		t.Fatalf("down link still carried %d pages", l.Pages())
+	}
+	if !src.Alive(dom) || src.Paused(dom) {
+		t.Fatal("source guest not left running after abort")
+	}
+	if n := len(dst.Domains()); n != 1 { // dom0 only
+		t.Fatalf("destination kept %d domains, want 1", n)
+	}
+}
